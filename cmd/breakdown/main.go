@@ -1,0 +1,140 @@
+// Command breakdown regenerates Figure 1 of the paper: the average
+// breakdown utilization of the three protocols (modified 802.5, standard
+// IEEE 802.5, FDDI) as network bandwidth sweeps from 1 Mbps to 1 Gbps,
+// printed as a table and an ASCII plot.
+//
+// Usage:
+//
+//	breakdown                         # full Figure 1
+//	breakdown -bw 4,10,100            # specific bandwidths (Mbps)
+//	breakdown -samples 400 -seed 7    # tighter confidence intervals
+//	breakdown -n 50 -mean-period 50ms -period-ratio 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ringsched"
+	"ringsched/internal/breakdown"
+	"ringsched/internal/core"
+	"ringsched/internal/message"
+	"ringsched/internal/textplot"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "breakdown:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("breakdown", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		samples     = fs.Int("samples", 100, "Monte Carlo samples per point")
+		seed        = fs.Int64("seed", 1993, "random seed")
+		points      = fs.Int("points", 3, "sweep points per bandwidth decade")
+		bwList      = fs.String("bw", "", "comma-separated bandwidths in Mbps (overrides the sweep grid)")
+		streams     = fs.Int("n", 100, "number of stations/streams")
+		meanPeriod  = fs.Duration("mean-period", 100*time.Millisecond, "mean message period")
+		periodRatio = fs.Float64("period-ratio", 10, "max/min period ratio")
+		noPlot      = fs.Bool("no-plot", false, "suppress the ASCII plot")
+		distr       = fs.Bool("distribution", false, "also print the per-set spread (P10/median/P90)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var bandwidths []float64
+	if *bwList != "" {
+		for _, part := range strings.Split(*bwList, ",") {
+			mbps, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				return fmt.Errorf("parse -bw %q: %w", part, err)
+			}
+			bandwidths = append(bandwidths, ringsched.Mbps(mbps))
+		}
+	} else {
+		bandwidths = breakdown.PaperBandwidths(*points)
+	}
+
+	est := ringsched.Estimator{
+		Generator: message.Generator{
+			Streams:     *streams,
+			MeanPeriod:  meanPeriod.Seconds(),
+			PeriodRatio: *periodRatio,
+		},
+		Samples: *samples,
+		Seed:    *seed,
+	}
+
+	protocols := []struct {
+		name    string
+		factory breakdown.AnalyzerFactory
+	}{
+		{"Modified 802.5", func(bw float64) core.Analyzer {
+			p := core.NewModifiedPDP(bw)
+			p.Net = p.Net.WithStations(*streams)
+			return p
+		}},
+		{"IEEE 802.5", func(bw float64) core.Analyzer {
+			p := core.NewStandardPDP(bw)
+			p.Net = p.Net.WithStations(*streams)
+			return p
+		}},
+		{"FDDI", func(bw float64) core.Analyzer {
+			t := core.NewTTP(bw)
+			t.Net = t.Net.WithStations(*streams)
+			return t
+		}},
+	}
+
+	var series []breakdown.Series
+	for _, p := range protocols {
+		s, err := est.Sweep(p.name, p.factory, bandwidths)
+		if err != nil {
+			return err
+		}
+		series = append(series, s)
+	}
+
+	fmt.Fprintf(out, "Average breakdown utilization (n=%d, mean period %v, ratio %g, %d samples/point)\n\n",
+		*streams, *meanPeriod, *periodRatio, *samples)
+	fmt.Fprint(out, breakdown.FormatTable(series))
+	if *distr {
+		fmt.Fprintln(out, "\nper-set breakdown spread:")
+		fmt.Fprint(out, breakdown.FormatDistributionTable(series))
+	}
+
+	if !*noPlot && len(bandwidths) > 1 {
+		plot := textplot.Plot{
+			Title:  "Figure 1: average breakdown utilization vs bandwidth",
+			XLabel: "bandwidth (bps, log)",
+			YLabel: "avg breakdown utilization",
+			LogX:   true,
+			YMax:   1,
+		}
+		for _, s := range series {
+			ts := textplot.Series{Name: s.Name}
+			for _, p := range s.Points {
+				ts.X = append(ts.X, p.BandwidthBPS)
+				ts.Y = append(ts.Y, p.Estimate.Mean)
+			}
+			plot.Add(ts)
+		}
+		rendered, err := plot.Render()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		fmt.Fprint(out, rendered)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExplicitBandwidths(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-bw", "4,100", "-samples", "5", "-n", "10", "-no-plot"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"Modified 802.5", "IEEE 802.5", "FDDI", "4.000", "100.000"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "Figure 1:") {
+		t.Error("-no-plot should suppress the plot")
+	}
+}
+
+func TestPlotRendered(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-bw", "4,40,400", "-samples", "3", "-n", "8"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 1: average breakdown utilization") {
+		t.Errorf("plot missing:\n%s", out.String())
+	}
+}
+
+func TestDistributionOutput(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-bw", "16", "-samples", "5", "-n", "8", "-no-plot", "-distribution"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "per-set breakdown spread") ||
+		!strings.Contains(out.String(), "mean/p10/p50/p90") {
+		t.Errorf("distribution table missing:\n%s", out.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bw", "abc"}, &out); err == nil {
+		t.Error("unparseable bandwidth accepted")
+	}
+	if err := run([]string{"-wat"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestSinglePointSkipsPlot(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bw", "16", "-samples", "3", "-n", "6"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "Figure 1: average") {
+		t.Error("single-point run should not plot")
+	}
+}

@@ -1,0 +1,130 @@
+// Command experiments runs the paper-reproduction experiments registered
+// in the library (one per figure, table, and quantitative claim — see
+// DESIGN.md's experiment index) and prints their tables and notes.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run FIG1 -samples 200
+//	experiments -all -quick
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"ringsched"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		list    = fs.Bool("list", false, "list experiment IDs and exit")
+		runID   = fs.String("run", "", "run a single experiment by ID")
+		all     = fs.Bool("all", false, "run every experiment")
+		samples = fs.Int("samples", 100, "Monte Carlo samples per estimate")
+		seed    = fs.Int64("seed", 1993, "random seed")
+		points  = fs.Int("points", 3, "sweep points per bandwidth decade")
+		quick   = fs.Bool("quick", false, "trim grids and samples for a fast pass")
+		asJSON  = fs.Bool("json", false, "emit machine-readable JSON instead of text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range ringsched.Experiments() {
+			fmt.Fprintf(out, "%-12s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	cfg := ringsched.ExperimentConfig{
+		Samples:         *samples,
+		Seed:            *seed,
+		PointsPerDecade: *points,
+		Quick:           *quick,
+	}
+
+	var experiments []ringsched.Experiment
+	switch {
+	case *runID != "":
+		e, err := ringsched.ExperimentByID(*runID)
+		if err != nil {
+			return err
+		}
+		experiments = []ringsched.Experiment{e}
+	case *all:
+		experiments = ringsched.Experiments()
+	default:
+		fs.Usage()
+		return fmt.Errorf("one of -list, -run or -all is required")
+	}
+
+	failed := 0
+	type jsonReport struct {
+		ID      string             `json:"id"`
+		Title   string             `json:"title"`
+		Pass    bool               `json:"pass"`
+		Seconds float64            `json:"seconds"`
+		Values  map[string]float64 `json:"values,omitempty"`
+		Notes   []string           `json:"notes,omitempty"`
+		Text    string             `json:"text"`
+	}
+	var jsonOut []jsonReport
+	for _, e := range experiments {
+		start := time.Now()
+		rep, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if !rep.Pass {
+			failed++
+		}
+		if *asJSON {
+			jsonOut = append(jsonOut, jsonReport{
+				ID:      rep.ID,
+				Title:   e.Title,
+				Pass:    rep.Pass,
+				Seconds: time.Since(start).Seconds(),
+				Values:  rep.Values,
+				Notes:   rep.Notes,
+				Text:    rep.Text,
+			})
+			continue
+		}
+		status := "PASS"
+		if !rep.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(out, "=== %s [%s] %s (%.1fs)\n", e.ID, status, e.Title, time.Since(start).Seconds())
+		fmt.Fprintln(out, rep.Text)
+		for _, n := range rep.Notes {
+			fmt.Fprintf(out, "note: %s\n", n)
+		}
+		fmt.Fprintln(out)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonOut); err != nil {
+			return err
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d experiment(s) did not reproduce the paper's claim", failed)
+	}
+	return nil
+}

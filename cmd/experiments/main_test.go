@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"FIG1", "CLAIM-LOWBW", "CLAIM-TTRT", "VAL-SIM", "BASE-RM88"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("list missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run skipped in -short mode")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-run", "CLAIM-33PCT", "-quick"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "=== CLAIM-33PCT [PASS]") {
+		t.Errorf("experiment output:\n%s", got)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run skipped in -short mode")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-run", "CLAIM-33PCT", "-quick", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var reports []struct {
+		ID   string `json:"id"`
+		Pass bool   `json:"pass"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &reports); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if len(reports) != 1 || reports[0].ID != "CLAIM-33PCT" || !reports[0].Pass {
+		t.Errorf("reports = %+v", reports)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "NOPE"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestNoModeFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing mode flag accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-zzz"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

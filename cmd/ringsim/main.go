@@ -1,0 +1,214 @@
+// Command ringsim runs the operational discrete-event simulator for one of
+// the two MAC protocols on a message set and reports deadline misses,
+// medium occupancy, and token rotation statistics.
+//
+// Usage:
+//
+//	ringsim -protocol fddi -bw 100 -utilization 0.5
+//	ringsim -protocol 8025 -bw 4 -set set.json -phasing random -seed 3
+//	ringsim -protocol 8025mod -bw 16 -n 20 -horizon 5s -async=false
+//	ringsim -protocol fddi -trace 40          # log the first 40 events
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"ringsched"
+	"ringsched/internal/message"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ringsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ringsim", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		protocol    = fs.String("protocol", "fddi", "protocol: 8025, 8025mod, 8025res (faithful reservation MAC) or fddi")
+		bwMbps      = fs.Float64("bw", 100, "network bandwidth in Mbps")
+		setPath     = fs.String("set", "", "JSON message set (default: random paper workload)")
+		preset      = fs.String("preset", "", "built-in workload preset (see schedcheck -preset)")
+		streams     = fs.Int("n", 20, "streams when generating a random set")
+		seed        = fs.Int64("seed", 1, "seed for random set and phasing")
+		utilization = fs.Float64("utilization", 0.3, "target utilization for the generated set")
+		phasing     = fs.String("phasing", "sync", "arrival phasing: sync or random")
+		horizon     = fs.Duration("horizon", 0, "simulated duration (default: 20 max periods)")
+		async       = fs.Bool("async", true, "saturated asynchronous background traffic")
+		trace       = fs.Int("trace", 0, "log the first N simulator events (0 = off)")
+		lossProb    = fs.Float64("loss-prob", 0, "token-loss probability per service step")
+		levels      = fs.Int("levels", 8, "ring priority levels for -protocol 8025res (0 = one per stream)")
+		recovery    = fs.Duration("recovery", 2*time.Millisecond, "ring recovery time per token loss")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	bw := ringsched.Mbps(*bwMbps)
+	rng := rand.New(rand.NewSource(*seed))
+
+	set, stations, err := loadSet(*setPath, *preset, *streams, *utilization, bw, rng)
+	if err != nil {
+		return err
+	}
+
+	ph := ringsched.PhasingSynchronized
+	if *phasing == "random" {
+		ph = ringsched.PhasingRandom
+	}
+
+	var tracer ringsched.Tracer
+	if *trace > 0 {
+		fmt.Fprintf(out, "--- first %d events ---\n", *trace)
+		tracer = &ringsched.WriterTracer{W: out, Limit: *trace}
+	}
+
+	var faults *ringsched.Faults
+	if *lossProb > 0 {
+		faults = &ringsched.Faults{
+			TokenLossProb: *lossProb,
+			RecoveryTime:  recovery.Seconds(),
+			Rng:           rng,
+		}
+	}
+
+	var res ringsched.SimResult
+	switch *protocol {
+	case "8025", "8025mod":
+		pdp := ringsched.NewStandardPDP(bw)
+		if *protocol == "8025mod" {
+			pdp.Variant = ringsched.Modified8025
+		}
+		pdp.Net = pdp.Net.WithStations(stations)
+		w, werr := ringsched.NewWorkload(set, stations, ph, rng)
+		if werr != nil {
+			return werr
+		}
+		res, err = ringsched.PDPSimulation{
+			Net:            pdp.Net,
+			Frame:          pdp.Frame,
+			Variant:        pdp.Variant,
+			Workload:       w,
+			AsyncSaturated: *async,
+			Horizon:        horizon.Seconds(),
+			Tracer:         tracer,
+			Faults:         faults,
+		}.Run()
+	case "8025res":
+		pdp := ringsched.NewStandardPDP(bw)
+		pdp.Net = pdp.Net.WithStations(stations)
+		w, werr := ringsched.NewWorkload(set, stations, ph, rng)
+		if werr != nil {
+			return werr
+		}
+		var rres ringsched.ReservationResult
+		rres, err = ringsched.ReservationSimulation{
+			Net:            pdp.Net,
+			Frame:          pdp.Frame,
+			Workload:       w,
+			PriorityLevels: *levels,
+			AsyncSaturated: *async,
+			Horizon:        horizon.Seconds(),
+			Tracer:         tracer,
+			Faults:         faults,
+		}.Run()
+		if err != nil {
+			return err
+		}
+		res = rres.Result
+		fmt.Fprintf(out, "priority inversions: %d\n", rres.PriorityInversions)
+	case "fddi":
+		ttp := ringsched.NewTTP(bw)
+		ttp.Net = ttp.Net.WithStations(stations)
+		w, werr := ringsched.NewWorkload(set, stations, ph, rng)
+		if werr != nil {
+			return werr
+		}
+		var simc ringsched.TTPSimulation
+		simc, err = ringsched.NewTTPSimulation(ttp, set, w)
+		if err != nil {
+			return err
+		}
+		simc.AsyncSaturated = *async
+		simc.Horizon = horizon.Seconds()
+		simc.Tracer = tracer
+		simc.Faults = faults
+		res, err = simc.Run()
+	default:
+		return fmt.Errorf("unknown -protocol %q (want 8025, 8025mod, 8025res or fddi)", *protocol)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *trace > 0 {
+		fmt.Fprintln(out, "---")
+	}
+	printResult(out, res)
+	return nil
+}
+
+func loadSet(path, preset string, streams int, utilization, bw float64, rng *rand.Rand) (ringsched.MessageSet, int, error) {
+	if preset != "" {
+		p, err := ringsched.PresetByName(preset)
+		if err != nil {
+			return nil, 0, err
+		}
+		return p.Set, len(p.Set), nil
+	}
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer f.Close()
+		set, err := message.ReadJSON(f)
+		if err != nil {
+			return nil, 0, err
+		}
+		return set, len(set), nil
+	}
+	gen := ringsched.PaperGenerator()
+	gen.Streams = streams
+	drawn, err := gen.Draw(rng)
+	if err != nil {
+		return nil, 0, err
+	}
+	set, err := drawn.ScaleToUtilization(utilization, bw)
+	if err != nil {
+		return nil, 0, err
+	}
+	return set, streams, nil
+}
+
+func printResult(out io.Writer, res ringsched.SimResult) {
+	fmt.Fprintf(out, "protocol:          %s\n", res.Protocol)
+	fmt.Fprintf(out, "horizon:           %v\n", time.Duration(res.Horizon*float64(time.Second)))
+	fmt.Fprintf(out, "deadline misses:   %d\n", res.DeadlineMisses)
+	fmt.Fprintf(out, "medium occupancy:  sync %.4f  async %.4f  token %.4f  idle %.4f\n",
+		res.SyncTime/res.Horizon, res.AsyncTime/res.Horizon,
+		res.TokenTime/res.Horizon, res.IdleTime/res.Horizon)
+	if res.RotationN > 0 {
+		fmt.Fprintf(out, "token rotation:    mean %.4gms  max %.4gms  (n=%d)\n",
+			res.RotationMean*1e3, res.RotationMax*1e3, res.RotationN)
+	}
+	if res.TokenLosses > 0 {
+		fmt.Fprintf(out, "token losses:      %d (recovery %.4gms total)\n",
+			res.TokenLosses, res.RecoveryTime*1e3)
+	}
+	fmt.Fprintf(out, "\n%4s %12s %10s %8s %8s %14s %14s\n",
+		"stn", "period(ms)", "done", "missed", "backlog", "meanResp(ms)", "maxResp(ms)")
+	for _, s := range res.Stations {
+		fmt.Fprintf(out, "%4d %12.3f %10d %8d %8d %14.4f %14.4f\n",
+			s.Station, s.Stream.Period*1e3, s.Completed, s.Missed, s.Backlogged,
+			s.MeanResponse*1e3, s.MaxResponse*1e3)
+	}
+}

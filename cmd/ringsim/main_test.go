@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFDDISim(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-protocol", "fddi", "-bw", "100", "-n", "6",
+		"-utilization", "0.3", "-horizon", "100ms"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"protocol:          FDDI", "deadline misses:", "token rotation:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestReservationMAC(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-protocol", "8025res", "-bw", "4", "-n", "5",
+		"-utilization", "0.2", "-horizon", "200ms", "-levels", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "reservation MAC") || !strings.Contains(got, "priority inversions:") {
+		t.Errorf("reservation output missing markers:\n%s", got)
+	}
+}
+
+func TestFaultFlags(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-protocol", "fddi", "-bw", "100", "-n", "4",
+		"-utilization", "0.2", "-horizon", "200ms", "-loss-prob", "0.01", "-recovery", "1ms"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "token losses:") {
+		t.Errorf("loss report missing:\n%s", out.String())
+	}
+}
+
+func TestPDPSimVariants(t *testing.T) {
+	for _, proto := range []string{"8025", "8025mod"} {
+		var out bytes.Buffer
+		err := run([]string{"-protocol", proto, "-bw", "16", "-n", "5",
+			"-utilization", "0.2", "-horizon", "200ms"}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+		if !strings.Contains(out.String(), "802.5") {
+			t.Errorf("%s: protocol line missing:\n%s", proto, out.String())
+		}
+	}
+}
+
+func TestTraceFlag(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-protocol", "fddi", "-bw", "100", "-n", "4",
+		"-utilization", "0.2", "-horizon", "50ms", "-trace", "5"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "--- first 5 events ---") {
+		t.Errorf("trace header missing:\n%s", got)
+	}
+	if !strings.Contains(got, "arrival") && !strings.Contains(got, "frame") {
+		t.Errorf("no traced events:\n%s", got)
+	}
+}
+
+func TestRandomPhasing(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-protocol", "fddi", "-bw", "100", "-n", "4",
+		"-utilization", "0.2", "-horizon", "50ms", "-phasing", "random", "-seed", "5"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownProtocol(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-protocol", "csma"}, &out); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestMissingSetFile(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-set", "/no/such/file"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+}

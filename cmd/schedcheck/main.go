@@ -1,0 +1,158 @@
+// Command schedcheck tests whether a synchronous message set is guaranteed
+// under each of the three protocols — modified 802.5, standard IEEE 802.5
+// (Theorem 4.1) and FDDI with the local allocation scheme (Theorem 5.1) —
+// and prints the detailed per-stream analysis.
+//
+// The message set comes from a JSON file (see -print-example) or, without
+// -set, from the paper's random workload generator.
+//
+// Usage:
+//
+//	schedcheck -print-example > set.json
+//	schedcheck -set set.json -bw 100
+//	schedcheck -bw 16 -n 40 -seed 7 -verbose
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"ringsched"
+	"ringsched/internal/core"
+	"ringsched/internal/message"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "schedcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("schedcheck", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		setPath      = fs.String("set", "", "JSON file with the message set (default: random paper workload)")
+		preset       = fs.String("preset", "", "built-in workload preset (avionics, process-control, space-station, multimedia)")
+		bwMbps       = fs.Float64("bw", 100, "network bandwidth in Mbps")
+		streams      = fs.Int("n", 100, "streams when generating a random set")
+		seed         = fs.Int64("seed", 1, "seed for the random set")
+		utilization  = fs.Float64("utilization", 0.3, "target utilization when generating a random set")
+		verbose      = fs.Bool("verbose", false, "print per-stream detail")
+		printExample = fs.Bool("print-example", false, "print an example JSON message set and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *printExample {
+		example := ringsched.MessageSet{
+			{Name: "attitude-control", Period: 10e-3, LengthBits: 4096},
+			{Name: "telemetry", Period: 50e-3, LengthBits: 65536},
+			{Name: "video", Period: 100e-3, LengthBits: 1 << 20},
+		}
+		return example.WriteJSON(out)
+	}
+
+	bw := ringsched.Mbps(*bwMbps)
+	set, err := loadSet(*setPath, *preset, *streams, *seed, *utilization, bw)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "message set: %d streams, payload utilization %.4f at %.3g Mbps\n\n",
+		len(set), set.Utilization(bw), *bwMbps)
+
+	// PDP variants.
+	for _, variant := range []ringsched.PDPVariant{ringsched.Modified8025, ringsched.Standard8025} {
+		pdp := ringsched.NewStandardPDP(bw)
+		pdp.Variant = variant
+		if len(set) > pdp.Net.Stations {
+			pdp.Net = pdp.Net.WithStations(len(set))
+		}
+		rep, err := pdp.Report(set)
+		if err != nil {
+			return err
+		}
+		printPDP(out, rep, *verbose)
+	}
+
+	// TTP.
+	ttp := ringsched.NewTTP(bw)
+	if len(set) > ttp.Net.Stations {
+		ttp.Net = ttp.Net.WithStations(len(set))
+	}
+	rep, err := ttp.Report(set)
+	if err != nil {
+		return err
+	}
+	printTTP(out, rep, *verbose)
+	return nil
+}
+
+func loadSet(path, preset string, streams int, seed int64, utilization, bw float64) (ringsched.MessageSet, error) {
+	if preset != "" {
+		p, err := ringsched.PresetByName(preset)
+		if err != nil {
+			return nil, err
+		}
+		return p.Set, nil
+	}
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return message.ReadJSON(f)
+	}
+	gen := ringsched.PaperGenerator()
+	gen.Streams = streams
+	set, err := gen.Draw(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	return set.ScaleToUtilization(utilization, bw)
+}
+
+func printPDP(out io.Writer, rep core.PDPReport, verbose bool) {
+	fmt.Fprintf(out, "%-16s schedulable=%-5v  U=%.4f  U'=%.4f  B=%.3gus  Θ=%.3gus  F=%.3gus\n",
+		rep.Variant, rep.Schedulable, rep.Utilization, rep.AugmentedUtilization,
+		rep.Blocking*1e6, rep.Theta*1e6, rep.FrameTime*1e6)
+	if verbose {
+		fmt.Fprintf(out, "  %4s %-18s %12s %8s %14s %14s %6s\n",
+			"#", "name", "period(ms)", "frames", "C'(us)", "resp(us)", "ok")
+		for i, s := range rep.Streams {
+			fmt.Fprintf(out, "  %4d %-18s %12.3f %8d %14.2f %14.2f %6v\n",
+				i+1, name(s.Stream.Name, i), s.Stream.Period*1e3, s.Frames,
+				s.AugmentedLength*1e6, s.ResponseTime*1e6, s.Schedulable)
+		}
+	}
+	fmt.Fprintln(out)
+}
+
+func printTTP(out io.Writer, rep core.TTPReport, verbose bool) {
+	fmt.Fprintf(out, "%-16s schedulable=%-5v  U=%.4f  TTRT=%.4gms  θ=%.3gus  Σh=%.4gms  cap=%.4gms\n",
+		"FDDI", rep.Schedulable, rep.Utilization, rep.TTRT*1e3,
+		rep.Overhead*1e6, rep.TotalAllocation*1e3, rep.Capacity*1e3)
+	if verbose {
+		fmt.Fprintf(out, "  %4s %-18s %12s %6s %14s %14s %12s\n",
+			"#", "name", "period(ms)", "q", "C'(us)", "h(us)", "wcr(ms)")
+		for i, s := range rep.Streams {
+			fmt.Fprintf(out, "  %4d %-18s %12.3f %6d %14.2f %14.2f %12.3f\n",
+				i+1, name(s.Stream.Name, i), s.Stream.Period*1e3, s.Q,
+				s.AugmentedLength*1e6, s.Allocation*1e6, s.WorstCaseResponse*1e3)
+		}
+	}
+	fmt.Fprintln(out)
+}
+
+func name(n string, i int) string {
+	if n == "" {
+		return fmt.Sprintf("S%d", i+1)
+	}
+	return n
+}

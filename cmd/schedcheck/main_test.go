@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPrintExample(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-print-example"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"attitude-control", "periodMs", "lengthBits"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("example output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestGeneratedSetReport(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bw", "16", "-n", "8", "-utilization", "0.3", "-verbose"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"Modified 802.5", "IEEE 802.5", "FDDI", "schedulable=", "TTRT="} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+	// Verbose mode lists all 8 streams per protocol.
+	if strings.Count(got, "S1 ") == 0 {
+		t.Error("verbose stream rows missing")
+	}
+}
+
+func TestJSONRoundTripThroughCLI(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "set.json")
+
+	var example bytes.Buffer
+	if err := run([]string{"-print-example"}, &example); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, example.Bytes(), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{"-set", path, "-bw", "100"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "message set: 3 streams") {
+		t.Errorf("unexpected report:\n%s", out.String())
+	}
+}
+
+func TestPresetWorkload(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-preset", "avionics", "-bw", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "message set: 8 streams") {
+		t.Errorf("preset report:\n%s", out.String())
+	}
+	if err := run([]string{"-preset", "bogus"}, &out); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-set", "/does/not/exist.json"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-bogus-flag"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-utilization", "0"}, &out); err == nil {
+		t.Error("zero utilization accepted")
+	}
+}
+
+func TestNameHelper(t *testing.T) {
+	if name("", 2) != "S3" {
+		t.Error("empty name fallback")
+	}
+	if name("gyro", 2) != "gyro" {
+		t.Error("explicit name dropped")
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEqualPeriodScan(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-bw", "100", "-period", "50ms", "-n", "20", "-grid", "6"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"equal-period scan", "empirical best", "√(θP) rule", "breakdown utilization vs TTRT"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestGeneralComparison(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-bw", "100", "-n", "10", "-grid", "4", "-general", "-samples", "5"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "sqrt(theta*Pmin)") || !strings.Contains(got, "Pmin/2") {
+		t.Errorf("rule comparison missing:\n%s", got)
+	}
+}
+
+func TestNoTTRTRange(t *testing.T) {
+	// A period so short that 2θ exceeds P/2 leaves no scan range.
+	var out bytes.Buffer
+	if err := run([]string{"-bw", "1", "-period", "1ms", "-n", "100"}, &out); err == nil {
+		t.Error("impossible TTRT range accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nope"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,102 @@
+// Avionics models a SAFENET-style mission system on a low-speed token
+// ring, the regime where the paper recommends the priority driven protocol:
+// at 1–10 Mbps the rate-monotonic implementation on IEEE 802.5 beats the
+// timed token protocol because its priority arbitration overheads are still
+// small relative to frame times.
+//
+// The example checks a radar/weapons/navigation workload at 4 Mbps under
+// both 802.5 variants and FDDI, shows the PDP advantage, and validates the
+// modified-802.5 analysis operationally under worst-case phasing with
+// saturated asynchronous interference.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ringsched"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const bw = 4e6 // classic 4 Mbps IEEE 802.5 ring
+
+	set := ringsched.MessageSet{
+		{Name: "radar-track", Period: 20e-3, LengthBits: 6_000},
+		{Name: "weapons-status", Period: 25e-3, LengthBits: 4_000},
+		{Name: "nav-update", Period: 40e-3, LengthBits: 12_000},
+		{Name: "flight-controls", Period: 50e-3, LengthBits: 8_000},
+		{Name: "ecm-alerts", Period: 80e-3, LengthBits: 16_000},
+		{Name: "datalink", Period: 100e-3, LengthBits: 48_000},
+		{Name: "mission-log", Period: 200e-3, LengthBits: 96_000},
+		{Name: "maintenance", Period: 400e-3, LengthBits: 64_000},
+	}
+	n := len(set)
+	fmt.Printf("workload: %d streams, payload utilization %.3f at %.0f Mbps\n\n",
+		n, set.Utilization(bw), bw/1e6)
+
+	// Compare how far each protocol can push this mix (breakdown
+	// utilization of the mix, not just a yes/no at current load).
+	mod := ringsched.NewModifiedPDP(bw)
+	mod.Net = mod.Net.WithStations(n)
+	std := ringsched.NewStandardPDP(bw)
+	std.Net = std.Net.WithStations(n)
+	ttp := ringsched.NewTTP(bw)
+	ttp.Net = ttp.Net.WithStations(n)
+
+	for _, a := range []ringsched.Analyzer{mod, std, ttp} {
+		ok, err := a.Schedulable(set)
+		if err != nil {
+			return err
+		}
+		sat, err := ringsched.Saturate(set, a, bw, ringsched.SaturateOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-16s guaranteed now: %-5v  mix breakdown utilization: %.3f\n",
+			a.Name(), ok, sat.Utilization)
+	}
+	fmt.Println()
+
+	// Rate-monotonic priorities on the modified 802.5 ring, per stream.
+	rep, err := mod.Report(set)
+	if err != nil {
+		return err
+	}
+	fmt.Println("modified 802.5 rate-monotonic analysis (highest priority first):")
+	for i, s := range rep.Streams {
+		fmt.Printf("  %d. %-16s P=%5.0fms  frames=%3d  worst response=%7.2fms  ok=%v\n",
+			i+1, s.Stream.Name, s.Stream.Period*1e3, s.Frames, s.ResponseTime*1e3, s.Schedulable)
+	}
+	fmt.Println()
+
+	// Operational validation: worst-case phasing, saturated asynchronous
+	// traffic, analysis's Θ/2 token-pass model.
+	w, err := ringsched.NewWorkload(set, n, ringsched.PhasingSynchronized, nil)
+	if err != nil {
+		return err
+	}
+	res, err := ringsched.PDPSimulation{
+		Net:            mod.Net,
+		Frame:          mod.Frame,
+		Variant:        ringsched.Modified8025,
+		Workload:       w,
+		AsyncSaturated: true,
+		TokenPass:      ringsched.PassAverageHalfTheta,
+		Horizon:        8, // seconds = 20 periods of the slowest stream
+	}.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulation (%.0f s, saturated async, critical-instant phasing): %d deadline misses\n",
+		res.Horizon, res.DeadlineMisses)
+	fmt.Printf("medium occupancy: sync %.3f, async %.3f, token %.3f, idle %.3f\n",
+		res.SyncTime/res.Horizon, res.AsyncTime/res.Horizon,
+		res.TokenTime/res.Horizon, res.IdleTime/res.Horizon)
+	return nil
+}

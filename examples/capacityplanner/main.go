@@ -1,0 +1,154 @@
+// Capacityplanner answers the design-stage question the paper's comparison
+// is built for: given a synchronous workload, which protocol needs less
+// bandwidth to guarantee it?
+//
+// It binary-searches, per protocol, the minimum bandwidth at which a
+// workload is guaranteed, for two workloads on opposite sides of the
+// paper's crossover: a light mix that fits in the PDP-favored 1–10 Mbps
+// regime, and a heavy mix that forces the network into the TTP-favored
+// high-bandwidth regime — where the PDP guarantee needs *far more*
+// bandwidth because every frame's effective cost degenerates to the token
+// circulation time Θ.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"ringsched"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func analyzers(bw float64, n int) []ringsched.Analyzer {
+	mod := ringsched.NewModifiedPDP(bw)
+	mod.Net = mod.Net.WithStations(n)
+	std := ringsched.NewStandardPDP(bw)
+	std.Net = std.Net.WithStations(n)
+	ttp := ringsched.NewTTP(bw)
+	ttp.Net = ttp.Net.WithStations(n)
+	return []ringsched.Analyzer{mod, std, ttp}
+}
+
+// minBandwidth binary-searches the smallest bandwidth (within 0.5 %) at
+// which protocol index proto guarantees the set. Schedulability is not
+// strictly monotone in bandwidth for the PDP (effective frame cost rises
+// toward Θ at high speed), so the search first scans for a feasible region.
+func minBandwidth(set ringsched.MessageSet, n, proto int) (float64, error) {
+	const loBound, hiBound = 1e5, 1e11
+	// Scan a log grid for the first guaranteed point.
+	var lo, hi float64
+	found := false
+	prev := loBound
+	for x := loBound; x <= hiBound; x *= 1.3 {
+		ok, err := analyzers(x, n)[proto].Schedulable(set)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo, hi = prev, x
+			found = true
+			break
+		}
+		prev = x
+	}
+	if !found {
+		return 0, fmt.Errorf("not guaranteed at any bandwidth up to %.0f Gbps", hiBound/1e9)
+	}
+	for hi/lo > 1.005 {
+		mid := lo * math.Sqrt(hi/lo) // geometric midpoint
+		ok, err := analyzers(mid, n)[proto].Schedulable(set)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+func plan(title string, set ringsched.MessageSet, n int) error {
+	fmt.Printf("%s: %d streams, %.2f Mbit/s aggregate synchronous payload\n",
+		title, n, set.TotalBitsPerSecond()/1e6)
+	names := []string{"Modified 802.5", "IEEE 802.5", "FDDI"}
+	best, bestBW := "", math.Inf(1)
+	for i, name := range names {
+		bw, err := minBandwidth(set, n, i)
+		if err != nil {
+			fmt.Printf("  %-16s %v\n", name, err)
+			continue
+		}
+		fmt.Printf("  %-16s needs ≥ %8.2f Mbps\n", name, bw/1e6)
+		if bw < bestBW {
+			best, bestBW = name, bw
+		}
+	}
+	fmt.Printf("  → cheapest guarantee: %s\n\n", best)
+	return nil
+}
+
+func run() error {
+	const n = 24
+	gen := ringsched.Generator{Streams: n, MeanPeriod: 50e-3, PeriodRatio: 8}
+	base, err := gen.Draw(rand.New(rand.NewSource(42)))
+	if err != nil {
+		return err
+	}
+
+	// Light mix: 1.5 Mbit/s of payload — the classic 4/16 Mbps ring
+	// territory where the paper recommends the priority driven protocol.
+	light, err := base.ScaleToUtilization(1.5/4.0, 4e6)
+	if err != nil {
+		return err
+	}
+	if err := plan("light workload", light, n); err != nil {
+		return err
+	}
+
+	// Heavy mix: 40 Mbit/s of payload — only high-speed rings can carry
+	// it, and there the timed token protocol needs less bandwidth.
+	heavy, err := base.ScaleToUtilization(40.0/100.0, 100e6)
+	if err != nil {
+		return err
+	}
+	if err := plan("heavy workload", heavy, n); err != nil {
+		return err
+	}
+
+	// The guarantee map shows the PDP anomaly directly: for the heavy
+	// workload the 802.5 guarantee does not simply improve with bandwidth.
+	fmt.Println("guarantee map for the heavy workload (✓ = guaranteed):")
+	names := []string{"Modified 802.5", "IEEE 802.5", "FDDI"}
+	fmt.Printf("%12s %18s %18s %18s\n", "BW (Mbps)", names[0], names[1], names[2])
+	for _, mbps := range []float64{50, 100, 200, 400, 1000, 4000} {
+		fmt.Printf("%12g", mbps)
+		for i := range names {
+			ok, err := analyzers(ringsched.Mbps(mbps), n)[i].Schedulable(heavy)
+			if err != nil {
+				return err
+			}
+			mark := "-"
+			if ok {
+				mark = "✓"
+			}
+			fmt.Printf(" %18s", mark)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nWith 64-byte frames the PDP cannot carry this frame rate at any speed:")
+	fmt.Println("each frame's effective cost is bounded below by the token circulation")
+	fmt.Println("time Θ (dominated by the 10 km ring's propagation delay), which no")
+	fmt.Println("bandwidth increase can remove — exactly the anomaly behind Figure 1's")
+	fmt.Println("falling 802.5 curves. FDDI releases the token immediately after")
+	fmt.Println("transmitting and keeps multiple frames in flight, so it is immune.")
+	return nil
+}

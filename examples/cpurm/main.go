@@ -1,0 +1,86 @@
+// Cpurm demonstrates the rate-monotonic analysis substrate on plain CPU
+// task sets — the machinery Theorem 4.1 builds on, exposed through the
+// public facade. It contrasts the sufficient utilization bounds
+// (Liu–Layland, hyperbolic) with the exact test on a classic example, then
+// reproduces two well-known averages with the breakdown engine: ≈88 % for
+// uniformly drawn task sets and exactly 100 % for harmonic ones.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ringsched"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The textbook example: U ≈ 0.953, far above every utilization bound,
+	// yet exactly schedulable.
+	tasks := ringsched.TaskSet{
+		{Cost: 40e-3, Period: 100e-3},
+		{Cost: 40e-3, Period: 150e-3},
+		{Cost: 100e-3, Period: 350e-3},
+	}.SortRM()
+
+	fmt.Printf("task set utilization: %.4f\n", tasks.Utilization())
+	fmt.Printf("Liu–Layland bound (n=%d): %.4f → admits: %v\n",
+		len(tasks), ringsched.LiuLaylandBound(len(tasks)),
+		tasks.Utilization() <= ringsched.LiuLaylandBound(len(tasks)))
+	fmt.Printf("hyperbolic bound admits: %v\n", ringsched.HyperbolicSchedulable(tasks))
+
+	res, err := ringsched.ResponseTimeAnalysis(tasks, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("exact test: schedulable=%v\n", res.Schedulable)
+	for i, r := range res.ResponseTimes {
+		fmt.Printf("  task %d: worst-case response %.0f ms (period %.0f ms)\n",
+			i+1, r*1e3, tasks[i].Period*1e3)
+	}
+
+	// Blocking (priority inversion) shrinks the guarantee — the effect
+	// Theorem 4.1 bounds with B = 2·max(F, Θ) on the ring.
+	blocked, err := ringsched.ResponseTimeAnalysis(tasks, 25e-3)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("with 25 ms blocking: schedulable=%v\n\n", blocked.Schedulable)
+
+	// Average breakdown utilization, the paper's comparison metric, on
+	// two workload families. Streams at bandwidth 1 are abstract tasks.
+	for _, cfg := range []struct {
+		name    string
+		periods ringsched.PeriodModel
+		lengths ringsched.LengthModel
+		ratio   float64
+	}{
+		{"uniform periods (ratio 100)", ringsched.PeriodsUniform, ringsched.LengthsUniform, 100},
+		{"harmonic periods (ratio 8)", ringsched.PeriodsHarmonic, ringsched.LengthsProportional, 8},
+	} {
+		est := ringsched.Estimator{
+			Generator: ringsched.Generator{
+				Streams:     30,
+				MeanPeriod:  100e-3,
+				PeriodRatio: cfg.ratio,
+				Periods:     cfg.periods,
+				Lengths:     cfg.lengths,
+			},
+			Samples: 150,
+			Seed:    7,
+		}
+		e, err := est.Estimate(ringsched.IdealRM{}, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ideal RM avg breakdown, %-28s %.4f ±%.4f\n", cfg.name+":", e.Mean, e.CI95)
+	}
+	fmt.Println("\n(≈0.88–0.90 for uniform sets, exactly 1.0 for harmonic sets —")
+	fmt.Println("the Lehoczky–Sha–Ding averages the paper's methodology builds on.)")
+	return nil
+}

@@ -1,0 +1,3 @@
+module ringsched
+
+go 1.22

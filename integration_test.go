@@ -1,0 +1,174 @@
+package ringsched_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ringsched"
+)
+
+// TestCrossProtocolInvariants checks structural relationships that must
+// hold between the analyzers for any workload:
+//
+//   - modified 802.5 admits everything standard 802.5 admits,
+//   - the per-station overrun TTP budget admits a subset of the paper's,
+//   - every breakdown utilization lies in (0, 1].
+func TestCrossProtocolInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized invariant sweep skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(77))
+	gen := ringsched.Generator{Streams: 14, MeanPeriod: 80e-3, PeriodRatio: 10}
+	for trial := 0; trial < 25; trial++ {
+		set, err := gen.Draw(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bw := []float64{2e6, 16e6, 100e6, 622e6}[trial%4]
+		set, err = set.ScaleToUtilization(0.05+rng.Float64()*0.85, bw)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		std := ringsched.NewStandardPDP(bw)
+		std.Net = std.Net.WithStations(14)
+		mod := ringsched.NewModifiedPDP(bw)
+		mod.Net = mod.Net.WithStations(14)
+		okStd, err := std.Schedulable(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		okMod, err := mod.Schedulable(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if okStd && !okMod {
+			t.Fatalf("trial %d: standard admitted a set modified rejects (bw=%g)", trial, bw)
+		}
+
+		classic := ringsched.NewTTP(bw)
+		classic.Net = classic.Net.WithStations(14)
+		conservative := classic
+		conservative.Overrun = ringsched.OverrunPerStation
+		okClassic, err := classic.Schedulable(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		okConservative, err := conservative.Schedulable(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if okConservative && !okClassic {
+			t.Fatalf("trial %d: conservative budget admitted a set the paper's rejects (bw=%g)", trial, bw)
+		}
+	}
+}
+
+// TestBreakdownUtilizationInUnitInterval verifies the engine never reports
+// a breakdown utilization outside (0, 1] for feasible workloads: the
+// medium cannot carry more than itself.
+func TestBreakdownUtilizationInUnitInterval(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized sweep skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(31))
+	gen := ringsched.Generator{Streams: 10, MeanPeriod: 100e-3, PeriodRatio: 10}
+	for trial := 0; trial < 10; trial++ {
+		set, err := gen.Draw(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bw := range []float64{4e6, 100e6} {
+			mod := ringsched.NewModifiedPDP(bw)
+			mod.Net = mod.Net.WithStations(10)
+			ttp := ringsched.NewTTP(bw)
+			ttp.Net = ttp.Net.WithStations(10)
+			for _, a := range []ringsched.Analyzer{mod, ttp} {
+				sat, err := ringsched.Saturate(set, a, bw, ringsched.SaturateOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sat.Feasible {
+					continue
+				}
+				if sat.Utilization <= 0 || sat.Utilization > 1+1e-9 {
+					t.Errorf("trial %d %s at %g: breakdown utilization %v outside (0,1]",
+						trial, a.Name(), bw, sat.Utilization)
+				}
+			}
+		}
+	}
+}
+
+// TestAllThreeSimulatorsAgreeAtLowLoad runs the same light workload
+// through PDPSim, the reservation MAC, and TTPSim: none may miss a
+// deadline, and each must account for the full horizon (occupancy
+// components plus idle sum to 1).
+func TestAllThreeSimulatorsAgreeAtLowLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep skipped in -short mode")
+	}
+	const (
+		n  = 8
+		bw = 16e6
+	)
+	preset, err := ringsched.PresetByName("avionics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := preset.Set.ScaleToUtilization(0.25, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := ringsched.NewWorkload(set, n, ringsched.PhasingSynchronized, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	checkResult := func(name string, res ringsched.SimResult) {
+		if res.DeadlineMisses != 0 {
+			t.Errorf("%s: %d misses at 25%% load", name, res.DeadlineMisses)
+		}
+		total := res.SyncTime + res.AsyncTime + res.TokenTime + res.RecoveryTime + res.IdleTime
+		if diff := total/res.Horizon - 1; diff > 0.02 || diff < -0.02 {
+			t.Errorf("%s: occupancy components sum to %.4f of horizon", name, total/res.Horizon)
+		}
+		for _, s := range res.Stations {
+			if s.MaxQueue > 1 {
+				t.Errorf("%s: station %d backlog %d at light load", name, s.Station, s.MaxQueue)
+			}
+		}
+	}
+
+	pdp := ringsched.NewModifiedPDP(bw)
+	pdp.Net = pdp.Net.WithStations(n)
+	resPDP, err := (ringsched.PDPSimulation{
+		Net: pdp.Net, Frame: pdp.Frame, Variant: ringsched.Modified8025,
+		Workload: w, Horizon: 2,
+	}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult("PDPSim", resPDP)
+
+	resMAC, err := (ringsched.ReservationSimulation{
+		Net: pdp.Net, Frame: pdp.Frame, Workload: w, PriorityLevels: 8, Horizon: 2,
+	}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult("ReservationSim", resMAC.Result)
+
+	ttp := ringsched.NewTTP(bw)
+	ttp.Net = ttp.Net.WithStations(n)
+	simT, err := ringsched.NewTTPSimulation(ttp, set, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simT.Horizon = 2
+	resTTP, err := simT.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult("TTPSim", resTTP)
+}

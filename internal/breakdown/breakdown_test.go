@@ -1,0 +1,218 @@
+package breakdown
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ringsched/internal/core"
+	"ringsched/internal/message"
+)
+
+// capAnalyzer is a toy analyzer with an exactly known saturation point:
+// schedulable iff total payload rate ≤ Cap bits/second.
+type capAnalyzer struct {
+	Cap float64
+}
+
+func (capAnalyzer) Name() string { return "cap" }
+
+func (c capAnalyzer) Schedulable(m message.Set) (bool, error) {
+	if err := m.Validate(); err != nil {
+		return false, err
+	}
+	return m.TotalBitsPerSecond() <= c.Cap, nil
+}
+
+// errAnalyzer always fails, to exercise error propagation.
+type errAnalyzer struct{ err error }
+
+func (errAnalyzer) Name() string { return "err" }
+
+func (e errAnalyzer) Schedulable(message.Set) (bool, error) { return false, e.err }
+
+func twoStreams() message.Set {
+	return message.Set{
+		{Period: 10e-3, LengthBits: 1000}, // 100 kbit/s
+		{Period: 20e-3, LengthBits: 3000}, // 150 kbit/s
+	}
+}
+
+func TestSaturateFindsExactThreshold(t *testing.T) {
+	// Total rate 250 kbit/s; cap 1 Mbit/s ⇒ saturation scale = 4.
+	set := twoStreams()
+	sat, err := Saturate(set, capAnalyzer{Cap: 1e6}, 1e6, SaturateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sat.Feasible {
+		t.Fatal("feasible set reported infeasible")
+	}
+	if math.Abs(sat.Scale-4) > 4*1e-5 {
+		t.Errorf("Scale = %v, want 4", sat.Scale)
+	}
+	// Breakdown utilization = 1 Mbit/s over 1 Mbps = 1.0.
+	if math.Abs(sat.Utilization-1.0) > 1e-4 {
+		t.Errorf("Utilization = %v, want 1.0", sat.Utilization)
+	}
+	// The saturated set must still be schedulable.
+	ok, err := (capAnalyzer{Cap: 1e6}).Schedulable(sat.Set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("saturated set not schedulable")
+	}
+	// ... and a slightly inflated one must not be.
+	ok, err = (capAnalyzer{Cap: 1e6}).Schedulable(sat.Set.Scale(1.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("inflated saturated set still schedulable")
+	}
+}
+
+func TestSaturateBracketsFromBelow(t *testing.T) {
+	// Start unschedulable (scale 1 over cap) and shrink to bracket.
+	set := twoStreams() // 250 kbit/s
+	sat, err := Saturate(set, capAnalyzer{Cap: 1e3}, 1e6, SaturateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sat.Feasible {
+		t.Fatal("feasible set reported infeasible")
+	}
+	if math.Abs(sat.Scale-1e3/250e3) > 1e-7 {
+		t.Errorf("Scale = %v, want 0.004", sat.Scale)
+	}
+}
+
+func TestSaturateInfeasible(t *testing.T) {
+	// An analyzer that never admits anything.
+	sat, err := Saturate(twoStreams(), capAnalyzer{Cap: -1}, 1e6, SaturateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat.Feasible {
+		t.Fatal("infeasible workload reported feasible")
+	}
+	if sat.Utilization != 0 {
+		t.Errorf("infeasible utilization = %v, want 0", sat.Utilization)
+	}
+}
+
+func TestSaturatePropagatesErrors(t *testing.T) {
+	wantErr := errors.New("boom")
+	if _, err := Saturate(twoStreams(), errAnalyzer{err: wantErr}, 1e6, SaturateOptions{}); !errors.Is(err, wantErr) {
+		t.Errorf("err = %v, want boom", err)
+	}
+	if _, err := Saturate(nil, capAnalyzer{Cap: 1}, 1e6, SaturateOptions{}); err == nil {
+		t.Error("nil set accepted")
+	}
+}
+
+func TestSaturateRespectsTolerance(t *testing.T) {
+	set := twoStreams()
+	loose, err := Saturate(set, capAnalyzer{Cap: 1e6}, 1e6, SaturateOptions{RelTol: 1e-2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Saturate(set, capAnalyzer{Cap: 1e6}, 1e6, SaturateOptions{RelTol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tight.Scale-4) > math.Abs(loose.Scale-4) {
+		t.Errorf("tighter tolerance gave worse scale: %v vs %v", tight.Scale, loose.Scale)
+	}
+	if math.Abs(tight.Scale-4) > 4e-8 {
+		t.Errorf("tight scale = %v, want 4 within 1e-8 relative", tight.Scale)
+	}
+}
+
+func TestCheckMonotone(t *testing.T) {
+	scales := []float64{0.1, 0.5, 1, 2, 4, 8}
+	if err := CheckMonotone(twoStreams(), capAnalyzer{Cap: 1e6}, scales); err != nil {
+		t.Errorf("monotone analyzer flagged: %v", err)
+	}
+	// A deliberately non-monotone analyzer must be caught.
+	bad := nonMonotone{}
+	if err := CheckMonotone(twoStreams(), bad, scales); !errors.Is(err, ErrNotMonotone) {
+		t.Errorf("err = %v, want ErrNotMonotone", err)
+	}
+}
+
+// nonMonotone admits only a band of rates.
+type nonMonotone struct{}
+
+func (nonMonotone) Name() string { return "band" }
+
+func (nonMonotone) Schedulable(m message.Set) (bool, error) {
+	r := m.TotalBitsPerSecond()
+	return r > 400e3 && r < 800e3, nil
+}
+
+func TestRealAnalyzersAreMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	gen := message.Generator{Streams: 10, MeanPeriod: 100e-3, PeriodRatio: 10}
+	scales := []float64{1e-3, 0.01, 0.1, 0.3, 1, 3, 10, 100}
+	for trial := 0; trial < 5; trial++ {
+		set, err := gen.Draw(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bw := range []float64{4e6, 100e6} {
+			pdpS := core.NewStandardPDP(bw)
+			pdpS.Net = pdpS.Net.WithStations(10)
+			pdpM := core.NewModifiedPDP(bw)
+			pdpM.Net = pdpM.Net.WithStations(10)
+			ttp := core.NewTTP(bw)
+			ttp.Net = ttp.Net.WithStations(10)
+			for _, a := range []core.Analyzer{pdpS, pdpM, ttp} {
+				if err := CheckMonotone(set, a, scales); err != nil {
+					t.Errorf("%s at %g bps: %v", a.Name(), bw, err)
+				}
+			}
+		}
+	}
+}
+
+func TestSaturatedSetsSitOnTheBoundary(t *testing.T) {
+	// For the real analyzers: the saturated set is schedulable and a 0.1 %
+	// inflation is not — the definition of the saturated class.
+	rng := rand.New(rand.NewSource(31))
+	gen := message.Generator{Streams: 10, MeanPeriod: 100e-3, PeriodRatio: 10}
+	set, err := gen.Draw(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bw = 16e6
+	pdp := core.NewModifiedPDP(bw)
+	pdp.Net = pdp.Net.WithStations(10)
+	ttp := core.NewTTP(bw)
+	ttp.Net = ttp.Net.WithStations(10)
+	for _, a := range []core.Analyzer{pdp, ttp} {
+		sat, err := Saturate(set, a, bw, SaturateOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sat.Feasible {
+			t.Fatalf("%s: infeasible", a.Name())
+		}
+		ok, err := a.Schedulable(sat.Set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("%s: saturated set not schedulable", a.Name())
+		}
+		ok, err = a.Schedulable(sat.Set.Scale(1.001))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Errorf("%s: inflated set still schedulable", a.Name())
+		}
+	}
+}

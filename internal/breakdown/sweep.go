@@ -1,0 +1,101 @@
+package breakdown
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"ringsched/internal/core"
+)
+
+// AnalyzerFactory builds an analyzer for one plant bandwidth; bandwidth
+// sweeps (Figure 1) hold everything else constant.
+type AnalyzerFactory func(bandwidthBPS float64) core.Analyzer
+
+// Point is one (bandwidth, estimate) pair of a sweep.
+type Point struct {
+	BandwidthBPS float64
+	Estimate     Estimate
+}
+
+// Series is a named breakdown-utilization curve over bandwidth — one line
+// of Figure 1.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Sweep estimates the average breakdown utilization at each bandwidth.
+func (e Estimator) Sweep(name string, factory AnalyzerFactory, bandwidthsBPS []float64) (Series, error) {
+	s := Series{Name: name, Points: make([]Point, 0, len(bandwidthsBPS))}
+	for _, bw := range bandwidthsBPS {
+		est, err := e.Estimate(factory(bw), bw)
+		if err != nil {
+			return Series{}, fmt.Errorf("sweep %s at %.3g bps: %w", name, bw, err)
+		}
+		s.Points = append(s.Points, Point{BandwidthBPS: bw, Estimate: est})
+	}
+	return s, nil
+}
+
+// PaperBandwidths returns the Figure 1 sweep grid: 1 Mbps to 1 Gbps,
+// log-spaced with pointsPerDecade samples per decade (endpoints included).
+func PaperBandwidths(pointsPerDecade int) []float64 {
+	if pointsPerDecade <= 0 {
+		pointsPerDecade = 3
+	}
+	var out []float64
+	const decades = 3 // 1e6 .. 1e9
+	total := decades * pointsPerDecade
+	for i := 0; i <= total; i++ {
+		out = append(out, math.Pow(10, 6+3*float64(i)/float64(total)))
+	}
+	return out
+}
+
+// FormatDistributionTable renders, for each series, the spread of
+// per-set breakdown utilizations (P10 / median / P90) alongside the mean —
+// the planners' view: 90 % of workloads break down above the P10 column.
+func FormatDistributionTable(series []Series) string {
+	if len(series) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12s", "BW (Mbps)")
+	for _, s := range series {
+		fmt.Fprintf(&b, " %32s", s.Name+" mean/p10/p50/p90")
+	}
+	b.WriteByte('\n')
+	for i := range series[0].Points {
+		fmt.Fprintf(&b, "%12.3f", series[0].Points[i].BandwidthBPS/1e6)
+		for _, s := range series {
+			e := s.Points[i].Estimate
+			fmt.Fprintf(&b, "    %7.4f %7.4f %7.4f %7.4f", e.Mean, e.P10, e.Median, e.P90)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatTable renders series as a fixed-width table: one row per bandwidth,
+// one column per series — the tabular form of Figure 1.
+func FormatTable(series []Series) string {
+	if len(series) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12s", "BW (Mbps)")
+	for _, s := range series {
+		fmt.Fprintf(&b, " %22s", s.Name)
+	}
+	b.WriteByte('\n')
+	for i := range series[0].Points {
+		fmt.Fprintf(&b, "%12.3f", series[0].Points[i].BandwidthBPS/1e6)
+		for _, s := range series {
+			p := s.Points[i]
+			fmt.Fprintf(&b, " %14.4f ±%.4f", p.Estimate.Mean, p.Estimate.CI95)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ringsched/internal/frame"
+	"ringsched/internal/message"
+	"ringsched/internal/ring"
+)
+
+func TestPDPValidate(t *testing.T) {
+	p := NewStandardPDP(4e6)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("paper PDP invalid: %v", err)
+	}
+	p.Variant = Variant(99)
+	if err := p.Validate(); err == nil {
+		t.Error("bad variant accepted")
+	}
+	p = NewStandardPDP(4e6)
+	p.Frame.InfoBits = 0
+	if err := p.Validate(); err == nil {
+		t.Error("bad frame accepted")
+	}
+	p = NewStandardPDP(0)
+	if err := p.Validate(); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if Standard8025.String() != "IEEE 802.5" || Modified8025.String() != "Modified 802.5" {
+		t.Error("variant names wrong")
+	}
+	if Variant(42).String() == "" {
+		t.Error("unknown variant should stringify")
+	}
+}
+
+func TestBlockingIsTwiceMaxFTheta(t *testing.T) {
+	// Low bandwidth: F > Θ, so B = 2F. High bandwidth: Θ > F, so B = 2Θ.
+	low := NewStandardPDP(1e6)
+	f := low.Frame.Time(1e6)
+	if f <= low.Net.Theta() {
+		t.Fatalf("setup: expected F > Θ at 1 Mbps (F=%v Θ=%v)", f, low.Net.Theta())
+	}
+	if got := low.Blocking(); got != 2*f {
+		t.Errorf("Blocking = %v, want 2F = %v", got, 2*f)
+	}
+	high := NewStandardPDP(1e9)
+	theta := high.Net.Theta()
+	if high.Frame.Time(1e9) >= theta {
+		t.Fatalf("setup: expected Θ > F at 1 Gbps")
+	}
+	if got := high.Blocking(); got != 2*theta {
+		t.Errorf("Blocking = %v, want 2Θ = %v", got, 2*theta)
+	}
+}
+
+// handAugmented recomputes C' from the paper's formulas directly.
+func handAugmented(p PDP, s message.Stream) float64 {
+	bw := p.Net.BandwidthBPS
+	theta := p.Net.Theta()
+	fTime := p.Frame.Time(bw)
+	l := math.Floor(s.LengthBits / p.Frame.InfoBits)
+	k := math.Ceil(s.LengthBits / p.Frame.InfoBits)
+	if k == 0 {
+		k = 1
+	}
+	token := theta / 2
+	if p.Variant == Standard8025 {
+		token = k * theta / 2
+	}
+	if fTime <= theta {
+		return k*theta + token
+	}
+	c := s.LengthBits / bw
+	last := math.Max(c-l*p.Frame.InfoBits/bw+p.Frame.OvhdBits/bw, theta)
+	return l*fTime + token + (k-l)*last
+}
+
+func TestAugmentedLengthMatchesPaperFormulas(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, bw := range []float64{1e6, 4e6, 16e6, 100e6, 1e9} {
+		for _, variant := range []Variant{Standard8025, Modified8025} {
+			p := NewStandardPDP(bw)
+			p.Variant = variant
+			for trial := 0; trial < 50; trial++ {
+				s := message.Stream{
+					Period:     10e-3,
+					LengthBits: 1 + rng.Float64()*20000,
+				}
+				got := p.AugmentedLength(s)
+				want := handAugmented(p, s)
+				if math.Abs(got-want) > 1e-15 {
+					t.Fatalf("%v@%g: AugmentedLength(%v bits) = %v, want %v",
+						variant, bw, s.LengthBits, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAugmentedLengthCases(t *testing.T) {
+	// At 4 Mbps: Θ = 44.47us(prop) + 424/4 = 150.47us; F = 156us > Θ.
+	p := NewStandardPDP(4e6)
+	theta := p.Net.Theta()
+	fTime := p.Frame.Time(4e6)
+	if fTime <= theta {
+		t.Fatalf("setup: F=%v should exceed Θ=%v at 4 Mbps", fTime, theta)
+	}
+
+	// Exactly 2 full frames: standard C' = 2F + 2·Θ/2.
+	s := message.Stream{Period: 10e-3, LengthBits: 1024}
+	if got, want := p.AugmentedLength(s), 2*fTime+theta; math.Abs(got-want) > 1e-15 {
+		t.Errorf("standard 2 full frames: %v, want %v", got, want)
+	}
+
+	// Modified pays Θ/2 once.
+	pm := p
+	pm.Variant = Modified8025
+	if got, want := pm.AugmentedLength(s), 2*fTime+theta/2; math.Abs(got-want) > 1e-15 {
+		t.Errorf("modified 2 full frames: %v, want %v", got, want)
+	}
+
+	// Tiny message: one short frame whose wire time is below Θ, so the
+	// effective time is Θ (header must return), plus Θ/2 token overhead.
+	tiny := message.Stream{Period: 10e-3, LengthBits: 8}
+	if got, want := p.AugmentedLength(tiny), theta+theta/2; math.Abs(got-want) > 1e-15 {
+		t.Errorf("tiny standard: %v, want %v", got, want)
+	}
+
+	// High bandwidth (F ≤ Θ): every frame costs Θ.
+	ph := NewStandardPDP(1e9)
+	thetaH := ph.Net.Theta()
+	s3 := message.Stream{Period: 10e-3, LengthBits: 3 * 512}
+	if got, want := ph.AugmentedLength(s3), 3*thetaH+3*thetaH/2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("high-bw standard 3 frames: %v, want %v", got, want)
+	}
+	phm := ph
+	phm.Variant = Modified8025
+	if got, want := phm.AugmentedLength(s3), 3*thetaH+thetaH/2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("high-bw modified 3 frames: %v, want %v", got, want)
+	}
+}
+
+func TestModifiedNeverCostsMore(t *testing.T) {
+	// For any stream and bandwidth, the modified variant's C' is at most
+	// the standard's (they differ only in token overhead, K·Θ/2 vs Θ/2).
+	f := func(bits uint16, bwSel uint8) bool {
+		bw := []float64{1e6, 4e6, 16e6, 100e6, 622e6}[int(bwSel)%5]
+		s := message.Stream{Period: 10e-3, LengthBits: float64(bits) + 1}
+		std := NewStandardPDP(bw)
+		mod := NewModifiedPDP(bw)
+		return mod.AugmentedLength(s) <= std.AugmentedLength(s)+1e-18
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAugmentedLengthMonotoneInLength(t *testing.T) {
+	for _, bw := range []float64{1e6, 4e6, 100e6} {
+		for _, variant := range []Variant{Standard8025, Modified8025} {
+			p := NewStandardPDP(bw)
+			p.Variant = variant
+			prev := 0.0
+			for bits := 1.0; bits < 5000; bits += 7 {
+				got := p.AugmentedLength(message.Stream{Period: 1, LengthBits: bits})
+				if got < prev-1e-15 {
+					t.Fatalf("%v@%g: C' decreased at %v bits: %v < %v", variant, bw, bits, got, prev)
+				}
+				prev = got
+			}
+		}
+	}
+}
+
+func TestAugmentedLengthBoundsProperty(t *testing.T) {
+	// For any payload and bandwidth: the augmented length covers at least
+	// the payload's wire time and never exceeds K frames each paying the
+	// worst per-frame effective cost plus the standard token overhead.
+	f := func(bitsRaw uint32, bwSel uint8) bool {
+		bits := float64(bitsRaw%200_000) + 1
+		bw := []float64{1e6, 4e6, 16e6, 100e6, 1e9}[int(bwSel)%5]
+		for _, variant := range []Variant{Standard8025, Modified8025} {
+			p := NewStandardPDP(bw)
+			p.Variant = variant
+			s := message.Stream{Period: 1, LengthBits: bits}
+			cAug := p.AugmentedLength(s)
+			if cAug < s.Length(bw) {
+				return false
+			}
+			_, k := p.Frame.Split(bits)
+			theta := p.Net.Theta()
+			perFrame := math.Max(p.Frame.Time(bw), theta)
+			if cAug > float64(k)*(perFrame+theta/2)+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockingNonNegativeProperty(t *testing.T) {
+	f := func(bwRaw uint32) bool {
+		bw := 1e6 + float64(bwRaw%1_000_000_0)*100
+		p := NewStandardPDP(bw)
+		b := p.Blocking()
+		return b >= 2*p.Net.Theta()-1e-18 || b >= 2*p.Frame.Time(bw)-1e-18
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPDPSchedulableMonotoneInScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	gen := message.Generator{Streams: 12, MeanPeriod: 100e-3, PeriodRatio: 10}
+	set, err := gen.Draw(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, variant := range []Variant{Standard8025, Modified8025} {
+		p := NewStandardPDP(16e6)
+		p.Net = p.Net.WithStations(12)
+		p.Variant = variant
+		wasSchedulable := false
+		for _, scale := range []float64{10, 3, 1, 0.3, 0.1, 0.03, 0.01, 0.003} {
+			ok, err := p.Schedulable(set.Scale(scale))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wasSchedulable && !ok {
+				t.Fatalf("%v: schedulability not monotone at scale %v", variant, scale)
+			}
+			if ok {
+				wasSchedulable = true
+			}
+		}
+		if !wasSchedulable {
+			t.Fatalf("%v: set never schedulable, test vacuous", variant)
+		}
+	}
+}
+
+func TestPDPReportConsistency(t *testing.T) {
+	set := message.Set{
+		{Name: "x", Period: 20e-3, LengthBits: 4000},
+		{Name: "y", Period: 60e-3, LengthBits: 9000},
+		{Name: "z", Period: 40e-3, LengthBits: 1000},
+	}
+	p := NewModifiedPDP(16e6)
+	p.Net = p.Net.WithStations(3)
+	rep, err := p.Report(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Streams) != 3 {
+		t.Fatalf("report has %d streams, want 3", len(rep.Streams))
+	}
+	// Streams must be in RM order.
+	if rep.Streams[0].Stream.Name != "x" || rep.Streams[1].Stream.Name != "z" {
+		t.Errorf("report not RM-ordered: %v, %v", rep.Streams[0].Stream.Name, rep.Streams[1].Stream.Name)
+	}
+	// Schedulable iff every stream is.
+	all := true
+	for _, s := range rep.Streams {
+		if s.AugmentedLength < s.Stream.Length(16e6) {
+			t.Errorf("C' %v below payload time %v", s.AugmentedLength, s.Stream.Length(16e6))
+		}
+		if s.ResponseTime < s.AugmentedLength {
+			t.Errorf("response %v below C' %v", s.ResponseTime, s.AugmentedLength)
+		}
+		all = all && s.Schedulable
+	}
+	if rep.Schedulable != all {
+		t.Errorf("Schedulable=%v inconsistent with streams", rep.Schedulable)
+	}
+	if rep.AugmentedUtilization <= rep.Utilization {
+		t.Errorf("augmented utilization %v should exceed payload utilization %v",
+			rep.AugmentedUtilization, rep.Utilization)
+	}
+}
+
+func TestPDPSchedulableErrors(t *testing.T) {
+	p := NewStandardPDP(4e6)
+	if _, err := p.Schedulable(nil); err == nil {
+		t.Error("nil set accepted")
+	}
+	if _, err := p.Schedulable(message.Set{{Period: -1, LengthBits: 1}}); err == nil {
+		t.Error("invalid stream accepted")
+	}
+}
+
+func TestPDPKnownSchedulableSet(t *testing.T) {
+	// One small stream on an otherwise idle 16 Mbps ring is trivially
+	// guaranteed; an absurdly overloaded one is not.
+	p := NewModifiedPDP(16e6)
+	ok, err := p.Schedulable(message.Set{{Period: 100e-3, LengthBits: 512}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("single tiny stream should be schedulable")
+	}
+	ok, err = p.Schedulable(message.Set{{Period: 1e-3, LengthBits: 1e6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("62-ms message with 1-ms deadline reported schedulable")
+	}
+}
+
+func TestPDPNameAndConstructors(t *testing.T) {
+	if NewStandardPDP(4e6).Name() != "IEEE 802.5" {
+		t.Error("standard name")
+	}
+	if NewModifiedPDP(4e6).Name() != "Modified 802.5" {
+		t.Error("modified name")
+	}
+	if NewStandardPDP(4e6).Net != ring.IEEE8025(4e6) {
+		t.Error("standard plant not the paper's 802.5 plant")
+	}
+	if NewStandardPDP(4e6).Frame != frame.PaperSpec() {
+		t.Error("frame not the paper's spec")
+	}
+}
+
+func TestPDPTasksOrderAndCosts(t *testing.T) {
+	set := message.Set{
+		{Period: 50e-3, LengthBits: 1000},
+		{Period: 10e-3, LengthBits: 600},
+	}
+	p := NewStandardPDP(16e6)
+	tasks := p.Tasks(set)
+	if tasks[0].Period != 10e-3 || tasks[1].Period != 50e-3 {
+		t.Fatalf("tasks not RM ordered: %+v", tasks)
+	}
+	if tasks[0].Cost != p.AugmentedLength(set[1]) {
+		t.Error("task cost is not the augmented length")
+	}
+}

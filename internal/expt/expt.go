@@ -1,0 +1,122 @@
+// Package expt defines the reproduction experiments: one entry per figure,
+// table, and quantitative claim of the paper's evaluation (see DESIGN.md's
+// experiment index), plus the ablations the paper mentions running but
+// omits for space. The command-line tools and the benchmark harness both
+// drive experiments through this package, so the printed rows are identical
+// everywhere.
+package expt
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrUnknownExperiment is returned by ByID for unregistered IDs.
+var ErrUnknownExperiment = errors.New("expt: unknown experiment id")
+
+// Config scales every experiment's cost. The zero value takes defaults
+// suitable for regenerating the paper's numbers in a few minutes.
+type Config struct {
+	// Samples is the Monte Carlo sample count per estimate (default 100).
+	Samples int
+	// Seed makes runs reproducible (default 1993, the paper's year).
+	Seed int64
+	// PointsPerDecade sets the bandwidth grid density for sweeps
+	// (default 3).
+	PointsPerDecade int
+	// Quick trims grids and sample counts for use in -short tests.
+	Quick bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Samples <= 0 {
+		c.Samples = 100
+	}
+	if c.Seed == 0 {
+		c.Seed = 1993
+	}
+	if c.PointsPerDecade <= 0 {
+		c.PointsPerDecade = 3
+	}
+	if c.Quick {
+		if c.Samples > 25 {
+			c.Samples = 25
+		}
+		if c.PointsPerDecade > 2 {
+			c.PointsPerDecade = 2
+		}
+	}
+	return c
+}
+
+// Report is one experiment's outcome.
+type Report struct {
+	// ID and Title echo the experiment.
+	ID, Title string
+	// Text is the formatted human-readable result (tables, plots).
+	Text string
+	// Values holds headline scalar results keyed by a stable name, so
+	// benchmarks can report them as metrics and tests can assert on them.
+	Values map[string]float64
+	// Pass is false when the experiment's acceptance check (the paper's
+	// qualitative claim) did not hold.
+	Pass bool
+	// Notes lists qualitative observations, including any failures.
+	Notes []string
+}
+
+func (r *Report) addValue(key string, v float64) {
+	if r.Values == nil {
+		r.Values = map[string]float64{}
+	}
+	r.Values[key] = v
+}
+
+func (r *Report) notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Experiment is a named, runnable reproduction unit.
+type Experiment struct {
+	// ID is the index key from DESIGN.md (e.g. "FIG1").
+	ID string
+	// Title summarizes what the paper reports.
+	Title string
+	// Run executes the experiment.
+	Run func(Config) (Report, error)
+}
+
+// All returns every experiment, sorted by ID. The registry is rebuilt on
+// each call (experiments are cheap descriptors; only Run costs anything).
+func All() []Experiment {
+	out := []Experiment{
+		fig1Experiment(),
+		claimLowBandwidth(),
+		claimHighBandwidth(),
+		claimModifiedDominates(),
+		claimTTRTSelection(),
+		claimMinimumBreakdownTTP(),
+		baselineIdealRM(),
+		ablationPeriods(),
+		ablationFrameSize(),
+		ablationStations(),
+		ablationAllocationSchemes(),
+		validateSimulation(),
+		extensionFaultTolerance(),
+		extensionPriorityLevels(),
+		extensionPhasing(),
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks up one experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("%w: %q", ErrUnknownExperiment, id)
+}

@@ -1,0 +1,177 @@
+package expt
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ringsched/internal/breakdown"
+)
+
+// seriesOf builds a breakdown.Series from raw means for helper tests.
+func seriesOf(name string, bws, means []float64) breakdown.Series {
+	s := breakdown.Series{Name: name}
+	for i := range bws {
+		s.Points = append(s.Points, breakdown.Point{
+			BandwidthBPS: bws[i],
+			Estimate:     breakdown.Estimate{Mean: means[i]},
+		})
+	}
+	return s
+}
+
+func isNaN(x float64) bool { return math.IsNaN(x) }
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"ABL-ALLOC", "ABL-FRAME", "ABL-N", "ABL-PERIOD",
+		"BASE-RM88", "CLAIM-33PCT", "CLAIM-HIGHBW", "CLAIM-LOWBW",
+		"CLAIM-MOD", "CLAIM-TTRT", "EXT-FAULT", "EXT-PHASE", "EXT-PRIO", "FIG1", "VAL-SIM",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d = %q, want %q (sorted)", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("%s: missing title or runner", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("FIG1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != "FIG1" {
+		t.Errorf("ByID returned %q", e.ID)
+	}
+	if _, err := ByID("NOPE"); !errors.Is(err, ErrUnknownExperiment) {
+		t.Errorf("unknown id: %v, want ErrUnknownExperiment", err)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Samples != 100 || cfg.Seed != 1993 || cfg.PointsPerDecade != 3 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	quick := Config{Quick: true, Samples: 500, PointsPerDecade: 5}.withDefaults()
+	if quick.Samples > 25 || quick.PointsPerDecade > 2 {
+		t.Errorf("quick config not trimmed: %+v", quick)
+	}
+	keep := Config{Samples: 7, Seed: 3, PointsPerDecade: 1}.withDefaults()
+	if keep.Samples != 7 || keep.Seed != 3 || keep.PointsPerDecade != 1 {
+		t.Errorf("explicit config overridden: %+v", keep)
+	}
+}
+
+func TestReportHelpers(t *testing.T) {
+	var r Report
+	r.addValue("k", 1.5)
+	if r.Values["k"] != 1.5 {
+		t.Error("addValue")
+	}
+	r.notef("x=%d", 3)
+	if len(r.Notes) != 1 || r.Notes[0] != "x=3" {
+		t.Errorf("notef: %v", r.Notes)
+	}
+}
+
+// TestClaimExperimentsQuick runs the cheap analytic experiments end to end
+// in quick mode; the full suite runs via the benchmark harness.
+func TestClaimExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments skipped in -short mode")
+	}
+	cfg := Config{Quick: true, Samples: 15}
+	for _, id := range []string{"CLAIM-33PCT", "CLAIM-TTRT", "BASE-RM88"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			e, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := e.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Pass {
+				t.Errorf("%s did not reproduce the claim: %v", id, rep.Notes)
+			}
+			if rep.Text == "" {
+				t.Errorf("%s produced no table", id)
+			}
+		})
+	}
+}
+
+func TestFig1Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments skipped in -short mode")
+	}
+	e, err := ByID("FIG1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run(Config{Quick: true, Samples: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Errorf("FIG1 shape checks failed: %v", rep.Notes)
+	}
+	for _, key := range []string{"crossover_bw_mbps", "modified_peak_util", "fddi_at_1gbps"} {
+		if _, ok := rep.Values[key]; !ok {
+			t.Errorf("FIG1 missing value %q", key)
+		}
+	}
+}
+
+func TestValSimQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments skipped in -short mode")
+	}
+	e, err := ByID("VAL-SIM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Errorf("VAL-SIM failed: %v", rep.Notes)
+	}
+	if rep.Values["total_misses"] != 0 {
+		t.Errorf("total misses = %v, want 0", rep.Values["total_misses"])
+	}
+}
+
+func TestCrossoverBandwidth(t *testing.T) {
+	a := seriesOf("a", []float64{1e6, 1e7, 1e8}, []float64{0.5, 0.4, 0.1})
+	b := seriesOf("b", []float64{1e6, 1e7, 1e8}, []float64{0.1, 0.4, 0.8})
+	cross := crossoverBandwidth(a, b)
+	if cross < 1e6 || cross > 1e8 {
+		t.Errorf("crossover = %v, want inside the grid", cross)
+	}
+	// No crossover when a always leads.
+	c := seriesOf("c", []float64{1e6, 1e7}, []float64{0.9, 0.9})
+	d := seriesOf("d", []float64{1e6, 1e7}, []float64{0.1, 0.2})
+	if got := crossoverBandwidth(c, d); !isNaN(got) {
+		t.Errorf("crossover = %v, want NaN", got)
+	}
+}
+
+func TestPeak(t *testing.T) {
+	s := seriesOf("s", []float64{1, 2, 3}, []float64{0.2, 0.9, 0.5})
+	bw, mean := peak(s)
+	if bw != 2 || mean != 0.9 {
+		t.Errorf("peak = (%v, %v), want (2, 0.9)", bw, mean)
+	}
+}

@@ -1,0 +1,113 @@
+package frame
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	if err := PaperSpec().Validate(); err != nil {
+		t.Errorf("PaperSpec invalid: %v", err)
+	}
+	if err := (Spec{InfoBits: 0, OvhdBits: 1}).Validate(); !errors.Is(err, ErrBadInfoBits) {
+		t.Errorf("zero info: %v, want ErrBadInfoBits", err)
+	}
+	if err := (Spec{InfoBits: 8, OvhdBits: -1}).Validate(); !errors.Is(err, ErrBadOvhdBits) {
+		t.Errorf("negative ovhd: %v, want ErrBadOvhdBits", err)
+	}
+	if err := (Spec{InfoBits: 8, OvhdBits: 0}).Validate(); err != nil {
+		t.Errorf("zero overhead should be legal: %v", err)
+	}
+}
+
+func TestPaperConstants(t *testing.T) {
+	s := PaperSpec()
+	if s.InfoBits != 512 || s.OvhdBits != 112 {
+		t.Fatalf("PaperSpec = %+v, want 512/112", s)
+	}
+	if s.TotalBits() != 624 {
+		t.Errorf("TotalBits = %v, want 624", s.TotalBits())
+	}
+	if got := s.Time(1e6); math.Abs(got-624e-6) > 1e-18 {
+		t.Errorf("Time(1Mbps) = %v, want 624us", got)
+	}
+	if got := s.OverheadFraction(); math.Abs(got-112.0/624.0) > 1e-15 {
+		t.Errorf("OverheadFraction = %v", got)
+	}
+}
+
+func TestSplitExamples(t *testing.T) {
+	s := PaperSpec()
+	tests := []struct {
+		bits       float64
+		wantL      int
+		wantK      int
+		wantLastFr float64
+	}{
+		{1, 0, 1, 1},        // tiny message: one short frame
+		{512, 1, 1, 512},    // exactly one full frame
+		{513, 1, 2, 1},      // one full + one 1-bit frame
+		{1024, 2, 2, 512},   // two full frames
+		{1300, 2, 3, 276},   // two full + remainder
+		{5120, 10, 10, 512}, // ten full frames
+	}
+	for _, tt := range tests {
+		l, k := s.Split(tt.bits)
+		if l != tt.wantL || k != tt.wantK {
+			t.Errorf("Split(%v) = (%d,%d), want (%d,%d)", tt.bits, l, k, tt.wantL, tt.wantK)
+		}
+		if got := s.LastFrameBits(tt.bits); math.Abs(got-tt.wantLastFr) > 1e-9 {
+			t.Errorf("LastFrameBits(%v) = %v, want %v", tt.bits, got, tt.wantLastFr)
+		}
+	}
+}
+
+func TestSplitProperties(t *testing.T) {
+	s := PaperSpec()
+	f := func(raw uint32) bool {
+		bits := float64(raw%1_000_000) + 0.5
+		l, k := s.Split(bits)
+		if k < 1 || l < 0 || k < l || k > l+1 {
+			return false
+		}
+		// K frames must cover the payload; L full frames must not exceed it.
+		if float64(k)*s.InfoBits < bits-1e-6 {
+			return false
+		}
+		if float64(l)*s.InfoBits > bits+1e-6 {
+			return false
+		}
+		// Last frame payload in (0, InfoBits].
+		last := s.LastFrameBits(bits)
+		return last > 0 && last <= s.InfoBits+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitZeroLength(t *testing.T) {
+	// Degenerate zero-length messages still occupy one frame slot: the
+	// analyzers rely on K ≥ 1 during saturation scaling.
+	l, k := PaperSpec().Split(0)
+	if l != 0 || k != 1 {
+		t.Errorf("Split(0) = (%d,%d), want (0,1)", l, k)
+	}
+}
+
+func TestTimesScaleWithBandwidth(t *testing.T) {
+	s := PaperSpec()
+	for _, bw := range []float64{1e6, 16e6, 1e9} {
+		if got, want := s.InfoTime(bw), 512/bw; got != want {
+			t.Errorf("InfoTime(%v) = %v, want %v", bw, got, want)
+		}
+		if got, want := s.OvhdTime(bw), 112/bw; got != want {
+			t.Errorf("OvhdTime(%v) = %v, want %v", bw, got, want)
+		}
+		if got, want := s.Time(bw), 624/bw; got != want {
+			t.Errorf("Time(%v) = %v, want %v", bw, got, want)
+		}
+	}
+}

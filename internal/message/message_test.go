@@ -1,0 +1,172 @@
+package message
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sampleSet() Set {
+	return Set{
+		{Name: "a", Period: 10e-3, LengthBits: 1000},
+		{Name: "b", Period: 50e-3, LengthBits: 5000},
+		{Name: "c", Period: 20e-3, LengthBits: 400},
+	}
+}
+
+func TestStreamValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		stream Stream
+		want   error
+	}{
+		{"valid", Stream{Period: 1, LengthBits: 1}, nil},
+		{"zero period", Stream{Period: 0, LengthBits: 1}, ErrBadPeriod},
+		{"negative period", Stream{Period: -1, LengthBits: 1}, ErrBadPeriod},
+		{"nan period", Stream{Period: math.NaN(), LengthBits: 1}, ErrBadPeriod},
+		{"inf period", Stream{Period: math.Inf(1), LengthBits: 1}, ErrBadPeriod},
+		{"zero length", Stream{Period: 1, LengthBits: 0}, ErrBadLength},
+		{"negative length", Stream{Period: 1, LengthBits: -5}, ErrBadLength},
+		{"nan length", Stream{Period: 1, LengthBits: math.NaN()}, ErrBadLength},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.stream.Validate()
+			if tt.want == nil {
+				if err != nil {
+					t.Errorf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if !errors.Is(err, tt.want) {
+				t.Errorf("Validate() = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestSetValidate(t *testing.T) {
+	if err := (Set{}).Validate(); !errors.Is(err, ErrEmptySet) {
+		t.Errorf("empty set: Validate() = %v, want ErrEmptySet", err)
+	}
+	if err := sampleSet().Validate(); err != nil {
+		t.Errorf("valid set: Validate() = %v, want nil", err)
+	}
+	bad := sampleSet()
+	bad[1].Period = -1
+	if err := bad.Validate(); !errors.Is(err, ErrBadPeriod) {
+		t.Errorf("Validate() = %v, want ErrBadPeriod", err)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	set := sampleSet()
+	const bw = 1e6
+	want := 1000/1e6/10e-3 + 5000/1e6/50e-3 + 400/1e6/20e-3
+	if got := set.Utilization(bw); math.Abs(got-want) > 1e-15 {
+		t.Errorf("Utilization = %v, want %v", got, want)
+	}
+	// Utilization(bw) and TotalBitsPerSecond()/bw must agree.
+	if got, want := set.Utilization(bw), set.TotalBitsPerSecond()/bw; math.Abs(got-want) > 1e-15 {
+		t.Errorf("Utilization = %v, TotalBitsPerSecond/bw = %v", got, want)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	set := sampleSet()
+	clone := set.Clone()
+	clone[0].LengthBits = 999999
+	if set[0].LengthBits == clone[0].LengthBits {
+		t.Fatal("Clone shares backing storage with the original")
+	}
+}
+
+func TestSortRM(t *testing.T) {
+	sorted := sampleSet().SortRM()
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1].Period > sorted[i].Period {
+			t.Fatalf("SortRM not ascending: %v", sorted)
+		}
+	}
+	if sorted[0].Name != "a" || sorted[1].Name != "c" || sorted[2].Name != "b" {
+		t.Errorf("SortRM order = %v %v %v, want a c b", sorted[0].Name, sorted[1].Name, sorted[2].Name)
+	}
+	// Original untouched.
+	orig := sampleSet()
+	if orig[1].Name != "b" {
+		t.Error("SortRM mutated its receiver")
+	}
+}
+
+func TestSortRMStableOnTies(t *testing.T) {
+	set := Set{
+		{Name: "first", Period: 10e-3, LengthBits: 1},
+		{Name: "second", Period: 10e-3, LengthBits: 2},
+		{Name: "third", Period: 10e-3, LengthBits: 3},
+	}
+	sorted := set.SortRM()
+	for i, want := range []string{"first", "second", "third"} {
+		if sorted[i].Name != want {
+			t.Fatalf("tie order broken at %d: got %q want %q", i, sorted[i].Name, want)
+		}
+	}
+}
+
+func TestScaleProperties(t *testing.T) {
+	f := func(scaleRaw uint8) bool {
+		scale := float64(scaleRaw)/64 + 0.01
+		set := sampleSet()
+		scaled := set.Scale(scale)
+		for i := range set {
+			if scaled[i].Period != set[i].Period {
+				return false
+			}
+			if math.Abs(scaled[i].LengthBits-set[i].LengthBits*scale) > 1e-9 {
+				return false
+			}
+		}
+		// Utilization scales linearly.
+		return math.Abs(scaled.Utilization(1e6)-set.Utilization(1e6)*scale) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaleToUtilization(t *testing.T) {
+	set := sampleSet()
+	got, err := set.ScaleToUtilization(0.42, 1e6)
+	if err != nil {
+		t.Fatalf("ScaleToUtilization: %v", err)
+	}
+	if u := got.Utilization(1e6); math.Abs(u-0.42) > 1e-12 {
+		t.Errorf("resulting utilization = %v, want 0.42", u)
+	}
+	if _, err := set.ScaleToUtilization(0, 1e6); !errors.Is(err, ErrBadUtilization) {
+		t.Errorf("zero target: err = %v, want ErrBadUtilization", err)
+	}
+	if _, err := set.ScaleToUtilization(0.3, 0); !errors.Is(err, ErrBadBandwidth) {
+		t.Errorf("zero bandwidth: err = %v, want ErrBadBandwidth", err)
+	}
+}
+
+func TestMinMaxPeriod(t *testing.T) {
+	set := sampleSet()
+	if got := set.MinPeriod(); got != 10e-3 {
+		t.Errorf("MinPeriod = %v, want 10ms", got)
+	}
+	if got := set.MaxPeriod(); got != 50e-3 {
+		t.Errorf("MaxPeriod = %v, want 50ms", got)
+	}
+}
+
+func TestStreamLengthAndUtilization(t *testing.T) {
+	s := Stream{Period: 20e-3, LengthBits: 4000}
+	if got := s.Length(2e6); got != 2e-3 {
+		t.Errorf("Length = %v, want 2ms", got)
+	}
+	if got := s.Utilization(2e6); math.Abs(got-0.1) > 1e-15 {
+		t.Errorf("Utilization = %v, want 0.1", got)
+	}
+}

@@ -1,0 +1,99 @@
+package message
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnknownPreset is returned by PresetByName for unregistered names.
+var ErrUnknownPreset = errors.New("message: unknown workload preset")
+
+// Preset is a named, documented synchronous workload: a concrete message
+// set representing one of the application domains the paper's protocols
+// were designed for. Presets give the CLIs, examples and tests realistic
+// fixed workloads with stable characteristics.
+type Preset struct {
+	// Name identifies the preset ("avionics", "process-control", ...).
+	Name string
+	// Description says what the workload models.
+	Description string
+	// Set is the message set; periods in seconds, payloads in bits.
+	Set Set
+}
+
+// Presets returns the built-in workload suites.
+func Presets() []Preset {
+	return []Preset{
+		{
+			Name: "avionics",
+			Description: "SAFENET-style mission bus: tight control loops, " +
+				"sensor fusion and datalink traffic for a 4–16 Mbps ring",
+			Set: Set{
+				{Name: "flight-controls", Period: 20e-3, LengthBits: 6_000},
+				{Name: "radar-track", Period: 25e-3, LengthBits: 8_000},
+				{Name: "nav-update", Period: 40e-3, LengthBits: 12_000},
+				{Name: "engine-monitor", Period: 50e-3, LengthBits: 8_000},
+				{Name: "ecm-alerts", Period: 80e-3, LengthBits: 16_000},
+				{Name: "datalink", Period: 100e-3, LengthBits: 48_000},
+				{Name: "mission-log", Period: 200e-3, LengthBits: 96_000},
+				{Name: "maintenance", Period: 400e-3, LengthBits: 64_000},
+			},
+		},
+		{
+			Name: "process-control",
+			Description: "plant automation: many fast small control loops " +
+				"plus slow supervisory and historian traffic",
+			Set: Set{
+				{Name: "loop-1", Period: 5e-3, LengthBits: 512},
+				{Name: "loop-2", Period: 5e-3, LengthBits: 512},
+				{Name: "loop-3", Period: 10e-3, LengthBits: 1_024},
+				{Name: "loop-4", Period: 10e-3, LengthBits: 1_024},
+				{Name: "loop-5", Period: 20e-3, LengthBits: 2_048},
+				{Name: "loop-6", Period: 20e-3, LengthBits: 2_048},
+				{Name: "alarms", Period: 50e-3, LengthBits: 4_096},
+				{Name: "supervisory", Period: 100e-3, LengthBits: 32_768},
+				{Name: "historian", Period: 500e-3, LengthBits: 262_144},
+				{Name: "operator-hmi", Period: 250e-3, LengthBits: 65_536},
+			},
+		},
+		{
+			Name: "space-station",
+			Description: "FDDI backbone for a crewed station: guidance, " +
+				"life support, experiments and video at 100 Mbps",
+			Set: Set{
+				{Name: "guidance-a", Period: 10e-3, LengthBits: 8_192},
+				{Name: "guidance-b", Period: 10e-3, LengthBits: 8_192},
+				{Name: "lifesupport-a", Period: 50e-3, LengthBits: 32_768},
+				{Name: "lifesupport-b", Period: 50e-3, LengthBits: 32_768},
+				{Name: "experiment-1", Period: 100e-3, LengthBits: 131_072},
+				{Name: "experiment-2", Period: 100e-3, LengthBits: 131_072},
+				{Name: "experiment-3", Period: 100e-3, LengthBits: 131_072},
+				{Name: "video-1", Period: 33e-3, LengthBits: 262_144},
+				{Name: "video-2", Period: 33e-3, LengthBits: 262_144},
+				{Name: "telemetry", Period: 200e-3, LengthBits: 524_288},
+			},
+		},
+		{
+			Name: "multimedia",
+			Description: "audio/video distribution: isochronous media " +
+				"streams with a control channel",
+			Set: Set{
+				{Name: "audio-1", Period: 10e-3, LengthBits: 4_096},
+				{Name: "audio-2", Period: 10e-3, LengthBits: 4_096},
+				{Name: "video-sd", Period: 33e-3, LengthBits: 131_072},
+				{Name: "video-hd", Period: 33e-3, LengthBits: 524_288},
+				{Name: "control", Period: 100e-3, LengthBits: 2_048},
+			},
+		},
+	}
+}
+
+// PresetByName looks up one preset by name.
+func PresetByName(name string) (Preset, error) {
+	for _, p := range Presets() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Preset{}, fmt.Errorf("%w: %q", ErrUnknownPreset, name)
+}

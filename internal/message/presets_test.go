@@ -1,0 +1,80 @@
+package message
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPresetsAreValid(t *testing.T) {
+	presets := Presets()
+	if len(presets) < 4 {
+		t.Fatalf("only %d presets", len(presets))
+	}
+	seen := map[string]bool{}
+	for _, p := range presets {
+		if p.Name == "" || p.Description == "" {
+			t.Errorf("preset %+v missing name or description", p)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate preset name %q", p.Name)
+		}
+		seen[p.Name] = true
+		if err := p.Set.Validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", p.Name, err)
+		}
+		for _, s := range p.Set {
+			if s.Name == "" {
+				t.Errorf("preset %q has unnamed stream", p.Name)
+			}
+		}
+	}
+}
+
+func TestPresetByName(t *testing.T) {
+	p, err := PresetByName("avionics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "avionics" || len(p.Set) == 0 {
+		t.Errorf("PresetByName = %+v", p)
+	}
+	if _, err := PresetByName("nope"); !errors.Is(err, ErrUnknownPreset) {
+		t.Errorf("unknown preset: %v, want ErrUnknownPreset", err)
+	}
+}
+
+func TestPresetsFitTheirDesignBandwidth(t *testing.T) {
+	// Each preset should be carryable (payload utilization < 1) on the
+	// slow ring class it is described for.
+	bw := map[string]float64{
+		"avionics":        4e6,
+		"process-control": 4e6,
+		"space-station":   100e6,
+		"multimedia":      100e6,
+	}
+	for _, p := range Presets() {
+		b, ok := bw[p.Name]
+		if !ok {
+			b = 100e6
+		}
+		if u := p.Set.Utilization(b); u >= 1 {
+			t.Errorf("preset %q needs utilization %.3f at %.0f Mbps", p.Name, u, b/1e6)
+		}
+	}
+}
+
+func TestPresetSetsAreFresh(t *testing.T) {
+	// Mutating a returned preset must not affect later calls.
+	a, err := PresetByName("multimedia")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Set[0].LengthBits = 1
+	b, err := PresetByName("multimedia")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Set[0].LengthBits == 1 {
+		t.Error("presets share backing storage across calls")
+	}
+}

@@ -1,0 +1,49 @@
+package message
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// streamJSON is the on-disk representation of a Stream. Periods are
+// expressed in milliseconds, the natural unit of the paper's workloads.
+type streamJSON struct {
+	Name       string  `json:"name,omitempty"`
+	PeriodMs   float64 `json:"periodMs"`
+	LengthBits float64 `json:"lengthBits"`
+}
+
+// ReadJSON decodes a message set from JSON: an array of
+// {"name", "periodMs", "lengthBits"} objects. The decoded set is
+// validated.
+func ReadJSON(r io.Reader) (Set, error) {
+	var raw []streamJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("decode message set: %w", err)
+	}
+	set := make(Set, len(raw))
+	for i, s := range raw {
+		set[i] = Stream{Name: s.Name, Period: s.PeriodMs / 1e3, LengthBits: s.LengthBits}
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// WriteJSON encodes the set as indented JSON in the ReadJSON format.
+func (m Set) WriteJSON(w io.Writer) error {
+	raw := make([]streamJSON, len(m))
+	for i, s := range m {
+		raw[i] = streamJSON{Name: s.Name, PeriodMs: s.Period * 1e3, LengthBits: s.LengthBits}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(raw); err != nil {
+		return fmt.Errorf("encode message set: %w", err)
+	}
+	return nil
+}

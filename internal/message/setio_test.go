@@ -1,0 +1,67 @@
+package message
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := sampleSet()
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(orig))
+	}
+	for i := range orig {
+		if got[i].Name != orig[i].Name || got[i].LengthBits != orig[i].LengthBits {
+			t.Errorf("stream %d: got %+v, want %+v", i, got[i], orig[i])
+		}
+		if diff := got[i].Period - orig[i].Period; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("stream %d period: got %v, want %v", i, got[i].Period, orig[i].Period)
+		}
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"not json", "nope"},
+		{"unknown field", `[{"periodMs": 10, "lengthBits": 1, "bogus": 2}]`},
+		{"zero period", `[{"periodMs": 0, "lengthBits": 1}]`},
+		{"negative length", `[{"periodMs": 5, "lengthBits": -2}]`},
+		{"empty set", `[]`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadJSON(strings.NewReader(tt.in)); err == nil {
+				t.Errorf("ReadJSON(%q) succeeded, want error", tt.in)
+			}
+		})
+	}
+}
+
+func TestReadJSONExample(t *testing.T) {
+	in := `[
+	  {"name": "ctrl", "periodMs": 10, "lengthBits": 4096},
+	  {"periodMs": 100, "lengthBits": 1024}
+	]`
+	set, err := ReadJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if set[0].Name != "ctrl" || set[0].Period != 10e-3 || set[0].LengthBits != 4096 {
+		t.Errorf("first stream = %+v", set[0])
+	}
+	if set[1].Name != "" || set[1].Period != 100e-3 {
+		t.Errorf("second stream = %+v", set[1])
+	}
+}

@@ -1,0 +1,190 @@
+// Package ring models the physical token-ring network substrate shared by
+// both MAC protocols studied in Kamat & Zhao (ICDCS 1993): ring topology,
+// signal propagation, per-station latency, and the derived token walk time
+// WT and token circulation time Θ (theta).
+//
+// All times are in seconds and all rates in bits per second.
+package ring
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SpeedOfLight is the vacuum speed of light in meters per second.
+const SpeedOfLight = 299_792_458.0
+
+// Errors returned by Config.Validate.
+var (
+	ErrNoStations       = errors.New("ring: station count must be positive")
+	ErrNoBandwidth      = errors.New("ring: bandwidth must be positive")
+	ErrBadSpacing       = errors.New("ring: station spacing must be non-negative")
+	ErrBadPropagation   = errors.New("ring: propagation speed fraction must be in (0, 1]")
+	ErrNegativeBitDelay = errors.New("ring: per-station bit delay must be non-negative")
+	ErrNegativeToken    = errors.New("ring: token length must be non-negative")
+)
+
+// Config describes a token ring network. The zero value is not usable; build
+// one with the protocol presets (IEEE8025, FDDI) or fill every field and call
+// Validate.
+type Config struct {
+	// Stations is the number of nodes n on the ring. The paper's message
+	// model attaches exactly one synchronous stream to each station.
+	Stations int
+
+	// SpacingMeters is the cable distance d between neighboring stations.
+	SpacingMeters float64
+
+	// BandwidthBPS is the transmission rate BW of the medium in bits/second.
+	BandwidthBPS float64
+
+	// BitDelayPerStation is the latency each station inserts into the ring,
+	// expressed in bit times (4 bits for IEEE 802.5 hardware, 75 bits for
+	// FDDI hardware in the paper's comparison).
+	BitDelayPerStation float64
+
+	// TokenBits is the length of the token frame in bits (24 for IEEE
+	// 802.5; 88 for FDDI including preamble).
+	TokenBits float64
+
+	// PropagationFraction is the signal speed through the medium as a
+	// fraction of the speed of light (0.75 in the paper).
+	PropagationFraction float64
+}
+
+// Validate reports the first violated physical constraint, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.Stations <= 0:
+		return ErrNoStations
+	case c.BandwidthBPS <= 0:
+		return ErrNoBandwidth
+	case c.SpacingMeters < 0:
+		return ErrBadSpacing
+	case c.PropagationFraction <= 0 || c.PropagationFraction > 1:
+		return ErrBadPropagation
+	case c.BitDelayPerStation < 0:
+		return ErrNegativeBitDelay
+	case c.TokenBits < 0:
+		return ErrNegativeToken
+	}
+	return nil
+}
+
+// RingLengthMeters is the total cable length of the ring.
+func (c Config) RingLengthMeters() float64 {
+	return float64(c.Stations) * c.SpacingMeters
+}
+
+// PropagationDelay is the time for a signal to travel once around the ring.
+// It is independent of bandwidth.
+func (c Config) PropagationDelay() float64 {
+	return c.RingLengthMeters() / (c.PropagationFraction * SpeedOfLight)
+}
+
+// RingLatency is the cumulative station (buffer) latency around the ring:
+// Stations * BitDelayPerStation bit times at the configured bandwidth.
+func (c Config) RingLatency() float64 {
+	return float64(c.Stations) * c.BitDelayPerStation / c.BandwidthBPS
+}
+
+// WalkTime is WT, the token walk time around the ring: propagation delay
+// plus ring latency. The paper defines Θ = WT + token transmission time.
+func (c Config) WalkTime() float64 {
+	return c.PropagationDelay() + c.RingLatency()
+}
+
+// TokenTime is the time to transmit the token at the configured bandwidth.
+func (c Config) TokenTime() float64 {
+	return c.TokenBits / c.BandwidthBPS
+}
+
+// Theta is Θ = WT + token transmission time, the token circulation time.
+// Both schedulability analyses are parameterized by Θ.
+func (c Config) Theta() float64 {
+	return c.WalkTime() + c.TokenTime()
+}
+
+// LatencyBits is Q, the sum of the token length and ring latency expressed
+// in bits. The paper writes Θ = τ_P + Q/BW where τ_P is the propagation
+// delay; this accessor exists so tests can check that identity.
+func (c Config) LatencyBits() float64 {
+	return c.TokenBits + float64(c.Stations)*c.BitDelayPerStation
+}
+
+// BitTime is the duration of one bit on the medium.
+func (c Config) BitTime() float64 {
+	return 1 / c.BandwidthBPS
+}
+
+// TransmitTime converts a payload size in bits to medium time.
+func (c Config) TransmitTime(bits float64) float64 {
+	return bits / c.BandwidthBPS
+}
+
+// WithBandwidth returns a copy of the config at a different bandwidth.
+// Bandwidth sweeps (Figure 1) use this to hold the physical plant constant.
+func (c Config) WithBandwidth(bps float64) Config {
+	c.BandwidthBPS = bps
+	return c
+}
+
+// WithStations returns a copy of the config with a different station count.
+func (c Config) WithStations(n int) Config {
+	c.Stations = n
+	return c
+}
+
+// String summarizes the configuration for logs and reports.
+func (c Config) String() string {
+	return fmt.Sprintf("ring{n=%d d=%.0fm bw=%.3gMbps delay=%gb token=%gb prop=%.2fc}",
+		c.Stations, c.SpacingMeters, c.BandwidthBPS/1e6,
+		c.BitDelayPerStation, c.TokenBits, c.PropagationFraction)
+}
+
+// Mbps converts megabits/second to bits/second.
+func Mbps(m float64) float64 { return m * 1e6 }
+
+// Paper comparison constants (Section 6.2).
+const (
+	// PaperStations is n = 100.
+	PaperStations = 100
+	// PaperSpacingMeters is d = 100 m between neighbors.
+	PaperSpacingMeters = 100.0
+	// PaperPropagationFraction is 75 % of the speed of light.
+	PaperPropagationFraction = 0.75
+	// IEEE8025BitDelay is the average per-station bit delay the paper uses
+	// for the priority driven protocol.
+	IEEE8025BitDelay = 4.0
+	// FDDIBitDelay is the average per-station bit delay the paper uses for
+	// the timed token protocol.
+	FDDIBitDelay = 75.0
+	// IEEE8025TokenBits is the 3-octet IEEE 802.5 token.
+	IEEE8025TokenBits = 24.0
+	// FDDITokenBits is the FDDI token including an 8-octet preamble.
+	FDDITokenBits = 88.0
+)
+
+// IEEE8025 returns the paper's IEEE 802.5 plant at the given bandwidth.
+func IEEE8025(bandwidthBPS float64) Config {
+	return Config{
+		Stations:            PaperStations,
+		SpacingMeters:       PaperSpacingMeters,
+		BandwidthBPS:        bandwidthBPS,
+		BitDelayPerStation:  IEEE8025BitDelay,
+		TokenBits:           IEEE8025TokenBits,
+		PropagationFraction: PaperPropagationFraction,
+	}
+}
+
+// FDDI returns the paper's FDDI plant at the given bandwidth.
+func FDDI(bandwidthBPS float64) Config {
+	return Config{
+		Stations:            PaperStations,
+		SpacingMeters:       PaperSpacingMeters,
+		BandwidthBPS:        bandwidthBPS,
+		BitDelayPerStation:  FDDIBitDelay,
+		TokenBits:           FDDITokenBits,
+		PropagationFraction: PaperPropagationFraction,
+	}
+}

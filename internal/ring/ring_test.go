@@ -1,0 +1,153 @@
+package ring
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func validConfig() Config {
+	return Config{
+		Stations:            100,
+		SpacingMeters:       100,
+		BandwidthBPS:        4e6,
+		BitDelayPerStation:  4,
+		TokenBits:           24,
+		PropagationFraction: 0.75,
+	}
+}
+
+func TestValidateAcceptsPaperPlants(t *testing.T) {
+	for _, cfg := range []Config{IEEE8025(1e6), IEEE8025(1e9), FDDI(100e6), validConfig()} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("Validate(%v) = %v, want nil", cfg, err)
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+		want   error
+	}{
+		{"zero stations", func(c *Config) { c.Stations = 0 }, ErrNoStations},
+		{"negative stations", func(c *Config) { c.Stations = -3 }, ErrNoStations},
+		{"zero bandwidth", func(c *Config) { c.BandwidthBPS = 0 }, ErrNoBandwidth},
+		{"negative bandwidth", func(c *Config) { c.BandwidthBPS = -1 }, ErrNoBandwidth},
+		{"negative spacing", func(c *Config) { c.SpacingMeters = -1 }, ErrBadSpacing},
+		{"zero propagation", func(c *Config) { c.PropagationFraction = 0 }, ErrBadPropagation},
+		{"superluminal", func(c *Config) { c.PropagationFraction = 1.5 }, ErrBadPropagation},
+		{"negative bit delay", func(c *Config) { c.BitDelayPerStation = -4 }, ErrNegativeBitDelay},
+		{"negative token", func(c *Config) { c.TokenBits = -24 }, ErrNegativeToken},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := validConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); !errors.Is(err, tt.want) {
+				t.Errorf("Validate() = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestPropagationDelayMatchesHandComputation(t *testing.T) {
+	cfg := IEEE8025(4e6)
+	// 100 stations × 100 m = 10 km at 0.75c.
+	want := 10_000 / (0.75 * SpeedOfLight)
+	if got := cfg.PropagationDelay(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PropagationDelay() = %v, want %v", got, want)
+	}
+}
+
+func TestThetaIdentity(t *testing.T) {
+	// Θ must equal propagation delay + Q/BW where Q is token+latency bits.
+	for _, bw := range []float64{1e6, 4e6, 16e6, 100e6, 1e9} {
+		for _, cfg := range []Config{IEEE8025(bw), FDDI(bw)} {
+			want := cfg.PropagationDelay() + cfg.LatencyBits()/bw
+			if got := cfg.Theta(); math.Abs(got-want) > 1e-15 {
+				t.Errorf("%v: Theta() = %v, want %v", cfg, got, want)
+			}
+		}
+	}
+}
+
+func TestThetaDecreasesWithBandwidth(t *testing.T) {
+	prev := math.Inf(1)
+	for _, bw := range []float64{1e6, 2e6, 10e6, 100e6, 1e9} {
+		theta := IEEE8025(bw).Theta()
+		if theta >= prev {
+			t.Fatalf("Theta at %v bps = %v, not less than %v at lower bandwidth", bw, theta, prev)
+		}
+		prev = theta
+	}
+}
+
+func TestThetaLowerBoundIsPropagation(t *testing.T) {
+	// Θ → propagation delay as bandwidth → ∞, and never drops below it.
+	cfg := IEEE8025(1e12)
+	if cfg.Theta() < cfg.PropagationDelay() {
+		t.Fatalf("Theta %v < propagation %v", cfg.Theta(), cfg.PropagationDelay())
+	}
+	if diff := cfg.Theta() - cfg.PropagationDelay(); diff > 1e-9 {
+		t.Fatalf("Theta at 1 Tbps exceeds propagation by %v, want ~0", diff)
+	}
+}
+
+func TestPaperBitDelays(t *testing.T) {
+	// The FDDI plant carries much higher per-station latency, the key
+	// asymmetry in the paper's comparison.
+	i := IEEE8025(16e6)
+	f := FDDI(16e6)
+	if i.RingLatency() >= f.RingLatency() {
+		t.Fatalf("802.5 ring latency %v not below FDDI %v", i.RingLatency(), f.RingLatency())
+	}
+	if got := i.LatencyBits(); got != 424 {
+		t.Errorf("802.5 LatencyBits = %v, want 424", got)
+	}
+	if got := f.LatencyBits(); got != 7588 {
+		t.Errorf("FDDI LatencyBits = %v, want 7588", got)
+	}
+}
+
+func TestWithBandwidthPreservesPlant(t *testing.T) {
+	base := FDDI(100e6)
+	moved := base.WithBandwidth(1e9)
+	if moved.BandwidthBPS != 1e9 {
+		t.Fatalf("WithBandwidth did not set bandwidth: %v", moved.BandwidthBPS)
+	}
+	moved.BandwidthBPS = base.BandwidthBPS
+	if moved != base {
+		t.Errorf("WithBandwidth changed other fields: %+v vs %+v", moved, base)
+	}
+	if n := base.WithStations(7).Stations; n != 7 {
+		t.Errorf("WithStations = %d, want 7", n)
+	}
+}
+
+func TestTransmitTimeLinear(t *testing.T) {
+	cfg := validConfig()
+	f := func(bits uint16) bool {
+		got := cfg.TransmitTime(float64(bits))
+		want := float64(bits) / cfg.BandwidthBPS
+		return got == want && cfg.TransmitTime(0) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMbps(t *testing.T) {
+	if got := Mbps(4); got != 4e6 {
+		t.Errorf("Mbps(4) = %v, want 4e6", got)
+	}
+}
+
+func TestBitTime(t *testing.T) {
+	cfg := validConfig()
+	if got, want := cfg.BitTime(), 1/cfg.BandwidthBPS; got != want {
+		t.Errorf("BitTime() = %v, want %v", got, want)
+	}
+}

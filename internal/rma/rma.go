@@ -1,0 +1,223 @@
+// Package rma implements fixed-priority rate-monotonic schedulability
+// analysis for periodic tasks with deadlines at the end of their periods.
+//
+// It provides the exact Lehoczky–Sha–Ding criterion (the form used by
+// Theorem 4.1 of Kamat & Zhao 1993, extended with a blocking term), the
+// equivalent response-time analysis used as the fast production test, and
+// the classical Liu–Layland and hyperbolic sufficient bounds as baselines.
+//
+// Tasks here are abstract (cost, period) pairs: the token-ring analyzers
+// map message streams to tasks by computing the protocol-specific augmented
+// lengths C'_i and blocking bound B first.
+package rma
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Errors returned by the analyses.
+var (
+	ErrEmptyTaskSet = errors.New("rma: task set is empty")
+	ErrBadTask      = errors.New("rma: task cost and period must be positive (cost may be zero)")
+	ErrBadBlocking  = errors.New("rma: blocking must be non-negative")
+)
+
+// Task is a periodic task with execution cost and period in seconds and an
+// implicit deadline equal to its period.
+type Task struct {
+	Cost   float64
+	Period float64
+}
+
+// TaskSet is an ordered collection of tasks. The exact analyses require
+// rate-monotonic order (shortest period first); use SortRM to establish it.
+type TaskSet []Task
+
+// Validate reports the first invalid task, or nil.
+func (ts TaskSet) Validate() error {
+	if len(ts) == 0 {
+		return ErrEmptyTaskSet
+	}
+	for _, t := range ts {
+		if t.Period <= 0 || t.Cost < 0 ||
+			math.IsNaN(t.Cost) || math.IsNaN(t.Period) ||
+			math.IsInf(t.Cost, 0) || math.IsInf(t.Period, 0) {
+			return ErrBadTask
+		}
+	}
+	return nil
+}
+
+// Utilization is Σ C_i/P_i.
+func (ts TaskSet) Utilization() float64 {
+	var u float64
+	for _, t := range ts {
+		u += t.Cost / t.Period
+	}
+	return u
+}
+
+// SortRM returns a copy in rate-monotonic order (shortest period first,
+// stable).
+func (ts TaskSet) SortRM() TaskSet {
+	out := make(TaskSet, len(ts))
+	copy(out, ts)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Period < out[j].Period })
+	return out
+}
+
+// Result is the detailed outcome of an exact schedulability test.
+type Result struct {
+	// Schedulable reports whether every task meets its deadline.
+	Schedulable bool
+	// FirstFailure is the index (in the analyzed order) of the first task
+	// that misses its deadline, or -1 if schedulable.
+	FirstFailure int
+	// ResponseTimes holds the worst-case response time of each task when
+	// computed by response-time analysis. For tasks at or after a failure
+	// the value is the (diverged) bound at which iteration stopped.
+	ResponseTimes []float64
+}
+
+// ResponseTimeAnalysis runs the exact iterative test: task i is schedulable
+// iff the least fixpoint of
+//
+//	R = blocking + C_i + Σ_{j<i} C_j · ceil(R/P_j)
+//
+// satisfies R ≤ P_i. The task set must be in RM order; blocking is the
+// worst-case priority-inversion term B applied to every task (Theorem 4.1
+// uses B = 2·max(F, Θ)). For synchronous periodic tasks with implicit
+// deadlines this is equivalent to the Lehoczky–Sha–Ding criterion.
+func ResponseTimeAnalysis(ts TaskSet, blocking float64) (Result, error) {
+	if err := ts.Validate(); err != nil {
+		return Result{}, err
+	}
+	if blocking < 0 || math.IsNaN(blocking) {
+		return Result{}, ErrBadBlocking
+	}
+	res := Result{
+		Schedulable:   true,
+		FirstFailure:  -1,
+		ResponseTimes: make([]float64, len(ts)),
+	}
+	for i, t := range ts {
+		r := blocking + t.Cost
+		for j := 0; j < i; j++ {
+			r += ts[j].Cost
+		}
+		for {
+			if r > t.Period {
+				res.ResponseTimes[i] = r
+				if res.Schedulable {
+					res.Schedulable = false
+					res.FirstFailure = i
+				}
+				break
+			}
+			next := blocking + t.Cost
+			for j := 0; j < i; j++ {
+				next += ts[j].Cost * math.Ceil(r/ts[j].Period)
+			}
+			if next <= r {
+				// Fixpoint (demand can only step down due to float
+				// rounding; the first r was a lower bound).
+				res.ResponseTimes[i] = r
+				break
+			}
+			r = next
+		}
+	}
+	return res, nil
+}
+
+// SchedulingPoints returns R_i = { l·P_k | 1 ≤ k ≤ i+1, l = 1..floor(P_i/P_k) }
+// for the task at index i of an RM-ordered set: the points at which the
+// Lehoczky–Sha–Ding criterion must be evaluated. Points are deduplicated
+// and sorted ascending.
+func SchedulingPoints(ts TaskSet, i int) []float64 {
+	pi := ts[i].Period
+	var pts []float64
+	for k := 0; k <= i; k++ {
+		pk := ts[k].Period
+		lmax := int(math.Floor(pi / pk))
+		for l := 1; l <= lmax; l++ {
+			pts = append(pts, float64(l)*pk)
+		}
+	}
+	sort.Float64s(pts)
+	// Deduplicate in place.
+	out := pts[:0]
+	for _, p := range pts {
+		if len(out) == 0 || p != out[len(out)-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ExactTest runs the Lehoczky–Sha–Ding criterion with a blocking term
+// directly over the scheduling points (eq. (4) of the paper):
+//
+//	task i schedulable ⟺ ∃ t ∈ R_i : Σ_{j<i} C_j·ceil(t/P_j) + C_i + B ≤ t.
+//
+// It is O(n · |R_i| · n) and exists as the reference implementation; the
+// breakdown engine uses ResponseTimeAnalysis, which is provably equivalent
+// (asserted by property tests).
+func ExactTest(ts TaskSet, blocking float64) (Result, error) {
+	if err := ts.Validate(); err != nil {
+		return Result{}, err
+	}
+	if blocking < 0 || math.IsNaN(blocking) {
+		return Result{}, ErrBadBlocking
+	}
+	res := Result{Schedulable: true, FirstFailure: -1}
+	for i := range ts {
+		if taskSchedulableAtPoints(ts, i, blocking) {
+			continue
+		}
+		res.Schedulable = false
+		res.FirstFailure = i
+		break
+	}
+	return res, nil
+}
+
+func taskSchedulableAtPoints(ts TaskSet, i int, blocking float64) bool {
+	for _, t := range SchedulingPoints(ts, i) {
+		demand := blocking + ts[i].Cost
+		for j := 0; j < i; j++ {
+			demand += ts[j].Cost * math.Ceil(t/ts[j].Period)
+		}
+		if demand <= t {
+			return true
+		}
+	}
+	return false
+}
+
+// LiuLaylandBound is the classical sufficient utilization bound
+// n·(2^{1/n} − 1) for n tasks; it tends to ln 2 ≈ 0.693.
+func LiuLaylandBound(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) * (math.Pow(2, 1/float64(n)) - 1)
+}
+
+// LiuLaylandSchedulable is the sufficient (not necessary) test
+// U ≤ n·(2^{1/n} − 1).
+func LiuLaylandSchedulable(ts TaskSet) bool {
+	return ts.Utilization() <= LiuLaylandBound(len(ts))
+}
+
+// HyperbolicSchedulable is the Bini–Buttazzo sufficient test
+// Π (U_i + 1) ≤ 2, tighter than Liu–Layland.
+func HyperbolicSchedulable(ts TaskSet) bool {
+	prod := 1.0
+	for _, t := range ts {
+		prod *= t.Cost/t.Period + 1
+	}
+	return prod <= 2
+}

@@ -1,0 +1,167 @@
+// Package sim is a minimal deterministic discrete-event simulation engine:
+// a priority queue of timestamped events with stable FIFO ordering among
+// simultaneous events, a simulation clock, and cancellation.
+//
+// The token-ring simulators in internal/tokensim are built on it; they are
+// the operational counterpart used to validate the analytical
+// schedulability criteria.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+)
+
+// Errors returned by the engine.
+var (
+	ErrPastEvent = errors.New("sim: cannot schedule an event in the past")
+	ErrBadTime   = errors.New("sim: event time must be finite")
+)
+
+// Handler is the code run when an event fires. It executes at the event's
+// timestamp; Engine.Now() inside a handler returns that time.
+type Handler func()
+
+// Event is a scheduled occurrence. The zero value is inert; obtain events
+// from Engine.At / Engine.After.
+type Event struct {
+	time     float64
+	seq      uint64
+	index    int // heap index, -1 once removed
+	canceled bool
+	fn       Handler
+}
+
+// Time returns the simulation time at which the event fires.
+func (e *Event) Time() float64 { return e.time }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Engine is the simulation core. The zero value is ready to use and starts
+// at time 0.
+type Engine struct {
+	now    float64
+	seq    uint64
+	queue  eventHeap
+	fired  int
+	ranOut bool
+}
+
+// Now returns the current simulation time.
+func (g *Engine) Now() float64 { return g.now }
+
+// Fired returns the number of events processed so far.
+func (g *Engine) Fired() int { return g.fired }
+
+// Pending returns the number of events currently scheduled.
+func (g *Engine) Pending() int { return len(g.queue) }
+
+// At schedules fn at absolute time t and returns a cancelable handle.
+func (g *Engine) At(t float64, fn Handler) (*Event, error) {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return nil, ErrBadTime
+	}
+	if t < g.now {
+		return nil, ErrPastEvent
+	}
+	g.seq++
+	ev := &Event{time: t, seq: g.seq, fn: fn}
+	heap.Push(&g.queue, ev)
+	return ev, nil
+}
+
+// After schedules fn delay seconds from now.
+func (g *Engine) After(delay float64, fn Handler) (*Event, error) {
+	return g.At(g.now+delay, fn)
+}
+
+// Cancel removes a scheduled event. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (g *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		if ev != nil {
+			ev.canceled = true
+		}
+		return
+	}
+	ev.canceled = true
+	heap.Remove(&g.queue, ev.index)
+}
+
+// Step fires the earliest pending event and returns true, or returns false
+// if no events remain.
+func (g *Engine) Step() bool {
+	for len(g.queue) > 0 {
+		ev, ok := heap.Pop(&g.queue).(*Event)
+		if !ok {
+			return false
+		}
+		if ev.canceled {
+			continue
+		}
+		g.now = ev.time
+		g.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events in order until the queue drains or the next event
+// would fire strictly after horizon. The clock is left at the last fired
+// event (or horizon if that is later and the queue drained).
+func (g *Engine) RunUntil(horizon float64) {
+	for len(g.queue) > 0 {
+		next := g.queue[0]
+		if next.canceled {
+			heap.Pop(&g.queue)
+			continue
+		}
+		if next.time > horizon {
+			return
+		}
+		g.Step()
+	}
+	if g.now < horizon {
+		g.now = horizon
+	}
+}
+
+// eventHeap orders events by (time, seq): earliest first, FIFO among ties.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

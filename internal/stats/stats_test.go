@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningBasics(t *testing.T) {
+	var r Running
+	if r.N() != 0 || r.Mean() != 0 || r.Variance() != 0 || r.StdErr() != 0 {
+		t.Error("zero-value Running should report zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Errorf("N = %d, want 8", r.N())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", r.Mean())
+	}
+	// Sample variance of this classic data set is 32/7.
+	if math.Abs(r.Variance()-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", r.Variance(), 32.0/7)
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", r.Min(), r.Max())
+	}
+	if r.CI95() <= 0 {
+		t.Error("CI95 should be positive with varied samples")
+	}
+	if r.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestRunningMatchesDirectComputation(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%50) + 2
+		rng := rand.New(rand.NewSource(seed))
+		var r Running
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = rng.NormFloat64()*10 + 3
+			r.Add(samples[i])
+		}
+		var sum float64
+		for _, x := range samples {
+			sum += x
+		}
+		mean := sum / float64(n)
+		var ss float64
+		for _, x := range samples {
+			ss += (x - mean) * (x - mean)
+		}
+		variance := ss / float64(n-1)
+		return math.Abs(r.Mean()-mean) < 1e-9 && math.Abs(r.Variance()-variance) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunningConstantSamples(t *testing.T) {
+	var r Running
+	for i := 0; i < 10; i++ {
+		r.Add(3.5)
+	}
+	if r.Variance() != 0 || r.StdDev() != 0 || r.CI95() != 0 {
+		t.Error("constant samples must have zero spread")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	samples := []float64{9, 1, 7, 3, 5} // unsorted on purpose
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {25, 3}, {50, 5}, {75, 7}, {100, 9}, {12.5, 2},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(samples, tt.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", tt.p, err)
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	// Input must not be reordered.
+	if samples[0] != 9 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := Percentile(nil, 50); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty: %v, want ErrNoData", err)
+	}
+	if _, err := Percentile([]float64{1}, -5); err == nil {
+		t.Error("negative percentile accepted")
+	}
+	if _, err := Percentile([]float64{1}, 150); err == nil {
+		t.Error("percentile > 100 accepted")
+	}
+	got, err := Percentile([]float64{42}, 73)
+	if err != nil || got != 42 {
+		t.Errorf("single sample: (%v, %v), want (42, nil)", got, err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.99, 10, 11} {
+		h.Add(x)
+	}
+	wantCounts := []int{2, 1, 1, 0, 2} // 0,1.9 | 2 | 5 | _ | 9.99,10
+	for i, want := range wantCounts {
+		if h.Counts[i] != want {
+			t.Errorf("bin %d = %d, want %d (all: %v)", i, h.Counts[i], want, h.Counts)
+		}
+	}
+	if h.under != 1 || h.over != 1 {
+		t.Errorf("under/over = %d/%d, want 1/1", h.under, h.over)
+	}
+	if h.Render(30) == "" {
+		t.Error("Render should produce output")
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := NewHistogram(7, 3, 3); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestCI95Shrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var small, large Running
+	for i := 0; i < 20; i++ {
+		small.Add(rng.NormFloat64())
+	}
+	for i := 0; i < 2000; i++ {
+		large.Add(rng.NormFloat64())
+	}
+	if large.CI95() >= small.CI95() {
+		t.Errorf("CI did not shrink with samples: %v vs %v", large.CI95(), small.CI95())
+	}
+}

@@ -1,0 +1,162 @@
+// Package textplot renders simple ASCII line charts so the command-line
+// tools can show Figure 1 directly in the terminal. It supports multiple
+// series over a shared (optionally log-scaled) x axis.
+package textplot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrNoSeries is returned when a plot has nothing to draw.
+var ErrNoSeries = errors.New("textplot: no series to plot")
+
+// Series is one named line.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Plot is an ASCII chart. Configure axes, add series, then Render.
+type Plot struct {
+	// Title is printed above the chart.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// Width and Height are the chart body size in characters (defaults
+	// 72×20).
+	Width, Height int
+	// LogX plots x on a log10 scale.
+	LogX bool
+	// YMin and YMax fix the y range; when both are zero the range is
+	// computed from the data.
+	YMin, YMax float64
+
+	series []Series
+}
+
+// markers distinguish up to len(markers) series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Add appends a series. X and Y must have equal length; extra points in
+// the longer slice are ignored.
+func (p *Plot) Add(s Series) {
+	n := len(s.X)
+	if len(s.Y) < n {
+		n = len(s.Y)
+	}
+	s.X = s.X[:n]
+	s.Y = s.Y[:n]
+	p.series = append(p.series, s)
+}
+
+// Render draws the chart.
+func (p *Plot) Render() (string, error) {
+	if len(p.series) == 0 {
+		return "", ErrNoSeries
+	}
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range p.series {
+		for i := range s.X {
+			x := p.xval(s.X[i])
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			points++
+			xmin = math.Min(xmin, x)
+			xmax = math.Max(xmax, x)
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if points == 0 {
+		return "", ErrNoSeries
+	}
+	if p.YMin != 0 || p.YMax != 0 {
+		ymin, ymax = p.YMin, p.YMax
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range p.series {
+		mark := markers[si%len(markers)]
+		for i := range s.X {
+			x := p.xval(s.X[i])
+			y := s.Y[i]
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) {
+				continue
+			}
+			col := int((x - xmin) / (xmax - xmin) * float64(width-1))
+			row := int((ymax - y) / (ymax - ymin) * float64(height-1))
+			if col < 0 || col >= width || row < 0 || row >= height {
+				continue
+			}
+			grid[row][col] = mark
+		}
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	for si, s := range p.series {
+		fmt.Fprintf(&b, "  %c %s", markers[si%len(markers)], s.Name)
+	}
+	if len(p.series) > 0 {
+		b.WriteByte('\n')
+	}
+	for r, rowBytes := range grid {
+		yv := ymax - (ymax-ymin)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%8.3f |%s|\n", yv, string(rowBytes))
+	}
+	fmt.Fprintf(&b, "%8s +%s+\n", "", strings.Repeat("-", width))
+	left := p.xlabelAt(xmin)
+	right := p.xlabelAt(xmax)
+	pad := width - len(left) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%8s  %s%s%s\n", "", left, strings.Repeat(" ", pad), right)
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&b, "%8s  x: %s   y: %s\n", "", p.XLabel, p.YLabel)
+	}
+	return b.String(), nil
+}
+
+func (p *Plot) xval(x float64) float64 {
+	if p.LogX {
+		if x <= 0 {
+			return math.NaN()
+		}
+		return math.Log10(x)
+	}
+	return x
+}
+
+func (p *Plot) xlabelAt(x float64) string {
+	if p.LogX {
+		return fmt.Sprintf("%.3g", math.Pow(10, x))
+	}
+	return fmt.Sprintf("%.3g", x)
+}

@@ -1,0 +1,111 @@
+package textplot
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRenderEmptyPlot(t *testing.T) {
+	var p Plot
+	if _, err := p.Render(); !errors.Is(err, ErrNoSeries) {
+		t.Errorf("empty plot: %v, want ErrNoSeries", err)
+	}
+}
+
+func TestRenderBasic(t *testing.T) {
+	p := Plot{Title: "demo", XLabel: "x", YLabel: "y", Width: 40, Height: 10}
+	p.Add(Series{Name: "line", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}})
+	out, err := p.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "demo") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "line") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("marker missing")
+	}
+	if !strings.Contains(out, "x: x   y: y") {
+		t.Error("axis labels missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + legend + 10 rows + axis + labels + axis names
+	if len(lines) != 2+10+3 {
+		t.Errorf("rendered %d lines, want 15:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderMultipleSeriesDistinctMarkers(t *testing.T) {
+	var p Plot
+	p.Add(Series{Name: "a", X: []float64{0, 1}, Y: []float64{0, 0}})
+	p.Add(Series{Name: "b", X: []float64{0, 1}, Y: []float64{1, 1}})
+	out, err := p.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("expected two distinct markers:\n%s", out)
+	}
+}
+
+func TestRenderLogX(t *testing.T) {
+	p := Plot{LogX: true}
+	p.Add(Series{Name: "s", X: []float64{1e6, 1e7, 1e8, 1e9}, Y: []float64{1, 2, 3, 4}})
+	out, err := p.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Endpoint labels are converted back from log space.
+	if !strings.Contains(out, "1e+06") || !strings.Contains(out, "1e+09") {
+		t.Errorf("log endpoints missing:\n%s", out)
+	}
+}
+
+func TestRenderLogXSkipsNonPositive(t *testing.T) {
+	p := Plot{LogX: true}
+	p.Add(Series{Name: "s", X: []float64{0, -5, 1e6}, Y: []float64{1, 2, 3}})
+	if _, err := p.Render(); err != nil {
+		t.Fatalf("non-positive x under LogX should be skipped, got %v", err)
+	}
+	bad := Plot{LogX: true}
+	bad.Add(Series{Name: "s", X: []float64{0}, Y: []float64{1}})
+	if _, err := bad.Render(); !errors.Is(err, ErrNoSeries) {
+		t.Errorf("all-invalid points: %v, want ErrNoSeries", err)
+	}
+}
+
+func TestRenderFixedYRange(t *testing.T) {
+	p := Plot{YMax: 1, Height: 5}
+	p.Add(Series{Name: "s", X: []float64{0, 1}, Y: []float64{0.2, 0.4}})
+	out, err := p.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1.000") {
+		t.Errorf("fixed y max not used:\n%s", out)
+	}
+}
+
+func TestAddTrimsMismatchedLengths(t *testing.T) {
+	var p Plot
+	p.Add(Series{Name: "s", X: []float64{1, 2, 3}, Y: []float64{1}})
+	out, err := p.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" {
+		t.Error("render empty")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	var p Plot
+	p.Add(Series{Name: "flat", X: []float64{5}, Y: []float64{2}})
+	if _, err := p.Render(); err != nil {
+		t.Fatalf("single-point series: %v", err)
+	}
+}

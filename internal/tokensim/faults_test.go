@@ -1,0 +1,142 @@
+package tokensim
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ringsched/internal/core"
+)
+
+func TestFaultsValidate(t *testing.T) {
+	var nilFaults *Faults
+	if err := nilFaults.Validate(); err != nil {
+		t.Errorf("nil faults: %v", err)
+	}
+	if err := (&Faults{TokenLossProb: -0.1}).Validate(); err == nil {
+		t.Error("negative probability accepted")
+	}
+	if err := (&Faults{TokenLossProb: 1.5}).Validate(); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	if err := (&Faults{TokenLossProb: 0.1, RecoveryTime: -1, Rng: rand.New(rand.NewSource(1))}).Validate(); err == nil {
+		t.Error("negative recovery accepted")
+	}
+	if err := (&Faults{TokenLossProb: 0.1, RecoveryTime: 1e-3}).Validate(); !errors.Is(err, ErrFaultsNeedRand) {
+		t.Errorf("missing rng: %v, want ErrFaultsNeedRand", err)
+	}
+	ok := &Faults{TokenLossProb: 0.1, RecoveryTime: 1e-3, Rng: rand.New(rand.NewSource(1))}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid faults rejected: %v", err)
+	}
+}
+
+func TestFaultsRoll(t *testing.T) {
+	var nilFaults *Faults
+	if nilFaults.roll() != 0 {
+		t.Error("nil faults rolled a loss")
+	}
+	never := &Faults{TokenLossProb: 0}
+	if never.roll() != 0 {
+		t.Error("zero probability rolled a loss")
+	}
+	always := &Faults{TokenLossProb: 1, RecoveryTime: 5e-3, Rng: rand.New(rand.NewSource(1))}
+	if always.roll() != 5e-3 {
+		t.Error("certain loss did not charge recovery")
+	}
+}
+
+func TestPDPSimTokenLoss(t *testing.T) {
+	// Certain loss with a recovery as long as the period: every deadline
+	// must fail; with no faults, none do.
+	base := PDPSim{
+		Net:      tinyPlant(),
+		Frame:    tinyFrame(),
+		Variant:  core.Modified8025,
+		Workload: onePDPStream(8),
+		Horizon:  5,
+	}
+	clean, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.DeadlineMisses != 0 || clean.TokenLosses != 0 {
+		t.Fatalf("clean run: misses=%d losses=%d", clean.DeadlineMisses, clean.TokenLosses)
+	}
+
+	faulty := base
+	faulty.Faults = &Faults{TokenLossProb: 1, RecoveryTime: 1.5, Rng: rand.New(rand.NewSource(2))}
+	res, err := faulty.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TokenLosses == 0 {
+		t.Fatal("no losses recorded under certain loss")
+	}
+	if res.RecoveryTime == 0 {
+		t.Fatal("no recovery time recorded")
+	}
+	if res.DeadlineMisses == 0 {
+		t.Error("period-length recoveries should miss deadlines")
+	}
+}
+
+func TestTTPSimTokenLossDegradesGracefully(t *testing.T) {
+	// Rare, short losses on a lightly loaded ring: recovery is charged
+	// but deadlines still hold (the slack absorbs it).
+	sim := ttpTinySim(8, 20e-6)
+	sim.Workload.Streams[0].Period = 10e-3
+	sim.Horizon = 1
+	sim.Faults = &Faults{
+		TokenLossProb: 0.001,
+		RecoveryTime:  50e-6,
+		Rng:           rand.New(rand.NewSource(3)),
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TokenLosses == 0 {
+		t.Fatal("expected some losses over ~1s of visits")
+	}
+	if res.DeadlineMisses != 0 {
+		t.Errorf("light faults on a light load missed %d deadlines", res.DeadlineMisses)
+	}
+}
+
+func TestTTPSimTokenLossSevere(t *testing.T) {
+	// Frequent long recoveries must break deadlines.
+	sim := ttpTinySim(8, 20e-6)
+	sim.Workload.Streams[0].Period = 1e-3
+	sim.Horizon = 0.5
+	sim.Faults = &Faults{
+		TokenLossProb: 0.5,
+		RecoveryTime:  2e-3,
+		Rng:           rand.New(rand.NewSource(4)),
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlineMisses == 0 {
+		t.Error("severe faults missed no deadlines")
+	}
+}
+
+func TestSimRejectsInvalidFaults(t *testing.T) {
+	pdp := PDPSim{
+		Net:      tinyPlant(),
+		Frame:    tinyFrame(),
+		Variant:  core.Modified8025,
+		Workload: onePDPStream(8),
+		Faults:   &Faults{TokenLossProb: 0.5},
+	}
+	if _, err := pdp.Run(); !errors.Is(err, ErrFaultsNeedRand) {
+		t.Errorf("PDP: %v, want ErrFaultsNeedRand", err)
+	}
+	ttp := ttpTinySim(8, 20e-6)
+	ttp.Faults = &Faults{TokenLossProb: 2}
+	if _, err := ttp.Run(); err == nil {
+		t.Error("TTP: invalid faults accepted")
+	}
+}

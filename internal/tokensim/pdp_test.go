@@ -1,0 +1,314 @@
+package tokensim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ringsched/internal/breakdown"
+	"ringsched/internal/core"
+	"ringsched/internal/frame"
+	"ringsched/internal/message"
+	"ringsched/internal/ring"
+)
+
+// tinyPlant is a hand-checkable ring: Θ = 4 µs (4 token bits at 1 Mbps, no
+// propagation, no station latency), 4 stations, hop time 1 µs.
+func tinyPlant() ring.Config {
+	return ring.Config{
+		Stations:            4,
+		SpacingMeters:       0,
+		BandwidthBPS:        1e6,
+		BitDelayPerStation:  0,
+		TokenBits:           4,
+		PropagationFraction: 0.75,
+	}
+}
+
+// tinyFrame: 8 info bits + 2 overhead bits ⇒ F = 10 µs > Θ.
+func tinyFrame() frame.Spec { return frame.Spec{InfoBits: 8, OvhdBits: 2} }
+
+func onePDPStream(bits float64) Workload {
+	w, err := NewWorkload(message.Set{{Name: "s", Period: 1, LengthBits: bits}},
+		4, PhasingSynchronized, nil)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func TestPDPSimHandTimingModified(t *testing.T) {
+	// Two full frames back to back, no token pass between them (the
+	// modified holder keeps the token): completion at 2F = 20 µs.
+	res, err := PDPSim{
+		Net:      tinyPlant(),
+		Frame:    tinyFrame(),
+		Variant:  core.Modified8025,
+		Workload: onePDPStream(16),
+		Horizon:  0.1,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlineMisses != 0 {
+		t.Fatalf("misses = %d", res.DeadlineMisses)
+	}
+	if got := res.Stations[0].MaxResponse; math.Abs(got-20e-6) > 1e-12 {
+		t.Errorf("response = %v, want 20us", got)
+	}
+	if res.TokenTime != 0 {
+		t.Errorf("token time = %v, want 0 (holder never releases)", res.TokenTime)
+	}
+}
+
+func TestPDPSimHandTimingStandard(t *testing.T) {
+	// Standard protocol: a free token after every frame; the sole sender
+	// waits a full circulation (4 µs) before recapturing. Completion:
+	// 10 + 4 + 10 = 24 µs.
+	res, err := PDPSim{
+		Net:      tinyPlant(),
+		Frame:    tinyFrame(),
+		Variant:  core.Standard8025,
+		Workload: onePDPStream(16),
+		Horizon:  0.1,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Stations[0].MaxResponse; math.Abs(got-24e-6) > 1e-12 {
+		t.Errorf("response = %v, want 24us", got)
+	}
+	if math.Abs(res.TokenTime-4e-6) > 1e-12 {
+		t.Errorf("token time = %v, want 4us (one full circulation)", res.TokenTime)
+	}
+}
+
+func TestPDPSimShortLastFrameWaitsForTheta(t *testing.T) {
+	// 9 bits = one full frame + a 1-bit frame. The short frame's wire
+	// time (3 µs) is below Θ = 4 µs, so it occupies Θ.
+	res, err := PDPSim{
+		Net:      tinyPlant(),
+		Frame:    tinyFrame(),
+		Variant:  core.Modified8025,
+		Workload: onePDPStream(9),
+		Horizon:  0.1,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10e-6 + 4e-6 // F + Θ
+	if got := res.Stations[0].MaxResponse; math.Abs(got-want) > 1e-12 {
+		t.Errorf("response = %v, want %v", got, want)
+	}
+}
+
+func TestPDPSimHighBandwidthFrameCostsTheta(t *testing.T) {
+	// Make F ≤ Θ (longer token): every frame occupies Θ.
+	net := tinyPlant()
+	net.TokenBits = 20 // Θ = 20 µs > F = 10 µs
+	res, err := PDPSim{
+		Net:      net,
+		Frame:    tinyFrame(),
+		Variant:  core.Modified8025,
+		Workload: onePDPStream(16),
+		Horizon:  0.1,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Stations[0].MaxResponse; math.Abs(got-40e-6) > 1e-12 {
+		t.Errorf("response = %v, want 2Θ = 40us", got)
+	}
+}
+
+func TestPDPSimRMPriorityOrdering(t *testing.T) {
+	// Two stations, synchronized arrivals: the shorter-period stream's
+	// frame must transmit first even though it sits at a later station.
+	set := message.Set{
+		{Name: "slow", Period: 100e-3, LengthBits: 8},
+		{Name: "fast", Period: 10e-3, LengthBits: 8},
+	}
+	w, err := NewWorkload(set, 4, PhasingSynchronized, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PDPSim{
+		Net:      tinyPlant(),
+		Frame:    tinyFrame(),
+		Variant:  core.Modified8025,
+		Workload: w,
+		Horizon:  5e-3,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := res.Stations[1]
+	slow := res.Stations[0]
+	if fast.MaxResponse >= slow.MaxResponse {
+		t.Errorf("fast stream response %v not below slow %v", fast.MaxResponse, slow.MaxResponse)
+	}
+}
+
+func TestPDPSimDetectsOverload(t *testing.T) {
+	// A stream needing 2 s of medium per 1 s period must miss.
+	res, err := PDPSim{
+		Net:      tinyPlant(),
+		Frame:    tinyFrame(),
+		Variant:  core.Modified8025,
+		Workload: onePDPStream(2e6 * 1.0),
+		Horizon:  3,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlineMisses == 0 {
+		t.Fatal("overloaded stream missed no deadlines")
+	}
+}
+
+func TestPDPSimAsyncBlockingBounded(t *testing.T) {
+	// With saturated asynchronous traffic the medium is always busy, but
+	// a synchronous arrival is delayed by at most the Lemma 4.1 bound
+	// before its first frame starts: here one async frame + token walk.
+	res, err := PDPSim{
+		Net:            tinyPlant(),
+		Frame:          tinyFrame(),
+		Variant:        core.Modified8025,
+		Workload:       onePDPStream(8),
+		AsyncSaturated: true,
+		Horizon:        2,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlineMisses != 0 {
+		t.Fatalf("misses = %d", res.DeadlineMisses)
+	}
+	blockBound := 2 * math.Max(tinyFrame().Time(1e6), tinyPlant().Theta())
+	// Response ≤ own frame time + blocking bound.
+	if res.Stations[0].MaxResponse > 10e-6+blockBound {
+		t.Errorf("response %v exceeds frame+blocking bound %v",
+			res.Stations[0].MaxResponse, 10e-6+blockBound)
+	}
+	if res.AsyncTime == 0 {
+		t.Error("async traffic never transmitted")
+	}
+	if res.Utilization() < 0.99 {
+		t.Errorf("medium should be saturated, utilization %v", res.Utilization())
+	}
+}
+
+func TestPDPSimAverageTokenPassModel(t *testing.T) {
+	// Under PassAverageHalfTheta the standard protocol charges exactly
+	// Θ/2 per frame.
+	net := ring.IEEE8025(4e6).WithStations(8)
+	set := message.Set{{Name: "s", Period: 10e-3, LengthBits: 4096}}
+	w, err := NewWorkload(set, 8, PhasingSynchronized, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PDPSim{
+		Net:       net,
+		Frame:     frame.PaperSpec(),
+		Variant:   core.Standard8025,
+		Workload:  w,
+		TokenPass: PassAverageHalfTheta,
+		Horizon:   0.5,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.RotationMean-net.Theta()/2) > 1e-12 {
+		t.Errorf("mean pass = %v, want Θ/2 = %v", res.RotationMean, net.Theta()/2)
+	}
+}
+
+func TestPDPSimValidation(t *testing.T) {
+	base := PDPSim{Net: tinyPlant(), Frame: tinyFrame(), Variant: core.Modified8025, Workload: onePDPStream(8)}
+	bad := base
+	bad.Variant = core.Variant(9)
+	if _, err := bad.Run(); err == nil {
+		t.Error("bad variant accepted")
+	}
+	bad = base
+	bad.Net.Stations = 0
+	if _, err := bad.Run(); err == nil {
+		t.Error("bad plant accepted")
+	}
+	bad = base
+	bad.Horizon = -1
+	if _, err := bad.Run(); err == nil {
+		t.Error("negative horizon accepted")
+	}
+	bad = base
+	bad.Workload.Streams = nil
+	if _, err := bad.Run(); err == nil {
+		t.Error("empty workload accepted")
+	}
+}
+
+func TestPDPSimAgreesWithTheorem41(t *testing.T) {
+	// Analytically guaranteed sets (at 92 % of saturation) must not miss
+	// under worst-case phasing with saturated async interference, when
+	// the simulator charges the analysis's token-pass average.
+	rng := rand.New(rand.NewSource(3))
+	gen := message.Generator{Streams: 10, MeanPeriod: 50e-3, PeriodRatio: 8}
+	for _, bw := range []float64{4e6, 100e6} {
+		for _, variant := range []core.Variant{core.Standard8025, core.Modified8025} {
+			set, err := gen.Draw(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pdp := core.PDP{Net: ring.IEEE8025(bw).WithStations(10), Frame: frame.PaperSpec(), Variant: variant}
+			sat, err := breakdown.Saturate(set, pdp, bw, breakdown.SaturateOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sat.Feasible {
+				t.Fatalf("setup: infeasible at %g bps", bw)
+			}
+			test := sat.Set.Scale(0.92)
+			w, err := NewWorkload(test, 10, PhasingSynchronized, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := PDPSim{
+				Net:            pdp.Net,
+				Frame:          pdp.Frame,
+				Variant:        variant,
+				Workload:       w,
+				AsyncSaturated: true,
+				TokenPass:      PassAverageHalfTheta,
+				Horizon:        2,
+			}.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.DeadlineMisses != 0 {
+				t.Errorf("%v at %g bps: %d misses for an analytically guaranteed set",
+					variant, bw, res.DeadlineMisses)
+			}
+		}
+	}
+}
+
+func TestPDPSimIdleWithoutAsync(t *testing.T) {
+	// A single short message then silence: the medium must go idle and
+	// the simulation must still terminate at the horizon.
+	res, err := PDPSim{
+		Net:      tinyPlant(),
+		Frame:    tinyFrame(),
+		Variant:  core.Modified8025,
+		Workload: onePDPStream(8),
+		Horizon:  0.5,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IdleTime <= 0 {
+		t.Errorf("idle time = %v, want > 0", res.IdleTime)
+	}
+	if res.Horizon != 0.5 {
+		t.Errorf("horizon = %v", res.Horizon)
+	}
+}

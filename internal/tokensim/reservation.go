@@ -1,0 +1,404 @@
+package tokensim
+
+import (
+	"errors"
+	"math"
+
+	"ringsched/internal/frame"
+	"ringsched/internal/ring"
+	"ringsched/internal/sim"
+	"ringsched/internal/stats"
+)
+
+// ErrBadPriorityLevels reports an unusable priority-level count.
+var ErrBadPriorityLevels = errors.New("tokensim: priority levels must be positive")
+
+// ReservationSim is a faithful simulator of the IEEE 802.5 priority and
+// reservation mechanism — the machinery the paper's PDP analysis abstracts
+// into "the highest-priority pending frame transmits next, paying Θ/2 on
+// average".
+//
+// Mechanics modeled:
+//
+//   - The free token carries a priority field P; a station may capture it
+//     only with a pending frame of priority ≥ P.
+//   - While a frame (or token) circulates, stations write their highest
+//     pending priority into the reservation field R.
+//   - The transmitter strips its frame after the header returns and issues
+//     a new token at priority max(P, R); a station that raises the ring's
+//     priority becomes a *stacking station* and is responsible for lowering
+//     it again (the 802.5 Sx/Sr stack).
+//   - The token holding timer admits one frame per capture (the paper's
+//     rate-monotonic implementation).
+//
+// Unlike PDPSim, arbitration is decided by the actual token state, so a
+// limited number of priority levels (IEEE 802.5 has 8) maps many streams
+// onto one level and produces real priority inversion — the effect the
+// EXT-PRIO experiment quantifies.
+type ReservationSim struct {
+	// Net is the ring plant.
+	Net ring.Config
+	// Frame is the shared frame format.
+	Frame frame.Spec
+	// Workload supplies the synchronous streams and their phasing;
+	// stream i sits at station i.
+	Workload Workload
+	// PriorityLevels is the number of distinct ring priority levels
+	// available to synchronous traffic (8 in IEEE 802.5). Streams are
+	// assigned levels rate-monotonically; with fewer levels than streams,
+	// several streams share a level and arbitration among them degrades
+	// to position order. Zero means one level per stream (ideal).
+	PriorityLevels int
+	// AsyncSaturated keeps a lowest-priority asynchronous frame pending
+	// at every station.
+	AsyncSaturated bool
+	// Horizon is the simulated duration; zero picks a default (20 periods
+	// of the slowest stream).
+	Horizon float64
+	// Tracer, when non-nil, observes simulator events.
+	Tracer Tracer
+	// Faults, when non-nil, injects token-loss failures (charged when the
+	// token is issued).
+	Faults *Faults
+}
+
+// resStation is one station's MAC state.
+type resStation struct {
+	// sync is nil for stations without a synchronous stream.
+	sync *stationState
+	// priority is the ring priority level of the station's synchronous
+	// frames (higher number = higher priority).
+	priority int
+	// stack holds the 802.5 priority stack: pairs of (old, new) the
+	// station pushed when it raised the ring priority.
+	stack []stackedPriority
+}
+
+type stackedPriority struct {
+	old int
+	new int
+}
+
+// resRun is the mutable state of one run.
+type resRun struct {
+	cfg      ReservationSim
+	engine   sim.Engine
+	stations []*resStation
+	horizon  float64
+
+	// tokenPrio is the priority field of the circulating free token;
+	// reservation is its reservation field.
+	tokenPrio   int
+	reservation int
+
+	syncTime  float64
+	asyncTime float64
+	tokenTime float64
+	recovery  float64
+	losses    int
+	passStats stats.Running
+	// lastService is when the previous frame finished, for inter-service
+	// gap statistics.
+	lastService float64
+	served      bool
+	// inversions counts frames transmitted while a strictly
+	// higher-priority frame was pending somewhere on the ring.
+	inversions int
+}
+
+// asyncPriority is the ring priority of background traffic: level 0, below
+// every synchronous level (1..L), matching 802.5 where the free token
+// rests at priority 0. A station with nothing to send reports noPending.
+const (
+	asyncPriority = 0
+	noPending     = -1
+)
+
+// Run executes the simulation.
+func (c ReservationSim) Run() (ReservationResult, error) {
+	if err := c.Net.Validate(); err != nil {
+		return ReservationResult{}, err
+	}
+	if err := c.Frame.Validate(); err != nil {
+		return ReservationResult{}, err
+	}
+	if err := c.Workload.Streams.Validate(); err != nil {
+		return ReservationResult{}, err
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return ReservationResult{}, err
+	}
+	if c.PriorityLevels < 0 {
+		return ReservationResult{}, ErrBadPriorityLevels
+	}
+	horizon := c.Horizon
+	if horizon == 0 {
+		horizon = horizonFor(c.Workload.Streams, 20)
+	}
+	if horizon <= 0 {
+		return ReservationResult{}, ErrBadHorizon
+	}
+
+	r := &resRun{cfg: c, horizon: horizon}
+	r.stations = make([]*resStation, c.Net.Stations)
+	for i := range r.stations {
+		r.stations[i] = &resStation{}
+	}
+	for i, s := range c.Workload.Streams {
+		r.stations[i].sync = &stationState{stream: s, nextArrival: c.Workload.Offsets[i]}
+	}
+	r.assignPriorities()
+
+	// The free token starts at station 0 at priority 0.
+	if _, err := r.engine.At(0, func() { r.tokenAt(0) }); err != nil {
+		return ReservationResult{}, err
+	}
+	r.engine.RunUntil(horizon)
+
+	syncStates := make([]*stationState, len(c.Workload.Streams))
+	for i := range c.Workload.Streams {
+		syncStates[i] = r.stations[i].sync
+	}
+	stationResults, misses := collectStations(syncStates, horizon)
+	res := ReservationResult{
+		Result: Result{
+			Protocol:       "IEEE 802.5 (reservation MAC)",
+			Horizon:        horizon,
+			Stations:       stationResults,
+			DeadlineMisses: misses,
+			SyncTime:       r.syncTime,
+			AsyncTime:      r.asyncTime,
+			TokenTime:      r.tokenTime,
+			RotationMean:   r.passStats.Mean(),
+			RotationMax:    r.passStats.Max(),
+			RotationN:      r.passStats.N(),
+			TokenLosses:    r.losses,
+			RecoveryTime:   r.recovery,
+		},
+		PriorityInversions: r.inversions,
+	}
+	res.IdleTime = math.Max(0, horizon-res.SyncTime-res.AsyncTime-res.TokenTime-res.RecoveryTime)
+	return res, nil
+}
+
+// ReservationResult extends Result with arbitration quality metrics.
+type ReservationResult struct {
+	Result
+	// PriorityInversions counts frames transmitted while a strictly
+	// higher-priority synchronous frame waited at another station —
+	// impossible under ideal arbitration, expected when priority levels
+	// are scarce.
+	PriorityInversions int
+}
+
+// assignPriorities maps streams to ring priority levels rate-monotonically:
+// the shortest period gets the highest level. With L levels and more
+// streams than levels, streams are partitioned into L rate groups.
+func (r *resRun) assignPriorities() {
+	type ranked struct {
+		station int
+		period  float64
+	}
+	var order []ranked
+	for i, st := range r.stations {
+		if st.sync != nil {
+			order = append(order, ranked{station: i, period: st.sync.stream.Period})
+		}
+	}
+	// Insertion sort by period ascending (n is small; avoids an import).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && order[j].period < order[j-1].period; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	levels := r.cfg.PriorityLevels
+	if levels == 0 || levels > len(order) {
+		levels = len(order)
+	}
+	if levels == 0 {
+		return
+	}
+	perLevel := (len(order) + levels - 1) / levels
+	for rank, o := range order {
+		// rank 0 (shortest period) → highest level number.
+		group := rank / perLevel
+		r.stations[o.station].priority = levels - group
+	}
+}
+
+// hopTime spreads Θ over the stations.
+func (r *resRun) hopTime() float64 {
+	return r.cfg.Net.Theta() / float64(r.cfg.Net.Stations)
+}
+
+// topPending returns the station's highest pending priority, or noPending
+// when it has nothing to send.
+func (r *resRun) topPending(idx int) int {
+	st := r.stations[idx]
+	if st.sync != nil && len(st.sync.queue) > 0 {
+		return st.priority
+	}
+	if r.cfg.AsyncSaturated {
+		return asyncPriority
+	}
+	return noPending
+}
+
+// highestPendingOnRing returns the maximum pending priority across all
+// stations (noPending when the ring is silent).
+func (r *resRun) highestPendingOnRing() int {
+	best := noPending
+	for i := range r.stations {
+		if p := r.topPending(i); p > best {
+			best = p
+		}
+	}
+	return best
+}
+
+// tokenAt processes the free token arriving at station idx.
+func (r *resRun) tokenAt(idx int) {
+	now := r.engine.Now()
+	for i, st := range r.stations {
+		if st.sync == nil {
+			continue
+		}
+		i := i
+		st.sync.release(now, func(msg pendingMessage) {
+			emit(r.cfg.Tracer, TraceEvent{Time: msg.arrival, Kind: TraceArrival, Station: i})
+		})
+	}
+	st := r.stations[idx]
+
+	// Unstacking: a stacking station seeing the free token at its stacked
+	// priority decides whether to lower the ring priority.
+	if len(st.stack) > 0 && st.stack[len(st.stack)-1].new == r.tokenPrio {
+		top := st.stack[len(st.stack)-1]
+		if r.reservation > top.old {
+			// Re-issue at the reserved priority; stay stacked.
+			st.stack[len(st.stack)-1].new = r.reservation
+			r.tokenPrio = r.reservation
+		} else {
+			r.tokenPrio = top.old
+			st.stack = st.stack[:len(st.stack)-1]
+		}
+		r.reservation = 0
+	}
+
+	// Capture: a pending frame of priority ≥ token priority seizes the
+	// token.
+	if p := r.topPending(idx); p >= r.tokenPrio && p >= asyncPriority {
+		r.transmit(idx, p, now)
+		return
+	}
+
+	// No capture: record a reservation bid and forward the token.
+	if p := r.topPending(idx); p > r.reservation && p > r.tokenPrio {
+		r.reservation = p
+	}
+	r.forwardToken(idx, now)
+}
+
+// transmit sends one frame from station idx at priority p.
+func (r *resRun) transmit(idx, p int, now float64) {
+	st := r.stations[idx]
+
+	// Priority inversion accounting: someone strictly higher is waiting.
+	if r.highestPendingOnRing() > p {
+		r.inversions++
+	}
+
+	var eff float64
+	finishMsg := false
+	isAsync := p == asyncPriority || st.sync == nil || len(st.sync.queue) == 0
+	var payload float64
+	if isAsync {
+		eff = math.Max(r.cfg.Frame.Time(r.cfg.Net.BandwidthBPS), r.cfg.Net.Theta())
+		payload = r.cfg.Frame.InfoBits
+		r.asyncTime += eff
+		emit(r.cfg.Tracer, TraceEvent{Time: now, Kind: TraceAsync, Station: idx, Duration: eff, Detail: payload})
+	} else {
+		msg := &st.sync.queue[0]
+		payload = math.Min(msg.remainingBits, r.cfg.Frame.InfoBits)
+		eff = r.effectiveFrameTime(payload)
+		r.syncTime += eff
+		msg.remainingBits -= payload
+		finishMsg = msg.remainingBits <= 0
+		emit(r.cfg.Tracer, TraceEvent{Time: now, Kind: TraceFrame, Station: idx, Duration: eff, Detail: payload})
+	}
+
+	if r.served {
+		r.passStats.Add(now - r.lastService)
+	}
+
+	done := now + eff
+	if done > r.horizon {
+		// The frame completes beyond the horizon; stop here.
+		return
+	}
+	_, _ = r.engine.At(done, func() {
+		if finishMsg {
+			completed := st.sync.queue[0]
+			st.sync.queue = st.sync.queue[1:]
+			lateness := st.sync.finish(completed, r.engine.Now())
+			kind := TraceComplete
+			if lateness > 0 {
+				kind = TraceMiss
+			}
+			emit(r.cfg.Tracer, TraceEvent{Time: r.engine.Now(), Kind: kind, Station: idx, Detail: lateness})
+		}
+		r.lastService = r.engine.Now()
+		r.served = true
+
+		// Issue the new token. The reservation field collected during the
+		// frame's circulation is the max pending priority elsewhere.
+		reserved := noPending
+		for i := range r.stations {
+			if i == idx {
+				continue
+			}
+			if q := r.topPending(i); q > reserved {
+				reserved = q
+			}
+		}
+		if reserved > r.tokenPrio {
+			// Raise the ring priority and stack.
+			r.stations[idx].stack = append(r.stations[idx].stack,
+				stackedPriority{old: r.tokenPrio, new: reserved})
+			r.tokenPrio = reserved
+		}
+		r.reservation = 0
+		r.forwardToken(idx, r.engine.Now())
+	})
+}
+
+// forwardToken moves the free token one hop; the token can be lost on any
+// hop, charging the fault model's recovery time.
+func (r *resRun) forwardToken(idx int, now float64) {
+	lost := r.cfg.Faults.roll()
+	if lost > 0 {
+		r.losses++
+		r.recovery += lost
+	}
+	hop := r.hopTime()
+	r.tokenTime += hop
+	next := (idx + 1) % r.cfg.Net.Stations
+	at := now + hop + lost
+	if at <= r.horizon {
+		_, _ = r.engine.At(at, func() { r.tokenAt(next) })
+	}
+}
+
+// effectiveFrameTime applies the Section 4.3 medium occupancy rules.
+func (r *resRun) effectiveFrameTime(payloadBits float64) float64 {
+	bw := r.cfg.Net.BandwidthBPS
+	theta := r.cfg.Net.Theta()
+	f := r.cfg.Frame.Time(bw)
+	if f <= theta {
+		return theta
+	}
+	if payloadBits >= r.cfg.Frame.InfoBits {
+		return f
+	}
+	return math.Max((payloadBits+r.cfg.Frame.OvhdBits)/bw, theta)
+}

@@ -1,0 +1,279 @@
+package tokensim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ringsched/internal/breakdown"
+	"ringsched/internal/core"
+	"ringsched/internal/message"
+)
+
+func TestReservationHandTimingSingleStream(t *testing.T) {
+	// One stream, two full frames on the tiny plant. Like the standard
+	// protocol, the sender must let its free token circulate the whole
+	// ring (4 hops × 1 µs) before recapturing: completion at
+	// 10 + 4 + 10 = 24 µs.
+	res, err := ReservationSim{
+		Net:      tinyPlant(),
+		Frame:    tinyFrame(),
+		Workload: onePDPStream(16),
+		Horizon:  0.01,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlineMisses != 0 {
+		t.Fatalf("misses = %d", res.DeadlineMisses)
+	}
+	if got := res.Stations[0].MaxResponse; math.Abs(got-24e-6) > 1e-12 {
+		t.Errorf("response = %v, want 24us", got)
+	}
+	if res.PriorityInversions != 0 {
+		t.Errorf("inversions = %d, want 0 (no contention)", res.PriorityInversions)
+	}
+}
+
+func TestReservationPriorityArbitration(t *testing.T) {
+	// Slow stream at station 0, fast at station 1, both arriving at t=0.
+	// The token physically reaches station 0 first, so exactly one
+	// lower-priority frame slips out (bounded priority inversion); the
+	// reservation mechanism then hands the ring to the fast stream.
+	set := message.Set{
+		{Name: "slow", Period: 100e-3, LengthBits: 32}, // 4 frames
+		{Name: "fast", Period: 10e-3, LengthBits: 16},  // 2 frames
+	}
+	w, err := NewWorkload(set, 4, PhasingSynchronized, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReservationSim{
+		Net:      tinyPlant(),
+		Frame:    tinyFrame(),
+		Workload: w,
+		Horizon:  5e-3,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlineMisses != 0 {
+		t.Fatalf("misses = %d", res.DeadlineMisses)
+	}
+	if res.PriorityInversions == 0 {
+		t.Error("expected at least the initial token-position inversion")
+	}
+	fast, slow := res.Stations[1], res.Stations[0]
+	if fast.MaxResponse >= slow.MaxResponse {
+		t.Errorf("fast response %v not below slow %v", fast.MaxResponse, slow.MaxResponse)
+	}
+	// Lemma 4.1's blocking bound is hit with equality here: the slow
+	// station slips one frame at t=0 (the token reaches it first) and one
+	// more right after the stack unwinds — 2·max(F, Θ) = 20 µs of
+	// lower-priority interference in total. The fast stream's own cost is
+	// an initial hop + two frames + the recapture circulation = 25 µs.
+	blocking := 2 * math.Max(tinyFrame().Time(1e6), tinyPlant().Theta())
+	own := tinyPlant().Theta()/4 + 2*tinyFrame().Time(1e6) + tinyPlant().Theta()
+	if fast.MaxResponse > own+blocking+1e-12 {
+		t.Errorf("fast response %v exceeds own+blocking bound %v (Lemma 4.1 violated)",
+			fast.MaxResponse, own+blocking)
+	}
+	if math.Abs(fast.MaxResponse-(own+blocking)) > 1e-9 {
+		t.Logf("note: blocking below the Lemma 4.1 bound (response %v, bound %v)",
+			fast.MaxResponse, own+blocking)
+	}
+}
+
+func TestReservationStackUnwinds(t *testing.T) {
+	// After a burst of high-priority traffic ends, the stacking station
+	// must lower the ring priority so low-priority (async) traffic flows
+	// again.
+	set := message.Set{{Name: "hi", Period: 1e-3, LengthBits: 8}}
+	w, err := NewWorkload(set, 4, PhasingSynchronized, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReservationSim{
+		Net:            tinyPlant(),
+		Frame:          tinyFrame(),
+		Workload:       w,
+		AsyncSaturated: true,
+		Horizon:        50e-3,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlineMisses != 0 {
+		t.Fatalf("misses = %d", res.DeadlineMisses)
+	}
+	if res.AsyncTime == 0 {
+		t.Error("async traffic starved: priority stack never unwound")
+	}
+	if res.SyncTime == 0 {
+		t.Error("no sync traffic served")
+	}
+	// The 1 ms stream must keep making progress all run long.
+	if res.Stations[0].Completed < 40 {
+		t.Errorf("completed %d messages in 50 periods, want ≥ 40", res.Stations[0].Completed)
+	}
+}
+
+func TestReservationLimitedPriorityLevels(t *testing.T) {
+	// With a single ring priority level, rate-monotonic arbitration
+	// degrades to token order and the fastest stream's worst response
+	// grows.
+	set := message.Set{
+		{Name: "p1", Period: 5e-3, LengthBits: 64},
+		{Name: "p2", Period: 20e-3, LengthBits: 256},
+		{Name: "p3", Period: 40e-3, LengthBits: 256},
+		{Name: "p4", Period: 80e-3, LengthBits: 512},
+	}
+	run := func(levels int) ReservationResult {
+		w, err := NewWorkload(set, 4, PhasingSynchronized, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ReservationSim{
+			Net:            tinyPlant(),
+			Frame:          tinyFrame(),
+			Workload:       w,
+			PriorityLevels: levels,
+			Horizon:        0.4,
+		}.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ideal := run(0)  // distinct level per stream
+	coarse := run(1) // everything at one level
+	if ideal.DeadlineMisses != 0 {
+		t.Fatalf("ideal levels missed %d deadlines", ideal.DeadlineMisses)
+	}
+	fastIdeal := ideal.Stations[0].MaxResponse
+	fastCoarse := coarse.Stations[0].MaxResponse
+	if fastCoarse <= fastIdeal {
+		t.Errorf("single-level fast response %v not worse than per-stream levels %v",
+			fastCoarse, fastIdeal)
+	}
+}
+
+func TestReservationAgainstPDPSim(t *testing.T) {
+	// The faithful MAC and the abstracted PDPSim must agree at modest
+	// load: an analytically guaranteed set at half saturation meets every
+	// deadline in both.
+	const n, bw = 8, 4e6
+	gen := message.Generator{Streams: n, MeanPeriod: 50e-3, PeriodRatio: 8}
+	set, err := gen.Draw(rand.New(rand.NewSource(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdp := core.NewStandardPDP(bw)
+	pdp.Net = pdp.Net.WithStations(n)
+	sat, err := breakdown.Saturate(set, pdp, bw, breakdown.SaturateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sat.Feasible {
+		t.Fatal("setup: infeasible")
+	}
+	test := sat.Set.Scale(0.5)
+	w, err := NewWorkload(test, n, PhasingSynchronized, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReservationSim{
+		Net:            pdp.Net,
+		Frame:          pdp.Frame,
+		Workload:       w,
+		AsyncSaturated: true,
+		Horizon:        2,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlineMisses != 0 {
+		t.Errorf("reservation MAC missed %d deadlines at half the analytic saturation", res.DeadlineMisses)
+	}
+	if res.Utilization() < 0.9 {
+		t.Errorf("medium should be nearly saturated with async, got %v", res.Utilization())
+	}
+}
+
+func TestReservationValidation(t *testing.T) {
+	base := ReservationSim{
+		Net:      tinyPlant(),
+		Frame:    tinyFrame(),
+		Workload: onePDPStream(8),
+	}
+	bad := base
+	bad.PriorityLevels = -1
+	if _, err := bad.Run(); err == nil {
+		t.Error("negative levels accepted")
+	}
+	bad = base
+	bad.Net.Stations = 0
+	if _, err := bad.Run(); err == nil {
+		t.Error("bad plant accepted")
+	}
+	bad = base
+	bad.Horizon = -1
+	if _, err := bad.Run(); err == nil {
+		t.Error("negative horizon accepted")
+	}
+	bad = base
+	bad.Faults = &Faults{TokenLossProb: 0.2}
+	if _, err := bad.Run(); err == nil {
+		t.Error("invalid faults accepted")
+	}
+}
+
+func TestReservationTokenLoss(t *testing.T) {
+	sim := ReservationSim{
+		Net:      tinyPlant(),
+		Frame:    tinyFrame(),
+		Workload: onePDPStream(8),
+		Horizon:  5,
+		Faults: &Faults{
+			TokenLossProb: 1,
+			RecoveryTime:  1.5,
+			Rng:           rand.New(rand.NewSource(1)),
+		},
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TokenLosses == 0 {
+		t.Error("no token losses recorded")
+	}
+	if res.DeadlineMisses == 0 {
+		t.Error("period-scale recoveries should cause misses")
+	}
+}
+
+func TestReservationIdleRingTokenCycles(t *testing.T) {
+	// With no traffic the token just circulates; the run must terminate
+	// at the horizon with pure token time.
+	set := message.Set{{Name: "late", Period: 1, LengthBits: 8}}
+	w, err := NewWorkload(set, 4, PhasingSynchronized, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Offsets[0] = 0.9 // arrives near the end
+	res, err := ReservationSim{
+		Net:      tinyPlant(),
+		Frame:    tinyFrame(),
+		Workload: w,
+		Horizon:  10e-3,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SyncTime != 0 || res.AsyncTime != 0 {
+		t.Errorf("idle ring transmitted: sync=%v async=%v", res.SyncTime, res.AsyncTime)
+	}
+	if res.TokenTime <= 0 {
+		t.Error("token never circulated")
+	}
+}

@@ -1,0 +1,132 @@
+package tokensim
+
+import (
+	"fmt"
+	"io"
+)
+
+// TraceKind classifies simulator trace events.
+type TraceKind int
+
+const (
+	// TraceArrival is a synchronous message release.
+	TraceArrival TraceKind = iota + 1
+	// TraceFrame is one synchronous frame (or burst chunk) transmission.
+	TraceFrame
+	// TraceAsync is an asynchronous frame transmission.
+	TraceAsync
+	// TraceTokenPass is a token movement charged to the medium.
+	TraceTokenPass
+	// TraceComplete is a message finishing before its deadline.
+	TraceComplete
+	// TraceMiss is a message finishing after its deadline.
+	TraceMiss
+)
+
+// String implements fmt.Stringer.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceArrival:
+		return "arrival"
+	case TraceFrame:
+		return "frame"
+	case TraceAsync:
+		return "async"
+	case TraceTokenPass:
+		return "token"
+	case TraceComplete:
+		return "complete"
+	case TraceMiss:
+		return "MISS"
+	default:
+		return fmt.Sprintf("TraceKind(%d)", int(k))
+	}
+}
+
+// TraceEvent is one observed simulator event.
+type TraceEvent struct {
+	// Time is the simulation time of the event in seconds.
+	Time float64
+	// Kind classifies the event.
+	Kind TraceKind
+	// Station is the ring position involved.
+	Station int
+	// Duration is medium time consumed (frames, token passes); zero for
+	// instantaneous events.
+	Duration float64
+	// Detail carries event-specific data: payload bits for frames,
+	// lateness for completions/misses.
+	Detail float64
+}
+
+// String renders one event as a log line.
+func (e TraceEvent) String() string {
+	switch e.Kind {
+	case TraceFrame, TraceAsync:
+		return fmt.Sprintf("%12.6fms %-8s stn=%-3d dur=%.3fus payload=%.0fb",
+			e.Time*1e3, e.Kind, e.Station, e.Duration*1e6, e.Detail)
+	case TraceTokenPass:
+		return fmt.Sprintf("%12.6fms %-8s stn=%-3d dur=%.3fus",
+			e.Time*1e3, e.Kind, e.Station, e.Duration*1e6)
+	case TraceComplete, TraceMiss:
+		return fmt.Sprintf("%12.6fms %-8s stn=%-3d lateness=%.3fms",
+			e.Time*1e3, e.Kind, e.Station, e.Detail*1e3)
+	default:
+		return fmt.Sprintf("%12.6fms %-8s stn=%-3d", e.Time*1e3, e.Kind, e.Station)
+	}
+}
+
+// Tracer receives simulator events as they occur. Implementations must be
+// fast; they run inline with the simulation.
+type Tracer interface {
+	Trace(e TraceEvent)
+}
+
+// TracerFunc adapts a function to the Tracer interface.
+type TracerFunc func(e TraceEvent)
+
+// Trace implements Tracer.
+func (f TracerFunc) Trace(e TraceEvent) { f(e) }
+
+// WriterTracer logs every event as a line to an io.Writer, up to Limit
+// events (0 = unlimited).
+type WriterTracer struct {
+	W     io.Writer
+	Limit int
+
+	written int
+}
+
+var _ Tracer = (*WriterTracer)(nil)
+
+// Trace implements Tracer.
+func (t *WriterTracer) Trace(e TraceEvent) {
+	if t.Limit > 0 && t.written >= t.Limit {
+		return
+	}
+	t.written++
+	fmt.Fprintln(t.W, e.String())
+}
+
+// CountingTracer tallies events by kind; tests use it to assert on
+// simulator behavior without string parsing.
+type CountingTracer struct {
+	Counts map[TraceKind]int
+}
+
+var _ Tracer = (*CountingTracer)(nil)
+
+// Trace implements Tracer.
+func (t *CountingTracer) Trace(e TraceEvent) {
+	if t.Counts == nil {
+		t.Counts = make(map[TraceKind]int)
+	}
+	t.Counts[e.Kind]++
+}
+
+// emit sends an event to an optional tracer.
+func emit(tr Tracer, e TraceEvent) {
+	if tr != nil {
+		tr.Trace(e)
+	}
+}

@@ -1,0 +1,154 @@
+package tokensim
+
+import (
+	"strings"
+	"testing"
+
+	"ringsched/internal/core"
+)
+
+func TestCountingTracerPDP(t *testing.T) {
+	var ct CountingTracer
+	sim := PDPSim{
+		Net:      tinyPlant(),
+		Frame:    tinyFrame(),
+		Variant:  core.Standard8025,
+		Workload: onePDPStream(16), // two frames
+		Horizon:  0.1,
+		Tracer:   &ct,
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlineMisses != 0 {
+		t.Fatal("unexpected misses")
+	}
+	if got := ct.Counts[TraceFrame]; got != 2 {
+		t.Errorf("frames traced = %d, want 2", got)
+	}
+	if got := ct.Counts[TraceComplete]; got != 1 {
+		t.Errorf("completions traced = %d, want 1", got)
+	}
+	if got := ct.Counts[TraceArrival]; got != 1 {
+		t.Errorf("arrivals traced = %d, want 1", got)
+	}
+	// Standard protocol: the second frame needed a full-token pass.
+	if got := ct.Counts[TraceTokenPass]; got != 1 {
+		t.Errorf("token passes traced = %d, want 1", got)
+	}
+	if got := ct.Counts[TraceMiss]; got != 0 {
+		t.Errorf("misses traced = %d, want 0", got)
+	}
+}
+
+func TestTracerObservesMisses(t *testing.T) {
+	var ct CountingTracer
+	sim := PDPSim{
+		Net:      tinyPlant(),
+		Frame:    tinyFrame(),
+		Variant:  core.Modified8025,
+		Workload: onePDPStream(2e6), // 2 s of payload per 1 s period
+		Horizon:  3,
+		Tracer:   &ct,
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlineMisses == 0 {
+		t.Fatal("setup: expected misses")
+	}
+	if ct.Counts[TraceMiss] == 0 {
+		t.Error("misses not traced")
+	}
+}
+
+func TestCountingTracerTTP(t *testing.T) {
+	var ct CountingTracer
+	sim := ttpTinySim(36, 20e-6) // two visits to complete
+	sim.Tracer = &ct
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlineMisses != 0 {
+		t.Fatal("unexpected misses")
+	}
+	if got := ct.Counts[TraceFrame]; got != 2 {
+		t.Errorf("frames traced = %d, want 2", got)
+	}
+	if got := ct.Counts[TraceComplete]; got != 1 {
+		t.Errorf("completions traced = %d, want 1", got)
+	}
+	if got := ct.Counts[TraceArrival]; got != 1 {
+		t.Errorf("arrivals traced = %d, want 1", got)
+	}
+}
+
+func TestTracerTTPAsync(t *testing.T) {
+	var ct CountingTracer
+	sim := ttpTinySim(8, 20e-6)
+	sim.AsyncSaturated = true
+	sim.Horizon = 2e-3
+	sim.Tracer = &ct
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ct.Counts[TraceAsync] == 0 {
+		t.Error("async frames not traced")
+	}
+}
+
+func TestWriterTracer(t *testing.T) {
+	var sb strings.Builder
+	wt := &WriterTracer{W: &sb, Limit: 3}
+	for i := 0; i < 10; i++ {
+		wt.Trace(TraceEvent{Time: float64(i), Kind: TraceFrame, Station: i})
+	}
+	lines := strings.Count(sb.String(), "\n")
+	if lines != 3 {
+		t.Errorf("wrote %d lines, want 3 (limit)", lines)
+	}
+	// Unlimited writer.
+	sb.Reset()
+	wt = &WriterTracer{W: &sb}
+	for i := 0; i < 5; i++ {
+		wt.Trace(TraceEvent{Time: float64(i), Kind: TraceTokenPass})
+	}
+	if strings.Count(sb.String(), "\n") != 5 {
+		t.Errorf("unlimited writer wrote %d lines, want 5", strings.Count(sb.String(), "\n"))
+	}
+}
+
+func TestTracerFunc(t *testing.T) {
+	n := 0
+	var tr Tracer = TracerFunc(func(TraceEvent) { n++ })
+	tr.Trace(TraceEvent{})
+	tr.Trace(TraceEvent{})
+	if n != 2 {
+		t.Errorf("TracerFunc called %d times, want 2", n)
+	}
+}
+
+func TestTraceEventStrings(t *testing.T) {
+	events := []TraceEvent{
+		{Time: 1e-3, Kind: TraceArrival, Station: 3},
+		{Time: 1e-3, Kind: TraceFrame, Station: 3, Duration: 1e-6, Detail: 512},
+		{Time: 1e-3, Kind: TraceAsync, Station: 3, Duration: 1e-6, Detail: 512},
+		{Time: 1e-3, Kind: TraceTokenPass, Station: 3, Duration: 1e-6},
+		{Time: 1e-3, Kind: TraceComplete, Station: 3, Detail: -1e-3},
+		{Time: 1e-3, Kind: TraceMiss, Station: 3, Detail: 2e-3},
+	}
+	for _, e := range events {
+		if e.String() == "" {
+			t.Errorf("%v: empty String()", e.Kind)
+		}
+		if !strings.Contains(e.String(), e.Kind.String()) {
+			t.Errorf("String %q missing kind %q", e.String(), e.Kind)
+		}
+	}
+	if TraceKind(99).String() == "" {
+		t.Error("unknown kind should stringify")
+	}
+}

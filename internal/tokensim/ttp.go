@@ -1,0 +1,288 @@
+package tokensim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ringsched/internal/core"
+	"ringsched/internal/frame"
+	"ringsched/internal/message"
+	"ringsched/internal/ring"
+	"ringsched/internal/sim"
+	"ringsched/internal/stats"
+)
+
+// Errors returned by the TTP simulator.
+var (
+	ErrBadTTRT        = errors.New("tokensim: TTRT must be positive")
+	ErrBadAllocations = errors.New("tokensim: one synchronous allocation per stream required")
+)
+
+// TTPSim simulates the timed token protocol with the real FDDI timer
+// rules: every station runs a token rotation timer against TTRT; a station
+// receiving an early token may send asynchronous traffic for the earliness
+// (token holding time), a late token admits synchronous traffic only;
+// synchronous transmission is always admitted up to the station's
+// allocation h_i; an asynchronous frame in progress always completes
+// (asynchronous overrun).
+type TTPSim struct {
+	// Net is the ring plant.
+	Net ring.Config
+	// SyncFrame supplies the per-frame overhead added to each synchronous
+	// burst.
+	SyncFrame frame.Spec
+	// AsyncFrame is the (maximum-length) asynchronous frame.
+	AsyncFrame frame.Spec
+	// TTRT is the target token rotation time negotiated at ring
+	// initialization.
+	TTRT float64
+	// Allocations holds the synchronous bandwidth h_i of each stream's
+	// station, aligned with Workload.Streams.
+	Allocations []float64
+	// Workload supplies the synchronous streams and their phasing.
+	Workload Workload
+	// AsyncSaturated, when true, keeps every station's asynchronous queue
+	// full, so all token earliness is consumed (plus overrun) — the
+	// worst-case interference the analysis assumes.
+	AsyncSaturated bool
+	// Horizon is the simulated duration; zero picks a default (20 periods
+	// of the slowest stream).
+	Horizon float64
+	// Tracer, when non-nil, observes every simulator event (arrivals,
+	// frames, async bursts, completions).
+	Tracer Tracer
+	// Faults, when non-nil, injects token-loss failures.
+	Faults *Faults
+}
+
+// NewTTPSimFromAnalysis builds a simulator whose TTRT and synchronous
+// allocations come from the Theorem 5.1 analyzer, so simulation validates
+// exactly the configuration the analysis guarantees.
+func NewTTPSimFromAnalysis(t core.TTP, m message.Set, w Workload) (TTPSim, error) {
+	rep, err := t.Report(m)
+	if err != nil {
+		return TTPSim{}, err
+	}
+	alloc := make([]float64, len(rep.Streams))
+	for i, sr := range rep.Streams {
+		alloc[i] = sr.Allocation
+	}
+	return TTPSim{
+		Net:         t.Net,
+		SyncFrame:   t.SyncFrame,
+		AsyncFrame:  t.AsyncFrame,
+		TTRT:        rep.TTRT,
+		Allocations: alloc,
+		Workload:    w,
+	}, nil
+}
+
+// ttpStation is the FDDI timer state of one ring station.
+type ttpStation struct {
+	// sync is nil for stations without a synchronous stream.
+	sync *stationState
+	// allocation is h_i (0 for pure asynchronous stations).
+	allocation float64
+	// timerStart is when the rotation timer last (re)started.
+	timerStart float64
+	// lastVisit is the previous token arrival, for rotation statistics.
+	lastVisit float64
+	visited   bool
+}
+
+// ttpRun is the mutable state of one run.
+type ttpRun struct {
+	cfg      TTPSim
+	engine   sim.Engine
+	stations []*ttpStation
+	horizon  float64
+
+	syncTime  float64
+	asyncTime float64
+	tokenTime float64
+	rotation  stats.Running
+	losses    int
+	recovery  float64
+}
+
+// Run executes the simulation.
+func (c TTPSim) Run() (Result, error) {
+	if err := c.Net.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := c.SyncFrame.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := c.AsyncFrame.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := c.Workload.Streams.Validate(); err != nil {
+		return Result{}, err
+	}
+	if c.TTRT <= 0 || math.IsNaN(c.TTRT) {
+		return Result{}, ErrBadTTRT
+	}
+	if len(c.Allocations) != len(c.Workload.Streams) {
+		return Result{}, fmt.Errorf("%w: %d allocations for %d streams",
+			ErrBadAllocations, len(c.Allocations), len(c.Workload.Streams))
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return Result{}, err
+	}
+	horizon := c.Horizon
+	if horizon == 0 {
+		horizon = horizonFor(c.Workload.Streams, 20)
+	}
+	if horizon <= 0 {
+		return Result{}, ErrBadHorizon
+	}
+
+	r := &ttpRun{cfg: c, horizon: horizon}
+	r.stations = make([]*ttpStation, c.Net.Stations)
+	for i := range r.stations {
+		r.stations[i] = &ttpStation{}
+	}
+	for i, s := range c.Workload.Streams {
+		r.stations[i].sync = &stationState{stream: s, nextArrival: c.Workload.Offsets[i]}
+		r.stations[i].allocation = c.Allocations[i]
+	}
+
+	// The token starts at station 0 at time 0 with all timers fresh.
+	if _, err := r.engine.At(0, func() { r.tokenArrive(0) }); err != nil {
+		return Result{}, err
+	}
+	r.engine.RunUntil(horizon)
+
+	syncStates := make([]*stationState, len(c.Workload.Streams))
+	for i := range c.Workload.Streams {
+		syncStates[i] = r.stations[i].sync
+	}
+	stationResults, misses := collectStations(syncStates, horizon)
+	res := Result{
+		Protocol:       "FDDI",
+		Horizon:        horizon,
+		Stations:       stationResults,
+		DeadlineMisses: misses,
+		SyncTime:       r.syncTime,
+		AsyncTime:      r.asyncTime,
+		TokenTime:      r.tokenTime,
+		RotationMean:   r.rotation.Mean(),
+		RotationMax:    r.rotation.Max(),
+		RotationN:      r.rotation.N(),
+		TokenLosses:    r.losses,
+		RecoveryTime:   r.recovery,
+	}
+	res.IdleTime = math.Max(0, horizon-res.SyncTime-res.AsyncTime-res.TokenTime-res.RecoveryTime)
+	return res, nil
+}
+
+// hopTime spreads the token circulation time Θ uniformly over the hops.
+func (r *ttpRun) hopTime() float64 {
+	return r.cfg.Net.Theta() / float64(r.cfg.Net.Stations)
+}
+
+// tokenArrive services station idx and forwards the token.
+func (r *ttpRun) tokenArrive(idx int) {
+	now := r.engine.Now()
+	st := r.stations[idx]
+
+	// Rotation statistics and the rotation timer.
+	if st.visited {
+		r.rotation.Add(now - st.lastVisit)
+	}
+	st.lastVisit = now
+	st.visited = true
+
+	elapsed := now - st.timerStart
+	var tht float64
+	if elapsed < r.cfg.TTRT {
+		// Early token: bank the earliness as asynchronous holding time
+		// and restart the rotation timer.
+		tht = r.cfg.TTRT - elapsed
+		st.timerStart = now
+	} else {
+		// Late token: the rotation timer already expired (at
+		// timerStart+TTRT) and restarted; it keeps running from its last
+		// expiry, and no asynchronous traffic is admitted this visit.
+		expiries := math.Max(1, math.Floor(elapsed/r.cfg.TTRT))
+		st.timerStart += expiries * r.cfg.TTRT
+	}
+
+	busy := 0.0
+
+	// Synchronous transmission: always admitted, up to the allocation.
+	if st.sync != nil {
+		st.sync.release(now, func(msg pendingMessage) {
+			emit(r.cfg.Tracer, TraceEvent{Time: msg.arrival, Kind: TraceArrival, Station: idx})
+		})
+		busy += r.transmitSync(st, idx, now)
+	}
+
+	// Asynchronous transmission: only on an early token, for at most the
+	// banked holding time, with one frame of overrun allowed.
+	if r.cfg.AsyncSaturated && tht > 0 {
+		fa := r.cfg.AsyncFrame.Time(r.cfg.Net.BandwidthBPS)
+		for tht > 0 {
+			r.asyncTime += fa
+			emit(r.cfg.Tracer, TraceEvent{
+				Time: now + busy, Kind: TraceAsync, Station: idx,
+				Duration: fa, Detail: r.cfg.AsyncFrame.InfoBits,
+			})
+			busy += fa
+			tht -= fa
+		}
+	}
+
+	// Forward the token one hop; a lost token costs a recovery period
+	// before the neighbor sees it again.
+	hop := r.hopTime()
+	r.tokenTime += hop
+	lost := r.cfg.Faults.roll()
+	if lost > 0 {
+		r.losses++
+		r.recovery += lost
+	}
+	next := (idx + 1) % r.cfg.Net.Stations
+	at := now + busy + hop + lost
+	if at <= r.horizon {
+		_, _ = r.engine.At(at, func() { r.tokenArrive(next) })
+	}
+}
+
+// transmitSync sends frames from the station's synchronous queue within
+// its allocation and returns the medium time used. Each frame pays the
+// per-frame overhead; messages complete when their last payload bit is
+// sent.
+func (r *ttpRun) transmitSync(st *ttpStation, idx int, now float64) float64 {
+	bw := r.cfg.Net.BandwidthBPS
+	fovhd := r.cfg.SyncFrame.OvhdTime(bw)
+	budget := st.allocation
+	used := 0.0
+	for len(st.sync.queue) > 0 && budget > fovhd {
+		msg := &st.sync.queue[0]
+		payloadTime := math.Min(msg.remainingBits/bw, budget-fovhd)
+		frameTime := fovhd + payloadTime
+		emit(r.cfg.Tracer, TraceEvent{
+			Time: now + used, Kind: TraceFrame, Station: idx,
+			Duration: frameTime, Detail: payloadTime * bw,
+		})
+		budget -= frameTime
+		used += frameTime
+		msg.remainingBits -= payloadTime * bw
+		if msg.remainingBits <= 1e-9 {
+			completed := st.sync.queue[0]
+			st.sync.queue = st.sync.queue[1:]
+			lateness := st.sync.finish(completed, now+used)
+			kind := TraceComplete
+			if lateness > 0 {
+				kind = TraceMiss
+			}
+			emit(r.cfg.Tracer, TraceEvent{
+				Time: now + used, Kind: kind, Station: idx, Detail: lateness,
+			})
+		}
+	}
+	r.syncTime += used
+	return used
+}

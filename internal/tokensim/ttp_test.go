@@ -1,0 +1,398 @@
+package tokensim
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ringsched/internal/breakdown"
+	"ringsched/internal/core"
+	"ringsched/internal/frame"
+	"ringsched/internal/message"
+	"ringsched/internal/ring"
+)
+
+// ttpTinyPlant: 2 stations, Θ = 4 µs (4 token bits at 1 Mbps), hop 2 µs.
+func ttpTinyPlant() ring.Config {
+	return ring.Config{
+		Stations:            2,
+		SpacingMeters:       0,
+		BandwidthBPS:        1e6,
+		BitDelayPerStation:  0,
+		TokenBits:           4,
+		PropagationFraction: 0.75,
+	}
+}
+
+func ttpTinySim(bits float64, alloc float64) TTPSim {
+	w, err := NewWorkload(message.Set{{Name: "s", Period: 1, LengthBits: bits}},
+		2, PhasingSynchronized, nil)
+	if err != nil {
+		panic(err)
+	}
+	return TTPSim{
+		Net:         ttpTinyPlant(),
+		SyncFrame:   frame.Spec{InfoBits: 8, OvhdBits: 2},
+		AsyncFrame:  frame.Spec{InfoBits: 8, OvhdBits: 2},
+		TTRT:        100e-6,
+		Allocations: []float64{alloc},
+		Workload:    w,
+		Horizon:     0.01,
+	}
+}
+
+func TestTTPSimHandTiming(t *testing.T) {
+	// 36 payload bits, allocation 20 µs per visit with 2 µs frame
+	// overhead ⇒ 18 µs payload per visit ⇒ two visits. First visit at
+	// t=0 transmits 20 µs; token tours (2 hops × 2 µs + 0 at empty
+	// station); second visit at t=24 µs finishes the remaining 18 bits
+	// at t=44 µs.
+	res, err := ttpTinySim(36, 20e-6).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlineMisses != 0 {
+		t.Fatalf("misses = %d", res.DeadlineMisses)
+	}
+	if got := res.Stations[0].MaxResponse; math.Abs(got-44e-6) > 1e-12 {
+		t.Errorf("response = %v, want 44us", got)
+	}
+}
+
+func TestTTPSimSyncBudgetEnforced(t *testing.T) {
+	// Allocation below one frame overhead: the station can never send.
+	sim := ttpTinySim(8, 1e-6)
+	// Short period so missed deadlines fall inside the horizon.
+	sim.Workload.Streams[0].Period = 1e-3
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SyncTime != 0 {
+		t.Errorf("sync time = %v, want 0 (budget below frame overhead)", res.SyncTime)
+	}
+	if res.DeadlineMisses == 0 {
+		t.Error("starved stream should miss its deadline")
+	}
+}
+
+func TestTTPSimIdleRotationIsTheta(t *testing.T) {
+	// With no traffic at all, the token rotates in exactly Θ.
+	sim := ttpTinySim(1, 20e-6)
+	sim.Workload.Offsets[0] = 5e-3 // first arrival late in the run
+	sim.Horizon = 4e-3             // ends before the arrival
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta := ttpTinyPlant().Theta()
+	if math.Abs(res.RotationMean-theta) > 1e-12 {
+		t.Errorf("idle rotation = %v, want Θ = %v", res.RotationMean, theta)
+	}
+}
+
+func TestTTPSimAsyncOnlyWhenEarly(t *testing.T) {
+	// Saturated async on an otherwise idle ring: every rotation absorbs
+	// the earliness, so the rotation time approaches TTRT but never
+	// exceeds 2·TTRT.
+	sim := ttpTinySim(8, 20e-6)
+	sim.AsyncSaturated = true
+	sim.Horizon = 0.05
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AsyncTime == 0 {
+		t.Fatal("async never transmitted")
+	}
+	if res.RotationMax > 2*sim.TTRT+1e-12 {
+		t.Errorf("rotation max %v exceeded 2·TTRT %v", res.RotationMax, 2*sim.TTRT)
+	}
+	// Sevcik–Johnson: the average rotation stays at or below TTRT, and
+	// saturation keeps it well above the idle rotation Θ.
+	if res.RotationMean > sim.TTRT+1e-12 {
+		t.Errorf("rotation mean %v exceeded TTRT %v", res.RotationMean, sim.TTRT)
+	}
+	if res.RotationMean < 0.3*sim.TTRT {
+		t.Errorf("rotation mean %v implausibly low under saturation", res.RotationMean)
+	}
+}
+
+func TestTTPSimValidation(t *testing.T) {
+	base := ttpTinySim(8, 20e-6)
+
+	bad := base
+	bad.TTRT = 0
+	if _, err := bad.Run(); !errors.Is(err, ErrBadTTRT) {
+		t.Errorf("zero TTRT: %v, want ErrBadTTRT", err)
+	}
+	bad = base
+	bad.Allocations = nil
+	if _, err := bad.Run(); !errors.Is(err, ErrBadAllocations) {
+		t.Errorf("missing allocations: %v, want ErrBadAllocations", err)
+	}
+	bad = base
+	bad.Net.Stations = 0
+	if _, err := bad.Run(); err == nil {
+		t.Error("bad plant accepted")
+	}
+	bad = base
+	bad.Horizon = -2
+	if _, err := bad.Run(); !errors.Is(err, ErrBadHorizon) {
+		t.Errorf("negative horizon: %v, want ErrBadHorizon", err)
+	}
+	bad = base
+	bad.SyncFrame.InfoBits = 0
+	if _, err := bad.Run(); err == nil {
+		t.Error("bad sync frame accepted")
+	}
+}
+
+func TestNewTTPSimFromAnalysisWiring(t *testing.T) {
+	set := message.Set{
+		{Name: "a", Period: 20e-3, LengthBits: 50_000},
+		{Name: "b", Period: 60e-3, LengthBits: 200_000},
+	}
+	tt := core.NewTTP(100e6)
+	tt.Net = tt.Net.WithStations(2)
+	w, err := NewWorkload(set, 2, PhasingSynchronized, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewTTPSimFromAnalysis(tt, set, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := tt.Report(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.TTRT != rep.TTRT {
+		t.Errorf("sim TTRT = %v, want %v", sim.TTRT, rep.TTRT)
+	}
+	for i := range rep.Streams {
+		if sim.Allocations[i] != rep.Streams[i].Allocation {
+			t.Errorf("allocation %d = %v, want %v", i, sim.Allocations[i], rep.Streams[i].Allocation)
+		}
+	}
+	if _, err := NewTTPSimFromAnalysis(tt, nil, w); err == nil {
+		t.Error("nil set accepted")
+	}
+}
+
+func TestTTPSimAgreesWithTheorem51(t *testing.T) {
+	// Sets guaranteed by the analysis (at 95 % of saturation) never miss
+	// under worst-case phasing and saturated async interference, and
+	// rotations respect Johnson's 2·TTRT bound.
+	rng := rand.New(rand.NewSource(9))
+	gen := message.Generator{Streams: 12, MeanPeriod: 50e-3, PeriodRatio: 8}
+	for _, bw := range []float64{20e6, 100e6} {
+		set, err := gen.Draw(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tt := core.NewTTP(bw)
+		tt.Net = tt.Net.WithStations(12)
+		sat, err := breakdown.Saturate(set, tt, bw, breakdown.SaturateOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sat.Feasible {
+			t.Fatalf("setup: infeasible at %g bps", bw)
+		}
+		test := sat.Set.Scale(0.95)
+		w, err := NewWorkload(test, 12, PhasingSynchronized, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := NewTTPSimFromAnalysis(tt, test, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.AsyncSaturated = true
+		sim.Horizon = 2
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.DeadlineMisses != 0 {
+			t.Errorf("%g bps: %d misses for an analytically guaranteed set", bw, res.DeadlineMisses)
+		}
+		if res.RotationMax > 2*sim.TTRT+1e-9 {
+			t.Errorf("%g bps: rotation %v exceeded 2·TTRT %v", bw, res.RotationMax, 2*sim.TTRT)
+		}
+	}
+}
+
+func TestTTPSimPerStationOverrunBudgetHolds(t *testing.T) {
+	// The seed that produces a deadline miss at 95 % of the eq.-(11)
+	// saturation (aggregate async overrun beyond θ's single frame; see
+	// EXPERIMENTS.md VAL-SIM) must be clean when the analysis budgets one
+	// overrun per station.
+	const n, bw = 20, 100e6
+	gen := message.Generator{Streams: n, MeanPeriod: 100e-3, PeriodRatio: 10}
+	set, err := gen.Draw(rand.New(rand.NewSource(1995)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ttp := core.NewTTP(bw)
+	ttp.Net = ttp.Net.WithStations(n)
+	ttp.Overrun = core.OverrunPerStation
+	sat, err := breakdown.Saturate(set, ttp, bw, breakdown.SaturateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sat.Feasible {
+		t.Fatal("setup: infeasible")
+	}
+	test := sat.Set.Scale(0.95)
+	w, err := NewWorkload(test, n, PhasingSynchronized, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewTTPSimFromAnalysis(ttp, test, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.AsyncSaturated = true
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlineMisses != 0 {
+		t.Errorf("per-station overrun budget still missed %d deadlines", res.DeadlineMisses)
+	}
+
+	// And the single-frame budget on the same seed does miss at 95 % —
+	// the regression that motivated the option.
+	classic := core.NewTTP(bw)
+	classic.Net = classic.Net.WithStations(n)
+	satC, err := breakdown.Saturate(set, classic, bw, breakdown.SaturateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testC := satC.Set.Scale(0.95)
+	wC, err := NewWorkload(testC, n, PhasingSynchronized, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simC, err := NewTTPSimFromAnalysis(classic, testC, wC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simC.AsyncSaturated = true
+	resC, err := simC.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resC.DeadlineMisses == 0 {
+		t.Log("note: the classic budget no longer misses on this seed; boundary case moved")
+	}
+}
+
+func TestTTPSimResponsesWithinAnalyticBound(t *testing.T) {
+	// Simulated worst responses must respect the classic q·TTRT bound
+	// for sets comfortably inside the guarantee region.
+	const n, bw = 10, 100e6
+	gen := message.Generator{Streams: n, MeanPeriod: 50e-3, PeriodRatio: 5}
+	set, err := gen.Draw(rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ttp := core.NewTTP(bw)
+	ttp.Net = ttp.Net.WithStations(n)
+	sat, err := breakdown.Saturate(set, ttp, bw, breakdown.SaturateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := sat.Set.Scale(0.8)
+	rep, err := ttp.Report(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorkload(test, n, PhasingSynchronized, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewTTPSimFromAnalysis(ttp, test, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.AsyncSaturated = true
+	sim.Horizon = 2
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sr := range res.Stations {
+		if sr.MaxResponse > rep.Streams[i].WorstCaseResponse+1e-9 {
+			t.Errorf("station %d: simulated response %v exceeds analytic bound %v",
+				i, sr.MaxResponse, rep.Streams[i].WorstCaseResponse)
+		}
+	}
+}
+
+func TestTTPSimOverAllocationMisses(t *testing.T) {
+	// Slash the analyzed allocations: deadlines must start failing.
+	set := message.Set{
+		{Name: "a", Period: 10e-3, LengthBits: 100_000},
+		{Name: "b", Period: 10e-3, LengthBits: 100_000},
+	}
+	tt := core.NewTTP(100e6)
+	tt.Net = tt.Net.WithStations(2)
+	w, err := NewWorkload(set, 2, PhasingSynchronized, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewTTPSimFromAnalysis(tt, set, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sim.Allocations {
+		sim.Allocations[i] /= 4
+	}
+	// Saturated async pins the rotation near TTRT, so the quartered
+	// allocations can no longer cover a period's payload.
+	sim.AsyncSaturated = true
+	sim.Horizon = 0.5
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlineMisses == 0 {
+		t.Error("quartered allocations should cause misses")
+	}
+}
+
+func TestTTPSimMultipleStationsShareRotation(t *testing.T) {
+	// Two stations with equal allocations: both meet deadlines, rotation
+	// grows by both transmissions.
+	set := message.Set{
+		{Name: "a", Period: 1e-3, LengthBits: 80},
+		{Name: "b", Period: 1e-3, LengthBits: 80},
+	}
+	w, err := NewWorkload(set, 2, PhasingSynchronized, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := TTPSim{
+		Net:         ttpTinyPlant(),
+		SyncFrame:   frame.Spec{InfoBits: 8, OvhdBits: 2},
+		AsyncFrame:  frame.Spec{InfoBits: 8, OvhdBits: 2},
+		TTRT:        200e-6,
+		Allocations: []float64{110e-6, 110e-6},
+		Workload:    w,
+		Horizon:     0.02,
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlineMisses != 0 {
+		t.Fatalf("misses = %d", res.DeadlineMisses)
+	}
+	if res.Stations[0].Completed == 0 || res.Stations[1].Completed == 0 {
+		t.Error("both stations should complete messages")
+	}
+}

@@ -1,0 +1,239 @@
+// Package tokensim provides operational (discrete-event) simulators for the
+// two MAC protocols analyzed in the paper: the priority driven protocol of
+// IEEE 802.5 (standard and modified variants) and the timed token protocol
+// of FDDI.
+//
+// The simulators share the analytical model's abstractions — frame-granular
+// medium occupancy, Section 4.3 effective frame times, token walk time
+// distributed uniformly around the ring — and exist to validate the
+// schedulability criteria: a set the analysis guarantees must not miss
+// deadlines in simulation, under worst-case phasing and saturated
+// asynchronous interference.
+package tokensim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ringsched/internal/message"
+	"ringsched/internal/stats"
+)
+
+// Errors returned by workload construction and the simulators.
+var (
+	ErrTooManyStreams = errors.New("tokensim: more streams than stations")
+	ErrBadHorizon     = errors.New("tokensim: horizon must be positive")
+	ErrNilRandPhases  = errors.New("tokensim: random phasing requires a non-nil *rand.Rand")
+)
+
+// Phasing selects the relative arrival offsets of the streams.
+type Phasing int
+
+const (
+	// PhasingSynchronized releases the first message of every stream at
+	// time zero — the critical instant the analyses assume.
+	PhasingSynchronized Phasing = iota + 1
+	// PhasingRandom draws each stream's initial offset uniformly from
+	// [0, period).
+	PhasingRandom
+)
+
+// Workload binds message streams to ring stations and fixes their phasing.
+type Workload struct {
+	// Streams holds one entry per station that carries synchronous
+	// traffic; stream i is attached to station i.
+	Streams message.Set
+	// Offsets holds the first-arrival time of each stream.
+	Offsets []float64
+}
+
+// NewWorkload attaches the set's streams to stations 0..len-1 of a ring
+// with at least that many stations, with the requested phasing.
+func NewWorkload(m message.Set, stations int, phasing Phasing, rng *rand.Rand) (Workload, error) {
+	if err := m.Validate(); err != nil {
+		return Workload{}, err
+	}
+	if len(m) > stations {
+		return Workload{}, fmt.Errorf("%w: %d > %d", ErrTooManyStreams, len(m), stations)
+	}
+	w := Workload{Streams: m.Clone(), Offsets: make([]float64, len(m))}
+	if phasing == PhasingRandom {
+		if rng == nil {
+			return Workload{}, ErrNilRandPhases
+		}
+		for i, s := range w.Streams {
+			w.Offsets[i] = rng.Float64() * s.Period
+		}
+	}
+	return w, nil
+}
+
+// pendingMessage is one queued synchronous message instance.
+type pendingMessage struct {
+	arrival       float64
+	deadline      float64
+	remainingBits float64
+}
+
+// stationState tracks one station's synchronous queue and statistics.
+type stationState struct {
+	stream message.Stream
+	queue  []pendingMessage
+	// nextArrival is the release time of the next message instance.
+	nextArrival float64
+	// completed/missed count finished messages by deadline outcome;
+	// a message that finishes late counts as missed.
+	completed int
+	missed    int
+	// response accumulates response times of finished messages.
+	response stats.Running
+	// maxLateness is the largest (completion − deadline) observed; zero
+	// or negative means all deadlines met.
+	maxLateness float64
+	// maxQueue is the deepest backlog of simultaneously pending messages.
+	maxQueue int
+}
+
+// release enqueues every message instance due by now. onRelease, when
+// non-nil, observes each released message (used for tracing).
+func (s *stationState) release(now float64, onRelease func(pendingMessage)) {
+	for s.nextArrival <= now {
+		msg := pendingMessage{
+			arrival:       s.nextArrival,
+			deadline:      s.nextArrival + s.stream.Period,
+			remainingBits: s.stream.LengthBits,
+		}
+		s.queue = append(s.queue, msg)
+		if len(s.queue) > s.maxQueue {
+			s.maxQueue = len(s.queue)
+		}
+		s.nextArrival += s.stream.Period
+		if onRelease != nil {
+			onRelease(msg)
+		}
+	}
+}
+
+// finish records a completed message and returns its lateness (positive
+// when the deadline was missed).
+func (s *stationState) finish(msg pendingMessage, now float64) (lateness float64) {
+	resp := now - msg.arrival
+	s.response.Add(resp)
+	lateness = now - msg.deadline
+	if lateness > s.maxLateness {
+		s.maxLateness = lateness
+	}
+	if lateness > 0 {
+		s.missed++
+	} else {
+		s.completed++
+	}
+	return lateness
+}
+
+// StationResult summarizes one station's simulation outcome.
+type StationResult struct {
+	// Station is the ring position.
+	Station int
+	// Stream echoes the attached stream.
+	Stream message.Stream
+	// Completed counts messages that met their deadline.
+	Completed int
+	// Missed counts messages that finished after their deadline.
+	Missed int
+	// Backlogged counts messages still queued (or in progress) at the
+	// horizon whose deadlines had already passed.
+	Backlogged int
+	// MaxLateness is the worst completion − deadline in seconds (≤ 0 when
+	// every deadline was met).
+	MaxLateness float64
+	// MeanResponse and MaxResponse summarize response times of finished
+	// messages.
+	MeanResponse float64
+	MaxResponse  float64
+	// MaxQueue is the deepest backlog of simultaneously pending messages
+	// observed at the station — 1 means every message finished before
+	// its successor arrived.
+	MaxQueue int
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	// Protocol names the simulated MAC.
+	Protocol string
+	// Horizon is the simulated duration in seconds.
+	Horizon float64
+	// Stations holds per-station outcomes for stations carrying streams.
+	Stations []StationResult
+	// DeadlineMisses is the total missed (finished-late plus backlogged
+	// past-deadline) messages.
+	DeadlineMisses int
+	// SyncTime, AsyncTime, TokenTime and IdleTime decompose medium
+	// occupancy over the horizon.
+	SyncTime  float64
+	AsyncTime float64
+	TokenTime float64
+	IdleTime  float64
+	// Rotations summarizes observed token rotation times (TTP) or token
+	// inter-service gaps (PDP).
+	RotationMean float64
+	RotationMax  float64
+	RotationN    int
+	// TokenLosses counts injected token-loss faults; RecoveryTime is the
+	// total medium time spent in the claim/recovery process.
+	TokenLosses  int
+	RecoveryTime float64
+}
+
+// MissedAny reports whether any deadline was missed.
+func (r Result) MissedAny() bool { return r.DeadlineMisses > 0 }
+
+// Utilization returns the fraction of the horizon spent on synchronous
+// payload plus overheads, asynchronous traffic, and token passing.
+func (r Result) Utilization() float64 {
+	if r.Horizon <= 0 {
+		return 0
+	}
+	return (r.SyncTime + r.AsyncTime + r.TokenTime) / r.Horizon
+}
+
+func collectStations(states []*stationState, horizon float64) ([]StationResult, int) {
+	results := make([]StationResult, len(states))
+	misses := 0
+	for i, st := range states {
+		backlogged := 0
+		for _, msg := range st.queue {
+			if msg.deadline < horizon {
+				backlogged++
+			}
+		}
+		results[i] = StationResult{
+			Station:      i,
+			Stream:       st.stream,
+			Completed:    st.completed,
+			Missed:       st.missed,
+			Backlogged:   backlogged,
+			MaxLateness:  st.maxLateness,
+			MeanResponse: st.response.Mean(),
+			MaxResponse:  st.response.Max(),
+			MaxQueue:     st.maxQueue,
+		}
+		misses += st.missed + backlogged
+	}
+	return results, misses
+}
+
+// hopDistance is the number of forward hops from station a to station b on
+// an n-station ring (0 when a == b).
+func hopDistance(a, b, n int) int {
+	return ((b-a)%n + n) % n
+}
+
+// horizonFor picks a default simulation length: enough periods of the
+// slowest stream for steady state to show, never less than minPeriods of
+// the fastest.
+func horizonFor(m message.Set, periodsOfMax float64) float64 {
+	return math.Max(periodsOfMax*m.MaxPeriod(), 50*m.MinPeriod())
+}

@@ -1,0 +1,212 @@
+// Package ttpalloc implements synchronous bandwidth allocation schemes for
+// the timed token protocol beyond the local scheme of Theorem 5.1 — the
+// baselines from the line of work the paper builds on (Agrawal, Chen &
+// Zhao): full-length, proportional, equal partition, and normalized
+// proportional allocation — together with a generic schedulability test
+// valid for any allocation.
+//
+// A scheme assigns each station a synchronous bandwidth h_i. A message set
+// is guaranteed under an allocation iff
+//
+//   - protocol constraint:  Σ h_i ≤ TTRT − θ, and
+//   - deadline constraint:  (⌊P_i/TTRT⌋ − 1)·(h_i − Fovhd) ≥ C_i for all i
+//
+// (a station gets at least ⌊P_i/TTRT⌋ − 1 visits of h_i within any period,
+// each visit paying one frame overhead).
+package ttpalloc
+
+import (
+	"errors"
+	"math"
+
+	"ringsched/internal/core"
+	"ringsched/internal/message"
+)
+
+// ErrBadScheme reports a nil allocation scheme.
+var ErrBadScheme = errors.New("ttpalloc: scheme must not be nil")
+
+// Context carries the quantities an allocation scheme may use.
+type Context struct {
+	// Set is the synchronous message set (one stream per station).
+	Set message.Set
+	// TTRT is the negotiated target token rotation time.
+	TTRT float64
+	// Overhead is θ, the per-rotation protocol overhead.
+	Overhead float64
+	// FrameOverhead is Fovhd, the per-frame overhead in seconds.
+	FrameOverhead float64
+	// BandwidthBPS converts payload bits to time.
+	BandwidthBPS float64
+}
+
+// visits is ⌊P/TTRT⌋ − 1, the guaranteed token visits inside one period.
+func (c Context) visits(period float64) float64 {
+	return math.Floor(period/c.TTRT) - 1
+}
+
+// Scheme assigns synchronous bandwidths h_i, one per stream of c.Set.
+type Scheme interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// Allocate returns h_i for every stream. Allocations may violate the
+	// constraints; Schedulable checks them.
+	Allocate(c Context) []float64
+}
+
+// Local is the paper's scheme: h_i = C'_i/(q_i − 1) with
+// C'_i = C_i + (q_i−1)·Fovhd — each station computes its allocation from
+// its own stream alone. It satisfies the deadline constraint by
+// construction, so schedulability reduces to the protocol constraint
+// (Theorem 5.1).
+type Local struct{}
+
+// Name implements Scheme.
+func (Local) Name() string { return "local" }
+
+// Allocate implements Scheme.
+func (Local) Allocate(c Context) []float64 {
+	out := make([]float64, len(c.Set))
+	for i, s := range c.Set {
+		v := c.visits(s.Period)
+		if v < 1 {
+			out[i] = math.Inf(1)
+			continue
+		}
+		out[i] = s.Length(c.BandwidthBPS)/v + c.FrameOverhead
+	}
+	return out
+}
+
+// FullLength allocates each station enough to send an entire message in a
+// single visit: h_i = C_i + Fovhd. Simple, but over-allocates long
+// messages and fails the protocol constraint early.
+type FullLength struct{}
+
+// Name implements Scheme.
+func (FullLength) Name() string { return "full-length" }
+
+// Allocate implements Scheme.
+func (FullLength) Allocate(c Context) []float64 {
+	out := make([]float64, len(c.Set))
+	for i, s := range c.Set {
+		out[i] = s.Length(c.BandwidthBPS) + c.FrameOverhead
+	}
+	return out
+}
+
+// Proportional divides the usable rotation capacity in proportion to each
+// stream's utilization: h_i = (C_i/P_i)·(TTRT − θ). Its total never
+// exceeds the protocol constraint while U ≤ 1, but low-utilization streams
+// with tight periods can starve.
+type Proportional struct{}
+
+// Name implements Scheme.
+func (Proportional) Name() string { return "proportional" }
+
+// Allocate implements Scheme.
+func (Proportional) Allocate(c Context) []float64 {
+	out := make([]float64, len(c.Set))
+	for i, s := range c.Set {
+		out[i] = s.Utilization(c.BandwidthBPS) * (c.TTRT - c.Overhead)
+	}
+	return out
+}
+
+// EqualPartition splits the usable rotation capacity evenly:
+// h_i = (TTRT − θ)/n, ignoring the workload entirely.
+type EqualPartition struct{}
+
+// Name implements Scheme.
+func (EqualPartition) Name() string { return "equal-partition" }
+
+// Allocate implements Scheme.
+func (EqualPartition) Allocate(c Context) []float64 {
+	out := make([]float64, len(c.Set))
+	n := float64(len(c.Set))
+	for i := range c.Set {
+		out[i] = (c.TTRT - c.Overhead) / n
+	}
+	return out
+}
+
+// NormalizedProportional scales the proportional shares so the whole
+// usable capacity is always handed out: h_i = (U_i/U)·(TTRT − θ).
+type NormalizedProportional struct{}
+
+// Name implements Scheme.
+func (NormalizedProportional) Name() string { return "normalized-proportional" }
+
+// Allocate implements Scheme.
+func (NormalizedProportional) Allocate(c Context) []float64 {
+	out := make([]float64, len(c.Set))
+	total := c.Set.Utilization(c.BandwidthBPS)
+	if total == 0 {
+		return out
+	}
+	for i, s := range c.Set {
+		out[i] = s.Utilization(c.BandwidthBPS) / total * (c.TTRT - c.Overhead)
+	}
+	return out
+}
+
+// Analyzer adapts any allocation scheme to the core.Analyzer interface:
+// the plant, TTRT rule and overheads come from an embedded core.TTP
+// configuration, the allocation from the scheme, and schedulability from
+// the generic protocol + deadline constraints.
+type Analyzer struct {
+	// TTP supplies the plant, frame formats and TTRT selection rule.
+	TTP core.TTP
+	// Scheme assigns the synchronous bandwidths.
+	Scheme Scheme
+}
+
+var _ core.Analyzer = Analyzer{}
+
+// Name implements core.Analyzer.
+func (a Analyzer) Name() string {
+	if a.Scheme == nil {
+		return "FDDI/?"
+	}
+	return "FDDI/" + a.Scheme.Name()
+}
+
+// Context builds the allocation context the scheme will see for this set.
+func (a Analyzer) Context(m message.Set) Context {
+	return Context{
+		Set:           m,
+		TTRT:          a.TTP.SelectTTRT(m),
+		Overhead:      a.TTP.Overhead(),
+		FrameOverhead: a.TTP.SyncFrame.OvhdTime(a.TTP.Net.BandwidthBPS),
+		BandwidthBPS:  a.TTP.Net.BandwidthBPS,
+	}
+}
+
+// Schedulable implements core.Analyzer via the generic two-constraint test.
+func (a Analyzer) Schedulable(m message.Set) (bool, error) {
+	if a.Scheme == nil {
+		return false, ErrBadScheme
+	}
+	if err := a.TTP.Validate(); err != nil {
+		return false, err
+	}
+	if err := m.Validate(); err != nil {
+		return false, err
+	}
+	ctx := a.Context(m)
+	alloc := a.Scheme.Allocate(ctx)
+
+	var total float64
+	for i, s := range m {
+		h := alloc[i]
+		total += h
+		v := ctx.visits(s.Period)
+		if v < 1 {
+			return false, nil
+		}
+		if v*(h-ctx.FrameOverhead) < s.Length(ctx.BandwidthBPS)-1e-15 {
+			return false, nil
+		}
+	}
+	return total <= ctx.TTRT-ctx.Overhead, nil
+}

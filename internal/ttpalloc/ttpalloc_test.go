@@ -1,0 +1,231 @@
+package ttpalloc
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ringsched/internal/core"
+	"ringsched/internal/message"
+)
+
+func testSet() message.Set {
+	return message.Set{
+		{Name: "a", Period: 20e-3, LengthBits: 40_000},
+		{Name: "b", Period: 50e-3, LengthBits: 100_000},
+		{Name: "c", Period: 100e-3, LengthBits: 400_000},
+	}
+}
+
+func testContext(set message.Set) Context {
+	tt := core.NewTTP(100e6)
+	tt.Net = tt.Net.WithStations(len(set))
+	return Analyzer{TTP: tt, Scheme: Local{}}.Context(set)
+}
+
+func TestSchemeNames(t *testing.T) {
+	for scheme, want := range map[Scheme]string{
+		Local{}:                  "local",
+		FullLength{}:             "full-length",
+		Proportional{}:           "proportional",
+		EqualPartition{}:         "equal-partition",
+		NormalizedProportional{}: "normalized-proportional",
+	} {
+		if scheme.Name() != want {
+			t.Errorf("Name() = %q, want %q", scheme.Name(), want)
+		}
+	}
+}
+
+func TestLocalAllocationFormula(t *testing.T) {
+	set := testSet()
+	ctx := testContext(set)
+	alloc := Local{}.Allocate(ctx)
+	for i, s := range set {
+		q := math.Floor(s.Period / ctx.TTRT)
+		want := s.Length(ctx.BandwidthBPS)/(q-1) + ctx.FrameOverhead
+		if math.Abs(alloc[i]-want) > 1e-15 {
+			t.Errorf("stream %d: h = %v, want %v", i, alloc[i], want)
+		}
+	}
+}
+
+func TestLocalSatisfiesDeadlineConstraintByConstruction(t *testing.T) {
+	set := testSet()
+	ctx := testContext(set)
+	alloc := Local{}.Allocate(ctx)
+	for i, s := range set {
+		v := ctx.visits(s.Period)
+		got := v * (alloc[i] - ctx.FrameOverhead)
+		want := s.Length(ctx.BandwidthBPS)
+		if got < want-1e-12 {
+			t.Errorf("stream %d: deadline constraint violated: %v < %v", i, got, want)
+		}
+	}
+}
+
+func TestFullLengthAllocation(t *testing.T) {
+	set := testSet()
+	ctx := testContext(set)
+	alloc := FullLength{}.Allocate(ctx)
+	for i, s := range set {
+		want := s.Length(ctx.BandwidthBPS) + ctx.FrameOverhead
+		if alloc[i] != want {
+			t.Errorf("stream %d: h = %v, want %v", i, alloc[i], want)
+		}
+	}
+}
+
+func TestProportionalTotalsRespectCapacity(t *testing.T) {
+	set := testSet()
+	ctx := testContext(set)
+	var totalP, totalN float64
+	for _, h := range (Proportional{}).Allocate(ctx) {
+		totalP += h
+	}
+	for _, h := range (NormalizedProportional{}).Allocate(ctx) {
+		totalN += h
+	}
+	capacity := ctx.TTRT - ctx.Overhead
+	u := set.Utilization(ctx.BandwidthBPS)
+	if math.Abs(totalP-u*capacity) > 1e-12 {
+		t.Errorf("proportional total %v, want U·cap = %v", totalP, u*capacity)
+	}
+	if math.Abs(totalN-capacity) > 1e-12 {
+		t.Errorf("normalized total %v, want full capacity %v", totalN, capacity)
+	}
+}
+
+func TestEqualPartition(t *testing.T) {
+	set := testSet()
+	ctx := testContext(set)
+	alloc := EqualPartition{}.Allocate(ctx)
+	want := (ctx.TTRT - ctx.Overhead) / 3
+	for i, h := range alloc {
+		if math.Abs(h-want) > 1e-18 {
+			t.Errorf("stream %d: h = %v, want %v", i, h, want)
+		}
+	}
+}
+
+func TestAnalyzerLocalAgreesWithTheorem51(t *testing.T) {
+	// The generic two-constraint test with the local scheme must agree
+	// with core.TTP (Theorem 5.1) away from the boundary.
+	rng := rand.New(rand.NewSource(13))
+	gen := message.Generator{Streams: 20, MeanPeriod: 100e-3, PeriodRatio: 10}
+	tt := core.NewTTP(100e6)
+	tt.Net = tt.Net.WithStations(20)
+	a := Analyzer{TTP: tt, Scheme: Local{}}
+	agree := 0
+	for trial := 0; trial < 60; trial++ {
+		set, err := gen.Draw(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, err = set.ScaleToUtilization(0.05+rng.Float64()*0.9, 100e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := tt.Schedulable(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := a.Schedulable(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: alloc-analyzer=%v theorem=%v", trial, got, want)
+		}
+		agree++
+	}
+	if agree == 0 {
+		t.Fatal("vacuous")
+	}
+}
+
+func TestAnalyzerRejectsNilScheme(t *testing.T) {
+	a := Analyzer{TTP: core.NewTTP(100e6)}
+	if _, err := a.Schedulable(testSet()); !errors.Is(err, ErrBadScheme) {
+		t.Errorf("nil scheme: err = %v, want ErrBadScheme", err)
+	}
+	if a.Name() != "FDDI/?" {
+		t.Errorf("nil scheme Name = %q", a.Name())
+	}
+	a.Scheme = Local{}
+	if a.Name() != "FDDI/local" {
+		t.Errorf("Name = %q, want FDDI/local", a.Name())
+	}
+}
+
+func TestAnalyzerErrors(t *testing.T) {
+	a := Analyzer{TTP: core.NewTTP(100e6), Scheme: Local{}}
+	if _, err := a.Schedulable(nil); err == nil {
+		t.Error("nil set accepted")
+	}
+	bad := a
+	bad.TTP.Net.Stations = 0
+	if _, err := bad.Schedulable(testSet()); err == nil {
+		t.Error("invalid plant accepted")
+	}
+}
+
+func TestEqualPartitionStarvesLongMessages(t *testing.T) {
+	// A stream whose message cannot fit its equal share within its visits
+	// makes the workload unschedulable under equal partition but fine
+	// under the local scheme — the reason workload-aware schemes exist.
+	set := message.Set{
+		{Name: "big", Period: 100e-3, LengthBits: 2_000_000},
+		{Name: "s1", Period: 20e-3, LengthBits: 1_000},
+		{Name: "s2", Period: 20e-3, LengthBits: 1_000},
+		{Name: "s3", Period: 20e-3, LengthBits: 1_000},
+		{Name: "s4", Period: 20e-3, LengthBits: 1_000},
+		{Name: "s5", Period: 20e-3, LengthBits: 1_000},
+	}
+	tt := core.NewTTP(100e6)
+	tt.Net = tt.Net.WithStations(len(set))
+	local := Analyzer{TTP: tt, Scheme: Local{}}
+	equal := Analyzer{TTP: tt, Scheme: EqualPartition{}}
+	okLocal, err := local.Schedulable(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	okEqual, err := equal.Schedulable(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !okLocal {
+		t.Fatal("local scheme should guarantee this set")
+	}
+	if okEqual {
+		t.Fatal("equal partition should starve the 2-Mbit stream")
+	}
+}
+
+func TestSchedulableMonotoneAcrossSchemes(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	gen := message.Generator{Streams: 12, MeanPeriod: 100e-3, PeriodRatio: 10}
+	set, err := gen.Draw(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := core.NewTTP(100e6)
+	tt.Net = tt.Net.WithStations(12)
+	for _, scheme := range []Scheme{Local{}, FullLength{}, Proportional{}, EqualPartition{}, NormalizedProportional{}} {
+		a := Analyzer{TTP: tt, Scheme: scheme}
+		was := false
+		for _, scale := range []float64{30, 3, 1, 0.1, 0.01, 0.001} {
+			ok, err := a.Schedulable(set.Scale(scale))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if was && !ok {
+				t.Fatalf("%s: not monotone at scale %v", scheme.Name(), scale)
+			}
+			if ok {
+				was = true
+			}
+		}
+	}
+}

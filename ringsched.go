@@ -1,0 +1,292 @@
+// Package ringsched reproduces Kamat & Zhao, "Real-Time Schedulability of
+// Two Token Ring Protocols" (ICDCS 1993): exact schedulability criteria for
+// hard-real-time synchronous message sets on token ring networks under the
+// priority driven protocol of IEEE 802.5 (standard and modified variants,
+// Theorem 4.1) and the timed token protocol of FDDI with the local
+// synchronous bandwidth allocation scheme (Theorem 5.1), plus the average
+// breakdown utilization methodology used to compare them (Figure 1).
+//
+// This file is the stable public facade: it re-exports the library's main
+// types and constructors so downstream users never import internal
+// packages. The feature areas are:
+//
+//   - network plants and message models (RingConfig, Stream, MessageSet,
+//     Generator),
+//   - schedulability analyzers (PDPAnalyzer, TTPAnalyzer, IdealRM,
+//     allocation-scheme analyzers),
+//   - the breakdown-utilization Monte Carlo engine (Estimator, Saturate),
+//   - operational discrete-event simulators for both protocols
+//     (PDPSimulation, TTPSimulation), and
+//   - the reproduction experiments (Experiments, ExperimentByID).
+//
+// Quick start:
+//
+//	set, _ := ringsched.PaperGenerator().Draw(rand.New(rand.NewSource(1)))
+//	ok, _ := ringsched.NewTTP(ringsched.Mbps(100)).Schedulable(set)
+package ringsched
+
+import (
+	"math/rand"
+
+	"ringsched/internal/breakdown"
+	"ringsched/internal/core"
+	"ringsched/internal/expt"
+	"ringsched/internal/frame"
+	"ringsched/internal/message"
+	"ringsched/internal/ring"
+	"ringsched/internal/rma"
+	"ringsched/internal/tokensim"
+	"ringsched/internal/ttpalloc"
+)
+
+// Network plant and workload model.
+type (
+	// RingConfig describes the physical token ring (topology, latency,
+	// bandwidth); see the IEEE8025 and FDDI presets.
+	RingConfig = ring.Config
+	// Stream is one periodic synchronous message stream S_i.
+	Stream = message.Stream
+	// MessageSet is a synchronous message set M = {S_1..S_n}.
+	MessageSet = message.Set
+	// Generator draws random message sets for Monte Carlo estimation.
+	Generator = message.Generator
+	// PeriodModel selects the period distribution of a Generator.
+	PeriodModel = message.PeriodModel
+	// LengthModel selects the relative length mix of a Generator.
+	LengthModel = message.LengthModel
+	// FrameSpec is the fixed frame format (payload and overhead bits).
+	FrameSpec = frame.Spec
+	// Preset is a named built-in workload suite.
+	Preset = message.Preset
+)
+
+// Presets returns the built-in workload suites (avionics,
+// process-control, space-station, multimedia).
+func Presets() []Preset { return message.Presets() }
+
+// PresetByName looks up one built-in workload suite.
+func PresetByName(name string) (Preset, error) { return message.PresetByName(name) }
+
+// Analyzers.
+type (
+	// Analyzer is the schedulability interface every protocol implements.
+	Analyzer = core.Analyzer
+	// PDPAnalyzer is the Theorem 4.1 analyzer for the priority driven
+	// protocol.
+	PDPAnalyzer = core.PDP
+	// PDPVariant selects the standard or modified 802.5 implementation.
+	PDPVariant = core.Variant
+	// PDPReport is the detailed Theorem 4.1 outcome.
+	PDPReport = core.PDPReport
+	// TTPAnalyzer is the Theorem 5.1 analyzer for the timed token
+	// protocol with the local allocation scheme.
+	TTPAnalyzer = core.TTP
+	// TTPReport is the detailed Theorem 5.1 outcome.
+	TTPReport = core.TTPReport
+	// TTRTRule selects how TTRT is chosen at ring initialization.
+	TTRTRule = core.TTRTRule
+	// OverrunBudget selects the asynchronous-overrun allowance in θ.
+	OverrunBudget = core.OverrunBudget
+	// IdealRM is the zero-overhead rate-monotonic baseline of [10].
+	IdealRM = core.IdealRM
+	// AllocationScheme assigns TTP synchronous bandwidths h_i.
+	AllocationScheme = ttpalloc.Scheme
+	// AllocationAnalyzer adapts any AllocationScheme to Analyzer.
+	AllocationAnalyzer = ttpalloc.Analyzer
+	// Task and TaskSet expose the underlying rate-monotonic analysis for
+	// abstract (cost, period) workloads.
+	Task = rma.Task
+	// TaskSet is an ordered set of Tasks.
+	TaskSet = rma.TaskSet
+)
+
+// PDP variants and TTRT rules.
+const (
+	// Standard8025 pays the token-pass overhead per frame.
+	Standard8025 = core.Standard8025
+	// Modified8025 pays it once per message.
+	Modified8025 = core.Modified8025
+	// TTRTSqrtHeuristic bids √(θ·P_i) per station (the paper's rule).
+	TTRTSqrtHeuristic = core.TTRTSqrtHeuristic
+	// TTRTHalfMinPeriod uses Pmin/2.
+	TTRTHalfMinPeriod = core.TTRTHalfMinPeriod
+	// TTRTFixed uses an explicitly configured value.
+	TTRTFixed = core.TTRTFixed
+	// OverrunSingleFrame is the paper's eq. (11): θ = Θ + F.
+	OverrunSingleFrame = core.OverrunSingleFrame
+	// OverrunPerStation budgets θ = Θ + n·F (conservative).
+	OverrunPerStation = core.OverrunPerStation
+)
+
+// Workload generator distribution selectors.
+const (
+	// PeriodsUniform draws periods uniformly (the paper's comparison).
+	PeriodsUniform = message.PeriodsUniform
+	// PeriodsLogUniform spreads periods evenly across decades.
+	PeriodsLogUniform = message.PeriodsLogUniform
+	// PeriodsEqual gives every stream the mean period.
+	PeriodsEqual = message.PeriodsEqual
+	// PeriodsHarmonic draws periods as Pmin·2^k.
+	PeriodsHarmonic = message.PeriodsHarmonic
+	// LengthsProportional draws payloads proportional to the period.
+	LengthsProportional = message.LengthsProportional
+	// LengthsUniform draws payloads independent of the period.
+	LengthsUniform = message.LengthsUniform
+	// LengthsEqual gives every stream the same payload.
+	LengthsEqual = message.LengthsEqual
+)
+
+// Breakdown-utilization engine.
+type (
+	// Estimator runs the Monte Carlo average-breakdown estimation.
+	Estimator = breakdown.Estimator
+	// Estimate is one Monte Carlo estimate with confidence interval.
+	Estimate = breakdown.Estimate
+	// Saturation is one set driven to its breakdown load.
+	Saturation = breakdown.Saturation
+	// SaturateOptions tunes the saturation binary search.
+	SaturateOptions = breakdown.SaturateOptions
+	// Series is one breakdown-vs-bandwidth curve (a Figure 1 line).
+	Series = breakdown.Series
+)
+
+// Simulators.
+type (
+	// PDPSimulation is the operational priority-driven-protocol
+	// simulator.
+	PDPSimulation = tokensim.PDPSim
+	// TTPSimulation is the operational timed-token (FDDI) simulator.
+	TTPSimulation = tokensim.TTPSim
+	// ReservationSimulation is the faithful IEEE 802.5 priority/
+	// reservation MAC simulator (token priority field, reservation bits,
+	// stacking stations, configurable priority levels).
+	ReservationSimulation = tokensim.ReservationSim
+	// ReservationResult extends SimResult with arbitration metrics.
+	ReservationResult = tokensim.ReservationResult
+	// SimResult is a simulation outcome (deadline misses, occupancy,
+	// rotation statistics).
+	SimResult = tokensim.Result
+	// Workload binds streams to ring stations with explicit phasing.
+	Workload = tokensim.Workload
+	// Tracer observes simulator events (frames, token passes,
+	// completions) as they occur.
+	Tracer = tokensim.Tracer
+	// TraceEvent is one observed simulator event.
+	TraceEvent = tokensim.TraceEvent
+	// TraceKind classifies trace events.
+	TraceKind = tokensim.TraceKind
+	// WriterTracer logs trace events as text lines.
+	WriterTracer = tokensim.WriterTracer
+	// CountingTracer tallies trace events by kind.
+	CountingTracer = tokensim.CountingTracer
+	// Faults injects token-loss failures into simulations.
+	Faults = tokensim.Faults
+)
+
+// Phasing and token-pass models for the simulators.
+const (
+	// PhasingSynchronized releases every stream at time zero (the
+	// critical instant).
+	PhasingSynchronized = tokensim.PhasingSynchronized
+	// PhasingRandom draws random initial offsets.
+	PhasingRandom = tokensim.PhasingRandom
+	// PassMeasured charges geometric token walks in the PDP simulator.
+	PassMeasured = tokensim.PassMeasured
+	// PassAverageHalfTheta charges the analysis's Θ/2 average.
+	PassAverageHalfTheta = tokensim.PassAverageHalfTheta
+)
+
+// Experiments.
+type (
+	// Experiment is one reproduction unit (a figure, table, or claim).
+	Experiment = expt.Experiment
+	// ExperimentConfig scales experiment cost.
+	ExperimentConfig = expt.Config
+	// ExperimentReport is an experiment outcome.
+	ExperimentReport = expt.Report
+)
+
+// Mbps converts megabits/second to bits/second.
+func Mbps(m float64) float64 { return ring.Mbps(m) }
+
+// IEEE8025Plant returns the paper's IEEE 802.5 network at the given
+// bandwidth (100 stations, 100 m spacing, 4-bit station delay).
+func IEEE8025Plant(bandwidthBPS float64) RingConfig { return ring.IEEE8025(bandwidthBPS) }
+
+// FDDIPlant returns the paper's FDDI network at the given bandwidth
+// (100 stations, 100 m spacing, 75-bit station delay).
+func FDDIPlant(bandwidthBPS float64) RingConfig { return ring.FDDI(bandwidthBPS) }
+
+// PaperFrame returns the 64-byte/112-bit frame format of the comparison.
+func PaperFrame() FrameSpec { return frame.PaperSpec() }
+
+// PaperGenerator returns the paper's workload distribution: 100 streams,
+// uniform periods with mean 100 ms and max/min ratio 10.
+func PaperGenerator() Generator { return message.PaperGenerator() }
+
+// NewStandardPDP returns the Theorem 4.1 analyzer for the unmodified IEEE
+// 802.5 implementation on the paper's plant.
+func NewStandardPDP(bandwidthBPS float64) PDPAnalyzer { return core.NewStandardPDP(bandwidthBPS) }
+
+// NewModifiedPDP returns the Theorem 4.1 analyzer for the modified
+// implementation on the paper's plant.
+func NewModifiedPDP(bandwidthBPS float64) PDPAnalyzer { return core.NewModifiedPDP(bandwidthBPS) }
+
+// NewTTP returns the Theorem 5.1 analyzer on the paper's FDDI plant.
+func NewTTP(bandwidthBPS float64) TTPAnalyzer { return core.NewTTP(bandwidthBPS) }
+
+// PaperEstimator returns a Monte Carlo estimator with the paper's workload
+// distribution.
+func PaperEstimator(samples int, seed int64) Estimator {
+	return breakdown.PaperEstimator(samples, seed)
+}
+
+// Saturate drives a message set to its breakdown load under an analyzer.
+func Saturate(m MessageSet, a Analyzer, bandwidthBPS float64, opts SaturateOptions) (Saturation, error) {
+	return breakdown.Saturate(m, a, bandwidthBPS, opts)
+}
+
+// Phasing selects stream arrival offsets for simulation workloads.
+type Phasing = tokensim.Phasing
+
+// NewWorkload binds a message set to ring stations for simulation. The rng
+// is only consulted for PhasingRandom.
+func NewWorkload(m MessageSet, stations int, phasing Phasing, rng *rand.Rand) (Workload, error) {
+	return tokensim.NewWorkload(m, stations, phasing, rng)
+}
+
+// NewTTPSimulation builds a TTP simulator whose TTRT and allocations come
+// from the Theorem 5.1 analysis of the given set.
+func NewTTPSimulation(t TTPAnalyzer, m MessageSet, w Workload) (TTPSimulation, error) {
+	return tokensim.NewTTPSimFromAnalysis(t, m, w)
+}
+
+// RMResult is the detailed outcome of a rate-monotonic exact test.
+type RMResult = rma.Result
+
+// ResponseTimeAnalysis runs the exact rate-monotonic test on an RM-ordered
+// task set with a uniform blocking term (the engine behind Theorem 4.1);
+// see also TaskSet.SortRM.
+func ResponseTimeAnalysis(ts TaskSet, blocking float64) (RMResult, error) {
+	return rma.ResponseTimeAnalysis(ts, blocking)
+}
+
+// RMExactTest runs the Lehoczky–Sha–Ding scheduling-point criterion
+// directly (the reference implementation; equivalent to
+// ResponseTimeAnalysis).
+func RMExactTest(ts TaskSet, blocking float64) (RMResult, error) {
+	return rma.ExactTest(ts, blocking)
+}
+
+// LiuLaylandBound is the classical sufficient utilization bound
+// n·(2^{1/n} − 1).
+func LiuLaylandBound(n int) float64 { return rma.LiuLaylandBound(n) }
+
+// HyperbolicSchedulable is the Bini–Buttazzo sufficient test Π(U_i+1) ≤ 2.
+func HyperbolicSchedulable(ts TaskSet) bool { return rma.HyperbolicSchedulable(ts) }
+
+// Experiments lists every reproduction experiment (sorted by ID).
+func Experiments() []Experiment { return expt.All() }
+
+// ExperimentByID looks up one reproduction experiment.
+func ExperimentByID(id string) (Experiment, error) { return expt.ByID(id) }
