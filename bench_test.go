@@ -12,7 +12,9 @@
 package ringsched_test
 
 import (
+	"context"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"ringsched"
@@ -34,7 +36,7 @@ func runExperiment(b *testing.B, id string) {
 	}
 	var last ringsched.ExperimentReport
 	for i := 0; i < b.N; i++ {
-		rep, err := e.Run(benchConfig())
+		rep, err := e.Run(context.Background(), benchConfig(), nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -96,6 +98,30 @@ func BenchmarkPriorityLevels(b *testing.B) { runExperiment(b, "EXT-PRIO") }
 // BenchmarkPhasingSensitivity regenerates the critical-instant-pessimism
 // comparison.
 func BenchmarkPhasingSensitivity(b *testing.B) { runExperiment(b, "EXT-PHASE") }
+
+// benchSweep measures one multi-point breakdown sweep at a given worker
+// budget; comparing BenchmarkSweepWorkers1 against BenchmarkSweepWorkersMax
+// shows the wall-clock gain from the parallel sweep (the results themselves
+// are identical at any worker count).
+func benchSweep(b *testing.B, workers int) {
+	b.Helper()
+	est := ringsched.PaperEstimator(20, 1993)
+	est.Workers = workers
+	bws := []float64{1e6, 4e6, 16e6, 64e6, 256e6, 1e9}
+	factory := func(bw float64) ringsched.Analyzer { return ringsched.NewTTP(bw) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.SweepContext(context.Background(), "FDDI", factory, bws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepWorkers1 runs the sweep on a single worker.
+func BenchmarkSweepWorkers1(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepWorkersMax runs the same sweep on every core.
+func BenchmarkSweepWorkersMax(b *testing.B) { benchSweep(b, runtime.GOMAXPROCS(0)) }
 
 // --- Micro-benchmarks of the analysis kernels -------------------------
 

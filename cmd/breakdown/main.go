@@ -9,32 +9,36 @@
 //	breakdown -bw 4,10,100            # specific bandwidths (Mbps)
 //	breakdown -samples 400 -seed 7    # tighter confidence intervals
 //	breakdown -n 50 -mean-period 50ms -period-ratio 4
+//	breakdown -workers 8 -timeout 2m  # parallel sweep with a deadline
+//
+// A live progress line (percent, ETA, current sweep point) streams to
+// stderr; Ctrl-C aborts promptly. Results are identical at any -workers
+// value.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
-	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"ringsched"
 	"ringsched/internal/breakdown"
+	"ringsched/internal/cli"
 	"ringsched/internal/core"
 	"ringsched/internal/message"
+	"ringsched/internal/progress"
 	"ringsched/internal/textplot"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "breakdown:", err)
-		os.Exit(1)
-	}
+	cli.Main("breakdown", run)
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("breakdown", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
@@ -47,10 +51,15 @@ func run(args []string, out io.Writer) error {
 		periodRatio = fs.Float64("period-ratio", 10, "max/min period ratio")
 		noPlot      = fs.Bool("no-plot", false, "suppress the ASCII plot")
 		distr       = fs.Bool("distribution", false, "also print the per-set spread (P10/median/P90)")
+		timeout     = fs.Duration("timeout", 0, "abort after this duration (0 = none)")
+		workers     = fs.Int("workers", 0, "parallel worker budget across sweep points and samples (0 = all cores)")
+		quiet       = fs.Bool("quiet", false, "suppress the live progress meter on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, cancel := cli.WithTimeout(ctx, *timeout)
+	defer cancel()
 
 	var bandwidths []float64
 	if *bwList != "" {
@@ -73,6 +82,15 @@ func run(args []string, out io.Writer) error {
 		},
 		Samples: *samples,
 		Seed:    *seed,
+		Workers: *workers,
+	}
+
+	// Three protocol series, each estimating every bandwidth point.
+	var meter *progress.Meter
+	if !*quiet {
+		meter = progress.NewMeter(errw, int64(*samples)*int64(len(bandwidths))*3)
+		defer meter.Close()
+		est.Progress = meter
 	}
 
 	protocols := []struct {
@@ -98,19 +116,30 @@ func run(args []string, out io.Writer) error {
 
 	var series []breakdown.Series
 	for _, p := range protocols {
-		s, err := est.Sweep(p.name, p.factory, bandwidths)
+		s, err := est.SweepContext(ctx, p.name, p.factory, bandwidths)
 		if err != nil {
 			return err
 		}
 		series = append(series, s)
 	}
+	if meter != nil {
+		meter.Close()
+	}
 
 	fmt.Fprintf(out, "Average breakdown utilization (n=%d, mean period %v, ratio %g, %d samples/point)\n\n",
 		*streams, *meanPeriod, *periodRatio, *samples)
-	fmt.Fprint(out, breakdown.FormatTable(series))
+	table, err := breakdown.FormatTable(series)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, table)
 	if *distr {
+		spread, err := breakdown.FormatDistributionTable(series)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintln(out, "\nper-set breakdown spread:")
-		fmt.Fprint(out, breakdown.FormatDistributionTable(series))
+		fmt.Fprint(out, spread)
 	}
 
 	if !*noPlot && len(bandwidths) > 1 {

@@ -2,13 +2,15 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"io"
 	"strings"
 	"testing"
 )
 
 func TestExplicitBandwidths(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-bw", "4,100", "-samples", "5", "-n", "10", "-no-plot"}, &out)
+	err := run(context.Background(), []string{"-bw", "4,100", "-samples", "5", "-n", "10", "-no-plot"}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +27,7 @@ func TestExplicitBandwidths(t *testing.T) {
 
 func TestPlotRendered(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-bw", "4,40,400", "-samples", "3", "-n", "8"}, &out)
+	err := run(context.Background(), []string{"-bw", "4,40,400", "-samples", "3", "-n", "8"}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +38,7 @@ func TestPlotRendered(t *testing.T) {
 
 func TestDistributionOutput(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-bw", "16", "-samples", "5", "-n", "8", "-no-plot", "-distribution"}, &out)
+	err := run(context.Background(), []string{"-bw", "16", "-samples", "5", "-n", "8", "-no-plot", "-distribution"}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,17 +50,17 @@ func TestDistributionOutput(t *testing.T) {
 
 func TestBadFlags(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-bw", "abc"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-bw", "abc"}, &out, io.Discard); err == nil {
 		t.Error("unparseable bandwidth accepted")
 	}
-	if err := run([]string{"-wat"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-wat"}, &out, io.Discard); err == nil {
 		t.Error("unknown flag accepted")
 	}
 }
 
 func TestSinglePointSkipsPlot(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-bw", "16", "-samples", "3", "-n", "6"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-bw", "16", "-samples", "3", "-n", "6"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(out.String(), "Figure 1: average") {

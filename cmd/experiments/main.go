@@ -7,27 +7,30 @@
 //	experiments -list
 //	experiments -run FIG1 -samples 200
 //	experiments -all -quick
+//	experiments -all -workers 8 -timeout 10m
+//
+// With -all, independent experiments run concurrently (output stays in
+// deterministic ID order). A live progress line streams to stderr;
+// Ctrl-C stops promptly and the completed experiments still print.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
-	"os"
-	"time"
 
 	"ringsched"
+	"ringsched/internal/cli"
+	"ringsched/internal/progress"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
-	}
+	cli.Main("experiments", run)
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
@@ -39,10 +42,15 @@ func run(args []string, out io.Writer) error {
 		points  = fs.Int("points", 3, "sweep points per bandwidth decade")
 		quick   = fs.Bool("quick", false, "trim grids and samples for a fast pass")
 		asJSON  = fs.Bool("json", false, "emit machine-readable JSON instead of text")
+		timeout = fs.Duration("timeout", 0, "abort after this duration (0 = none)")
+		workers = fs.Int("workers", 0, "parallel worker budget across experiments and samples (0 = all cores)")
+		quiet   = fs.Bool("quiet", false, "suppress the live progress meter on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, cancel := cli.WithTimeout(ctx, *timeout)
+	defer cancel()
 
 	if *list {
 		for _, e := range ringsched.Experiments() {
@@ -56,6 +64,7 @@ func run(args []string, out io.Writer) error {
 		Seed:            *seed,
 		PointsPerDecade: *points,
 		Quick:           *quick,
+		Workers:         *workers,
 	}
 
 	var experiments []ringsched.Experiment
@@ -73,22 +82,42 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("one of -list, -run or -all is required")
 	}
 
-	failed := 0
+	var obs ringsched.Progress
+	var meter *progress.Meter
+	if !*quiet {
+		meter = progress.NewMeter(errw, 0)
+		obs = meter
+	}
+	outcomes := ringsched.RunExperiments(ctx, cfg, obs, experiments)
+	if meter != nil {
+		meter.Close()
+	}
+
+	failed, errored := 0, 0
 	type jsonReport struct {
 		ID      string             `json:"id"`
 		Title   string             `json:"title"`
 		Pass    bool               `json:"pass"`
 		Seconds float64            `json:"seconds"`
+		Error   string             `json:"error,omitempty"`
 		Values  map[string]float64 `json:"values,omitempty"`
 		Notes   []string           `json:"notes,omitempty"`
 		Text    string             `json:"text"`
 	}
 	var jsonOut []jsonReport
-	for _, e := range experiments {
-		start := time.Now()
-		rep, err := e.Run(cfg)
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+	for _, o := range outcomes {
+		e, rep := o.Experiment, o.Report
+		if o.Err != nil {
+			errored++
+			if *asJSON {
+				jsonOut = append(jsonOut, jsonReport{
+					ID: e.ID, Title: e.Title, Seconds: o.Elapsed.Seconds(),
+					Error: o.Err.Error(),
+				})
+			} else {
+				fmt.Fprintf(out, "=== %s [ABORT] %s: %v\n\n", e.ID, e.Title, o.Err)
+			}
+			continue
 		}
 		if !rep.Pass {
 			failed++
@@ -98,7 +127,7 @@ func run(args []string, out io.Writer) error {
 				ID:      rep.ID,
 				Title:   e.Title,
 				Pass:    rep.Pass,
-				Seconds: time.Since(start).Seconds(),
+				Seconds: o.Elapsed.Seconds(),
 				Values:  rep.Values,
 				Notes:   rep.Notes,
 				Text:    rep.Text,
@@ -109,7 +138,7 @@ func run(args []string, out io.Writer) error {
 		if !rep.Pass {
 			status = "FAIL"
 		}
-		fmt.Fprintf(out, "=== %s [%s] %s (%.1fs)\n", e.ID, status, e.Title, time.Since(start).Seconds())
+		fmt.Fprintf(out, "=== %s [%s] %s (%.1fs)\n", e.ID, status, e.Title, o.Elapsed.Seconds())
 		fmt.Fprintln(out, rep.Text)
 		for _, n := range rep.Notes {
 			fmt.Fprintf(out, "note: %s\n", n)
@@ -122,6 +151,13 @@ func run(args []string, out io.Writer) error {
 		if err := enc.Encode(jsonOut); err != nil {
 			return err
 		}
+	}
+	if errored > 0 {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("interrupted with %d of %d experiment(s) completed: %w",
+				len(outcomes)-errored, len(outcomes), err)
+		}
+		return fmt.Errorf("%d experiment(s) aborted", errored)
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d experiment(s) did not reproduce the paper's claim", failed)

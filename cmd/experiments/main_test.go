@@ -2,14 +2,16 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"io"
 	"strings"
 	"testing"
 )
 
 func TestList(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-list"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-list"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -25,7 +27,7 @@ func TestRunSingleExperiment(t *testing.T) {
 		t.Skip("experiment run skipped in -short mode")
 	}
 	var out bytes.Buffer
-	if err := run([]string{"-run", "CLAIM-33PCT", "-quick"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-run", "CLAIM-33PCT", "-quick"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -39,7 +41,7 @@ func TestJSONOutput(t *testing.T) {
 		t.Skip("experiment run skipped in -short mode")
 	}
 	var out bytes.Buffer
-	if err := run([]string{"-run", "CLAIM-33PCT", "-quick", "-json"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-run", "CLAIM-33PCT", "-quick", "-json"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	var reports []struct {
@@ -56,21 +58,21 @@ func TestJSONOutput(t *testing.T) {
 
 func TestUnknownExperiment(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-run", "NOPE"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-run", "NOPE"}, &out, io.Discard); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
 
 func TestNoModeFlag(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(nil, &out); err == nil {
+	if err := run(context.Background(), nil, &out, io.Discard); err == nil {
 		t.Error("missing mode flag accepted")
 	}
 }
 
 func TestBadFlag(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-zzz"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-zzz"}, &out, io.Discard); err == nil {
 		t.Error("unknown flag accepted")
 	}
 }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -19,17 +20,16 @@ import (
 	"time"
 
 	"ringsched"
+	"ringsched/internal/cli"
 	"ringsched/internal/message"
+	"ringsched/internal/progress"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "ringsim:", err)
-		os.Exit(1)
-	}
+	cli.Main("ringsim", run)
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("ringsim", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
@@ -47,9 +47,24 @@ func run(args []string, out io.Writer) error {
 		lossProb    = fs.Float64("loss-prob", 0, "token-loss probability per service step")
 		levels      = fs.Int("levels", 8, "ring priority levels for -protocol 8025res (0 = one per stream)")
 		recovery    = fs.Duration("recovery", 2*time.Millisecond, "ring recovery time per token loss")
+		timeout     = fs.Duration("timeout", 0, "abort after this wall-clock duration (0 = none)")
+		workers     = fs.Int("workers", 0, "cap OS parallelism for the run (0 = all cores)")
+		maxEvents   = fs.Int("max-events", 0, "abort after this many simulator events (0 = unlimited)")
+		quiet       = fs.Bool("quiet", false, "suppress the live progress meter on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	ctx, cancel := cli.WithTimeout(ctx, *timeout)
+	defer cancel()
+	cli.ApplyWorkers(*workers)
+
+	var meter *progress.Meter
+	var obs ringsched.Progress
+	if !*quiet {
+		meter = progress.NewMeter(errw, 0)
+		defer meter.Close()
+		obs = meter
 	}
 
 	bw := ringsched.Mbps(*bwMbps)
@@ -101,7 +116,9 @@ func run(args []string, out io.Writer) error {
 			Horizon:        horizon.Seconds(),
 			Tracer:         tracer,
 			Faults:         faults,
-		}.Run()
+			MaxEvents:      *maxEvents,
+			Progress:       obs,
+		}.RunContext(ctx)
 	case "8025res":
 		pdp := ringsched.NewStandardPDP(bw)
 		pdp.Net = pdp.Net.WithStations(stations)
@@ -119,7 +136,9 @@ func run(args []string, out io.Writer) error {
 			Horizon:        horizon.Seconds(),
 			Tracer:         tracer,
 			Faults:         faults,
-		}.Run()
+			MaxEvents:      *maxEvents,
+			Progress:       obs,
+		}.RunContext(ctx)
 		if err != nil {
 			return err
 		}
@@ -141,9 +160,14 @@ func run(args []string, out io.Writer) error {
 		simc.Horizon = horizon.Seconds()
 		simc.Tracer = tracer
 		simc.Faults = faults
-		res, err = simc.Run()
+		simc.MaxEvents = *maxEvents
+		simc.Progress = obs
+		res, err = simc.RunContext(ctx)
 	default:
 		return fmt.Errorf("unknown -protocol %q (want 8025, 8025mod, 8025res or fddi)", *protocol)
+	}
+	if meter != nil {
+		meter.Close()
 	}
 	if err != nil {
 		return err

@@ -2,14 +2,16 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"io"
 	"strings"
 	"testing"
 )
 
 func TestFDDISim(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-protocol", "fddi", "-bw", "100", "-n", "6",
-		"-utilization", "0.3", "-horizon", "100ms"}, &out)
+	err := run(context.Background(), []string{"-protocol", "fddi", "-bw", "100", "-n", "6",
+		"-utilization", "0.3", "-horizon", "100ms"}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,8 +25,8 @@ func TestFDDISim(t *testing.T) {
 
 func TestReservationMAC(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-protocol", "8025res", "-bw", "4", "-n", "5",
-		"-utilization", "0.2", "-horizon", "200ms", "-levels", "2"}, &out)
+	err := run(context.Background(), []string{"-protocol", "8025res", "-bw", "4", "-n", "5",
+		"-utilization", "0.2", "-horizon", "200ms", "-levels", "2"}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,8 +38,8 @@ func TestReservationMAC(t *testing.T) {
 
 func TestFaultFlags(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-protocol", "fddi", "-bw", "100", "-n", "4",
-		"-utilization", "0.2", "-horizon", "200ms", "-loss-prob", "0.01", "-recovery", "1ms"}, &out)
+	err := run(context.Background(), []string{"-protocol", "fddi", "-bw", "100", "-n", "4",
+		"-utilization", "0.2", "-horizon", "200ms", "-loss-prob", "0.01", "-recovery", "1ms"}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,8 +51,8 @@ func TestFaultFlags(t *testing.T) {
 func TestPDPSimVariants(t *testing.T) {
 	for _, proto := range []string{"8025", "8025mod"} {
 		var out bytes.Buffer
-		err := run([]string{"-protocol", proto, "-bw", "16", "-n", "5",
-			"-utilization", "0.2", "-horizon", "200ms"}, &out)
+		err := run(context.Background(), []string{"-protocol", proto, "-bw", "16", "-n", "5",
+			"-utilization", "0.2", "-horizon", "200ms"}, &out, io.Discard)
 		if err != nil {
 			t.Fatalf("%s: %v", proto, err)
 		}
@@ -62,8 +64,8 @@ func TestPDPSimVariants(t *testing.T) {
 
 func TestTraceFlag(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-protocol", "fddi", "-bw", "100", "-n", "4",
-		"-utilization", "0.2", "-horizon", "50ms", "-trace", "5"}, &out)
+	err := run(context.Background(), []string{"-protocol", "fddi", "-bw", "100", "-n", "4",
+		"-utilization", "0.2", "-horizon", "50ms", "-trace", "5"}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,8 +80,8 @@ func TestTraceFlag(t *testing.T) {
 
 func TestRandomPhasing(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-protocol", "fddi", "-bw", "100", "-n", "4",
-		"-utilization", "0.2", "-horizon", "50ms", "-phasing", "random", "-seed", "5"}, &out)
+	err := run(context.Background(), []string{"-protocol", "fddi", "-bw", "100", "-n", "4",
+		"-utilization", "0.2", "-horizon", "50ms", "-phasing", "random", "-seed", "5"}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,14 +89,14 @@ func TestRandomPhasing(t *testing.T) {
 
 func TestUnknownProtocol(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-protocol", "csma"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-protocol", "csma"}, &out, io.Discard); err == nil {
 		t.Error("unknown protocol accepted")
 	}
 }
 
 func TestMissingSetFile(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-set", "/no/such/file"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-set", "/no/such/file"}, &out, io.Discard); err == nil {
 		t.Error("missing file accepted")
 	}
 }

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -21,18 +22,16 @@ import (
 	"os"
 
 	"ringsched"
+	"ringsched/internal/cli"
 	"ringsched/internal/core"
 	"ringsched/internal/message"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "schedcheck:", err)
-		os.Exit(1)
-	}
+	cli.Main("schedcheck", run)
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out, _ io.Writer) error {
 	fs := flag.NewFlagSet("schedcheck", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
@@ -44,10 +43,15 @@ func run(args []string, out io.Writer) error {
 		utilization  = fs.Float64("utilization", 0.3, "target utilization when generating a random set")
 		verbose      = fs.Bool("verbose", false, "print per-stream detail")
 		printExample = fs.Bool("print-example", false, "print an example JSON message set and exit")
+		timeout      = fs.Duration("timeout", 0, "abort after this duration (0 = none)")
+		workers      = fs.Int("workers", 0, "cap OS parallelism for the run (0 = all cores)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, cancel := cli.WithTimeout(ctx, *timeout)
+	defer cancel()
+	cli.ApplyWorkers(*workers)
 
 	if *printExample {
 		example := ringsched.MessageSet{
@@ -68,6 +72,9 @@ func run(args []string, out io.Writer) error {
 
 	// PDP variants.
 	for _, variant := range []ringsched.PDPVariant{ringsched.Modified8025, ringsched.Standard8025} {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		pdp := ringsched.NewStandardPDP(bw)
 		pdp.Variant = variant
 		if len(set) > pdp.Net.Stations {
@@ -81,6 +88,9 @@ func run(args []string, out io.Writer) error {
 	}
 
 	// TTP.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	ttp := ringsched.NewTTP(bw)
 	if len(set) > ttp.Net.Stations {
 		ttp.Net = ttp.Net.WithStations(len(set))

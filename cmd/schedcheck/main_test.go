@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,7 +12,7 @@ import (
 
 func TestPrintExample(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-print-example"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-print-example"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"attitude-control", "periodMs", "lengthBits"} {
@@ -22,7 +24,7 @@ func TestPrintExample(t *testing.T) {
 
 func TestGeneratedSetReport(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-bw", "16", "-n", "8", "-utilization", "0.3", "-verbose"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-bw", "16", "-n", "8", "-utilization", "0.3", "-verbose"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -42,7 +44,7 @@ func TestJSONRoundTripThroughCLI(t *testing.T) {
 	path := filepath.Join(dir, "set.json")
 
 	var example bytes.Buffer
-	if err := run([]string{"-print-example"}, &example); err != nil {
+	if err := run(context.Background(), []string{"-print-example"}, &example, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(path, example.Bytes(), 0o600); err != nil {
@@ -50,7 +52,7 @@ func TestJSONRoundTripThroughCLI(t *testing.T) {
 	}
 
 	var out bytes.Buffer
-	if err := run([]string{"-set", path, "-bw", "100"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-set", path, "-bw", "100"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "message set: 3 streams") {
@@ -60,26 +62,26 @@ func TestJSONRoundTripThroughCLI(t *testing.T) {
 
 func TestPresetWorkload(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-preset", "avionics", "-bw", "4"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-preset", "avionics", "-bw", "4"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "message set: 8 streams") {
 		t.Errorf("preset report:\n%s", out.String())
 	}
-	if err := run([]string{"-preset", "bogus"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-preset", "bogus"}, &out, io.Discard); err == nil {
 		t.Error("unknown preset accepted")
 	}
 }
 
 func TestErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-set", "/does/not/exist.json"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-set", "/does/not/exist.json"}, &out, io.Discard); err == nil {
 		t.Error("missing file accepted")
 	}
-	if err := run([]string{"-bogus-flag"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-bogus-flag"}, &out, io.Discard); err == nil {
 		t.Error("unknown flag accepted")
 	}
-	if err := run([]string{"-utilization", "0"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-utilization", "0"}, &out, io.Discard); err == nil {
 		t.Error("zero utilization accepted")
 	}
 }

@@ -10,28 +10,27 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math"
-	"os"
 	"time"
 
 	"ringsched"
 	"ringsched/internal/breakdown"
+	"ringsched/internal/cli"
 	"ringsched/internal/core"
 	"ringsched/internal/message"
+	"ringsched/internal/progress"
 	"ringsched/internal/textplot"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "ttrtscan:", err)
-		os.Exit(1)
-	}
+	cli.Main("ttrtscan", run)
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("ttrtscan", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
@@ -42,10 +41,15 @@ func run(args []string, out io.Writer) error {
 		general = fs.Bool("general", false, "also compare TTRT rules on the paper's random workload")
 		samples = fs.Int("samples", 100, "Monte Carlo samples for -general")
 		seed    = fs.Int64("seed", 1993, "random seed for -general")
+		timeout = fs.Duration("timeout", 0, "abort after this duration (0 = none)")
+		workers = fs.Int("workers", 0, "parallel worker budget for the -general Monte Carlo pool (0 = all cores)")
+		quiet   = fs.Bool("quiet", false, "suppress the live progress meter on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, cancel := cli.WithTimeout(ctx, *timeout)
+	defer cancel()
 
 	bw := ringsched.Mbps(*bwMbps)
 	p := period.Seconds()
@@ -66,6 +70,9 @@ func run(args []string, out io.Writer) error {
 	var xs, ys []float64
 	bestU, bestTTRT := -1.0, 0.0
 	for i := 0; i <= *grid; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		ttrt := lo * math.Pow(hi/lo, float64(i)/float64(*grid))
 		u, err := equalPeriodBreakdown(*streams, p, ttrt, bw)
 		if err != nil {
@@ -104,6 +111,12 @@ func run(args []string, out io.Writer) error {
 			Generator: message.Generator{Streams: *streams, MeanPeriod: 100e-3, PeriodRatio: 10},
 			Samples:   *samples,
 			Seed:      *seed,
+			Workers:   *workers,
+		}
+		var meter *progress.Meter
+		if !*quiet {
+			meter = progress.NewMeter(errw, int64(*samples)*2)
+			est.Progress = meter
 		}
 		for _, rule := range []struct {
 			name string
@@ -115,11 +128,14 @@ func run(args []string, out io.Writer) error {
 			t := core.NewTTP(bw)
 			t.Net = t.Net.WithStations(*streams)
 			t.Rule = rule.rule
-			e, err := est.Estimate(t, bw)
+			e, err := est.EstimateContext(ctx, t, bw)
 			if err != nil {
 				return err
 			}
 			fmt.Fprintf(out, "  %-18s avg breakdown U = %s\n", rule.name, e)
+		}
+		if meter != nil {
+			meter.Close()
 		}
 	}
 	return nil

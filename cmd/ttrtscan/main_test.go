@@ -2,13 +2,15 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"io"
 	"strings"
 	"testing"
 )
 
 func TestEqualPeriodScan(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-bw", "100", "-period", "50ms", "-n", "20", "-grid", "6"}, &out)
+	err := run(context.Background(), []string{"-bw", "100", "-period", "50ms", "-n", "20", "-grid", "6"}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,7 +24,7 @@ func TestEqualPeriodScan(t *testing.T) {
 
 func TestGeneralComparison(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-bw", "100", "-n", "10", "-grid", "4", "-general", "-samples", "5"}, &out)
+	err := run(context.Background(), []string{"-bw", "100", "-n", "10", "-grid", "4", "-general", "-samples", "5"}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,14 +37,14 @@ func TestGeneralComparison(t *testing.T) {
 func TestNoTTRTRange(t *testing.T) {
 	// A period so short that 2θ exceeds P/2 leaves no scan range.
 	var out bytes.Buffer
-	if err := run([]string{"-bw", "1", "-period", "1ms", "-n", "100"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-bw", "1", "-period", "1ms", "-n", "100"}, &out, io.Discard); err == nil {
 		t.Error("impossible TTRT range accepted")
 	}
 }
 
 func TestBadFlag(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-nope"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-nope"}, &out, io.Discard); err == nil {
 		t.Error("unknown flag accepted")
 	}
 }

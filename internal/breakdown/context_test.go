@@ -1,0 +1,208 @@
+package breakdown
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ringsched/internal/core"
+	"ringsched/internal/message"
+	"ringsched/internal/progress"
+)
+
+// slowAnalyzer sleeps on every schedulability probe so cancellation tests
+// have in-flight work to interrupt.
+type slowAnalyzer struct {
+	capAnalyzer
+	delay time.Duration
+	calls *atomic.Int64
+}
+
+func (s slowAnalyzer) Schedulable(m message.Set) (bool, error) {
+	if s.calls != nil {
+		s.calls.Add(1)
+	}
+	time.Sleep(s.delay)
+	return s.capAnalyzer.Schedulable(m)
+}
+
+// countingErrAnalyzer fails every probe immediately, counting the probes.
+type countingErrAnalyzer struct {
+	err   error
+	calls *atomic.Int64
+}
+
+func (countingErrAnalyzer) Name() string { return "counting-err" }
+
+func (c countingErrAnalyzer) Schedulable(message.Set) (bool, error) {
+	c.calls.Add(1)
+	return false, c.err
+}
+
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	bws := []float64{4e6, 16e6, 64e6, 256e6}
+	factory := func(bw float64) core.Analyzer {
+		a := core.NewTTP(bw)
+		a.Net = a.Net.WithStations(10)
+		return a
+	}
+	run := func(workers int) (Series, string) {
+		e := testEstimator(12)
+		e.Workers = workers
+		s, err := e.SweepContext(context.Background(), "fddi", factory, bws)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		table, err := FormatTable([]Series{s})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return s, table
+	}
+	serial, serialTable := run(1)
+	parallel, parallelTable := run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("Workers=8 series differs from Workers=1:\n%+v\nvs\n%+v", parallel, serial)
+	}
+	if serialTable != parallelTable {
+		t.Errorf("Workers=8 table not byte-identical to Workers=1:\n%q\nvs\n%q",
+			parallelTable, serialTable)
+	}
+}
+
+func TestEstimateContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var counter progress.Counter
+	e := testEstimator(50)
+	e.Progress = &counter
+	_, err := e.EstimateContext(ctx, capAnalyzer{Cap: 5e5}, 1e6)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := counter.Samples(); got != 0 {
+		t.Errorf("%d samples completed under a pre-canceled context, want 0", got)
+	}
+}
+
+func TestEstimateContextCancelMidway(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	var counter progress.Counter
+	e := testEstimator(200)
+	e.Workers = 4
+	e.Progress = &counter
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := e.EstimateContext(ctx, slowAnalyzer{
+		capAnalyzer: capAnalyzer{Cap: 5e5},
+		delay:       time.Millisecond,
+	}, 1e6)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Dispatch must stop well before the 200-sample drain (~several
+	// seconds serial); allow generous slack for loaded CI machines.
+	if elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v, want prompt return", elapsed)
+	}
+	if got := counter.Samples(); got >= 200 {
+		t.Errorf("all %d samples completed despite cancellation", got)
+	}
+	// The worker pool must fully drain (no goroutine leaks).
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+func TestEstimateFailsFastOnFirstError(t *testing.T) {
+	var calls atomic.Int64
+	wantErr := errors.New("kaput")
+	var counter progress.Counter
+	e := testEstimator(100)
+	e.Workers = 4
+	e.Progress = &counter
+	_, err := e.EstimateContext(context.Background(),
+		countingErrAnalyzer{err: wantErr, calls: &calls}, 1e6)
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want kaput", err)
+	}
+	// Fail-fast: only the samples already in flight when the first error
+	// hit may probe the analyzer — far fewer than the configured 100.
+	if got := calls.Load(); got >= 100 {
+		t.Errorf("%d probes despite first-error cancellation, want far fewer", got)
+	}
+	if got := counter.Samples(); got != 0 {
+		t.Errorf("%d samples reported done, want 0 (every sample errors)", got)
+	}
+}
+
+func TestSweepContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var counter progress.Counter
+	e := testEstimator(10)
+	e.Progress = &counter
+	_, err := e.SweepContext(ctx, "toy", func(bw float64) core.Analyzer {
+		return capAnalyzer{Cap: bw / 2}
+	}, []float64{1e6, 4e6, 16e6})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := counter.SweepPoints(); got != 0 {
+		t.Errorf("%d sweep points completed under a pre-canceled context, want 0", got)
+	}
+}
+
+func TestSweepContextFailFast(t *testing.T) {
+	var calls atomic.Int64
+	wantErr := errors.New("kaput")
+	e := testEstimator(10)
+	_, err := e.SweepContext(context.Background(), "toy", func(bw float64) core.Analyzer {
+		return countingErrAnalyzer{err: wantErr, calls: &calls}
+	}, []float64{1e6, 4e6, 16e6, 64e6})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want kaput", err)
+	}
+}
+
+func TestSweepEmptyBandwidths(t *testing.T) {
+	s, err := testEstimator(5).SweepContext(context.Background(), "empty", func(bw float64) core.Analyzer {
+		return capAnalyzer{Cap: bw}
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "empty" || len(s.Points) != 0 {
+		t.Errorf("series = %+v, want empty series named %q", s, "empty")
+	}
+}
+
+func TestFormatTableRaggedSeries(t *testing.T) {
+	full := Series{Name: "full", Points: []Point{
+		{BandwidthBPS: 1e6}, {BandwidthBPS: 4e6},
+	}}
+	short := Series{Name: "short", Points: []Point{{BandwidthBPS: 1e6}}}
+	if _, err := FormatTable([]Series{full, short}); !errors.Is(err, ErrRaggedSeries) {
+		t.Errorf("FormatTable ragged: err = %v, want ErrRaggedSeries", err)
+	}
+	if _, err := FormatDistributionTable([]Series{full, short}); !errors.Is(err, ErrRaggedSeries) {
+		t.Errorf("FormatDistributionTable ragged: err = %v, want ErrRaggedSeries", err)
+	}
+	// Same lengths stay fine.
+	if _, err := FormatTable([]Series{full, full}); err != nil {
+		t.Errorf("aligned series: %v", err)
+	}
+}

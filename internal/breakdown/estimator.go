@@ -1,6 +1,7 @@
 package breakdown
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -9,6 +10,7 @@ import (
 
 	"ringsched/internal/core"
 	"ringsched/internal/message"
+	"ringsched/internal/progress"
 	"ringsched/internal/stats"
 )
 
@@ -54,10 +56,15 @@ type Estimator struct {
 	// Seed derives a deterministic per-sample RNG stream, making estimates
 	// reproducible regardless of goroutine scheduling.
 	Seed int64
-	// Workers bounds the parallelism; zero means GOMAXPROCS.
+	// Workers bounds the parallelism; zero means GOMAXPROCS. Results are
+	// bit-identical at any worker count: the RNG stream of sample i is a
+	// pure function of (Seed, i), never of goroutine scheduling.
 	Workers int
 	// Saturate tunes the per-sample binary search.
 	Saturate SaturateOptions
+	// Progress, when non-nil, observes completed samples and sweep points.
+	// It is invoked from worker goroutines and must be concurrency-safe.
+	Progress progress.Progress
 }
 
 // PaperEstimator returns an estimator with the paper's workload
@@ -69,7 +76,18 @@ func PaperEstimator(samples int, seed int64) Estimator {
 // Estimate computes the average breakdown utilization of the analyzer. The
 // bandwidth is used to express the saturated sets' utilization; pass the
 // analyzer's plant bandwidth (or 1 for abstract CPU-style analyzers).
+//
+// Estimate is the uncancelable convenience wrapper around EstimateContext.
 func (e Estimator) Estimate(a core.Analyzer, bandwidthBPS float64) (Estimate, error) {
+	return e.EstimateContext(context.Background(), a, bandwidthBPS)
+}
+
+// EstimateContext is Estimate with cancellation: the worker pool stops
+// dispatching new samples as soon as ctx is canceled (returning ctx.Err())
+// or any sample fails (returning that sample's error promptly instead of
+// draining the remaining work). Already-dispatched samples run to
+// completion — each is one bounded binary search.
+func (e Estimator) EstimateContext(ctx context.Context, a core.Analyzer, bandwidthBPS float64) (Estimate, error) {
 	if e.Samples <= 0 {
 		return Estimate{}, ErrNoSamples
 	}
@@ -85,9 +103,16 @@ func (e Estimator) Estimate(a core.Analyzer, bandwidthBPS float64) (Estimate, er
 		workers = e.Samples
 	}
 
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	obs := progress.OrNop(e.Progress)
 	results := make([]sampleOutcome, e.Samples)
 
-	var wg sync.WaitGroup
+	var (
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		failure error
+	)
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -95,22 +120,41 @@ func (e Estimator) Estimate(a core.Analyzer, bandwidthBPS float64) (Estimate, er
 			defer wg.Done()
 			for i := range next {
 				results[i] = e.sample(a, bandwidthBPS, i)
+				if err := results[i].err; err != nil {
+					// First error wins; cancel the dispatcher and the
+					// sibling workers so the failure surfaces promptly.
+					errOnce.Do(func() {
+						failure = err
+						cancel()
+					})
+					return
+				}
+				obs.SampleDone()
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < e.Samples; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+
+	if failure != nil {
+		return Estimate{}, failure
+	}
+	if err := ctx.Err(); err != nil {
+		return Estimate{}, err
+	}
 
 	var acc stats.Running
 	infeasible := 0
 	utils := make([]float64, 0, len(results))
 	for _, r := range results {
-		if r.err != nil {
-			return Estimate{}, r.err
-		}
 		if r.infeasible {
 			infeasible++
 		}

@@ -149,11 +149,11 @@ func TestSweepShapes(t *testing.T) {
 			t.Errorf("point %d mean %v, want 0.5", i, p.Estimate.Mean)
 		}
 	}
-	if FormatTable([]Series{s}) == "" {
-		t.Error("FormatTable empty")
+	if table, err := FormatTable([]Series{s}); err != nil || table == "" {
+		t.Errorf("FormatTable = %q, %v", table, err)
 	}
-	if FormatTable(nil) != "" {
-		t.Error("FormatTable(nil) should be empty")
+	if table, err := FormatTable(nil); err != nil || table != "" {
+		t.Errorf("FormatTable(nil) = %q, %v; want empty", table, err)
 	}
 }
 
@@ -165,12 +165,15 @@ func TestFormatDistributionTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := FormatDistributionTable([]Series{s})
+	got, err := FormatDistributionTable([]Series{s})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got == "" {
 		t.Fatal("empty distribution table")
 	}
-	if FormatDistributionTable(nil) != "" {
-		t.Error("nil series should render empty")
+	if table, err := FormatDistributionTable(nil); err != nil || table != "" {
+		t.Errorf("FormatDistributionTable(nil) = %q, %v; want empty", table, err)
 	}
 }
 

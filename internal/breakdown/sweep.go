@@ -1,15 +1,25 @@
 package breakdown
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
+	"sync"
 
 	"ringsched/internal/core"
+	"ringsched/internal/progress"
 )
 
+// ErrRaggedSeries is returned by the table formatters when the series do
+// not all have the same number of points (e.g. a sweep aborted mid-way).
+var ErrRaggedSeries = errors.New("breakdown: series have mismatched point counts")
+
 // AnalyzerFactory builds an analyzer for one plant bandwidth; bandwidth
-// sweeps (Figure 1) hold everything else constant.
+// sweeps (Figure 1) hold everything else constant. Factories are called
+// from sweep worker goroutines and must not share mutable state.
 type AnalyzerFactory func(bandwidthBPS float64) core.Analyzer
 
 // Point is one (bandwidth, estimate) pair of a sweep.
@@ -25,17 +35,104 @@ type Series struct {
 	Points []Point
 }
 
-// Sweep estimates the average breakdown utilization at each bandwidth.
+// Sweep estimates the average breakdown utilization at each bandwidth. It
+// is the uncancelable convenience wrapper around SweepContext.
 func (e Estimator) Sweep(name string, factory AnalyzerFactory, bandwidthsBPS []float64) (Series, error) {
-	s := Series{Name: name, Points: make([]Point, 0, len(bandwidthsBPS))}
-	for _, bw := range bandwidthsBPS {
-		est, err := e.Estimate(factory(bw), bw)
-		if err != nil {
-			return Series{}, fmt.Errorf("sweep %s at %.3g bps: %w", name, bw, err)
-		}
-		s.Points = append(s.Points, Point{BandwidthBPS: bw, Estimate: est})
+	return e.SweepContext(context.Background(), name, factory, bandwidthsBPS)
+}
+
+// SweepContext runs the sweep with cancellation, estimating the bandwidth
+// points in parallel on its own worker pool. The Estimator's Workers budget
+// bounds the *total* parallelism: it is split between concurrent points and
+// the per-point sample pools. Results are bit-identical at any worker
+// count because the RNG stream of (bandwidth, sample) is a pure function of
+// (Seed, bandwidth, sample index) — see Estimator.Workers.
+//
+// On the first point error the remaining points are canceled and the error
+// of the lowest-bandwidth failing point is returned; if ctx is canceled
+// first, ctx.Err() is returned.
+func (e Estimator) SweepContext(ctx context.Context, name string, factory AnalyzerFactory, bandwidthsBPS []float64) (Series, error) {
+	if len(bandwidthsBPS) == 0 {
+		return Series{Name: name}, nil
 	}
-	return s, nil
+
+	total := e.Workers
+	if total <= 0 {
+		total = runtime.GOMAXPROCS(0)
+	}
+	pointWorkers := total
+	if pointWorkers > len(bandwidthsBPS) {
+		pointWorkers = len(bandwidthsBPS)
+	}
+	// Split the worker budget: pointWorkers concurrent points, each with an
+	// equal share of the sample-level pool.
+	inner := e
+	inner.Workers = total / pointWorkers
+	if inner.Workers < 1 {
+		inner.Workers = 1
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	obs := progress.OrNop(e.Progress)
+
+	points := make([]Point, len(bandwidthsBPS))
+	errs := make([]error, len(bandwidthsBPS))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < pointWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				bw := bandwidthsBPS[i]
+				est, err := inner.EstimateContext(runCtx, factory(bw), bw)
+				if err != nil {
+					errs[i] = fmt.Errorf("sweep %s at %.3g bps: %w", name, bw, err)
+					cancel()
+					continue
+				}
+				points[i] = Point{BandwidthBPS: bw, Estimate: est}
+				obs.SweepPointDone(name, bw)
+			}
+		}()
+	}
+dispatch:
+	for i := range bandwidthsBPS {
+		select {
+		case next <- i:
+		case <-runCtx.Done():
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	// Prefer the lowest-index real failure; cancellation-induced errors at
+	// other indices are a consequence, not the cause.
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr != nil && !errors.Is(firstErr, context.Canceled) {
+		return Series{}, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return Series{}, err
+	}
+	if firstErr != nil {
+		return Series{}, firstErr
+	}
+	return Series{Name: name, Points: points}, nil
 }
 
 // PaperBandwidths returns the Figure 1 sweep grid: 1 Mbps to 1 Gbps,
@@ -53,12 +150,28 @@ func PaperBandwidths(pointsPerDecade int) []float64 {
 	return out
 }
 
+// checkAligned verifies that every series has the same point count as the
+// first, so row-major table rendering cannot index out of range.
+func checkAligned(series []Series) error {
+	for _, s := range series[1:] {
+		if len(s.Points) != len(series[0].Points) {
+			return fmt.Errorf("%w: %q has %d points, %q has %d",
+				ErrRaggedSeries, series[0].Name, len(series[0].Points), s.Name, len(s.Points))
+		}
+	}
+	return nil
+}
+
 // FormatDistributionTable renders, for each series, the spread of
 // per-set breakdown utilizations (P10 / median / P90) alongside the mean —
 // the planners' view: 90 % of workloads break down above the P10 column.
-func FormatDistributionTable(series []Series) string {
+// All series must have the same point count (ErrRaggedSeries otherwise).
+func FormatDistributionTable(series []Series) (string, error) {
 	if len(series) == 0 {
-		return ""
+		return "", nil
+	}
+	if err := checkAligned(series); err != nil {
+		return "", err
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%12s", "BW (Mbps)")
@@ -74,14 +187,18 @@ func FormatDistributionTable(series []Series) string {
 		}
 		b.WriteByte('\n')
 	}
-	return b.String()
+	return b.String(), nil
 }
 
 // FormatTable renders series as a fixed-width table: one row per bandwidth,
-// one column per series — the tabular form of Figure 1.
-func FormatTable(series []Series) string {
+// one column per series — the tabular form of Figure 1. All series must
+// have the same point count (ErrRaggedSeries otherwise).
+func FormatTable(series []Series) (string, error) {
 	if len(series) == 0 {
-		return ""
+		return "", nil
+	}
+	if err := checkAligned(series); err != nil {
+		return "", err
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%12s", "BW (Mbps)")
@@ -97,5 +214,5 @@ func FormatTable(series []Series) string {
 		}
 		b.WriteByte('\n')
 	}
-	return b.String()
+	return b.String(), nil
 }

@@ -1,0 +1,58 @@
+// Package cli holds the shared scaffolding of the five command-line
+// tools: signal-driven cancellation (SIGINT/SIGTERM), the optional
+// -timeout deadline, and a uniform exit path. Keeping it here means every
+// tool interrupts the same way and main functions stay one line long.
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+)
+
+// RunFunc is the body of one command-line tool. The ctx is canceled on
+// SIGINT/SIGTERM (and by -timeout when the tool wires one); out is stdout
+// and errw is stderr (live progress goes to errw so output stays pipeable).
+type RunFunc func(ctx context.Context, args []string, out, errw io.Writer) error
+
+// Main runs a tool body under a signal-cancelable context and exits with
+// status 1 on error. A second SIGINT kills the process immediately via the
+// restored default handler.
+func Main(name string, run RunFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	err := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, name+": interrupted")
+		} else {
+			fmt.Fprintln(os.Stderr, name+":", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// WithTimeout wraps ctx with a deadline when d is positive; d = 0 returns
+// ctx unchanged. The returned cancel func is always safe to call.
+func WithTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// ApplyWorkers caps the process's OS-thread parallelism for tools whose
+// work is a single serial computation (simulators, analyzers); tools with
+// their own worker pools pass the value through instead. Zero or negative
+// leaves the runtime default in place.
+func ApplyWorkers(n int) {
+	if n > 0 {
+		runtime.GOMAXPROCS(n)
+	}
+}

@@ -1,0 +1,47 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestWithTimeoutZeroMeansNoDeadline(t *testing.T) {
+	ctx, cancel := WithTimeout(context.Background(), 0)
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Error("timeout 0 set a deadline")
+	}
+	cancel()
+	if !errors.Is(ctx.Err(), context.Canceled) {
+		t.Errorf("after cancel: %v, want context.Canceled", ctx.Err())
+	}
+}
+
+func TestWithTimeoutExpires(t *testing.T) {
+	ctx, cancel := WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadline never fired")
+	}
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded", ctx.Err())
+	}
+}
+
+func TestApplyWorkers(t *testing.T) {
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+	ApplyWorkers(0) // 0 = leave alone
+	if got := runtime.GOMAXPROCS(0); got != orig {
+		t.Errorf("ApplyWorkers(0) changed GOMAXPROCS to %d", got)
+	}
+	ApplyWorkers(1)
+	if got := runtime.GOMAXPROCS(0); got != 1 {
+		t.Errorf("ApplyWorkers(1): GOMAXPROCS = %d, want 1", got)
+	}
+}

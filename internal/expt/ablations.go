@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -8,6 +9,7 @@ import (
 	"ringsched/internal/core"
 	"ringsched/internal/frame"
 	"ringsched/internal/message"
+	"ringsched/internal/progress"
 	"ringsched/internal/ttpalloc"
 )
 
@@ -20,7 +22,7 @@ func ablationPeriods() Experiment {
 	return Experiment{
 		ID:    "ABL-PERIOD",
 		Title: "Sensitivity to mean period and max/min period ratio (paper: \"results were similar\")",
-		Run: func(cfg Config) (Report, error) {
+		Run: func(ctx context.Context, cfg Config, obs progress.Progress) (Report, error) {
 			cfg = cfg.withDefaults()
 			means := []float64{20e-3, 100e-3, 500e-3}
 			ratios := []float64{2, 10, 100}
@@ -35,14 +37,14 @@ func ablationPeriods() Experiment {
 			for _, mean := range means {
 				for _, ratio := range ratios {
 					for _, bw := range _ablationBandwidths {
-						est := breakdown.Estimator{
+						est := cfg.estimator(breakdown.Estimator{
 							Generator: message.Generator{Streams: 100, MeanPeriod: mean, PeriodRatio: ratio},
 							Samples:   cfg.Samples,
 							Seed:      cfg.Seed,
-						}
+						}, obs)
 						var row [3]float64
 						for i, p := range protocolFactories() {
-							e, err := est.Estimate(p.factory(bw), bw)
+							e, err := est.EstimateContext(ctx, p.factory(bw), bw)
 							if err != nil {
 								return Report{}, err
 							}
@@ -76,7 +78,7 @@ func ablationFrameSize() Experiment {
 	return Experiment{
 		ID:    "ABL-FRAME",
 		Title: "Frame size trade-off: responsiveness vs per-frame overhead (Section 4.2)",
-		Run: func(cfg Config) (Report, error) {
+		Run: func(ctx context.Context, cfg Config, obs progress.Progress) (Report, error) {
 			cfg = cfg.withDefaults()
 			payloads := []float64{128, 512, 2048, 8192} // bits: 16 B – 1 KiB
 			if cfg.Quick {
@@ -86,7 +88,7 @@ func ablationFrameSize() Experiment {
 			fmt.Fprintf(&b, "%12s %10s %16s %16s %16s\n",
 				"payload (B)", "BW (Mbps)", "Modified 802.5", "IEEE 802.5", "FDDI")
 			rep := Report{ID: "ABL-FRAME", Title: "Frame size ablation", Pass: true}
-			est := breakdown.PaperEstimator(cfg.Samples, cfg.Seed)
+			est := cfg.estimator(breakdown.PaperEstimator(cfg.Samples, cfg.Seed), obs)
 			for _, info := range payloads {
 				spec := frame.Spec{InfoBits: info, OvhdBits: frame.PaperOvhdBits}
 				for _, bw := range _ablationBandwidths {
@@ -101,7 +103,7 @@ func ablationFrameSize() Experiment {
 					ttp.AsyncFrame = spec
 					var row [3]float64
 					for i, a := range []core.Analyzer{mkPDP(core.Modified8025), mkPDP(core.Standard8025), ttp} {
-						e, err := est.Estimate(a, bw)
+						e, err := est.EstimateContext(ctx, a, bw)
 						if err != nil {
 							return Report{}, err
 						}
@@ -126,7 +128,7 @@ func ablationStations() Experiment {
 	return Experiment{
 		ID:    "ABL-N",
 		Title: "Sensitivity to station count",
-		Run: func(cfg Config) (Report, error) {
+		Run: func(ctx context.Context, cfg Config, obs progress.Progress) (Report, error) {
 			cfg = cfg.withDefaults()
 			counts := []int{10, 50, 100, 200}
 			if cfg.Quick {
@@ -137,11 +139,11 @@ func ablationStations() Experiment {
 				"n", "BW (Mbps)", "Modified 802.5", "IEEE 802.5", "FDDI")
 			rep := Report{ID: "ABL-N", Title: "Station count ablation", Pass: true}
 			for _, n := range counts {
-				est := breakdown.Estimator{
+				est := cfg.estimator(breakdown.Estimator{
 					Generator: message.Generator{Streams: n, MeanPeriod: 100e-3, PeriodRatio: 10},
 					Samples:   cfg.Samples,
 					Seed:      cfg.Seed,
-				}
+				}, obs)
 				for _, bw := range _ablationBandwidths {
 					mkPDP := func(v core.Variant) core.Analyzer {
 						p := core.NewStandardPDP(bw)
@@ -153,7 +155,7 @@ func ablationStations() Experiment {
 					ttp.Net = ttp.Net.WithStations(n)
 					var row [3]float64
 					for i, a := range []core.Analyzer{mkPDP(core.Modified8025), mkPDP(core.Standard8025), ttp} {
-						e, err := est.Estimate(a, bw)
+						e, err := est.EstimateContext(ctx, a, bw)
 						if err != nil {
 							return Report{}, err
 						}
@@ -177,7 +179,7 @@ func ablationAllocationSchemes() Experiment {
 	return Experiment{
 		ID:    "ABL-ALLOC",
 		Title: "TTP synchronous bandwidth allocation schemes: local vs baselines",
-		Run: func(cfg Config) (Report, error) {
+		Run: func(ctx context.Context, cfg Config, obs progress.Progress) (Report, error) {
 			cfg = cfg.withDefaults()
 			schemes := []ttpalloc.Scheme{
 				ttpalloc.Local{},
@@ -197,14 +199,14 @@ func ablationAllocationSchemes() Experiment {
 			}
 			b.WriteByte('\n')
 			rep := Report{ID: "ABL-ALLOC", Title: "Allocation scheme comparison", Pass: true}
-			est := breakdown.PaperEstimator(cfg.Samples, cfg.Seed)
+			est := cfg.estimator(breakdown.PaperEstimator(cfg.Samples, cfg.Seed), obs)
 			localBeatsAll := true
 			for _, bw := range bws {
 				fmt.Fprintf(&b, "%10.0f", bw/1e6)
 				var localMean float64
 				for si, s := range schemes {
 					a := ttpalloc.Analyzer{TTP: core.NewTTP(bw), Scheme: s}
-					e, err := est.Estimate(a, bw)
+					e, err := est.EstimateContext(ctx, a, bw)
 					if err != nil {
 						return Report{}, err
 					}

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -8,26 +9,31 @@ import (
 	"ringsched/internal/breakdown"
 	"ringsched/internal/core"
 	"ringsched/internal/message"
+	"ringsched/internal/progress"
 )
 
 // compareAt estimates all three protocols at the given bandwidths and
 // formats the rows.
-func compareAt(cfg Config, bandwidths []float64) ([]breakdown.Series, string, error) {
-	series, err := runFig1Sweep(cfg, bandwidths)
+func compareAt(ctx context.Context, cfg Config, obs progress.Progress, bandwidths []float64) ([]breakdown.Series, string, error) {
+	series, err := runFig1Sweep(ctx, cfg, obs, bandwidths)
 	if err != nil {
 		return nil, "", err
 	}
-	return series, breakdown.FormatTable(series), nil
+	table, err := breakdown.FormatTable(series)
+	if err != nil {
+		return nil, "", err
+	}
+	return series, table, nil
 }
 
 func claimLowBandwidth() Experiment {
 	return Experiment{
 		ID:    "CLAIM-LOWBW",
 		Title: "PDP outperforms TTP at low bandwidths (1–10 Mbps)",
-		Run: func(cfg Config) (Report, error) {
+		Run: func(ctx context.Context, cfg Config, obs progress.Progress) (Report, error) {
 			cfg = cfg.withDefaults()
 			bws := []float64{1e6, 2e6, 4e6, 10e6}
-			series, text, err := compareAt(cfg, bws)
+			series, text, err := compareAt(ctx, cfg, obs, bws)
 			if err != nil {
 				return Report{}, err
 			}
@@ -58,10 +64,10 @@ func claimHighBandwidth() Experiment {
 	return Experiment{
 		ID:    "CLAIM-HIGHBW",
 		Title: "TTP outperforms PDP at high bandwidths (≥ 100 Mbps)",
-		Run: func(cfg Config) (Report, error) {
+		Run: func(ctx context.Context, cfg Config, obs progress.Progress) (Report, error) {
 			cfg = cfg.withDefaults()
 			bws := []float64{100e6, 300e6, 1000e6}
-			series, text, err := compareAt(cfg, bws)
+			series, text, err := compareAt(ctx, cfg, obs, bws)
 			if err != nil {
 				return Report{}, err
 			}
@@ -87,16 +93,20 @@ func claimModifiedDominates() Experiment {
 	return Experiment{
 		ID:    "CLAIM-MOD",
 		Title: "Modified 802.5 outperforms the standard IEEE 802.5 implementation everywhere",
-		Run: func(cfg Config) (Report, error) {
+		Run: func(ctx context.Context, cfg Config, obs progress.Progress) (Report, error) {
 			cfg = cfg.withDefaults()
-			series, err := runFig1Sweep(cfg, breakdown.PaperBandwidths(cfg.PointsPerDecade))
+			series, err := runFig1Sweep(ctx, cfg, obs, breakdown.PaperBandwidths(cfg.PointsPerDecade))
+			if err != nil {
+				return Report{}, err
+			}
+			table, err := breakdown.FormatTable(series[:2])
 			if err != nil {
 				return Report{}, err
 			}
 			rep := Report{
 				ID:    "CLAIM-MOD",
 				Title: "Modified vs standard 802.5",
-				Text:  breakdown.FormatTable(series[:2]),
+				Text:  table,
 				Pass:  true,
 			}
 			mod, std := series[0], series[1]
@@ -147,7 +157,7 @@ func claimTTRTSelection() Experiment {
 	return Experiment{
 		ID:    "CLAIM-TTRT",
 		Title: "TTRT ≈ √(θ·P) maximizes breakdown utilization for equal periods; √(θ·Pmin) is a good general heuristic",
-		Run: func(cfg Config) (Report, error) {
+		Run: func(ctx context.Context, cfg Config, obs progress.Progress) (Report, error) {
 			cfg = cfg.withDefaults()
 			const (
 				bw     = 100e6
@@ -171,6 +181,9 @@ func claimTTRTSelection() Experiment {
 			}
 			bestU, bestTTRT := -1.0, 0.0
 			for i := 0; i <= grid; i++ {
+				if err := ctx.Err(); err != nil {
+					return Report{}, err
+				}
 				ttrt := lo * math.Pow(hi/lo, float64(i)/float64(grid))
 				u, err := equalPeriodBreakdown(n, period, ttrt, bw)
 				if err != nil {
@@ -195,11 +208,11 @@ func claimTTRTSelection() Experiment {
 			// unequal periods". Compare the two built-in rules on the
 			// paper's random workload.
 			fmt.Fprintf(&b, "\ngeneral (unequal periods, paper workload) at %.0f Mbps:\n", bw/1e6)
-			est := breakdown.Estimator{
+			est := cfg.estimator(breakdown.Estimator{
 				Generator: message.PaperGenerator(),
 				Samples:   cfg.Samples,
 				Seed:      cfg.Seed,
-			}
+			}, obs)
 			generalRules := []struct {
 				name string
 				rule core.TTRTRule
@@ -211,7 +224,7 @@ func claimTTRTSelection() Experiment {
 			for i, gr := range generalRules {
 				t := core.NewTTP(bw)
 				t.Rule = gr.rule
-				e, err := est.Estimate(t, bw)
+				e, err := est.EstimateContext(ctx, t, bw)
 				if err != nil {
 					return Report{}, err
 				}
@@ -258,7 +271,7 @@ func claimMinimumBreakdownTTP() Experiment {
 	return Experiment{
 		ID:    "CLAIM-33PCT",
 		Title: "TTP with the local scheme guarantees ≈ 33 % utilization in the worst case",
-		Run: func(cfg Config) (Report, error) {
+		Run: func(ctx context.Context, cfg Config, obs progress.Progress) (Report, error) {
 			cfg = cfg.withDefaults()
 			// Adversarial construction: every period just below
 			// (q+1)·TTRT keeps q_i = q token visits, so the local scheme
@@ -279,6 +292,9 @@ func claimMinimumBreakdownTTP() Experiment {
 			fmt.Fprintf(&b, "%6s %12s %12s %14s\n", "q", "P (ms)", "TTRT (ms)", "breakdown U")
 			worst := math.Inf(1)
 			for _, q := range []int{2, 3, 4, 6, 10} {
+				if err := ctx.Err(); err != nil {
+					return Report{}, err
+				}
 				const ttrt = 4e-3
 				period := (float64(q+1) - 1e-6) * ttrt
 				t.FixedTTRT = ttrt
@@ -316,7 +332,7 @@ func baselineIdealRM() Experiment {
 	return Experiment{
 		ID:    "BASE-RM88",
 		Title: "Ideal rate-monotonic average breakdown utilization ≈ 88 % (Lehoczky–Sha–Ding baseline)",
-		Run: func(cfg Config) (Report, error) {
+		Run: func(ctx context.Context, cfg Config, obs progress.Progress) (Report, error) {
 			cfg = cfg.withDefaults()
 			var b strings.Builder
 			fmt.Fprintf(&b, "%6s %14s %12s\n", "n", "breakdown U", "±95%")
@@ -325,7 +341,7 @@ func baselineIdealRM() Experiment {
 				// Lehoczky–Sha–Ding drew periods over a wide range (ratio
 				// 100) with computation times independent of the periods;
 				// that is the setting in which the ≈88 % figure holds.
-				est := breakdown.Estimator{
+				est := cfg.estimator(breakdown.Estimator{
 					Generator: message.Generator{
 						Streams:     n,
 						MeanPeriod:  100e-3,
@@ -334,9 +350,9 @@ func baselineIdealRM() Experiment {
 					},
 					Samples: cfg.Samples,
 					Seed:    cfg.Seed,
-				}
+				}, obs)
 				// Bandwidth 1: LengthBits is the execution time (s).
-				e, err := est.Estimate(core.IdealRM{}, 1)
+				e, err := est.EstimateContext(ctx, core.IdealRM{}, 1)
 				if err != nil {
 					return Report{}, err
 				}

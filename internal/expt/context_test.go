@@ -1,0 +1,161 @@
+package expt
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"ringsched/internal/progress"
+)
+
+// fakeExperiment builds a cheap synthetic experiment for batch-level tests
+// so RunAll behavior is checked without Monte Carlo cost.
+func fakeExperiment(id string, delay time.Duration, err error) Experiment {
+	return Experiment{
+		ID:    id,
+		Title: "fake " + id,
+		Run: func(ctx context.Context, cfg Config, obs progress.Progress) (Report, error) {
+			if e := ctx.Err(); e != nil {
+				return Report{}, e
+			}
+			if delay > 0 {
+				select {
+				case <-time.After(delay):
+				case <-ctx.Done():
+					return Report{}, ctx.Err()
+				}
+			}
+			if err != nil {
+				return Report{}, err
+			}
+			return Report{ID: id, Title: "fake " + id, Pass: true,
+				Values: map[string]float64{"workers": float64(cfg.Workers)}}, nil
+		},
+	}
+}
+
+func TestRunOneLifecycleCallbacks(t *testing.T) {
+	var counter progress.Counter
+	rep, err := RunOne(context.Background(), fakeExperiment("X1", 0, nil),
+		Config{}, &counter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Error("fake experiment should pass")
+	}
+	if counter.ExperimentsStarted() != 1 || counter.ExperimentsFinished() != 1 {
+		t.Errorf("lifecycle callbacks = %d started / %d finished, want 1/1",
+			counter.ExperimentsStarted(), counter.ExperimentsFinished())
+	}
+}
+
+func TestRunAllOrderedAndDeterministicAcrossWorkers(t *testing.T) {
+	exps := []Experiment{
+		fakeExperiment("C", 0, nil),
+		fakeExperiment("A", 0, nil),
+		fakeExperiment("B", 0, errors.New("b fails")),
+	}
+	shape := func(workers int) []string {
+		var ids []string
+		for _, o := range RunAll(context.Background(), Config{Workers: workers}, nil, exps) {
+			s := o.Experiment.ID
+			if o.Err != nil {
+				s += "!"
+			}
+			ids = append(ids, s)
+		}
+		return ids
+	}
+	serial := shape(1)
+	parallel := shape(8)
+	want := []string{"A", "B!", "C"}
+	if !reflect.DeepEqual(serial, want) {
+		t.Errorf("Workers=1 outcomes = %v, want %v", serial, want)
+	}
+	if !reflect.DeepEqual(parallel, want) {
+		t.Errorf("Workers=8 outcomes = %v, want %v", parallel, want)
+	}
+}
+
+func TestRunAllSplitsWorkerBudget(t *testing.T) {
+	// 8 total workers over 2 experiments: each child pool gets 4.
+	exps := []Experiment{fakeExperiment("A", 0, nil), fakeExperiment("B", 0, nil)}
+	for _, o := range RunAll(context.Background(), Config{Workers: 8}, nil, exps) {
+		if o.Err != nil {
+			t.Fatal(o.Err)
+		}
+		if got := o.Report.Values["workers"]; got != 4 {
+			t.Errorf("%s child workers = %g, want 4", o.Experiment.ID, got)
+		}
+	}
+}
+
+func TestRunAllPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var counter progress.Counter
+	exps := []Experiment{fakeExperiment("A", 0, nil), fakeExperiment("B", 0, nil)}
+	outcomes := RunAll(ctx, Config{}, &counter, exps)
+	if len(outcomes) != len(exps) {
+		t.Fatalf("%d outcomes for %d experiments", len(outcomes), len(exps))
+	}
+	for _, o := range outcomes {
+		if !errors.Is(o.Err, context.Canceled) {
+			t.Errorf("%s: Err = %v, want context.Canceled", o.Experiment.ID, o.Err)
+		}
+	}
+}
+
+func TestRunAllCancelMidBatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	// A is instant; the rest would block for a minute without cancellation.
+	exps := []Experiment{
+		fakeExperiment("A", 0, nil),
+		fakeExperiment("B", time.Minute, nil),
+		fakeExperiment("C", time.Minute, nil),
+		fakeExperiment("D", time.Minute, nil),
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	outcomes := RunAll(ctx, Config{Workers: 2}, nil, exps)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("RunAll took %v after cancellation, want prompt abort", elapsed)
+	}
+	canceled := 0
+	for _, o := range outcomes {
+		if errors.Is(o.Err, context.Canceled) {
+			canceled++
+		}
+	}
+	if canceled == 0 {
+		t.Error("no outcome reports context.Canceled after mid-batch cancellation")
+	}
+	// Partial results survive: A (dispatched first, instant) completed.
+	if outcomes[0].Experiment.ID != "A" || outcomes[0].Err != nil {
+		t.Errorf("first outcome = %s err=%v, want completed A",
+			outcomes[0].Experiment.ID, outcomes[0].Err)
+	}
+}
+
+func TestRegisteredExperimentsHonorCancellation(t *testing.T) {
+	// Every registered experiment must return promptly with ctx.Err() under
+	// a pre-canceled context — this is the contract the CLIs rely on.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, e := range All() {
+		start := time.Now()
+		_, err := e.Run(ctx, Config{Quick: true, Samples: 5}, nil)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", e.ID, err)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Errorf("%s: took %v under a pre-canceled context", e.ID, elapsed)
+		}
+	}
+}

@@ -7,9 +7,16 @@
 package expt
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"time"
+
+	"ringsched/internal/breakdown"
+	"ringsched/internal/progress"
 )
 
 // ErrUnknownExperiment is returned by ByID for unregistered IDs.
@@ -27,6 +34,20 @@ type Config struct {
 	PointsPerDecade int
 	// Quick trims grids and sample counts for use in -short tests.
 	Quick bool
+	// Workers is the total parallelism budget (0 = GOMAXPROCS). Within one
+	// experiment it bounds the Monte Carlo pools; RunAll splits it across
+	// concurrently executing experiments. Results never depend on the
+	// worker count — only wall-clock time does.
+	Workers int
+}
+
+// estimator applies the Config's worker budget and the run's observer to
+// an estimator; every experiment routes its estimators through this so
+// -workers and progress reporting reach the sample level.
+func (c Config) estimator(e breakdown.Estimator, obs progress.Progress) breakdown.Estimator {
+	e.Workers = c.Workers
+	e.Progress = obs
+	return e
 }
 
 func (c Config) withDefaults() Config {
@@ -83,8 +104,108 @@ type Experiment struct {
 	ID string
 	// Title summarizes what the paper reports.
 	Title string
-	// Run executes the experiment.
-	Run func(Config) (Report, error)
+	// Run executes the experiment. Cancelling ctx aborts the experiment's
+	// sweeps, estimates, and simulations promptly with ctx.Err(); obs (may
+	// be nil) observes per-sample and per-point progress. Prefer RunOne,
+	// which adds the lifecycle callbacks.
+	Run func(ctx context.Context, cfg Config, obs progress.Progress) (Report, error)
+}
+
+// RunOne executes one experiment, wrapping it in ExperimentStarted /
+// ExperimentFinished progress callbacks.
+func RunOne(ctx context.Context, e Experiment, cfg Config, obs progress.Progress) (Report, error) {
+	o := progress.OrNop(obs)
+	o.ExperimentStarted(e.ID, e.Title)
+	rep, err := e.Run(ctx, cfg, obs)
+	o.ExperimentFinished(e.ID, err == nil && rep.Pass, err)
+	return rep, err
+}
+
+// Outcome is one experiment's result within a RunAll batch.
+type Outcome struct {
+	// Experiment identifies the unit that ran.
+	Experiment Experiment
+	// Report is the result when Err is nil.
+	Report Report
+	// Err is the execution error; ctx.Err() for experiments that were
+	// never dispatched because the batch was canceled.
+	Err error
+	// Elapsed is the experiment's own wall-clock time (zero when it never
+	// ran).
+	Elapsed time.Duration
+}
+
+// RunAll executes independent experiments concurrently and returns one
+// Outcome per experiment in deterministic ID order, regardless of
+// completion order. The Config's worker budget is split between
+// experiment-level concurrency and each experiment's Monte Carlo pools.
+// Cancelling ctx stops dispatching new experiments; already-running ones
+// abort promptly via their own ctx plumbing, and never-dispatched ones are
+// reported with Err = ctx.Err().
+func RunAll(ctx context.Context, cfg Config, obs progress.Progress, exps []Experiment) []Outcome {
+	if len(exps) == 0 {
+		return nil
+	}
+	total := cfg.Workers
+	if total <= 0 {
+		total = runtime.GOMAXPROCS(0)
+	}
+	expWorkers := total
+	if expWorkers > len(exps) {
+		expWorkers = len(exps)
+	}
+	childCfg := cfg
+	childCfg.Workers = total / expWorkers
+	if childCfg.Workers < 1 {
+		childCfg.Workers = 1
+	}
+
+	outcomes := make([]Outcome, len(exps))
+	ran := make([]bool, len(exps))
+	for i, e := range exps {
+		outcomes[i] = Outcome{Experiment: e}
+	}
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < expWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				ran[i] = true
+				start := time.Now()
+				rep, err := RunOne(ctx, exps[i], childCfg, obs)
+				outcomes[i] = Outcome{
+					Experiment: exps[i],
+					Report:     rep,
+					Err:        err,
+					Elapsed:    time.Since(start),
+				}
+			}
+		}()
+	}
+dispatch:
+	for i := range exps {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	for i := range outcomes {
+		if !ran[i] {
+			// Never dispatched: the batch was canceled first.
+			outcomes[i].Err = ctx.Err()
+		}
+	}
+	sort.Slice(outcomes, func(i, j int) bool {
+		return outcomes[i].Experiment.ID < outcomes[j].Experiment.ID
+	})
+	return outcomes
 }
 
 // All returns every experiment, sorted by ID. The registry is rebuilt on

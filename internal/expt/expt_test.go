@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -97,7 +98,7 @@ func TestClaimExperimentsQuick(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			rep, err := e.Run(cfg)
+			rep, err := e.Run(context.Background(), cfg, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -119,7 +120,7 @@ func TestFig1Quick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := e.Run(Config{Quick: true, Samples: 20})
+	rep, err := e.Run(context.Background(), Config{Quick: true, Samples: 20}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestValSimQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := e.Run(Config{Quick: true})
+	rep, err := e.Run(context.Background(), Config{Quick: true}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

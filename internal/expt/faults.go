@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"ringsched/internal/breakdown"
 	"ringsched/internal/core"
 	"ringsched/internal/message"
+	"ringsched/internal/progress"
 	"ringsched/internal/tokensim"
 )
 
@@ -15,7 +17,7 @@ func extensionFaultTolerance() Experiment {
 	return Experiment{
 		ID:    "EXT-FAULT",
 		Title: "Extension: deadline misses under token-loss faults (survivability, per SAFENET motivation)",
-		Run: func(cfg Config) (Report, error) {
+		Run: func(ctx context.Context, cfg Config, obs progress.Progress) (Report, error) {
 			cfg = cfg.withDefaults()
 			const (
 				n      = 12
@@ -78,7 +80,8 @@ func extensionFaultTolerance() Experiment {
 					Workload: wP, AsyncSaturated: true,
 					TokenPass: tokensim.PassAverageHalfTheta,
 					Horizon:   10, Faults: faultsP,
-				}.Run()
+					Progress: obs,
+				}.RunContext(ctx)
 				if err != nil {
 					return Report{}, err
 				}
@@ -95,7 +98,8 @@ func extensionFaultTolerance() Experiment {
 				simT.AsyncSaturated = true
 				simT.Horizon = 10
 				simT.Faults = faultsT
-				resT, err := simT.Run()
+				simT.Progress = obs
+				resT, err := simT.RunContext(ctx)
 				if err != nil {
 					return Report{}, err
 				}

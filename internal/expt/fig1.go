@@ -1,12 +1,14 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
 	"ringsched/internal/breakdown"
 	"ringsched/internal/core"
+	"ringsched/internal/progress"
 	"ringsched/internal/textplot"
 )
 
@@ -26,12 +28,14 @@ func protocolFactories() []struct {
 	}
 }
 
-// runFig1Sweep produces the three breakdown-vs-bandwidth series.
-func runFig1Sweep(cfg Config, bandwidths []float64) ([]breakdown.Series, error) {
-	est := breakdown.PaperEstimator(cfg.Samples, cfg.Seed)
+// runFig1Sweep produces the three breakdown-vs-bandwidth series. The
+// protocols run sequentially; within each protocol the bandwidth points
+// run on the sweep's parallel worker pool.
+func runFig1Sweep(ctx context.Context, cfg Config, obs progress.Progress, bandwidths []float64) ([]breakdown.Series, error) {
+	est := cfg.estimator(breakdown.PaperEstimator(cfg.Samples, cfg.Seed), obs)
 	var series []breakdown.Series
 	for _, p := range protocolFactories() {
-		s, err := est.Sweep(p.name, p.factory, bandwidths)
+		s, err := est.SweepContext(ctx, p.name, p.factory, bandwidths)
 		if err != nil {
 			return nil, err
 		}
@@ -72,7 +76,11 @@ func peak(s breakdown.Series) (bw, mean float64) {
 
 func renderFig1(series []breakdown.Series) (string, error) {
 	var b strings.Builder
-	b.WriteString(breakdown.FormatTable(series))
+	table, err := breakdown.FormatTable(series)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(table)
 	plot := textplot.Plot{
 		Title:  "Figure 1: Average breakdown utilization vs bandwidth",
 		XLabel: "bandwidth (bps, log)",
@@ -101,9 +109,9 @@ func fig1Experiment() Experiment {
 	return Experiment{
 		ID:    "FIG1",
 		Title: "Average breakdown utilization vs bandwidth, 1 Mbps – 1 Gbps (Figure 1)",
-		Run: func(cfg Config) (Report, error) {
+		Run: func(ctx context.Context, cfg Config, obs progress.Progress) (Report, error) {
 			cfg = cfg.withDefaults()
-			series, err := runFig1Sweep(cfg, breakdown.PaperBandwidths(cfg.PointsPerDecade))
+			series, err := runFig1Sweep(ctx, cfg, obs, breakdown.PaperBandwidths(cfg.PointsPerDecade))
 			if err != nil {
 				return Report{}, err
 			}

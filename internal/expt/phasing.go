@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"ringsched/internal/breakdown"
 	"ringsched/internal/core"
 	"ringsched/internal/message"
+	"ringsched/internal/progress"
 	"ringsched/internal/stats"
 	"ringsched/internal/tokensim"
 )
@@ -17,7 +19,7 @@ func extensionPhasing() Experiment {
 		ID: "EXT-PHASE",
 		Title: "Extension: critical-instant pessimism — worst responses under synchronized vs " +
 			"random phasings",
-		Run: func(cfg Config) (Report, error) {
+		Run: func(ctx context.Context, cfg Config, obs progress.Progress) (Report, error) {
 			cfg = cfg.withDefaults()
 			const (
 				n      = 12
@@ -56,7 +58,8 @@ func extensionPhasing() Experiment {
 				}
 				sim.AsyncSaturated = true
 				sim.Horizon = 3
-				res, err := sim.Run()
+				sim.Progress = obs
+				res, err := sim.RunContext(ctx)
 				if err != nil {
 					return 0, 0, err
 				}

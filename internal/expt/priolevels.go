@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"ringsched/internal/breakdown"
 	"ringsched/internal/core"
 	"ringsched/internal/message"
+	"ringsched/internal/progress"
 	"ringsched/internal/tokensim"
 )
 
@@ -16,7 +18,7 @@ func extensionPriorityLevels() Experiment {
 		ID: "EXT-PRIO",
 		Title: "Extension: rate-monotonic arbitration quality vs available ring priority levels " +
 			"(IEEE 802.5 has 8)",
-		Run: func(cfg Config) (Report, error) {
+		Run: func(ctx context.Context, cfg Config, obs progress.Progress) (Report, error) {
 			cfg = cfg.withDefaults()
 			const (
 				n      = 16
@@ -70,7 +72,8 @@ func extensionPriorityLevels() Experiment {
 					PriorityLevels: l,
 					AsyncSaturated: true,
 					Horizon:        4,
-				}.Run()
+					Progress:       obs,
+				}.RunContext(ctx)
 				if err != nil {
 					return Report{}, err
 				}

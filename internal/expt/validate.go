@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"ringsched/internal/breakdown"
 	"ringsched/internal/core"
 	"ringsched/internal/message"
+	"ringsched/internal/progress"
 	"ringsched/internal/tokensim"
 )
 
@@ -15,7 +17,7 @@ func validateSimulation() Experiment {
 	return Experiment{
 		ID:    "VAL-SIM",
 		Title: "Operational validation: analytically guaranteed sets never miss deadlines in simulation",
-		Run: func(cfg Config) (Report, error) {
+		Run: func(ctx context.Context, cfg Config, obs progress.Progress) (Report, error) {
 			cfg = cfg.withDefaults()
 			const (
 				n = 20
@@ -47,6 +49,9 @@ func validateSimulation() Experiment {
 
 			for _, bw := range bws {
 				for s := 0; s < samples; s++ {
+					if err := ctx.Err(); err != nil {
+						return Report{}, err
+					}
 					rng := rand.New(rand.NewSource(cfg.Seed + int64(s)))
 					set, err := gen.Draw(rng)
 					if err != nil {
@@ -75,7 +80,8 @@ func validateSimulation() Experiment {
 							Net: pdp.Net, Frame: pdp.Frame, Variant: variant,
 							Workload: w, AsyncSaturated: true,
 							TokenPass: tokensim.PassAverageHalfTheta,
-						}.Run()
+							Progress:  obs,
+						}.RunContext(ctx)
 						if err != nil {
 							return Report{}, err
 						}
@@ -109,7 +115,8 @@ func validateSimulation() Experiment {
 						return Report{}, err
 					}
 					simc.AsyncSaturated = true
-					res, err := simc.Run()
+					simc.Progress = obs
+					res, err := simc.RunContext(ctx)
 					if err != nil {
 						return Report{}, err
 					}

@@ -1,0 +1,166 @@
+package progress
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Meter is a Progress that renders a single live status line (percent done,
+// ETA, the sweep point or experiment currently in flight) to W, typically
+// stderr. Updates are throttled to at most one redraw per Interval so the
+// meter never becomes the bottleneck of the pipeline it observes.
+//
+// The zero value is not usable; construct with NewMeter. The meter is safe
+// for concurrent use by the estimator and experiment worker pools.
+type Meter struct {
+	w io.Writer
+	// total is the expected SampleDone count; 0 means unknown (the meter
+	// then shows raw counts without percent/ETA).
+	total    int64
+	interval time.Duration
+	clock    func() time.Time
+
+	mu        sync.Mutex
+	start     time.Time
+	samples   int64
+	points    int64
+	simEvents int64
+	simTime   float64
+	label     string
+	lastDraw  time.Time
+	lastWidth int
+	closed    bool
+}
+
+// NewMeter returns a live progress meter writing to w. totalSamples is the
+// expected number of Monte Carlo samples across the whole run (0 when
+// unknown); it drives the percent and ETA columns.
+func NewMeter(w io.Writer, totalSamples int64) *Meter {
+	return &Meter{
+		w:        w,
+		total:    totalSamples,
+		interval: 100 * time.Millisecond,
+		clock:    time.Now,
+	}
+}
+
+// SampleDone implements Progress.
+func (m *Meter) SampleDone() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.samples++
+	m.draw(false)
+}
+
+// SweepPointDone implements Progress.
+func (m *Meter) SweepPointDone(series string, bandwidthBPS float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.points++
+	m.label = fmt.Sprintf("%s @ %.3g Mbps", series, bandwidthBPS/1e6)
+	m.draw(false)
+}
+
+// ExperimentStarted implements Progress.
+func (m *Meter) ExperimentStarted(id, _ string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.label = id
+	m.draw(false)
+}
+
+// ExperimentFinished implements Progress.
+func (m *Meter) ExperimentFinished(id string, _ bool, _ error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.label = id + " done"
+	m.draw(false)
+}
+
+// SimulatorAdvanced implements Progress.
+func (m *Meter) SimulatorAdvanced(events int, simTime float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.simEvents = int64(events)
+	m.simTime = simTime
+	m.draw(false)
+}
+
+// Close redraws the final state and terminates the status line. Further
+// callbacks are ignored.
+func (m *Meter) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.draw(true)
+	if m.lastWidth > 0 {
+		fmt.Fprintln(m.w)
+	}
+	m.closed = true
+}
+
+// draw renders the status line; force bypasses throttling (used on Close).
+// Callers hold m.mu.
+func (m *Meter) draw(force bool) {
+	if m.closed || m.w == nil {
+		return
+	}
+	now := m.clock()
+	if m.start.IsZero() {
+		m.start = now
+	}
+	if !force && now.Sub(m.lastDraw) < m.interval {
+		return
+	}
+	m.lastDraw = now
+
+	var b strings.Builder
+	switch {
+	case m.total > 0:
+		pct := 100 * float64(m.samples) / float64(m.total)
+		fmt.Fprintf(&b, "%d/%d samples (%.0f%%)", m.samples, m.total, pct)
+		if eta, ok := m.eta(now); ok {
+			fmt.Fprintf(&b, " ETA %s", eta)
+		}
+	case m.samples > 0:
+		fmt.Fprintf(&b, "%d samples", m.samples)
+	}
+	if m.points > 0 {
+		fmt.Fprintf(&b, ", %d points", m.points)
+	}
+	if m.simEvents > 0 {
+		if b.Len() > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d events, t=%.3gs", m.simEvents, m.simTime)
+	}
+	if m.label != "" {
+		if b.Len() > 0 {
+			b.WriteString(" — ")
+		}
+		b.WriteString(m.label)
+	}
+	line := b.String()
+	pad := m.lastWidth - len(line)
+	if pad < 0 {
+		pad = 0
+	}
+	fmt.Fprintf(m.w, "\r%s%s", line, strings.Repeat(" ", pad))
+	m.lastWidth = len(line)
+}
+
+// eta extrapolates the remaining wall-clock time from the sample rate so
+// far. Callers hold m.mu.
+func (m *Meter) eta(now time.Time) (string, bool) {
+	elapsed := now.Sub(m.start)
+	if m.samples == 0 || m.samples >= m.total || elapsed <= 0 {
+		return "", false
+	}
+	remaining := time.Duration(float64(elapsed) / float64(m.samples) * float64(m.total-m.samples))
+	return remaining.Round(time.Second).String(), true
+}

@@ -1,0 +1,179 @@
+// Package progress defines the lightweight observer interface threaded
+// through the analysis pipeline: the Monte Carlo estimator reports finished
+// samples, sweeps report finished bandwidth points, the experiment runner
+// reports experiment lifecycle, and the discrete-event simulators report
+// event-loop advancement. Observers make long-running work visible (live
+// CLI meters) and testable (counting observers in cancellation tests)
+// without coupling the engines to any output format.
+package progress
+
+import (
+	"sync/atomic"
+)
+
+// Progress observes pipeline milestones. Implementations must be safe for
+// concurrent use: the estimator, sweep, and experiment worker pools invoke
+// the callbacks from multiple goroutines. Callbacks must be cheap — they
+// run on the hot path between samples.
+type Progress interface {
+	// SampleDone reports one completed Monte Carlo sample.
+	SampleDone()
+	// SweepPointDone reports one completed (series, bandwidth) sweep point.
+	SweepPointDone(series string, bandwidthBPS float64)
+	// ExperimentStarted reports that the experiment began executing.
+	ExperimentStarted(id, title string)
+	// ExperimentFinished reports the experiment's outcome; err is non-nil
+	// when the experiment aborted (including cancellation).
+	ExperimentFinished(id string, pass bool, err error)
+	// SimulatorAdvanced reports that a discrete-event simulator has fired
+	// events total events and reached simulation time simTime.
+	SimulatorAdvanced(events int, simTime float64)
+}
+
+// Nop is a Progress that ignores every callback.
+type Nop struct{}
+
+// SampleDone implements Progress.
+func (Nop) SampleDone() {}
+
+// SweepPointDone implements Progress.
+func (Nop) SweepPointDone(string, float64) {}
+
+// ExperimentStarted implements Progress.
+func (Nop) ExperimentStarted(string, string) {}
+
+// ExperimentFinished implements Progress.
+func (Nop) ExperimentFinished(string, bool, error) {}
+
+// SimulatorAdvanced implements Progress.
+func (Nop) SimulatorAdvanced(int, float64) {}
+
+// OrNop normalizes a possibly-nil observer so callers can invoke callbacks
+// unconditionally.
+func OrNop(p Progress) Progress {
+	if p == nil {
+		return Nop{}
+	}
+	return p
+}
+
+// Funcs adapts free functions to Progress; nil fields are ignored. It is
+// the ad-hoc observer for callers that care about one or two callbacks.
+type Funcs struct {
+	OnSample             func()
+	OnSweepPoint         func(series string, bandwidthBPS float64)
+	OnExperimentStarted  func(id, title string)
+	OnExperimentFinished func(id string, pass bool, err error)
+	OnSimulatorAdvanced  func(events int, simTime float64)
+}
+
+// SampleDone implements Progress.
+func (f Funcs) SampleDone() {
+	if f.OnSample != nil {
+		f.OnSample()
+	}
+}
+
+// SweepPointDone implements Progress.
+func (f Funcs) SweepPointDone(series string, bandwidthBPS float64) {
+	if f.OnSweepPoint != nil {
+		f.OnSweepPoint(series, bandwidthBPS)
+	}
+}
+
+// ExperimentStarted implements Progress.
+func (f Funcs) ExperimentStarted(id, title string) {
+	if f.OnExperimentStarted != nil {
+		f.OnExperimentStarted(id, title)
+	}
+}
+
+// ExperimentFinished implements Progress.
+func (f Funcs) ExperimentFinished(id string, pass bool, err error) {
+	if f.OnExperimentFinished != nil {
+		f.OnExperimentFinished(id, pass, err)
+	}
+}
+
+// SimulatorAdvanced implements Progress.
+func (f Funcs) SimulatorAdvanced(events int, simTime float64) {
+	if f.OnSimulatorAdvanced != nil {
+		f.OnSimulatorAdvanced(events, simTime)
+	}
+}
+
+// Counter tallies callbacks atomically. Cancellation tests use it to prove
+// that no work is dispatched after a context fires; it is also a cheap way
+// to expose aggregate throughput numbers.
+type Counter struct {
+	samples     atomic.Int64
+	sweepPoints atomic.Int64
+	started     atomic.Int64
+	finished    atomic.Int64
+	simEvents   atomic.Int64
+}
+
+// SampleDone implements Progress.
+func (c *Counter) SampleDone() { c.samples.Add(1) }
+
+// SweepPointDone implements Progress.
+func (c *Counter) SweepPointDone(string, float64) { c.sweepPoints.Add(1) }
+
+// ExperimentStarted implements Progress.
+func (c *Counter) ExperimentStarted(string, string) { c.started.Add(1) }
+
+// ExperimentFinished implements Progress.
+func (c *Counter) ExperimentFinished(string, bool, error) { c.finished.Add(1) }
+
+// SimulatorAdvanced implements Progress.
+func (c *Counter) SimulatorAdvanced(events int, _ float64) { c.simEvents.Store(int64(events)) }
+
+// Samples returns the number of SampleDone callbacks observed.
+func (c *Counter) Samples() int64 { return c.samples.Load() }
+
+// SweepPoints returns the number of SweepPointDone callbacks observed.
+func (c *Counter) SweepPoints() int64 { return c.sweepPoints.Load() }
+
+// ExperimentsStarted returns the number of ExperimentStarted callbacks.
+func (c *Counter) ExperimentsStarted() int64 { return c.started.Load() }
+
+// ExperimentsFinished returns the number of ExperimentFinished callbacks.
+func (c *Counter) ExperimentsFinished() int64 { return c.finished.Load() }
+
+// SimEvents returns the most recent simulator event count observed.
+func (c *Counter) SimEvents() int64 { return c.simEvents.Load() }
+
+// Tee fans every callback out to each observer in order.
+func Tee(obs ...Progress) Progress { return tee(obs) }
+
+type tee []Progress
+
+func (t tee) SampleDone() {
+	for _, p := range t {
+		p.SampleDone()
+	}
+}
+
+func (t tee) SweepPointDone(series string, bw float64) {
+	for _, p := range t {
+		p.SweepPointDone(series, bw)
+	}
+}
+
+func (t tee) ExperimentStarted(id, title string) {
+	for _, p := range t {
+		p.ExperimentStarted(id, title)
+	}
+}
+
+func (t tee) ExperimentFinished(id string, pass bool, err error) {
+	for _, p := range t {
+		p.ExperimentFinished(id, pass, err)
+	}
+}
+
+func (t tee) SimulatorAdvanced(events int, simTime float64) {
+	for _, p := range t {
+		p.SimulatorAdvanced(events, simTime)
+	}
+}

@@ -1,0 +1,146 @@
+package progress
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// exercise drives every callback once.
+func exercise(p Progress) {
+	p.SampleDone()
+	p.SweepPointDone("fddi", 16e6)
+	p.ExperimentStarted("FIG1", "figure 1")
+	p.ExperimentFinished("FIG1", true, nil)
+	p.SimulatorAdvanced(42, 0.5)
+}
+
+func TestCounterTallies(t *testing.T) {
+	var c Counter
+	exercise(&c)
+	exercise(&c)
+	if c.Samples() != 2 || c.SweepPoints() != 2 ||
+		c.ExperimentsStarted() != 2 || c.ExperimentsFinished() != 2 {
+		t.Errorf("counter = %d/%d/%d/%d, want 2 each",
+			c.Samples(), c.SweepPoints(), c.ExperimentsStarted(), c.ExperimentsFinished())
+	}
+	// SimulatorAdvanced reports a running total, not a delta: the counter
+	// keeps the latest value.
+	if c.SimEvents() != 42 {
+		t.Errorf("SimEvents = %d, want 42", c.SimEvents())
+	}
+	c.SimulatorAdvanced(100, 1)
+	if c.SimEvents() != 100 {
+		t.Errorf("SimEvents = %d, want 100 after update", c.SimEvents())
+	}
+}
+
+func TestNopAndOrNop(t *testing.T) {
+	exercise(Nop{}) // must not panic
+	if _, ok := OrNop(nil).(Nop); !ok {
+		t.Error("OrNop(nil) did not return Nop")
+	}
+	var c Counter
+	if OrNop(&c) != &c {
+		t.Error("OrNop(p) did not return p unchanged")
+	}
+}
+
+func TestFuncsNilFieldsSafe(t *testing.T) {
+	exercise(Funcs{}) // all fields nil: every callback must be a no-op
+}
+
+func TestFuncsDispatch(t *testing.T) {
+	var samples int
+	var gotSeries string
+	var gotErr error
+	f := Funcs{
+		OnSample:             func() { samples++ },
+		OnSweepPoint:         func(series string, _ float64) { gotSeries = series },
+		OnExperimentFinished: func(_ string, _ bool, err error) { gotErr = err },
+	}
+	wantErr := errors.New("aborted")
+	f.SampleDone()
+	f.SweepPointDone("toy", 1e6)
+	f.ExperimentStarted("X", "unused")
+	f.ExperimentFinished("X", false, wantErr)
+	f.SimulatorAdvanced(1, 0)
+	if samples != 1 || gotSeries != "toy" || !errors.Is(gotErr, wantErr) {
+		t.Errorf("dispatch = %d/%q/%v", samples, gotSeries, gotErr)
+	}
+}
+
+func TestTeeFansOut(t *testing.T) {
+	var a, b Counter
+	exercise(Tee(&a, &b))
+	if a.Samples() != 1 || b.Samples() != 1 {
+		t.Errorf("tee samples = %d/%d, want 1/1", a.Samples(), b.Samples())
+	}
+	if a.SweepPoints() != 1 || b.SweepPoints() != 1 {
+		t.Errorf("tee points = %d/%d, want 1/1", a.SweepPoints(), b.SweepPoints())
+	}
+}
+
+// meterAt builds a meter with a deterministic manual clock.
+func meterAt(w *strings.Builder, total int64) (*Meter, *time.Time) {
+	m := NewMeter(w, total)
+	now := time.Unix(0, 0)
+	m.clock = func() time.Time { return now }
+	return m, &now
+}
+
+func TestMeterRendersPercentAndETA(t *testing.T) {
+	var buf strings.Builder
+	m, now := meterAt(&buf, 100)
+	for i := 0; i < 49; i++ {
+		m.SampleDone() // only the first draws; the clock is frozen
+	}
+	*now = now.Add(time.Second)
+	m.SampleDone() // throttle window elapsed: draws 50/100 with an ETA
+	out := buf.String()
+	if !strings.Contains(out, "50/100 samples (50%)") {
+		t.Errorf("meter output %q missing 50%% line", out)
+	}
+	if !strings.Contains(out, "ETA") {
+		t.Errorf("meter output %q missing ETA", out)
+	}
+}
+
+func TestMeterThrottles(t *testing.T) {
+	var buf strings.Builder
+	m, _ := meterAt(&buf, 1000)
+	// Clock frozen: only the first callback may draw.
+	for i := 0; i < 500; i++ {
+		m.SampleDone()
+	}
+	if draws := strings.Count(buf.String(), "\r"); draws != 1 {
+		t.Errorf("%d redraws with a frozen clock, want 1 (throttled)", draws)
+	}
+}
+
+func TestMeterLabelAndClose(t *testing.T) {
+	var buf strings.Builder
+	m, now := meterAt(&buf, 0)
+	m.SweepPointDone("fddi", 16e6)
+	*now = now.Add(time.Second)
+	m.SimulatorAdvanced(1234, 0.25)
+	m.Close()
+	out := buf.String()
+	if !strings.Contains(out, "fddi @ 16 Mbps") {
+		t.Errorf("meter output %q missing sweep label", out)
+	}
+	if !strings.Contains(out, "1234 events") {
+		t.Errorf("meter output %q missing simulator events", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Error("Close did not terminate the status line")
+	}
+	// Callbacks after Close are ignored.
+	before := buf.Len()
+	m.SampleDone()
+	m.Close()
+	if buf.Len() != before {
+		t.Error("meter wrote after Close")
+	}
+}

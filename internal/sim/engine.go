@@ -9,7 +9,9 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"errors"
+	"fmt"
 	"math"
 )
 
@@ -17,6 +19,10 @@ import (
 var (
 	ErrPastEvent = errors.New("sim: cannot schedule an event in the past")
 	ErrBadTime   = errors.New("sim: event time must be finite")
+	// ErrMaxEvents reports that a run exhausted its event budget before the
+	// horizon — the runaway guard for event loops that keep rescheduling
+	// themselves.
+	ErrMaxEvents = errors.New("sim: event budget exhausted")
 )
 
 // Handler is the code run when an event fires. It executes at the event's
@@ -113,19 +119,75 @@ func (g *Engine) Step() bool {
 // would fire strictly after horizon. The clock is left at the last fired
 // event (or horizon if that is later and the queue drained).
 func (g *Engine) RunUntil(horizon float64) {
-	for len(g.queue) > 0 {
-		next := g.queue[0]
-		if next.canceled {
-			heap.Pop(&g.queue)
-			continue
+	// Uncancelable and unbounded, so no error can occur.
+	_ = g.RunUntilContext(context.Background(), horizon, RunOptions{})
+}
+
+// RunOptions tunes a context-aware engine run.
+type RunOptions struct {
+	// CheckEvery is the number of fired events between context polls and
+	// OnAdvance callbacks (default 1024). Smaller values cancel faster but
+	// add per-event overhead.
+	CheckEvery int
+	// MaxEvents bounds the events fired by this call; 0 means unlimited.
+	// Exceeding the budget aborts the run with ErrMaxEvents — the guard
+	// against handler chains that reschedule themselves forever.
+	MaxEvents int
+	// OnAdvance, when non-nil, observes loop progress: it is called every
+	// CheckEvery events and once when the run stops, with the events fired
+	// by this call and the current simulation time.
+	OnAdvance func(fired int, now float64)
+}
+
+// RunUntilContext is RunUntil with cancellation, an event budget, and a
+// progress callback. It fires events in order until the queue drains, the
+// next event would fire strictly after horizon, ctx is canceled (polled
+// every CheckEvery events), or MaxEvents events have fired. It returns
+// ctx.Err() on cancellation, ErrMaxEvents on budget exhaustion, and nil
+// otherwise. The clock is left at the last fired event (or horizon if that
+// is later and the queue drained).
+func (g *Engine) RunUntilContext(ctx context.Context, horizon float64, opts RunOptions) error {
+	every := opts.CheckEvery
+	if every <= 0 {
+		every = 1024
+	}
+	fired := 0
+	report := func() {
+		if opts.OnAdvance != nil {
+			opts.OnAdvance(fired, g.now)
 		}
-		if next.time > horizon {
-			return
+	}
+	for {
+		for len(g.queue) > 0 && g.queue[0].canceled {
+			heap.Pop(&g.queue)
+		}
+		if len(g.queue) == 0 {
+			if g.now < horizon {
+				g.now = horizon
+			}
+			report()
+			return nil
+		}
+		if g.queue[0].time > horizon {
+			report()
+			return nil
+		}
+		if fired%every == 0 {
+			if err := ctx.Err(); err != nil {
+				report()
+				return err
+			}
+			if fired > 0 {
+				report()
+			}
+		}
+		if opts.MaxEvents > 0 && fired >= opts.MaxEvents {
+			report()
+			return fmt.Errorf("%w: %d events fired before t=%g of horizon %g",
+				ErrMaxEvents, fired, g.now, horizon)
 		}
 		g.Step()
-	}
-	if g.now < horizon {
-		g.now = horizon
+		fired++
 	}
 }
 

@@ -1,0 +1,123 @@
+package tokensim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"ringsched/internal/core"
+	"ringsched/internal/message"
+	"ringsched/internal/progress"
+	"ringsched/internal/sim"
+)
+
+// busyPDPWorkload releases frequently enough to generate thousands of
+// events over the horizon.
+func busyPDPWorkload() Workload {
+	w, err := NewWorkload(message.Set{{Name: "busy", Period: 100e-6, LengthBits: 8}},
+		4, PhasingSynchronized, nil)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func TestPDPSimRunContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := PDPSim{
+		Net:      tinyPlant(),
+		Frame:    tinyFrame(),
+		Variant:  core.Modified8025,
+		Workload: busyPDPWorkload(),
+		Horizon:  0.1,
+	}.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestPDPSimMaxEvents(t *testing.T) {
+	_, err := PDPSim{
+		Net:       tinyPlant(),
+		Frame:     tinyFrame(),
+		Variant:   core.Modified8025,
+		Workload:  busyPDPWorkload(),
+		Horizon:   0.1,
+		MaxEvents: 50,
+	}.RunContext(context.Background())
+	if !errors.Is(err, sim.ErrMaxEvents) {
+		t.Fatalf("err = %v, want sim.ErrMaxEvents", err)
+	}
+}
+
+func TestPDPSimProgressObserved(t *testing.T) {
+	var counter progress.Counter
+	res, err := PDPSim{
+		Net:      tinyPlant(),
+		Frame:    tinyFrame(),
+		Variant:  core.Modified8025,
+		Workload: busyPDPWorkload(),
+		Horizon:  0.1,
+		Progress: &counter,
+	}.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Horizon != 0.1 {
+		t.Errorf("horizon = %v, want 0.1", res.Horizon)
+	}
+	if counter.SimEvents() == 0 {
+		t.Error("progress observer saw no simulator advance")
+	}
+}
+
+func TestTTPSimRunContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ttpTinySim(36, 20e-6).RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestTTPSimMaxEventsAndProgress(t *testing.T) {
+	var counter progress.Counter
+	s := ttpTinySim(36, 20e-6)
+	s.Horizon = 1
+	s.MaxEvents = 20
+	s.Progress = &counter
+	if _, err := s.RunContext(context.Background()); !errors.Is(err, sim.ErrMaxEvents) {
+		t.Fatalf("err = %v, want sim.ErrMaxEvents", err)
+	}
+	if counter.SimEvents() == 0 {
+		t.Error("progress observer saw no simulator advance before the budget tripped")
+	}
+}
+
+func TestReservationSimRunContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ReservationSim{
+		Net:      tinyPlant(),
+		Frame:    tinyFrame(),
+		Workload: busyPDPWorkload(),
+		Horizon:  0.1,
+	}.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestReservationSimMaxEvents(t *testing.T) {
+	_, err := ReservationSim{
+		Net:       tinyPlant(),
+		Frame:     tinyFrame(),
+		Workload:  busyPDPWorkload(),
+		Horizon:   0.1,
+		MaxEvents: 50,
+	}.RunContext(context.Background())
+	if !errors.Is(err, sim.ErrMaxEvents) {
+		t.Fatalf("err = %v, want sim.ErrMaxEvents", err)
+	}
+}

@@ -1,10 +1,12 @@
 package tokensim
 
 import (
+	"context"
 	"math"
 
 	"ringsched/internal/core"
 	"ringsched/internal/frame"
+	"ringsched/internal/progress"
 	"ringsched/internal/ring"
 	"ringsched/internal/sim"
 	"ringsched/internal/stats"
@@ -74,6 +76,14 @@ type PDPSim struct {
 	Tracer Tracer
 	// Faults, when non-nil, injects token-loss failures.
 	Faults *Faults
+	// MaxEvents bounds the discrete events fired by one run; 0 means
+	// unlimited. Exceeding it aborts with sim.ErrMaxEvents — the runaway
+	// guard for degenerate configurations whose event chains never reach
+	// the horizon.
+	MaxEvents int
+	// Progress, when non-nil, observes event-loop advancement (every ~1k
+	// events and at the end of the run).
+	Progress progress.Progress
 }
 
 // pdpRun is the mutable state of one simulation run.
@@ -94,8 +104,25 @@ type pdpRun struct {
 	recovery  float64
 }
 
-// Run executes the simulation and returns the per-station outcome.
+// Run executes the simulation and returns the per-station outcome. It is
+// the uncancelable convenience wrapper around RunContext.
 func (c PDPSim) Run() (Result, error) {
+	return c.RunContext(context.Background())
+}
+
+// runLoopOptions wires a simulator's MaxEvents guard and Progress observer
+// into the engine's context-aware run loop.
+func runLoopOptions(maxEvents int, obs progress.Progress) sim.RunOptions {
+	opts := sim.RunOptions{MaxEvents: maxEvents}
+	if obs != nil {
+		opts.OnAdvance = func(fired int, now float64) { obs.SimulatorAdvanced(fired, now) }
+	}
+	return opts
+}
+
+// RunContext is Run with cancellation: the event loop polls ctx
+// periodically and aborts with ctx.Err() once it is canceled.
+func (c PDPSim) RunContext(ctx context.Context) (Result, error) {
 	if err := c.Net.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -136,7 +163,9 @@ func (c PDPSim) Run() (Result, error) {
 			return Result{}, err
 		}
 	}
-	r.engine.RunUntil(horizon)
+	if err := r.engine.RunUntilContext(ctx, horizon, runLoopOptions(c.MaxEvents, c.Progress)); err != nil {
+		return Result{}, err
+	}
 
 	stationResults, misses := collectStations(r.stations, horizon)
 	res := Result{

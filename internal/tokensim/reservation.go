@@ -1,10 +1,12 @@
 package tokensim
 
 import (
+	"context"
 	"errors"
 	"math"
 
 	"ringsched/internal/frame"
+	"ringsched/internal/progress"
 	"ringsched/internal/ring"
 	"ringsched/internal/sim"
 	"ringsched/internal/stats"
@@ -60,6 +62,11 @@ type ReservationSim struct {
 	// Faults, when non-nil, injects token-loss failures (charged when the
 	// token is issued).
 	Faults *Faults
+	// MaxEvents bounds the discrete events fired by one run; 0 means
+	// unlimited. Exceeding it aborts with sim.ErrMaxEvents.
+	MaxEvents int
+	// Progress, when non-nil, observes event-loop advancement.
+	Progress progress.Progress
 }
 
 // resStation is one station's MAC state.
@@ -114,8 +121,15 @@ const (
 	noPending     = -1
 )
 
-// Run executes the simulation.
+// Run executes the simulation. It is the uncancelable convenience wrapper
+// around RunContext.
 func (c ReservationSim) Run() (ReservationResult, error) {
+	return c.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: the event loop polls ctx
+// periodically and aborts with ctx.Err() once it is canceled.
+func (c ReservationSim) RunContext(ctx context.Context) (ReservationResult, error) {
 	if err := c.Net.Validate(); err != nil {
 		return ReservationResult{}, err
 	}
@@ -153,7 +167,9 @@ func (c ReservationSim) Run() (ReservationResult, error) {
 	if _, err := r.engine.At(0, func() { r.tokenAt(0) }); err != nil {
 		return ReservationResult{}, err
 	}
-	r.engine.RunUntil(horizon)
+	if err := r.engine.RunUntilContext(ctx, horizon, runLoopOptions(c.MaxEvents, c.Progress)); err != nil {
+		return ReservationResult{}, err
+	}
 
 	syncStates := make([]*stationState, len(c.Workload.Streams))
 	for i := range c.Workload.Streams {

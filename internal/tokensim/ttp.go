@@ -1,6 +1,7 @@
 package tokensim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -8,6 +9,7 @@ import (
 	"ringsched/internal/core"
 	"ringsched/internal/frame"
 	"ringsched/internal/message"
+	"ringsched/internal/progress"
 	"ringsched/internal/ring"
 	"ringsched/internal/sim"
 	"ringsched/internal/stats"
@@ -54,6 +56,11 @@ type TTPSim struct {
 	Tracer Tracer
 	// Faults, when non-nil, injects token-loss failures.
 	Faults *Faults
+	// MaxEvents bounds the discrete events fired by one run; 0 means
+	// unlimited. Exceeding it aborts with sim.ErrMaxEvents.
+	MaxEvents int
+	// Progress, when non-nil, observes event-loop advancement.
+	Progress progress.Progress
 }
 
 // NewTTPSimFromAnalysis builds a simulator whose TTRT and synchronous
@@ -106,8 +113,15 @@ type ttpRun struct {
 	recovery  float64
 }
 
-// Run executes the simulation.
+// Run executes the simulation. It is the uncancelable convenience wrapper
+// around RunContext.
 func (c TTPSim) Run() (Result, error) {
+	return c.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: the event loop polls ctx
+// periodically and aborts with ctx.Err() once it is canceled.
+func (c TTPSim) RunContext(ctx context.Context) (Result, error) {
 	if err := c.Net.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -152,7 +166,9 @@ func (c TTPSim) Run() (Result, error) {
 	if _, err := r.engine.At(0, func() { r.tokenArrive(0) }); err != nil {
 		return Result{}, err
 	}
-	r.engine.RunUntil(horizon)
+	if err := r.engine.RunUntilContext(ctx, horizon, runLoopOptions(c.MaxEvents, c.Progress)); err != nil {
+		return Result{}, err
+	}
 
 	syncStates := make([]*stationState, len(c.Workload.Streams))
 	for i := range c.Workload.Streams {

@@ -26,6 +26,8 @@
 package ringsched
 
 import (
+	"context"
+	"io"
 	"math/rand"
 
 	"ringsched/internal/breakdown"
@@ -33,8 +35,10 @@ import (
 	"ringsched/internal/expt"
 	"ringsched/internal/frame"
 	"ringsched/internal/message"
+	"ringsched/internal/progress"
 	"ringsched/internal/ring"
 	"ringsched/internal/rma"
+	"ringsched/internal/sim"
 	"ringsched/internal/tokensim"
 	"ringsched/internal/ttpalloc"
 )
@@ -204,7 +208,43 @@ type (
 	ExperimentConfig = expt.Config
 	// ExperimentReport is an experiment outcome.
 	ExperimentReport = expt.Report
+	// ExperimentOutcome is one experiment's result within a RunExperiments
+	// batch.
+	ExperimentOutcome = expt.Outcome
 )
+
+// Cancellation and progress observation.
+type (
+	// Progress observes long-running work: Monte Carlo samples, sweep
+	// points, experiment lifecycle, and simulator event-loop advancement.
+	// All context-aware entry points accept one (nil disables reporting).
+	Progress = progress.Progress
+	// ProgressFuncs adapts plain functions to the Progress interface; the
+	// zero value ignores everything.
+	ProgressFuncs = progress.Funcs
+	// CountingProgress tallies progress callbacks with atomic counters,
+	// safe for concurrent pipelines.
+	CountingProgress = progress.Counter
+	// ProgressMeter renders a live single-line progress display (percent,
+	// ETA, current sweep point) to a writer, typically stderr.
+	ProgressMeter = progress.Meter
+)
+
+// NopProgress returns a Progress that ignores every callback.
+func NopProgress() Progress { return progress.Nop{} }
+
+// TeeProgress fans callbacks out to several observers.
+func TeeProgress(obs ...Progress) Progress { return progress.Tee(obs...) }
+
+// NewProgressMeter returns a live progress meter writing to w;
+// totalSamples sets the denominator for percent/ETA (0 disables them).
+// Call Close when done to finish the line.
+func NewProgressMeter(w io.Writer, totalSamples int64) *ProgressMeter {
+	return progress.NewMeter(w, totalSamples)
+}
+
+// ErrMaxEvents reports that a simulation exhausted its MaxEvents budget.
+var ErrMaxEvents = sim.ErrMaxEvents
 
 // Mbps converts megabits/second to bits/second.
 func Mbps(m float64) float64 { return ring.Mbps(m) }
@@ -239,6 +279,12 @@ func NewTTP(bandwidthBPS float64) TTPAnalyzer { return core.NewTTP(bandwidthBPS)
 // distribution.
 func PaperEstimator(samples int, seed int64) Estimator {
 	return breakdown.PaperEstimator(samples, seed)
+}
+
+// PaperBandwidths returns the Figure 1 sweep grid: 1 Mbps to 1 Gbps,
+// log-spaced with pointsPerDecade points per decade (0 = default density).
+func PaperBandwidths(pointsPerDecade int) []float64 {
+	return breakdown.PaperBandwidths(pointsPerDecade)
 }
 
 // Saturate drives a message set to its breakdown load under an analyzer.
@@ -290,3 +336,16 @@ func Experiments() []Experiment { return expt.All() }
 
 // ExperimentByID looks up one reproduction experiment.
 func ExperimentByID(id string) (Experiment, error) { return expt.ByID(id) }
+
+// RunExperiment executes one experiment with cancellation and progress
+// reporting (obs may be nil).
+func RunExperiment(ctx context.Context, e Experiment, cfg ExperimentConfig, obs Progress) (ExperimentReport, error) {
+	return expt.RunOne(ctx, e, cfg, obs)
+}
+
+// RunExperiments executes independent experiments concurrently and returns
+// one outcome per experiment in deterministic ID order. Cancelling ctx
+// aborts promptly; never-dispatched experiments carry Err = ctx.Err().
+func RunExperiments(ctx context.Context, cfg ExperimentConfig, obs Progress, exps []Experiment) []ExperimentOutcome {
+	return expt.RunAll(ctx, cfg, obs, exps)
+}
