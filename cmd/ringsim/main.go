@@ -47,6 +47,10 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		lossProb    = fs.Float64("loss-prob", 0, "token-loss probability per service step")
 		levels      = fs.Int("levels", 8, "ring priority levels for -protocol 8025res (0 = one per stream)")
 		recovery    = fs.Duration("recovery", 2*time.Millisecond, "ring recovery time per token loss")
+		faultSpec   = fs.String("fault-model", "", "fault model spec, e.g. loss:p=1e-3+gilbert:burst=16+crash:rate=0.1 (see internal/faults)")
+		scenario    = fs.String("scenario", "", "named fault scenario: clean, noisy-channel, lossy-token, flaky-stations, degraded")
+		burstLen    = fs.Float64("burst-len", 0, "override the fault model's mean corruption burst length (frames)")
+		crashRate   = fs.Float64("crash-rate", -1, "override the fault model's station crash rate (crashes/s, -1 = keep)")
 		timeout     = fs.Duration("timeout", 0, "abort after this wall-clock duration (0 = none)")
 		workers     = fs.Int("workers", 0, "cap OS parallelism for the run (0 = all cores)")
 		maxEvents   = fs.Int("max-events", 0, "abort after this many simulator events (0 = unlimited)")
@@ -86,13 +90,9 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		tracer = &ringsched.WriterTracer{W: out, Limit: *trace}
 	}
 
-	var faults *ringsched.Faults
-	if *lossProb > 0 {
-		faults = &ringsched.Faults{
-			TokenLossProb: *lossProb,
-			RecoveryTime:  recovery.Seconds(),
-			Rng:           rng,
-		}
+	faults, err := buildFaults(*faultSpec, *scenario, *lossProb, *recovery, *burstLen, *crashRate, *seed)
+	if err != nil {
+		return err
 	}
 
 	var res ringsched.SimResult
@@ -180,6 +180,58 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	return nil
 }
 
+// buildFaults assembles the injected fault model from the scenario/spec
+// flags (mutually exclusive), the legacy -loss-prob/-recovery pair, and the
+// -burst-len/-crash-rate overrides. Returns nil when nothing is configured.
+func buildFaults(spec, scenario string, lossProb float64, recovery time.Duration, burstLen, crashRate float64, seed int64) (*ringsched.FaultModel, error) {
+	if spec != "" && scenario != "" {
+		return nil, fmt.Errorf("-fault-model and -scenario are mutually exclusive")
+	}
+	var model ringsched.FaultModel
+	switch {
+	case spec != "":
+		m, err := ringsched.ParseFaultModel(spec)
+		if err != nil {
+			return nil, err
+		}
+		model = m
+	case scenario != "":
+		sc, err := ringsched.FaultScenarioByName(scenario)
+		if err != nil {
+			return nil, err
+		}
+		model = sc.Model
+	case lossProb > 0:
+		model = ringsched.FaultModel{
+			TokenLossProb: lossProb,
+			Recovery:      ringsched.FaultRecovery{Fixed: recovery.Seconds()},
+		}
+	}
+	if burstLen > 0 {
+		if model.Channel.Kind == ringsched.ChannelClean {
+			model.Channel = ringsched.FaultChannel{
+				Kind: ringsched.ChannelGilbertElliott, BurstCorruptProb: 0.5, MeanGap: 1000,
+			}
+		}
+		model.Channel.MeanBurst = burstLen
+	}
+	if crashRate >= 0 {
+		model.Crash.Rate = crashRate
+		if crashRate > 0 && model.Crash.MeanDowntime == 0 {
+			model.Crash.MeanDowntime = 50e-3
+			model.Crash.Bypass = 2e-3
+		}
+	}
+	if !model.Active() {
+		return nil, nil
+	}
+	model.Seed = seed
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	return &model, nil
+}
+
 func loadSet(path, preset string, streams int, utilization, bw float64, rng *rand.Rand) (ringsched.MessageSet, int, error) {
 	if preset != "" {
 		p, err := ringsched.PresetByName(preset)
@@ -224,9 +276,15 @@ func printResult(out io.Writer, res ringsched.SimResult) {
 		fmt.Fprintf(out, "token rotation:    mean %.4gms  max %.4gms  (n=%d)\n",
 			res.RotationMean*1e3, res.RotationMax*1e3, res.RotationN)
 	}
-	if res.TokenLosses > 0 {
+	if res.TokenLosses > 0 || res.RecoveryTime > 0 {
 		fmt.Fprintf(out, "token losses:      %d (recovery %.4gms total)\n",
 			res.TokenLosses, res.RecoveryTime*1e3)
+	}
+	if res.CorruptedFrames > 0 {
+		fmt.Fprintf(out, "corrupted frames:  %d\n", res.CorruptedFrames)
+	}
+	if res.Crashes > 0 {
+		fmt.Fprintf(out, "station crashes:   %d\n", res.Crashes)
 	}
 	fmt.Fprintf(out, "\n%4s %12s %10s %8s %8s %14s %14s\n",
 		"stn", "period(ms)", "done", "missed", "backlog", "meanResp(ms)", "maxResp(ms)")

@@ -43,6 +43,8 @@ func run(ctx context.Context, args []string, out, _ io.Writer) error {
 		utilization  = fs.Float64("utilization", 0.3, "target utilization when generating a random set")
 		verbose      = fs.Bool("verbose", false, "print per-stream detail")
 		printExample = fs.Bool("print-example", false, "print an example JSON message set and exit")
+		faultSpec    = fs.String("fault-model", "", "fault model spec for a side-by-side degraded-mode verdict, e.g. loss:p=1e-3+gilbert:burst=16")
+		scenario     = fs.String("scenario", "", "named fault scenario: clean, noisy-channel, lossy-token, flaky-stations, degraded")
 		timeout      = fs.Duration("timeout", 0, "abort after this duration (0 = none)")
 		workers      = fs.Int("workers", 0, "cap OS parallelism for the run (0 = all cores)")
 	)
@@ -67,8 +69,16 @@ func run(ctx context.Context, args []string, out, _ io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "message set: %d streams, payload utilization %.4f at %.3g Mbps\n\n",
+	fm, err := loadFaultModel(*faultSpec, *scenario)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "message set: %d streams, payload utilization %.4f at %.3g Mbps\n",
 		len(set), set.Utilization(bw), *bwMbps)
+	if fm != nil {
+		fmt.Fprintf(out, "fault model: %s\n", fm.Spec())
+	}
+	fmt.Fprintln(out)
 
 	// PDP variants.
 	for _, variant := range []ringsched.PDPVariant{ringsched.Modified8025, ringsched.Standard8025} {
@@ -85,6 +95,16 @@ func run(ctx context.Context, args []string, out, _ io.Writer) error {
 			return err
 		}
 		printPDP(out, rep, *verbose)
+		if fm != nil {
+			budget := pdp.FaultBudgetFor(fm, set)
+			deg, err := pdp.FaultReport(set, budget)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "  degraded:      schedulable=%-5v  B'=%.3gus  A=%.4f  (Nloss=%.3g, R=%.3gus)\n\n",
+				deg.Schedulable, deg.Blocking*1e6, budget.Availability,
+				budget.Losses, budget.Recovery*1e6)
+		}
 	}
 
 	// TTP.
@@ -100,7 +120,46 @@ func run(ctx context.Context, args []string, out, _ io.Writer) error {
 		return err
 	}
 	printTTP(out, rep, *verbose)
+	if fm != nil {
+		budget := ttp.FaultBudgetFor(fm, set)
+		deg, err := ttp.FaultReport(set, budget)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  degraded:      schedulable=%-5v  A=%.4f  Σh=%.4gms  cap=%.4gms\n\n",
+			deg.Schedulable, deg.Availability, deg.TotalAllocation*1e3, deg.Capacity*1e3)
+	}
 	return nil
+}
+
+// loadFaultModel resolves the -fault-model / -scenario flags (mutually
+// exclusive) into an injectable model, or nil when neither is set or the
+// result is inactive.
+func loadFaultModel(spec, scenario string) (*ringsched.FaultModel, error) {
+	if spec != "" && scenario != "" {
+		return nil, fmt.Errorf("-fault-model and -scenario are mutually exclusive")
+	}
+	var m ringsched.FaultModel
+	switch {
+	case spec != "":
+		parsed, err := ringsched.ParseFaultModel(spec)
+		if err != nil {
+			return nil, err
+		}
+		m = parsed
+	case scenario != "":
+		sc, err := ringsched.FaultScenarioByName(scenario)
+		if err != nil {
+			return nil, err
+		}
+		m = sc.Model
+	default:
+		return nil, nil
+	}
+	if !m.Active() {
+		return nil, nil
+	}
+	return &m, nil
 }
 
 func loadSet(path, preset string, streams int, seed int64, utilization, bw float64) (ringsched.MessageSet, error) {

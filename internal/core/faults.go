@@ -1,0 +1,144 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"ringsched/internal/faults"
+	"ringsched/internal/message"
+)
+
+// ErrBadFaultBudget reports an unusable degraded-mode budget.
+var ErrBadFaultBudget = errors.New(
+	"core: fault budget requires Losses, Recovery ≥ 0 and Availability in (0, 1]")
+
+// FaultBudget folds a fault model into the quantities the degraded-mode
+// analyses charge: how many claim/beacon recoveries to budget in one
+// analysis window, what each costs, and what fraction of the medium
+// survives the background fault processes. CleanFaultBudget() describes a
+// healthy ring; FaultBudgetFor on the analyzers derives a budget from a
+// faults.Model.
+type FaultBudget struct {
+	// Losses is Nloss: the number of token-loss recoveries budgeted within
+	// one analysis window (the longest period of the set). It enters the
+	// PDP criterion as extra blocking, B' = B + Nloss·R (Lemma 4.1 treats
+	// a recovery exactly like a lower-priority frame holding the medium).
+	Losses float64
+	// Recovery is R, the medium dead time of one claim/beacon recovery.
+	Recovery float64
+	// Availability is A ∈ (0, 1]: the long-run fraction of medium capacity
+	// that survives frame corruption (CRC retransmissions) and crash
+	// bypass reconfiguration. The TTP criterion discounts the rotation
+	// budget with it — q_i = ⌊A·P_i/TTRT⌋ — and the PDP criterion inflates
+	// every augmented length by 1/A.
+	Availability float64
+}
+
+// CleanFaultBudget is the healthy-ring budget: no losses, full
+// availability. Every degraded-mode analysis reproduces the clean result
+// bit-identically under it.
+func CleanFaultBudget() FaultBudget { return FaultBudget{Availability: 1} }
+
+// Clean reports whether the budget charges nothing.
+func (b FaultBudget) Clean() bool {
+	return b.Losses == 0 && b.Availability == 1
+}
+
+// Validate reports whether the budget is usable.
+func (b FaultBudget) Validate() error {
+	if b.Losses < 0 || math.IsNaN(b.Losses) || math.IsInf(b.Losses, 0) ||
+		b.Recovery < 0 || math.IsNaN(b.Recovery) || math.IsInf(b.Recovery, 0) ||
+		b.Availability <= 0 || b.Availability > 1 || math.IsNaN(b.Availability) {
+		return ErrBadFaultBudget
+	}
+	return nil
+}
+
+// minAvailability keeps a saturated fault model analyzable: an availability
+// this low makes every non-empty set unschedulable instead of dividing by
+// zero.
+const minAvailability = 1e-9
+
+// mediumAvailability combines the steady-state corruption fraction of the
+// channel with the ring time spent in bypass reconfiguration (two
+// transitions per crash, Crash.Rate per station per second) and any
+// additional loss-recovery fraction the caller charges against the medium.
+func mediumAvailability(fm *faults.Model, stations int, lossFraction float64) float64 {
+	pi := fm.Channel.SteadyStateCorruption()
+	bypass := 2 * fm.Crash.Rate * float64(stations) * fm.Crash.Bypass
+	a := (1 - lossFraction - bypass) * (1 - pi)
+	return math.Min(1, math.Max(a, minAvailability))
+}
+
+// FaultBudgetFor derives the Theorem 4.1 degraded-mode budget from a fault
+// model: the PDP simulator rolls one loss opportunity per synchronous frame
+// service, so Nloss is the loss probability times the frame services the
+// set demands over the longest period; R comes from the claim/beacon
+// pricing on this plant's Θ; corruption and crash bypass discount the
+// availability. An inactive model yields CleanFaultBudget().
+func (p PDP) FaultBudgetFor(fm *faults.Model, m message.Set) FaultBudget {
+	if !fm.Active() {
+		return CleanFaultBudget()
+	}
+	var frameRate float64
+	for _, s := range m {
+		_, k := p.Frame.Split(s.LengthBits)
+		frameRate += float64(k) / s.Period
+	}
+	return FaultBudget{
+		Losses:       fm.TokenLossProb * frameRate * m.MaxPeriod(),
+		Recovery:     fm.Recovery.Duration(p.Net.Theta()),
+		Availability: mediumAvailability(fm, p.Net.Stations, 0),
+	}
+}
+
+// RecoveryBlocking is the recovery-augmented blocking term
+// B' = B + Nloss·R: each budgeted claim/beacon recovery holds the medium
+// against a pending message exactly like the lower-priority traffic of
+// Lemma 4.1.
+func (p PDP) RecoveryBlocking(b FaultBudget) float64 {
+	return p.Blocking() + b.Losses*b.Recovery
+}
+
+// FaultReport runs the Theorem 4.1 analysis under a degraded-mode budget:
+// blocking augmented to B' = B + Nloss·R and every augmented length
+// inflated by 1/Availability (the retransmission and reconfiguration tax).
+// Under CleanFaultBudget() it reproduces Report bit-identically.
+func (p PDP) FaultReport(m message.Set, b FaultBudget) (PDPReport, error) {
+	if err := b.Validate(); err != nil {
+		return PDPReport{}, err
+	}
+	return p.reportWith(m, b)
+}
+
+// FaultBudgetFor derives the Theorem 5.1 degraded-mode budget from a fault
+// model: the TTP simulator rolls one loss opportunity per station visit and
+// a loaded ring completes one rotation per TTRT, so the loss process eats a
+// TokenLossProb·n·R/TTRT fraction of the medium; corruption and crash
+// bypass discount the rest. An inactive model yields CleanFaultBudget().
+func (t TTP) FaultBudgetFor(fm *faults.Model, m message.Set) FaultBudget {
+	if !fm.Active() {
+		return CleanFaultBudget()
+	}
+	rec := fm.Recovery.Duration(t.Net.Theta())
+	ttrt := t.SelectTTRT(m)
+	n := float64(t.Net.Stations)
+	lossFrac := fm.TokenLossProb * n * rec / ttrt
+	return FaultBudget{
+		Losses:       fm.TokenLossProb * n * m.MaxPeriod() / ttrt,
+		Recovery:     rec,
+		Availability: mediumAvailability(fm, t.Net.Stations, lossFrac),
+	}
+}
+
+// FaultReport runs the Theorem 5.1 analysis under a degraded-mode budget:
+// the guaranteed token visits shrink to q_i = ⌊A·P_i/TTRT⌋ and the
+// worst-case response stretches to q_i·TTRT/A, so allocations grow and the
+// Σh_i ≤ TTRT − θ test tightens. Under CleanFaultBudget() it reproduces
+// Report bit-identically.
+func (t TTP) FaultReport(m message.Set, b FaultBudget) (TTPReport, error) {
+	if err := b.Validate(); err != nil {
+		return TTPReport{}, err
+	}
+	return t.report(m, b.Availability)
+}

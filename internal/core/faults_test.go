@@ -1,0 +1,238 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"ringsched/internal/faults"
+	"ringsched/internal/message"
+)
+
+func faultTestSet() message.Set {
+	return message.Set{
+		{Name: "x", Period: 20e-3, LengthBits: 4000},
+		{Name: "y", Period: 60e-3, LengthBits: 9000},
+		{Name: "z", Period: 40e-3, LengthBits: 1000},
+	}
+}
+
+func TestFaultBudgetValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		b    FaultBudget
+		ok   bool
+	}{
+		{"clean", CleanFaultBudget(), true},
+		{"typical", FaultBudget{Losses: 3, Recovery: 1e-3, Availability: 0.9}, true},
+		{"negative losses", FaultBudget{Losses: -1, Availability: 1}, false},
+		{"negative recovery", FaultBudget{Recovery: -1, Availability: 1}, false},
+		{"zero availability", FaultBudget{}, false},
+		{"availability above one", FaultBudget{Availability: 1.5}, false},
+		{"NaN availability", FaultBudget{Availability: math.NaN()}, false},
+		{"infinite losses", FaultBudget{Losses: math.Inf(1), Availability: 1}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.b.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+	if !CleanFaultBudget().Clean() {
+		t.Error("CleanFaultBudget not Clean")
+	}
+	if (FaultBudget{Losses: 1, Availability: 1}).Clean() {
+		t.Error("lossy budget reported Clean")
+	}
+}
+
+// The acceptance bar: under the clean budget, the fault-aware analyses must
+// reproduce the clean reports bit-identically — not approximately.
+func TestFaultReportCleanBudgetBitIdentical(t *testing.T) {
+	set := faultTestSet()
+	for _, p := range []PDP{NewStandardPDP(4e6), NewModifiedPDP(16e6)} {
+		clean, err := p.Report(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faulty, err := p.FaultReport(set, CleanFaultBudget())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(clean, faulty) {
+			t.Errorf("%s: FaultReport(clean) diverges from Report", p.Name())
+		}
+	}
+	tt := NewTTP(100e6)
+	clean, err := tt.Report(ttpTestSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := tt.FaultReport(ttpTestSet(), CleanFaultBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(clean, faulty) {
+		t.Error("TTP FaultReport(clean) diverges from Report")
+	}
+	if clean.Availability != 1 {
+		t.Errorf("clean TTP availability = %v, want 1", clean.Availability)
+	}
+}
+
+func TestFaultBudgetForInactiveModelIsClean(t *testing.T) {
+	p := NewStandardPDP(4e6)
+	if b := p.FaultBudgetFor(nil, faultTestSet()); !b.Clean() {
+		t.Errorf("nil model budget = %+v, want clean", b)
+	}
+	if b := p.FaultBudgetFor(&faults.Model{}, faultTestSet()); !b.Clean() {
+		t.Errorf("zero model budget = %+v, want clean", b)
+	}
+	tt := NewTTP(100e6)
+	if b := tt.FaultBudgetFor(nil, ttpTestSet()); !b.Clean() {
+		t.Errorf("nil model TTP budget = %+v, want clean", b)
+	}
+}
+
+func TestPDPRecoveryBlockingGrowsWithBudget(t *testing.T) {
+	p := NewStandardPDP(4e6)
+	base := p.Blocking()
+	b := FaultBudget{Losses: 2, Recovery: 3e-3, Availability: 1}
+	if got, want := p.RecoveryBlocking(b), base+6e-3; math.Abs(got-want) > 1e-12 {
+		t.Errorf("RecoveryBlocking = %v, want %v", got, want)
+	}
+	if got := p.RecoveryBlocking(CleanFaultBudget()); got != base {
+		t.Errorf("clean RecoveryBlocking = %v, want exactly %v", got, base)
+	}
+}
+
+func TestPDPFaultReportDegradesMonotonically(t *testing.T) {
+	set := faultTestSet()
+	p := NewModifiedPDP(16e6)
+	p.Net = p.Net.WithStations(3)
+	prev := -1.0
+	for _, loss := range []float64{0, 1e-4, 1e-3, 1e-2} {
+		fm := &faults.Model{TokenLossProb: loss}
+		b := p.FaultBudgetFor(fm, set)
+		rep, err := p.FaultReport(set, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Response time of the lowest-priority stream grows with the budget.
+		rt := rep.Streams[len(rep.Streams)-1].ResponseTime
+		if rt < prev {
+			t.Errorf("loss=%g: response %v < previous %v", loss, rt, prev)
+		}
+		prev = rt
+	}
+}
+
+func TestPDPFaultReportSevereBudgetUnschedulable(t *testing.T) {
+	set := faultTestSet()
+	p := NewModifiedPDP(16e6)
+	clean, err := p.Report(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clean.Schedulable {
+		t.Fatal("setup: clean set should be schedulable")
+	}
+	// Availability near the floor makes every cost astronomically large.
+	rep, err := p.FaultReport(set, FaultBudget{Availability: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schedulable {
+		t.Error("near-zero availability reported schedulable")
+	}
+	// A blocking term longer than the shortest period also kills it.
+	rep, err = p.FaultReport(set, FaultBudget{Losses: 10, Recovery: 5e-3, Availability: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schedulable {
+		t.Error("50 ms of recovery blocking reported schedulable")
+	}
+}
+
+func TestTTPFaultReportDiscountsRotations(t *testing.T) {
+	set := ttpTestSet()
+	tt := NewTTP(100e6)
+	clean, err := tt.Report(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := tt.FaultReport(set, FaultBudget{Availability: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Availability != 0.5 {
+		t.Errorf("Availability = %v, want 0.5", rep.Availability)
+	}
+	shrunk := false
+	for i := range rep.Streams {
+		if rep.Streams[i].Q > clean.Streams[i].Q {
+			t.Errorf("stream %d: degraded Q %d > clean Q %d",
+				i, rep.Streams[i].Q, clean.Streams[i].Q)
+		}
+		if rep.Streams[i].Q < clean.Streams[i].Q {
+			shrunk = true
+		}
+		// The bound stays a deadline guarantee: q = ⌊A·P/TTRT⌋ keeps
+		// q·TTRT/A ≤ P even under the discount.
+		if r := rep.Streams[i].WorstCaseResponse; r > rep.Streams[i].Stream.Period {
+			t.Errorf("stream %d: degraded response %v exceeds period %v",
+				i, r, rep.Streams[i].Stream.Period)
+		}
+	}
+	if !shrunk {
+		t.Error("halved availability shrank no stream's guaranteed visits")
+	}
+	if rep.TotalAllocation <= clean.TotalAllocation {
+		t.Errorf("degraded Σh %v not above clean %v",
+			rep.TotalAllocation, clean.TotalAllocation)
+	}
+}
+
+func TestTTPFaultBudgetForChargesLossFraction(t *testing.T) {
+	set := ttpTestSet()
+	tt := NewTTP(100e6)
+	fm := &faults.Model{TokenLossProb: 1e-3, Recovery: faults.Recovery{Fixed: 1e-3}}
+	b := tt.FaultBudgetFor(fm, set)
+	if b.Availability >= 1 {
+		t.Errorf("lossy model availability = %v, want < 1", b.Availability)
+	}
+	if b.Losses <= 0 || b.Recovery != 1e-3 {
+		t.Errorf("budget = %+v, want positive losses and Recovery = 1e-3", b)
+	}
+	if err := b.Validate(); err != nil {
+		t.Errorf("derived budget invalid: %v", err)
+	}
+}
+
+func TestFaultReportRejectsInvalidBudget(t *testing.T) {
+	set := faultTestSet()
+	p := NewStandardPDP(4e6)
+	if _, err := p.FaultReport(set, FaultBudget{}); err == nil {
+		t.Error("PDP accepted zero-availability budget")
+	}
+	tt := NewTTP(100e6)
+	if _, err := tt.FaultReport(ttpTestSet(), FaultBudget{Availability: -1}); err == nil {
+		t.Error("TTP accepted negative-availability budget")
+	}
+}
+
+func TestMediumAvailabilityClamps(t *testing.T) {
+	fm := &faults.Model{
+		Channel: faults.Channel{Kind: faults.ChannelBernoulli, CorruptProb: 1},
+	}
+	if a := mediumAvailability(fm, 10, 0); a != minAvailability {
+		t.Errorf("fully corrupted channel availability = %v, want floor %v", a, minAvailability)
+	}
+	if a := mediumAvailability(&faults.Model{}, 10, 0); a != 1 {
+		t.Errorf("clean model availability = %v, want 1", a)
+	}
+	crash := &faults.Model{Crash: faults.Crash{Rate: 1e6, MeanDowntime: 1, Bypass: 1}}
+	if a := mediumAvailability(crash, 100, 0); a != minAvailability {
+		t.Errorf("crash-saturated availability = %v, want floor", a)
+	}
+}

@@ -187,7 +187,17 @@ type PDPReport struct {
 
 // Report runs the full Theorem 4.1 analysis and returns per-stream detail.
 func (p PDP) Report(m message.Set) (PDPReport, error) {
-	res, err := p.analyze(m)
+	return p.reportWith(m, CleanFaultBudget())
+}
+
+// reportWith is the shared body of Report and FaultReport: the analysis
+// with blocking B' = B + Nloss·R and every augmented length inflated by
+// 1/Availability. The clean budget charges B' = B and scale 1 exactly, so
+// Report's results are bit-identical to the pre-fault-aware analysis.
+func (p PDP) reportWith(m message.Set, b FaultBudget) (PDPReport, error) {
+	blocking := p.RecoveryBlocking(b)
+	scale := 1 / b.Availability
+	res, err := p.analyzeWith(m, blocking, scale)
 	if err != nil {
 		return PDPReport{}, err
 	}
@@ -195,7 +205,7 @@ func (p PDP) Report(m message.Set) (PDPReport, error) {
 	rep := PDPReport{
 		Variant:     p.Variant,
 		Schedulable: res.Schedulable,
-		Blocking:    p.Blocking(),
+		Blocking:    blocking,
 		Theta:       p.Net.Theta(),
 		FrameTime:   p.Frame.Time(p.Net.BandwidthBPS),
 		Utilization: m.Utilization(p.Net.BandwidthBPS),
@@ -203,7 +213,7 @@ func (p PDP) Report(m message.Set) (PDPReport, error) {
 	}
 	for i, s := range sorted {
 		_, k := p.Frame.Split(s.LengthBits)
-		cAug := p.AugmentedLength(s)
+		cAug := p.AugmentedLength(s) * scale
 		rep.AugmentedUtilization += cAug / s.Period
 		rep.Streams[i] = PDPStreamReport{
 			Stream:          s,
@@ -217,11 +227,23 @@ func (p PDP) Report(m message.Set) (PDPReport, error) {
 }
 
 func (p PDP) analyze(m message.Set) (rma.Result, error) {
+	return p.analyzeWith(m, p.Blocking(), 1)
+}
+
+// analyzeWith runs the response-time analysis with an explicit blocking
+// term and task-cost scale factor (the degraded-mode knobs).
+func (p PDP) analyzeWith(m message.Set, blocking, costScale float64) (rma.Result, error) {
 	if err := p.Validate(); err != nil {
 		return rma.Result{}, err
 	}
 	if err := m.Validate(); err != nil {
 		return rma.Result{}, err
 	}
-	return rma.ResponseTimeAnalysis(p.Tasks(m), p.Blocking())
+	ts := p.Tasks(m)
+	if costScale != 1 {
+		for i := range ts {
+			ts[i].Cost *= costScale
+		}
+	}
+	return rma.ResponseTimeAnalysis(ts, blocking)
 }

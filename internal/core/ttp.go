@@ -211,6 +211,10 @@ type TTPReport struct {
 	Capacity float64
 	// Utilization is the payload utilization U(M).
 	Utilization float64
+	// Availability is the medium availability A the analysis assumed:
+	// 1 for the clean Report, the fault budget's discount for FaultReport
+	// (q_i = ⌊A·P_i/TTRT⌋).
+	Availability float64
 	// Streams holds per-stream allocations in input order.
 	Streams []TTPStreamReport
 }
@@ -230,6 +234,15 @@ func (t TTP) Schedulable(m message.Set) (bool, error) {
 // detail. A set whose TTRT leaves no capacity (TTRT ≤ θ) is reported
 // unschedulable rather than as an error.
 func (t TTP) Report(m message.Set) (TTPReport, error) {
+	return t.report(m, 1)
+}
+
+// report is the shared body of Report and FaultReport: the Theorem 5.1
+// analysis with the rotation budget discounted by the medium availability
+// avail — the guaranteed visits per period shrink to q_i = ⌊avail·P_i/TTRT⌋
+// and the worst-case response stretches to q_i·TTRT/avail. With avail = 1
+// the arithmetic is exactly the clean analysis.
+func (t TTP) report(m message.Set, avail float64) (TTPReport, error) {
 	if err := t.Validate(); err != nil {
 		return TTPReport{}, err
 	}
@@ -239,18 +252,20 @@ func (t TTP) Report(m message.Set) (TTPReport, error) {
 	bw := t.Net.BandwidthBPS
 	ttrt := t.SelectTTRT(m)
 	rep := TTPReport{
-		TTRT:        ttrt,
-		Overhead:    t.Overhead(),
-		Capacity:    ttrt - t.Overhead(),
-		Utilization: m.Utilization(bw),
-		Streams:     make([]TTPStreamReport, len(m)),
+		TTRT:         ttrt,
+		Overhead:     t.Overhead(),
+		Capacity:     ttrt - t.Overhead(),
+		Utilization:  m.Utilization(bw),
+		Availability: avail,
+		Streams:      make([]TTPStreamReport, len(m)),
 	}
 	fovhd := t.SyncFrame.OvhdTime(bw)
 	for i, s := range m {
-		q := int(math.Floor(s.Period / ttrt))
+		q := int(math.Floor(avail * s.Period / ttrt))
 		if q < 2 {
 			// Cannot guarantee the deadline with fewer than two visits;
-			// the Pmin/2 cap makes this unreachable, but guard anyway.
+			// the Pmin/2 cap makes this unreachable on a clean ring, but a
+			// deep availability discount (or a degenerate set) can reach it.
 			q = 1
 		}
 		cAug := s.Length(bw) + float64(q-1)*fovhd
@@ -265,7 +280,7 @@ func (t TTP) Report(m message.Set) (TTPReport, error) {
 			Q:                 q,
 			AugmentedLength:   cAug,
 			Allocation:        h,
-			WorstCaseResponse: float64(q) * ttrt,
+			WorstCaseResponse: float64(q) * ttrt / avail,
 		}
 		rep.TotalAllocation += h
 	}

@@ -8,114 +8,246 @@ import (
 
 	"ringsched/internal/breakdown"
 	"ringsched/internal/core"
+	"ringsched/internal/faults"
 	"ringsched/internal/message"
 	"ringsched/internal/progress"
 	"ringsched/internal/tokensim"
 )
 
+// faultBench is the fixed plant EXT-FAULT sweeps: both protocols at 60 % of
+// their own saturation load, so slack exists for rare faults to be absorbed
+// and sustained faults to consume.
+type faultBench struct {
+	n          int
+	pdp        core.PDP
+	ttp        core.TTP
+	setP, setT message.Set
+	horizon    float64
+	obs        progress.Progress
+}
+
+func newFaultBench(cfg Config, obs progress.Progress) (faultBench, error) {
+	const (
+		n      = 12
+		bw     = 100e6
+		margin = 0.6 // run well inside the guarantee so slack exists
+	)
+	gen := message.Generator{Streams: n, MeanPeriod: 100e-3, PeriodRatio: 10}
+	set, err := gen.Draw(rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return faultBench{}, err
+	}
+	pdp := core.NewModifiedPDP(bw)
+	pdp.Net = pdp.Net.WithStations(n)
+	satP, err := breakdown.Saturate(set, pdp, bw, breakdown.SaturateOptions{})
+	if err != nil {
+		return faultBench{}, err
+	}
+	ttp := core.NewTTP(bw)
+	ttp.Net = ttp.Net.WithStations(n)
+	satT, err := breakdown.Saturate(set, ttp, bw, breakdown.SaturateOptions{})
+	if err != nil {
+		return faultBench{}, err
+	}
+	if !satP.Feasible || !satT.Feasible {
+		return faultBench{}, fmt.Errorf("fault experiment workload infeasible")
+	}
+	return faultBench{
+		n: n, pdp: pdp, ttp: ttp,
+		setP: satP.Set.Scale(margin), setT: satT.Set.Scale(margin),
+		horizon: 10, obs: obs,
+	}, nil
+}
+
+// point runs both simulators under one fault model (nil for a clean ring)
+// and returns their results.
+func (fb faultBench) point(ctx context.Context, fm *tokensim.Faults) (resP, resT tokensim.Result, err error) {
+	wP, err := tokensim.NewWorkload(fb.setP, fb.n, tokensim.PhasingSynchronized, nil)
+	if err != nil {
+		return resP, resT, err
+	}
+	resP, err = tokensim.PDPSim{
+		Net: fb.pdp.Net, Frame: fb.pdp.Frame, Variant: core.Modified8025,
+		Workload: wP, AsyncSaturated: true,
+		TokenPass: tokensim.PassAverageHalfTheta,
+		Horizon:   fb.horizon, Faults: fm,
+		Progress: fb.obs,
+	}.RunContext(ctx)
+	if err != nil {
+		return resP, resT, err
+	}
+	wT, err := tokensim.NewWorkload(fb.setT, fb.n, tokensim.PhasingSynchronized, nil)
+	if err != nil {
+		return resP, resT, err
+	}
+	simT, err := tokensim.NewTTPSimFromAnalysis(fb.ttp, fb.setT, wT)
+	if err != nil {
+		return resP, resT, err
+	}
+	simT.AsyncSaturated = true
+	simT.Horizon = fb.horizon
+	simT.Faults = fm
+	simT.Progress = fb.obs
+	resT, err = simT.RunContext(ctx)
+	return resP, resT, err
+}
+
+// worstStreamMisses is the per-stream view of a run: the heaviest-hit
+// station's missed plus backlogged-past-deadline count. The aggregate can
+// hide a single starved stream; this column cannot.
+func worstStreamMisses(r tokensim.Result) (station, misses int) {
+	for _, st := range r.Stations {
+		if m := st.Missed + st.Backlogged; m > misses {
+			station, misses = st.Station, m
+		}
+	}
+	return station, misses
+}
+
+// verdict renders a schedulability outcome as a fixed-width cell.
+func verdict(ok bool) string {
+	if ok {
+		return "GUAR"
+	}
+	return "no"
+}
+
+// faultRow runs one sweep point and renders one table row. Exposed to the
+// tests so the zero-fault regression can assert byte equality between a nil
+// model and an inactive (all-probabilities-zero) model.
+func (fb faultBench) faultRow(ctx context.Context, label string, fm *tokensim.Faults) (string, tokensim.Result, tokensim.Result, error) {
+	resP, resT, err := fb.point(ctx, fm)
+	if err != nil {
+		return "", resP, resT, err
+	}
+	bP := fb.pdp.FaultBudgetFor(fm, fb.setP)
+	repP, err := fb.pdp.FaultReport(fb.setP, bP)
+	if err != nil {
+		return "", resP, resT, err
+	}
+	bT := fb.ttp.FaultBudgetFor(fm, fb.setT)
+	repT, err := fb.ttp.FaultReport(fb.setT, bT)
+	if err != nil {
+		return "", resP, resT, err
+	}
+	_, worstP := worstStreamMisses(resP)
+	_, worstT := worstStreamMisses(resT)
+	row := fmt.Sprintf("%-22s %9d %6d %6d %6s %9d %6d %6d %6s\n",
+		label,
+		resP.DeadlineMisses, worstP, resP.TokenLosses, verdict(repP.Schedulable),
+		resT.DeadlineMisses, worstT, resT.TokenLosses, verdict(repT.Schedulable))
+	return row, resP, resT, nil
+}
+
+func faultTableHeader() string {
+	return fmt.Sprintf("%-22s %9s %6s %6s %6s %9s %6s %6s %6s\n",
+		"fault model", "pdp miss", "worst", "loss", "bound",
+		"fddi miss", "worst", "loss", "bound")
+}
+
 func extensionFaultTolerance() Experiment {
 	return Experiment{
 		ID:    "EXT-FAULT",
-		Title: "Extension: deadline misses under token-loss faults (survivability, per SAFENET motivation)",
+		Title: "Extension: degraded-mode sweep under token-loss, bursty-corruption and crash faults (survivability, per SAFENET motivation)",
 		Run: func(ctx context.Context, cfg Config, obs progress.Progress) (Report, error) {
 			cfg = cfg.withDefaults()
-			const (
-				n      = 12
-				bw     = 100e6
-				margin = 0.6 // run well inside the guarantee so slack exists
-			)
-			lossProbs := []float64{0, 1e-4, 1e-3, 1e-2}
-			if cfg.Quick {
-				lossProbs = []float64{0, 1e-3}
+			fb, err := newFaultBench(cfg, obs)
+			if err != nil {
+				return Report{}, err
 			}
 			const recovery = 2e-3 // claim process ≈ 2 ms per loss
 
-			gen := message.Generator{Streams: n, MeanPeriod: 100e-3, PeriodRatio: 10}
-			set, err := gen.Draw(rand.New(rand.NewSource(cfg.Seed)))
-			if err != nil {
-				return Report{}, err
+			lossProbs := []float64{0, 1e-4, 1e-3, 1e-2}
+			burstLens := []float64{4, 16, 64}
+			if cfg.Quick {
+				lossProbs = []float64{0, 1e-3}
+				burstLens = []float64{16}
 			}
 
 			var b strings.Builder
-			fmt.Fprintf(&b, "token-loss faults, recovery %.1f ms, load %.0f%% of saturation, horizon 10 s\n",
-				recovery*1e3, margin*100)
-			fmt.Fprintf(&b, "%12s %16s %10s %16s %10s\n",
-				"loss prob", "pdp misses", "losses", "fddi misses", "losses")
+			fmt.Fprintf(&b, "load 60%% of saturation, horizon %g s, recovery %.1f ms; 'worst' = heaviest-hit stream's misses, 'bound' = fault-aware analytic verdict\n",
+				fb.horizon, recovery*1e3)
+			b.WriteString(faultTableHeader())
 			rep := Report{ID: "EXT-FAULT", Title: "Fault tolerance", Pass: true}
 
-			// PDP (modified) at 60 % of its saturation.
-			pdp := core.NewModifiedPDP(bw)
-			pdp.Net = pdp.Net.WithStations(n)
-			satP, err := breakdown.Saturate(set, pdp, bw, breakdown.SaturateOptions{})
-			if err != nil {
-				return Report{}, err
-			}
-			// TTP at 60 % of its saturation.
-			ttp := core.NewTTP(bw)
-			ttp.Net = ttp.Net.WithStations(n)
-			satT, err := breakdown.Saturate(set, ttp, bw, breakdown.SaturateOptions{})
-			if err != nil {
-				return Report{}, err
-			}
-			if !satP.Feasible || !satT.Feasible {
-				return Report{}, fmt.Errorf("fault experiment workload infeasible")
+			record := func(key string, resP, resT tokensim.Result) {
+				_, worstP := worstStreamMisses(resP)
+				_, worstT := worstStreamMisses(resT)
+				rep.addValue("pdp_misses_"+key, float64(resP.DeadlineMisses))
+				rep.addValue("pdp_worst_stream_"+key, float64(worstP))
+				rep.addValue("fddi_misses_"+key, float64(resT.DeadlineMisses))
+				rep.addValue("fddi_worst_stream_"+key, float64(worstT))
 			}
 
+			// Token-loss sweep: each loss costs a fixed claim/beacon recovery.
+			prevP, prevT := -1, -1
 			for _, p := range lossProbs {
-				var faultsP, faultsT *tokensim.Faults
+				var fm *tokensim.Faults
 				if p > 0 {
-					faultsP = &tokensim.Faults{TokenLossProb: p, RecoveryTime: recovery,
-						Rng: rand.New(rand.NewSource(cfg.Seed + 1))}
-					faultsT = &tokensim.Faults{TokenLossProb: p, RecoveryTime: recovery,
-						Rng: rand.New(rand.NewSource(cfg.Seed + 2))}
+					fm = &tokensim.Faults{
+						TokenLossProb: p,
+						Recovery:      faults.Recovery{Fixed: recovery},
+						Seed:          cfg.Seed,
+					}
 				}
-
-				testP := satP.Set.Scale(margin)
-				wP, err := tokensim.NewWorkload(testP, n, tokensim.PhasingSynchronized, nil)
+				row, resP, resT, err := fb.faultRow(ctx, fmt.Sprintf("loss p=%g", p), fm)
 				if err != nil {
 					return Report{}, err
 				}
-				resP, err := tokensim.PDPSim{
-					Net: pdp.Net, Frame: pdp.Frame, Variant: core.Modified8025,
-					Workload: wP, AsyncSaturated: true,
-					TokenPass: tokensim.PassAverageHalfTheta,
-					Horizon:   10, Faults: faultsP,
-					Progress: obs,
-				}.RunContext(ctx)
-				if err != nil {
-					return Report{}, err
-				}
-
-				testT := satT.Set.Scale(margin)
-				wT, err := tokensim.NewWorkload(testT, n, tokensim.PhasingSynchronized, nil)
-				if err != nil {
-					return Report{}, err
-				}
-				simT, err := tokensim.NewTTPSimFromAnalysis(ttp, testT, wT)
-				if err != nil {
-					return Report{}, err
-				}
-				simT.AsyncSaturated = true
-				simT.Horizon = 10
-				simT.Faults = faultsT
-				simT.Progress = obs
-				resT, err := simT.RunContext(ctx)
-				if err != nil {
-					return Report{}, err
-				}
-
-				fmt.Fprintf(&b, "%12.4g %16d %10d %16d %10d\n",
-					p, resP.DeadlineMisses, resP.TokenLosses,
-					resT.DeadlineMisses, resT.TokenLosses)
-				rep.addValue(fmt.Sprintf("pdp_misses_p%g", p), float64(resP.DeadlineMisses))
-				rep.addValue(fmt.Sprintf("fddi_misses_p%g", p), float64(resT.DeadlineMisses))
-
+				b.WriteString(row)
+				record(fmt.Sprintf("p%g", p), resP, resT)
 				if p == 0 && (resP.DeadlineMisses > 0 || resT.DeadlineMisses > 0) {
 					rep.Pass = false
 					rep.notef("fault-free baseline missed deadlines")
 				}
+				if resP.DeadlineMisses < prevP || resT.DeadlineMisses < prevT {
+					rep.notef("non-monotone misses across loss sweep (statistical slack)")
+				}
+				prevP, prevT = resP.DeadlineMisses, resT.DeadlineMisses
 			}
-			rep.notef("both protocols absorb rare faults within their slack; misses appear as loss rate × recovery approaches the per-period slack")
+
+			// Bursty-corruption sweep: Gilbert–Elliott channel, growing burst
+			// length at fixed mean gap — same steady-state corruption applied
+			// in longer clumps.
+			for _, burst := range burstLens {
+				fm := &tokensim.Faults{
+					Channel: faults.Channel{
+						Kind:             faults.ChannelGilbertElliott,
+						BurstCorruptProb: 0.5,
+						MeanBurst:        burst,
+						MeanGap:          1000,
+					},
+					Seed: cfg.Seed,
+				}
+				row, resP, resT, err := fb.faultRow(ctx, fmt.Sprintf("gilbert burst=%g", burst), fm)
+				if err != nil {
+					return Report{}, err
+				}
+				b.WriteString(row)
+				record(fmt.Sprintf("burst%g", burst), resP, resT)
+				if resP.CorruptedFrames == 0 && resT.CorruptedFrames == 0 {
+					rep.Pass = false
+					rep.notef("gilbert channel corrupted no frames at burst=%g", burst)
+				}
+			}
+
+			// Crash/restart point: flaky stations with bypass latency.
+			if !cfg.Quick {
+				fm := &tokensim.Faults{
+					Crash: faults.Crash{Rate: 0.5, MeanDowntime: 50e-3, Bypass: 1e-4},
+					Seed:  cfg.Seed,
+				}
+				row, resP, resT, err := fb.faultRow(ctx, "crash rate=0.5/s", fm)
+				if err != nil {
+					return Report{}, err
+				}
+				b.WriteString(row)
+				record("crash", resP, resT)
+				rep.addValue("pdp_crashes", float64(resP.Crashes))
+				rep.addValue("fddi_crashes", float64(resT.Crashes))
+			}
+
+			rep.notef("both protocols absorb rare faults within their slack; sustained faults starve individual streams before the aggregate shows it")
 			rep.Text = b.String()
 			return rep, nil
 		},

@@ -1,0 +1,75 @@
+package expt
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ringsched/internal/tokensim"
+)
+
+// The acceptance bar: with every fault probability zero, the experiment
+// table rows must be byte-identical whether no fault model is configured at
+// all or an inactive one is passed through the full simulation pipeline.
+func TestFaultRowInactiveModelByteEqual(t *testing.T) {
+	cfg := Config{Quick: true}.withDefaults()
+	fb, err := newFaultBench(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	rowNil, resPNil, resTNil, err := fb.faultRow(ctx, "clean", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowZero, resPZero, resTZero, err := fb.faultRow(ctx, "clean", &tokensim.Faults{Seed: cfg.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowNil != rowZero {
+		t.Errorf("zero-fault rows differ:\nnil:  %q\nzero: %q", rowNil, rowZero)
+	}
+	if !reflect.DeepEqual(resPNil, resPZero) {
+		t.Error("PDP results diverge between nil and inactive fault model")
+	}
+	if !reflect.DeepEqual(resTNil, resTZero) {
+		t.Error("TTP results diverge between nil and inactive fault model")
+	}
+}
+
+// The whole EXT-FAULT table must be deterministic for a fixed seed: two
+// full quick runs render byte-identical text.
+func TestFaultExperimentDeterministicTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment run")
+	}
+	e, err := ByID("EXT-FAULT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Quick: true}
+	first, err := RunOne(context.Background(), e, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RunOne(context.Background(), e, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Text != second.Text {
+		t.Errorf("EXT-FAULT table not deterministic:\n--- first ---\n%s--- second ---\n%s",
+			first.Text, second.Text)
+	}
+	if !first.Pass {
+		t.Errorf("EXT-FAULT failed: %v\n%s", first.Notes, first.Text)
+	}
+	if !strings.Contains(first.Text, "worst") {
+		t.Error("table lacks the per-stream 'worst' column")
+	}
+	for _, key := range []string{"pdp_worst_stream_p0", "fddi_worst_stream_p0"} {
+		if _, ok := first.Values[key]; !ok {
+			t.Errorf("missing per-stream value %q in %v", key, first.Values)
+		}
+	}
+}

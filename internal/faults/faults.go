@@ -1,0 +1,448 @@
+// Package faults models realistic token ring failure processes for the
+// simulators in internal/tokensim and the degraded-mode analysis in
+// internal/core: explicit token loss with an event-driven claim/beacon
+// recovery process, frame corruption on Bernoulli or Gilbert–Elliott
+// (bursty) channels with CRC-detect-and-retransmit, and station
+// crash/restart with bypass reconfiguration latency.
+//
+// The paper's guarantees (Theorems 4.1/5.1) assume a healthy ring, but its
+// motivating deployments — SAFENET, FDDI fieldbuses — care precisely about
+// what survives token loss, media errors and station failures. This package
+// is the single source of truth for those failure processes; the analysis
+// layer folds them back into the guarantees through core.FaultBudget.
+//
+// Every random decision is drawn from a stream that is a pure function of
+// (Model.Seed, station, purpose), so fault runs are reproducible at any
+// worker count and enabling one fault process never perturbs another's
+// sample path.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// DefaultClaimRounds is the number of full token circulations the
+// claim/purge process is charged when Recovery.ClaimRounds is unset: one
+// round of claim-frame bidding plus one purge round, matching the classic
+// token ring recovery sequence.
+const DefaultClaimRounds = 2
+
+// Errors returned by model validation.
+var (
+	ErrBadProbability = errors.New("faults: probability must be in [0, 1]")
+	ErrBadDuration    = errors.New("faults: duration must be non-negative and finite")
+	ErrBadChannel     = errors.New("faults: unknown channel kind")
+	ErrBadDwell       = errors.New("faults: Gilbert–Elliott dwell times must be ≥ 1 frame")
+	ErrCrashNeedsDown = errors.New("faults: crash process requires a positive mean downtime")
+	ErrBadClaimRounds = errors.New("faults: claim rounds must be non-negative")
+)
+
+// Recovery configures what one token loss costs. The zero value selects the
+// event-driven claim process with default parameters: the ring is dead for
+// Detect seconds (standby/valid-transmission timer expiry) and then for
+// ClaimRounds full token circulations of claim/purge bidding, so the
+// charged duration scales with the ring latency Θ instead of being a fixed
+// constant.
+type Recovery struct {
+	// Fixed, when positive, bypasses the event model and charges a constant
+	// recovery duration per loss (the legacy model kept for comparisons).
+	Fixed float64
+	// Detect is the dead-ring time before the loss is noticed — the
+	// monitor's valid-transmission timer for 802.5, TVX expiry for FDDI.
+	Detect float64
+	// ClaimRounds is the number of full token circulations the claim/purge
+	// bidding needs once the loss is detected; 0 means DefaultClaimRounds.
+	ClaimRounds int
+}
+
+// Duration returns the medium dead time charged for one token loss on a
+// ring with circulation time theta.
+func (r Recovery) Duration(theta float64) float64 {
+	if r.Fixed > 0 {
+		return r.Fixed
+	}
+	rounds := r.ClaimRounds
+	if rounds <= 0 {
+		rounds = DefaultClaimRounds
+	}
+	return r.Detect + float64(rounds)*theta
+}
+
+func (r Recovery) validate() error {
+	for _, d := range []float64{r.Fixed, r.Detect} {
+		if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return ErrBadDuration
+		}
+	}
+	if r.ClaimRounds < 0 {
+		return ErrBadClaimRounds
+	}
+	return nil
+}
+
+// ChannelKind selects the frame-corruption process.
+type ChannelKind int
+
+const (
+	// ChannelClean delivers every frame intact (the zero value).
+	ChannelClean ChannelKind = iota
+	// ChannelBernoulli corrupts each frame independently with CorruptProb.
+	ChannelBernoulli
+	// ChannelGilbertElliott is the classic two-state bursty channel: a
+	// "good" state corrupting with CorruptProb and a "bad" state corrupting
+	// with BurstCorruptProb, with geometric dwell times MeanGap and
+	// MeanBurst (in frames). It models the error clustering real media
+	// exhibit, which a Bernoulli coin cannot.
+	ChannelGilbertElliott
+)
+
+// String implements fmt.Stringer.
+func (k ChannelKind) String() string {
+	switch k {
+	case ChannelClean:
+		return "clean"
+	case ChannelBernoulli:
+		return "bernoulli"
+	case ChannelGilbertElliott:
+		return "gilbert-elliott"
+	default:
+		return fmt.Sprintf("ChannelKind(%d)", int(k))
+	}
+}
+
+// Channel configures frame corruption. A corrupted frame still occupies the
+// medium for its full effective time — the receiver's CRC check discards it
+// and the sender retransmits on a later service — so corruption converts
+// directly into extra load.
+type Channel struct {
+	// Kind selects the process; ChannelClean disables corruption.
+	Kind ChannelKind
+	// CorruptProb is the per-frame corruption probability: the whole story
+	// for ChannelBernoulli, the good-state residual error rate for
+	// ChannelGilbertElliott.
+	CorruptProb float64
+	// BurstCorruptProb is the bad-state corruption probability
+	// (Gilbert–Elliott only).
+	BurstCorruptProb float64
+	// MeanBurst is the mean bad-state dwell in frames (Gilbert–Elliott).
+	MeanBurst float64
+	// MeanGap is the mean good-state dwell in frames (Gilbert–Elliott).
+	MeanGap float64
+}
+
+// SteadyStateCorruption returns the long-run fraction of frames the channel
+// corrupts — the retransmission overhead the availability discount charges.
+func (c Channel) SteadyStateCorruption() float64 {
+	switch c.Kind {
+	case ChannelBernoulli:
+		return c.CorruptProb
+	case ChannelGilbertElliott:
+		bad := c.MeanBurst / (c.MeanBurst + c.MeanGap)
+		return bad*c.BurstCorruptProb + (1-bad)*c.CorruptProb
+	default:
+		return 0
+	}
+}
+
+func (c Channel) validate() error {
+	switch c.Kind {
+	case ChannelClean:
+		return nil
+	case ChannelBernoulli:
+		return prob(c.CorruptProb)
+	case ChannelGilbertElliott:
+		if err := prob(c.CorruptProb); err != nil {
+			return err
+		}
+		if err := prob(c.BurstCorruptProb); err != nil {
+			return err
+		}
+		if c.MeanBurst < 1 || c.MeanGap < 1 ||
+			math.IsNaN(c.MeanBurst) || math.IsNaN(c.MeanGap) ||
+			math.IsInf(c.MeanBurst, 0) || math.IsInf(c.MeanGap, 0) {
+			return ErrBadDwell
+		}
+		return nil
+	default:
+		return ErrBadChannel
+	}
+}
+
+// active reports whether the channel can ever corrupt a frame.
+func (c Channel) active() bool {
+	switch c.Kind {
+	case ChannelBernoulli:
+		return c.CorruptProb > 0
+	case ChannelGilbertElliott:
+		return c.CorruptProb > 0 || c.BurstCorruptProb > 0
+	default:
+		return false
+	}
+}
+
+// Crash configures the station crash/restart process: each station fails
+// after an exponential up time and returns after an exponential downtime.
+// While down, a station transmits nothing (its synchronous arrivals keep
+// queueing against their deadlines); each departure and each reinsertion
+// pauses the whole ring for Bypass seconds of beacon/bypass
+// reconfiguration.
+type Crash struct {
+	// Rate is crashes per second of simulated time, per station; 0 disables
+	// the process.
+	Rate float64
+	// MeanDowntime is the mean repair duration in seconds (exponential).
+	MeanDowntime float64
+	// Bypass is the ring reconfiguration pause charged when a station
+	// leaves or rejoins the ring.
+	Bypass float64
+}
+
+func (c Crash) validate() error {
+	if c.Rate < 0 || math.IsNaN(c.Rate) || math.IsInf(c.Rate, 0) {
+		return fmt.Errorf("faults: crash rate %w", ErrBadDuration)
+	}
+	for _, d := range []float64{c.MeanDowntime, c.Bypass} {
+		if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return ErrBadDuration
+		}
+	}
+	if c.Rate > 0 && c.MeanDowntime <= 0 {
+		return ErrCrashNeedsDown
+	}
+	return nil
+}
+
+// Model is a composable description of every fault process injected into
+// one simulation run. The zero value is a healthy ring. Simulators accept a
+// *Model; a nil or inactive model reproduces the clean-ring sample path
+// bit-identically.
+type Model struct {
+	// TokenLossProb is the probability that the token is lost at one token
+	// service step: a station visit for the TTP simulator, a frame service
+	// for the PDP simulator, and every hop for the reservation MAC.
+	TokenLossProb float64
+	// Recovery prices each loss; the zero value selects the event-driven
+	// claim process (Detect + DefaultClaimRounds·Θ).
+	Recovery Recovery
+	// Channel corrupts synchronous frames; the zero value is clean.
+	Channel Channel
+	// Crash fails and restarts stations; the zero value never crashes.
+	Crash Crash
+	// Seed derives the per-(station, purpose) random streams. Runs with
+	// equal Seed and model are bit-identical regardless of scheduling.
+	Seed int64
+}
+
+// Validate reports the first invalid field, or nil. A nil model is always
+// valid.
+func (m *Model) Validate() error {
+	if m == nil {
+		return nil
+	}
+	if err := prob(m.TokenLossProb); err != nil {
+		return err
+	}
+	if err := m.Recovery.validate(); err != nil {
+		return err
+	}
+	if err := m.Channel.validate(); err != nil {
+		return err
+	}
+	return m.Crash.validate()
+}
+
+// Active reports whether the model can inject any fault at all. Inactive
+// models (nil, or every probability zero) cost nothing and change nothing.
+func (m *Model) Active() bool {
+	if m == nil {
+		return false
+	}
+	return m.TokenLossProb > 0 || m.Channel.active() || m.Crash.Rate > 0
+}
+
+func prob(p float64) error {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return ErrBadProbability
+	}
+	return nil
+}
+
+// Stream purposes: distinct sub-streams per station so enabling one fault
+// process never shifts another's sample path.
+const (
+	purposeLoss uint64 = iota + 1
+	purposeChannel
+	purposeCrash
+)
+
+// splitmix64 is the SplitMix64 finalizer — a cheap avalanche so that
+// related (seed, station, purpose) triples yield unrelated streams.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func substream(seed int64, station int, purpose uint64) *rand.Rand {
+	h := splitmix64(uint64(seed) ^ splitmix64(uint64(station+1)<<8|purpose))
+	return rand.New(rand.NewSource(int64(h)))
+}
+
+// interval is one [Start, End) station downtime.
+type interval struct {
+	start, end float64
+}
+
+// stationFaults is one station's per-run fault state.
+type stationFaults struct {
+	loss    *rand.Rand
+	channel *rand.Rand
+	// bad is the Gilbert–Elliott channel state.
+	bad  bool
+	down []interval
+}
+
+// Injector is the per-run realization of a Model: per-station random
+// streams, channel states, and the precomputed crash schedule. Build one
+// per simulation run with Model.Injector; all methods are safe on a nil
+// receiver (a healthy ring).
+type Injector struct {
+	model Model
+	theta float64
+
+	st []stationFaults
+	// bypassTimes holds every ring-reconfiguration instant (a station
+	// leaving or rejoining), ascending; bypassIdx is the charge cursor.
+	bypassTimes []float64
+	bypassIdx   int
+	crashes     int
+}
+
+// Injector realizes the model for one run on a ring of stations with
+// circulation time theta, simulated until horizon. It returns nil when the
+// model cannot inject anything, so the caller's fast path stays untouched.
+func (m *Model) Injector(stations int, theta, horizon float64) *Injector {
+	if !m.Active() {
+		return nil
+	}
+	in := &Injector{model: *m, theta: theta, st: make([]stationFaults, stations)}
+	for i := range in.st {
+		s := &in.st[i]
+		if m.TokenLossProb > 0 {
+			s.loss = substream(m.Seed, i, purposeLoss)
+		}
+		if m.Channel.active() {
+			s.channel = substream(m.Seed, i, purposeChannel)
+		}
+		if m.Crash.Rate > 0 {
+			rng := substream(m.Seed, i, purposeCrash)
+			t := rng.ExpFloat64() / m.Crash.Rate
+			for t < horizon {
+				d := rng.ExpFloat64() * m.Crash.MeanDowntime
+				s.down = append(s.down, interval{start: t, end: t + d})
+				in.bypassTimes = append(in.bypassTimes, t, math.Min(t+d, horizon))
+				in.crashes++
+				t += d + rng.ExpFloat64()/m.Crash.Rate
+			}
+		}
+	}
+	sort.Float64s(in.bypassTimes)
+	return in
+}
+
+// TokenLost draws the loss decision for one token service step at station.
+func (in *Injector) TokenLost(station int) bool {
+	if in == nil || in.model.TokenLossProb <= 0 {
+		return false
+	}
+	return in.st[station].loss.Float64() < in.model.TokenLossProb
+}
+
+// RecoveryDuration is the medium dead time of one claim/purge recovery.
+func (in *Injector) RecoveryDuration() float64 {
+	if in == nil {
+		return 0
+	}
+	return in.model.Recovery.Duration(in.theta)
+}
+
+// FrameCorrupted draws the channel decision for one synchronous frame sent
+// by station. Gilbert–Elliott state advances one frame per call.
+func (in *Injector) FrameCorrupted(station int) bool {
+	if in == nil || !in.model.Channel.active() {
+		return false
+	}
+	ch := in.model.Channel
+	s := &in.st[station]
+	p := ch.CorruptProb
+	if ch.Kind == ChannelGilbertElliott {
+		if s.bad {
+			if s.channel.Float64() < 1/ch.MeanBurst {
+				s.bad = false
+			}
+		} else if s.channel.Float64() < 1/ch.MeanGap {
+			s.bad = true
+		}
+		if s.bad {
+			p = ch.BurstCorruptProb
+		}
+	}
+	return p > 0 && s.channel.Float64() < p
+}
+
+// Down reports whether station is crashed at simulation time now.
+func (in *Injector) Down(station int, now float64) bool {
+	if in == nil || station >= len(in.st) {
+		return false
+	}
+	iv := in.st[station].down
+	j := sort.Search(len(iv), func(k int) bool { return iv[k].end > now })
+	return j < len(iv) && iv[j].start <= now
+}
+
+// NextRestart returns the earliest instant strictly after now at which a
+// currently-down station rejoins the ring, or +Inf when none is down.
+func (in *Injector) NextRestart(now float64) float64 {
+	next := math.Inf(1)
+	if in == nil {
+		return next
+	}
+	for i := range in.st {
+		iv := in.st[i].down
+		j := sort.Search(len(iv), func(k int) bool { return iv[k].end > now })
+		if j < len(iv) && iv[j].start <= now && iv[j].end < next {
+			next = iv[j].end
+		}
+	}
+	return next
+}
+
+// TakeBypass returns the accumulated beacon/bypass reconfiguration pause
+// for every crash or restart that occurred at or before now and has not
+// been charged yet. Callers must invoke it with non-decreasing now — true
+// inside a discrete-event loop.
+func (in *Injector) TakeBypass(now float64) float64 {
+	if in == nil || in.model.Crash.Bypass == 0 {
+		return 0
+	}
+	var total float64
+	for in.bypassIdx < len(in.bypassTimes) && in.bypassTimes[in.bypassIdx] <= now {
+		total += in.model.Crash.Bypass
+		in.bypassIdx++
+	}
+	return total
+}
+
+// CrashCount is the number of station crash events scheduled within the
+// horizon.
+func (in *Injector) CrashCount() int {
+	if in == nil {
+		return 0
+	}
+	return in.crashes
+}

@@ -1,0 +1,191 @@
+package faults
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestModelValidate(t *testing.T) {
+	var nilModel *Model
+	if err := nilModel.Validate(); err != nil {
+		t.Errorf("nil model: %v", err)
+	}
+	if nilModel.Active() {
+		t.Error("nil model active")
+	}
+	cases := []struct {
+		name string
+		m    Model
+		want error
+	}{
+		{"zero", Model{}, nil},
+		{"loss", Model{TokenLossProb: 0.5}, nil},
+		{"negative prob", Model{TokenLossProb: -0.1}, ErrBadProbability},
+		{"prob > 1", Model{TokenLossProb: 1.5}, ErrBadProbability},
+		{"nan prob", Model{TokenLossProb: math.NaN()}, ErrBadProbability},
+		{"negative detect", Model{Recovery: Recovery{Detect: -1}}, ErrBadDuration},
+		{"inf fixed", Model{Recovery: Recovery{Fixed: math.Inf(1)}}, ErrBadDuration},
+		{"negative rounds", Model{Recovery: Recovery{ClaimRounds: -1}}, ErrBadClaimRounds},
+		{"bernoulli ok", Model{Channel: Channel{Kind: ChannelBernoulli, CorruptProb: 0.1}}, nil},
+		{"bernoulli bad prob", Model{Channel: Channel{Kind: ChannelBernoulli, CorruptProb: 2}}, ErrBadProbability},
+		{"unknown channel", Model{Channel: Channel{Kind: ChannelKind(99)}}, ErrBadChannel},
+		{"gilbert ok", Model{Channel: Channel{Kind: ChannelGilbertElliott,
+			BurstCorruptProb: 0.5, MeanBurst: 4, MeanGap: 100}}, nil},
+		{"gilbert short dwell", Model{Channel: Channel{Kind: ChannelGilbertElliott,
+			BurstCorruptProb: 0.5, MeanBurst: 0.5, MeanGap: 100}}, ErrBadDwell},
+		{"crash ok", Model{Crash: Crash{Rate: 0.1, MeanDowntime: 1e-3}}, nil},
+		{"crash no downtime", Model{Crash: Crash{Rate: 0.1}}, ErrCrashNeedsDown},
+		{"crash negative bypass", Model{Crash: Crash{Rate: 0.1, MeanDowntime: 1e-3, Bypass: -1}}, ErrBadDuration},
+	}
+	for _, tc := range cases {
+		err := tc.m.Validate()
+		if tc.want == nil && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if tc.want != nil && !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestRecoveryDuration(t *testing.T) {
+	theta := 100e-6
+	if got := (Recovery{Fixed: 2e-3}).Duration(theta); got != 2e-3 {
+		t.Errorf("fixed: %v", got)
+	}
+	// Zero value: event-driven claim of DefaultClaimRounds circulations.
+	if got := (Recovery{}).Duration(theta); got != float64(DefaultClaimRounds)*theta {
+		t.Errorf("default claim: %v", got)
+	}
+	if got := (Recovery{Detect: 1e-3, ClaimRounds: 3}).Duration(theta); got != 1e-3+3*theta {
+		t.Errorf("explicit claim: %v", got)
+	}
+}
+
+func TestInactiveModelHasNilInjector(t *testing.T) {
+	zero := &Model{Recovery: Recovery{Fixed: 5e-3}, Seed: 42}
+	if zero.Active() {
+		t.Fatal("zero-probability model reported active")
+	}
+	if in := zero.Injector(8, 1e-4, 10); in != nil {
+		t.Fatal("inactive model produced an injector")
+	}
+	var nilInj *Injector
+	if nilInj.TokenLost(0) || nilInj.FrameCorrupted(0) || nilInj.Down(0, 1) {
+		t.Error("nil injector injected a fault")
+	}
+	if nilInj.RecoveryDuration() != 0 || nilInj.TakeBypass(1) != 0 || nilInj.CrashCount() != 0 {
+		t.Error("nil injector charged time")
+	}
+	if !math.IsInf(nilInj.NextRestart(0), 1) {
+		t.Error("nil injector has a restart")
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	m := &Model{
+		TokenLossProb: 0.2,
+		Channel: Channel{Kind: ChannelGilbertElliott,
+			BurstCorruptProb: 0.8, MeanBurst: 4, MeanGap: 20},
+		Crash: Crash{Rate: 1, MeanDowntime: 0.05, Bypass: 1e-3},
+		Seed:  7,
+	}
+	draw := func() ([]bool, []bool, []float64) {
+		in := m.Injector(4, 1e-4, 10)
+		var losses, corrupt []bool
+		for i := 0; i < 200; i++ {
+			losses = append(losses, in.TokenLost(i%4))
+			corrupt = append(corrupt, in.FrameCorrupted(i%4))
+		}
+		return losses, corrupt, in.bypassTimes
+	}
+	l1, c1, b1 := draw()
+	l2, c2, b2 := draw()
+	if !reflect.DeepEqual(l1, l2) || !reflect.DeepEqual(c1, c2) || !reflect.DeepEqual(b1, b2) {
+		t.Error("two injectors from the same model disagree")
+	}
+}
+
+// Enabling the corruption channel must not shift the token-loss sample
+// path: each process draws from its own (seed, station, purpose) stream.
+func TestSubstreamIndependence(t *testing.T) {
+	lossOnly := &Model{TokenLossProb: 0.3, Seed: 11}
+	both := &Model{TokenLossProb: 0.3, Seed: 11,
+		Channel: Channel{Kind: ChannelBernoulli, CorruptProb: 0.5}}
+	a := lossOnly.Injector(2, 1e-4, 1)
+	b := both.Injector(2, 1e-4, 1)
+	for i := 0; i < 500; i++ {
+		b.FrameCorrupted(i % 2) // interleave channel draws
+		if a.TokenLost(i%2) != b.TokenLost(i%2) {
+			t.Fatalf("loss stream diverged at draw %d", i)
+		}
+	}
+}
+
+func TestCrashScheduleAndBypass(t *testing.T) {
+	m := &Model{Crash: Crash{Rate: 2, MeanDowntime: 0.1, Bypass: 5e-3}, Seed: 3}
+	in := m.Injector(3, 1e-4, 20)
+	if in.CrashCount() == 0 {
+		t.Fatal("no crashes over 20 s at rate 2/s")
+	}
+	// Downtime intervals must be consistent with Down().
+	st := in.st[0]
+	if len(st.down) == 0 {
+		t.Fatal("station 0 never crashed")
+	}
+	iv := st.down[0]
+	mid := (iv.start + iv.end) / 2
+	if !in.Down(0, mid) {
+		t.Error("station up in the middle of its downtime")
+	}
+	if in.Down(0, iv.start-1e-9) {
+		t.Error("station down before its crash")
+	}
+	if got := in.NextRestart(mid); got != iv.end {
+		t.Errorf("NextRestart = %v, want %v", got, iv.end)
+	}
+	// Every boundary charges one bypass; charges drain monotonically.
+	total := in.TakeBypass(20)
+	want := float64(len(in.bypassTimes)) * 5e-3
+	if math.Abs(total-want) > 1e-12 {
+		t.Errorf("bypass total = %v, want %v", total, want)
+	}
+	if in.TakeBypass(20) != 0 {
+		t.Error("bypass charged twice")
+	}
+}
+
+func TestGilbertElliottBurstiness(t *testing.T) {
+	// With pgood=0 and pbad=1, the corruption rate equals the bad-state
+	// occupancy; check it tracks MeanBurst/(MeanBurst+MeanGap).
+	m := &Model{Channel: Channel{Kind: ChannelGilbertElliott,
+		BurstCorruptProb: 1, MeanBurst: 10, MeanGap: 40}, Seed: 5}
+	in := m.Injector(1, 1e-4, 1)
+	n, bad := 200000, 0
+	for i := 0; i < n; i++ {
+		if in.FrameCorrupted(0) {
+			bad++
+		}
+	}
+	got := float64(bad) / float64(n)
+	want := m.Channel.SteadyStateCorruption()
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("corruption fraction %v, want ≈ %v", got, want)
+	}
+}
+
+func TestSteadyStateCorruption(t *testing.T) {
+	if got := (Channel{}).SteadyStateCorruption(); got != 0 {
+		t.Errorf("clean channel corrupts: %v", got)
+	}
+	if got := (Channel{Kind: ChannelBernoulli, CorruptProb: 0.25}).SteadyStateCorruption(); got != 0.25 {
+		t.Errorf("bernoulli: %v", got)
+	}
+	ge := Channel{Kind: ChannelGilbertElliott, CorruptProb: 0.1,
+		BurstCorruptProb: 0.9, MeanBurst: 1, MeanGap: 3}
+	if got, want := ge.SteadyStateCorruption(), 0.25*0.9+0.75*0.1; math.Abs(got-want) > 1e-12 {
+		t.Errorf("gilbert: %v, want %v", got, want)
+	}
+}

@@ -6,10 +6,23 @@ import (
 	"testing"
 
 	"ringsched/internal/core"
+	"ringsched/internal/faults"
 	"ringsched/internal/message"
 	"ringsched/internal/progress"
 	"ringsched/internal/sim"
 )
+
+// sweepFaults is an everything-on model for exercising the fault branches
+// of the RunContext paths.
+func sweepFaults() *Faults {
+	return &Faults{
+		TokenLossProb: 0.2,
+		Recovery:      faults.Recovery{Fixed: 20e-6},
+		Channel:       faults.Channel{Kind: faults.ChannelBernoulli, CorruptProb: 0.2},
+		Crash:         faults.Crash{Rate: 50, MeanDowntime: 1e-3, Bypass: 5e-6},
+		Seed:          9,
+	}
+}
 
 // busyPDPWorkload releases frequently enough to generate thousands of
 // events over the horizon.
@@ -116,6 +129,59 @@ func TestReservationSimMaxEvents(t *testing.T) {
 		Workload:  busyPDPWorkload(),
 		Horizon:   0.1,
 		MaxEvents: 50,
+	}.RunContext(context.Background())
+	if !errors.Is(err, sim.ErrMaxEvents) {
+		t.Fatalf("err = %v, want sim.ErrMaxEvents", err)
+	}
+}
+
+// The RunContext guards must hold with fault injection active: MaxEvents
+// still trips, pre-canceled contexts still abort, and a full faulted run
+// still completes and reports fault statistics.
+func TestPDPSimMaxEventsWithFaults(t *testing.T) {
+	_, err := PDPSim{
+		Net: tinyPlant(), Frame: tinyFrame(), Variant: core.Modified8025,
+		Workload: busyPDPWorkload(), Horizon: 0.1,
+		Faults: sweepFaults(), MaxEvents: 50,
+	}.RunContext(context.Background())
+	if !errors.Is(err, sim.ErrMaxEvents) {
+		t.Fatalf("err = %v, want sim.ErrMaxEvents", err)
+	}
+}
+
+func TestTTPSimPreCanceledWithFaults(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := ttpTinySim(36, 20e-6)
+	s.Faults = sweepFaults()
+	if _, err := s.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestReservationSimFaultedRunCompletes(t *testing.T) {
+	var counter progress.Counter
+	res, err := ReservationSim{
+		Net: tinyPlant(), Frame: tinyFrame(),
+		Workload: busyPDPWorkload(), Horizon: 0.05,
+		Faults: sweepFaults(), Progress: &counter,
+	}.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TokenLosses == 0 && res.CorruptedFrames == 0 && res.Crashes == 0 {
+		t.Error("everything-on fault model injected nothing")
+	}
+	if counter.SimEvents() == 0 {
+		t.Error("progress observer saw no simulator advance")
+	}
+}
+
+func TestReservationSimMaxEventsWithFaults(t *testing.T) {
+	_, err := ReservationSim{
+		Net: tinyPlant(), Frame: tinyFrame(),
+		Workload: busyPDPWorkload(), Horizon: 0.1,
+		Faults: sweepFaults(), MaxEvents: 50,
 	}.RunContext(context.Background())
 	if !errors.Is(err, sim.ErrMaxEvents) {
 		t.Fatalf("err = %v, want sim.ErrMaxEvents", err)

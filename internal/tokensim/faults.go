@@ -1,58 +1,16 @@
 package tokensim
 
-import (
-	"errors"
-	"math/rand"
-)
+import "ringsched/internal/faults"
 
-// ErrFaultsNeedRand is returned when a fault model with a positive loss
-// probability has no random source.
-var ErrFaultsNeedRand = errors.New("tokensim: fault model requires a non-nil Rng")
-
-// Faults injects token-loss failures into a simulation. Real token rings
-// recover from a lost token through a claim/purge process that costs ring
-// time; while it runs, no station transmits. The paper's protocols both
-// assume a healthy ring — this model measures how much of the analytical
-// guarantee survives fault recovery (the SAFENET survivability setting
-// that motivates the timed token protocol).
-type Faults struct {
-	// TokenLossProb is the probability that the token is lost at any
-	// single token service step: a station visit for the TTP simulator, a
-	// frame service for PDPSim, and every hop for the reservation MAC.
-	TokenLossProb float64
-	// RecoveryTime is the claim-process duration charged for each loss;
-	// the medium carries nothing while it runs.
-	RecoveryTime float64
-	// Rng drives the loss process. Required when TokenLossProb > 0.
-	Rng *rand.Rand
-}
-
-// Validate reports the first invalid field, or nil. A nil fault model is
-// always valid.
-func (f *Faults) Validate() error {
-	if f == nil {
-		return nil
-	}
-	if f.TokenLossProb < 0 || f.TokenLossProb > 1 {
-		return errors.New("tokensim: token loss probability must be in [0, 1]")
-	}
-	if f.RecoveryTime < 0 {
-		return errors.New("tokensim: recovery time must be non-negative")
-	}
-	if f.TokenLossProb > 0 && f.Rng == nil {
-		return ErrFaultsNeedRand
-	}
-	return nil
-}
-
-// roll returns the recovery delay to charge at one token service step:
-// RecoveryTime when the token is lost there, 0 otherwise.
-func (f *Faults) roll() float64 {
-	if f == nil || f.TokenLossProb == 0 {
-		return 0
-	}
-	if f.Rng.Float64() < f.TokenLossProb {
-		return f.RecoveryTime
-	}
-	return 0
-}
+// Faults is the composable fault model a simulation run injects: token loss
+// with an event-driven claim/beacon recovery, frame corruption on Bernoulli
+// or Gilbert–Elliott channels with CRC-detect-and-retransmit, and station
+// crash/restart with bypass latency. It aliases faults.Model — see package
+// ringsched/internal/faults for the field documentation and the named CLI
+// scenarios.
+//
+// A nil (or all-zero) model reproduces the clean-ring sample path
+// bit-identically: the simulators build no injector and take no fault
+// branches. Randomness comes from per-(Seed, station, purpose) streams, so
+// fault runs are reproducible at any worker count.
+type Faults = faults.Model

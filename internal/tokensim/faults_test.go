@@ -1,11 +1,10 @@
 package tokensim
 
 import (
-	"errors"
-	"math/rand"
 	"testing"
 
 	"ringsched/internal/core"
+	"ringsched/internal/faults"
 )
 
 func TestFaultsValidate(t *testing.T) {
@@ -19,30 +18,13 @@ func TestFaultsValidate(t *testing.T) {
 	if err := (&Faults{TokenLossProb: 1.5}).Validate(); err == nil {
 		t.Error("probability > 1 accepted")
 	}
-	if err := (&Faults{TokenLossProb: 0.1, RecoveryTime: -1, Rng: rand.New(rand.NewSource(1))}).Validate(); err == nil {
+	if err := (&Faults{Recovery: faults.Recovery{Fixed: -1}}).Validate(); err == nil {
 		t.Error("negative recovery accepted")
 	}
-	if err := (&Faults{TokenLossProb: 0.1, RecoveryTime: 1e-3}).Validate(); !errors.Is(err, ErrFaultsNeedRand) {
-		t.Errorf("missing rng: %v, want ErrFaultsNeedRand", err)
-	}
-	ok := &Faults{TokenLossProb: 0.1, RecoveryTime: 1e-3, Rng: rand.New(rand.NewSource(1))}
+	// Seedless models are fine: substreams derive from Seed's zero value.
+	ok := &Faults{TokenLossProb: 0.1, Recovery: faults.Recovery{Fixed: 1e-3}}
 	if err := ok.Validate(); err != nil {
 		t.Errorf("valid faults rejected: %v", err)
-	}
-}
-
-func TestFaultsRoll(t *testing.T) {
-	var nilFaults *Faults
-	if nilFaults.roll() != 0 {
-		t.Error("nil faults rolled a loss")
-	}
-	never := &Faults{TokenLossProb: 0}
-	if never.roll() != 0 {
-		t.Error("zero probability rolled a loss")
-	}
-	always := &Faults{TokenLossProb: 1, RecoveryTime: 5e-3, Rng: rand.New(rand.NewSource(1))}
-	if always.roll() != 5e-3 {
-		t.Error("certain loss did not charge recovery")
 	}
 }
 
@@ -65,7 +47,7 @@ func TestPDPSimTokenLoss(t *testing.T) {
 	}
 
 	faulty := base
-	faulty.Faults = &Faults{TokenLossProb: 1, RecoveryTime: 1.5, Rng: rand.New(rand.NewSource(2))}
+	faulty.Faults = &Faults{TokenLossProb: 1, Recovery: faults.Recovery{Fixed: 1.5}, Seed: 2}
 	res, err := faulty.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -81,6 +63,61 @@ func TestPDPSimTokenLoss(t *testing.T) {
 	}
 }
 
+func TestPDPSimEventDrivenRecoveryScalesWithTheta(t *testing.T) {
+	// The zero-value Recovery charges Detect + DefaultClaimRounds·Θ per
+	// loss, so total recovery must equal losses × that duration.
+	sim := PDPSim{
+		Net:      tinyPlant(),
+		Frame:    tinyFrame(),
+		Variant:  core.Modified8025,
+		Workload: onePDPStream(8),
+		Horizon:  5,
+		Faults:   &Faults{TokenLossProb: 1, Seed: 9},
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TokenLosses == 0 {
+		t.Fatal("no losses under certain loss")
+	}
+	per := float64(faults.DefaultClaimRounds) * sim.Net.Theta()
+	want := float64(res.TokenLosses) * per
+	if diff := res.RecoveryTime - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("recovery %v, want %d × %v = %v", res.RecoveryTime, res.TokenLosses, per, want)
+	}
+}
+
+func TestPDPSimCorruptionForcesRetransmission(t *testing.T) {
+	// A Bernoulli channel with certain corruption never delivers a frame:
+	// every message must miss, and corrupted frames must be counted.
+	sim := PDPSim{
+		Net:       tinyPlant(),
+		Frame:     tinyFrame(),
+		Variant:   core.Modified8025,
+		Workload:  onePDPStream(8),
+		Horizon:   2,
+		MaxEvents: 2_000_000,
+		Faults: &Faults{
+			Channel: faults.Channel{Kind: faults.ChannelBernoulli, CorruptProb: 1},
+			Seed:    4,
+		},
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CorruptedFrames == 0 {
+		t.Fatal("no corrupted frames under certain corruption")
+	}
+	if res.DeadlineMisses == 0 {
+		t.Error("total corruption delivered a message on time")
+	}
+	if res.TokenLosses != 0 {
+		t.Error("corruption-only model lost tokens")
+	}
+}
+
 func TestTTPSimTokenLossDegradesGracefully(t *testing.T) {
 	// Rare, short losses on a lightly loaded ring: recovery is charged
 	// but deadlines still hold (the slack absorbs it).
@@ -89,8 +126,8 @@ func TestTTPSimTokenLossDegradesGracefully(t *testing.T) {
 	sim.Horizon = 1
 	sim.Faults = &Faults{
 		TokenLossProb: 0.001,
-		RecoveryTime:  50e-6,
-		Rng:           rand.New(rand.NewSource(3)),
+		Recovery:      faults.Recovery{Fixed: 50e-6},
+		Seed:          3,
 	}
 	res, err := sim.Run()
 	if err != nil {
@@ -111,8 +148,8 @@ func TestTTPSimTokenLossSevere(t *testing.T) {
 	sim.Horizon = 0.5
 	sim.Faults = &Faults{
 		TokenLossProb: 0.5,
-		RecoveryTime:  2e-3,
-		Rng:           rand.New(rand.NewSource(4)),
+		Recovery:      faults.Recovery{Fixed: 2e-3},
+		Seed:          4,
 	}
 	res, err := sim.Run()
 	if err != nil {
@@ -123,16 +160,73 @@ func TestTTPSimTokenLossSevere(t *testing.T) {
 	}
 }
 
+func TestTTPSimLateCounterSuppression(t *testing.T) {
+	// With certain loss and a recovery longer than TTRT, every token
+	// forward triggers a recovery that pushes every rotation timer past
+	// TTRT, so each visit after the first finds its synchronous allocation
+	// suppressed (FDDI late-counter semantics). Only the message served on
+	// the very first visit can finish; everything else backlogs. A late
+	// token *without* suppression would still admit synchronous traffic,
+	// so a starved queue is the direct observable of the late counter.
+	sim := ttpTinySim(8, 20e-6)
+	sim.Workload.Streams[0].Period = 1e-3
+	sim.Horizon = 0.5
+	sim.Faults = &Faults{
+		TokenLossProb: 1,
+		Recovery:      faults.Recovery{Fixed: 2 * sim.TTRT},
+		Seed:          12,
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TokenLosses == 0 {
+		t.Fatal("no losses recorded")
+	}
+	finished := res.Stations[0].Completed + res.Stations[0].Missed
+	if finished > 1 {
+		t.Errorf("suppressed station finished %d messages, want ≤ 1", finished)
+	}
+	if res.DeadlineMisses == 0 {
+		t.Error("starved station missed no deadlines")
+	}
+}
+
+func TestCrashedStationStopsTransmitting(t *testing.T) {
+	// A station that is down for most of the horizon cannot keep its
+	// deadlines; the crash count and bypass recovery must be reported.
+	sim := ttpTinySim(8, 20e-6)
+	sim.Workload.Streams[0].Period = 1e-3
+	sim.Horizon = 0.5
+	sim.Faults = &Faults{
+		Crash: faults.Crash{Rate: 20, MeanDowntime: 50e-3, Bypass: 1e-4},
+		Seed:  6,
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashes == 0 {
+		t.Fatal("no crashes at rate 20/s over 0.5s")
+	}
+	if res.RecoveryTime == 0 {
+		t.Error("crash transitions charged no bypass time")
+	}
+	if res.DeadlineMisses == 0 {
+		t.Error("long downtimes missed no deadlines")
+	}
+}
+
 func TestSimRejectsInvalidFaults(t *testing.T) {
 	pdp := PDPSim{
 		Net:      tinyPlant(),
 		Frame:    tinyFrame(),
 		Variant:  core.Modified8025,
 		Workload: onePDPStream(8),
-		Faults:   &Faults{TokenLossProb: 0.5},
+		Faults:   &Faults{TokenLossProb: 1.5},
 	}
-	if _, err := pdp.Run(); !errors.Is(err, ErrFaultsNeedRand) {
-		t.Errorf("PDP: %v, want ErrFaultsNeedRand", err)
+	if _, err := pdp.Run(); err == nil {
+		t.Error("PDP: invalid faults accepted")
 	}
 	ttp := ttpTinySim(8, 20e-6)
 	ttp.Faults = &Faults{TokenLossProb: 2}

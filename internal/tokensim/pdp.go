@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"ringsched/internal/core"
+	"ringsched/internal/faults"
 	"ringsched/internal/frame"
 	"ringsched/internal/progress"
 	"ringsched/internal/ring"
@@ -100,8 +101,13 @@ type pdpRun struct {
 	asyncTime float64
 	tokenTime float64
 	passStats stats.Running
+
+	// inj is the fault injector for this run; nil on a healthy ring, in
+	// which case no fault branch below ever fires.
+	inj       *faults.Injector
 	losses    int
 	recovery  float64
+	corrupted int
 }
 
 // Run executes the simulation and returns the per-station outcome. It is
@@ -147,6 +153,7 @@ func (c PDPSim) RunContext(ctx context.Context) (Result, error) {
 	}
 
 	r := &pdpRun{cfg: c, horizon: horizon, idleSince: 0}
+	r.inj = c.Faults.Injector(c.Net.Stations, c.Net.Theta(), horizon)
 	r.stations = make([]*stationState, len(c.Workload.Streams))
 	for i, s := range c.Workload.Streams {
 		r.stations[i] = &stationState{stream: s, nextArrival: c.Workload.Offsets[i]}
@@ -169,18 +176,20 @@ func (c PDPSim) RunContext(ctx context.Context) (Result, error) {
 
 	stationResults, misses := collectStations(r.stations, horizon)
 	res := Result{
-		Protocol:       c.Variant.String(),
-		Horizon:        horizon,
-		Stations:       stationResults,
-		DeadlineMisses: misses,
-		SyncTime:       r.syncTime,
-		AsyncTime:      r.asyncTime,
-		TokenTime:      r.tokenTime,
-		RotationMean:   r.passStats.Mean(),
-		RotationMax:    r.passStats.Max(),
-		RotationN:      r.passStats.N(),
-		TokenLosses:    r.losses,
-		RecoveryTime:   r.recovery,
+		Protocol:        c.Variant.String(),
+		Horizon:         horizon,
+		Stations:        stationResults,
+		DeadlineMisses:  misses,
+		SyncTime:        r.syncTime,
+		AsyncTime:       r.asyncTime,
+		TokenTime:       r.tokenTime,
+		RotationMean:    r.passStats.Mean(),
+		RotationMax:     r.passStats.Max(),
+		RotationN:       r.passStats.N(),
+		TokenLosses:     r.losses,
+		RecoveryTime:    r.recovery,
+		CorruptedFrames: r.corrupted,
+		Crashes:         r.inj.CrashCount(),
 	}
 	res.IdleTime = math.Max(0, horizon-res.SyncTime-res.AsyncTime-res.TokenTime-res.RecoveryTime)
 	return res, nil
@@ -223,11 +232,11 @@ func (r *pdpRun) nextArrivalTime() float64 {
 // highestPriorityPending returns the station index with the highest
 // rate-monotonic priority pending frame, or -1. Shorter period wins; ties
 // break by station index, matching the deterministic order the analysis
-// assumes.
-func (r *pdpRun) highestPriorityPending() int {
+// assumes. Crashed stations cannot transmit; their queues wait.
+func (r *pdpRun) highestPriorityPending(now float64) int {
 	best := -1
 	for i, st := range r.stations {
-		if len(st.queue) == 0 {
+		if len(st.queue) == 0 || r.inj.Down(i, now) {
 			continue
 		}
 		if best == -1 || st.stream.Period < r.stations[best].stream.Period {
@@ -235,6 +244,17 @@ func (r *pdpRun) highestPriorityPending() int {
 		}
 	}
 	return best
+}
+
+// anyPending reports whether any station holds a queued frame (including
+// crashed stations whose service must wait for their restart).
+func (r *pdpRun) anyPending() bool {
+	for _, st := range r.stations {
+		if len(st.queue) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // advanceIdleToken rotates the free token for the time the medium sat
@@ -262,17 +282,30 @@ func (r *pdpRun) service() {
 		})
 	}
 
-	target := r.highestPriorityPending()
+	// Ring reconfiguration: every station crash or restart up to now pauses
+	// the whole ring for the beacon/bypass latency before service resumes.
+	if bp := r.inj.TakeBypass(now); bp > 0 {
+		r.recovery += bp
+		emit(r.cfg.Tracer, TraceEvent{Time: now, Kind: TraceRecovery, Duration: bp})
+		_, _ = r.engine.At(now+bp, r.service)
+		return
+	}
+
+	target := r.highestPriorityPending(now)
 	if target == -1 {
 		if r.cfg.AsyncSaturated {
 			r.serviceAsync(now)
 			return
 		}
-		// Idle: wake at the next synchronous arrival.
+		// Idle: wake at the next synchronous arrival — or at the next
+		// station restart when pending frames sit at crashed stations.
 		if math.IsNaN(r.idleSince) {
 			r.idleSince = now
 		}
 		next := r.nextArrivalTime()
+		if r.anyPending() {
+			next = math.Min(next, r.inj.NextRestart(now))
+		}
 		if next <= r.horizon {
 			// The only failure mode of At is scheduling in the past,
 			// impossible for a future arrival.
@@ -308,11 +341,6 @@ func (r *pdpRun) service() {
 		}
 		pass = float64(hops) * r.hopTime()
 	}
-	if lost := r.cfg.Faults.roll(); lost > 0 {
-		r.losses++
-		r.recovery += lost
-		pass += lost
-	}
 	r.tokenTime += pass
 	r.passStats.Add(pass)
 	r.tokenPos = target
@@ -320,16 +348,36 @@ func (r *pdpRun) service() {
 		emit(r.cfg.Tracer, TraceEvent{Time: now, Kind: TraceTokenPass, Station: target, Duration: pass})
 	}
 
+	// A lost token is rediscovered by the claim/beacon process: the medium
+	// is dead for the recovery duration before the frame goes out.
+	var rec float64
+	if r.inj.TokenLost(target) {
+		rec = r.inj.RecoveryDuration()
+		r.losses++
+		r.recovery += rec
+		emit(r.cfg.Tracer, TraceEvent{Time: now + pass, Kind: TraceRecovery, Station: target, Duration: rec})
+	}
+
 	payload := math.Min(msg.remainingBits, r.cfg.Frame.InfoBits)
 	eff := r.effectiveFrameTime(payload)
 	r.syncTime += eff
-	msg.remainingBits -= payload
-	finished := msg.remainingBits <= 0
-	emit(r.cfg.Tracer, TraceEvent{
-		Time: now + pass, Kind: TraceFrame, Station: target, Duration: eff, Detail: payload,
-	})
+	corrupted := r.inj.FrameCorrupted(target)
+	if corrupted {
+		// The frame held the medium but failed its CRC; the payload stays
+		// queued and retransmits on the next service.
+		r.corrupted++
+		emit(r.cfg.Tracer, TraceEvent{
+			Time: now + pass + rec, Kind: TraceCorrupt, Station: target, Duration: eff, Detail: payload,
+		})
+	} else {
+		msg.remainingBits -= payload
+		emit(r.cfg.Tracer, TraceEvent{
+			Time: now + pass + rec, Kind: TraceFrame, Station: target, Duration: eff, Detail: payload,
+		})
+	}
+	finished := !corrupted && msg.remainingBits <= 0
 
-	done := now + pass + eff
+	done := now + pass + rec + eff
 	_, _ = r.engine.At(done, func() {
 		if finished {
 			completed := st.queue[0]

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math"
 
+	"ringsched/internal/faults"
 	"ringsched/internal/frame"
 	"ringsched/internal/progress"
 	"ringsched/internal/ring"
@@ -101,9 +102,13 @@ type resRun struct {
 	syncTime  float64
 	asyncTime float64
 	tokenTime float64
+	passStats stats.Running
+
+	// inj is the fault injector for this run; nil on a healthy ring.
+	inj       *faults.Injector
 	recovery  float64
 	losses    int
-	passStats stats.Running
+	corrupted int
 	// lastService is when the previous frame finished, for inter-service
 	// gap statistics.
 	lastService float64
@@ -154,6 +159,7 @@ func (c ReservationSim) RunContext(ctx context.Context) (ReservationResult, erro
 	}
 
 	r := &resRun{cfg: c, horizon: horizon}
+	r.inj = c.Faults.Injector(c.Net.Stations, c.Net.Theta(), horizon)
 	r.stations = make([]*resStation, c.Net.Stations)
 	for i := range r.stations {
 		r.stations[i] = &resStation{}
@@ -178,18 +184,20 @@ func (c ReservationSim) RunContext(ctx context.Context) (ReservationResult, erro
 	stationResults, misses := collectStations(syncStates, horizon)
 	res := ReservationResult{
 		Result: Result{
-			Protocol:       "IEEE 802.5 (reservation MAC)",
-			Horizon:        horizon,
-			Stations:       stationResults,
-			DeadlineMisses: misses,
-			SyncTime:       r.syncTime,
-			AsyncTime:      r.asyncTime,
-			TokenTime:      r.tokenTime,
-			RotationMean:   r.passStats.Mean(),
-			RotationMax:    r.passStats.Max(),
-			RotationN:      r.passStats.N(),
-			TokenLosses:    r.losses,
-			RecoveryTime:   r.recovery,
+			Protocol:        "IEEE 802.5 (reservation MAC)",
+			Horizon:         horizon,
+			Stations:        stationResults,
+			DeadlineMisses:  misses,
+			SyncTime:        r.syncTime,
+			AsyncTime:       r.asyncTime,
+			TokenTime:       r.tokenTime,
+			RotationMean:    r.passStats.Mean(),
+			RotationMax:     r.passStats.Max(),
+			RotationN:       r.passStats.N(),
+			TokenLosses:     r.losses,
+			RecoveryTime:    r.recovery,
+			CorruptedFrames: r.corrupted,
+			Crashes:         r.inj.CrashCount(),
 		},
 		PriorityInversions: r.inversions,
 	}
@@ -286,6 +294,22 @@ func (r *resRun) tokenAt(idx int) {
 	}
 	st := r.stations[idx]
 
+	// Ring reconfiguration: crashes and restarts up to now pause the whole
+	// ring for the beacon/bypass latency, then the visit resumes.
+	if bp := r.inj.TakeBypass(now); bp > 0 {
+		r.recovery += bp
+		emit(r.cfg.Tracer, TraceEvent{Time: now, Kind: TraceRecovery, Station: idx, Duration: bp})
+		_, _ = r.engine.At(now+bp, func() { r.tokenAt(idx) })
+		return
+	}
+
+	// A crashed station is bypassed: it neither captures the token nor
+	// bids a reservation; the token passes straight through.
+	if r.inj.Down(idx, now) {
+		r.forwardToken(idx, now)
+		return
+	}
+
 	// Unstacking: a stacking station seeing the free token at its stacked
 	// priority decides whether to lower the ring priority.
 	if len(st.stack) > 0 && st.stack[len(st.stack)-1].new == r.tokenPrio {
@@ -338,9 +362,16 @@ func (r *resRun) transmit(idx, p int, now float64) {
 		payload = math.Min(msg.remainingBits, r.cfg.Frame.InfoBits)
 		eff = r.effectiveFrameTime(payload)
 		r.syncTime += eff
-		msg.remainingBits -= payload
-		finishMsg = msg.remainingBits <= 0
-		emit(r.cfg.Tracer, TraceEvent{Time: now, Kind: TraceFrame, Station: idx, Duration: eff, Detail: payload})
+		if r.inj.FrameCorrupted(idx) {
+			// The frame held the medium but failed its CRC; the payload
+			// stays queued for retransmission on a later capture.
+			r.corrupted++
+			emit(r.cfg.Tracer, TraceEvent{Time: now, Kind: TraceCorrupt, Station: idx, Duration: eff, Detail: payload})
+		} else {
+			msg.remainingBits -= payload
+			finishMsg = msg.remainingBits <= 0
+			emit(r.cfg.Tracer, TraceEvent{Time: now, Kind: TraceFrame, Station: idx, Duration: eff, Detail: payload})
+		}
 	}
 
 	if r.served {
@@ -388,18 +419,20 @@ func (r *resRun) transmit(idx, p int, now float64) {
 	})
 }
 
-// forwardToken moves the free token one hop; the token can be lost on any
-// hop, charging the fault model's recovery time.
+// forwardToken moves the free token one hop; a token lost on the hop is
+// rebuilt by the claim/beacon process, during which the medium is dead.
 func (r *resRun) forwardToken(idx int, now float64) {
-	lost := r.cfg.Faults.roll()
-	if lost > 0 {
+	var rec float64
+	if r.inj.TokenLost(idx) {
+		rec = r.inj.RecoveryDuration()
 		r.losses++
-		r.recovery += lost
+		r.recovery += rec
+		emit(r.cfg.Tracer, TraceEvent{Time: now, Kind: TraceRecovery, Station: idx, Duration: rec})
 	}
 	hop := r.hopTime()
 	r.tokenTime += hop
 	next := (idx + 1) % r.cfg.Net.Stations
-	at := now + hop + lost
+	at := now + hop + rec
 	if at <= r.horizon {
 		_, _ = r.engine.At(at, func() { r.tokenAt(next) })
 	}

@@ -7,6 +7,7 @@ import (
 
 	"ringsched/internal/breakdown"
 	"ringsched/internal/core"
+	"ringsched/internal/faults"
 	"ringsched/internal/message"
 )
 
@@ -222,7 +223,7 @@ func TestReservationValidation(t *testing.T) {
 		t.Error("negative horizon accepted")
 	}
 	bad = base
-	bad.Faults = &Faults{TokenLossProb: 0.2}
+	bad.Faults = &Faults{TokenLossProb: 2}
 	if _, err := bad.Run(); err == nil {
 		t.Error("invalid faults accepted")
 	}
@@ -236,8 +237,8 @@ func TestReservationTokenLoss(t *testing.T) {
 		Horizon:  5,
 		Faults: &Faults{
 			TokenLossProb: 1,
-			RecoveryTime:  1.5,
-			Rng:           rand.New(rand.NewSource(1)),
+			Recovery:      faults.Recovery{Fixed: 1.5},
+			Seed:          1,
 		},
 	}
 	res, err := sim.Run()

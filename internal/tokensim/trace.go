@@ -21,6 +21,12 @@ const (
 	TraceComplete
 	// TraceMiss is a message finishing after its deadline.
 	TraceMiss
+	// TraceRecovery is a claim/beacon recovery or bypass reconfiguration
+	// period during which the medium carries nothing.
+	TraceRecovery
+	// TraceCorrupt is a frame that occupied the medium but failed its CRC
+	// check; the payload must be retransmitted.
+	TraceCorrupt
 )
 
 // String implements fmt.Stringer.
@@ -38,6 +44,10 @@ func (k TraceKind) String() string {
 		return "complete"
 	case TraceMiss:
 		return "MISS"
+	case TraceRecovery:
+		return "recovery"
+	case TraceCorrupt:
+		return "CORRUPT"
 	default:
 		return fmt.Sprintf("TraceKind(%d)", int(k))
 	}
@@ -62,10 +72,10 @@ type TraceEvent struct {
 // String renders one event as a log line.
 func (e TraceEvent) String() string {
 	switch e.Kind {
-	case TraceFrame, TraceAsync:
+	case TraceFrame, TraceAsync, TraceCorrupt:
 		return fmt.Sprintf("%12.6fms %-8s stn=%-3d dur=%.3fus payload=%.0fb",
 			e.Time*1e3, e.Kind, e.Station, e.Duration*1e6, e.Detail)
-	case TraceTokenPass:
+	case TraceTokenPass, TraceRecovery:
 		return fmt.Sprintf("%12.6fms %-8s stn=%-3d dur=%.3fus",
 			e.Time*1e3, e.Kind, e.Station, e.Duration*1e6)
 	case TraceComplete, TraceMiss:

@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"ringsched/internal/core"
+	"ringsched/internal/faults"
 	"ringsched/internal/frame"
 	"ringsched/internal/message"
 	"ringsched/internal/progress"
@@ -96,6 +97,11 @@ type ttpStation struct {
 	// lastVisit is the previous token arrival, for rotation statistics.
 	lastVisit float64
 	visited   bool
+	// suppress is the FDDI late-counter effect of a claim/beacon recovery:
+	// when a recovery makes the token later than TTRT against this
+	// station's rotation timer, the station's synchronous allocation is
+	// suppressed for its next visit (one rotation), then the flag clears.
+	suppress bool
 }
 
 // ttpRun is the mutable state of one run.
@@ -109,8 +115,12 @@ type ttpRun struct {
 	asyncTime float64
 	tokenTime float64
 	rotation  stats.Running
+
+	// inj is the fault injector for this run; nil on a healthy ring.
+	inj       *faults.Injector
 	losses    int
 	recovery  float64
+	corrupted int
 }
 
 // Run executes the simulation. It is the uncancelable convenience wrapper
@@ -153,6 +163,7 @@ func (c TTPSim) RunContext(ctx context.Context) (Result, error) {
 	}
 
 	r := &ttpRun{cfg: c, horizon: horizon}
+	r.inj = c.Faults.Injector(c.Net.Stations, c.Net.Theta(), horizon)
 	r.stations = make([]*ttpStation, c.Net.Stations)
 	for i := range r.stations {
 		r.stations[i] = &ttpStation{}
@@ -176,18 +187,20 @@ func (c TTPSim) RunContext(ctx context.Context) (Result, error) {
 	}
 	stationResults, misses := collectStations(syncStates, horizon)
 	res := Result{
-		Protocol:       "FDDI",
-		Horizon:        horizon,
-		Stations:       stationResults,
-		DeadlineMisses: misses,
-		SyncTime:       r.syncTime,
-		AsyncTime:      r.asyncTime,
-		TokenTime:      r.tokenTime,
-		RotationMean:   r.rotation.Mean(),
-		RotationMax:    r.rotation.Max(),
-		RotationN:      r.rotation.N(),
-		TokenLosses:    r.losses,
-		RecoveryTime:   r.recovery,
+		Protocol:        "FDDI",
+		Horizon:         horizon,
+		Stations:        stationResults,
+		DeadlineMisses:  misses,
+		SyncTime:        r.syncTime,
+		AsyncTime:       r.asyncTime,
+		TokenTime:       r.tokenTime,
+		RotationMean:    r.rotation.Mean(),
+		RotationMax:     r.rotation.Max(),
+		RotationN:       r.rotation.N(),
+		TokenLosses:     r.losses,
+		RecoveryTime:    r.recovery,
+		CorruptedFrames: r.corrupted,
+		Crashes:         r.inj.CrashCount(),
 	}
 	res.IdleTime = math.Max(0, horizon-res.SyncTime-res.AsyncTime-res.TokenTime-res.RecoveryTime)
 	return res, nil
@@ -202,6 +215,22 @@ func (r *ttpRun) hopTime() float64 {
 func (r *ttpRun) tokenArrive(idx int) {
 	now := r.engine.Now()
 	st := r.stations[idx]
+
+	// Ring reconfiguration: crashes and restarts up to now pause the whole
+	// ring for the beacon/bypass latency, then the visit resumes.
+	if bp := r.inj.TakeBypass(now); bp > 0 {
+		r.recovery += bp
+		emit(r.cfg.Tracer, TraceEvent{Time: now, Kind: TraceRecovery, Station: idx, Duration: bp})
+		_, _ = r.engine.At(now+bp, func() { r.tokenArrive(idx) })
+		return
+	}
+
+	// A crashed station is bypassed: the token passes straight through,
+	// its rotation timer frozen until it rejoins.
+	if r.inj.Down(idx, now) {
+		r.forwardToken(idx, now, 0)
+		return
+	}
 
 	// Rotation statistics and the rotation timer.
 	if st.visited {
@@ -227,12 +256,19 @@ func (r *ttpRun) tokenArrive(idx int) {
 
 	busy := 0.0
 
-	// Synchronous transmission: always admitted, up to the allocation.
+	// Synchronous transmission: always admitted, up to the allocation —
+	// unless a claim/beacon recovery made the token late against this
+	// station's timer, which suppresses the allocation for one rotation
+	// (the FDDI late-counter effect).
 	if st.sync != nil {
 		st.sync.release(now, func(msg pendingMessage) {
 			emit(r.cfg.Tracer, TraceEvent{Time: msg.arrival, Kind: TraceArrival, Station: idx})
 		})
-		busy += r.transmitSync(st, idx, now)
+		if st.suppress {
+			st.suppress = false
+		} else {
+			busy += r.transmitSync(st, idx, now)
+		}
 	}
 
 	// Asynchronous transmission: only on an early token, for at most the
@@ -250,19 +286,40 @@ func (r *ttpRun) tokenArrive(idx int) {
 		}
 	}
 
-	// Forward the token one hop; a lost token costs a recovery period
-	// before the neighbor sees it again.
+	r.forwardToken(idx, now, busy)
+}
+
+// forwardToken moves the token one hop after busy seconds of service. A
+// token lost on the hop is rebuilt by the claim/beacon process: the medium
+// is dead for the recovery duration and every station whose rotation timer
+// the recovery pushes past TTRT has its synchronous allocation suppressed
+// for one rotation.
+func (r *ttpRun) forwardToken(idx int, now, busy float64) {
 	hop := r.hopTime()
 	r.tokenTime += hop
-	lost := r.cfg.Faults.roll()
-	if lost > 0 {
+	var rec float64
+	if r.inj.TokenLost(idx) {
+		rec = r.inj.RecoveryDuration()
 		r.losses++
-		r.recovery += lost
+		r.recovery += rec
+		emit(r.cfg.Tracer, TraceEvent{Time: now + busy + hop, Kind: TraceRecovery, Station: idx, Duration: rec})
+		r.markLate(now + busy + hop + rec)
 	}
 	next := (idx + 1) % r.cfg.Net.Stations
-	at := now + busy + hop + lost
+	at := now + busy + hop + rec
 	if at <= r.horizon {
 		_, _ = r.engine.At(at, func() { r.tokenArrive(next) })
+	}
+}
+
+// markLate raises the late-counter suppression flag of every station whose
+// rotation timer will have expired by the time recovery completes at
+// recoveryEnd.
+func (r *ttpRun) markLate(recoveryEnd float64) {
+	for _, st := range r.stations {
+		if recoveryEnd-st.timerStart >= r.cfg.TTRT {
+			st.suppress = true
+		}
 	}
 }
 
@@ -279,12 +336,22 @@ func (r *ttpRun) transmitSync(st *ttpStation, idx int, now float64) float64 {
 		msg := &st.sync.queue[0]
 		payloadTime := math.Min(msg.remainingBits/bw, budget-fovhd)
 		frameTime := fovhd + payloadTime
-		emit(r.cfg.Tracer, TraceEvent{
-			Time: now + used, Kind: TraceFrame, Station: idx,
-			Duration: frameTime, Detail: payloadTime * bw,
-		})
 		budget -= frameTime
 		used += frameTime
+		if r.inj.FrameCorrupted(idx) {
+			// The frame spent the budget but failed its CRC; the payload
+			// stays queued for retransmission on a later visit.
+			r.corrupted++
+			emit(r.cfg.Tracer, TraceEvent{
+				Time: now + used - frameTime, Kind: TraceCorrupt, Station: idx,
+				Duration: frameTime, Detail: payloadTime * bw,
+			})
+			continue
+		}
+		emit(r.cfg.Tracer, TraceEvent{
+			Time: now + used - frameTime, Kind: TraceFrame, Station: idx,
+			Duration: frameTime, Detail: payloadTime * bw,
+		})
 		msg.remainingBits -= payloadTime * bw
 		if msg.remainingBits <= 1e-9 {
 			completed := st.sync.queue[0]

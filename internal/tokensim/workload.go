@@ -182,9 +182,15 @@ type Result struct {
 	RotationMax  float64
 	RotationN    int
 	// TokenLosses counts injected token-loss faults; RecoveryTime is the
-	// total medium time spent in the claim/recovery process.
+	// total medium time spent in claim/beacon recovery and bypass
+	// reconfiguration.
 	TokenLosses  int
 	RecoveryTime float64
+	// CorruptedFrames counts frames that occupied the medium but failed
+	// their CRC check and required retransmission.
+	CorruptedFrames int
+	// Crashes counts station crash events scheduled within the horizon.
+	Crashes int
 }
 
 // MissedAny reports whether any deadline was missed.

@@ -33,6 +33,7 @@ import (
 	"ringsched/internal/breakdown"
 	"ringsched/internal/core"
 	"ringsched/internal/expt"
+	"ringsched/internal/faults"
 	"ringsched/internal/frame"
 	"ringsched/internal/message"
 	"ringsched/internal/progress"
@@ -183,9 +184,61 @@ type (
 	WriterTracer = tokensim.WriterTracer
 	// CountingTracer tallies trace events by kind.
 	CountingTracer = tokensim.CountingTracer
-	// Faults injects token-loss failures into simulations.
+	// Faults injects failures into simulations (alias of FaultModel kept
+	// for compatibility with earlier releases).
 	Faults = tokensim.Faults
 )
+
+// Fault injection and degraded-mode analysis.
+type (
+	// FaultModel composes the failure processes injected into a
+	// simulation: token loss, frame corruption (Bernoulli or
+	// Gilbert–Elliott), and station crash/restart with bypass latency.
+	FaultModel = faults.Model
+	// FaultRecovery prices the claim/beacon recovery that follows a
+	// token loss.
+	FaultRecovery = faults.Recovery
+	// FaultChannel is the frame-corruption channel model.
+	FaultChannel = faults.Channel
+	// FaultChannelKind selects the corruption channel family.
+	FaultChannelKind = faults.ChannelKind
+	// FaultCrash is the station crash/restart process.
+	FaultCrash = faults.Crash
+	// FaultScenario is a named, documented fault model preset.
+	FaultScenario = faults.Scenario
+	// FaultBudget folds a fault model into the analytic degraded-mode
+	// charges (see PDPAnalyzer.FaultReport, TTPAnalyzer.FaultReport).
+	FaultBudget = core.FaultBudget
+)
+
+// Corruption channel families.
+const (
+	// ChannelClean disables frame corruption.
+	ChannelClean = faults.ChannelClean
+	// ChannelBernoulli corrupts frames independently.
+	ChannelBernoulli = faults.ChannelBernoulli
+	// ChannelGilbertElliott corrupts frames through a two-state bursty
+	// channel.
+	ChannelGilbertElliott = faults.ChannelGilbertElliott
+)
+
+// ParseFaultModel parses a fault-model spec string such as
+// "loss:p=1e-3+gilbert:pbad=0.3,burst=16+crash:rate=0.05"; "none" yields an
+// inactive model.
+func ParseFaultModel(spec string) (FaultModel, error) { return faults.ParseModel(spec) }
+
+// FaultScenarios returns the named built-in fault scenarios (clean,
+// noisy-channel, lossy-token, flaky-stations, degraded).
+func FaultScenarios() []FaultScenario { return faults.Scenarios() }
+
+// FaultScenarioByName looks up one built-in fault scenario.
+func FaultScenarioByName(name string) (FaultScenario, error) {
+	return faults.ScenarioByName(name)
+}
+
+// CleanFaultBudget is the healthy-ring analytic budget; every fault-aware
+// analysis reproduces the clean result bit-identically under it.
+func CleanFaultBudget() FaultBudget { return core.CleanFaultBudget() }
 
 // Phasing and token-pass models for the simulators.
 const (
