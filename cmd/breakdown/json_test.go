@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ringsched/internal/service"
+)
+
+// TestJSONSweepMatchesServerBody is the satellite acceptance check: the
+// -json CLI mode and the ringschedd /v1/sweep endpoint answer the same
+// sweep with byte-identical bodies.
+func TestJSONSweepMatchesServerBody(t *testing.T) {
+	args := []string{"-bw", "10,100", "-n", "5", "-samples", "4", "-seed", "7", "-quiet", "-json"}
+	var cliOut bytes.Buffer
+	if err := run(context.Background(), args, &cliOut, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := service.New(service.Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	reqBody := `{"bandwidthsMbps": [100, 10], "streams": 5, "samples": 4, "seed": 7}`
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("server: %d %s", resp.StatusCode, serverBody)
+	}
+
+	if !bytes.Equal(cliOut.Bytes(), serverBody) {
+		t.Errorf("CLI -json and server sweep bodies differ:\n--- CLI ---\n%s\n--- server ---\n%s",
+			cliOut.Bytes(), serverBody)
+	}
+
+	var parsed service.SweepResponse
+	if err := json.Unmarshal(cliOut.Bytes(), &parsed); err != nil {
+		t.Fatalf("-json output is not a SweepResponse: %v", err)
+	}
+	if parsed.CacheKey == "" || len(parsed.Series) != 3 {
+		t.Errorf("unexpected sweep response: key=%q series=%d", parsed.CacheKey, len(parsed.Series))
+	}
+	for _, s := range parsed.Series {
+		if len(s.Points) != 2 {
+			t.Errorf("series %s has %d points, want 2", s.Protocol, len(s.Points))
+		}
+	}
+}
+
+func TestJSONSweepWithProgressMeter(t *testing.T) {
+	// The meter writes to errw; the JSON body on out must stay clean.
+	var out, errw bytes.Buffer
+	args := []string{"-bw", "16", "-n", "4", "-samples", "3", "-seed", "2", "-json"}
+	if err := run(context.Background(), args, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	var parsed service.SweepResponse
+	if err := json.Unmarshal(out.Bytes(), &parsed); err != nil {
+		t.Fatalf("output polluted by progress meter: %v\n%s", err, out.String())
+	}
+}

@@ -51,6 +51,7 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		periodRatio = fs.Float64("period-ratio", 10, "max/min period ratio")
 		noPlot      = fs.Bool("no-plot", false, "suppress the ASCII plot")
 		distr       = fs.Bool("distribution", false, "also print the per-set spread (P10/median/P90)")
+		jsonOut     = fs.Bool("json", false, "emit the ringschedd /v1/sweep response JSON instead of the table and plot")
 		timeout     = fs.Duration("timeout", 0, "abort after this duration (0 = none)")
 		workers     = fs.Int("workers", 0, "parallel worker budget across sweep points and samples (0 = all cores)")
 		quiet       = fs.Bool("quiet", false, "suppress the live progress meter on stderr")
@@ -72,6 +73,39 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		}
 	} else {
 		bandwidths = breakdown.PaperBandwidths(*points)
+	}
+
+	if *jsonOut {
+		// The request goes through the same canonicalization, estimation
+		// and encoding as the ringschedd server, so this output is
+		// byte-identical to a /v1/sweep response body for the same sweep.
+		req := ringsched.SweepRequest{
+			PointsPerDecade: *points,
+			Streams:         *streams,
+			MeanPeriodMs:    meanPeriod.Seconds() * 1e3,
+			PeriodRatio:     *periodRatio,
+			Samples:         *samples,
+			Seed:            *seed,
+		}
+		for _, bw := range bandwidths {
+			req.BandwidthsMbps = append(req.BandwidthsMbps, bw/1e6)
+		}
+		var obs ringsched.Progress
+		if !*quiet {
+			meter := progress.NewMeter(errw, int64(*samples)*int64(len(bandwidths))*3)
+			defer meter.Close()
+			obs = meter
+		}
+		resp, err := ringsched.RunSweep(ctx, req, *workers, obs)
+		if err != nil {
+			return err
+		}
+		body, err := ringsched.EncodeResponse(resp)
+		if err != nil {
+			return err
+		}
+		_, err = out.Write(body)
+		return err
 	}
 
 	est := ringsched.Estimator{

@@ -1,0 +1,92 @@
+// Command ringschedd serves schedulability analysis over HTTP: the
+// Theorem 4.1/5.1 verdicts (/v1/analyze), Figure 1-style breakdown sweeps
+// with optional server-sent-event progress (/v1/sweep), the reproduction
+// experiments (/v1/experiments), plus /healthz and Prometheus-text
+// /metrics.
+//
+// Repeated and concurrent identical requests are served from a sharded
+// LRU result cache and a coalescing worker pool: the same question is
+// computed once, however many clients ask. SIGINT/SIGTERM drains
+// gracefully — new requests get 503 while in-flight work finishes.
+//
+// Usage:
+//
+//	ringschedd                                # serve on :8080
+//	ringschedd -addr 127.0.0.1:9000 -workers 8 -cache-bytes 33554432
+//	curl -s localhost:8080/healthz
+//	curl -s -XPOST -d '{"bandwidthMbps":100,"streams":[{"periodMs":10,"lengthBits":4096}]}' \
+//	    localhost:8080/v1/analyze
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"ringsched/internal/cli"
+	"ringsched/internal/service"
+)
+
+func main() {
+	cli.Main("ringschedd", run)
+}
+
+func run(ctx context.Context, args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("ringschedd", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		cacheBytes = fs.Int64("cache-bytes", 64<<20, "result cache byte budget")
+		workers    = fs.Int("workers", 0, "concurrent computations (0 = all cores)")
+		jobTimeout = fs.Duration("job-timeout", 5*time.Minute, "per-computation deadline (negative = none)")
+		drain      = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := service.New(service.Config{
+		CacheBytes: *cacheBytes,
+		Workers:    *workers,
+		JobTimeout: *jobTimeout,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(errw, "ringschedd: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop advertising health, reject new API work,
+	// let in-flight requests finish within the drain budget, then cancel
+	// whatever is left (long SSE streams included) and force-close.
+	fmt.Fprintf(errw, "ringschedd: draining (budget %v)\n", *drain)
+	srv.BeginDrain()
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	shutdownErr := hs.Shutdown(drainCtx)
+	srv.Close()
+	if shutdownErr != nil {
+		hs.Close()
+		if !errors.Is(shutdownErr, context.DeadlineExceeded) {
+			return shutdownErr
+		}
+		fmt.Fprintln(errw, "ringschedd: drain budget exceeded, forced close")
+	}
+	fmt.Fprintln(errw, "ringschedd: stopped")
+	return nil
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer: run() writes the listen
+// line while the test polls for it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenLine = regexp.MustCompile(`ringschedd: listening on (\S+)`)
+
+func TestServeAnalyzeAndGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var errw syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-drain-timeout", "5s"}, io.Discard, &errw)
+	}()
+
+	var base string
+	for deadline := time.Now().Add(5 * time.Second); base == ""; {
+		if m := listenLine.FindStringSubmatch(errw.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never listened; stderr:\n%s", errw.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	body := `{"bandwidthMbps":100,"streams":[{"periodMs":10,"lengthBits":4096}]}`
+	resp, err = http.Post(base+"/v1/analyze", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(raw), `"verdicts"`) {
+		t.Fatalf("analyze = %d %s", resp.StatusCode, raw)
+	}
+
+	cancel() // SIGINT equivalent
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if out := errw.String(); !strings.Contains(out, "ringschedd: stopped") {
+		t.Errorf("missing shutdown message:\n%s", out)
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-bogus"}, &out, io.Discard); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run(context.Background(), []string{"-addr", "256.0.0.1:bad"}, &out, io.Discard); err == nil {
+		t.Error("bad listen address accepted")
+	}
+}

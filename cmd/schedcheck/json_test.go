@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ringsched/internal/service"
+)
+
+// TestJSONOutputMatchesServerBody is the satellite acceptance check: the
+// -json CLI mode and the ringschedd /v1/analyze endpoint answer the same
+// question with byte-identical bodies.
+func TestJSONOutputMatchesServerBody(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "set.json")
+	var example bytes.Buffer
+	if err := run(context.Background(), []string{"-print-example"}, &example, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, example.Bytes(), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	var cliOut bytes.Buffer
+	if err := run(context.Background(), []string{"-set", path, "-bw", "100", "-json"}, &cliOut, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := service.New(service.Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// The same message set as the example file, spelled as a wire request
+	// with the streams deliberately out of RM order.
+	reqBody := `{"bandwidthMbps": 100, "streams": [
+		{"name": "video", "periodMs": 100, "lengthBits": 1048576},
+		{"name": "attitude-control", "periodMs": 10, "lengthBits": 4096},
+		{"name": "telemetry", "periodMs": 50, "lengthBits": 65536}
+	]}`
+	resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", strings.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("server: %d %s", resp.StatusCode, serverBody)
+	}
+
+	if !bytes.Equal(cliOut.Bytes(), serverBody) {
+		t.Errorf("CLI -json and server bodies differ:\n--- CLI ---\n%s\n--- server ---\n%s",
+			cliOut.Bytes(), serverBody)
+	}
+}
+
+func TestJSONOutputWithScenarioMatchesServerBody(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "set.json")
+	var example bytes.Buffer
+	if err := run(context.Background(), []string{"-print-example"}, &example, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, example.Bytes(), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	var cliOut bytes.Buffer
+	args := []string{"-set", path, "-bw", "16", "-scenario", "lossy-token", "-verbose", "-json"}
+	if err := run(context.Background(), args, &cliOut, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := service.New(service.Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	reqBody := `{"bandwidthMbps": 16, "scenario": "lossy-token", "detail": true, "streams": [
+		{"name": "attitude-control", "periodMs": 10, "lengthBits": 4096},
+		{"name": "telemetry", "periodMs": 50, "lengthBits": 65536},
+		{"name": "video", "periodMs": 100, "lengthBits": 1048576}
+	]}`
+	resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", strings.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("server: %d %s", resp.StatusCode, serverBody)
+	}
+
+	if !bytes.Equal(cliOut.Bytes(), serverBody) {
+		t.Errorf("CLI -json (scenario) and server bodies differ:\n--- CLI ---\n%s\n--- server ---\n%s",
+			cliOut.Bytes(), serverBody)
+	}
+	if !strings.Contains(cliOut.String(), `"degraded"`) {
+		t.Error("-json with a fault scenario should include degraded verdicts")
+	}
+}

@@ -45,6 +45,7 @@ func run(ctx context.Context, args []string, out, _ io.Writer) error {
 		printExample = fs.Bool("print-example", false, "print an example JSON message set and exit")
 		faultSpec    = fs.String("fault-model", "", "fault model spec for a side-by-side degraded-mode verdict, e.g. loss:p=1e-3+gilbert:burst=16")
 		scenario     = fs.String("scenario", "", "named fault scenario: clean, noisy-channel, lossy-token, flaky-stations, degraded")
+		jsonOut      = fs.Bool("json", false, "emit the ringschedd /v1/analyze response JSON instead of the text report")
 		timeout      = fs.Duration("timeout", 0, "abort after this duration (0 = none)")
 		workers      = fs.Int("workers", 0, "cap OS parallelism for the run (0 = all cores)")
 	)
@@ -73,6 +74,31 @@ func run(ctx context.Context, args []string, out, _ io.Writer) error {
 	if err != nil {
 		return err
 	}
+
+	if *jsonOut {
+		// The request goes through the same canonicalization, analysis and
+		// encoding as the ringschedd server, so this output is
+		// byte-identical to a /v1/analyze response body for the same set.
+		req := ringsched.AnalyzeRequest{
+			BandwidthMbps: *bwMbps,
+			Streams:       wireStreams(set),
+			Detail:        *verbose,
+		}
+		if fm != nil {
+			req.FaultModel = fm.Spec()
+		}
+		resp, err := ringsched.Analyze(ctx, req)
+		if err != nil {
+			return err
+		}
+		body, err := ringsched.EncodeResponse(resp)
+		if err != nil {
+			return err
+		}
+		_, err = out.Write(body)
+		return err
+	}
+
 	fmt.Fprintf(out, "message set: %d streams, payload utilization %.4f at %.3g Mbps\n",
 		len(set), set.Utilization(bw), *bwMbps)
 	if fm != nil {
@@ -217,6 +243,15 @@ func printTTP(out io.Writer, rep core.TTPReport, verbose bool) {
 		}
 	}
 	fmt.Fprintln(out)
+}
+
+// wireStreams converts a message set to the service's wire form.
+func wireStreams(set ringsched.MessageSet) []ringsched.ServiceStreamSpec {
+	out := make([]ringsched.ServiceStreamSpec, len(set))
+	for i, s := range set {
+		out[i] = ringsched.ServiceStreamSpec{Name: s.Name, PeriodMs: s.Period * 1e3, LengthBits: s.LengthBits}
+	}
+	return out
 }
 
 func name(n string, i int) string {

@@ -3,6 +3,7 @@ package faults
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -122,12 +123,31 @@ func parseClause(m *Model, clause string) error {
 			return err
 		}
 	default:
-		return fmt.Errorf("%w: unknown clause kind %q", ErrBadSpec, kind)
+		return fmt.Errorf("%w: unknown clause kind %q (valid kinds: %s; or \"none\")",
+			ErrBadSpec, kind, validKindList())
 	}
 	for key := range kv {
-		return fmt.Errorf("%w: unknown %s key %q", ErrBadSpec, kind, key)
+		return fmt.Errorf("%w: unknown %s key %q (valid %s keys: %s)",
+			ErrBadSpec, kind, key, kind, clauseKeys[kind])
 	}
 	return nil
+}
+
+// clauseKeys lists the accepted keys per clause kind, for error messages.
+var clauseKeys = map[string]string{
+	"loss":    "p, detect, rounds, fixed",
+	"corrupt": "p",
+	"gilbert": "pgood, pbad, burst, gap",
+	"crash":   "rate, down, bypass",
+}
+
+func validKindList() string {
+	kinds := make([]string, 0, len(clauseKeys))
+	for k := range clauseKeys {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return strings.Join(kinds, ", ")
 }
 
 func parseParams(params string) (map[string]string, error) {
@@ -239,12 +259,17 @@ func Scenarios() []Scenario {
 	}
 }
 
-// ScenarioByName looks up one built-in scenario.
+// ScenarioByName looks up one built-in scenario. The error of an unknown
+// name matches ErrUnknownScenario (errors.Is) and lists every valid name.
 func ScenarioByName(name string) (Scenario, error) {
-	for _, s := range Scenarios() {
+	scenarios := Scenarios()
+	names := make([]string, len(scenarios))
+	for i, s := range scenarios {
 		if s.Name == name {
 			return s, nil
 		}
+		names[i] = s.Name
 	}
-	return Scenario{}, fmt.Errorf("%w: %q", ErrUnknownScenario, name)
+	return Scenario{}, fmt.Errorf("%w: %q (valid scenarios: %s)",
+		ErrUnknownScenario, name, strings.Join(names, ", "))
 }

@@ -1,0 +1,102 @@
+package progress
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// SSE adapts the Progress interface to the server-sent-events wire
+// format: each callback becomes an "event: <kind>\ndata: <json>\n\n"
+// frame on the underlying writer. It is the bridge between the analysis
+// pipeline's observers and a streaming HTTP response.
+//
+// SampleDone is the hot callback — a long sweep fires it hundreds of
+// thousands of times — so samples are coalesced: one "samples" frame per
+// SampleEvery completions. The other callbacks are rare and forwarded
+// one-to-one. Writes are serialized with a mutex (pipeline callbacks come
+// from many goroutines); the first write error latches and silences all
+// further frames, so a vanished client costs nothing.
+type SSE struct {
+	// SampleEvery is the sample coalescing factor; values < 1 mean 64.
+	SampleEvery int64
+
+	mu      sync.Mutex
+	w       io.Writer
+	flush   func()
+	err     error
+	samples atomic.Int64
+}
+
+// NewSSE returns an SSE adapter writing frames to w; flush (may be nil)
+// is invoked after every frame, typically http.Flusher.Flush.
+func NewSSE(w io.Writer, flush func(), sampleEvery int64) *SSE {
+	return &SSE{w: w, flush: flush, SampleEvery: sampleEvery}
+}
+
+// Event emits one frame outside the Progress callbacks — the server uses
+// it for the final "result" and "error" frames. data is JSON-encoded.
+func (s *SSE) Event(kind string, data any) error {
+	body, err := json.Marshal(data)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if _, err := fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", kind, body); err != nil {
+		s.err = err
+		return err
+	}
+	if s.flush != nil {
+		s.flush()
+	}
+	return nil
+}
+
+// Err returns the latched write error, if any.
+func (s *SSE) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// SampleDone implements Progress, emitting a cumulative count every
+// SampleEvery samples.
+func (s *SSE) SampleDone() {
+	n := s.samples.Add(1)
+	every := s.SampleEvery
+	if every < 1 {
+		every = 64
+	}
+	if n%every == 0 {
+		s.Event("samples", map[string]int64{"samples": n})
+	}
+}
+
+// SweepPointDone implements Progress.
+func (s *SSE) SweepPointDone(series string, bandwidthBPS float64) {
+	s.Event("point", map[string]any{"series": series, "bandwidthBPS": bandwidthBPS})
+}
+
+// ExperimentStarted implements Progress.
+func (s *SSE) ExperimentStarted(id, title string) {
+	s.Event("experiment-started", map[string]string{"id": id, "title": title})
+}
+
+// ExperimentFinished implements Progress.
+func (s *SSE) ExperimentFinished(id string, pass bool, err error) {
+	data := map[string]any{"id": id, "pass": pass}
+	if err != nil {
+		data["error"] = err.Error()
+	}
+	s.Event("experiment-finished", data)
+}
+
+// SimulatorAdvanced implements Progress; simulator ticks are dropped —
+// they are too fine-grained for a network stream.
+func (s *SSE) SimulatorAdvanced(int, float64) {}

@@ -1,0 +1,96 @@
+package progress
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSSEFrameFormat(t *testing.T) {
+	var buf bytes.Buffer
+	flushes := 0
+	sse := NewSSE(&buf, func() { flushes++ }, 1)
+
+	if err := sse.Event("result", map[string]string{"k": "v"}); err != nil {
+		t.Fatal(err)
+	}
+	want := "event: result\ndata: {\"k\":\"v\"}\n\n"
+	if buf.String() != want {
+		t.Errorf("frame = %q, want %q", buf.String(), want)
+	}
+	if flushes != 1 {
+		t.Errorf("flushes = %d, want 1", flushes)
+	}
+
+	buf.Reset()
+	sse.SweepPointDone("FDDI", 1e8)
+	if got := buf.String(); !strings.HasPrefix(got, "event: point\n") || !strings.Contains(got, `"series":"FDDI"`) {
+		t.Errorf("point frame = %q", got)
+	}
+}
+
+func TestSSECoalescesSamples(t *testing.T) {
+	var buf bytes.Buffer
+	sse := NewSSE(&buf, nil, 10)
+	for i := 0; i < 35; i++ {
+		sse.SampleDone()
+	}
+	frames := strings.Count(buf.String(), "event: samples\n")
+	if frames != 3 { // at 10, 20, 30
+		t.Errorf("sample frames = %d, want 3:\n%s", frames, buf.String())
+	}
+	if !strings.Contains(buf.String(), `{"samples":30}`) {
+		t.Errorf("cumulative count missing: %s", buf.String())
+	}
+}
+
+type failAfter struct {
+	n int
+}
+
+func (w *failAfter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("client gone")
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestSSELatchesFirstWriteError(t *testing.T) {
+	w := &failAfter{n: 1}
+	sse := NewSSE(w, nil, 1)
+	if err := sse.Event("a", 1); err != nil {
+		t.Fatalf("first event: %v", err)
+	}
+	if err := sse.Event("b", 2); err == nil {
+		t.Fatal("second event should fail")
+	}
+	if sse.Err() == nil {
+		t.Fatal("error did not latch")
+	}
+	// Latched: further events return the same error without writing.
+	if err := sse.Event("c", 3); err == nil || err.Error() != "client gone" {
+		t.Errorf("latched error = %v", err)
+	}
+}
+
+func TestSSEImplementsProgress(t *testing.T) {
+	var buf bytes.Buffer
+	var p Progress = NewSSE(&buf, nil, 1)
+	p.ExperimentStarted("FIG1", "Figure 1")
+	p.ExperimentFinished("FIG1", true, nil)
+	p.ExperimentFinished("FIG2", false, errors.New("boom"))
+	p.SimulatorAdvanced(1, 0.5)
+	out := buf.String()
+	if strings.Count(out, "event: experiment-started\n") != 1 ||
+		strings.Count(out, "event: experiment-finished\n") != 2 {
+		t.Errorf("experiment frames wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `"error":"boom"`) {
+		t.Errorf("failure reason missing:\n%s", out)
+	}
+	if strings.Contains(out, "simulator") {
+		t.Error("simulator ticks must be dropped")
+	}
+}

@@ -1,0 +1,754 @@
+// Package service implements ringschedd, the schedulability-analysis
+// service: an HTTP JSON API over the library's analyzers, breakdown
+// engine, and reproduction experiments. The serving layer adds what a
+// parameter-sweeping practitioner needs at scale and the CLIs cannot
+// give them:
+//
+//   - a canonical request form and hasher, so permuted, reformatted, or
+//     otherwise equivalent requests map to one cache key (hash.go),
+//   - a sharded LRU result cache with a byte budget, serving repeated
+//     questions without recomputation (cache.go),
+//   - a bounded worker pool with request coalescing, so N concurrent
+//     identical requests perform exactly one computation (pool.go),
+//   - Prometheus-text metrics and SSE progress streaming (metrics.go,
+//     server.go), and
+//   - graceful shutdown: drain in-flight jobs, reject new work with 503.
+//
+// The same Analyze/Sweep entry points back the -json modes of the
+// schedcheck and breakdown CLIs, so CLI and server outputs are
+// byte-comparable.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"ringsched/internal/breakdown"
+	"ringsched/internal/core"
+	"ringsched/internal/expt"
+	"ringsched/internal/faults"
+	"ringsched/internal/message"
+	"ringsched/internal/progress"
+	"ringsched/internal/ring"
+)
+
+// Protocol slugs accepted in request "protocols" lists.
+const (
+	// ProtocolModifiedPDP is the modified IEEE 802.5 implementation
+	// (Theorem 4.1, token pass paid once per message).
+	ProtocolModifiedPDP = "modified-802.5"
+	// ProtocolStandardPDP is the standard IEEE 802.5 implementation
+	// (Theorem 4.1, token pass paid per frame).
+	ProtocolStandardPDP = "standard-802.5"
+	// ProtocolTTP is FDDI under the timed token protocol (Theorem 5.1).
+	ProtocolTTP = "fddi"
+)
+
+// AllProtocols returns every protocol slug in canonical report order.
+func AllProtocols() []string {
+	return []string{ProtocolModifiedPDP, ProtocolStandardPDP, ProtocolTTP}
+}
+
+// Errors returned by request validation.
+var (
+	ErrBadRequest      = errors.New("service: bad request")
+	ErrUnknownProtocol = errors.New("service: unknown protocol")
+)
+
+// protocolOrder fixes the canonical position of each slug; canonicalized
+// requests list protocols in this order regardless of input order.
+var protocolOrder = map[string]int{
+	ProtocolModifiedPDP: 0,
+	ProtocolStandardPDP: 1,
+	ProtocolTTP:         2,
+}
+
+// protocolNames maps slugs to the display names the analyzers report.
+var protocolNames = map[string]string{
+	ProtocolModifiedPDP: "Modified 802.5",
+	ProtocolStandardPDP: "IEEE 802.5",
+	ProtocolTTP:         "FDDI",
+}
+
+// StreamSpec is the wire form of one synchronous message stream; it
+// matches the schedcheck -set file format (periods in milliseconds).
+type StreamSpec struct {
+	Name       string  `json:"name,omitempty"`
+	PeriodMs   float64 `json:"periodMs"`
+	LengthBits float64 `json:"lengthBits"`
+}
+
+// AnalyzeRequest asks whether a message set is schedulable on the
+// requested protocols at one bandwidth, optionally under a fault model.
+// FaultModel (a spec string such as "loss:p=1e-3+gilbert:burst=16") and
+// Scenario (a named preset) are mutually exclusive.
+type AnalyzeRequest struct {
+	// Protocols lists the protocol slugs to analyze; empty means all three.
+	Protocols []string `json:"protocols,omitempty"`
+	// BandwidthMbps is the network bandwidth in Mbps.
+	BandwidthMbps float64 `json:"bandwidthMbps"`
+	// Streams is the synchronous message set.
+	Streams []StreamSpec `json:"streams"`
+	// FaultModel is a fault-model spec string for a side-by-side
+	// degraded-mode verdict ("" or "none" disables it).
+	FaultModel string `json:"faultModel,omitempty"`
+	// Scenario is a named built-in fault scenario.
+	Scenario string `json:"scenario,omitempty"`
+	// Detail includes per-stream verdicts in the response.
+	Detail bool `json:"detail,omitempty"`
+}
+
+// StreamVerdict is one stream's analysis outcome. PDP verdicts carry
+// Frames/ResponseTime; TTP verdicts carry Q/Allocation/WorstCaseResponse.
+// All durations are seconds.
+type StreamVerdict struct {
+	Name              string  `json:"name,omitempty"`
+	PeriodMs          float64 `json:"periodMs"`
+	Frames            int     `json:"frames,omitempty"`
+	Q                 int     `json:"q,omitempty"`
+	AugmentedLength   float64 `json:"augmentedLength"`
+	ResponseTime      float64 `json:"responseTime,omitempty"`
+	Allocation        float64 `json:"allocation,omitempty"`
+	WorstCaseResponse float64 `json:"worstCaseResponse,omitempty"`
+	// Schedulable is the per-stream guarantee: ResponseTime ≤ Period for
+	// PDP, a finite allocation (q ≥ 2) for TTP.
+	Schedulable bool `json:"schedulable"`
+}
+
+// DegradedVerdict is the fault-aware analysis outcome. Durations are
+// seconds.
+type DegradedVerdict struct {
+	Schedulable  bool    `json:"schedulable"`
+	Availability float64 `json:"availability"`
+	// Losses and Recovery echo the PDP budget (Nloss, R).
+	Losses   float64 `json:"losses,omitempty"`
+	Recovery float64 `json:"recovery,omitempty"`
+	// Blocking is the PDP B' = B + Nloss·R.
+	Blocking float64 `json:"blocking,omitempty"`
+	// TotalAllocation and Capacity are the TTP degraded Σh and TTRT − θ.
+	TotalAllocation float64 `json:"totalAllocation,omitempty"`
+	Capacity        float64 `json:"capacity,omitempty"`
+}
+
+// Verdict is one protocol's analysis outcome. PDP verdicts carry
+// Blocking/Theta/FrameTime/AugmentedUtilization; TTP verdicts carry
+// TTRT/Overhead/TotalAllocation/Capacity. All durations are seconds.
+type Verdict struct {
+	Protocol             string           `json:"protocol"`
+	Schedulable          bool             `json:"schedulable"`
+	Utilization          float64          `json:"utilization"`
+	AugmentedUtilization float64          `json:"augmentedUtilization,omitempty"`
+	Blocking             float64          `json:"blocking,omitempty"`
+	Theta                float64          `json:"theta,omitempty"`
+	FrameTime            float64          `json:"frameTime,omitempty"`
+	TTRT                 float64          `json:"ttrt,omitempty"`
+	Overhead             float64          `json:"overhead,omitempty"`
+	TotalAllocation      float64          `json:"totalAllocation,omitempty"`
+	Capacity             float64          `json:"capacity,omitempty"`
+	Degraded             *DegradedVerdict `json:"degraded,omitempty"`
+	Streams              []StreamVerdict  `json:"streams,omitempty"`
+}
+
+// AnalyzeResponse is the /v1/analyze result. FaultModel echoes the
+// canonical fault spec the verdicts assumed ("" for a clean ring).
+type AnalyzeResponse struct {
+	CacheKey      string    `json:"cacheKey"`
+	BandwidthMbps float64   `json:"bandwidthMbps"`
+	FaultModel    string    `json:"faultModel,omitempty"`
+	Verdicts      []Verdict `json:"verdicts"`
+}
+
+// SweepRequest asks for a Figure 1-style breakdown-utilization sweep.
+// The zero value of every field selects the paper's defaults.
+type SweepRequest struct {
+	// Protocols lists the protocol slugs to sweep; empty means all three.
+	Protocols []string `json:"protocols,omitempty"`
+	// BandwidthsMbps is the sweep grid; empty derives the paper's
+	// log-spaced 1 Mbps – 1 Gbps grid from PointsPerDecade.
+	BandwidthsMbps []float64 `json:"bandwidthsMbps,omitempty"`
+	// PointsPerDecade sets the default grid density (default 3).
+	PointsPerDecade int `json:"pointsPerDecade,omitempty"`
+	// Streams is the station/stream count of the random workload
+	// (default 100).
+	Streams int `json:"streams,omitempty"`
+	// MeanPeriodMs is the mean message period in ms (default 100).
+	MeanPeriodMs float64 `json:"meanPeriodMs,omitempty"`
+	// PeriodRatio is the max/min period ratio (default 10).
+	PeriodRatio float64 `json:"periodRatio,omitempty"`
+	// Samples is the Monte Carlo sample count per point (default 100).
+	Samples int `json:"samples,omitempty"`
+	// Seed makes the sweep reproducible (default 1993).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// SweepPoint is one (bandwidth, estimate) pair.
+type SweepPoint struct {
+	BandwidthMbps float64 `json:"bandwidthMbps"`
+	Mean          float64 `json:"mean"`
+	CI95          float64 `json:"ci95"`
+	P10           float64 `json:"p10"`
+	Median        float64 `json:"median"`
+	P90           float64 `json:"p90"`
+	Infeasible    int     `json:"infeasible,omitempty"`
+}
+
+// SweepSeries is one protocol's breakdown curve.
+type SweepSeries struct {
+	Protocol string       `json:"protocol"`
+	Name     string       `json:"name"`
+	Points   []SweepPoint `json:"points"`
+}
+
+// SweepResponse is the /v1/sweep result; Request echoes the canonical
+// request with every default resolved.
+type SweepResponse struct {
+	CacheKey string        `json:"cacheKey"`
+	Request  SweepRequest  `json:"request"`
+	Series   []SweepSeries `json:"series"`
+}
+
+// ExperimentInfo describes one runnable reproduction experiment.
+type ExperimentInfo struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+}
+
+// ExperimentsRequest runs a batch of reproduction experiments.
+type ExperimentsRequest struct {
+	// IDs selects experiments; empty runs all of them.
+	IDs []string `json:"ids,omitempty"`
+	// Samples, Seed, PointsPerDecade and Quick scale the runs as
+	// expt.Config does.
+	Samples         int   `json:"samples,omitempty"`
+	Seed            int64 `json:"seed,omitempty"`
+	PointsPerDecade int   `json:"pointsPerDecade,omitempty"`
+	Quick           bool  `json:"quick,omitempty"`
+}
+
+// ExperimentResult is one experiment's outcome within a batch.
+type ExperimentResult struct {
+	ID     string             `json:"id"`
+	Title  string             `json:"title"`
+	Pass   bool               `json:"pass"`
+	Error  string             `json:"error,omitempty"`
+	Values map[string]float64 `json:"values,omitempty"`
+	Notes  []string           `json:"notes,omitempty"`
+}
+
+// ExperimentsResponse is the /v1/experiments result.
+type ExperimentsResponse struct {
+	Results []ExperimentResult `json:"results"`
+}
+
+// Encode renders a response body in the canonical form shared by the
+// server and the -json CLI modes: two-space-indented JSON with a trailing
+// newline. Cache entries store exactly these bytes, so a cache hit is
+// bit-identical to the original response.
+func Encode(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// canonFloat collapses a float to its canonical value: -0 becomes +0, so
+// both zeros hash and marshal identically. NaN and ±Inf are rejected by
+// validation before canonicalization.
+func canonFloat(v float64) float64 {
+	if v == 0 {
+		return 0
+	}
+	return v
+}
+
+func badFloat(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
+
+// canonProtocols validates, dedupes, and orders a protocol list; empty
+// input selects all protocols.
+func canonProtocols(in []string) ([]string, error) {
+	if len(in) == 0 {
+		return AllProtocols(), nil
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, p := range in {
+		slug := strings.ToLower(strings.TrimSpace(p))
+		if _, ok := protocolOrder[slug]; !ok {
+			return nil, fmt.Errorf("%w: %q (valid: %s)",
+				ErrUnknownProtocol, p, strings.Join(AllProtocols(), ", "))
+		}
+		if !seen[slug] {
+			seen[slug] = true
+			out = append(out, slug)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return protocolOrder[out[i]] < protocolOrder[out[j]] })
+	return out, nil
+}
+
+// canonFaultSpec resolves the FaultModel/Scenario pair to the canonical
+// spec string of the parsed model: "" for an inactive model, otherwise
+// faults.Model.Spec(), which renders equivalent specs (reordered atoms,
+// reformatted numbers, scenario names) identically.
+func canonFaultSpec(spec, scenario string) (string, error) {
+	if spec != "" && scenario != "" {
+		return "", fmt.Errorf("%w: faultModel and scenario are mutually exclusive", ErrBadRequest)
+	}
+	var m faults.Model
+	switch {
+	case spec != "":
+		parsed, err := faults.ParseModel(spec)
+		if err != nil {
+			return "", fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		m = parsed
+	case scenario != "":
+		sc, err := faults.ScenarioByName(strings.TrimSpace(scenario))
+		if err != nil {
+			return "", fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		m = sc.Model
+	default:
+		return "", nil
+	}
+	if !m.Active() {
+		return "", nil
+	}
+	return m.Spec(), nil
+}
+
+// Canonicalize validates the request and returns its canonical form: the
+// protocol list deduped and ordered, the fault spec resolved and
+// normalized, floats collapsed (-0 → +0), and the streams sorted to
+// rate-monotonic order with deterministic tie-breaking. Two requests that
+// differ only in stream order, float formatting, or fault-spec spelling
+// canonicalize identically — and therefore share one cache key and one
+// bit-identical response body.
+//
+// Stream multiplicity is preserved: two identical streams are two
+// stations' worth of load, not a duplicate to drop.
+func (r AnalyzeRequest) Canonicalize() (AnalyzeRequest, error) {
+	out := r
+	var err error
+	if out.Protocols, err = canonProtocols(r.Protocols); err != nil {
+		return AnalyzeRequest{}, err
+	}
+	if out.BandwidthMbps <= 0 || badFloat(out.BandwidthMbps) {
+		return AnalyzeRequest{}, fmt.Errorf("%w: bandwidthMbps must be positive and finite, got %v",
+			ErrBadRequest, out.BandwidthMbps)
+	}
+	out.BandwidthMbps = canonFloat(out.BandwidthMbps)
+	spec, err := canonFaultSpec(r.FaultModel, r.Scenario)
+	if err != nil {
+		return AnalyzeRequest{}, err
+	}
+	out.FaultModel, out.Scenario = spec, ""
+	out.Streams = make([]StreamSpec, len(r.Streams))
+	for i, s := range r.Streams {
+		out.Streams[i] = StreamSpec{
+			Name:       s.Name,
+			PeriodMs:   canonFloat(s.PeriodMs),
+			LengthBits: canonFloat(s.LengthBits),
+		}
+	}
+	sort.SliceStable(out.Streams, func(i, j int) bool {
+		a, b := out.Streams[i], out.Streams[j]
+		if a.PeriodMs != b.PeriodMs {
+			return a.PeriodMs < b.PeriodMs
+		}
+		if a.LengthBits != b.LengthBits {
+			return a.LengthBits < b.LengthBits
+		}
+		return a.Name < b.Name
+	})
+	if err := out.messageSet().Validate(); err != nil {
+		return AnalyzeRequest{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return out, nil
+}
+
+// messageSet converts the wire streams to the analysis model.
+func (r AnalyzeRequest) messageSet() message.Set {
+	set := make(message.Set, len(r.Streams))
+	for i, s := range r.Streams {
+		set[i] = message.Stream{Name: s.Name, Period: s.PeriodMs / 1e3, LengthBits: s.LengthBits}
+	}
+	return set
+}
+
+// Canonicalize validates the request and resolves every default, so
+// equivalent sweeps (explicit defaults vs omitted fields, permuted or
+// duplicated grid points) share one cache key. The bandwidth grid is
+// sorted ascending and deduped — estimating one point twice is pure
+// waste, and per-point RNG streams depend only on (seed, bandwidth,
+// sample), never on grid position.
+func (r SweepRequest) Canonicalize() (SweepRequest, error) {
+	out := r
+	var err error
+	if out.Protocols, err = canonProtocols(r.Protocols); err != nil {
+		return SweepRequest{}, err
+	}
+	if out.PointsPerDecade <= 0 {
+		out.PointsPerDecade = 3
+	}
+	if out.Streams <= 0 {
+		out.Streams = 100
+	}
+	if out.MeanPeriodMs == 0 {
+		out.MeanPeriodMs = 100
+	}
+	if out.PeriodRatio == 0 {
+		out.PeriodRatio = 10
+	}
+	if out.Samples <= 0 {
+		out.Samples = 100
+	}
+	if out.Seed == 0 {
+		out.Seed = 1993
+	}
+	if out.MeanPeriodMs <= 0 || badFloat(out.MeanPeriodMs) ||
+		out.PeriodRatio < 1 || badFloat(out.PeriodRatio) {
+		return SweepRequest{}, fmt.Errorf("%w: meanPeriodMs must be positive and periodRatio ≥ 1",
+			ErrBadRequest)
+	}
+	out.MeanPeriodMs = canonFloat(out.MeanPeriodMs)
+	out.PeriodRatio = canonFloat(out.PeriodRatio)
+	if len(r.BandwidthsMbps) == 0 {
+		grid := paperBandwidthsMbps(out.PointsPerDecade)
+		out.BandwidthsMbps = grid
+	} else {
+		bws := make([]float64, 0, len(r.BandwidthsMbps))
+		for _, bw := range r.BandwidthsMbps {
+			if bw <= 0 || badFloat(bw) {
+				return SweepRequest{}, fmt.Errorf("%w: bandwidthsMbps must be positive and finite, got %v",
+					ErrBadRequest, bw)
+			}
+			bws = append(bws, canonFloat(bw))
+		}
+		sort.Float64s(bws)
+		deduped := bws[:1]
+		for _, bw := range bws[1:] {
+			if bw != deduped[len(deduped)-1] {
+				deduped = append(deduped, bw)
+			}
+		}
+		out.BandwidthsMbps = deduped
+	}
+	return out, nil
+}
+
+// canonExperimentIDs validates and orders an experiment ID list; empty
+// selects every registered experiment.
+func canonExperimentIDs(in []string) ([]expt.Experiment, error) {
+	if len(in) == 0 {
+		return expt.All(), nil
+	}
+	seen := map[string]bool{}
+	var out []expt.Experiment
+	for _, id := range in {
+		id = strings.ToUpper(strings.TrimSpace(id))
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		e, err := expt.ByID(id)
+		if err != nil {
+			all := expt.All()
+			ids := make([]string, len(all))
+			for i, e := range all {
+				ids[i] = e.ID
+			}
+			return nil, fmt.Errorf("%w: %v (valid: %s)", ErrBadRequest, err, strings.Join(ids, ", "))
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// ListExperiments returns every registered reproduction experiment in ID
+// order.
+func ListExperiments() []ExperimentInfo {
+	all := expt.All()
+	out := make([]ExperimentInfo, len(all))
+	for i, e := range all {
+		out[i] = ExperimentInfo{ID: e.ID, Title: e.Title}
+	}
+	return out
+}
+
+// Analyze answers one analyze request. It canonicalizes the request
+// itself, so callers may pass the raw wire form; the response (including
+// its CacheKey) is a pure function of the canonical request — the
+// property the result cache and the CLI/server byte-comparability tests
+// rely on.
+func Analyze(ctx context.Context, req AnalyzeRequest) (AnalyzeResponse, error) {
+	canon, err := req.Canonicalize()
+	if err != nil {
+		return AnalyzeResponse{}, err
+	}
+	return analyzeCanonical(ctx, canon, canon.CacheKey())
+}
+
+// analyzeCanonical runs the analysis for an already-canonical request.
+func analyzeCanonical(ctx context.Context, req AnalyzeRequest, key string) (AnalyzeResponse, error) {
+	set := req.messageSet()
+	bw := ring.Mbps(req.BandwidthMbps)
+	var fm *faults.Model
+	if req.FaultModel != "" {
+		m, err := faults.ParseModel(req.FaultModel)
+		if err != nil {
+			return AnalyzeResponse{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		fm = &m
+	}
+	resp := AnalyzeResponse{
+		CacheKey:      key,
+		BandwidthMbps: req.BandwidthMbps,
+		FaultModel:    req.FaultModel,
+	}
+	for _, proto := range req.Protocols {
+		if err := ctx.Err(); err != nil {
+			return AnalyzeResponse{}, err
+		}
+		var v Verdict
+		var err error
+		if proto == ProtocolTTP {
+			v, err = analyzeTTP(bw, set, fm, req.Detail)
+		} else {
+			v, err = analyzePDP(proto, bw, set, fm, req.Detail)
+		}
+		if err != nil {
+			return AnalyzeResponse{}, err
+		}
+		resp.Verdicts = append(resp.Verdicts, v)
+	}
+	return resp, nil
+}
+
+func analyzePDP(proto string, bw float64, set message.Set, fm *faults.Model, detail bool) (Verdict, error) {
+	p := core.NewStandardPDP(bw)
+	if proto == ProtocolModifiedPDP {
+		p = core.NewModifiedPDP(bw)
+	}
+	if len(set) > p.Net.Stations {
+		p.Net = p.Net.WithStations(len(set))
+	}
+	rep, err := p.Report(set)
+	if err != nil {
+		return Verdict{}, err
+	}
+	v := Verdict{
+		Protocol:             proto,
+		Schedulable:          rep.Schedulable,
+		Utilization:          rep.Utilization,
+		AugmentedUtilization: rep.AugmentedUtilization,
+		Blocking:             rep.Blocking,
+		Theta:                rep.Theta,
+		FrameTime:            rep.FrameTime,
+	}
+	if detail {
+		for _, s := range rep.Streams {
+			v.Streams = append(v.Streams, StreamVerdict{
+				Name:            s.Stream.Name,
+				PeriodMs:        s.Stream.Period * 1e3,
+				Frames:          s.Frames,
+				AugmentedLength: s.AugmentedLength,
+				ResponseTime:    s.ResponseTime,
+				Schedulable:     s.Schedulable,
+			})
+		}
+	}
+	if fm != nil {
+		budget := p.FaultBudgetFor(fm, set)
+		deg, err := p.FaultReport(set, budget)
+		if err != nil {
+			return Verdict{}, err
+		}
+		v.Degraded = &DegradedVerdict{
+			Schedulable:  deg.Schedulable,
+			Availability: budget.Availability,
+			Losses:       budget.Losses,
+			Recovery:     budget.Recovery,
+			Blocking:     deg.Blocking,
+		}
+	}
+	return v, nil
+}
+
+func analyzeTTP(bw float64, set message.Set, fm *faults.Model, detail bool) (Verdict, error) {
+	t := core.NewTTP(bw)
+	if len(set) > t.Net.Stations {
+		t.Net = t.Net.WithStations(len(set))
+	}
+	rep, err := t.Report(set)
+	if err != nil {
+		return Verdict{}, err
+	}
+	v := Verdict{
+		Protocol:        ProtocolTTP,
+		Schedulable:     rep.Schedulable,
+		Utilization:     rep.Utilization,
+		TTRT:            rep.TTRT,
+		Overhead:        rep.Overhead,
+		TotalAllocation: rep.TotalAllocation,
+		Capacity:        rep.Capacity,
+	}
+	if detail {
+		for _, s := range rep.Streams {
+			v.Streams = append(v.Streams, StreamVerdict{
+				Name:              s.Stream.Name,
+				PeriodMs:          s.Stream.Period * 1e3,
+				Q:                 s.Q,
+				AugmentedLength:   s.AugmentedLength,
+				Allocation:        s.Allocation,
+				WorstCaseResponse: s.WorstCaseResponse,
+				Schedulable:       s.Q >= 2,
+			})
+		}
+	}
+	if fm != nil {
+		budget := t.FaultBudgetFor(fm, set)
+		deg, err := t.FaultReport(set, budget)
+		if err != nil {
+			return Verdict{}, err
+		}
+		v.Degraded = &DegradedVerdict{
+			Schedulable:     deg.Schedulable,
+			Availability:    deg.Availability,
+			TotalAllocation: deg.TotalAllocation,
+			Capacity:        deg.Capacity,
+		}
+	}
+	return v, nil
+}
+
+// Sweep answers one sweep request. Like Analyze it canonicalizes the raw
+// request; workers bounds the estimator's parallelism (0 = all cores) and
+// never affects the result, and obs (may be nil) observes per-sample and
+// per-point progress. Cancelling ctx aborts the Monte Carlo workers
+// promptly.
+func Sweep(ctx context.Context, req SweepRequest, workers int, obs progress.Progress) (SweepResponse, error) {
+	canon, err := req.Canonicalize()
+	if err != nil {
+		return SweepResponse{}, err
+	}
+	return sweepCanonical(ctx, canon, canon.CacheKey(), workers, obs)
+}
+
+func sweepCanonical(ctx context.Context, req SweepRequest, key string, workers int, obs progress.Progress) (SweepResponse, error) {
+	est := breakdown.Estimator{
+		Generator: message.Generator{
+			Streams:     req.Streams,
+			MeanPeriod:  req.MeanPeriodMs / 1e3,
+			PeriodRatio: req.PeriodRatio,
+		},
+		Samples:  req.Samples,
+		Seed:     req.Seed,
+		Workers:  workers,
+		Progress: obs,
+	}
+	bandwidths := make([]float64, len(req.BandwidthsMbps))
+	for i, bw := range req.BandwidthsMbps {
+		bandwidths[i] = ring.Mbps(bw)
+	}
+	resp := SweepResponse{CacheKey: key, Request: req}
+	for _, proto := range req.Protocols {
+		factory := analyzerFactory(proto, req.Streams)
+		s, err := est.SweepContext(ctx, protocolNames[proto], factory, bandwidths)
+		if err != nil {
+			return SweepResponse{}, err
+		}
+		series := SweepSeries{Protocol: proto, Name: s.Name}
+		for _, p := range s.Points {
+			series.Points = append(series.Points, SweepPoint{
+				BandwidthMbps: p.BandwidthBPS / 1e6,
+				Mean:          p.Estimate.Mean,
+				CI95:          p.Estimate.CI95,
+				P10:           p.Estimate.P10,
+				Median:        p.Estimate.Median,
+				P90:           p.Estimate.P90,
+				Infeasible:    p.Estimate.Infeasible,
+			})
+		}
+		resp.Series = append(resp.Series, series)
+	}
+	return resp, nil
+}
+
+// analyzerFactory builds the per-bandwidth analyzer for one protocol with
+// the plant resized to the workload's station count, mirroring the
+// breakdown CLI.
+func analyzerFactory(proto string, stations int) breakdown.AnalyzerFactory {
+	switch proto {
+	case ProtocolModifiedPDP:
+		return func(bw float64) core.Analyzer {
+			p := core.NewModifiedPDP(bw)
+			p.Net = p.Net.WithStations(stations)
+			return p
+		}
+	case ProtocolStandardPDP:
+		return func(bw float64) core.Analyzer {
+			p := core.NewStandardPDP(bw)
+			p.Net = p.Net.WithStations(stations)
+			return p
+		}
+	default:
+		return func(bw float64) core.Analyzer {
+			t := core.NewTTP(bw)
+			t.Net = t.Net.WithStations(stations)
+			return t
+		}
+	}
+}
+
+// RunExperiments executes a batch of reproduction experiments; workers
+// bounds the parallelism and obs (may be nil) observes lifecycle and
+// progress. Results come back in deterministic ID order.
+func RunExperiments(ctx context.Context, req ExperimentsRequest, workers int, obs progress.Progress) (ExperimentsResponse, error) {
+	exps, err := canonExperimentIDs(req.IDs)
+	if err != nil {
+		return ExperimentsResponse{}, err
+	}
+	cfg := expt.Config{
+		Samples:         req.Samples,
+		Seed:            req.Seed,
+		PointsPerDecade: req.PointsPerDecade,
+		Quick:           req.Quick,
+		Workers:         workers,
+	}
+	var resp ExperimentsResponse
+	for _, o := range expt.RunAll(ctx, cfg, obs, exps) {
+		r := ExperimentResult{
+			ID:     o.Experiment.ID,
+			Title:  o.Experiment.Title,
+			Pass:   o.Err == nil && o.Report.Pass,
+			Values: o.Report.Values,
+			Notes:  o.Report.Notes,
+		}
+		if o.Err != nil {
+			r.Error = o.Err.Error()
+		}
+		resp.Results = append(resp.Results, r)
+	}
+	if err := ctx.Err(); err != nil {
+		return ExperimentsResponse{}, err
+	}
+	return resp, nil
+}
+
+// paperBandwidthsMbps is the default sweep grid in Mbps.
+func paperBandwidthsMbps(pointsPerDecade int) []float64 {
+	bws := breakdown.PaperBandwidths(pointsPerDecade)
+	out := make([]float64, len(bws))
+	for i, bw := range bws {
+		out[i] = bw / 1e6
+	}
+	return out
+}

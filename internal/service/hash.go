@@ -1,0 +1,104 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strconv"
+	"strings"
+)
+
+// The cache key is a SHA-256 over a stable serialization of the
+// *canonical* request, prefixed with an endpoint tag and a schema version
+// so analyze and sweep keys can never collide and a wire-format change
+// invalidates old entries. Canonicalization (api.go) has already sorted
+// streams to RM order, resolved the fault spec to its normal form, and
+// collapsed -0 to +0; the serialization below finishes the job by
+// rendering every float through strconv's shortest round-trip form, so
+// "100", "100.0" and "1e2" — which decode to the same float64 — key
+// identically.
+
+const keySchema = "ringsched/v1"
+
+// hasher accumulates the canonical serialization.
+type hasher struct {
+	b strings.Builder
+}
+
+func newHasher(endpoint string) *hasher {
+	h := &hasher{}
+	h.b.WriteString(keySchema)
+	h.b.WriteByte('/')
+	h.b.WriteString(endpoint)
+	return h
+}
+
+// field appends one named field; names are fixed literals, values are
+// pre-escaped by the typed helpers below.
+func (h *hasher) field(name, value string) {
+	h.b.WriteByte('|')
+	h.b.WriteString(name)
+	h.b.WriteByte('=')
+	h.b.WriteString(value)
+}
+
+func (h *hasher) str(name, v string) { h.field(name, strconv.Quote(v)) }
+
+func (h *hasher) float(name string, v float64) {
+	h.field(name, strconv.FormatFloat(canonFloat(v), 'g', -1, 64))
+}
+
+func (h *hasher) int(name string, v int64) { h.field(name, strconv.FormatInt(v, 10)) }
+
+func (h *hasher) bool(name string, v bool) { h.field(name, strconv.FormatBool(v)) }
+
+func (h *hasher) strs(name string, vs []string) {
+	quoted := make([]string, len(vs))
+	for i, v := range vs {
+		quoted[i] = strconv.Quote(v)
+	}
+	h.field(name, strings.Join(quoted, ","))
+}
+
+func (h *hasher) floats(name string, vs []float64) {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = strconv.FormatFloat(canonFloat(v), 'g', -1, 64)
+	}
+	h.field(name, strings.Join(parts, ","))
+}
+
+func (h *hasher) sum() string {
+	sum := sha256.Sum256([]byte(h.b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// CacheKey returns the canonical cache key of the request. The receiver
+// must already be canonical (see Canonicalize); the server and CLIs only
+// hash canonicalized requests.
+func (r AnalyzeRequest) CacheKey() string {
+	h := newHasher("analyze")
+	h.strs("protocols", r.Protocols)
+	h.float("bw", r.BandwidthMbps)
+	h.str("fault", r.FaultModel)
+	h.bool("detail", r.Detail)
+	for _, s := range r.Streams {
+		h.str("s.name", s.Name)
+		h.float("s.period", s.PeriodMs)
+		h.float("s.bits", s.LengthBits)
+	}
+	return h.sum()
+}
+
+// CacheKey returns the canonical cache key of the request. The receiver
+// must already be canonical (see Canonicalize).
+func (r SweepRequest) CacheKey() string {
+	h := newHasher("sweep")
+	h.strs("protocols", r.Protocols)
+	h.floats("bw", r.BandwidthsMbps)
+	h.int("streams", int64(r.Streams))
+	h.float("meanPeriod", r.MeanPeriodMs)
+	h.float("periodRatio", r.PeriodRatio)
+	h.int("samples", int64(r.Samples))
+	h.int("seed", r.Seed)
+	return h.sum()
+}

@@ -1,0 +1,168 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// This file is a minimal Prometheus text-format (version 0.0.4) exporter.
+// The repository deliberately has no dependencies, so the three
+// primitives the service needs — labeled counters, labeled latency
+// histograms, and callback gauges — are hand-rolled. Families render
+// sorted by name and label set, so /metrics output is deterministic and
+// trivially greppable in smoke tests.
+
+// counterVec is a monotonically increasing counter family keyed by a
+// rendered label string (`{a="b"}` or "" for no labels).
+type counterVec struct {
+	name, help string
+	mu         sync.Mutex
+	vals       map[string]float64
+}
+
+func newCounterVec(name, help string) *counterVec {
+	return &counterVec{name: name, help: help, vals: map[string]float64{}}
+}
+
+func (c *counterVec) add(labels string, v float64) {
+	c.mu.Lock()
+	c.vals[labels] += v
+	c.mu.Unlock()
+}
+
+func (c *counterVec) write(w io.Writer) {
+	c.mu.Lock()
+	keys := make([]string, 0, len(c.vals))
+	for k := range c.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", c.name, c.help, c.name)
+	if len(keys) == 0 {
+		fmt.Fprintf(w, "%s 0\n", c.name)
+	}
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s%s %s\n", c.name, k, formatSample(c.vals[k]))
+	}
+	c.mu.Unlock()
+}
+
+// latencyBuckets are the histogram upper bounds in seconds, spanning
+// cache hits (sub-millisecond) through multi-minute sweeps.
+var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60, 300}
+
+// histogramVec is a labeled latency histogram family.
+type histogramVec struct {
+	name, help string
+	mu         sync.Mutex
+	series     map[string]*histogram
+}
+
+type histogram struct {
+	buckets []uint64 // one per latencyBuckets entry
+	count   uint64
+	sum     float64
+}
+
+func newHistogramVec(name, help string) *histogramVec {
+	return &histogramVec{name: name, help: help, series: map[string]*histogram{}}
+}
+
+func (h *histogramVec) observe(labels string, seconds float64) {
+	h.mu.Lock()
+	s, ok := h.series[labels]
+	if !ok {
+		s = &histogram{buckets: make([]uint64, len(latencyBuckets))}
+		h.series[labels] = s
+	}
+	for i, le := range latencyBuckets {
+		if seconds <= le {
+			s.buckets[i]++
+		}
+	}
+	s.count++
+	s.sum += seconds
+	h.mu.Unlock()
+}
+
+func (h *histogramVec) write(w io.Writer) {
+	h.mu.Lock()
+	keys := make([]string, 0, len(h.series))
+	for k := range h.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+	for _, k := range keys {
+		s := h.series[k]
+		for i, le := range latencyBuckets {
+			fmt.Fprintf(w, "%s_bucket%s %d\n", h.name,
+				withLabel(k, "le", strconv.FormatFloat(le, 'g', -1, 64)), s.buckets[i])
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", h.name, withLabel(k, "le", "+Inf"), s.count)
+		fmt.Fprintf(w, "%s_sum%s %s\n", h.name, k, formatSample(s.sum))
+		fmt.Fprintf(w, "%s_count%s %d\n", h.name, k, s.count)
+	}
+	h.mu.Unlock()
+}
+
+// gaugeFunc reads its value at scrape time, so pool depth and cache size
+// need no write-path instrumentation. typ overrides the metric type for
+// monotone values kept elsewhere (cache counters); "" means gauge.
+type gaugeFunc struct {
+	name, help, typ string
+	fn              func() float64
+}
+
+func (g gaugeFunc) write(w io.Writer) {
+	typ := g.typ
+	if typ == "" {
+		typ = "gauge"
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+		g.name, g.help, g.name, typ, g.name, formatSample(g.fn()))
+}
+
+// labels renders key=value pairs as a Prometheus label string. Pairs must
+// come pre-sorted by key; values are escaped per the text format.
+func labels(pairs ...string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pairs[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(pairs[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// withLabel appends one more label to an already-rendered label string
+// (used for histogram "le" bounds).
+func withLabel(rendered, key, value string) string {
+	extra := key + `="` + escapeLabel(value) + `"`
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return strings.TrimSuffix(rendered, "}") + "," + extra + "}"
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func formatSample(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,163 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// flightGroup is a bounded worker pool with request coalescing: concurrent
+// calls with the same key share one underlying computation, and at most
+// `workers` computations run at once across all keys.
+//
+// Unlike the classic singleflight, a shared computation's context is NOT
+// any one caller's request context: it derives from the group's base
+// (server-lifetime) context plus the per-job timeout, and is cancelled
+// when the last interested caller walks away. A caller that times out or
+// disconnects therefore never kills a computation other callers are still
+// waiting on — but an abandoned computation stops promptly instead of
+// running to completion for nobody.
+type flightGroup struct {
+	baseCtx    context.Context
+	jobTimeout time.Duration
+	sem        chan struct{}
+
+	mu    sync.Mutex
+	calls map[string]*flightCall
+
+	queued    atomic.Int64 // jobs waiting for a pool slot
+	running   atomic.Int64 // jobs holding a pool slot
+	started   atomic.Int64 // computations started (not coalesced, not cached)
+	coalesced atomic.Int64 // callers that joined an in-flight computation
+	abandoned atomic.Int64 // computations cancelled because every caller left
+}
+
+type flightCall struct {
+	done    chan struct{}
+	cancel  context.CancelFunc
+	waiters int
+	body    []byte
+	err     error
+}
+
+// newFlightGroup builds a group whose jobs live under baseCtx. workers
+// bounds concurrent computations (non-positive means 1); jobTimeout, when
+// positive, deadlines each computation.
+func newFlightGroup(baseCtx context.Context, workers int, jobTimeout time.Duration) *flightGroup {
+	if workers < 1 {
+		workers = 1
+	}
+	return &flightGroup{
+		baseCtx:    baseCtx,
+		jobTimeout: jobTimeout,
+		sem:        make(chan struct{}, workers),
+		calls:      map[string]*flightCall{},
+	}
+}
+
+// do returns the result of fn for key, sharing one execution among
+// concurrent callers. shared reports whether this caller coalesced onto
+// a computation another caller started. ctx bounds only this caller's
+// wait; fn receives the job context described on flightGroup.
+func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Context) ([]byte, error)) (body []byte, shared bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		g.coalesced.Add(1)
+		return g.wait(ctx, key, c, true)
+	}
+	var jobCtx context.Context
+	var cancel context.CancelFunc
+	if g.jobTimeout > 0 {
+		jobCtx, cancel = context.WithTimeout(g.baseCtx, g.jobTimeout)
+	} else {
+		jobCtx, cancel = context.WithCancel(g.baseCtx)
+	}
+	c := &flightCall{done: make(chan struct{}), cancel: cancel, waiters: 1}
+	g.calls[key] = c
+	g.mu.Unlock()
+	g.started.Add(1)
+
+	go g.run(key, c, jobCtx, fn)
+	return g.wait(ctx, key, c, false)
+}
+
+// run executes one computation under its pool slot and publishes the
+// result.
+func (g *flightGroup) run(key string, c *flightCall, jobCtx context.Context, fn func(context.Context) ([]byte, error)) {
+	g.queued.Add(1)
+	select {
+	case g.sem <- struct{}{}:
+		g.queued.Add(-1)
+	case <-jobCtx.Done():
+		g.queued.Add(-1)
+		g.finish(key, c, nil, jobCtx.Err())
+		return
+	}
+	g.running.Add(1)
+	body, err := fn(jobCtx)
+	g.running.Add(-1)
+	<-g.sem
+	g.finish(key, c, body, err)
+}
+
+func (g *flightGroup) finish(key string, c *flightCall, body []byte, err error) {
+	g.mu.Lock()
+	delete(g.calls, key)
+	c.body, c.err = body, err
+	g.mu.Unlock()
+	c.cancel()
+	close(c.done)
+}
+
+// wait blocks until the shared computation completes or the caller's own
+// context fires; a departing last waiter cancels the computation.
+func (g *flightGroup) wait(ctx context.Context, key string, c *flightCall, shared bool) ([]byte, bool, error) {
+	select {
+	case <-c.done:
+		return c.body, shared, c.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		c.waiters--
+		last := c.waiters == 0
+		g.mu.Unlock()
+		if last {
+			// Nobody is listening anymore: stop the workers instead of
+			// computing into the void. The run goroutine still publishes
+			// (and cache-misses) the cancellation cleanly.
+			g.abandoned.Add(1)
+			c.cancel()
+		}
+		return nil, shared, ctx.Err()
+	}
+}
+
+// acquire blocks until a pool slot is free or ctx fires, maintaining the
+// depth gauges. Callers that must run work inline on their own goroutine
+// (SSE streams, whose writer dies with the handler) use it to share the
+// computation budget with the coalesced jobs.
+func (g *flightGroup) acquire(ctx context.Context) error {
+	g.queued.Add(1)
+	defer g.queued.Add(-1)
+	select {
+	case g.sem <- struct{}{}:
+		g.running.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a slot taken with acquire.
+func (g *flightGroup) release() {
+	g.running.Add(-1)
+	<-g.sem
+}
+
+// Depth returns the pool gauges: jobs waiting for a slot and jobs
+// currently computing.
+func (g *flightGroup) Depth() (queued, running int64) {
+	return g.queued.Load(), g.running.Load()
+}

@@ -1,0 +1,235 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFlightGroupCoalescesConcurrentCallers(t *testing.T) {
+	g := newFlightGroup(context.Background(), 4, 0)
+	var executions atomic.Int64
+	release := make(chan struct{})
+	entered := make(chan struct{}, 16)
+
+	const callers = 8
+	var wg sync.WaitGroup
+	results := make([][]byte, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _, errs[i] = g.do(context.Background(), "same-key", func(ctx context.Context) ([]byte, error) {
+				executions.Add(1)
+				entered <- struct{}{}
+				<-release
+				return []byte("shared result"), nil
+			})
+		}(i)
+	}
+
+	// Wait for the single computation to start, give stragglers time to
+	// join it, then let it finish.
+	<-entered
+	for deadline := time.Now().Add(time.Second); g.coalesced.Load() < callers-1; {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d callers coalesced", g.coalesced.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("fn executed %d times, want 1", n)
+	}
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil || string(results[i]) != "shared result" {
+			t.Errorf("caller %d: body=%q err=%v", i, results[i], errs[i])
+		}
+	}
+	if g.started.Load() != 1 || g.coalesced.Load() != callers-1 {
+		t.Errorf("started=%d coalesced=%d", g.started.Load(), g.coalesced.Load())
+	}
+}
+
+func TestFlightGroupSequentialCallsRunSeparately(t *testing.T) {
+	g := newFlightGroup(context.Background(), 1, 0)
+	var executions atomic.Int64
+	for i := 0; i < 3; i++ {
+		body, shared, err := g.do(context.Background(), "k", func(ctx context.Context) ([]byte, error) {
+			executions.Add(1)
+			return []byte("v"), nil
+		})
+		if err != nil || shared || string(body) != "v" {
+			t.Fatalf("call %d: body=%q shared=%v err=%v", i, body, shared, err)
+		}
+	}
+	if executions.Load() != 3 {
+		t.Errorf("sequential calls should each execute; got %d", executions.Load())
+	}
+}
+
+func TestFlightGroupLastWaiterCancelsComputation(t *testing.T) {
+	g := newFlightGroup(context.Background(), 2, 0)
+	jobCancelled := make(chan struct{})
+	entered := make(chan struct{})
+
+	callerCtx, callerCancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := g.do(callerCtx, "k", func(ctx context.Context) ([]byte, error) {
+			close(entered)
+			<-ctx.Done()
+			close(jobCancelled)
+			return nil, ctx.Err()
+		})
+		done <- err
+	}()
+
+	<-entered
+	callerCancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("caller error = %v, want Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("caller did not return after its context fired")
+	}
+	select {
+	case <-jobCancelled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("abandoned computation was not cancelled")
+	}
+	if g.abandoned.Load() != 1 {
+		t.Errorf("abandoned=%d, want 1", g.abandoned.Load())
+	}
+
+	// The group stays usable: the key is free for a fresh computation.
+	waitForKeyFree(t, g, "k")
+	body, shared, err := g.do(context.Background(), "k", func(ctx context.Context) ([]byte, error) {
+		return []byte("fresh"), nil
+	})
+	if err != nil || shared || string(body) != "fresh" {
+		t.Errorf("post-abandon call: body=%q shared=%v err=%v", body, shared, err)
+	}
+}
+
+func TestFlightGroupSurvivingWaiterKeepsComputationAlive(t *testing.T) {
+	g := newFlightGroup(context.Background(), 2, 0)
+	release := make(chan struct{})
+	entered := make(chan struct{})
+
+	// First caller starts the job, then a second joins it.
+	firstDone := make(chan error, 1)
+	go func() {
+		_, _, err := g.do(context.Background(), "k", func(ctx context.Context) ([]byte, error) {
+			close(entered)
+			select {
+			case <-release:
+				return []byte("v"), nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		})
+		firstDone <- err
+	}()
+	<-entered
+
+	impatient, impatientCancel := context.WithCancel(context.Background())
+	secondDone := make(chan error, 1)
+	go func() {
+		_, _, err := g.do(impatient, "k", func(ctx context.Context) ([]byte, error) {
+			t.Error("joined caller must not start a second execution")
+			return nil, nil
+		})
+		secondDone <- err
+	}()
+	// Wait until the second caller has actually joined before bailing it out.
+	for deadline := time.Now().Add(time.Second); g.coalesced.Load() == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("second caller never coalesced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	impatientCancel()
+	if err := <-secondDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("impatient caller error = %v", err)
+	}
+
+	// The first caller still gets its result — the departure of a
+	// non-last waiter must not cancel the shared computation.
+	close(release)
+	if err := <-firstDone; err != nil {
+		t.Fatalf("surviving caller error = %v", err)
+	}
+	if g.abandoned.Load() != 0 {
+		t.Errorf("abandoned=%d, want 0", g.abandoned.Load())
+	}
+}
+
+func TestFlightGroupBoundsConcurrency(t *testing.T) {
+	const workers = 2
+	g := newFlightGroup(context.Background(), workers, 0)
+	var inFlight, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g.do(context.Background(), string(rune('a'+i)), func(ctx context.Context) ([]byte, error) {
+				n := inFlight.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				time.Sleep(10 * time.Millisecond)
+				inFlight.Add(-1)
+				return nil, nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent computations, pool bound is %d", p, workers)
+	}
+	if q, r := g.Depth(); q != 0 || r != 0 {
+		t.Errorf("Depth after drain = %d,%d", q, r)
+	}
+}
+
+func TestFlightGroupJobTimeout(t *testing.T) {
+	g := newFlightGroup(context.Background(), 1, 20*time.Millisecond)
+	_, _, err := g.do(context.Background(), "k", func(ctx context.Context) ([]byte, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// waitForKeyFree blocks until no in-flight call holds key, so a follow-up
+// do() is guaranteed to start a fresh computation.
+func waitForKeyFree(t *testing.T, g *flightGroup, key string) {
+	t.Helper()
+	for deadline := time.Now().Add(2 * time.Second); ; {
+		g.mu.Lock()
+		_, busy := g.calls[key]
+		g.mu.Unlock()
+		if !busy {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("key never freed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,416 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"ringsched/internal/progress"
+)
+
+// Config tunes a Server. The zero value serves with sensible defaults.
+type Config struct {
+	// CacheBytes is the result cache budget (default 64 MiB).
+	CacheBytes int64
+	// Workers bounds concurrent computations (default GOMAXPROCS).
+	Workers int
+	// JobTimeout deadlines each computation (default 5m; negative
+	// disables).
+	JobTimeout time.Duration
+	// SampleEvery coalesces SSE sample events (default 64).
+	SampleEvery int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.JobTimeout == 0 {
+		c.JobTimeout = 5 * time.Minute
+	}
+	if c.JobTimeout < 0 {
+		c.JobTimeout = 0
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 64
+	}
+	return c
+}
+
+// Server is the ringschedd HTTP API: /v1/analyze, /v1/sweep,
+// /v1/experiments, /healthz and /metrics. Create one with New, expose it
+// via Handler, and stop it with BeginDrain (reject new work) followed by
+// Close (cancel whatever is still running).
+type Server struct {
+	cfg    Config
+	mux    *http.ServeMux
+	cache  *Cache
+	flight *flightGroup
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	draining   atomic.Bool
+	inflight   atomic.Int64
+
+	requests  *counterVec   // endpoint, code
+	latency   *histogramVec // endpoint
+	computes  *counterVec   // endpoint
+	verdicts  *counterVec   // protocol, schedulable
+	canceled  *counterVec   // endpoint
+	sseStream *counterVec   // endpoint (streams opened)
+}
+
+// New builds a Server ready to serve.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	baseCtx, baseCancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		cache:      NewCache(cfg.CacheBytes),
+		baseCtx:    baseCtx,
+		baseCancel: baseCancel,
+		requests:   newCounterVec("ringschedd_requests_total", "HTTP requests by endpoint and status code."),
+		latency:    newHistogramVec("ringschedd_request_seconds", "HTTP request latency by endpoint."),
+		computes:   newCounterVec("ringschedd_computations_total", "Underlying computations performed (cache misses that were not coalesced)."),
+		verdicts:   newCounterVec("ringschedd_verdicts_total", "Analysis verdicts by protocol and outcome."),
+		canceled:   newCounterVec("ringschedd_canceled_total", "Requests that ended with a canceled or expired context."),
+		sseStream:  newCounterVec("ringschedd_sse_streams_total", "Progress streams opened by endpoint."),
+	}
+	s.flight = newFlightGroup(baseCtx, cfg.Workers, cfg.JobTimeout)
+	s.mux.HandleFunc("/v1/analyze", s.instrument("analyze", s.handleAnalyze))
+	s.mux.HandleFunc("/v1/sweep", s.instrument("sweep", s.handleSweep))
+	s.mux.HandleFunc("/v1/experiments", s.instrument("experiments", s.handleExperiments))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// BeginDrain switches the server to draining: /healthz turns 503 (so load
+// balancers stop routing here) and new API requests are rejected with
+// 503, while requests already in flight run to completion.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close cancels every remaining computation. Call it after the HTTP
+// listener has drained (http.Server.Shutdown).
+func (s *Server) Close() { s.baseCancel() }
+
+// InFlight returns the number of API requests currently being served.
+func (s *Server) InFlight() int64 { return s.inflight.Load() }
+
+// statusWriter records the response code and passes Flush through so SSE
+// works behind the instrumentation wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps an API handler with draining rejection, in-flight
+// tracking, and request/latency metrics.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		s.inflight.Add(1)
+		defer func() {
+			s.inflight.Add(-1)
+			s.requests.add(labels("code", strconv.Itoa(sw.code), "endpoint", endpoint), 1)
+			s.latency.observe(labels("endpoint", endpoint), time.Since(start).Seconds())
+		}()
+		if s.draining.Load() {
+			writeError(sw, http.StatusServiceUnavailable, errors.New("service: draining, not accepting new work"))
+			return
+		}
+		h(sw, r)
+	}
+}
+
+// writeError emits a JSON error body with the given status.
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	body, _ := json.Marshal(map[string]string{"error": err.Error()})
+	w.Write(append(body, '\n'))
+}
+
+// statusFor maps computation errors to HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrBadRequest) || errors.Is(err, ErrUnknownProtocol):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) noteCancel(endpoint string, err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		s.canceled.add(labels("endpoint", endpoint), 1)
+	}
+}
+
+// decode parses a request body strictly.
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return nil
+}
+
+// serveCached runs the cache → coalesce → compute path shared by analyze
+// and non-streaming sweep and writes the response body. compute must
+// return the exact bytes to serve; they are cached under key.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, key string, compute func(context.Context) ([]byte, error)) {
+	if body, ok := s.cache.Get(key); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", "hit")
+		w.Write(body)
+		return
+	}
+	body, shared, err := s.flight.do(r.Context(), key, func(ctx context.Context) ([]byte, error) {
+		s.computes.add(labels("endpoint", endpoint), 1)
+		b, err := compute(ctx)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Put(key, b)
+		return b, nil
+	})
+	if err != nil {
+		s.noteCancel(endpoint, err)
+		writeError(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if shared {
+		w.Header().Set("X-Cache", "coalesced")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.Write(body)
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("service: POST required"))
+		return
+	}
+	var req AnalyzeRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	canon, err := req.Canonicalize()
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	key := canon.CacheKey()
+	s.serveCached(w, r, "analyze", key, func(ctx context.Context) ([]byte, error) {
+		resp, err := analyzeCanonical(ctx, canon, key)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range resp.Verdicts {
+			s.verdicts.add(labels("protocol", v.Protocol, "schedulable", strconv.FormatBool(v.Schedulable)), 1)
+		}
+		return Encode(resp)
+	})
+}
+
+// wantsSSE reports whether the client asked for a progress stream.
+func wantsSSE(r *http.Request) bool {
+	return r.Header.Get("Accept") == "text/event-stream" || r.URL.Query().Get("stream") == "sse"
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("service: POST required"))
+		return
+	}
+	var req SweepRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	canon, err := req.Canonicalize()
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	key := canon.CacheKey()
+	if wantsSSE(r) {
+		s.streamSweep(w, r, canon, key)
+		return
+	}
+	s.serveCached(w, r, "sweep", key, func(ctx context.Context) ([]byte, error) {
+		resp, err := sweepCanonical(ctx, canon, key, s.cfg.Workers, nil)
+		if err != nil {
+			return nil, err
+		}
+		return Encode(resp)
+	})
+}
+
+// streamSweep serves one sweep as an SSE stream: progress frames while
+// the Monte Carlo pools run, then a final "result" (or "error") frame.
+// The job runs under the request context — closing the stream cancels the
+// workers promptly — but still occupies a pool slot and still feeds the
+// result cache, so a later identical request is a hit.
+func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, canon SweepRequest, key string) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("service: streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	s.sseStream.add(labels("endpoint", "sweep"), 1)
+
+	sse := progress.NewSSE(w, flusher.Flush, s.cfg.SampleEvery)
+	if body, ok := s.cache.Get(key); ok {
+		sse.Event("result", json.RawMessage(body))
+		return
+	}
+	// The sweep runs inline on this handler goroutine — never in the
+	// flight group — because its progress frames write through a
+	// ResponseWriter that dies when this handler returns; a detached
+	// worker would write into a reclaimed response. It still takes a pool
+	// slot, so streams and coalesced jobs share one computation budget.
+	// The job context closes with the client (cancelling the Monte Carlo
+	// workers promptly), with the server's base context (so Close reaps
+	// lingering streams), and with the job timeout.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+	if s.cfg.JobTimeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+		defer tcancel()
+	}
+	if err := s.flight.acquire(ctx); err != nil {
+		s.noteCancel("sweep", err)
+		sse.Event("error", map[string]string{"error": err.Error()})
+		return
+	}
+	defer s.flight.release()
+	s.computes.add(labels("endpoint", "sweep"), 1)
+	resp, err := sweepCanonical(ctx, canon, key, s.cfg.Workers, sse)
+	if err != nil {
+		s.noteCancel("sweep", err)
+		sse.Event("error", map[string]string{"error": err.Error()})
+		return
+	}
+	body, err := Encode(resp)
+	if err != nil {
+		sse.Event("error", map[string]string{"error": err.Error()})
+		return
+	}
+	s.cache.Put(key, body)
+	sse.Event("result", json.RawMessage(body))
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		body, err := Encode(map[string][]ExperimentInfo{"experiments": ListExperiments()})
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+	case http.MethodPost:
+		var req ExperimentsRequest
+		if err := decode(r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		// Experiment batches are not cached: they are operator-initiated
+		// rarities, and their reports can be large.
+		resp, err := RunExperiments(r.Context(), req, s.cfg.Workers, nil)
+		if err != nil {
+			s.noteCancel("experiments", err)
+			writeError(w, statusFor(err), err)
+			return
+		}
+		body, err := Encode(resp)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, errors.New("service: GET or POST required"))
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"draining"}`)
+		return
+	}
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.requests.write(w)
+	s.latency.write(w)
+	s.computes.write(w)
+	s.verdicts.write(w)
+	s.canceled.write(w)
+	s.sseStream.write(w)
+	for _, g := range []gaugeFunc{
+		{"ringschedd_cache_hits_total", "Result cache hits.", "counter", func() float64 { return float64(s.cache.Hits()) }},
+		{"ringschedd_cache_misses_total", "Result cache misses.", "counter", func() float64 { return float64(s.cache.Misses()) }},
+		{"ringschedd_cache_evictions_total", "Result cache evictions.", "counter", func() float64 { return float64(s.cache.Evictions()) }},
+		{"ringschedd_cache_bytes", "Resident result cache size in bytes.", "", func() float64 { return float64(s.cache.Bytes()) }},
+		{"ringschedd_cache_entries", "Resident result cache entries.", "", func() float64 { return float64(s.cache.Entries()) }},
+		{"ringschedd_coalesced_total", "Callers that joined an in-flight identical computation.", "counter", func() float64 { return float64(s.flight.coalesced.Load()) }},
+		{"ringschedd_abandoned_total", "Computations cancelled because every caller left.", "counter", func() float64 { return float64(s.flight.abandoned.Load()) }},
+		{"ringschedd_pool_queued", "Jobs waiting for a worker slot.", "", func() float64 { q, _ := s.flight.Depth(); return float64(q) }},
+		{"ringschedd_pool_running", "Jobs currently computing.", "", func() float64 { _, r := s.flight.Depth(); return float64(r) }},
+		{"ringschedd_http_in_flight", "API requests currently being served.", "", func() float64 { return float64(s.InFlight()) }},
+	} {
+		g.write(w)
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"ringsched/internal/progress"
 	"ringsched/internal/ring"
 	"ringsched/internal/rma"
+	"ringsched/internal/service"
 	"ringsched/internal/sim"
 	"ringsched/internal/tokensim"
 	"ringsched/internal/ttpalloc"
@@ -295,6 +296,58 @@ func TeeProgress(obs ...Progress) Progress { return progress.Tee(obs...) }
 func NewProgressMeter(w io.Writer, totalSamples int64) *ProgressMeter {
 	return progress.NewMeter(w, totalSamples)
 }
+
+// Serving layer: the request/response schema and engine of ringschedd,
+// shared by the HTTP API and the -json modes of schedcheck and breakdown
+// so their outputs are byte-comparable.
+type (
+	// ServiceStreamSpec is the wire form of one message stream.
+	ServiceStreamSpec = service.StreamSpec
+	// AnalyzeRequest asks for schedulability verdicts.
+	AnalyzeRequest = service.AnalyzeRequest
+	// AnalyzeResponse carries per-protocol verdicts.
+	AnalyzeResponse = service.AnalyzeResponse
+	// AnalyzeVerdict is one protocol's verdict.
+	AnalyzeVerdict = service.Verdict
+	// SweepRequest asks for a breakdown-utilization sweep.
+	SweepRequest = service.SweepRequest
+	// SweepResponse carries the per-protocol breakdown curves.
+	SweepResponse = service.SweepResponse
+	// ServiceConfig tunes a Service (cache budget, worker pool, deadlines).
+	ServiceConfig = service.Config
+	// Service is the ringschedd HTTP API implementation.
+	Service = service.Server
+)
+
+// NewService builds the ringschedd HTTP API; expose it with
+// Service.Handler and stop it with BeginDrain followed by Close.
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// Analyze answers one analyze request (the engine behind /v1/analyze and
+// schedcheck -json). The response is a pure function of the
+// canonicalized request.
+func Analyze(ctx context.Context, req AnalyzeRequest) (AnalyzeResponse, error) {
+	return service.Analyze(ctx, req)
+}
+
+// RunSweep answers one sweep request (the engine behind /v1/sweep and
+// breakdown -json). workers bounds parallelism without affecting the
+// result; obs may be nil.
+func RunSweep(ctx context.Context, req SweepRequest, workers int, obs Progress) (SweepResponse, error) {
+	return service.Sweep(ctx, req, workers, obs)
+}
+
+// EncodeResponse renders a service response in the canonical byte form
+// shared by the server and the -json CLI modes.
+func EncodeResponse(v any) ([]byte, error) { return service.Encode(v) }
+
+// ErrUnknownScenario reports a fault-scenario name that is not
+// registered; FaultScenarioByName errors match it with errors.Is.
+var ErrUnknownScenario = faults.ErrUnknownScenario
+
+// ErrBadFaultSpec reports an unparsable fault-model specification;
+// ParseFaultModel errors match it with errors.Is.
+var ErrBadFaultSpec = faults.ErrBadSpec
 
 // ErrMaxEvents reports that a simulation exhausted its MaxEvents budget.
 var ErrMaxEvents = sim.ErrMaxEvents
