@@ -51,8 +51,14 @@ func runExperiment(b *testing.B, id string) {
 }
 
 // BenchmarkFig1Experiment regenerates Figure 1 (all three protocols over
-// the 1 Mbps – 1 Gbps sweep).
-func BenchmarkFig1Experiment(b *testing.B) { runExperiment(b, "FIG1") }
+// the 1 Mbps – 1 Gbps sweep) and reports Monte Carlo throughput as
+// samples/s — the figure-of-merit the benchmark-regression gate tracks.
+func BenchmarkFig1Experiment(b *testing.B) {
+	cfg := benchConfig()
+	samplesPerRun := 3 * len(ringsched.PaperBandwidths(cfg.PointsPerDecade)) * cfg.Samples
+	runExperiment(b, "FIG1")
+	b.ReportMetric(float64(samplesPerRun*b.N)/b.Elapsed().Seconds(), "samples/s")
+}
 
 // BenchmarkClaimLowBandwidth regenerates the 1–10 Mbps comparison rows.
 func BenchmarkClaimLowBandwidth(b *testing.B) { runExperiment(b, "CLAIM-LOWBW") }

@@ -1,0 +1,288 @@
+// Command benchreport turns `go test -bench` output into the canonical
+// benchmark report (BENCH_PR4.json) and gates performance regressions.
+//
+// Report mode — parse a benchmark run and emit JSON:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchreport -out BENCH_PR4.json
+//
+// Compare mode — gate a fresh run against a baseline (either a benchreport
+// JSON file or raw `go test -bench` text; the format is auto-detected):
+//
+//	benchreport -in head.txt -baseline BENCH_PR4.json -ns-tol -1
+//	benchreport -in head.txt -baseline base.txt -ns-tol 0.20
+//
+// The gate fails (exit 1) on any allocs/op increase, and — when ns-tol is
+// non-negative — on any ns/op increase beyond the tolerance or throughput
+// metric (…/s) decrease beyond it. Wall-clock comparisons are only
+// meaningful between runs on the same machine (e.g. head vs merge-base in
+// one CI job); across machines, compare with -ns-tol -1 so only the
+// machine-independent allocation counts gate.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	Pkg         string             `json:"pkg"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+func (b Benchmark) key() string { return b.Pkg + ":" + b.Name }
+
+// Report is the canonical JSON document.
+type Report struct {
+	Schema     string      `json:"schema"`
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+const schema = "ringsched/bench/v1"
+
+func main() {
+	var (
+		in       = flag.String("in", "-", "benchmark text to parse ('-' = stdin)")
+		out      = flag.String("out", "", "write the JSON report here (default stdout; ignored with -baseline)")
+		baseline = flag.String("baseline", "", "compare against this baseline (JSON report or raw bench text) instead of reporting")
+		nsTol    = flag.Float64("ns-tol", 0.20, "relative ns/op (and …/s throughput) tolerance; negative disables wall-clock gating")
+	)
+	flag.Parse()
+
+	cur, err := load(*in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(cur.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark results found in %s", *in))
+	}
+
+	if *baseline != "" {
+		base, err := load(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		failures := compare(base, cur, *nsTol)
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "FAIL:", f)
+		}
+		if len(failures) > 0 {
+			os.Exit(1)
+		}
+		fmt.Printf("benchreport: %d benchmarks within budget (ns-tol %.0f%%, allocs strict)\n",
+			len(cur.Benchmarks), *nsTol*100)
+		return
+	}
+
+	blob, err := json.MarshalIndent(cur, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchreport:", err)
+	os.Exit(2)
+}
+
+// load reads a report from path, accepting either benchreport JSON or raw
+// `go test -bench` output.
+func load(path string) (Report, error) {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return Report{}, err
+	}
+	if trimmed := bytes.TrimSpace(data); len(trimmed) > 0 && trimmed[0] == '{' {
+		var r Report
+		if err := json.Unmarshal(trimmed, &r); err != nil {
+			return Report{}, fmt.Errorf("%s: %w", path, err)
+		}
+		return r, nil
+	}
+	return parseBench(data)
+}
+
+// parseBench parses `go test -bench` text. Repeated results for one
+// benchmark (-count > 1) are folded: minimum ns/op and bytes/op (noise
+// reduction), maximum allocs/op (conservative gate), maximum throughput
+// metrics.
+func parseBench(data []byte) (Report, error) {
+	rep := Report{Schema: schema}
+	index := map[string]int{}
+	pkg := ""
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 || len(f)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Pkg: pkg, Name: trimProcs(f[0]), Iterations: iters}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return Report{}, fmt.Errorf("bad value %q in %q", f[i], line)
+			}
+			switch unit := f[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = ptr(v)
+			case "allocs/op":
+				b.AllocsPerOp = ptr(v)
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		if j, ok := index[b.key()]; ok {
+			fold(&rep.Benchmarks[j], b)
+		} else {
+			index[b.key()] = len(rep.Benchmarks)
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Report{}, err
+	}
+	sort.Slice(rep.Benchmarks, func(i, j int) bool {
+		return rep.Benchmarks[i].key() < rep.Benchmarks[j].key()
+	})
+	return rep, nil
+}
+
+// trimProcs strips the -GOMAXPROCS suffix go test appends to benchmark
+// names, so runs at different -cpu settings still key identically.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func ptr(v float64) *float64 { return &v }
+
+func fold(dst *Benchmark, b Benchmark) {
+	dst.Iterations += b.Iterations
+	if b.NsPerOp < dst.NsPerOp {
+		dst.NsPerOp = b.NsPerOp
+	}
+	dst.BytesPerOp = foldPtr(dst.BytesPerOp, b.BytesPerOp, false)
+	dst.AllocsPerOp = foldPtr(dst.AllocsPerOp, b.AllocsPerOp, true)
+	for k, v := range b.Metrics {
+		if old, ok := dst.Metrics[k]; !ok || v > old {
+			if dst.Metrics == nil {
+				dst.Metrics = map[string]float64{}
+			}
+			dst.Metrics[k] = v
+		}
+	}
+}
+
+func foldPtr(a, b *float64, max bool) *float64 {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	case max == (*b > *a):
+		return b
+	default:
+		return a
+	}
+}
+
+// compare gates cur against base and returns one message per violation.
+func compare(base, cur Report, nsTol float64) []string {
+	curBy := map[string]Benchmark{}
+	for _, b := range cur.Benchmarks {
+		curBy[b.key()] = b
+	}
+	var failures []string
+	for _, b := range base.Benchmarks {
+		c, ok := curBy[b.key()]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchreport: warning: %s missing from current run\n", b.key())
+			continue
+		}
+		if b.AllocsPerOp != nil && c.AllocsPerOp != nil && *c.AllocsPerOp > *b.AllocsPerOp {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %v > baseline %v",
+				b.key(), *c.AllocsPerOp, *b.AllocsPerOp))
+		}
+		if nsTol < 0 {
+			continue
+		}
+		if c.NsPerOp > b.NsPerOp*(1+nsTol) {
+			failures = append(failures, fmt.Sprintf("%s: ns/op %.4g > baseline %.4g (+%.1f%%, tol %.0f%%)",
+				b.key(), c.NsPerOp, b.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1), nsTol*100))
+		}
+		for k, bv := range b.Metrics {
+			cv, ok := c.Metrics[k]
+			if !ok || !strings.HasSuffix(k, "/s") || bv <= 0 {
+				continue
+			}
+			if cv < bv*(1-nsTol) {
+				failures = append(failures, fmt.Sprintf("%s: %s %.4g < baseline %.4g (-%.1f%%, tol %.0f%%)",
+					b.key(), k, cv, bv, 100*(1-cv/bv), nsTol*100))
+			}
+		}
+	}
+	return failures
+}

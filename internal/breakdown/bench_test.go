@@ -1,0 +1,56 @@
+package breakdown
+
+import (
+	"math/rand"
+	"testing"
+
+	"ringsched/internal/core"
+	"ringsched/internal/message"
+)
+
+// benchSatSet draws the paper's 100-stream workload for the saturation
+// benchmarks.
+func benchSatSet(seed int64) message.Set {
+	gen := message.Generator{Streams: 100, MeanPeriod: 100e-3, PeriodRatio: 10}
+	set, err := gen.Draw(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		panic(err)
+	}
+	return set
+}
+
+func benchSaturate(b *testing.B, a core.Analyzer, bw float64, ref bool) {
+	b.Helper()
+	set := benchSatSet(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if ref {
+			_, err = saturateReference(set, a, bw, SaturateOptions{})
+		} else {
+			_, err = Saturate(set, a, bw, SaturateOptions{})
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSaturateTTP measures one full TTP saturation search through the
+// pooled batch-probe fast path — the per-sample cost of every Figure 1
+// point.
+func BenchmarkSaturateTTP(b *testing.B) { benchSaturate(b, core.NewTTP(100e6), 100e6, false) }
+
+// BenchmarkSaturateTTPReference measures the same search through the
+// retained reference oracle (per-probe Scale+Schedulable, allocating).
+func BenchmarkSaturateTTPReference(b *testing.B) { benchSaturate(b, core.NewTTP(100e6), 100e6, true) }
+
+// BenchmarkSaturatePDP measures one modified-802.5 saturation search
+// through the fast path.
+func BenchmarkSaturatePDP(b *testing.B) { benchSaturate(b, core.NewModifiedPDP(4e6), 4e6, false) }
+
+// BenchmarkSaturatePDPReference is its reference-oracle counterpart.
+func BenchmarkSaturatePDPReference(b *testing.B) {
+	benchSaturate(b, core.NewModifiedPDP(4e6), 4e6, true)
+}

@@ -63,16 +63,48 @@ func (o SaturateOptions) withDefaults() SaturateOptions {
 // Saturate scales the set's payload lengths by a common factor until it is
 // saturated under the analyzer, and returns the saturated sample. The
 // bandwidth is used only to report utilization.
+//
+// Analyzers that implement core.BatchAnalyzer (all protocol analyzers do)
+// are probed through an allocation-free pooled workspace; the probe
+// sequence and every verdict are bit-identical to the plain per-call
+// path, which is retained as the reference oracle for the differential
+// tests.
 func Saturate(m message.Set, a core.Analyzer, bandwidthBPS float64, opts SaturateOptions) (Saturation, error) {
 	o := opts.withDefaults()
 	if err := m.Validate(); err != nil {
 		return Saturation{}, err
 	}
-
-	sched := func(scale float64) (bool, error) {
-		return a.Schedulable(m.Scale(scale))
+	if ba, ok := a.(core.BatchAnalyzer); ok {
+		probe, release, err := ba.NewProbe(m)
+		if err != nil {
+			return Saturation{}, err
+		}
+		defer release()
+		return saturate(m, probe.Schedulable, bandwidthBPS, o)
 	}
+	return saturate(m, func(scale float64) (bool, error) {
+		return a.Schedulable(m.Scale(scale))
+	}, bandwidthBPS, o)
+}
 
+// saturateReference is the retained straightforward implementation: every
+// probe re-validates, re-sorts and re-analyzes the scaled set through the
+// analyzer's plain Schedulable path. The differential suite uses it as
+// the oracle the fast path must match bit-for-bit.
+func saturateReference(m message.Set, a core.Analyzer, bandwidthBPS float64, opts SaturateOptions) (Saturation, error) {
+	o := opts.withDefaults()
+	if err := m.Validate(); err != nil {
+		return Saturation{}, err
+	}
+	return saturate(m, func(scale float64) (bool, error) {
+		return a.Schedulable(m.Scale(scale))
+	}, bandwidthBPS, o)
+}
+
+// saturate runs the bracketing and bisection over an arbitrary probe. The
+// probe sequence is a pure function of the verdicts, so two probes that
+// agree on every verdict produce identical Saturations.
+func saturate(m message.Set, sched func(float64) (bool, error), bandwidthBPS float64, o SaturateOptions) (Saturation, error) {
 	// Bracket the threshold: lo schedulable, hi unschedulable.
 	const floor = 1e-15 // below this the set is deemed infeasible at any load
 	lo, hi := 0.0, 0.0
@@ -151,15 +183,17 @@ func Saturate(m message.Set, a core.Analyzer, bandwidthBPS float64, opts Saturat
 // CheckMonotone verifies the analyzer's monotonicity contract on one set:
 // if the set is schedulable at some scale it must remain schedulable at
 // every smaller probed scale. Property tests use this to validate analyzers
-// before trusting the binary search.
+// before trusting the binary search. The verdicts are gathered through
+// core.AnalyzeBatch, so one pooled workspace serves the whole scale list.
 func CheckMonotone(m message.Set, a core.Analyzer, scales []float64) error {
+	verdicts, err := core.AnalyzeBatch(a, m, scales)
+	if err != nil {
+		return err
+	}
 	wasSchedulable := false
-	// Probe from largest to smallest: once schedulable, must stay so.
+	// Walk from largest to smallest: once schedulable, must stay so.
 	for i := len(scales) - 1; i >= 0; i-- {
-		ok, err := a.Schedulable(m.Scale(scales[i]))
-		if err != nil {
-			return err
-		}
+		ok := verdicts[i]
 		if wasSchedulable && !ok {
 			return fmt.Errorf("%w (scale %g)", ErrNotMonotone, scales[i])
 		}

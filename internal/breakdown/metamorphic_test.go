@@ -1,0 +1,195 @@
+package breakdown
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ringsched/internal/core"
+	"ringsched/internal/message"
+)
+
+// scalePlantPDP returns the analyzer and set with every bit quantity —
+// bandwidth, payloads, frame payload/overhead, token length, per-station
+// bit delay — multiplied by kappa. For a power-of-two kappa the scaling is
+// exact in floating point and every derived time (F, Θ, C', B) is
+// unchanged, so the analysis must be invariant.
+func scalePlantPDP(p core.PDP, m message.Set, kappa float64) (core.PDP, message.Set) {
+	q := p
+	q.Net.BandwidthBPS *= kappa
+	q.Net.TokenBits *= kappa
+	q.Net.BitDelayPerStation *= kappa
+	q.Frame.InfoBits *= kappa
+	q.Frame.OvhdBits *= kappa
+	return q, m.Scale(kappa)
+}
+
+// TestMetamorphicBandwidthScalingPDP: multiplying the bandwidth and every
+// bit-denominated quantity by the same power of two is a pure change of
+// units — verdicts at every payload scale and the breakdown scale itself
+// must be bit-identical.
+func TestMetamorphicBandwidthScalingPDP(t *testing.T) {
+	sets := 120
+	if testing.Short() {
+		sets = 30
+	}
+	scales := []float64{0.25, 0.5, 1, 2, 4, 8, 16}
+	for _, variant := range []core.Variant{core.Standard8025, core.Modified8025} {
+		base := core.NewStandardPDP(4e6)
+		base.Variant = variant
+		rng := rand.New(rand.NewSource(314159))
+		for k := 0; k < sets; k++ {
+			set := drawSet(t, rng, 2+rng.Intn(12))
+			for _, kappa := range []float64{4, 64, 0.5} {
+				scaled, scaledSet := scalePlantPDP(base, set, kappa)
+
+				orig, err := core.AnalyzeBatch(base, set, scales)
+				if err != nil {
+					t.Fatalf("%v set %d: base batch: %v", variant, k, err)
+				}
+				got, err := core.AnalyzeBatch(scaled, scaledSet, scales)
+				if err != nil {
+					t.Fatalf("%v set %d: scaled batch: %v", variant, k, err)
+				}
+				for i := range scales {
+					if got[i] != orig[i] {
+						t.Fatalf("%v set %d kappa %g scale %g: verdict %v, original %v",
+							variant, k, kappa, scales[i], got[i], orig[i])
+					}
+				}
+
+				satOrig, err := Saturate(set, base, base.Net.BandwidthBPS, SaturateOptions{})
+				if err != nil {
+					t.Fatalf("%v set %d: base Saturate: %v", variant, k, err)
+				}
+				satScaled, err := Saturate(scaledSet, scaled, scaled.Net.BandwidthBPS, SaturateOptions{})
+				if err != nil {
+					t.Fatalf("%v set %d: scaled Saturate: %v", variant, k, err)
+				}
+				if satOrig.Feasible != satScaled.Feasible ||
+					math.Float64bits(satOrig.Scale) != math.Float64bits(satScaled.Scale) {
+					t.Fatalf("%v set %d kappa %g: breakdown scale %v, original %v",
+						variant, k, kappa, satScaled.Scale, satOrig.Scale)
+				}
+			}
+		}
+	}
+}
+
+// TestMetamorphicPermutationInvariance: the analyzers sort into RM order
+// themselves, so permuting the input streams must not change any verdict.
+// For sets with distinct periods the whole Saturation is bit-identical; the
+// test also covers tie-heavy sets at the verdict level.
+func TestMetamorphicPermutationInvariance(t *testing.T) {
+	sets := 150
+	if testing.Short() {
+		sets = 40
+	}
+	analyzers := []core.Analyzer{
+		core.NewStandardPDP(4e6),
+		core.NewModifiedPDP(4e6),
+		core.NewTTP(4e6),
+		core.IdealRM{},
+	}
+	rng := rand.New(rand.NewSource(161803))
+	for k := 0; k < sets; k++ {
+		set := drawSet(t, rng, 2+rng.Intn(12))
+		perm := set.Clone()
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		for _, a := range analyzers {
+			satA, err := Saturate(set, a, 4e6, SaturateOptions{})
+			if err != nil {
+				t.Fatalf("%s set %d: %v", a.Name(), k, err)
+			}
+			satB, err := Saturate(perm, a, 4e6, SaturateOptions{})
+			if err != nil {
+				t.Fatalf("%s set %d (permuted): %v", a.Name(), k, err)
+			}
+			// Generator periods are continuous draws: distinct with
+			// probability 1, so the stable RM orders coincide and the
+			// saturation must match bit-for-bit.
+			if satA.Feasible != satB.Feasible ||
+				math.Float64bits(satA.Scale) != math.Float64bits(satB.Scale) {
+				t.Fatalf("%s set %d: permuted breakdown scale %v != %v",
+					a.Name(), k, satB.Scale, satA.Scale)
+			}
+		}
+	}
+
+	// Tie-heavy corner: equal periods make the RM order genuinely
+	// ambiguous; the verdict (a property of the multiset) must still be
+	// permutation-invariant even though response-time details may reorder.
+	tie := message.Set{
+		{Name: "a", Period: 50e-3, LengthBits: 3000},
+		{Name: "b", Period: 50e-3, LengthBits: 9000},
+		{Name: "c", Period: 100e-3, LengthBits: 20000},
+		{Name: "d", Period: 100e-3, LengthBits: 1000},
+	}
+	tiePerm := message.Set{tie[3], tie[1], tie[2], tie[0]}
+	for _, a := range analyzers {
+		for _, s := range []float64{0.5, 1, 2, 4, 8, 16, 32} {
+			v1, err := a.Schedulable(tie.Scale(s))
+			if err != nil {
+				t.Fatalf("%s: %v", a.Name(), err)
+			}
+			v2, err := a.Schedulable(tiePerm.Scale(s))
+			if err != nil {
+				t.Fatalf("%s: %v", a.Name(), err)
+			}
+			if v1 != v2 {
+				t.Fatalf("%s scale %g: verdict changed under permutation of equal-period set", a.Name(), s)
+			}
+		}
+	}
+}
+
+// TestMetamorphicSaturateMonotone: the breakdown point must be a genuine
+// threshold — schedulable at the returned scale, unschedulable just above
+// the bisection bracket, and verdicts along a ladder of scales must be
+// monotone (checked through the pooled batch path).
+func TestMetamorphicSaturateMonotone(t *testing.T) {
+	sets := 100
+	if testing.Short() {
+		sets = 25
+	}
+	for _, a := range diffAnalyzers(4e6) {
+		a := a
+		rng := rand.New(rand.NewSource(577215))
+		for k := 0; k < sets; k++ {
+			set := drawSet(t, rng, 2+rng.Intn(12))
+			sat, err := Saturate(set, a, 4e6, SaturateOptions{})
+			if err != nil {
+				t.Fatalf("%s set %d: %v", a.Name(), k, err)
+			}
+			if !sat.Feasible {
+				continue
+			}
+			ok, err := a.Schedulable(set.Scale(sat.Scale))
+			if err != nil {
+				t.Fatalf("%s set %d: at breakdown: %v", a.Name(), k, err)
+			}
+			if !ok {
+				t.Fatalf("%s set %d: unschedulable at its own breakdown scale %g", a.Name(), k, sat.Scale)
+			}
+			// The bisection stops with hi ≤ lo/(1−RelTol), so anything a few
+			// tolerances above the breakdown scale is at or past the
+			// unschedulable bracket.
+			above := sat.Scale * (1 + 5e-6)
+			ok, err = a.Schedulable(set.Scale(above))
+			if err != nil {
+				t.Fatalf("%s set %d: above breakdown: %v", a.Name(), k, err)
+			}
+			if ok {
+				t.Fatalf("%s set %d: still schedulable at %g, %.2g above breakdown",
+					a.Name(), k, above, above/sat.Scale-1)
+			}
+			ladder := []float64{
+				sat.Scale / 16, sat.Scale / 4, sat.Scale / 2, sat.Scale * 0.9,
+				sat.Scale, above, sat.Scale * 2, sat.Scale * 16,
+			}
+			if err := CheckMonotone(set, a, ladder); err != nil {
+				t.Fatalf("%s set %d: %v", a.Name(), k, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import "ringsched/internal/message"
+
+// Probe evaluates one bound message set at varying common payload-scale
+// factors. It is the allocation-free inner loop of the breakdown
+// saturation search: Schedulable(s) returns exactly what the analyzer's
+// Schedulable(m.Scale(s)) returns — same verdicts bit-for-bit, same errors
+// for degenerate scales — without re-validating, re-sorting, or allocating
+// per call.
+//
+// A Probe is bound to the message set passed to NewProbe and must not be
+// shared between goroutines.
+type Probe interface {
+	Schedulable(scale float64) (bool, error)
+}
+
+// BatchAnalyzer is implemented by analyzers that provide an
+// allocation-free scaled-probe path. The protocol analyzers (PDP, TTP,
+// IdealRM) all do; their probes draw reusable workspaces from per-type
+// sync.Pools, so a sweep's worker goroutines recycle the same few
+// workspaces across millions of samples.
+type BatchAnalyzer interface {
+	Analyzer
+	// NewProbe validates the analyzer and the set once and binds them to a
+	// pooled workspace. The release function returns the workspace to the
+	// pool; call it (exactly once) when done probing. The set must not be
+	// mutated while the probe is live.
+	NewProbe(m message.Set) (probe Probe, release func(), err error)
+}
+
+// AnalyzeBatch evaluates one message set at each payload scale and returns
+// the per-scale verdicts. For BatchAnalyzers the whole batch shares one
+// pooled workspace; plain analyzers fall back to per-scale
+// Schedulable(m.Scale(s)) calls. Verdicts are identical either way — the
+// fast path is bit-compatible by construction, which the differential
+// property suite asserts.
+func AnalyzeBatch(a Analyzer, m message.Set, scales []float64) ([]bool, error) {
+	verdicts := make([]bool, len(scales))
+	if ba, ok := a.(BatchAnalyzer); ok {
+		probe, release, err := ba.NewProbe(m)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		for i, s := range scales {
+			verdicts[i], err = probe.Schedulable(s)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return verdicts, nil
+	}
+	for i, s := range scales {
+		ok, err := a.Schedulable(m.Scale(s))
+		if err != nil {
+			return nil, err
+		}
+		verdicts[i] = ok
+	}
+	return verdicts, nil
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ringsched/internal/frame"
+	"ringsched/internal/message"
+	"ringsched/internal/ring"
+)
+
+// randomSet draws a message set with mixed periods and payloads, including
+// occasional equal periods, sized for fast per-case analysis.
+func randomSet(rng *rand.Rand) message.Set {
+	n := 1 + rng.Intn(16)
+	set := make(message.Set, n)
+	var period float64
+	for i := range set {
+		if i == 0 || rng.Intn(8) != 0 {
+			period = 20e-3 + rng.Float64()*180e-3
+		}
+		set[i] = message.Stream{
+			Name:       fmt.Sprintf("S%d", i+1),
+			Period:     period,
+			LengthBits: 1 + rng.Float64()*20000,
+		}
+	}
+	return set
+}
+
+// parityAnalyzers is the protocol matrix the differential suite runs over.
+func parityAnalyzers() []BatchAnalyzer {
+	return []BatchAnalyzer{
+		NewStandardPDP(4e6),
+		NewModifiedPDP(4e6),
+		NewModifiedPDP(16e6),
+		NewTTP(4e6),
+		NewTTP(16e6),
+		IdealRM{},
+	}
+}
+
+// TestProbeDifferentialParity is the core half of the differential suite:
+// for every protocol analyzer, over 1000+ seeded random message sets, the
+// pooled probe's verdict at each scale must equal the reference
+// Schedulable(m.Scale(s)) verdict.
+func TestProbeDifferentialParity(t *testing.T) {
+	sets := 1100
+	if testing.Short() {
+		sets = 200
+	}
+	scales := []float64{1, 2, 4, 8, 16, 5.3, 2.9, 1.3, 0.7, 0.31, 0.11, 1}
+	for _, a := range parityAnalyzers() {
+		a := a
+		t.Run(a.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1993))
+			for k := 0; k < sets; k++ {
+				m := randomSet(rng)
+				probe, release, err := a.NewProbe(m)
+				if err != nil {
+					t.Fatalf("set %d: NewProbe: %v", k, err)
+				}
+				for _, s := range scales {
+					want, err := a.Schedulable(m.Scale(s))
+					if err != nil {
+						release()
+						t.Fatalf("set %d scale %g: reference: %v", k, s, err)
+					}
+					got, err := probe.Schedulable(s)
+					if err != nil {
+						release()
+						t.Fatalf("set %d scale %g: probe: %v", k, s, err)
+					}
+					if got != want {
+						release()
+						t.Fatalf("set %d scale %g: probe verdict %v, reference %v (set %+v)",
+							k, s, got, want, m)
+					}
+				}
+				release()
+			}
+		})
+	}
+}
+
+// TestProbeErrorParity checks the degenerate-scale error path: a probe must
+// report the same error the reference path reports for scales that destroy
+// the payloads (zero, negative, NaN, overflow to +Inf).
+func TestProbeErrorParity(t *testing.T) {
+	m := message.Set{
+		{Name: "a", Period: 50e-3, LengthBits: 4096},
+		{Name: "b", Period: 100e-3, LengthBits: 65536},
+	}
+	for _, a := range parityAnalyzers() {
+		a := a
+		t.Run(a.Name(), func(t *testing.T) {
+			probe, release, err := a.NewProbe(m)
+			if err != nil {
+				t.Fatalf("NewProbe: %v", err)
+			}
+			defer release()
+			// 1e306 overflows the payloads to +Inf: the probe must report
+			// the same first-invalid-stream error as the reference, not a
+			// verdict.
+			for _, s := range []float64{0, -1, math.NaN(), 1e306} {
+				_, refErr := a.Schedulable(m.Scale(s))
+				if refErr == nil {
+					t.Fatalf("scale %g: reference accepted a degenerate scale", s)
+				}
+				_, probeErr := probe.Schedulable(s)
+				if probeErr == nil {
+					t.Fatalf("scale %g: probe accepted a degenerate scale", s)
+				}
+				if probeErr.Error() != refErr.Error() {
+					t.Errorf("scale %g: probe error %q, reference %q", s, probeErr, refErr)
+				}
+				if !errors.Is(probeErr, message.ErrBadLength) {
+					t.Errorf("scale %g: probe error %v does not wrap ErrBadLength", s, probeErr)
+				}
+			}
+			// The probe must still answer correctly after error probes.
+			want, err := a.Schedulable(m.Scale(1e-3))
+			if err != nil {
+				t.Fatalf("reference after errors: %v", err)
+			}
+			got, err := probe.Schedulable(1e-3)
+			if err != nil {
+				t.Fatalf("probe after errors: %v", err)
+			}
+			if got != want {
+				t.Errorf("verdict after error probes: %v, reference %v", got, want)
+			}
+		})
+	}
+}
+
+// TestProbeFThetaBoundary pins probe parity exactly at the F ≈ Θ boundary,
+// where AugmentedLength switches between the header-return-bound branch
+// (F ≤ Θ) and the transmission-bound branch (F > Θ). With zero cable length
+// both F and Θ are pure bit counts over the bandwidth, so the boundary can
+// be hit exactly.
+func TestProbeFThetaBoundary(t *testing.T) {
+	spec := frame.PaperSpec() // 624 total bits
+	mkNet := func(latencyBits float64) ring.Config {
+		return ring.Config{
+			Stations:            10,
+			SpacingMeters:       0,
+			BandwidthBPS:        4e6,
+			BitDelayPerStation:  latencyBits / 10,
+			TokenBits:           0,
+			PropagationFraction: 0.75,
+		}
+	}
+	cases := []struct {
+		name string
+		net  ring.Config
+	}{
+		{"F>Theta", mkNet(spec.TotalBits() - 100)},
+		{"F==Theta", mkNet(spec.TotalBits())},
+		{"F<Theta", mkNet(spec.TotalBits() + 100)},
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, variant := range []Variant{Standard8025, Modified8025} {
+				a := PDP{Net: tc.net, Frame: spec, Variant: variant}
+				if got := a.Frame.Time(a.Net.BandwidthBPS) <= a.Net.Theta(); got != (tc.name != "F>Theta") {
+					t.Fatalf("boundary setup wrong: F=%g Theta=%g", a.Frame.Time(a.Net.BandwidthBPS), a.Net.Theta())
+				}
+				for k := 0; k < 50; k++ {
+					m := randomSet(rng)
+					probe, release, err := a.NewProbe(m)
+					if err != nil {
+						t.Fatalf("NewProbe: %v", err)
+					}
+					for _, s := range []float64{0.5, 1, 2, 4, 8} {
+						want, err := a.Schedulable(m.Scale(s))
+						if err != nil {
+							release()
+							t.Fatalf("reference: %v", err)
+						}
+						got, err := probe.Schedulable(s)
+						if err != nil {
+							release()
+							t.Fatalf("probe: %v", err)
+						}
+						if got != want {
+							release()
+							t.Fatalf("%v scale %g: probe %v, reference %v", variant, s, got, want)
+						}
+					}
+					release()
+				}
+			}
+		})
+	}
+}
+
+// opaque hides an analyzer's BatchAnalyzer implementation so AnalyzeBatch
+// exercises its fallback path.
+type opaque struct{ a Analyzer }
+
+func (o opaque) Name() string                            { return o.a.Name() }
+func (o opaque) Schedulable(m message.Set) (bool, error) { return o.a.Schedulable(m) }
+
+// TestAnalyzeBatchFallbackParity checks that AnalyzeBatch returns the same
+// verdicts through the pooled fast path and through the plain per-scale
+// fallback.
+func TestAnalyzeBatchFallbackParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	scales := []float64{0.25, 0.5, 1, 2, 4, 8}
+	for _, a := range parityAnalyzers() {
+		for k := 0; k < 40; k++ {
+			m := randomSet(rng)
+			fast, err := AnalyzeBatch(a, m, scales)
+			if err != nil {
+				t.Fatalf("%s set %d: fast: %v", a.Name(), k, err)
+			}
+			slow, err := AnalyzeBatch(opaque{a}, m, scales)
+			if err != nil {
+				t.Fatalf("%s set %d: fallback: %v", a.Name(), k, err)
+			}
+			for i := range scales {
+				if fast[i] != slow[i] {
+					t.Fatalf("%s set %d scale %g: fast %v, fallback %v",
+						a.Name(), k, scales[i], fast[i], slow[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAnalyzeBatchEmptyScales pins the trivial contract.
+func TestAnalyzeBatchEmptyScales(t *testing.T) {
+	m := message.Set{{Name: "a", Period: 10e-3, LengthBits: 100}}
+	verdicts, err := AnalyzeBatch(NewModifiedPDP(4e6), m, nil)
+	if err != nil {
+		t.Fatalf("AnalyzeBatch: %v", err)
+	}
+	if len(verdicts) != 0 {
+		t.Fatalf("verdicts %v, want empty", verdicts)
+	}
+}

@@ -99,10 +99,18 @@ func (p PDP) Blocking() float64 {
 // message of the stream including framing, priority-arbitration and
 // token-circulation overheads (Section 4.3).
 func (p PDP) AugmentedLength(s message.Stream) float64 {
+	return p.augmentedFromBits(s.LengthBits)
+}
+
+// augmentedFromBits computes C' for a payload of the given size in bits.
+// The batched probes call it with pre-scaled bit counts, which is exactly
+// what AugmentedLength sees on a Scale()d stream, keeping both paths
+// bit-identical.
+func (p PDP) augmentedFromBits(lengthBits float64) float64 {
 	bw := p.Net.BandwidthBPS
 	theta := p.Net.Theta()
 	f := p.Frame.Time(bw)
-	l, k := p.Frame.Split(s.LengthBits)
+	l, k := p.Frame.Split(lengthBits)
 	lf, kf := float64(l), float64(k)
 
 	// Token-circulation overhead: Θ/2 on average, per frame for the
@@ -124,7 +132,7 @@ func (p PDP) AugmentedLength(s message.Stream) float64 {
 	// short last frame (K_i = L_i + 1) occupies the greater of its own
 	// transmission time and Θ, because the holder must wait for its header
 	// to return before arbitration can proceed.
-	c := s.Length(bw)
+	c := lengthBits / bw
 	lastFrame := math.Max(c-lf*p.Frame.InfoTime(bw)+p.Frame.OvhdTime(bw), theta)
 	return lf*f + tokenOverhead + (kf-lf)*lastFrame
 }

@@ -1,0 +1,80 @@
+package expt
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current results")
+
+// TestFig1Golden pins the FIG1 experiment's headline values at a fixed
+// seed and quick configuration. The estimator's results are independent of
+// the worker count and the saturation search is deterministic, so the
+// values must reproduce bit-for-bit; any change to the kernels, the
+// generator, or the search that shifts them is caught here. Refresh with
+// `go test ./internal/expt -run TestFig1Golden -update` and review the
+// diff.
+func TestFig1Golden(t *testing.T) {
+	cfg := Config{Quick: true, Samples: 10, Seed: 1993, PointsPerDecade: 2, Workers: 4}
+	exp, err := ByID("FIG1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := exp.Run(context.Background(), cfg, nil)
+	if err != nil {
+		t.Fatalf("FIG1: %v", err)
+	}
+	if !rep.Pass {
+		t.Fatalf("FIG1 failed its own acceptance checks: %v", rep.Notes)
+	}
+
+	golden := filepath.Join("testdata", "fig1_golden.json")
+	if *updateGolden {
+		blob, err := json.MarshalIndent(rep.Values, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", golden)
+		return
+	}
+
+	blob, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	var want map[string]float64
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatalf("parse golden: %v", err)
+	}
+
+	keys := make([]string, 0, len(want))
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if len(rep.Values) != len(want) {
+		t.Errorf("value count %d, golden %d", len(rep.Values), len(want))
+	}
+	for _, k := range keys {
+		got, ok := rep.Values[k]
+		if !ok {
+			t.Errorf("missing value %q", k)
+			continue
+		}
+		if math.Float64bits(got) != math.Float64bits(want[k]) {
+			t.Errorf("%s = %v (%x), golden %v (%x)", k, got, math.Float64bits(got), want[k], math.Float64bits(want[k]))
+		}
+	}
+}

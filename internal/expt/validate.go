@@ -71,6 +71,21 @@ func validateSimulation() Experiment {
 						if !sat.Feasible {
 							continue
 						}
+						// Margin sanity through the pooled batch probe: the
+						// validated load must be analytically guaranteed and
+						// the load just past breakdown must be rejected,
+						// before trusting the simulator comparison.
+						margins, err := core.AnalyzeBatch(pdp, set,
+							[]float64{sat.Scale * marginPDP, sat.Scale * 1.02})
+						if err != nil {
+							return Report{}, err
+						}
+						if !margins[0] || margins[1] {
+							rep.Pass = false
+							rep.notef("%s margin check failed at %.0f Mbps (set %d): schedulable(%.2f·sat)=%v, schedulable(1.02·sat)=%v",
+								variant, bw/1e6, s, marginPDP, margins[0], margins[1])
+							continue
+						}
 						test := sat.Set.Scale(marginPDP)
 						w, err := tokensim.NewWorkload(test, n, tokensim.PhasingSynchronized, nil)
 						if err != nil {
@@ -103,6 +118,17 @@ func validateSimulation() Experiment {
 						return Report{}, err
 					}
 					if !sat.Feasible {
+						continue
+					}
+					margins, err := core.AnalyzeBatch(ttp, set,
+						[]float64{sat.Scale * marginTTP, sat.Scale * 1.02})
+					if err != nil {
+						return Report{}, err
+					}
+					if !margins[0] || margins[1] {
+						rep.Pass = false
+						rep.notef("FDDI margin check failed at %.0f Mbps (set %d): schedulable(%.2f·sat)=%v, schedulable(1.02·sat)=%v",
+							bw/1e6, s, marginTTP, margins[0], margins[1])
 						continue
 					}
 					test := sat.Set.Scale(marginTTP)

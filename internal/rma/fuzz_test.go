@@ -1,0 +1,91 @@
+package rma
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzExactTest cross-checks the allocation-free workspace kernels against
+// the reference implementations on fuzzer-chosen task sets: same verdict,
+// same first failure, bit-identical response times. The corpus entry is a
+// (seed, size, blocking, scale) tuple; the set itself is derived
+// deterministically so crashes replay.
+func FuzzExactTest(f *testing.F) {
+	f.Add(int64(1), uint8(3), 0.01, 1.0)
+	f.Add(int64(7), uint8(1), 0.0, 4.0)
+	f.Add(int64(42), uint8(17), 0.2, 0.25)
+	f.Add(int64(9), uint8(8), 1e-9, 1e3)
+	f.Fuzz(func(t *testing.T, seed int64, n uint8, blocking, scale float64) {
+		if n == 0 || n > 24 {
+			return
+		}
+		if !(blocking >= 0) || math.IsInf(blocking, 0) {
+			return
+		}
+		if !(scale > 0) || math.IsInf(scale, 0) {
+			return
+		}
+		rng := rand.New(rand.NewSource(seed))
+		ts := make(TaskSet, n)
+		for i := range ts {
+			period := math.Exp(rng.Float64()*6 - 3)
+			ts[i] = Task{Cost: rng.Float64() * period * 0.5, Period: period}
+		}
+
+		var ws Workspace
+		if err := ws.Load(ts); err != nil {
+			t.Fatalf("Load: %v", err)
+		}
+		ws.ScaleCosts(scale)
+		scaled := ts.SortRM()
+		for i := range scaled {
+			scaled[i].Cost *= scale
+		}
+		for i := range scaled {
+			if math.IsInf(scaled[i].Cost, 0) {
+				return // overflowed cost: both paths reject, nothing to compare
+			}
+		}
+
+		refExact, err := ExactTest(scaled, blocking)
+		if err != nil {
+			t.Fatalf("reference ExactTest: %v", err)
+		}
+		wsExact, err := ws.ExactTest(blocking)
+		if err != nil {
+			t.Fatalf("workspace ExactTest: %v", err)
+		}
+		if wsExact.Schedulable != refExact.Schedulable || wsExact.FirstFailure != refExact.FirstFailure {
+			t.Fatalf("workspace ExactTest (%v,%d) != reference (%v,%d) for seed=%d n=%d blocking=%g scale=%g",
+				wsExact.Schedulable, wsExact.FirstFailure,
+				refExact.Schedulable, refExact.FirstFailure, seed, n, blocking, scale)
+		}
+
+		refRTA, err := ResponseTimeAnalysis(scaled, blocking)
+		if err != nil {
+			t.Fatalf("reference RTA: %v", err)
+		}
+		if refRTA.Schedulable != refExact.Schedulable {
+			t.Fatalf("reference RTA and ExactTest disagree for seed=%d n=%d blocking=%g scale=%g",
+				seed, n, blocking, scale)
+		}
+		wsRTA, err := ws.ResponseTimeAnalysis(blocking)
+		if err != nil {
+			t.Fatalf("workspace RTA: %v", err)
+		}
+		for i := range refRTA.ResponseTimes {
+			if math.Float64bits(wsRTA.ResponseTimes[i]) != math.Float64bits(refRTA.ResponseTimes[i]) {
+				t.Fatalf("task %d response %v != reference %v", i, wsRTA.ResponseTimes[i], refRTA.ResponseTimes[i])
+			}
+		}
+
+		ok, err := ws.Schedulable(blocking)
+		if err != nil {
+			t.Fatalf("workspace Schedulable: %v", err)
+		}
+		if ok != refExact.Schedulable {
+			t.Fatalf("workspace Schedulable %v != reference %v", ok, refExact.Schedulable)
+		}
+	})
+}

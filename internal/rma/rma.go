@@ -21,8 +21,14 @@ import (
 var (
 	ErrEmptyTaskSet = errors.New("rma: task set is empty")
 	ErrBadTask      = errors.New("rma: task cost and period must be positive (cost may be zero)")
-	ErrBadBlocking  = errors.New("rma: blocking must be non-negative")
+	ErrBadBlocking  = errors.New("rma: blocking must be non-negative and finite")
 )
+
+// validBlocking reports whether a blocking term is admissible: finite and
+// non-negative, the same constraints Validate puts on costs and periods.
+func validBlocking(blocking float64) bool {
+	return blocking >= 0 && !math.IsNaN(blocking) && !math.IsInf(blocking, 0)
+}
 
 // Task is a periodic task with execution cost and period in seconds and an
 // implicit deadline equal to its period.
@@ -94,7 +100,7 @@ func ResponseTimeAnalysis(ts TaskSet, blocking float64) (Result, error) {
 	if err := ts.Validate(); err != nil {
 		return Result{}, err
 	}
-	if blocking < 0 || math.IsNaN(blocking) {
+	if !validBlocking(blocking) {
 		return Result{}, ErrBadBlocking
 	}
 	res := Result{
@@ -169,7 +175,7 @@ func ExactTest(ts TaskSet, blocking float64) (Result, error) {
 	if err := ts.Validate(); err != nil {
 		return Result{}, err
 	}
-	if blocking < 0 || math.IsNaN(blocking) {
+	if !validBlocking(blocking) {
 		return Result{}, ErrBadBlocking
 	}
 	res := Result{Schedulable: true, FirstFailure: -1}

@@ -1,0 +1,382 @@
+package rma
+
+import (
+	"math"
+	"slices"
+)
+
+// maxCachedPoints bounds the total number of scheduling points a Workspace
+// materializes at Load. Sets whose period spread would need more (e.g.
+// nanosecond next to second periods) fall back to uncached evaluation:
+// Schedulable uses pure response-time analysis and ExactTest rebuilds each
+// task's points into a reusable scratch buffer.
+const maxCachedPoints = 1 << 20
+
+// Workspace evaluates the exact schedulability tests repeatedly over one
+// task set without per-call allocation. It is the hot-path kernel behind
+// the breakdown saturation search: Load once, then mutate costs (Tasks,
+// ScaleCosts) and re-test as often as needed.
+//
+// A Workspace caches everything that depends only on the periods — the
+// rate-monotonic order and (lazily, on first ExactTest) the merged,
+// deduplicated scheduling-point array of every task — plus two incremental
+// hints that exploit the saturation search's structure:
+//
+//   - a per-task witness: the time (or scheduling point) that proved the
+//     task schedulable on the previous call is re-tested first (the
+//     existence check is order-independent, so the verdict is unchanged);
+//   - the first failing task of the previous failing call is re-tested
+//     first, so a probe above a known-failing load exits after one task.
+//
+// Every demand term is computed with arithmetic identical to the reference
+// implementations (ExactTest, ResponseTimeAnalysis); the differential
+// property suite asserts bit-identical verdicts. The zero value is ready
+// to use; a Workspace must not be shared between goroutines.
+type Workspace struct {
+	tasks TaskSet   // RM-sorted working copy; costs mutable via Tasks
+	base  []float64 // costs as loaded, for ScaleCosts
+	resp  []float64 // response-time buffer aliased by Result
+
+	pts      []float64 // flattened per-task scheduling points
+	ptsEnd   []int     // points of task i are pts[ptsStart(i):ptsEnd[i]]
+	ptsBuilt bool      // buildPoints ran for the loaded periods
+	cached   bool      // pts/ptsEnd materialized (subject to maxCachedPoints)
+	scratch  []float64 // per-task point buffer for the uncached ExactTest
+
+	witness  []int     // per-task index of the last passing point, -1 unknown
+	witnessT []float64 // per-task time of the last passing probe, 0 unknown
+	lastFail int       // first failing task of the last failing probe, -1
+}
+
+// Load binds the workspace to a task set: validates it, establishes
+// rate-monotonic order (stable, identical to TaskSet.SortRM), and caches
+// the scheduling points. Subsequent probes are allocation-free. Load may
+// allocate only to grow the reusable buffers, so reloading sets of similar
+// size is cheap.
+func (w *Workspace) Load(ts TaskSet) error {
+	if err := ts.Validate(); err != nil {
+		return err
+	}
+	w.tasks = append(w.tasks[:0], ts...)
+	slices.SortStableFunc(w.tasks, func(a, b Task) int {
+		switch {
+		case a.Period < b.Period:
+			return -1
+		case a.Period > b.Period:
+			return 1
+		default:
+			return 0
+		}
+	})
+	w.base = w.base[:0]
+	for _, t := range w.tasks {
+		w.base = append(w.base, t.Cost)
+	}
+	w.resp = grow(w.resp, len(w.tasks))
+	w.witness = w.witness[:0]
+	w.witnessT = w.witnessT[:0]
+	for range w.tasks {
+		w.witness = append(w.witness, -1)
+		w.witnessT = append(w.witnessT, 0)
+	}
+	w.lastFail = -1
+	// The scheduling-point cache is built lazily by the first ExactTest:
+	// the verdict-only Schedulable path never consults it, and the
+	// saturation search that dominates the Monte Carlo workload only calls
+	// Schedulable, so eager construction would pay the per-set sort for
+	// nothing.
+	w.ptsBuilt = false
+	w.cached = false
+	return nil
+}
+
+// ensurePoints materializes the scheduling-point cache on first use.
+func (w *Workspace) ensurePoints() {
+	if !w.ptsBuilt {
+		w.buildPoints()
+		w.ptsBuilt = true
+	}
+}
+
+// grow returns a slice of length n reusing buf's capacity.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// buildPoints materializes every task's scheduling points into the
+// flattened pts/ptsEnd arrays, unless the total would exceed
+// maxCachedPoints.
+func (w *Workspace) buildPoints() {
+	var total float64
+	for i := range w.tasks {
+		pi := w.tasks[i].Period
+		for k := 0; k <= i; k++ {
+			total += math.Floor(pi / w.tasks[k].Period)
+			if total > maxCachedPoints {
+				w.cached = false
+				w.pts = w.pts[:0]
+				w.ptsEnd = w.ptsEnd[:0]
+				return
+			}
+		}
+	}
+	w.cached = true
+	w.pts = w.pts[:0]
+	w.ptsEnd = w.ptsEnd[:0]
+	for i := range w.tasks {
+		start := len(w.pts)
+		w.pts = appendPoints(w.pts, w.tasks, i)
+		seg := w.pts[start:]
+		slices.Sort(seg)
+		w.pts = w.pts[:start+dedupe(seg)]
+		w.ptsEnd = append(w.ptsEnd, len(w.pts))
+	}
+}
+
+// appendPoints appends task i's raw (unsorted, undeduplicated) scheduling
+// points — the same generation loop as SchedulingPoints.
+func appendPoints(dst []float64, ts TaskSet, i int) []float64 {
+	pi := ts[i].Period
+	for k := 0; k <= i; k++ {
+		pk := ts[k].Period
+		lmax := int(math.Floor(pi / pk))
+		for l := 1; l <= lmax; l++ {
+			dst = append(dst, float64(l)*pk)
+		}
+	}
+	return dst
+}
+
+// dedupe removes adjacent duplicates from a sorted slice in place and
+// returns the deduplicated length.
+func dedupe(seg []float64) int {
+	n := 0
+	for _, p := range seg {
+		if n == 0 || p != seg[n-1] {
+			seg[n] = p
+			n++
+		}
+	}
+	return n
+}
+
+// Tasks returns the workspace's RM-sorted working copy. Callers may mutate
+// Cost fields between probes (the incremental mode used by the protocol
+// analyzers' batched probes); mutating Period fields invalidates the
+// cached scheduling points and is not supported — Load a new set instead.
+func (w *Workspace) Tasks() TaskSet { return w.tasks }
+
+// ScaleCosts sets every working cost to loadedCost·factor — the rma-level
+// incremental rescale used when only a common scale factor changes between
+// probes. The multiplication is exactly the one the reference path applies
+// to a pre-scaled task set, so results stay bit-identical.
+func (w *Workspace) ScaleCosts(factor float64) {
+	for i := range w.tasks {
+		w.tasks[i].Cost = w.base[i] * factor
+	}
+}
+
+// validate re-checks the working tasks (costs are mutated between probes)
+// and the blocking term, mirroring the reference implementations'
+// validation order and errors.
+func (w *Workspace) validate(blocking float64) error {
+	if len(w.tasks) == 0 {
+		return ErrEmptyTaskSet
+	}
+	for _, t := range w.tasks {
+		if t.Period <= 0 || t.Cost < 0 ||
+			math.IsNaN(t.Cost) || math.IsNaN(t.Period) ||
+			math.IsInf(t.Cost, 0) || math.IsInf(t.Period, 0) {
+			return ErrBadTask
+		}
+	}
+	if !validBlocking(blocking) {
+		return ErrBadBlocking
+	}
+	return nil
+}
+
+func (w *Workspace) ptsStart(i int) int {
+	if i == 0 {
+		return 0
+	}
+	return w.ptsEnd[i-1]
+}
+
+// taskPoints returns task i's cached scheduling points, or nil when the
+// cache was skipped at Load.
+func (w *Workspace) taskPoints(i int) []float64 {
+	if !w.cached {
+		return nil
+	}
+	return w.pts[w.ptsStart(i):w.ptsEnd[i]]
+}
+
+// pointDemand is the Lehoczky–Sha–Ding demand of task i at time t, with
+// the reference ExactTest's exact summation order.
+func (w *Workspace) pointDemand(i int, blocking, t float64) float64 {
+	demand := blocking + w.tasks[i].Cost
+	for j := 0; j < i; j++ {
+		demand += w.tasks[j].Cost * math.Ceil(t/w.tasks[j].Period)
+	}
+	return demand
+}
+
+// rtaTask runs the reference response-time iteration for one task,
+// returning the bound at which iteration stopped and whether it converged
+// within the period. The arithmetic is identical to ResponseTimeAnalysis.
+func (w *Workspace) rtaTask(i int, blocking float64) (r float64, ok bool) {
+	t := w.tasks[i]
+	r = blocking + t.Cost
+	for j := 0; j < i; j++ {
+		r += w.tasks[j].Cost
+	}
+	for {
+		if r > t.Period {
+			return r, false
+		}
+		next := blocking + t.Cost
+		for j := 0; j < i; j++ {
+			next += w.tasks[j].Cost * math.Ceil(r/w.tasks[j].Period)
+		}
+		if next <= r {
+			return r, true
+		}
+		r = next
+	}
+}
+
+// taskAtPoints is the per-task existence check of the exact test over the
+// cached (or scratch-built) points, trying the remembered witness first.
+// The verdict is independent of evaluation order, so the witness shortcut
+// cannot change it.
+func (w *Workspace) taskAtPoints(i int, blocking float64) bool {
+	pts := w.taskPoints(i)
+	if pts == nil {
+		w.scratch = appendPoints(w.scratch[:0], w.tasks, i)
+		slices.Sort(w.scratch)
+		w.scratch = w.scratch[:dedupe(w.scratch)]
+		pts = w.scratch
+	}
+	if wi := w.witness[i]; wi >= 0 && wi < len(pts) &&
+		w.pointDemand(i, blocking, pts[wi]) <= pts[wi] {
+		return true
+	}
+	for k, t := range pts {
+		if w.pointDemand(i, blocking, t) <= t {
+			w.witness[i] = k
+			return true
+		}
+	}
+	return false
+}
+
+// taskOK is the verdict-only per-task check used by Schedulable: the
+// witness time first (one demand evaluation), then the response-time
+// iteration. The task is schedulable iff demand(t) ≤ t for some
+// t ∈ (0, P_i] — any such time certifies it, not only a scheduling point —
+// so a passing witness settles the verdict, and on a miss the reference
+// iteration decides. Both sides compute reference-identical arithmetic and
+// the two criteria are equivalent for this task model, so the verdict
+// matches the reference tests.
+func (w *Workspace) taskOK(i int, blocking float64) bool {
+	if wt := w.witnessT[i]; wt > 0 &&
+		w.pointDemand(i, blocking, wt) <= wt {
+		return true
+	}
+	r, ok := w.rtaTask(i, blocking)
+	if ok {
+		// The converged response time satisfies demand(r) ≤ r and
+		// r ≤ P_i, so it is the next probe's one-shot witness.
+		w.witnessT[i] = r
+	}
+	return ok
+}
+
+// Schedulable reports the verdict of the exact test for the current costs
+// with zero allocations. It is the saturation search's probe: the first
+// failing task of the previous failing call is re-tested first, so probes
+// at loads above a known failure exit after one task.
+func (w *Workspace) Schedulable(blocking float64) (bool, error) {
+	if err := w.validate(blocking); err != nil {
+		return false, err
+	}
+	if lf := w.lastFail; lf >= 0 && lf < len(w.tasks) {
+		if !w.taskOK(lf, blocking) {
+			return false, nil
+		}
+		w.lastFail = -1
+	}
+	for i := range w.tasks {
+		if !w.taskOK(i, blocking) {
+			w.lastFail = i
+			return false, nil
+		}
+	}
+	w.lastFail = -1
+	return true, nil
+}
+
+// ExactTest evaluates the Lehoczky–Sha–Ding criterion over the cached
+// scheduling points with zero allocations (for sets within the point-cache
+// bound), bit-identical to the package-level ExactTest reference.
+func (w *Workspace) ExactTest(blocking float64) (Result, error) {
+	if err := w.validate(blocking); err != nil {
+		return Result{}, err
+	}
+	w.ensurePoints()
+	res := Result{Schedulable: true, FirstFailure: -1}
+	for i := range w.tasks {
+		if w.taskAtPoints(i, blocking) {
+			continue
+		}
+		res.Schedulable = false
+		res.FirstFailure = i
+		break
+	}
+	return res, nil
+}
+
+// ResponseTimeAnalysis runs the reference response-time iteration over the
+// current costs without allocating. The returned Result's ResponseTimes
+// slice aliases an internal buffer that is overwritten by the next call
+// (and by Load); copy it if it must outlive the next probe.
+func (w *Workspace) ResponseTimeAnalysis(blocking float64) (Result, error) {
+	if err := w.validate(blocking); err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Schedulable:   true,
+		FirstFailure:  -1,
+		ResponseTimes: w.resp[:len(w.tasks)],
+	}
+	for i, t := range w.tasks {
+		r := blocking + t.Cost
+		for j := 0; j < i; j++ {
+			r += w.tasks[j].Cost
+		}
+		for {
+			if r > t.Period {
+				res.ResponseTimes[i] = r
+				if res.Schedulable {
+					res.Schedulable = false
+					res.FirstFailure = i
+				}
+				break
+			}
+			next := blocking + t.Cost
+			for j := 0; j < i; j++ {
+				next += w.tasks[j].Cost * math.Ceil(r/w.tasks[j].Period)
+			}
+			if next <= r {
+				res.ResponseTimes[i] = r
+				break
+			}
+			r = next
+		}
+	}
+	return res, nil
+}

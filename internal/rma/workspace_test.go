@@ -1,0 +1,291 @@
+package rma
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomTaskSet draws a task set exercising the analyzers' interesting
+// regimes: mixed utilizations, occasional zero costs, occasional equal
+// periods.
+func randomTaskSet(rng *rand.Rand) TaskSet {
+	n := 1 + rng.Intn(20)
+	ts := make(TaskSet, n)
+	var period float64
+	for i := range ts {
+		// 1 in 8 tasks reuses the previous period (ties exercise the
+		// stable sort and scheduling-point dedupe).
+		if i == 0 || rng.Intn(8) != 0 {
+			period = math.Exp(rng.Float64()*4 - 2) // ~[0.14, 7.4)
+		}
+		cost := rng.Float64() * period * 0.4
+		if rng.Intn(10) == 0 {
+			cost = 0
+		}
+		ts[i] = Task{Cost: cost, Period: period}
+	}
+	return ts
+}
+
+// TestWorkspaceDifferentialParity is the rma half of the differential
+// suite: over 1000+ seeded random task sets, the workspace kernels must
+// return verdicts, failure indices, and response times bit-identical to
+// the retained reference implementations — including while costs are
+// rescaled between probes the way the saturation search does.
+func TestWorkspaceDifferentialParity(t *testing.T) {
+	sets := 1200
+	if testing.Short() {
+		sets = 300
+	}
+	rng := rand.New(rand.NewSource(41))
+	var ws Workspace
+	for k := 0; k < sets; k++ {
+		ts := randomTaskSet(rng)
+		blocking := rng.Float64() * 0.1
+		if rng.Intn(6) == 0 {
+			blocking = 0
+		}
+		if err := ws.Load(ts); err != nil {
+			t.Fatalf("set %d: Load: %v", k, err)
+		}
+		// Probe a bisection-like ladder of scale factors on one loaded
+		// workspace, comparing each probe against the references applied
+		// to a freshly scaled copy.
+		scales := []float64{1, 2, 4, 8, 4.7, 2.3, 1.1, 0.9, 0.5, 0.25, 1.7, 1}
+		for _, scale := range scales {
+			scaled := ts.SortRM()
+			for i := range scaled {
+				scaled[i].Cost *= scale
+			}
+			ws.ScaleCosts(scale)
+
+			refRTA, err := ResponseTimeAnalysis(scaled, blocking)
+			if err != nil {
+				t.Fatalf("set %d scale %g: reference RTA: %v", k, scale, err)
+			}
+			refExact, err := ExactTest(scaled, blocking)
+			if err != nil {
+				t.Fatalf("set %d scale %g: reference ExactTest: %v", k, scale, err)
+			}
+			if refRTA.Schedulable != refExact.Schedulable {
+				t.Fatalf("set %d scale %g: reference RTA and ExactTest disagree", k, scale)
+			}
+
+			got, err := ws.Schedulable(blocking)
+			if err != nil {
+				t.Fatalf("set %d scale %g: workspace Schedulable: %v", k, scale, err)
+			}
+			if got != refRTA.Schedulable {
+				t.Fatalf("set %d scale %g: workspace verdict %v, reference %v",
+					k, scale, got, refRTA.Schedulable)
+			}
+
+			wsExact, err := ws.ExactTest(blocking)
+			if err != nil {
+				t.Fatalf("set %d scale %g: workspace ExactTest: %v", k, scale, err)
+			}
+			if wsExact.Schedulable != refExact.Schedulable || wsExact.FirstFailure != refExact.FirstFailure {
+				t.Fatalf("set %d scale %g: workspace ExactTest (%v,%d) != reference (%v,%d)",
+					k, scale, wsExact.Schedulable, wsExact.FirstFailure,
+					refExact.Schedulable, refExact.FirstFailure)
+			}
+
+			wsRTA, err := ws.ResponseTimeAnalysis(blocking)
+			if err != nil {
+				t.Fatalf("set %d scale %g: workspace RTA: %v", k, scale, err)
+			}
+			if wsRTA.Schedulable != refRTA.Schedulable || wsRTA.FirstFailure != refRTA.FirstFailure {
+				t.Fatalf("set %d scale %g: workspace RTA verdict mismatch", k, scale)
+			}
+			for i := range refRTA.ResponseTimes {
+				if math.Float64bits(wsRTA.ResponseTimes[i]) != math.Float64bits(refRTA.ResponseTimes[i]) {
+					t.Fatalf("set %d scale %g task %d: response %v != reference %v",
+						k, scale, i, wsRTA.ResponseTimes[i], refRTA.ResponseTimes[i])
+				}
+			}
+		}
+	}
+}
+
+// TestWorkspaceDegenerateParity pins the degenerate corners the random
+// draw only occasionally hits: all-zero costs, all-equal periods, a
+// single task, and blocking exactly at the boundary.
+func TestWorkspaceDegenerateParity(t *testing.T) {
+	cases := []struct {
+		name     string
+		ts       TaskSet
+		blocking float64
+	}{
+		{"all-zero-costs", TaskSet{{0, 1}, {0, 2}, {0, 4}}, 0.5},
+		{"equal-periods", TaskSet{{0.2, 1}, {0.3, 1}, {0.4, 1}}, 0.05},
+		{"single", TaskSet{{0.7, 1}}, 0.3},
+		{"blocking-fills-period", TaskSet{{0.25, 1}, {0.25, 2}}, 0.75},
+		{"harmonic", TaskSet{{0.2, 1}, {0.2, 2}, {0.2, 4}, {0.2, 8}}, 0},
+		{"unschedulable", TaskSet{{0.9, 1}, {0.9, 1.5}}, 0.1},
+	}
+	var ws Workspace
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := ws.Load(tc.ts); err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			sorted := tc.ts.SortRM()
+			ref, err := ResponseTimeAnalysis(sorted, tc.blocking)
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			got, err := ws.Schedulable(tc.blocking)
+			if err != nil {
+				t.Fatalf("workspace: %v", err)
+			}
+			if got != ref.Schedulable {
+				t.Fatalf("verdict %v, reference %v", got, ref.Schedulable)
+			}
+			refExact, err := ExactTest(sorted, tc.blocking)
+			if err != nil {
+				t.Fatalf("reference exact: %v", err)
+			}
+			wsExact, err := ws.ExactTest(tc.blocking)
+			if err != nil {
+				t.Fatalf("workspace exact: %v", err)
+			}
+			if wsExact.Schedulable != refExact.Schedulable || wsExact.FirstFailure != refExact.FirstFailure {
+				t.Fatalf("exact %+v, reference %+v", wsExact, refExact)
+			}
+		})
+	}
+}
+
+// TestSchedulingPointsHarmonicDedupe is the regression test for duplicated
+// points under harmonically related periods: every l·P_k collision (2·1 ==
+// 1·2, 4·1 == 2·2 == 1·4, ...) must appear exactly once, for both the
+// reference SchedulingPoints and the workspace's cached arrays.
+func TestSchedulingPointsHarmonicDedupe(t *testing.T) {
+	ts := TaskSet{{0.1, 1}, {0.1, 2}, {0.1, 4}, {0.1, 8}}
+	want := [][]float64{
+		{1},
+		{1, 2},
+		{1, 2, 3, 4},
+		{1, 2, 3, 4, 5, 6, 7, 8},
+	}
+	var ws Workspace
+	if err := ws.Load(ts); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	ws.ensurePoints() // the cache is built lazily, on first ExactTest
+	for i := range ts {
+		pts := SchedulingPoints(ts, i)
+		if len(pts) != len(want[i]) {
+			t.Fatalf("task %d: %d points %v, want %v", i, len(pts), pts, want[i])
+		}
+		cached := ws.taskPoints(i)
+		if len(cached) != len(want[i]) {
+			t.Fatalf("task %d: %d cached points %v, want %v", i, len(cached), cached, want[i])
+		}
+		for j := range pts {
+			if pts[j] != want[i][j] || cached[j] != want[i][j] {
+				t.Fatalf("task %d point %d: reference %v cached %v, want %v",
+					i, j, pts[j], cached[j], want[i][j])
+			}
+		}
+		// No duplicates may survive, however the periods collide.
+		for j := 1; j < len(pts); j++ {
+			if pts[j] == pts[j-1] {
+				t.Fatalf("task %d: duplicate point %v", i, pts[j])
+			}
+		}
+	}
+}
+
+// TestInfiniteBlockingRejected pins the satellite fix: ±Inf blocking is now
+// rejected by both reference tests and the workspace, like NaN and negative
+// values.
+func TestInfiniteBlockingRejected(t *testing.T) {
+	ts := TaskSet{{0.1, 1}}
+	var ws Workspace
+	if err := ws.Load(ts); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, b := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -0.1} {
+		if _, err := ResponseTimeAnalysis(ts, b); !errors.Is(err, ErrBadBlocking) {
+			t.Errorf("RTA blocking %v: err %v, want ErrBadBlocking", b, err)
+		}
+		if _, err := ExactTest(ts, b); !errors.Is(err, ErrBadBlocking) {
+			t.Errorf("ExactTest blocking %v: err %v, want ErrBadBlocking", b, err)
+		}
+		if _, err := ws.Schedulable(b); !errors.Is(err, ErrBadBlocking) {
+			t.Errorf("workspace blocking %v: err %v, want ErrBadBlocking", b, err)
+		}
+	}
+	if _, err := ResponseTimeAnalysis(ts, 0); err != nil {
+		t.Errorf("zero blocking rejected: %v", err)
+	}
+}
+
+// TestWorkspaceUncachedFallback drives a period spread too wide for the
+// point cache (floor(P_max/P_min) alone exceeds the cache bound) and checks
+// parity against the references on the fallback path: pure RTA for
+// Schedulable, scratch-built points for ExactTest.
+func TestWorkspaceUncachedFallback(t *testing.T) {
+	ts := TaskSet{{1e-6, 2e-5}, {0.5, 30}}
+	var ws Workspace
+	if err := ws.Load(ts); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if ws.cached {
+		t.Fatalf("expected the point cache to be skipped for spread %v", ts)
+	}
+	for _, scale := range []float64{0.5, 1, 2, 10, 15, 30} {
+		ws.ScaleCosts(scale)
+		scaled := ts.SortRM()
+		for i := range scaled {
+			scaled[i].Cost *= scale
+		}
+		ref, err := ResponseTimeAnalysis(scaled, 1e-6)
+		if err != nil {
+			t.Fatalf("scale %g: reference: %v", scale, err)
+		}
+		got, err := ws.Schedulable(1e-6)
+		if err != nil {
+			t.Fatalf("scale %g: workspace: %v", scale, err)
+		}
+		if got != ref.Schedulable {
+			t.Fatalf("scale %g: verdict %v, reference %v", scale, got, ref.Schedulable)
+		}
+	}
+	// The scratch-built exact test is expensive for this spread (1.5M
+	// points), so check it at a single scale.
+	ws.ScaleCosts(1)
+	refExact, err := ExactTest(ts.SortRM(), 1e-6)
+	if err != nil {
+		t.Fatalf("reference exact: %v", err)
+	}
+	wsExact, err := ws.ExactTest(1e-6)
+	if err != nil {
+		t.Fatalf("workspace exact: %v", err)
+	}
+	if wsExact.Schedulable != refExact.Schedulable || wsExact.FirstFailure != refExact.FirstFailure {
+		t.Fatalf("exact %+v, reference %+v", wsExact, refExact)
+	}
+}
+
+// TestWorkspaceLoadErrors checks Load rejects what the references reject.
+func TestWorkspaceLoadErrors(t *testing.T) {
+	var ws Workspace
+	if err := ws.Load(nil); !errors.Is(err, ErrEmptyTaskSet) {
+		t.Errorf("empty: %v, want ErrEmptyTaskSet", err)
+	}
+	if err := ws.Load(TaskSet{{-1, 1}}); !errors.Is(err, ErrBadTask) {
+		t.Errorf("negative cost: %v, want ErrBadTask", err)
+	}
+	if err := ws.Load(TaskSet{{1, math.NaN()}}); !errors.Is(err, ErrBadTask) {
+		t.Errorf("NaN period: %v, want ErrBadTask", err)
+	}
+	// An unloaded (or failed-load) workspace reports the empty-set error.
+	var empty Workspace
+	if _, err := empty.Schedulable(0); !errors.Is(err, ErrEmptyTaskSet) {
+		t.Errorf("unloaded Schedulable: %v, want ErrEmptyTaskSet", err)
+	}
+}

@@ -101,6 +101,18 @@ type AnalyzeRequest struct {
 	Scenario string `json:"scenario,omitempty"`
 	// Detail includes per-stream verdicts in the response.
 	Detail bool `json:"detail,omitempty"`
+	// PayloadScales optionally asks, for each factor, whether the set stays
+	// schedulable with every payload multiplied by it ("how much headroom
+	// does this set have?"). The whole list is evaluated through one pooled
+	// batch probe per protocol; verdicts are identical to analyzing each
+	// scaled set separately.
+	PayloadScales []float64 `json:"payloadScales,omitempty"`
+}
+
+// ScaleVerdict is one payload-scale probe's outcome within a Verdict.
+type ScaleVerdict struct {
+	Scale       float64 `json:"scale"`
+	Schedulable bool    `json:"schedulable"`
 }
 
 // StreamVerdict is one stream's analysis outcome. PDP verdicts carry
@@ -152,6 +164,9 @@ type Verdict struct {
 	Capacity             float64          `json:"capacity,omitempty"`
 	Degraded             *DegradedVerdict `json:"degraded,omitempty"`
 	Streams              []StreamVerdict  `json:"streams,omitempty"`
+	// ScaleVerdicts holds one entry per requested payload scale, in the
+	// canonical (ascending, deduped) order.
+	ScaleVerdicts []ScaleVerdict `json:"scaleVerdicts,omitempty"`
 }
 
 // AnalyzeResponse is the /v1/analyze result. FaultModel echoes the
@@ -367,6 +382,29 @@ func (r AnalyzeRequest) Canonicalize() (AnalyzeRequest, error) {
 		}
 		return a.Name < b.Name
 	})
+	if len(r.PayloadScales) > 0 {
+		out.PayloadScales = make([]float64, 0, len(r.PayloadScales))
+		for _, s := range r.PayloadScales {
+			if s <= 0 || badFloat(s) {
+				return AnalyzeRequest{}, fmt.Errorf("%w: payloadScales must be positive and finite, got %v",
+					ErrBadRequest, s)
+			}
+			out.PayloadScales = append(out.PayloadScales, canonFloat(s))
+		}
+		// Ascending and deduped: probing one scale twice is pure waste, and
+		// the order carries no meaning beyond presentation.
+		sort.Float64s(out.PayloadScales)
+		n := 0
+		for _, s := range out.PayloadScales {
+			if n == 0 || s != out.PayloadScales[n-1] {
+				out.PayloadScales[n] = s
+				n++
+			}
+		}
+		out.PayloadScales = out.PayloadScales[:n]
+	} else {
+		out.PayloadScales = nil
+	}
 	if err := out.messageSet().Validate(); err != nil {
 		return AnalyzeRequest{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
@@ -520,9 +558,9 @@ func analyzeCanonical(ctx context.Context, req AnalyzeRequest, key string) (Anal
 		var v Verdict
 		var err error
 		if proto == ProtocolTTP {
-			v, err = analyzeTTP(bw, set, fm, req.Detail)
+			v, err = analyzeTTP(bw, set, fm, req.Detail, req.PayloadScales)
 		} else {
-			v, err = analyzePDP(proto, bw, set, fm, req.Detail)
+			v, err = analyzePDP(proto, bw, set, fm, req.Detail, req.PayloadScales)
 		}
 		if err != nil {
 			return AnalyzeResponse{}, err
@@ -532,7 +570,24 @@ func analyzeCanonical(ctx context.Context, req AnalyzeRequest, key string) (Anal
 	return resp, nil
 }
 
-func analyzePDP(proto string, bw float64, set message.Set, fm *faults.Model, detail bool) (Verdict, error) {
+// scaleVerdicts evaluates the canonical payload-scale list through the
+// analyzer's pooled batch probe (one workspace for the whole list).
+func scaleVerdicts(a core.Analyzer, set message.Set, scales []float64) ([]ScaleVerdict, error) {
+	if len(scales) == 0 {
+		return nil, nil
+	}
+	verdicts, err := core.AnalyzeBatch(a, set, scales)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ScaleVerdict, len(scales))
+	for i, s := range scales {
+		out[i] = ScaleVerdict{Scale: s, Schedulable: verdicts[i]}
+	}
+	return out, nil
+}
+
+func analyzePDP(proto string, bw float64, set message.Set, fm *faults.Model, detail bool, scales []float64) (Verdict, error) {
 	p := core.NewStandardPDP(bw)
 	if proto == ProtocolModifiedPDP {
 		p = core.NewModifiedPDP(bw)
@@ -552,6 +607,9 @@ func analyzePDP(proto string, bw float64, set message.Set, fm *faults.Model, det
 		Blocking:             rep.Blocking,
 		Theta:                rep.Theta,
 		FrameTime:            rep.FrameTime,
+	}
+	if v.ScaleVerdicts, err = scaleVerdicts(p, set, scales); err != nil {
+		return Verdict{}, err
 	}
 	if detail {
 		for _, s := range rep.Streams {
@@ -582,7 +640,7 @@ func analyzePDP(proto string, bw float64, set message.Set, fm *faults.Model, det
 	return v, nil
 }
 
-func analyzeTTP(bw float64, set message.Set, fm *faults.Model, detail bool) (Verdict, error) {
+func analyzeTTP(bw float64, set message.Set, fm *faults.Model, detail bool, scales []float64) (Verdict, error) {
 	t := core.NewTTP(bw)
 	if len(set) > t.Net.Stations {
 		t.Net = t.Net.WithStations(len(set))
@@ -599,6 +657,9 @@ func analyzeTTP(bw float64, set message.Set, fm *faults.Model, detail bool) (Ver
 		Overhead:        rep.Overhead,
 		TotalAllocation: rep.TotalAllocation,
 		Capacity:        rep.Capacity,
+	}
+	if v.ScaleVerdicts, err = scaleVerdicts(t, set, scales); err != nil {
+		return Verdict{}, err
 	}
 	if detail {
 		for _, s := range rep.Streams {

@@ -81,6 +81,7 @@ func (r AnalyzeRequest) CacheKey() string {
 	h.float("bw", r.BandwidthMbps)
 	h.str("fault", r.FaultModel)
 	h.bool("detail", r.Detail)
+	h.floats("scales", r.PayloadScales)
 	for _, s := range r.Streams {
 		h.str("s.name", s.Name)
 		h.float("s.period", s.PeriodMs)

@@ -1,0 +1,141 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"ringsched/internal/core"
+	"ringsched/internal/ring"
+)
+
+func TestPayloadScalesCanonicalization(t *testing.T) {
+	a := baseRequest()
+	a.PayloadScales = []float64{4, 1, 0.5, 1, 4}
+	canon := mustCanon(t, a)
+	want := []float64{0.5, 1, 4}
+	if len(canon.PayloadScales) != len(want) {
+		t.Fatalf("canonical scales %v, want %v", canon.PayloadScales, want)
+	}
+	for i, s := range want {
+		if canon.PayloadScales[i] != s {
+			t.Fatalf("canonical scales %v, want %v", canon.PayloadScales, want)
+		}
+	}
+
+	// Reordered and duplicated scale lists share one cache key; a different
+	// scale set keys differently, and so does the no-scales request.
+	b := baseRequest()
+	b.PayloadScales = []float64{0.5, 4, 1}
+	if analyzeKey(t, a) != analyzeKey(t, b) {
+		t.Error("equivalent scale lists produced different cache keys")
+	}
+	c := baseRequest()
+	c.PayloadScales = []float64{0.5, 2}
+	if analyzeKey(t, a) == analyzeKey(t, c) {
+		t.Error("different scale lists share a cache key")
+	}
+	if analyzeKey(t, a) == analyzeKey(t, baseRequest()) {
+		t.Error("scaled and unscaled requests share a cache key")
+	}
+
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		r := baseRequest()
+		r.PayloadScales = []float64{1, bad}
+		if _, err := r.Canonicalize(); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("scale %v: err %v, want ErrBadRequest", bad, err)
+		}
+	}
+}
+
+// TestPayloadScaleVerdictsMatchDirectAnalysis checks the batched per-scale
+// verdicts against analyzing each scaled set through its own request.
+func TestPayloadScaleVerdictsMatchDirectAnalysis(t *testing.T) {
+	req := baseRequest()
+	req.PayloadScales = []float64{0.25, 1, 2, 4, 8, 16, 64}
+	resp, err := Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(resp.Verdicts) != 3 {
+		t.Fatalf("verdicts: %d, want 3", len(resp.Verdicts))
+	}
+	set := mustCanon(t, req).messageSet()
+	bw := ring.Mbps(req.BandwidthMbps)
+	for _, v := range resp.Verdicts {
+		if len(v.ScaleVerdicts) != len(req.PayloadScales) {
+			t.Fatalf("%s: %d scale verdicts, want %d", v.Protocol, len(v.ScaleVerdicts), len(req.PayloadScales))
+		}
+		var a core.Analyzer
+		switch v.Protocol {
+		case ProtocolModifiedPDP:
+			a = core.NewModifiedPDP(bw)
+		case ProtocolStandardPDP:
+			a = core.NewStandardPDP(bw)
+		case ProtocolTTP:
+			a = core.NewTTP(bw)
+		default:
+			t.Fatalf("unknown protocol %q", v.Protocol)
+		}
+		for _, sv := range v.ScaleVerdicts {
+			direct, err := a.Schedulable(set.Scale(sv.Scale))
+			if err != nil {
+				t.Fatalf("%s scale %g: %v", v.Protocol, sv.Scale, err)
+			}
+			if sv.Schedulable != direct {
+				t.Errorf("%s scale %g: batched verdict %v, direct %v", v.Protocol, sv.Scale, sv.Schedulable, direct)
+			}
+		}
+		// Monotone presentation: once unschedulable, larger scales stay so.
+		seenFalse := false
+		for _, sv := range v.ScaleVerdicts {
+			if seenFalse && sv.Schedulable {
+				t.Errorf("%s: verdicts not monotone across scales: %+v", v.Protocol, v.ScaleVerdicts)
+			}
+			if !sv.Schedulable {
+				seenFalse = true
+			}
+		}
+	}
+
+	// The response is cache-stable: a permuted scale list returns the very
+	// same canonical body.
+	perm := baseRequest()
+	perm.PayloadScales = []float64{64, 8, 2, 16, 1, 0.25, 4, 4}
+	resp2, err := Analyze(context.Background(), perm)
+	if err != nil {
+		t.Fatalf("Analyze (permuted): %v", err)
+	}
+	b1, err := Encode(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Encode(resp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Errorf("permuted scale list changed the response body:\n%s\nvs\n%s",
+			firstDiff(string(b1), string(b2)), "")
+	}
+}
+
+// firstDiff returns a short context around the first differing byte.
+func firstDiff(a, b string) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 40
+			if lo < 0 {
+				lo = 0
+			}
+			return strings.ReplaceAll(a[lo:i]+" <<< "+a[i:min(i+40, len(a))], "\n", "\\n")
+		}
+	}
+	return "length mismatch"
+}

@@ -104,7 +104,25 @@ type (
 	Task = rma.Task
 	// TaskSet is an ordered set of Tasks.
 	TaskSet = rma.TaskSet
+	// RMWorkspace is the allocation-free rate-monotonic kernel: Load a
+	// task set once, then rescale costs and re-run the exact test with
+	// zero allocations per probe (the engine behind the batched probes
+	// and the saturation search).
+	RMWorkspace = rma.Workspace
+	// Probe evaluates one bound message set at varying payload scales
+	// without allocating; obtain one from a BatchAnalyzer.
+	Probe = core.Probe
+	// BatchAnalyzer is implemented by analyzers with an allocation-free
+	// scaled-probe path (all protocol analyzers).
+	BatchAnalyzer = core.BatchAnalyzer
 )
+
+// AnalyzeBatch evaluates one message set at each payload scale through the
+// analyzer's pooled probe (bit-identical to per-scale Schedulable calls,
+// without the per-call allocation).
+func AnalyzeBatch(a Analyzer, m MessageSet, scales []float64) ([]bool, error) {
+	return core.AnalyzeBatch(a, m, scales)
+}
 
 // PDP variants and TTRT rules.
 const (

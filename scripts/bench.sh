@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerate the canonical benchmark report (BENCH_PR4.json).
+#
+# Usage:
+#   scripts/bench.sh [out.json]
+#
+# Environment:
+#   BENCH_PATTERN   benchmark regexp (default: the gated harness set)
+#   BENCH_COUNT     -count repeats folded by benchreport (default 3)
+#   BENCH_TIME      -benchtime per benchmark (default 0.5s)
+#
+# Compare a fresh run against the checked-in report (allocation gate only;
+# wall-clock comparisons across machines are meaningless):
+#   scripts/bench.sh /tmp/head.json
+#   go run ./cmd/benchreport -in /tmp/head.json -baseline BENCH_PR4.json -ns-tol -1
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR4.json}"
+pattern="${BENCH_PATTERN:-^(BenchmarkExactTestReference|BenchmarkRTAReference|BenchmarkWorkspace(ExactTest|RTA|Probe)|Benchmark(PDP|TTP)Probe(Bind)?|BenchmarkAnalyzeBatch|BenchmarkSaturate(TTP|PDP)(Reference)?|BenchmarkTheorem(41|51)|BenchmarkFig1Experiment)$}"
+count="${BENCH_COUNT:-3}"
+benchtime="${BENCH_TIME:-0.5s}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchmem \
+    -benchtime "$benchtime" -count "$count" -timeout 60m \
+    . ./internal/rma/ ./internal/core/ ./internal/breakdown/ | tee "$tmp"
+go run ./cmd/benchreport -in "$tmp" -out "$out"
+echo "wrote $out"
