@@ -22,14 +22,19 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+
+	"ringsched/internal/cli"
+	"ringsched/internal/trace"
 )
 
 // Benchmark is one parsed benchmark result.
@@ -63,7 +68,17 @@ func main() {
 		baseline = flag.String("baseline", "", "compare against this baseline (JSON report or raw bench text) instead of reporting")
 		nsTol    = flag.Float64("ns-tol", 0.20, "relative ns/op (and …/s throughput) tolerance; negative disables wall-clock gating")
 	)
+	var obsf cli.Obs
+	obsf.Register(flag.CommandLine)
 	flag.Parse()
+
+	ctx, logger, err := obsf.Setup(context.Background(), os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
+	defer obsf.Close()
+	ctx, sp := trace.Start(ctx, "cli.benchreport")
+	defer sp.End()
 
 	cur, err := load(*in)
 	if err != nil {
@@ -72,6 +87,10 @@ func main() {
 	if len(cur.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark results found in %s", *in))
 	}
+	sp.SetAttr("benchmarks", len(cur.Benchmarks))
+	logger.LogAttrs(ctx, slog.LevelDebug, "parsed",
+		slog.String("in", *in),
+		slog.Int("benchmarks", len(cur.Benchmarks)))
 
 	if *baseline != "" {
 		base, err := load(*baseline)
@@ -82,7 +101,10 @@ func main() {
 		for _, f := range failures {
 			fmt.Fprintln(os.Stderr, "FAIL:", f)
 		}
+		sp.SetAttr("failures", len(failures))
 		if len(failures) > 0 {
+			sp.End()
+			obsf.Close()
 			os.Exit(1)
 		}
 		fmt.Printf("benchreport: %d benchmarks within budget (ns-tol %.0f%%, allocs strict)\n",

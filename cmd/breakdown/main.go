@@ -10,6 +10,7 @@
 //	breakdown -samples 400 -seed 7    # tighter confidence intervals
 //	breakdown -n 50 -mean-period 50ms -period-ratio 4
 //	breakdown -workers 8 -timeout 2m  # parallel sweep with a deadline
+//	breakdown -trace-out spans.jsonl  # export per-point estimator spans
 //
 // A live progress line (percent, ETA, current sweep point) streams to
 // stderr; Ctrl-C aborts promptly. Results are identical at any -workers
@@ -21,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"strconv"
 	"strings"
 	"time"
@@ -32,6 +34,7 @@ import (
 	"ringsched/internal/message"
 	"ringsched/internal/progress"
 	"ringsched/internal/textplot"
+	"ringsched/internal/trace"
 )
 
 func main() {
@@ -56,11 +59,20 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		workers     = fs.Int("workers", 0, "parallel worker budget across sweep points and samples (0 = all cores)")
 		quiet       = fs.Bool("quiet", false, "suppress the live progress meter on stderr")
 	)
+	var obsf cli.Obs
+	obsf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	ctx, cancel := cli.WithTimeout(ctx, *timeout)
 	defer cancel()
+	ctx, logger, err := obsf.Setup(ctx, errw)
+	if err != nil {
+		return err
+	}
+	defer obsf.Close()
+	ctx, sp := trace.Start(ctx, "cli.breakdown")
+	defer sp.End()
 
 	var bandwidths []float64
 	if *bwList != "" {
@@ -74,6 +86,12 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	} else {
 		bandwidths = breakdown.PaperBandwidths(*points)
 	}
+	sp.SetAttr("samples", *samples)
+	sp.SetAttr("bandwidths", len(bandwidths))
+	logger.LogAttrs(ctx, slog.LevelDebug, "sweep configured",
+		slog.Int("bandwidths", len(bandwidths)),
+		slog.Int("samples", *samples),
+		slog.Int("streams", *streams))
 
 	if *jsonOut {
 		// The request goes through the same canonicalization, estimation

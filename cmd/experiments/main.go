@@ -20,10 +20,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 
 	"ringsched"
 	"ringsched/internal/cli"
 	"ringsched/internal/progress"
+	"ringsched/internal/trace"
 )
 
 func main() {
@@ -46,11 +48,20 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		workers = fs.Int("workers", 0, "parallel worker budget across experiments and samples (0 = all cores)")
 		quiet   = fs.Bool("quiet", false, "suppress the live progress meter on stderr")
 	)
+	var obsf cli.Obs
+	obsf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	ctx, cancel := cli.WithTimeout(ctx, *timeout)
 	defer cancel()
+	ctx, logger, err := obsf.Setup(ctx, errw)
+	if err != nil {
+		return err
+	}
+	defer obsf.Close()
+	ctx, sp := trace.Start(ctx, "cli.experiments")
+	defer sp.End()
 
 	if *list {
 		for _, e := range ringsched.Experiments() {
@@ -81,6 +92,11 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("one of -list, -run or -all is required")
 	}
+	sp.SetAttr("experiments", len(experiments))
+	logger.LogAttrs(ctx, slog.LevelDebug, "experiments selected",
+		slog.Int("count", len(experiments)),
+		slog.Int("samples", *samples),
+		slog.Bool("quick", *quick))
 
 	var obs ringsched.Progress
 	var meter *progress.Meter

@@ -9,21 +9,29 @@
 // computed once, however many clients ask. SIGINT/SIGTERM drains
 // gracefully — new requests get 503 while in-flight work finishes.
 //
+// Every /v1/* response carries an X-Ringsched-Trace header; feeding it to
+// /debug/traces?trace=<id> returns that request's span tree (handler →
+// canonicalize → cache → kernel → encode). Spans also drive the
+// ringschedd_stage_seconds histograms on /metrics, and net/http/pprof is
+// mounted under /debug/pprof/.
+//
 // Usage:
 //
 //	ringschedd                                # serve on :8080
 //	ringschedd -addr 127.0.0.1:9000 -workers 8 -cache-bytes 33554432
+//	ringschedd -log-format json -log-level debug -trace-out spans.jsonl
 //	curl -s localhost:8080/healthz
 //	curl -s -XPOST -d '{"bandwidthMbps":100,"streams":[{"periodMs":10,"lengthBits":4096}]}' \
 //	    localhost:8080/v1/analyze
+//	curl -s "localhost:8080/debug/traces?trace=$TRACE_ID"
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"time"
@@ -45,21 +53,35 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		workers    = fs.Int("workers", 0, "concurrent computations (0 = all cores)")
 		jobTimeout = fs.Duration("job-timeout", 5*time.Minute, "per-computation deadline (negative = none)")
 		drain      = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain budget")
+		spans      = fs.Int("trace-spans", 4096, "finished spans retained for /debug/traces")
 	)
+	var obs cli.Obs
+	obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	_, logger, err := obs.Setup(ctx, errw)
+	if err != nil {
+		return err
+	}
+	defer obs.Close()
 
 	srv := service.New(service.Config{
 		CacheBytes: *cacheBytes,
 		Workers:    *workers,
 		JobTimeout: *jobTimeout,
+		Logger:     logger,
+		TraceSpans: *spans,
+		TraceSink:  obs.Sink(),
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(errw, "ringschedd: listening on %s\n", ln.Addr())
+	logger.LogAttrs(ctx, slog.LevelInfo, "listening",
+		slog.String("addr", ln.Addr().String()),
+		slog.Int("workers", *workers),
+		slog.Int64("cacheBytes", *cacheBytes))
 
 	hs := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)
@@ -74,7 +96,9 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	// Graceful shutdown: stop advertising health, reject new API work,
 	// let in-flight requests finish within the drain budget, then cancel
 	// whatever is left (long SSE streams included) and force-close.
-	fmt.Fprintf(errw, "ringschedd: draining (budget %v)\n", *drain)
+	logger.LogAttrs(ctx, slog.LevelInfo, "draining",
+		slog.Duration("budget", *drain),
+		slog.Int64("inFlight", srv.InFlight()))
 	srv.BeginDrain()
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
@@ -85,8 +109,8 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		if !errors.Is(shutdownErr, context.DeadlineExceeded) {
 			return shutdownErr
 		}
-		fmt.Fprintln(errw, "ringschedd: drain budget exceeded, forced close")
+		logger.LogAttrs(ctx, slog.LevelWarn, "drain budget exceeded, forced close")
 	}
-	fmt.Fprintln(errw, "ringschedd: stopped")
+	logger.LogAttrs(ctx, slog.LevelInfo, "stopped")
 	return nil
 }

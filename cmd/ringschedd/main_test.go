@@ -31,7 +31,7 @@ func (b *syncBuffer) String() string {
 	return b.buf.String()
 }
 
-var listenLine = regexp.MustCompile(`ringschedd: listening on (\S+)`)
+var listenLine = regexp.MustCompile(`msg=listening addr=(\S+)`)
 
 func TestServeAnalyzeAndGracefulShutdown(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
@@ -83,7 +83,7 @@ func TestServeAnalyzeAndGracefulShutdown(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("server did not shut down")
 	}
-	if out := errw.String(); !strings.Contains(out, "ringschedd: stopped") {
+	if out := errw.String(); !strings.Contains(out, "msg=stopped") {
 		t.Errorf("missing shutdown message:\n%s", out)
 	}
 }

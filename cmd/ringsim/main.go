@@ -2,19 +2,29 @@
 // the two MAC protocols on a message set and reports deadline misses,
 // medium occupancy, and token rotation statistics.
 //
+// Every run ends with a token-stats block comparing the observed mean
+// rotation time against the model's walk time WT = Θ (and TTRT for fddi).
+// -trace-out additionally writes the run's spans, the sampled protocol
+// events (token passes, reservations, late counters, recoveries), and the
+// machine-readable summary as JSON lines.
+//
 // Usage:
 //
 //	ringsim -protocol fddi -bw 100 -utilization 0.5
 //	ringsim -protocol 8025 -bw 4 -set set.json -phasing random -seed 3
 //	ringsim -protocol 8025mod -bw 16 -n 20 -horizon 5s -async=false
 //	ringsim -protocol fddi -trace 40          # log the first 40 events
+//	ringsim -protocol fddi -trace-out run.jsonl -stats-every 16
+//	ringsim -protocol fddi -rotation-hist 8   # token-rotation histogram
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"os"
 	"time"
@@ -44,6 +54,8 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		horizon     = fs.Duration("horizon", 0, "simulated duration (default: 20 max periods)")
 		async       = fs.Bool("async", true, "saturated asynchronous background traffic")
 		trace       = fs.Int("trace", 0, "log the first N simulator events (0 = off)")
+		statsEvery  = fs.Int("stats-every", 1, "keep one raw protocol event in N for -trace-out (statistics always use all)")
+		rotHist     = fs.Int("rotation-hist", 0, "print an N-bin token-rotation-time histogram (0 = off)")
 		lossProb    = fs.Float64("loss-prob", 0, "token-loss probability per service step")
 		levels      = fs.Int("levels", 8, "ring priority levels for -protocol 8025res (0 = one per stream)")
 		recovery    = fs.Duration("recovery", 2*time.Millisecond, "ring recovery time per token loss")
@@ -56,12 +68,19 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		maxEvents   = fs.Int("max-events", 0, "abort after this many simulator events (0 = unlimited)")
 		quiet       = fs.Bool("quiet", false, "suppress the live progress meter on stderr")
 	)
+	var oflags cli.Obs
+	oflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	ctx, cancel := cli.WithTimeout(ctx, *timeout)
 	defer cancel()
 	cli.ApplyWorkers(*workers)
+	ctx, logger, err := oflags.Setup(ctx, errw)
+	if err != nil {
+		return err
+	}
+	defer oflags.Close()
 
 	var meter *progress.Meter
 	var obs ringsched.Progress
@@ -78,16 +97,21 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	if err != nil {
 		return err
 	}
+	logger.LogAttrs(ctx, slog.LevelDebug, "workload loaded",
+		slog.Int("streams", len(set)), slog.Int("stations", stations),
+		slog.Float64("bandwidthMbps", *bwMbps))
 
 	ph := ringsched.PhasingSynchronized
 	if *phasing == "random" {
 		ph = ringsched.PhasingRandom
 	}
 
-	var tracer ringsched.Tracer
+	// The stats collector always rides along; -trace only adds the text log.
+	stats := &ringsched.TokenStatsCollector{SampleEvery: *statsEvery}
+	var tracer ringsched.Tracer = stats
 	if *trace > 0 {
 		fmt.Fprintf(out, "--- first %d events ---\n", *trace)
-		tracer = &ringsched.WriterTracer{W: out, Limit: *trace}
+		tracer = ringsched.MultiTracer(stats, &ringsched.WriterTracer{W: out, Limit: *trace})
 	}
 
 	faults, err := buildFaults(*faultSpec, *scenario, *lossProb, *recovery, *burstLen, *crashRate, *seed)
@@ -96,6 +120,7 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	}
 
 	var res ringsched.SimResult
+	var walkTime, ttrt float64 // model WT = Θ, and TTRT for fddi
 	switch *protocol {
 	case "8025", "8025mod":
 		pdp := ringsched.NewStandardPDP(bw)
@@ -103,6 +128,7 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 			pdp.Variant = ringsched.Modified8025
 		}
 		pdp.Net = pdp.Net.WithStations(stations)
+		walkTime = pdp.Net.Theta()
 		w, werr := ringsched.NewWorkload(set, stations, ph, rng)
 		if werr != nil {
 			return werr
@@ -122,6 +148,7 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	case "8025res":
 		pdp := ringsched.NewStandardPDP(bw)
 		pdp.Net = pdp.Net.WithStations(stations)
+		walkTime = pdp.Net.Theta()
 		w, werr := ringsched.NewWorkload(set, stations, ph, rng)
 		if werr != nil {
 			return werr
@@ -147,6 +174,7 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	case "fddi":
 		ttp := ringsched.NewTTP(bw)
 		ttp.Net = ttp.Net.WithStations(stations)
+		walkTime = ttp.Net.Theta()
 		w, werr := ringsched.NewWorkload(set, stations, ph, rng)
 		if werr != nil {
 			return werr
@@ -156,6 +184,7 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		if err != nil {
 			return err
 		}
+		ttrt = simc.TTRT
 		simc.AsyncSaturated = *async
 		simc.Horizon = horizon.Seconds()
 		simc.Tracer = tracer
@@ -177,7 +206,47 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		fmt.Fprintln(out, "---")
 	}
 	printResult(out, res)
+	sum := stats.Summary()
+	fmt.Fprintf(out, "\n%s", sum.Format(walkTime, ttrt))
+	if *rotHist > 0 {
+		if h, herr := stats.RotationHistogram(*rotHist); herr != nil {
+			fmt.Fprintf(out, "rotation histogram: %v\n", herr)
+		} else {
+			h.Min *= 1e3 // render bin edges in ms
+			h.Max *= 1e3
+			fmt.Fprintf(out, "\ntoken rotation histogram (ms):\n%s", h.Render(40))
+		}
+	}
+	if err := writeTokenTrace(oflags.TraceWriter(), stats, sum, walkTime, ttrt); err != nil {
+		return err
+	}
 	return nil
+}
+
+// writeTokenTrace appends the sampled protocol events and the final
+// token-stats summary to the -trace-out stream as JSON lines, alongside
+// whatever spans the run exported. w is nil when -trace-out is off.
+func writeTokenTrace(w io.Writer, stats *ringsched.TokenStatsCollector, sum ringsched.TokenStats, walkTime, ttrt float64) error {
+	if w == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, e := range stats.Events() {
+		if err := enc.Encode(map[string]any{
+			"event":       e.Kind.String(),
+			"timeSec":     e.Time,
+			"station":     e.Station,
+			"durationSec": e.Duration,
+			"detail":      e.Detail,
+		}); err != nil {
+			return err
+		}
+	}
+	return enc.Encode(map[string]any{
+		"tokenStats":  sum,
+		"walkTimeSec": walkTime,
+		"ttrtSec":     ttrt,
+	})
 }
 
 // buildFaults assembles the injected fault model from the scenario/spec

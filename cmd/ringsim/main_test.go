@@ -3,7 +3,10 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -84,6 +87,78 @@ func TestRandomPhasing(t *testing.T) {
 		"-utilization", "0.2", "-horizon", "50ms", "-phasing", "random", "-seed", "5"}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTraceOutTokenStats is the PR acceptance check: a clean fddi run with
+// -trace-out must print the token-stats verdict on stdout and append JSON
+// lines whose final record carries a summary with mean rotation above the
+// model's walk time WT.
+func TestTraceOutTokenStats(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "run.jsonl")
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-protocol", "fddi", "-bw", "100", "-n", "6",
+		"-utilization", "0.3", "-horizon", "100ms", "-trace-out", tracePath, "-stats-every", "4"}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"token stats:", "OK (rotation ≥ WT)", "OK (mean ≤ TTRT)"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("stdout missing %q:\n%s", want, got)
+		}
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("trace file has %d lines, want sampled events plus a summary", len(lines))
+	}
+	var final struct {
+		TokenStats *struct {
+			Rotations       int     `json:"rotations"`
+			RotationMeanSec float64 `json:"rotationMeanSec"`
+		} `json:"tokenStats"`
+		WalkTimeSec float64 `json:"walkTimeSec"`
+		TTRTSec     float64 `json:"ttrtSec"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &final); err != nil {
+		t.Fatalf("final trace line: %v\n%s", err, lines[len(lines)-1])
+	}
+	if final.TokenStats == nil {
+		t.Fatalf("final trace line has no tokenStats:\n%s", lines[len(lines)-1])
+	}
+	if final.TokenStats.Rotations == 0 {
+		t.Fatal("no token rotations recorded")
+	}
+	if final.WalkTimeSec <= 0 {
+		t.Fatalf("walkTimeSec = %g, want > 0", final.WalkTimeSec)
+	}
+	if final.TokenStats.RotationMeanSec <= final.WalkTimeSec {
+		t.Errorf("mean rotation %g ≤ walk time %g; token must take at least one full walk per rotation",
+			final.TokenStats.RotationMeanSec, final.WalkTimeSec)
+	}
+	// The earlier lines are sampled protocol events, each a JSON object
+	// with an event kind; token passes must be among them.
+	sawToken := false
+	for _, line := range lines[:len(lines)-1] {
+		var ev struct {
+			Event   string  `json:"event"`
+			TimeSec float64 `json:"timeSec"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			continue // span records share the stream
+		}
+		if ev.Event == "token" {
+			sawToken = true
+			break
+		}
+	}
+	if !sawToken {
+		t.Error("no sampled token-pass events in the trace file")
 	}
 }
 

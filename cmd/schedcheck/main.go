@@ -11,6 +11,7 @@
 //	schedcheck -print-example > set.json
 //	schedcheck -set set.json -bw 100
 //	schedcheck -bw 16 -n 40 -seed 7 -verbose
+//	schedcheck -bw 100 -json -trace-out spans.jsonl -log-level debug
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"os"
 
@@ -25,13 +27,14 @@ import (
 	"ringsched/internal/cli"
 	"ringsched/internal/core"
 	"ringsched/internal/message"
+	"ringsched/internal/trace"
 )
 
 func main() {
 	cli.Main("schedcheck", run)
 }
 
-func run(ctx context.Context, args []string, out, _ io.Writer) error {
+func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("schedcheck", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
@@ -49,12 +52,21 @@ func run(ctx context.Context, args []string, out, _ io.Writer) error {
 		timeout      = fs.Duration("timeout", 0, "abort after this duration (0 = none)")
 		workers      = fs.Int("workers", 0, "cap OS parallelism for the run (0 = all cores)")
 	)
+	var obsf cli.Obs
+	obsf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	ctx, cancel := cli.WithTimeout(ctx, *timeout)
 	defer cancel()
 	cli.ApplyWorkers(*workers)
+	ctx, logger, err := obsf.Setup(ctx, errw)
+	if err != nil {
+		return err
+	}
+	defer obsf.Close()
+	ctx, sp := trace.Start(ctx, "cli.schedcheck")
+	defer sp.End()
 
 	if *printExample {
 		example := ringsched.MessageSet{
@@ -74,6 +86,12 @@ func run(ctx context.Context, args []string, out, _ io.Writer) error {
 	if err != nil {
 		return err
 	}
+	sp.SetAttr("streams", len(set))
+	sp.SetAttr("bandwidthMbps", *bwMbps)
+	logger.LogAttrs(ctx, slog.LevelDebug, "workload loaded",
+		slog.Int("streams", len(set)),
+		slog.Float64("bandwidthMbps", *bwMbps),
+		slog.Float64("utilization", set.Utilization(bw)))
 
 	if *jsonOut {
 		// The request goes through the same canonicalization, analysis and

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"time"
 
@@ -24,6 +25,7 @@ import (
 	"ringsched/internal/message"
 	"ringsched/internal/progress"
 	"ringsched/internal/textplot"
+	"ringsched/internal/trace"
 )
 
 func main() {
@@ -45,11 +47,20 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		workers = fs.Int("workers", 0, "parallel worker budget for the -general Monte Carlo pool (0 = all cores)")
 		quiet   = fs.Bool("quiet", false, "suppress the live progress meter on stderr")
 	)
+	var obsf cli.Obs
+	obsf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	ctx, cancel := cli.WithTimeout(ctx, *timeout)
 	defer cancel()
+	ctx, logger, err := obsf.Setup(ctx, errw)
+	if err != nil {
+		return err
+	}
+	defer obsf.Close()
+	ctx, sp := trace.Start(ctx, "cli.ttrtscan")
+	defer sp.End()
 
 	bw := ringsched.Mbps(*bwMbps)
 	p := period.Seconds()
@@ -58,6 +69,12 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	probe.Net = probe.Net.WithStations(*streams)
 	theta := probe.Overhead()
 	sqrtRule := math.Sqrt(theta * p)
+	sp.SetAttr("grid", *grid)
+	sp.SetAttr("thetaSec", theta)
+	logger.LogAttrs(ctx, slog.LevelDebug, "scan configured",
+		slog.Int("grid", *grid),
+		slog.Float64("thetaSec", theta),
+		slog.Float64("sqrtRuleSec", sqrtRule))
 
 	fmt.Fprintf(out, "equal-period scan: n=%d, P=%v, bw=%g Mbps, θ=%.4g ms, √(θP)=%.4g ms\n\n",
 		*streams, *period, *bwMbps, theta*1e3, sqrtRule*1e3)

@@ -12,6 +12,7 @@ import (
 	"ringsched/internal/message"
 	"ringsched/internal/progress"
 	"ringsched/internal/stats"
+	"ringsched/internal/trace"
 )
 
 // ErrNoSamples is returned when an estimator is configured with a
@@ -103,6 +104,12 @@ func (e Estimator) EstimateContext(ctx context.Context, a core.Analyzer, bandwid
 		workers = e.Samples
 	}
 
+	ctx, sp := trace.Start(ctx, "breakdown.estimate")
+	defer sp.End()
+	sp.SetAttr("analyzer", a.Name())
+	sp.SetAttr("samples", e.Samples)
+	sp.SetAttr("workers", workers)
+
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	obs := progress.OrNop(e.Progress)
@@ -145,9 +152,11 @@ dispatch:
 	wg.Wait()
 
 	if failure != nil {
+		sp.SetError(failure)
 		return Estimate{}, failure
 	}
 	if err := ctx.Err(); err != nil {
+		sp.SetError(err)
 		return Estimate{}, err
 	}
 
@@ -173,6 +182,8 @@ dispatch:
 	if err != nil {
 		return Estimate{}, err
 	}
+	sp.SetAttr("mean", acc.Mean())
+	sp.SetAttr("infeasible", infeasible)
 	return Estimate{
 		Mean:       acc.Mean(),
 		CI95:       acc.CI95(),

@@ -11,6 +11,7 @@ import (
 
 	"ringsched/internal/core"
 	"ringsched/internal/progress"
+	"ringsched/internal/trace"
 )
 
 // ErrRaggedSeries is returned by the table formatters when the series do
@@ -72,6 +73,12 @@ func (e Estimator) SweepContext(ctx context.Context, name string, factory Analyz
 		inner.Workers = 1
 	}
 
+	ctx, sweepSpan := trace.Start(ctx, "breakdown.sweep")
+	defer sweepSpan.End()
+	sweepSpan.SetAttr("series", name)
+	sweepSpan.SetAttr("points", len(bandwidthsBPS))
+	sweepSpan.SetAttr("pointWorkers", pointWorkers)
+
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	obs := progress.OrNop(e.Progress)
@@ -86,12 +93,19 @@ func (e Estimator) SweepContext(ctx context.Context, name string, factory Analyz
 			defer wg.Done()
 			for i := range next {
 				bw := bandwidthsBPS[i]
-				est, err := inner.EstimateContext(runCtx, factory(bw), bw)
+				ptCtx, ptSpan := trace.Start(runCtx, "breakdown.point")
+				ptSpan.SetAttr("series", name)
+				ptSpan.SetAttr("bandwidthBPS", bw)
+				est, err := inner.EstimateContext(ptCtx, factory(bw), bw)
 				if err != nil {
+					ptSpan.SetError(err)
+					ptSpan.End()
 					errs[i] = fmt.Errorf("sweep %s at %.3g bps: %w", name, bw, err)
 					cancel()
 					continue
 				}
+				ptSpan.SetAttr("mean", est.Mean)
+				ptSpan.End()
 				points[i] = Point{BandwidthBPS: bw, Estimate: est}
 				obs.SweepPointDone(name, bw)
 			}
@@ -124,12 +138,15 @@ dispatch:
 		}
 	}
 	if firstErr != nil && !errors.Is(firstErr, context.Canceled) {
+		sweepSpan.SetError(firstErr)
 		return Series{}, firstErr
 	}
 	if err := ctx.Err(); err != nil {
+		sweepSpan.SetError(err)
 		return Series{}, err
 	}
 	if firstErr != nil {
+		sweepSpan.SetError(firstErr)
 		return Series{}, firstErr
 	}
 	return Series{Name: name, Points: points}, nil

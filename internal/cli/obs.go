@@ -1,0 +1,88 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+
+	"ringsched/internal/trace"
+)
+
+// Obs bundles the observability flags every tool shares: structured
+// logging (-log-level, -log-format, to stderr so stdout stays pipeable)
+// and span export (-trace-out, JSON lines). Register it on the tool's
+// FlagSet, Setup it after parsing, and defer Close.
+type Obs struct {
+	// Level and Format hold the parsed -log-level / -log-format values.
+	Level, Format string
+	// TraceOut is the -trace-out path ("" = no span export, "-" = stderr).
+	TraceOut string
+
+	sink *trace.JSONL
+	file *os.File
+	out  io.Writer
+}
+
+// Register adds the observability flags to fs.
+func (o *Obs) Register(fs *flag.FlagSet) {
+	fs.StringVar(&o.Level, "log-level", "info", "log level: debug, info, warn or error")
+	fs.StringVar(&o.Format, "log-format", "text", "log format: text or json")
+	fs.StringVar(&o.TraceOut, "trace-out", "", "write finished trace spans as JSON lines to this file (- = stderr)")
+}
+
+// Setup builds the tool's logger (writing to errw) and, when -trace-out
+// was given, installs a tracer on ctx whose finished spans are appended
+// to the file as JSON lines. The returned context must be the one passed
+// into the library so spans actually flow.
+func (o *Obs) Setup(ctx context.Context, errw io.Writer) (context.Context, *slog.Logger, error) {
+	logger, err := trace.NewLogger(errw, o.Level, o.Format)
+	if err != nil {
+		return ctx, nil, err
+	}
+	switch o.TraceOut {
+	case "":
+	case "-":
+		o.out = errw
+		o.sink = trace.NewJSONL(errw)
+	default:
+		f, err := os.Create(o.TraceOut)
+		if err != nil {
+			return ctx, nil, fmt.Errorf("trace-out: %w", err)
+		}
+		o.file = f
+		o.out = f
+		o.sink = trace.NewJSONL(f)
+	}
+	if o.sink != nil {
+		ctx = trace.WithTracer(ctx, trace.New(o.sink))
+	}
+	return ctx, logger, nil
+}
+
+// Sink returns the span sink, or nil when -trace-out was not given;
+// ringschedd hands it to the service so server-side spans reach the same
+// file as the daemon's own.
+func (o *Obs) Sink() trace.Sink {
+	if o.sink == nil {
+		return nil
+	}
+	return o.sink
+}
+
+// TraceWriter returns the raw -trace-out stream for tools that append
+// extra JSON lines (ringsim's sampled protocol events and token-stats
+// summary), or nil when -trace-out was not given.
+func (o *Obs) TraceWriter() io.Writer { return o.out }
+
+// Close flushes and closes the trace file, if one was opened.
+func (o *Obs) Close() error {
+	if o.file == nil {
+		return nil
+	}
+	err := o.file.Close()
+	o.file = nil
+	return err
+}

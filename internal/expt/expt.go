@@ -17,6 +17,7 @@ import (
 
 	"ringsched/internal/breakdown"
 	"ringsched/internal/progress"
+	"ringsched/internal/trace"
 )
 
 // ErrUnknownExperiment is returned by ByID for unregistered IDs.
@@ -114,10 +115,16 @@ type Experiment struct {
 // RunOne executes one experiment, wrapping it in ExperimentStarted /
 // ExperimentFinished progress callbacks.
 func RunOne(ctx context.Context, e Experiment, cfg Config, obs progress.Progress) (Report, error) {
+	ctx, sp := trace.Start(ctx, "expt.run")
+	defer sp.End()
+	sp.SetAttr("id", e.ID)
+	sp.SetAttr("title", e.Title)
 	o := progress.OrNop(obs)
 	o.ExperimentStarted(e.ID, e.Title)
 	rep, err := e.Run(ctx, cfg, obs)
 	o.ExperimentFinished(e.ID, err == nil && rep.Pass, err)
+	sp.SetError(err)
+	sp.SetAttr("pass", err == nil && rep.Pass)
 	return rep, err
 }
 

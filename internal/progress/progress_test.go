@@ -119,6 +119,63 @@ func TestMeterThrottles(t *testing.T) {
 	}
 }
 
+func TestMeterThrottleWindowReopens(t *testing.T) {
+	var buf strings.Builder
+	m, now := meterAt(&buf, 1000)
+	m.SampleDone() // first callback always draws
+	m.SampleDone() // same instant: suppressed
+	*now = now.Add(99 * time.Millisecond)
+	m.SampleDone() // still inside the 100ms window: suppressed
+	if draws := strings.Count(buf.String(), "\r"); draws != 1 {
+		t.Fatalf("%d redraws inside the throttle window, want 1", draws)
+	}
+	*now = now.Add(time.Millisecond)
+	m.SampleDone() // window elapsed: draws again
+	if draws := strings.Count(buf.String(), "\r"); draws != 2 {
+		t.Errorf("%d redraws after the window reopened, want 2", draws)
+	}
+}
+
+func TestMeterCloseForcesDraw(t *testing.T) {
+	var buf strings.Builder
+	m, _ := meterAt(&buf, 100)
+	for i := 0; i < 50; i++ {
+		m.SampleDone() // frozen clock: only the first draws
+	}
+	m.Close() // must force a final redraw despite the throttle
+	if out := buf.String(); !strings.Contains(out, "50/100 samples") {
+		t.Errorf("Close did not render the final state:\n%q", out)
+	}
+}
+
+func TestMeterWidthReset(t *testing.T) {
+	var buf strings.Builder
+	m, now := meterAt(&buf, 0)
+	long := "a-very-long-experiment-label"
+	m.ExperimentStarted(long, "")
+	*now = now.Add(time.Second)
+	m.ExperimentStarted("short", "")
+	*now = now.Add(time.Second)
+	m.ExperimentStarted("again", "")
+
+	segs := strings.Split(buf.String(), "\r")[1:] // leading \r yields an empty head
+	if len(segs) != 3 {
+		t.Fatalf("%d redraws, want 3:\n%q", len(segs), buf.String())
+	}
+	if segs[0] != long {
+		t.Errorf("first draw = %q, want bare %q", segs[0], long)
+	}
+	// A shorter line must be padded to blank the previous, longer one.
+	if want := "short" + strings.Repeat(" ", len(long)-len("short")); segs[1] != want {
+		t.Errorf("second draw = %q, want %q (padded to previous width)", segs[1], want)
+	}
+	// The tracked width must then reset to the short line, not stay at the
+	// long one: an equal-length successor needs no padding at all.
+	if segs[2] != "again" {
+		t.Errorf("third draw = %q, want %q with no padding (width was reset)", segs[2], "again")
+	}
+}
+
 func TestMeterLabelAndClose(t *testing.T) {
 	var buf strings.Builder
 	m, now := meterAt(&buf, 0)

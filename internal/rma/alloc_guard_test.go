@@ -1,0 +1,94 @@
+package rma
+
+import (
+	"context"
+	"testing"
+
+	"ringsched/internal/trace"
+)
+
+// TestKernelHotPathZeroAllocs pins the workspace probe loop at 0 allocs/op
+// as a plain test, so the allocation property gates every `go test` run and
+// not only the benchmark harness. The loop body is the saturation search's
+// inner step — ScaleCosts + Schedulable + ExactTest — executed with tracing
+// disabled, exactly as the Monte Carlo workers run it: trace.Start on a
+// span-less context must stay on its nil-span fast path and add nothing.
+func TestKernelHotPathZeroAllocs(t *testing.T) {
+	ts := benchTaskSet(100, 0.88, 1)
+	var ws Workspace
+	if err := ws.Load(ts); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the lazy caches outside the measured region.
+	if _, err := ws.ExactTest(1e-4); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	k := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		_, sp := trace.Start(ctx, "kernel.probe")
+		ws.ScaleCosts(benchScales[k%len(benchScales)])
+		k++
+		if _, err := ws.Schedulable(1e-4); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ws.ExactTest(1e-4); err != nil {
+			t.Fatal(err)
+		}
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("kernel hot path with tracing disabled allocates: %v allocs/op", allocs)
+	}
+}
+
+// TestWorkspaceCounters checks the kernel telemetry: counters reset on
+// Load, tally each probe kind, and record the shortcut hits the saturation
+// search relies on.
+func TestWorkspaceCounters(t *testing.T) {
+	ts := benchTaskSet(40, 0.85, 7)
+	var ws Workspace
+	if err := ws.Load(ts); err != nil {
+		t.Fatal(err)
+	}
+	if got := ws.Counters(); got != (Counters{}) {
+		t.Fatalf("counters not zero after Load: %+v", got)
+	}
+
+	for _, scale := range benchScales {
+		ws.ScaleCosts(scale)
+		if _, err := ws.Schedulable(1e-4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ws.ExactTest(1e-4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ws.ResponseTimeAnalysis(1e-4); err != nil {
+		t.Fatal(err)
+	}
+
+	c := ws.Counters()
+	if c.Schedulable != len(benchScales) {
+		t.Errorf("Schedulable = %d, want %d", c.Schedulable, len(benchScales))
+	}
+	if c.ExactTests != 1 || c.RTAs != 1 {
+		t.Errorf("ExactTests=%d RTAs=%d, want 1 and 1", c.ExactTests, c.RTAs)
+	}
+	// The probe ladder repeats passing scales, so witnesses must have
+	// settled at least some checks; it also repeats failing scales right
+	// after failures, so the lastFail shortcut must have fired.
+	if c.WitnessHits == 0 {
+		t.Error("witness shortcut never fired across the probe ladder")
+	}
+	if c.LastFailHits == 0 {
+		t.Error("lastFail shortcut never fired across the probe ladder")
+	}
+
+	if err := ws.Load(ts); err != nil {
+		t.Fatal(err)
+	}
+	if got := ws.Counters(); got != (Counters{}) {
+		t.Fatalf("counters survive reload: %+v", got)
+	}
+}

@@ -46,7 +46,32 @@ type Workspace struct {
 	witness  []int     // per-task index of the last passing point, -1 unknown
 	witnessT []float64 // per-task time of the last passing probe, 0 unknown
 	lastFail int       // first failing task of the last failing probe, -1
+
+	counters Counters
 }
+
+// Counters is the workspace's cumulative probe telemetry since the last
+// Load — plain integers incremented on the hot path, so reading them costs
+// nothing and recording them cannot allocate. Saturation-search spans and
+// benchmarks use them to attribute time: a healthy search shows most
+// verdict probes settled by witnesses or the last-fail shortcut.
+type Counters struct {
+	// Schedulable counts verdict-only probes answered.
+	Schedulable int
+	// ExactTests counts full Lehoczky–Sha–Ding evaluations.
+	ExactTests int
+	// RTAs counts full response-time analyses.
+	RTAs int
+	// WitnessHits counts per-task checks settled by a remembered witness
+	// (one demand evaluation instead of an iteration or a point scan).
+	WitnessHits int
+	// LastFailHits counts probes short-circuited by re-testing the
+	// previous failing task first.
+	LastFailHits int
+}
+
+// Counters returns the probe telemetry accumulated since Load.
+func (w *Workspace) Counters() Counters { return w.counters }
 
 // Load binds the workspace to a task set: validates it, establishes
 // rate-monotonic order (stable, identical to TaskSet.SortRM), and caches
@@ -80,6 +105,7 @@ func (w *Workspace) Load(ts TaskSet) error {
 		w.witnessT = append(w.witnessT, 0)
 	}
 	w.lastFail = -1
+	w.counters = Counters{}
 	// The scheduling-point cache is built lazily by the first ExactTest:
 	// the verdict-only Schedulable path never consults it, and the
 	// saturation search that dominates the Monte Carlo workload only calls
@@ -263,6 +289,7 @@ func (w *Workspace) taskAtPoints(i int, blocking float64) bool {
 	}
 	if wi := w.witness[i]; wi >= 0 && wi < len(pts) &&
 		w.pointDemand(i, blocking, pts[wi]) <= pts[wi] {
+		w.counters.WitnessHits++
 		return true
 	}
 	for k, t := range pts {
@@ -285,6 +312,7 @@ func (w *Workspace) taskAtPoints(i int, blocking float64) bool {
 func (w *Workspace) taskOK(i int, blocking float64) bool {
 	if wt := w.witnessT[i]; wt > 0 &&
 		w.pointDemand(i, blocking, wt) <= wt {
+		w.counters.WitnessHits++
 		return true
 	}
 	r, ok := w.rtaTask(i, blocking)
@@ -304,8 +332,10 @@ func (w *Workspace) Schedulable(blocking float64) (bool, error) {
 	if err := w.validate(blocking); err != nil {
 		return false, err
 	}
+	w.counters.Schedulable++
 	if lf := w.lastFail; lf >= 0 && lf < len(w.tasks) {
 		if !w.taskOK(lf, blocking) {
+			w.counters.LastFailHits++
 			return false, nil
 		}
 		w.lastFail = -1
@@ -327,6 +357,7 @@ func (w *Workspace) ExactTest(blocking float64) (Result, error) {
 	if err := w.validate(blocking); err != nil {
 		return Result{}, err
 	}
+	w.counters.ExactTests++
 	w.ensurePoints()
 	res := Result{Schedulable: true, FirstFailure: -1}
 	for i := range w.tasks {
@@ -348,6 +379,7 @@ func (w *Workspace) ResponseTimeAnalysis(blocking float64) (Result, error) {
 	if err := w.validate(blocking); err != nil {
 		return Result{}, err
 	}
+	w.counters.RTAs++
 	res := Result{
 		Schedulable:   true,
 		FirstFailure:  -1,

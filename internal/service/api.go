@@ -35,6 +35,7 @@ import (
 	"ringsched/internal/message"
 	"ringsched/internal/progress"
 	"ringsched/internal/ring"
+	"ringsched/internal/trace"
 )
 
 // Protocol slugs accepted in request "protocols" lists.
@@ -270,6 +271,16 @@ func Encode(v any) ([]byte, error) {
 		return nil, err
 	}
 	return append(b, '\n'), nil
+}
+
+// encodeTraced is Encode under an "encode" span, so response marshalling
+// shows up as its own stage in traces and the stage-latency histograms.
+func encodeTraced(ctx context.Context, v any) ([]byte, error) {
+	_, sp := trace.Start(ctx, "encode")
+	defer sp.End()
+	b, err := Encode(v)
+	sp.SetError(err)
+	return b, err
 }
 
 // canonFloat collapses a float to its canonical value: -0 becomes +0, so
@@ -555,6 +566,8 @@ func analyzeCanonical(ctx context.Context, req AnalyzeRequest, key string) (Anal
 		if err := ctx.Err(); err != nil {
 			return AnalyzeResponse{}, err
 		}
+		_, sp := trace.Start(ctx, "analyze.protocol")
+		sp.SetAttr("protocol", proto)
 		var v Verdict
 		var err error
 		if proto == ProtocolTTP {
@@ -563,8 +576,12 @@ func analyzeCanonical(ctx context.Context, req AnalyzeRequest, key string) (Anal
 			v, err = analyzePDP(proto, bw, set, fm, req.Detail, req.PayloadScales)
 		}
 		if err != nil {
+			sp.SetError(err)
+			sp.End()
 			return AnalyzeResponse{}, err
 		}
+		sp.SetAttr("schedulable", v.Schedulable)
+		sp.End()
 		resp.Verdicts = append(resp.Verdicts, v)
 	}
 	return resp, nil

@@ -1,0 +1,48 @@
+package service
+
+import (
+	"net/http"
+	"net/http/pprof"
+
+	"ringsched/internal/trace"
+)
+
+// registerDebug mounts the debugging surface next to the API: the span
+// ring at /debug/traces and the standard pprof profiles. Both stay up
+// while draining — they are exactly what an operator wants to look at
+// when a deploy is going sideways — so they bypass instrument.
+func (s *Server) registerDebug() {
+	s.mux.HandleFunc("/debug/traces", s.handleTraces)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// handleTraces serves the retained spans, oldest first. ?trace=<id>
+// narrows to one trace: the id is what a /v1/* response returned in its
+// X-Ringsched-Trace header, so `curl -i` + `curl /debug/traces?trace=`
+// reconstructs any recent request's span tree without extra tooling.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	var recs []trace.Record
+	if id := r.URL.Query().Get("trace"); id != "" {
+		recs = s.spans.Trace(id)
+	} else {
+		recs = s.spans.Snapshot()
+	}
+	if recs == nil {
+		recs = []trace.Record{}
+	}
+	body, err := Encode(map[string]any{
+		"total":    s.spans.Total(),
+		"retained": len(recs),
+		"spans":    recs,
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}

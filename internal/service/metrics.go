@@ -3,6 +3,8 @@ package service
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -41,7 +43,7 @@ func (c *counterVec) write(w io.Writer) {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", c.name, c.help, c.name)
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", c.name, escapeHelp(c.help), c.name)
 	if len(keys) == 0 {
 		fmt.Fprintf(w, "%s 0\n", c.name)
 	}
@@ -96,7 +98,7 @@ func (h *histogramVec) write(w io.Writer) {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, escapeHelp(h.help), h.name)
 	for _, k := range keys {
 		s := h.series[k]
 		for i, le := range latencyBuckets {
@@ -124,7 +126,7 @@ func (g gaugeFunc) write(w io.Writer) {
 		typ = "gauge"
 	}
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
-		g.name, g.help, g.name, typ, g.name, formatSample(g.fn()))
+		g.name, escapeHelp(g.help), g.name, typ, g.name, formatSample(g.fn()))
 }
 
 // labels renders key=value pairs as a Prometheus label string. Pairs must
@@ -158,9 +160,30 @@ func withLabel(rendered, key, value string) string {
 	return strings.TrimSuffix(rendered, "}") + "," + extra + "}"
 }
 
-func escapeLabel(v string) string {
-	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
-	return r.Replace(v)
+// labelEscaper and helpEscaper implement the text format's two escaping
+// rules: label values escape backslash, double-quote, and newline; HELP
+// text escapes only backslash and newline (quotes are legal there). The
+// replacers are hoisted to package level — building one per escaped value
+// made /metrics rendering allocate per label.
+var (
+	labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+func escapeHelp(v string) string { return helpEscaper.Replace(v) }
+
+// buildInfo renders the ringschedd_build_info gauge: constant 1, with the
+// module version and Go runtime version as labels — the standard pattern
+// for joining any other series to "what build was serving then".
+func buildInfo(w io.Writer) {
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	fmt.Fprintf(w, "# HELP ringschedd_build_info Build metadata; constant 1.\n# TYPE ringschedd_build_info gauge\nringschedd_build_info%s 1\n",
+		labels("goversion", runtime.Version(), "version", version))
 }
 
 func formatSample(v float64) string {

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -12,6 +14,7 @@ import (
 	"time"
 
 	"ringsched/internal/progress"
+	"ringsched/internal/trace"
 )
 
 // Config tunes a Server. The zero value serves with sensible defaults.
@@ -25,6 +28,16 @@ type Config struct {
 	JobTimeout time.Duration
 	// SampleEvery coalesces SSE sample events (default 64).
 	SampleEvery int64
+	// Logger receives one structured record per API request (and drain /
+	// lifecycle events from the daemon). nil discards logs.
+	Logger *slog.Logger
+	// TraceSpans is the capacity of the in-memory span ring behind
+	// /debug/traces (default 4096).
+	TraceSpans int
+	// TraceSink, when non-nil, additionally receives every finished span
+	// (e.g. a JSONL file sink); the in-memory ring and the stage-latency
+	// histograms are always fed regardless.
+	TraceSink trace.Sink
 }
 
 func (c Config) withDefaults() Config {
@@ -42,6 +55,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SampleEvery <= 0 {
 		c.SampleEvery = 64
+	}
+	if c.TraceSpans <= 0 {
+		c.TraceSpans = 4096
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	return c
 }
@@ -61,12 +80,28 @@ type Server struct {
 	draining   atomic.Bool
 	inflight   atomic.Int64
 
+	tracer *trace.Tracer
+	spans  *trace.Ring
+	logger *slog.Logger
+
 	requests  *counterVec   // endpoint, code
 	latency   *histogramVec // endpoint
 	computes  *counterVec   // endpoint
 	verdicts  *counterVec   // protocol, schedulable
 	canceled  *counterVec   // endpoint
 	sseStream *counterVec   // endpoint (streams opened)
+	stages    *histogramVec // stage (trace-derived)
+}
+
+// stageForSpan maps span names to the /metrics stage label, so the
+// trace pipeline doubles as the per-stage latency instrumentation:
+// ringschedd_stage_seconds is derived from the same spans /debug/traces
+// shows, and the two can never disagree.
+var stageForSpan = map[string]string{
+	"canonicalize": "canonicalize",
+	"cache.lookup": "cache",
+	"kernel":       "kernel",
+	"encode":       "encode",
 }
 
 // New builds a Server ready to serve.
@@ -79,19 +114,29 @@ func New(cfg Config) *Server {
 		cache:      NewCache(cfg.CacheBytes),
 		baseCtx:    baseCtx,
 		baseCancel: baseCancel,
+		spans:      trace.NewRing(cfg.TraceSpans),
+		logger:     cfg.Logger,
 		requests:   newCounterVec("ringschedd_requests_total", "HTTP requests by endpoint and status code."),
 		latency:    newHistogramVec("ringschedd_request_seconds", "HTTP request latency by endpoint."),
 		computes:   newCounterVec("ringschedd_computations_total", "Underlying computations performed (cache misses that were not coalesced)."),
 		verdicts:   newCounterVec("ringschedd_verdicts_total", "Analysis verdicts by protocol and outcome."),
 		canceled:   newCounterVec("ringschedd_canceled_total", "Requests that ended with a canceled or expired context."),
 		sseStream:  newCounterVec("ringschedd_sse_streams_total", "Progress streams opened by endpoint."),
+		stages:     newHistogramVec("ringschedd_stage_seconds", "Trace-derived latency by request stage (canonicalize, cache, kernel, encode)."),
 	}
+	stageSink := trace.SinkFunc(func(rec trace.Record) {
+		if stage, ok := stageForSpan[rec.Name]; ok {
+			s.stages.observe(labels("stage", stage), rec.DurationUS/1e6)
+		}
+	})
+	s.tracer = trace.New(trace.Tee(s.spans, stageSink, cfg.TraceSink))
 	s.flight = newFlightGroup(baseCtx, cfg.Workers, cfg.JobTimeout)
 	s.mux.HandleFunc("/v1/analyze", s.instrument("analyze", s.handleAnalyze))
 	s.mux.HandleFunc("/v1/sweep", s.instrument("sweep", s.handleSweep))
 	s.mux.HandleFunc("/v1/experiments", s.instrument("experiments", s.handleExperiments))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.registerDebug()
 	return s
 }
 
@@ -132,16 +177,42 @@ func (w *statusWriter) Flush() {
 }
 
 // instrument wraps an API handler with draining rejection, in-flight
-// tracking, and request/latency metrics.
+// tracking, request/latency metrics, a root span, and one structured log
+// record per request. A well-formed X-Ringsched-Trace request header is
+// adopted as the trace ID (letting clients stitch our spans into their own
+// traces); the response always carries the header so a curl user can plug
+// its value straight into /debug/traces?trace=.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()
 		s.inflight.Add(1)
+
+		// A malformed header must not fail the request: fall back to a
+		// fresh trace ID and note the rejection on the span.
+		id, idErr := trace.ParseTraceID(r.Header.Get("X-Ringsched-Trace"))
+		ctx := trace.WithTracer(r.Context(), s.tracer)
+		ctx, sp := trace.StartRoot(ctx, "http."+endpoint, id)
+		sp.SetAttr("method", r.Method)
+		if idErr != nil {
+			sp.SetAttr("badTraceHeader", true)
+		}
+		sw.Header().Set("X-Ringsched-Trace", sp.TraceID().String())
+		r = r.WithContext(ctx)
+
 		defer func() {
 			s.inflight.Add(-1)
+			elapsed := time.Since(start)
 			s.requests.add(labels("code", strconv.Itoa(sw.code), "endpoint", endpoint), 1)
-			s.latency.observe(labels("endpoint", endpoint), time.Since(start).Seconds())
+			s.latency.observe(labels("endpoint", endpoint), elapsed.Seconds())
+			sp.SetAttr("code", sw.code)
+			sp.End()
+			s.logger.LogAttrs(ctx, slog.LevelInfo, "request",
+				slog.String("endpoint", endpoint),
+				slog.String("method", r.Method),
+				slog.Int("code", sw.code),
+				slog.Duration("elapsed", elapsed),
+				slog.String("cache", sw.Header().Get("X-Cache")))
 		}()
 		if s.draining.Load() {
 			writeError(sw, http.StatusServiceUnavailable, errors.New("service: draining, not accepting new work"))
@@ -193,21 +264,43 @@ func decode(r *http.Request, v any) error {
 // and non-streaming sweep and writes the response body. compute must
 // return the exact bytes to serve; they are cached under key.
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, key string, compute func(context.Context) ([]byte, error)) {
-	if body, ok := s.cache.Get(key); ok {
+	_, lookup := trace.Start(r.Context(), "cache.lookup")
+	body, cached := s.cache.Get(key)
+	if cached {
+		lookup.SetAttr("outcome", "hit")
+	} else {
+		lookup.SetAttr("outcome", "miss")
+	}
+	lookup.End()
+	if cached {
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Cache", "hit")
 		w.Write(body)
 		return
 	}
+	// The flight group's compute context derives from the server's base
+	// context, not from this request (the computation must survive the
+	// first caller hanging up while followers wait). Graft this request's
+	// span onto it so the kernel span still lands in this trace — and in
+	// the leader's trace only: coalesced followers never run fn, so their
+	// traces record just the wait below.
+	parent := trace.SpanFromContext(r.Context())
 	body, shared, err := s.flight.do(r.Context(), key, func(ctx context.Context) ([]byte, error) {
+		kctx, ksp := trace.Start(trace.ContextWithSpan(ctx, parent), "kernel")
+		defer ksp.End()
+		ksp.SetAttr("endpoint", endpoint)
 		s.computes.add(labels("endpoint", endpoint), 1)
-		b, err := compute(ctx)
+		b, err := compute(kctx)
 		if err != nil {
+			ksp.SetError(err)
 			return nil, err
 		}
 		s.cache.Put(key, b)
 		return b, nil
 	})
+	if sp := trace.SpanFromContext(r.Context()); sp != nil {
+		sp.SetAttr("coalesced", shared)
+	}
 	if err != nil {
 		s.noteCancel(endpoint, err)
 		writeError(w, statusFor(err), err)
@@ -232,7 +325,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	_, csp := trace.Start(r.Context(), "canonicalize")
 	canon, err := req.Canonicalize()
+	csp.SetError(err)
+	csp.End()
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -246,7 +342,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		for _, v := range resp.Verdicts {
 			s.verdicts.add(labels("protocol", v.Protocol, "schedulable", strconv.FormatBool(v.Schedulable)), 1)
 		}
-		return Encode(resp)
+		return encodeTraced(ctx, resp)
 	})
 }
 
@@ -265,7 +361,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	_, csp := trace.Start(r.Context(), "canonicalize")
 	canon, err := req.Canonicalize()
+	csp.SetError(err)
+	csp.End()
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -280,7 +379,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		return Encode(resp)
+		return encodeTraced(ctx, resp)
 	})
 }
 
@@ -399,6 +498,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.verdicts.write(w)
 	s.canceled.write(w)
 	s.sseStream.write(w)
+	s.stages.write(w)
+	buildInfo(w)
 	for _, g := range []gaugeFunc{
 		{"ringschedd_cache_hits_total", "Result cache hits.", "counter", func() float64 { return float64(s.cache.Hits()) }},
 		{"ringschedd_cache_misses_total", "Result cache misses.", "counter", func() float64 { return float64(s.cache.Misses()) }},

@@ -1,0 +1,261 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"ringsched/internal/trace"
+)
+
+// tracesFor fetches /debug/traces?trace=id and decodes the span list.
+func tracesFor(t *testing.T, base, id string) []trace.Record {
+	t.Helper()
+	resp, err := http.Get(base + "/debug/traces?trace=" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/traces: %d", resp.StatusCode)
+	}
+	var body struct {
+		Total    uint64         `json:"total"`
+		Retained int            `json:"retained"`
+		Spans    []trace.Record `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return body.Spans
+}
+
+func spanByName(recs []trace.Record, name string) *trace.Record {
+	for i := range recs {
+		if recs[i].Name == name {
+			return &recs[i]
+		}
+	}
+	return nil
+}
+
+// TestAnalyzeTraceRetrievable is the observability acceptance check: one
+// /v1/analyze request yields a trace, addressable by the response's
+// X-Ringsched-Trace header, whose spans cover handler → canonicalize →
+// cache lookup → kernel → encode with the cache outcome recorded — and a
+// repeat of the same request records a hit with no kernel span.
+func TestAnalyzeTraceRetrievable(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp, body := post(t, ts.URL+"/v1/analyze", analyzeBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze: %d %s", resp.StatusCode, body)
+	}
+	id := resp.Header.Get("X-Ringsched-Trace")
+	if _, err := trace.ParseTraceID(id); err != nil || id == "" {
+		t.Fatalf("X-Ringsched-Trace = %q: %v", id, err)
+	}
+
+	recs := tracesFor(t, ts.URL, id)
+	root := spanByName(recs, "http.analyze")
+	if root == nil {
+		t.Fatalf("trace %s has no http.analyze root span; got %d spans", id, len(recs))
+	}
+	if root.ParentID != "" {
+		t.Errorf("root span has parent %q", root.ParentID)
+	}
+	if got := root.Attrs["coalesced"]; got != false {
+		t.Errorf("root coalesced attr = %v, want false", got)
+	}
+	for _, name := range []string{"canonicalize", "cache.lookup", "kernel", "encode", "analyze.protocol"} {
+		sp := spanByName(recs, name)
+		if sp == nil {
+			t.Errorf("trace lacks a %q span", name)
+			continue
+		}
+		if sp.TraceID != id {
+			t.Errorf("%s span in trace %s, want %s", name, sp.TraceID, id)
+		}
+		if sp.ParentID == "" {
+			t.Errorf("%s span has no parent", name)
+		}
+	}
+	if sp := spanByName(recs, "cache.lookup"); sp != nil && sp.Attrs["outcome"] != "miss" {
+		t.Errorf("first request cache.lookup outcome = %v, want miss", sp.Attrs["outcome"])
+	}
+	// The kernel span must parent to this request's tree even though the
+	// flight group ran it on a context detached from the request.
+	if k := spanByName(recs, "kernel"); k != nil && k.ParentID != root.SpanID {
+		t.Errorf("kernel span parent = %s, want root %s", k.ParentID, root.SpanID)
+	}
+
+	// Same request again: served from cache — hit outcome, no kernel.
+	resp2, _ := post(t, ts.URL+"/v1/analyze", analyzeBody)
+	id2 := resp2.Header.Get("X-Ringsched-Trace")
+	if id2 == "" || id2 == id {
+		t.Fatalf("second request trace id = %q (first %q)", id2, id)
+	}
+	recs2 := tracesFor(t, ts.URL, id2)
+	if sp := spanByName(recs2, "cache.lookup"); sp == nil || sp.Attrs["outcome"] != "hit" {
+		t.Errorf("cache.lookup on repeat = %+v, want outcome hit", sp)
+	}
+	if sp := spanByName(recs2, "kernel"); sp != nil {
+		t.Errorf("cache hit still ran a kernel span: %+v", sp)
+	}
+}
+
+// TestClientTraceIDAdopted checks that a well-formed X-Ringsched-Trace
+// request header is adopted as the trace ID, a malformed one is replaced
+// (not an error), and every /v1/* endpoint sets the response header.
+func TestClientTraceIDAdopted(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	const id = "00112233445566778899aabbccddeeff"
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/analyze", strings.NewReader(analyzeBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Ringsched-Trace", id)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Ringsched-Trace"); got != id {
+		t.Errorf("adopted trace id = %q, want %q", got, id)
+	}
+	if recs := tracesFor(t, ts.URL, id); spanByName(recs, "http.analyze") == nil {
+		t.Error("spans not filed under the client-supplied trace id")
+	}
+
+	req, _ = http.NewRequest(http.MethodPost, ts.URL+"/v1/analyze", strings.NewReader(analyzeBody))
+	req.Header.Set("X-Ringsched-Trace", "not-hex")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("malformed trace header failed the request: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Ringsched-Trace"); got == "not-hex" || got == "" {
+		t.Errorf("malformed header echoed back instead of replaced: %q", got)
+	}
+
+	for _, ep := range []string{"/v1/sweep", "/v1/experiments"} {
+		resp, _ := post(t, ts.URL+ep, `{`) // invalid body; header must still be set
+		if resp.Header.Get("X-Ringsched-Trace") == "" {
+			t.Errorf("%s response lacks X-Ringsched-Trace", ep)
+		}
+	}
+}
+
+// TestRequestLogCarriesTraceID checks the structured request log: one
+// record per request, JSON, with the traceId field matching the response
+// header.
+func TestRequestLogCarriesTraceID(t *testing.T) {
+	var buf syncBuffer
+	logger, err := trace.NewLogger(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Logger: logger})
+
+	resp, _ := post(t, ts.URL+"/v1/analyze", analyzeBody)
+	id := resp.Header.Get("X-Ringsched-Trace")
+
+	var rec map[string]any
+	line := strings.TrimSpace(buf.String())
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("request log is not one JSON record: %q: %v", line, err)
+	}
+	if rec["msg"] != "request" || rec["endpoint"] != "analyze" {
+		t.Errorf("unexpected log record: %v", rec)
+	}
+	if rec["traceId"] != id {
+		t.Errorf("log traceId = %v, want %s", rec["traceId"], id)
+	}
+	if rec["cache"] != "miss" {
+		t.Errorf("log cache = %v, want miss", rec["cache"])
+	}
+}
+
+// syncBuffer guards a bytes.Buffer for concurrent slog handlers.
+type syncBuffer struct {
+	mu  chan struct{}
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) lock() {
+	if b.mu == nil {
+		b.mu = make(chan struct{}, 1)
+	}
+	b.mu <- struct{}{}
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.lock()
+	defer func() { <-b.mu }()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.lock()
+	defer func() { <-b.mu }()
+	return b.buf.String()
+}
+
+// TestStageHistogramsAndBuildInfo checks that the trace-derived stage
+// latency histograms and the build-info gauge appear on /metrics after a
+// request has flowed through.
+func TestStageHistogramsAndBuildInfo(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	post(t, ts.URL+"/v1/analyze", analyzeBody)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(b)
+	for _, stage := range []string{"canonicalize", "cache", "kernel", "encode"} {
+		if !strings.Contains(text, `ringschedd_stage_seconds_count{stage="`+stage+`"}`) {
+			t.Errorf("/metrics lacks stage histogram for %q", stage)
+		}
+	}
+	if !strings.Contains(text, "ringschedd_build_info{goversion=") {
+		t.Error("/metrics lacks ringschedd_build_info")
+	}
+}
+
+// TestPrometheusEscaping pins the text-format escaping rules: label
+// values escape backslash, quote, and newline; HELP text escapes
+// backslash and newline but not quotes.
+func TestPrometheusEscaping(t *testing.T) {
+	if got, want := escapeLabel("a\\b\"c\nd"), `a\\b\"c\nd`; got != want {
+		t.Errorf("escapeLabel = %q, want %q", got, want)
+	}
+	if got, want := escapeHelp("a\\b\"c\nd"), `a\\b"c\nd`; got != want {
+		t.Errorf("escapeHelp = %q, want %q", got, want)
+	}
+	c := newCounterVec("x_total", "line one\nline \\two")
+	c.add(labels("path", `C:\tmp`+"\n"+`"quoted"`), 1)
+	var out bytes.Buffer
+	c.write(&out)
+	text := out.String()
+	if !strings.Contains(text, `# HELP x_total line one\nline \\two`) {
+		t.Errorf("HELP not escaped: %s", text)
+	}
+	if !strings.Contains(text, `x_total{path="C:\\tmp\n\"quoted\""} 1`) {
+		t.Errorf("label value not escaped: %s", text)
+	}
+}

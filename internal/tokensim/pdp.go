@@ -11,6 +11,7 @@ import (
 	"ringsched/internal/ring"
 	"ringsched/internal/sim"
 	"ringsched/internal/stats"
+	"ringsched/internal/trace"
 )
 
 // TokenPassModel selects how the PDP simulator charges token-circulation
@@ -165,12 +166,20 @@ func (c PDPSim) RunContext(ctx context.Context) (Result, error) {
 	if !c.AsyncSaturated {
 		start = r.nextArrivalTime()
 	}
+	ctx, sp := trace.Start(ctx, "sim.pdp")
+	defer sp.End()
+	sp.SetAttr("variant", c.Variant.String())
+	sp.SetAttr("stations", c.Net.Stations)
+	sp.SetAttr("horizonSec", horizon)
+
 	if start <= horizon {
 		if _, err := r.engine.At(start, r.service); err != nil {
+			sp.SetError(err)
 			return Result{}, err
 		}
 	}
 	if err := r.engine.RunUntilContext(ctx, horizon, runLoopOptions(c.MaxEvents, c.Progress)); err != nil {
+		sp.SetError(err)
 		return Result{}, err
 	}
 
@@ -192,6 +201,8 @@ func (c PDPSim) RunContext(ctx context.Context) (Result, error) {
 		Crashes:         r.inj.CrashCount(),
 	}
 	res.IdleTime = math.Max(0, horizon-res.SyncTime-res.AsyncTime-res.TokenTime-res.RecoveryTime)
+	sp.SetAttr("misses", misses)
+	sp.SetAttr("rotationMeanSec", res.RotationMean)
 	return res, nil
 }
 

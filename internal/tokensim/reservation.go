@@ -11,6 +11,7 @@ import (
 	"ringsched/internal/ring"
 	"ringsched/internal/sim"
 	"ringsched/internal/stats"
+	"ringsched/internal/trace"
 )
 
 // ErrBadPriorityLevels reports an unusable priority-level count.
@@ -169,11 +170,19 @@ func (c ReservationSim) RunContext(ctx context.Context) (ReservationResult, erro
 	}
 	r.assignPriorities()
 
+	ctx, sp := trace.Start(ctx, "sim.reservation")
+	defer sp.End()
+	sp.SetAttr("stations", c.Net.Stations)
+	sp.SetAttr("levels", c.PriorityLevels)
+	sp.SetAttr("horizonSec", horizon)
+
 	// The free token starts at station 0 at priority 0.
 	if _, err := r.engine.At(0, func() { r.tokenAt(0) }); err != nil {
+		sp.SetError(err)
 		return ReservationResult{}, err
 	}
 	if err := r.engine.RunUntilContext(ctx, horizon, runLoopOptions(c.MaxEvents, c.Progress)); err != nil {
+		sp.SetError(err)
 		return ReservationResult{}, err
 	}
 
@@ -202,6 +211,8 @@ func (c ReservationSim) RunContext(ctx context.Context) (ReservationResult, erro
 		PriorityInversions: r.inversions,
 	}
 	res.IdleTime = math.Max(0, horizon-res.SyncTime-res.AsyncTime-res.TokenTime-res.RecoveryTime)
+	sp.SetAttr("misses", misses)
+	sp.SetAttr("inversions", r.inversions)
 	return res, nil
 }
 
@@ -335,6 +346,7 @@ func (r *resRun) tokenAt(idx int) {
 	// No capture: record a reservation bid and forward the token.
 	if p := r.topPending(idx); p > r.reservation && p > r.tokenPrio {
 		r.reservation = p
+		emit(r.cfg.Tracer, TraceEvent{Time: now, Kind: TraceReserve, Station: idx, Detail: float64(p)})
 	}
 	r.forwardToken(idx, now)
 }
@@ -406,6 +418,9 @@ func (r *resRun) transmit(idx, p int, now float64) {
 			}
 			if q := r.topPending(i); q > reserved {
 				reserved = q
+				emit(r.cfg.Tracer, TraceEvent{
+					Time: r.engine.Now(), Kind: TraceReserve, Station: i, Detail: float64(q),
+				})
 			}
 		}
 		if reserved > r.tokenPrio {
@@ -431,6 +446,7 @@ func (r *resRun) forwardToken(idx int, now float64) {
 	}
 	hop := r.hopTime()
 	r.tokenTime += hop
+	emit(r.cfg.Tracer, TraceEvent{Time: now, Kind: TraceTokenPass, Station: idx, Duration: hop})
 	next := (idx + 1) % r.cfg.Net.Stations
 	at := now + hop + rec
 	if at <= r.horizon {

@@ -27,6 +27,14 @@ const (
 	// TraceCorrupt is a frame that occupied the medium but failed its CRC
 	// check; the payload must be retransmitted.
 	TraceCorrupt
+	// TraceReserve is an 802.5 priority reservation bid: a station with a
+	// pending frame it could not capture the token for writes its priority
+	// (Detail) into the reservation field.
+	TraceReserve
+	// TraceLateCount is an FDDI late-counter increment: the token returned
+	// to a station after its rotation timer expired. Detail is the
+	// lateness beyond TTRT in seconds.
+	TraceLateCount
 )
 
 // String implements fmt.Stringer.
@@ -48,6 +56,10 @@ func (k TraceKind) String() string {
 		return "recovery"
 	case TraceCorrupt:
 		return "CORRUPT"
+	case TraceReserve:
+		return "reserve"
+	case TraceLateCount:
+		return "late"
 	default:
 		return fmt.Sprintf("TraceKind(%d)", int(k))
 	}
@@ -80,6 +92,12 @@ func (e TraceEvent) String() string {
 			e.Time*1e3, e.Kind, e.Station, e.Duration*1e6)
 	case TraceComplete, TraceMiss:
 		return fmt.Sprintf("%12.6fms %-8s stn=%-3d lateness=%.3fms",
+			e.Time*1e3, e.Kind, e.Station, e.Detail*1e3)
+	case TraceReserve:
+		return fmt.Sprintf("%12.6fms %-8s stn=%-3d prio=%.0f",
+			e.Time*1e3, e.Kind, e.Station, e.Detail)
+	case TraceLateCount:
+		return fmt.Sprintf("%12.6fms %-8s stn=%-3d late=%.3fms",
 			e.Time*1e3, e.Kind, e.Station, e.Detail*1e3)
 	default:
 		return fmt.Sprintf("%12.6fms %-8s stn=%-3d", e.Time*1e3, e.Kind, e.Station)
@@ -132,6 +150,30 @@ func (t *CountingTracer) Trace(e TraceEvent) {
 		t.Counts = make(map[TraceKind]int)
 	}
 	t.Counts[e.Kind]++
+}
+
+// MultiTracer fans each event out to every non-nil tracer, in order —
+// e.g. a text WriterTracer for the operator next to a tokenstats
+// Collector for the summary. Returns nil when nothing remains, so the
+// result can be assigned to a simulation's Tracer field directly.
+func MultiTracer(tracers ...Tracer) Tracer {
+	kept := make([]Tracer, 0, len(tracers))
+	for _, t := range tracers {
+		if t != nil {
+			kept = append(kept, t)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return TracerFunc(func(e TraceEvent) {
+		for _, t := range kept {
+			t.Trace(e)
+		}
+	})
 }
 
 // emit sends an event to an optional tracer.

@@ -14,6 +14,7 @@ import (
 	"ringsched/internal/ring"
 	"ringsched/internal/sim"
 	"ringsched/internal/stats"
+	"ringsched/internal/trace"
 )
 
 // Errors returned by the TTP simulator.
@@ -173,11 +174,19 @@ func (c TTPSim) RunContext(ctx context.Context) (Result, error) {
 		r.stations[i].allocation = c.Allocations[i]
 	}
 
+	ctx, sp := trace.Start(ctx, "sim.ttp")
+	defer sp.End()
+	sp.SetAttr("stations", c.Net.Stations)
+	sp.SetAttr("ttrtSec", c.TTRT)
+	sp.SetAttr("horizonSec", horizon)
+
 	// The token starts at station 0 at time 0 with all timers fresh.
 	if _, err := r.engine.At(0, func() { r.tokenArrive(0) }); err != nil {
+		sp.SetError(err)
 		return Result{}, err
 	}
 	if err := r.engine.RunUntilContext(ctx, horizon, runLoopOptions(c.MaxEvents, c.Progress)); err != nil {
+		sp.SetError(err)
 		return Result{}, err
 	}
 
@@ -203,6 +212,8 @@ func (c TTPSim) RunContext(ctx context.Context) (Result, error) {
 		Crashes:         r.inj.CrashCount(),
 	}
 	res.IdleTime = math.Max(0, horizon-res.SyncTime-res.AsyncTime-res.TokenTime-res.RecoveryTime)
+	sp.SetAttr("misses", misses)
+	sp.SetAttr("rotationMeanSec", res.RotationMean)
 	return res, nil
 }
 
@@ -252,6 +263,10 @@ func (r *ttpRun) tokenArrive(idx int) {
 		// expiry, and no asynchronous traffic is admitted this visit.
 		expiries := math.Max(1, math.Floor(elapsed/r.cfg.TTRT))
 		st.timerStart += expiries * r.cfg.TTRT
+		emit(r.cfg.Tracer, TraceEvent{
+			Time: now, Kind: TraceLateCount, Station: idx,
+			Detail: elapsed - r.cfg.TTRT,
+		})
 	}
 
 	busy := 0.0
@@ -297,6 +312,7 @@ func (r *ttpRun) tokenArrive(idx int) {
 func (r *ttpRun) forwardToken(idx int, now, busy float64) {
 	hop := r.hopTime()
 	r.tokenTime += hop
+	emit(r.cfg.Tracer, TraceEvent{Time: now + busy, Kind: TraceTokenPass, Station: idx, Duration: hop})
 	var rec float64
 	if r.inj.TokenLost(idx) {
 		rec = r.inj.RecoveryDuration()
@@ -316,9 +332,13 @@ func (r *ttpRun) forwardToken(idx int, now, busy float64) {
 // rotation timer will have expired by the time recovery completes at
 // recoveryEnd.
 func (r *ttpRun) markLate(recoveryEnd float64) {
-	for _, st := range r.stations {
+	for i, st := range r.stations {
 		if recoveryEnd-st.timerStart >= r.cfg.TTRT {
 			st.suppress = true
+			emit(r.cfg.Tracer, TraceEvent{
+				Time: recoveryEnd, Kind: TraceLateCount, Station: i,
+				Detail: recoveryEnd - st.timerStart - r.cfg.TTRT,
+			})
 		}
 	}
 }

@@ -1,0 +1,265 @@
+// Package tokenstats turns the simulators' protocol event streams into the
+// time-domain quantities the paper reasons about: token rotation times
+// (compared against TTRT for the timed token protocol) and token walk
+// times (compared against the geometric walk time WT = Θ the analysis
+// takes as input). A Collector is a tokensim.Tracer: attach it to any
+// simulator run — alone or teed with other tracers — and read a Summary
+// afterwards.
+//
+// Jain's FDDI work (see PAPERS.md) sets TTRT from observed rotation-time
+// distributions, not from pass/fail verdicts; this package is the repo's
+// equivalent observation channel.
+package tokenstats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ringsched/internal/stats"
+	"ringsched/internal/tokensim"
+)
+
+// DefaultEventCap bounds the sampled raw-event ring when Collector.Cap is
+// zero.
+const DefaultEventCap = 8192
+
+// maxRotationSamples bounds the per-station rotation samples retained for
+// histograms; running moments are exact regardless.
+const maxRotationSamples = 1 << 16
+
+// Collector derives token statistics from one simulator run. It is NOT
+// safe for concurrent use: simulators call Trace from their single event
+// loop, and Summary must only be read after the run returns.
+type Collector struct {
+	// SampleEvery keeps one raw event in N in the ring buffer (<=1 keeps
+	// every event until the ring wraps). Statistics are always computed
+	// from every event, sampled or not.
+	SampleEvery int
+	// Cap is the raw-event ring capacity (default DefaultEventCap).
+	Cap int
+
+	rotations stats.Running // per-station inter-visit times
+	samples   []float64     // bounded subset of rotations, for histograms
+	walks     stats.Running // per-pass token walk durations
+	late      stats.Running // late-counter lateness beyond TTRT
+	reserves  int
+	recovers  int
+
+	lastSeen map[int]float64 // station -> time of previous token visit
+	counts   map[tokensim.TraceKind]int
+	seen     uint64
+
+	ring     []tokensim.TraceEvent
+	ringNext int
+	ringFull bool
+}
+
+var _ tokensim.Tracer = (*Collector)(nil)
+
+// New returns a Collector with default sampling and capacity.
+func New() *Collector { return &Collector{} }
+
+// Trace implements tokensim.Tracer.
+func (c *Collector) Trace(e tokensim.TraceEvent) {
+	if c.counts == nil {
+		c.counts = make(map[tokensim.TraceKind]int)
+		c.lastSeen = make(map[int]float64)
+	}
+	c.seen++
+	c.counts[e.Kind]++
+
+	switch e.Kind {
+	case tokensim.TraceTokenPass:
+		// Walk time: the medium time this pass charged.
+		if e.Duration > 0 {
+			c.walks.Add(e.Duration)
+		}
+		// Rotation time: successive passes observed at the same station
+		// are one full rotation apart. Every simulator emits passes at a
+		// consistent per-station point, so the difference is exact even
+		// though the absolute offset differs between protocols.
+		if prev, ok := c.lastSeen[e.Station]; ok {
+			rot := e.Time - prev
+			if rot > 0 {
+				c.rotations.Add(rot)
+				if len(c.samples) < maxRotationSamples {
+					c.samples = append(c.samples, rot)
+				}
+			}
+		}
+		c.lastSeen[e.Station] = e.Time
+	case tokensim.TraceLateCount:
+		c.late.Add(math.Max(0, e.Detail))
+	case tokensim.TraceReserve:
+		c.reserves++
+	case tokensim.TraceRecovery:
+		c.recovers++
+	}
+
+	// Sampled raw-event ring.
+	every := c.SampleEvery
+	if every < 1 {
+		every = 1
+	}
+	if (c.seen-1)%uint64(every) != 0 {
+		return
+	}
+	if c.ring == nil {
+		capacity := c.Cap
+		if capacity <= 0 {
+			capacity = DefaultEventCap
+		}
+		c.ring = make([]tokensim.TraceEvent, capacity)
+	}
+	c.ring[c.ringNext] = e
+	c.ringNext++
+	if c.ringNext == len(c.ring) {
+		c.ringNext = 0
+		c.ringFull = true
+	}
+}
+
+// Count returns how many events of one kind were observed (before
+// sampling).
+func (c *Collector) Count(kind tokensim.TraceKind) int { return c.counts[kind] }
+
+// Events returns the sampled raw events, oldest first.
+func (c *Collector) Events() []tokensim.TraceEvent {
+	if c.ring == nil {
+		return nil
+	}
+	if !c.ringFull {
+		return append([]tokensim.TraceEvent(nil), c.ring[:c.ringNext]...)
+	}
+	out := make([]tokensim.TraceEvent, 0, len(c.ring))
+	out = append(out, c.ring[c.ringNext:]...)
+	out = append(out, c.ring[:c.ringNext]...)
+	return out
+}
+
+// Summary is the distilled token telemetry of one run.
+type Summary struct {
+	// Events is the total number of protocol events observed (before
+	// sampling); Sampled is how many raw events were retained.
+	Events  uint64 `json:"events"`
+	Sampled int    `json:"sampled"`
+
+	// Rotations is the number of per-station token rotations observed.
+	// RotationMeanSec is the observed mean token rotation time — the
+	// quantity FDDI's TTRT bounds (mean rotation ≤ TTRT on a clean ring,
+	// Johnson/Sevcik) and the paper's Θ-based analysis lower-bounds by
+	// the walk time WT.
+	Rotations         int     `json:"rotations"`
+	RotationMeanSec   float64 `json:"rotationMeanSec"`
+	RotationMaxSec    float64 `json:"rotationMaxSec"`
+	RotationStdDevSec float64 `json:"rotationStdDevSec"`
+	RotationP99Sec    float64 `json:"rotationP99Sec"`
+
+	// Walks counts individual token passes; WalkMeanSec is the mean
+	// medium time per pass, and WalkTotalSec the total token time — the
+	// operational realization of the model's walk time input.
+	Walks        int     `json:"walks"`
+	WalkMeanSec  float64 `json:"walkMeanSec"`
+	WalkTotalSec float64 `json:"walkTotalSec"`
+
+	// LateCounts is the number of FDDI late-counter increments;
+	// LateMeanSec the mean lateness beyond TTRT when late.
+	LateCounts  int     `json:"lateCounts"`
+	LateMeanSec float64 `json:"lateMeanSec,omitempty"`
+
+	// Reservations counts 802.5 priority reservation bids; Recoveries
+	// counts claim/beacon recovery periods.
+	Reservations int `json:"reservations"`
+	Recoveries   int `json:"recoveries"`
+}
+
+// Summary distills the collected statistics.
+func (c *Collector) Summary() Summary {
+	s := Summary{
+		Events:            c.seen,
+		Sampled:           len(c.Events()),
+		Rotations:         c.rotations.N(),
+		RotationMeanSec:   c.rotations.Mean(),
+		RotationMaxSec:    c.rotations.Max(),
+		RotationStdDevSec: c.rotations.StdDev(),
+		Walks:             c.walks.N(),
+		WalkMeanSec:       c.walks.Mean(),
+		WalkTotalSec:      c.walks.Mean() * float64(c.walks.N()),
+		LateCounts:        c.late.N(),
+		LateMeanSec:       c.late.Mean(),
+		Reservations:      c.reserves,
+		Recoveries:        c.recovers,
+	}
+	if len(c.samples) > 0 {
+		if p, err := stats.Percentile(c.samples, 99); err == nil {
+			s.RotationP99Sec = p
+		}
+	}
+	if s.Rotations == 0 {
+		s.RotationMeanSec, s.RotationMaxSec, s.RotationStdDevSec = 0, 0, 0
+	}
+	if s.Walks == 0 {
+		s.WalkMeanSec, s.WalkTotalSec = 0, 0
+	}
+	if s.LateCounts == 0 {
+		s.LateMeanSec = 0
+	}
+	return s
+}
+
+// ErrNoRotations is returned by RotationHistogram when the run observed
+// fewer than two token visits to any single station.
+var ErrNoRotations = errors.New("tokenstats: no token rotations observed")
+
+// RotationHistogram bins the retained rotation samples into a fixed-width
+// histogram spanning the observed range.
+func (c *Collector) RotationHistogram(bins int) (*stats.Histogram, error) {
+	if len(c.samples) == 0 {
+		return nil, ErrNoRotations
+	}
+	lo, hi := c.rotations.Min(), c.rotations.Max()
+	if hi <= lo {
+		// Degenerate distribution: widen symmetrically so Add accepts it.
+		span := math.Max(math.Abs(lo)*1e-9, 1e-12)
+		lo, hi = lo-span, hi+span
+	}
+	h, err := stats.NewHistogram(lo, hi, bins)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range c.samples {
+		h.Add(v)
+	}
+	return h, nil
+}
+
+// FormatSummary renders the summary for CLI output, flagging the model
+// comparisons: walkTimeSec is the analysis's walk time WT (= Θ; pass 0 to
+// omit), ttrt the negotiated target rotation time (pass 0 to omit).
+func (s Summary) Format(walkTimeSec, ttrt float64) string {
+	out := fmt.Sprintf("token stats: %d rotations mean=%.3fms max=%.3fms p99=%.3fms stddev=%.3fms\n",
+		s.Rotations, s.RotationMeanSec*1e3, s.RotationMaxSec*1e3, s.RotationP99Sec*1e3, s.RotationStdDevSec*1e3)
+	out += fmt.Sprintf("             %d walks mean=%.3fus total=%.3fms\n",
+		s.Walks, s.WalkMeanSec*1e6, s.WalkTotalSec*1e3)
+	if walkTimeSec > 0 && s.Rotations > 0 {
+		verdict := "OK (rotation ≥ WT)"
+		if s.RotationMeanSec < walkTimeSec {
+			verdict = "ANOMALY (rotation < WT)"
+		}
+		out += fmt.Sprintf("             model WT=%.3fms observed/WT=%.2f %s\n",
+			walkTimeSec*1e3, s.RotationMeanSec/walkTimeSec, verdict)
+	}
+	if ttrt > 0 && s.Rotations > 0 {
+		verdict := "OK (mean ≤ TTRT)"
+		if s.RotationMeanSec > ttrt {
+			verdict = "VIOLATION (mean > TTRT)"
+		}
+		out += fmt.Sprintf("             TTRT=%.3fms observed/TTRT=%.2f late=%d %s\n",
+			ttrt*1e3, s.RotationMeanSec/ttrt, s.LateCounts, verdict)
+	}
+	if s.Reservations > 0 || s.Recoveries > 0 {
+		out += fmt.Sprintf("             reservations=%d recoveries=%d\n", s.Reservations, s.Recoveries)
+	}
+	return out
+}

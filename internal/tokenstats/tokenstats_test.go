@@ -1,0 +1,202 @@
+package tokenstats_test
+
+import (
+	"strings"
+	"testing"
+
+	"ringsched/internal/frame"
+	"ringsched/internal/message"
+	"ringsched/internal/ring"
+	"ringsched/internal/tokensim"
+	"ringsched/internal/tokenstats"
+)
+
+func testPlant(stations int) ring.Config {
+	return ring.Config{
+		Stations:            stations,
+		SpacingMeters:       0,
+		BandwidthBPS:        1e6,
+		BitDelayPerStation:  1,
+		TokenBits:           4,
+		PropagationFraction: 0.75,
+	}
+}
+
+func testFrame() frame.Spec { return frame.Spec{InfoBits: 8, OvhdBits: 2} }
+
+func ttpSim(t *testing.T, bits, alloc float64) tokensim.TTPSim {
+	t.Helper()
+	w, err := tokensim.NewWorkload(
+		message.Set{{Name: "s", Period: 1e-3, LengthBits: bits}},
+		4, tokensim.PhasingSynchronized, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tokensim.TTPSim{
+		Net:         testPlant(4),
+		SyncFrame:   testFrame(),
+		AsyncFrame:  testFrame(),
+		TTRT:        100e-6,
+		Allocations: []float64{alloc},
+		Workload:    w,
+		Horizon:     0.05,
+	}
+}
+
+func TestCollectorTTPRotationsExceedWalkTime(t *testing.T) {
+	sim := ttpSim(t, 16, 20e-6)
+	col := tokenstats.New()
+	sim.Tracer = col
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := col.Summary()
+	if s.Rotations == 0 || s.Walks == 0 {
+		t.Fatalf("no token telemetry collected: %+v", s)
+	}
+	theta := sim.Net.Theta()
+	// The paper's model: one rotation costs at least the walk time WT = Θ
+	// (plus any service time), so observed mean rotation must exceed it.
+	if s.RotationMeanSec <= theta {
+		t.Errorf("mean rotation %.3g ≤ walk time Θ=%.3g", s.RotationMeanSec, theta)
+	}
+	// Clean ring at low load: Johnson's bound, mean rotation ≤ TTRT.
+	if s.RotationMeanSec > sim.TTRT {
+		t.Errorf("mean rotation %.3g > TTRT %.3g on an underloaded clean ring", s.RotationMeanSec, sim.TTRT)
+	}
+	if s.RotationMaxSec < s.RotationMeanSec || s.RotationP99Sec <= 0 {
+		t.Errorf("inconsistent rotation stats: %+v", s)
+	}
+	// Per-pass walk: Θ spread over the hops.
+	hop := theta / float64(sim.Net.Stations)
+	if diff := s.WalkMeanSec - hop; diff > hop*1e-6 || diff < -hop*1e-6 {
+		t.Errorf("walk mean %.3g, want hop time %.3g", s.WalkMeanSec, hop)
+	}
+	if s.WalkTotalSec <= 0 {
+		t.Errorf("walk total %.3g", s.WalkTotalSec)
+	}
+}
+
+func TestCollectorObservesLateCounters(t *testing.T) {
+	// Saturated asynchronous traffic plus overrun pushes rotations past
+	// TTRT, so stations must record late-counter increments.
+	sim := ttpSim(t, 16, 20e-6)
+	sim.AsyncSaturated = true
+	col := tokenstats.New()
+	sim.Tracer = col
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := col.Summary()
+	if s.LateCounts == 0 {
+		t.Fatalf("saturated ring recorded no late counters: %+v", s)
+	}
+	if s.LateMeanSec < 0 {
+		t.Errorf("negative late mean: %+v", s)
+	}
+	if col.Count(tokensim.TraceLateCount) != s.LateCounts {
+		t.Errorf("Count(TraceLateCount)=%d, summary %d", col.Count(tokensim.TraceLateCount), s.LateCounts)
+	}
+}
+
+func TestCollectorObservesReservationBids(t *testing.T) {
+	// Two synchronized streams: while the higher-priority station holds
+	// the medium, the other writes a reservation bid into the frame.
+	w, err := tokensim.NewWorkload(
+		message.Set{
+			{Name: "hi", Period: 1e-3, LengthBits: 16},
+			{Name: "lo", Period: 2e-3, LengthBits: 16},
+		},
+		4, tokensim.PhasingSynchronized, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := tokenstats.New()
+	_, err = tokensim.ReservationSim{
+		Net:      testPlant(4),
+		Frame:    testFrame(),
+		Workload: w,
+		Horizon:  0.02,
+		Tracer:   col,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := col.Summary()
+	if s.Reservations == 0 {
+		t.Fatalf("no reservation bids observed: %+v", s)
+	}
+	if s.Rotations == 0 {
+		t.Fatalf("reservation MAC run produced no rotations: %+v", s)
+	}
+}
+
+func TestRotationHistogram(t *testing.T) {
+	sim := ttpSim(t, 16, 20e-6)
+	col := tokenstats.New()
+	sim.Tracer = col
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	h, err := col.RotationHistogram(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range h.Counts {
+		total += n
+	}
+	if total != col.Summary().Rotations {
+		t.Errorf("histogram holds %d samples, summary has %d rotations", total, col.Summary().Rotations)
+	}
+	if h.Render(40) == "" {
+		t.Error("empty histogram rendering")
+	}
+
+	empty := tokenstats.New()
+	if _, err := empty.RotationHistogram(8); err == nil {
+		t.Error("empty collector must refuse a histogram")
+	}
+}
+
+func TestEventRingSamplesAndWraps(t *testing.T) {
+	sim := ttpSim(t, 16, 20e-6)
+	col := &tokenstats.Collector{SampleEvery: 2, Cap: 32}
+	sim.Tracer = col
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	evs := col.Events()
+	if len(evs) != 32 {
+		t.Fatalf("ring retained %d events, want cap 32", len(evs))
+	}
+	s := col.Summary()
+	if uint64(s.Sampled) >= s.Events {
+		t.Errorf("sampling kept %d of %d events; expected a strict subset", s.Sampled, s.Events)
+	}
+	// Oldest-first ordering.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time < evs[i-1].Time {
+			t.Fatalf("events out of order at %d: %v after %v", i, evs[i].Time, evs[i-1].Time)
+		}
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	sim := ttpSim(t, 16, 20e-6)
+	col := tokenstats.New()
+	sim.Tracer = col
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := col.Summary()
+	out := s.Format(sim.Net.Theta(), sim.TTRT)
+	for _, want := range []string{"token stats:", "rotations", "model WT=", "TTRT="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "OK") {
+		t.Errorf("clean underloaded run should report OK verdicts:\n%s", out)
+	}
+}

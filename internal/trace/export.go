@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Record is the exported, immutable form of a finished span — one JSON
+// object per line in -trace-out files, one array element in the
+// /debug/traces response.
+type Record struct {
+	TraceID    string         `json:"traceId"`
+	SpanID     string         `json:"spanId"`
+	ParentID   string         `json:"parentId,omitempty"`
+	Name       string         `json:"name"`
+	Start      time.Time      `json:"start"`
+	DurationUS float64        `json:"durationUs"`
+	Error      string         `json:"error,omitempty"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+// Sink receives finished spans. Implementations must be safe for
+// concurrent Export calls: spans end on whatever goroutine ran the work.
+type Sink interface {
+	Export(Record)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Record)
+
+// Export calls f(rec).
+func (f SinkFunc) Export(rec Record) { f(rec) }
+
+// Tee fans each record out to every non-nil sink, in order.
+func Tee(sinks ...Sink) Sink {
+	kept := make([]Sink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			kept = append(kept, s)
+		}
+	}
+	return SinkFunc(func(rec Record) {
+		for _, s := range kept {
+			s.Export(rec)
+		}
+	})
+}
+
+// JSONL writes one JSON object per finished span to an io.Writer, suitable
+// for the CLIs' -trace-out files. Writes are serialized by a mutex;
+// marshal errors are impossible for Record's field types and encode errors
+// on the writer are dropped (tracing must never fail the traced work).
+type JSONL struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewJSONL returns a JSONL sink writing to w.
+func NewJSONL(w io.Writer) *JSONL { return &JSONL{w: w} }
+
+// Export writes rec as one line of JSON.
+func (j *JSONL) Export(rec Record) {
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	buf = append(buf, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.w.Write(buf)
+}
+
+// Ring keeps the most recent finished spans in a fixed-capacity buffer —
+// the store behind ringschedd's /debug/traces endpoint. Old spans are
+// overwritten; Total counts everything ever exported.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Record
+	next  int
+	full  bool
+	total uint64
+}
+
+// NewRing returns a ring holding up to capacity spans (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Record, capacity)}
+}
+
+// Export stores rec, evicting the oldest span once the ring is full.
+func (r *Ring) Export(rec Record) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.next] = rec
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.total++
+}
+
+// Total returns the number of spans ever exported to the ring.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot returns the retained spans, oldest first.
+func (r *Ring) Snapshot() []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Record(nil), r.buf[:r.next]...)
+	}
+	out := make([]Record, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Trace returns the retained spans of one trace, oldest first.
+func (r *Ring) Trace(traceID string) []Record {
+	all := r.Snapshot()
+	out := all[:0]
+	for _, rec := range all {
+		if rec.TraceID == traceID {
+			out = append(out, rec)
+		}
+	}
+	return out[:len(out):len(out)]
+}

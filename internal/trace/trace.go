@@ -1,0 +1,311 @@
+// Package trace is a zero-dependency span tracer for following one unit of
+// work — an HTTP request, a CLI invocation, a simulator run — through the
+// layered machinery of this repo: handler → canonicalize → cache →
+// flight-group → kernel/simulator → encode.
+//
+// Design constraints, in order:
+//
+//  1. Free when disabled. Start returns a nil *Span (and the unchanged
+//     context) when no Tracer is installed, and every Span method is
+//     nil-safe, so hot paths carry tracing calls without branches or
+//     allocations. The kernel benchmarks pin this at 0 allocs/op.
+//  2. Safe under worker pools. Spans are identified by value IDs, carry
+//     their own mutex, and parentage flows through context.Context, so a
+//     span started on one goroutine may be annotated and ended on another
+//     (the service's coalescing flight group does exactly this).
+//  3. No dependencies. IDs come from math/rand/v2, export is JSON lines or
+//     an in-memory ring; there is no OpenTelemetry and never will be here.
+package trace
+
+import (
+	"context"
+	"encoding/hex"
+	"errors"
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// TraceID identifies one end-to-end unit of work (one request, one run).
+// The zero value is invalid and means "assign a fresh random ID".
+type TraceID [16]byte
+
+// SpanID identifies one span within a trace. The zero value is invalid.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is unset.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// IsZero reports whether the ID is unset.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String renders the ID as 16 lowercase hex digits.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// ErrBadTraceID is returned by ParseTraceID for malformed input.
+var ErrBadTraceID = errors.New("trace: malformed trace id")
+
+// ParseTraceID decodes a 32-hex-digit trace ID, as carried by the
+// X-Ringsched-Trace header. Empty input yields the zero ID and no error,
+// so callers can pass an absent header straight through.
+func ParseTraceID(s string) (TraceID, error) {
+	var id TraceID
+	if s == "" {
+		return id, nil
+	}
+	if len(s) != 2*len(id) {
+		return TraceID{}, ErrBadTraceID
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return TraceID{}, ErrBadTraceID
+	}
+	if id.IsZero() {
+		return TraceID{}, ErrBadTraceID
+	}
+	return id, nil
+}
+
+func newTraceID() TraceID {
+	var id TraceID
+	for id.IsZero() {
+		a, b := rand.Uint64(), rand.Uint64()
+		for i := range 8 {
+			id[i] = byte(a >> (8 * i))
+			id[8+i] = byte(b >> (8 * i))
+		}
+	}
+	return id
+}
+
+func newSpanID() SpanID {
+	var id SpanID
+	for id.IsZero() {
+		v := rand.Uint64()
+		for i := range id {
+			id[i] = byte(v >> (8 * i))
+		}
+	}
+	return id
+}
+
+// Attr is one key/value annotation on a span. Values should be simple
+// scalars (string, bool, int, float64); they are exported via encoding/json.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Span is one timed operation. A nil *Span is a valid, inert span: all
+// methods are no-ops, so call sites never need to test for enabled tracing.
+type Span struct {
+	tracer  *Tracer
+	traceID TraceID
+	id      SpanID
+	parent  SpanID
+	name    string
+	start   time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	err   string
+	ended bool
+}
+
+// TraceID returns the span's trace ID (zero for a nil span).
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.traceID
+}
+
+// Name returns the span's operation name ("" for a nil span).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// SetAttr attaches or overwrites one annotation. Safe on a nil span and
+// safe to call from a goroutine other than the one that started the span.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// SetError records err's message on the span. nil err and nil span are
+// no-ops.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		s.err = err.Error()
+	}
+}
+
+// End closes the span and exports it to the tracer's sink. Only the first
+// End has any effect; later calls (and calls on a nil span) are no-ops.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := time.Now()
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	rec := Record{
+		TraceID:    s.traceID.String(),
+		SpanID:     s.id.String(),
+		Name:       s.name,
+		Start:      s.start,
+		DurationUS: float64(end.Sub(s.start)) / float64(time.Microsecond),
+		Error:      s.err,
+	}
+	if !s.parent.IsZero() {
+		rec.ParentID = s.parent.String()
+	}
+	if len(s.attrs) > 0 {
+		rec.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			rec.Attrs[a.Key] = a.Value
+		}
+	}
+	s.mu.Unlock()
+	s.tracer.sink.Export(rec)
+}
+
+// Duration returns how long the span has been open (or ran, once ended).
+// It exists for log records that want the elapsed time without ending the
+// span; a nil span reports zero.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Since(s.start)
+}
+
+// Tracer creates spans and routes finished spans to a Sink. A nil *Tracer
+// is valid and creates only nil spans.
+type Tracer struct {
+	sink Sink
+}
+
+// New returns a Tracer exporting to sink. A nil sink discards everything.
+func New(sink Sink) *Tracer {
+	if sink == nil {
+		sink = SinkFunc(func(Record) {})
+	}
+	return &Tracer{sink: sink}
+}
+
+func (t *Tracer) newSpan(name string, traceID TraceID, parent SpanID) *Span {
+	if t == nil {
+		return nil
+	}
+	if traceID.IsZero() {
+		traceID = newTraceID()
+	}
+	return &Span{
+		tracer:  t,
+		traceID: traceID,
+		id:      newSpanID(),
+		parent:  parent,
+		name:    name,
+		start:   time.Now(),
+	}
+}
+
+type ctxKey int
+
+const (
+	tracerKey ctxKey = iota
+	spanKey
+)
+
+// WithTracer installs tr as the context's tracer. Spans started from the
+// returned context (and its descendants) export through tr.
+func WithTracer(ctx context.Context, tr *Tracer) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey, tr)
+}
+
+// FromContext returns the installed tracer, or nil.
+func FromContext(ctx context.Context) *Tracer {
+	tr, _ := ctx.Value(tracerKey).(*Tracer)
+	return tr
+}
+
+// SpanFromContext returns the current span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey).(*Span)
+	return sp
+}
+
+// ContextWithSpan re-roots ctx under sp, so children started from the
+// returned context parent to sp. It is the bridge for worker pools whose
+// job context does not descend from the request context: capture the span
+// on the request side, then graft it onto the job context with this.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	ctx = WithTracer(ctx, sp.tracer)
+	return context.WithValue(ctx, spanKey, sp)
+}
+
+// Start begins a span named name. If ctx carries a current span the new
+// span is its child; otherwise, if ctx carries a tracer, it is a new root
+// with a fresh trace ID; otherwise tracing is disabled and Start returns
+// (ctx, nil) without allocating. Callers must End the returned span (nil
+// End is a no-op) and should pass the returned context downward.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	if parent := SpanFromContext(ctx); parent != nil {
+		sp := parent.tracer.newSpan(name, parent.traceID, parent.id)
+		return context.WithValue(ctx, spanKey, sp), sp
+	}
+	tr := FromContext(ctx)
+	if tr == nil {
+		return ctx, nil
+	}
+	sp := tr.newSpan(name, TraceID{}, SpanID{})
+	return context.WithValue(ctx, spanKey, sp), sp
+}
+
+// StartRoot begins a new root span, ignoring any current span in ctx, under
+// the context's tracer. A zero traceID requests a fresh random one; a
+// caller-supplied ID (e.g. parsed from X-Ringsched-Trace) is adopted, which
+// lets clients stitch our spans into their own traces. Returns (ctx, nil)
+// when no tracer is installed.
+func StartRoot(ctx context.Context, name string, traceID TraceID) (context.Context, *Span) {
+	tr := FromContext(ctx)
+	if tr == nil {
+		return ctx, nil
+	}
+	sp := tr.newSpan(name, traceID, SpanID{})
+	return context.WithValue(ctx, spanKey, sp), sp
+}

@@ -42,6 +42,7 @@ import (
 	"ringsched/internal/service"
 	"ringsched/internal/sim"
 	"ringsched/internal/tokensim"
+	"ringsched/internal/tokenstats"
 	"ringsched/internal/ttpalloc"
 )
 
@@ -203,10 +204,19 @@ type (
 	WriterTracer = tokensim.WriterTracer
 	// CountingTracer tallies trace events by kind.
 	CountingTracer = tokensim.CountingTracer
+	// TokenStatsCollector derives token rotation/walk statistics from a
+	// simulator's event stream; attach it as (or tee it into) a Tracer.
+	TokenStatsCollector = tokenstats.Collector
+	// TokenStats is the distilled token telemetry of one simulated run,
+	// comparable against the analysis's walk time WT = Θ and TTRT.
+	TokenStats = tokenstats.Summary
 	// Faults injects failures into simulations (alias of FaultModel kept
 	// for compatibility with earlier releases).
 	Faults = tokensim.Faults
 )
+
+// MultiTracer fans simulator events out to every non-nil tracer, in order.
+func MultiTracer(tracers ...Tracer) Tracer { return tokensim.MultiTracer(tracers...) }
 
 // Fault injection and degraded-mode analysis.
 type (
