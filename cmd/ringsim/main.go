@@ -27,6 +27,7 @@ import (
 	"log/slog"
 	"math/rand"
 	"os"
+	"strings"
 	"time"
 
 	"ringsched"
@@ -44,6 +45,7 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	fs.SetOutput(out)
 	var (
 		protocol    = fs.String("protocol", "fddi", "protocol: 8025, 8025mod, 8025res (faithful reservation MAC) or fddi")
+		topoSpec    = fs.String("topology", "", "bridged topology spec (ring:…+bridge:…+flow:…); simulates the whole ring-of-rings instead of one ring")
 		bwMbps      = fs.Float64("bw", 100, "network bandwidth in Mbps")
 		setPath     = fs.String("set", "", "JSON message set (default: random paper workload)")
 		preset      = fs.String("preset", "", "built-in workload preset (see schedcheck -preset)")
@@ -88,6 +90,28 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		meter = progress.NewMeter(errw, 0)
 		defer meter.Close()
 		obs = meter
+	}
+
+	if *topoSpec != "" {
+		topo, terr := ringsched.ParseTopology(*topoSpec)
+		if terr != nil {
+			return terr
+		}
+		res, terr := ringsched.TopologySimulation{
+			Topology:       topo,
+			AsyncSaturated: *async,
+			Horizon:        horizon.Seconds(),
+			MaxEvents:      *maxEvents,
+			Progress:       obs,
+		}.RunContext(ctx)
+		if meter != nil {
+			meter.Close()
+		}
+		if terr != nil {
+			return terr
+		}
+		printTopologyResult(out, res)
+		return nil
 	}
 
 	bw := ringsched.Mbps(*bwMbps)
@@ -332,6 +356,39 @@ func loadSet(path, preset string, streams int, utilization, bw float64, rng *ran
 		return nil, 0, err
 	}
 	return set, streams, nil
+}
+
+// printTopologyResult renders a multi-ring run: per-ring occupancy and
+// misses, bridge forwarding statistics, and per-flow end-to-end response
+// times.
+func printTopologyResult(out io.Writer, res ringsched.TopologySimResult) {
+	fmt.Fprintf(out, "topology:          %d rings, %d bridge directions, %d flows\n",
+		len(res.Rings), len(res.Bridges), len(res.Flows))
+	fmt.Fprintf(out, "horizon:           %v\n", time.Duration(res.Horizon*float64(time.Second)))
+	fmt.Fprintf(out, "deadline misses:   %d\n", res.DeadlineMisses)
+	fmt.Fprintf(out, "bridge drops:      %d\n", res.Drops)
+	for _, r := range res.Rings {
+		fmt.Fprintf(out, "\nring %s (%s): misses=%d  occupancy sync %.4f async %.4f token %.4f idle %.4f\n",
+			r.Name, r.Result.Protocol, r.Result.DeadlineMisses,
+			r.Result.SyncTime/res.Horizon, r.Result.AsyncTime/res.Horizon,
+			r.Result.TokenTime/res.Horizon, r.Result.IdleTime/res.Horizon)
+	}
+	if len(res.Bridges) > 0 {
+		fmt.Fprintf(out, "\n%-10s %12s %8s %8s %14s %12s\n",
+			"bridge", "rate(Mbps)", "fwd", "dropped", "maxBacklog(b)", "busy(ms)")
+		for _, b := range res.Bridges {
+			fmt.Fprintf(out, "%-10s %12.3f %8d %8d %14.0f %12.4f\n",
+				b.From+"->"+b.To, b.RateBPS/1e6, b.Forwarded, b.Dropped,
+				b.MaxBacklogBits, b.BusyTime*1e3)
+		}
+	}
+	fmt.Fprintf(out, "\n%-12s %-12s %8s %8s %8s %14s %14s\n",
+		"flow", "path", "done", "missed", "dropped", "meanResp(ms)", "maxResp(ms)")
+	for _, f := range res.Flows {
+		fmt.Fprintf(out, "%-12s %-12s %8d %8d %8d %14.4f %14.4f\n",
+			f.Flow.Name, strings.Join(f.Path, ">"), f.Completed, f.Missed, f.Dropped,
+			f.MeanResponse*1e3, f.MaxResponse*1e3)
+	}
 }
 
 func printResult(out io.Writer, res ringsched.SimResult) {

@@ -175,3 +175,30 @@ func TestMissingSetFile(t *testing.T) {
 		t.Error("missing file accepted")
 	}
 }
+
+func TestTopologySim(t *testing.T) {
+	const spec = "ring:name=a,proto=8025mod,bw=16e6 + ring:name=b,proto=fddi,bw=100e6" +
+		" + bridge:a=a,b=b,latency=100us" +
+		" + flow:name=cross,src=a,dst=b,period=100ms,bits=4096" +
+		" + flow:name=local,src=b,period=20ms,bits=1024"
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-topology", spec, "-horizon", "500ms", "-quiet"},
+		&out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"topology:          2 rings", "ring a (Modified 802.5)", "ring b (FDDI)",
+		"a->b", "cross", "a>b", "deadline misses:   0",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+
+	if err := run(context.Background(), []string{"-topology", "ring:name=", "-quiet"},
+		&out, io.Discard); err == nil {
+		t.Error("bad topology spec accepted")
+	}
+}

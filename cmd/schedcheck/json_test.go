@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -104,5 +105,44 @@ func TestJSONOutputWithScenarioMatchesServerBody(t *testing.T) {
 	}
 	if !strings.Contains(cliOut.String(), `"degraded"`) {
 		t.Error("-json with a fault scenario should include degraded verdicts")
+	}
+}
+
+// TestTopologyJSONMatchesServerBody pins the same byte-identity contract
+// for the bridged endpoint: schedcheck -topology -json and the ringschedd
+// /v1/topology/analyze endpoint produce identical bodies.
+func TestTopologyJSONMatchesServerBody(t *testing.T) {
+	const spec = "ring:name=a,proto=8025mod,bw=16e6 + ring:name=b,proto=fddi,bw=100e6" +
+		" + bridge:a=a,b=b,latency=100us" +
+		" + flow:name=cross,src=a,dst=b,period=100ms,bits=4096" +
+		" + flow:name=local,src=b,period=20ms,bits=1024"
+
+	var cliOut bytes.Buffer
+	if err := run(context.Background(), []string{"-topology", spec, "-json", "-verbose"},
+		&cliOut, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := service.New(service.Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	reqBody, err := json.Marshal(map[string]any{"topology": spec, "detail": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/topology/analyze", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("server: %d %s", resp.StatusCode, serverBody)
+	}
+	if !bytes.Equal(cliOut.Bytes(), serverBody) {
+		t.Errorf("CLI -topology -json and server bodies differ:\n--- CLI ---\n%s\n--- server ---\n%s",
+			cliOut.Bytes(), serverBody)
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"log/slog"
 	"math/rand"
 	"os"
+	"strings"
 
 	"ringsched"
 	"ringsched/internal/cli"
@@ -38,6 +39,7 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("schedcheck", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
+		topoSpec     = fs.String("topology", "", "bridged topology spec (ring:…+bridge:…+flow:…); analyze end-to-end bounds instead of a single-ring set")
 		setPath      = fs.String("set", "", "JSON file with the message set (default: random paper workload)")
 		preset       = fs.String("preset", "", "built-in workload preset (avionics, process-control, space-station, multimedia)")
 		bwMbps       = fs.Float64("bw", 100, "network bandwidth in Mbps")
@@ -75,6 +77,10 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 			{Name: "video", Period: 100e-3, LengthBits: 1 << 20},
 		}
 		return example.WriteJSON(out)
+	}
+
+	if *topoSpec != "" {
+		return runTopology(ctx, out, *topoSpec, *verbose, *jsonOut)
 	}
 
 	bw := ringsched.Mbps(*bwMbps)
@@ -174,6 +180,85 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 			deg.Schedulable, deg.Availability, deg.TotalAllocation*1e3, deg.Capacity*1e3)
 	}
 	return nil
+}
+
+// runTopology answers -topology: the bridged ring-of-rings analysis with
+// per-ring verdicts and end-to-end flow bounds. With -json the output is
+// byte-identical to a /v1/topology/analyze response body.
+func runTopology(ctx context.Context, out io.Writer, spec string, verbose, jsonOut bool) error {
+	if jsonOut {
+		resp, err := ringsched.AnalyzeTopologyRequest(ctx, ringsched.TopologyRequest{
+			Topology: spec,
+			Detail:   verbose,
+		})
+		if err != nil {
+			return err
+		}
+		body, err := ringsched.EncodeResponse(resp)
+		if err != nil {
+			return err
+		}
+		_, err = out.Write(body)
+		return err
+	}
+
+	topo, err := ringsched.ParseTopology(spec)
+	if err != nil {
+		return err
+	}
+	rep, err := ringsched.AnalyzeTopology(topo)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "topology: %d rings, %d bridges, %d flows\n",
+		len(topo.Nodes), len(topo.Bridges), len(rep.Flows))
+	fmt.Fprintf(out, "verdict:  schedulable=%v  bounded=%v\n\n", rep.Schedulable, rep.Bounded)
+	for _, r := range rep.Rings {
+		fmt.Fprintf(out, "ring %-8s %-14s streams=%-3d schedulable=%-5v U=%.4f\n",
+			r.Name, r.Protocol, len(r.Set), r.Schedulable, r.Utilization)
+	}
+	if len(rep.Bridges) > 0 {
+		fmt.Fprintln(out)
+		for _, b := range rep.Bridges {
+			if !b.Stable {
+				fmt.Fprintf(out, "bridge %s->%s: UNSTABLE (arrival %.4g Mbps >= rate %.4g Mbps)\n",
+					b.From, b.To, b.ArrivalRateBPS/1e6, b.RateBPS/1e6)
+				continue
+			}
+			fmt.Fprintf(out, "bridge %s->%s: flows=%d  burst=%.0fb  delay<=%.4fms  bufferOK=%v\n",
+				b.From, b.To, b.Flows, b.BurstBits, b.DelayBound*1e3, b.BufferOK)
+		}
+	}
+	fmt.Fprintln(out)
+	for _, f := range rep.Flows {
+		if !f.Bounded {
+			fmt.Fprintf(out, "flow %-10s %-16s period=%.4gms  bound=unbounded  schedulable=false\n",
+				f.Flow.Name, pathString(f.Path), f.Flow.Period*1e3)
+			continue
+		}
+		fmt.Fprintf(out, "flow %-10s %-16s period=%.4gms  bound=%.4fms  schedulable=%v\n",
+			f.Flow.Name, pathString(f.Path), f.Flow.Period*1e3, f.Bound*1e3, f.Schedulable)
+		if verbose {
+			fmt.Fprintf(out, "     ring delays (ms): %s   bridge delays (ms): %s\n",
+				formatDelays(f.RingDelays), formatDelays(f.BridgeDelays))
+		}
+	}
+	return nil
+}
+
+func pathString(path []string) string {
+	return strings.Join(path, ">")
+}
+
+func formatDelays(ds []float64) string {
+	if len(ds) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(ds))
+	for i, d := range ds {
+		parts[i] = fmt.Sprintf("%.4f", d*1e3)
+	}
+	return strings.Join(parts, " ")
 }
 
 // loadFaultModel resolves the -fault-model / -scenario flags (mutually

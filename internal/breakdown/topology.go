@@ -1,0 +1,114 @@
+package breakdown
+
+import (
+	"context"
+
+	"ringsched/internal/core"
+	"ringsched/internal/progress"
+	"ringsched/internal/topology"
+)
+
+// TopologySaturation is the outcome of driving a topology's flows to the
+// bridged breakdown load: the largest common payload-scale factor at which
+// every ring stays schedulable and every flow's end-to-end bound stays
+// within its period.
+type TopologySaturation struct {
+	// Feasible is false when the topology is unschedulable at any positive
+	// load.
+	Feasible bool
+	// Scale is the flow-payload multiplier at which the topology saturates.
+	Scale float64
+	// Topology is the saturated topology (canonical, flows scaled).
+	Topology topology.Topology
+	// Report is the full analysis at the saturated load.
+	Report core.TopologyReport
+}
+
+// SaturateTopology scales every flow's payload by a common factor until
+// the topology stops being end-to-end schedulable, reusing the same
+// bracketing and bisection as the single-ring search (valid because ring
+// verdicts and bridge bounds are monotone in the payload lengths).
+func SaturateTopology(t topology.Topology, opts SaturateOptions) (TopologySaturation, error) {
+	o := opts.withDefaults()
+	canon := t.Canonicalize()
+	if err := canon.Validate(); err != nil {
+		return TopologySaturation{}, err
+	}
+	sat, err := saturate(nil, func(scale float64) (bool, error) {
+		rep, err := core.AnalyzeTopology(canon.ScaleFlows(scale))
+		if err != nil {
+			return false, err
+		}
+		return rep.Schedulable, nil
+	}, 0, o)
+	if err != nil {
+		return TopologySaturation{}, err
+	}
+	if !sat.Feasible {
+		return TopologySaturation{}, nil
+	}
+	saturated := canon.ScaleFlows(sat.Scale)
+	rep, err := core.AnalyzeTopology(saturated)
+	if err != nil {
+		return TopologySaturation{}, err
+	}
+	return TopologySaturation{
+		Feasible: true,
+		Scale:    sat.Scale,
+		Topology: saturated,
+		Report:   rep,
+	}, nil
+}
+
+// TopologyPoint is one point of a topology breakdown sweep.
+type TopologyPoint struct {
+	// BandwidthScale is the factor every ring bandwidth (and explicit
+	// bridge rate) was multiplied by for this point.
+	BandwidthScale float64
+	// Saturation is the breakdown outcome at that capacity.
+	Saturation TopologySaturation
+}
+
+// SweepTopology computes the topology's breakdown scale across a grid of
+// bandwidth multipliers — the Figure 1 methodology lifted to the bridged
+// setting: how much synchronous load the interconnected rings carry as
+// the plant gets faster. obs (may be nil) sees one SweepPointDone per
+// completed point; cancelling ctx returns promptly with the points
+// finished so far discarded.
+func SweepTopology(ctx context.Context, t topology.Topology, bandwidthScales []float64, opts SaturateOptions, obs progress.Progress) ([]TopologyPoint, error) {
+	canon := t.Canonicalize()
+	if err := canon.Validate(); err != nil {
+		return nil, err
+	}
+	points := make([]TopologyPoint, 0, len(bandwidthScales))
+	for _, bs := range bandwidthScales {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sat, err := SaturateTopology(scaleBandwidth(canon, bs), opts)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, TopologyPoint{BandwidthScale: bs, Saturation: sat})
+		if obs != nil {
+			obs.SweepPointDone("topology", bs)
+		}
+	}
+	return points, nil
+}
+
+// scaleBandwidth returns a copy of the topology with every ring bandwidth
+// and every explicitly configured bridge rate multiplied by factor
+// (derived bridge rates follow the ring bandwidths automatically).
+func scaleBandwidth(t topology.Topology, factor float64) topology.Topology {
+	out := t
+	out.Nodes = append([]topology.Node(nil), t.Nodes...)
+	out.Bridges = append([]topology.Bridge(nil), t.Bridges...)
+	for i := range out.Nodes {
+		out.Nodes[i].Ring.BandwidthBPS *= factor
+	}
+	for i := range out.Bridges {
+		out.Bridges[i].RateBPS *= factor
+	}
+	return out
+}

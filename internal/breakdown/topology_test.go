@@ -1,0 +1,89 @@
+package breakdown
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"ringsched/internal/core"
+	"ringsched/internal/ring"
+	"ringsched/internal/topology"
+)
+
+func breakdownLineTopology() topology.Topology {
+	return topology.Topology{
+		Nodes: []topology.Node{
+			{Name: "a", Protocol: topology.Modified8025, Ring: ring.IEEE8025(16e6)},
+			{Name: "b", Protocol: topology.FDDI, Ring: ring.FDDI(100e6)},
+			{Name: "c", Protocol: topology.Standard8025, Ring: ring.IEEE8025(16e6)},
+		},
+		Bridges: []topology.Bridge{
+			{A: "a", B: "b", Latency: 100e-6},
+			{A: "b", B: "c", Latency: 100e-6},
+		},
+		Flows: []topology.Flow{
+			{Name: "cross", Src: "a", Dst: "c", Period: 100e-3, LengthBits: 4096},
+			{Name: "feed", Src: "b", Dst: "c", Period: 50e-3, LengthBits: 2048},
+			{Name: "local", Src: "b", Dst: "b", Period: 20e-3, LengthBits: 1024},
+		},
+	}
+}
+
+// TestSaturateTopologyBracketsTheVerdictBoundary pins the defining
+// property of the breakdown scale: schedulable just below, unschedulable
+// just above.
+func TestSaturateTopologyBracketsTheVerdictBoundary(t *testing.T) {
+	topo := breakdownLineTopology()
+	sat, err := SaturateTopology(topo, SaturateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sat.Feasible || !(sat.Scale > 0) || math.IsInf(sat.Scale, 0) {
+		t.Fatalf("saturation: %+v", sat)
+	}
+	if !sat.Report.Schedulable {
+		t.Error("report at the saturated load must be schedulable")
+	}
+	canon := topo.Canonicalize()
+	above, err := core.AnalyzeTopology(canon.ScaleFlows(sat.Scale * 1.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if above.Schedulable {
+		t.Errorf("still schedulable just above the breakdown scale %g", sat.Scale)
+	}
+	// The fixture starts schedulable at scale 1, so saturation can only
+	// scale it up.
+	if sat.Scale < 1 {
+		t.Errorf("breakdown scale %g below the already-schedulable baseline", sat.Scale)
+	}
+}
+
+// TestSweepTopologyIsMonotoneInBandwidth checks that faster plants carry
+// at least as much synchronous load.
+func TestSweepTopologyIsMonotoneInBandwidth(t *testing.T) {
+	points, err := SweepTopology(context.Background(), breakdownLineTopology(),
+		[]float64{0.5, 1, 2}, SaturateOptions{RelTol: 1e-4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("%d points", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		prev, cur := points[i-1].Saturation, points[i].Saturation
+		if !cur.Feasible {
+			t.Fatalf("point %d infeasible", i)
+		}
+		// Allow the search tolerance when comparing adjacent points.
+		if cur.Scale < prev.Scale*(1-1e-3) {
+			t.Errorf("breakdown scale fell from %g to %g as bandwidth grew",
+				prev.Scale, cur.Scale)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SweepTopology(ctx, breakdownLineTopology(), []float64{1}, SaturateOptions{}, nil); err == nil {
+		t.Error("cancelled sweep returned no error")
+	}
+}

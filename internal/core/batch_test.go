@@ -145,14 +145,10 @@ func TestProbeErrorParity(t *testing.T) {
 func TestProbeFThetaBoundary(t *testing.T) {
 	spec := frame.PaperSpec() // 624 total bits
 	mkNet := func(latencyBits float64) ring.Config {
-		return ring.Config{
-			Stations:            10,
-			SpacingMeters:       0,
-			BandwidthBPS:        4e6,
-			BitDelayPerStation:  latencyBits / 10,
-			TokenBits:           0,
-			PropagationFraction: 0.75,
-		}
+		net := ring.Tiny(10).WithBandwidth(4e6)
+		net.BitDelayPerStation = latencyBits / 10
+		net.TokenBits = 0 // all ring latency in station delay, none in the token
+		return net
 	}
 	cases := []struct {
 		name string

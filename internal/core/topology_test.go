@@ -1,0 +1,255 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"ringsched/internal/ring"
+	"ringsched/internal/topology"
+)
+
+// lineTopology is a bridged 3-ring line a—b—c mixing all three protocols,
+// with a cross flow a→c, a transit-sharing flow b→c, and a local flow on b.
+func lineTopology() topology.Topology {
+	return topology.Topology{
+		Nodes: []topology.Node{
+			{Name: "a", Protocol: topology.Modified8025, Ring: ring.IEEE8025(16e6)},
+			{Name: "b", Protocol: topology.FDDI, Ring: ring.FDDI(100e6)},
+			{Name: "c", Protocol: topology.Standard8025, Ring: ring.IEEE8025(16e6)},
+		},
+		Bridges: []topology.Bridge{
+			{A: "a", B: "b", Latency: 100e-6},
+			{A: "b", B: "c", Latency: 100e-6},
+		},
+		Flows: []topology.Flow{
+			{Name: "cross", Src: "a", Dst: "c", Period: 100e-3, LengthBits: 4096},
+			{Name: "feed", Src: "b", Dst: "c", Period: 50e-3, LengthBits: 2048},
+			{Name: "local", Src: "b", Dst: "b", Period: 20e-3, LengthBits: 1024},
+		},
+	}
+}
+
+func TestAnalyzeTopologyBridgedLine(t *testing.T) {
+	rep, err := AnalyzeTopology(lineTopology())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Schedulable || !rep.Bounded {
+		t.Fatalf("schedulable = %v, bounded = %v for a lightly loaded line", rep.Schedulable, rep.Bounded)
+	}
+	if len(rep.Rings) != 3 || len(rep.Flows) != 3 {
+		t.Fatalf("%d rings, %d flows", len(rep.Rings), len(rep.Flows))
+	}
+	// Ring b carries its local flow, the feed flow, and the transit of cross.
+	b := rep.Rings[1]
+	if b.Name != "b" || len(b.Set) != 3 || b.TTP == nil || b.PDP != nil {
+		t.Fatalf("ring b verdict: %+v", b)
+	}
+	// The cross flow traverses a, b, c and both bridges; its bound is the
+	// exact sum of its per-hop bounds and fits its period.
+	var cross TopologyFlowVerdict
+	for _, f := range rep.Flows {
+		if f.Flow.Name == "cross" {
+			cross = f
+		}
+	}
+	if !reflect.DeepEqual(cross.Path, []string{"a", "b", "c"}) {
+		t.Fatalf("cross path = %v", cross.Path)
+	}
+	if len(cross.RingDelays) != 3 || len(cross.BridgeDelays) != 2 {
+		t.Fatalf("cross hops: %v / %v", cross.RingDelays, cross.BridgeDelays)
+	}
+	sum := 0.0
+	for _, d := range cross.RingDelays {
+		sum += d
+	}
+	for _, d := range cross.BridgeDelays {
+		sum += d
+	}
+	if math.Abs(sum-cross.Bound) > 1e-15 || !cross.Schedulable || cross.Bound > cross.Flow.Period {
+		t.Errorf("cross bound %v (hop sum %v), schedulable=%v", cross.Bound, sum, cross.Schedulable)
+	}
+	// Bridge a→b carries exactly the cross flow, with its burst inflated by
+	// the response bound inside ring a.
+	var ab TopologyBridgeVerdict
+	for _, br := range rep.Bridges {
+		if br.From == "a" && br.To == "b" {
+			ab = br
+		}
+	}
+	if ab.Flows != 1 || !ab.Stable || !ab.BufferOK {
+		t.Fatalf("bridge a→b verdict: %+v", ab)
+	}
+	rho := cross.Flow.RateBPS()
+	wantBurst := cross.Flow.LengthBits + rho*cross.RingDelays[0]
+	if math.Abs(ab.BurstBits-wantBurst) > 1e-9 {
+		t.Errorf("bridge a→b burst = %v, want %v", ab.BurstBits, wantBurst)
+	}
+	if want := ab.Latency + ab.BurstBits/ab.RateBPS; math.Abs(ab.DelayBound-want) > 1e-15 {
+		t.Errorf("bridge a→b delay bound = %v, want %v", ab.DelayBound, want)
+	}
+	// Bridge b→c aggregates cross and feed.
+	var bc TopologyBridgeVerdict
+	for _, br := range rep.Bridges {
+		if br.From == "b" && br.To == "c" {
+			bc = br
+		}
+	}
+	if bc.Flows != 2 {
+		t.Errorf("bridge b→c flows = %d, want 2", bc.Flows)
+	}
+}
+
+func TestAnalyzeTopologySingleRingMatchesDirectPath(t *testing.T) {
+	// The 1-node special case must reproduce the direct single-ring
+	// analysis bit for bit, for every protocol.
+	flows := []topology.Flow{
+		{Name: "s1", Src: "r", Dst: "r", Period: 10e-3, LengthBits: 2048},
+		{Name: "s2", Src: "r", Dst: "r", Period: 25e-3, LengthBits: 4096},
+		{Name: "s3", Src: "r", Dst: "r", Period: 100e-3, LengthBits: 8192},
+	}
+	for _, proto := range topology.Protocols() {
+		topo := topology.Topology{
+			Nodes: []topology.Node{{Name: "r", Protocol: proto, Ring: proto.PlantPreset().New(16e6)}},
+			Flows: flows,
+		}
+		rep, err := AnalyzeTopology(topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		canon := topo.Canonicalize()
+		sets, _, err := RingSets(canon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch a := AnalyzerForNode(canon.Nodes[0], len(sets[0])).(type) {
+		case PDP:
+			want, err := a.Report(sets[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(*rep.Rings[0].PDP, want) {
+				t.Errorf("%s: topology PDP report differs from direct report", proto)
+			}
+			// End-to-end bound of a local flow is exactly its ring response.
+			for _, f := range rep.Flows {
+				if len(f.RingDelays) != 1 || f.Bound != f.RingDelays[0] {
+					t.Errorf("%s: local flow %q bound %v != ring delay %v",
+						proto, f.Flow.Name, f.Bound, f.RingDelays)
+				}
+			}
+		case TTP:
+			want, err := a.Report(sets[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(*rep.Rings[0].TTP, want) {
+				t.Errorf("%s: topology TTP report differs from direct report", proto)
+			}
+		}
+	}
+}
+
+func TestAnalyzeTopologyUnstableBridge(t *testing.T) {
+	topo := lineTopology()
+	// Choke the a-b bridge below the cross flow's arrival rate.
+	topo.Bridges[0].RateBPS = 10 // ρ(cross) = 40960 bps
+	rep, err := AnalyzeTopology(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Bounded || rep.Schedulable {
+		t.Fatalf("unstable bridge must unbound the topology: %+v", rep)
+	}
+	for _, f := range rep.Flows {
+		wantBounded := f.Flow.Name != "cross"
+		if f.Bounded != wantBounded {
+			t.Errorf("flow %q bounded = %v, want %v", f.Flow.Name, f.Bounded, wantBounded)
+		}
+	}
+}
+
+func TestAnalyzeTopologyBufferOverflow(t *testing.T) {
+	topo := lineTopology()
+	topo.Bridges[0].BufferBits = 1 // cannot hold even one frame of burst
+	rep, err := AnalyzeTopology(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schedulable {
+		t.Fatal("overflowing bridge buffer must not be schedulable")
+	}
+	if !rep.Bounded {
+		t.Fatal("a small buffer bounds loss, not delay: topology should stay bounded")
+	}
+	for _, br := range rep.Bridges {
+		if br.From == "a" && br.BufferOK {
+			t.Errorf("bridge a→b buffer should overflow: %+v", br)
+		}
+	}
+}
+
+func TestAnalyzeTopologyOverloadedRingPropagates(t *testing.T) {
+	topo := lineTopology()
+	// Overload ring a: the cross flow alone needs more than the medium.
+	topo.Flows[0].LengthBits = 32e6 // 32 Mbit per 100 ms on a 16 Mbps ring
+	rep, err := AnalyzeTopology(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schedulable {
+		t.Fatal("overloaded ring must fail the topology")
+	}
+	var cross TopologyFlowVerdict
+	for _, f := range rep.Flows {
+		if f.Flow.Name == "cross" {
+			cross = f
+		}
+	}
+	if cross.Bounded || !math.IsInf(cross.RingDelays[0], 1) {
+		t.Errorf("cross flow should be unbounded at its source ring: %+v", cross)
+	}
+}
+
+func TestAnalyzeTopologyValidates(t *testing.T) {
+	if _, err := AnalyzeTopology(topology.Topology{}); err == nil {
+		t.Error("empty topology accepted")
+	}
+	topo := lineTopology()
+	topo.Flows[0].Period = -1
+	if _, err := AnalyzeTopology(topo); err == nil {
+		t.Error("negative period accepted")
+	}
+}
+
+// The message set below mirrors the canonical single-ring benchmark load.
+var benchFlows = []topology.Flow{
+	{Name: "s1", Src: "r", Dst: "r", Period: 5e-3, LengthBits: 1024},
+	{Name: "s2", Src: "r", Dst: "r", Period: 10e-3, LengthBits: 2048},
+	{Name: "s3", Src: "r", Dst: "r", Period: 20e-3, LengthBits: 4096},
+	{Name: "s4", Src: "r", Dst: "r", Period: 50e-3, LengthBits: 8192},
+	{Name: "s5", Src: "r", Dst: "r", Period: 100e-3, LengthBits: 8192},
+}
+
+var benchTopologyReport TopologyReport
+
+// BenchmarkAnalyzeTopologySingleRing tracks the 1-node fast path: the cost
+// of a single-ring verdict served through the topology layer. The
+// benchreport baseline gates its allocation count so the special case
+// cannot quietly grow graph overhead.
+func BenchmarkAnalyzeTopologySingleRing(b *testing.B) {
+	topo := topology.Topology{
+		Nodes: []topology.Node{{Name: "r", Protocol: topology.Modified8025, Ring: ring.IEEE8025(16e6)}},
+		Flows: benchFlows,
+	}.Canonicalize()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := AnalyzeTopology(topo)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchTopologyReport = rep
+	}
+}

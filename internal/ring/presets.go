@@ -1,0 +1,69 @@
+package ring
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrUnknownPreset reports a preset name that is not in the table.
+var ErrUnknownPreset = errors.New("ring: unknown preset")
+
+// Preset is a named canonical plant configuration. The table returned by
+// Presets is the single source of truth for plant parameters: the topology
+// spec grammar, the CLIs and the tests all resolve presets here instead of
+// re-deriving the Section 6.2 constants.
+type Preset struct {
+	// Name is the spec/CLI identifier.
+	Name string
+	// Note is a one-line description for help output.
+	Note string
+	// New builds the plant at the given bandwidth.
+	New func(bandwidthBPS float64) Config
+}
+
+// Presets returns the built-in plant presets, in paper order.
+func Presets() []Preset {
+	return []Preset{
+		{
+			Name: "ieee8025",
+			Note: "paper's IEEE 802.5 plant: 100 stations, 4-bit station delay, 24-bit token",
+			New:  IEEE8025,
+		},
+		{
+			Name: "fddi",
+			Note: "paper's FDDI plant: 100 stations, 75-bit station delay, 88-bit token",
+			New:  FDDI,
+		},
+	}
+}
+
+// PresetByName looks up one built-in preset. The error of an unknown name
+// matches ErrUnknownPreset (errors.Is) and lists every valid name.
+func PresetByName(name string) (Preset, error) {
+	presets := Presets()
+	names := make([]string, len(presets))
+	for i, p := range presets {
+		if p.Name == name {
+			return p, nil
+		}
+		names[i] = p.Name
+	}
+	return Preset{}, fmt.Errorf("%w: %q (valid presets: %s)",
+		ErrUnknownPreset, name, strings.Join(names, ", "))
+}
+
+// Tiny returns the hand-checkable test plant shared by the simulator timing
+// tests: Θ = 4 µs (4 token bits at 1 Mbps, no propagation, no station
+// latency), so a token hop between adjacent stations costs 4/n µs and every
+// expected event time stays mental math.
+func Tiny(stations int) Config {
+	return Config{
+		Stations:            stations,
+		SpacingMeters:       0,
+		BandwidthBPS:        1e6,
+		BitDelayPerStation:  0,
+		TokenBits:           4,
+		PropagationFraction: PaperPropagationFraction,
+	}
+}

@@ -604,18 +604,10 @@ func scaleVerdicts(a core.Analyzer, set message.Set, scales []float64) ([]ScaleV
 	return out, nil
 }
 
-func analyzePDP(proto string, bw float64, set message.Set, fm *faults.Model, detail bool, scales []float64) (Verdict, error) {
-	p := core.NewStandardPDP(bw)
-	if proto == ProtocolModifiedPDP {
-		p = core.NewModifiedPDP(bw)
-	}
-	if len(set) > p.Net.Stations {
-		p.Net = p.Net.WithStations(len(set))
-	}
-	rep, err := p.Report(set)
-	if err != nil {
-		return Verdict{}, err
-	}
+// pdpVerdict maps a PDP report to the wire verdict. It is shared by
+// /v1/analyze and the per-ring verdicts of /v1/topology/analyze, so a
+// 1-node topology reports exactly the values the direct endpoint reports.
+func pdpVerdict(proto string, rep core.PDPReport, detail bool) Verdict {
 	v := Verdict{
 		Protocol:             proto,
 		Schedulable:          rep.Schedulable,
@@ -624,9 +616,6 @@ func analyzePDP(proto string, bw float64, set message.Set, fm *faults.Model, det
 		Blocking:             rep.Blocking,
 		Theta:                rep.Theta,
 		FrameTime:            rep.FrameTime,
-	}
-	if v.ScaleVerdicts, err = scaleVerdicts(p, set, scales); err != nil {
-		return Verdict{}, err
 	}
 	if detail {
 		for _, s := range rep.Streams {
@@ -639,6 +628,52 @@ func analyzePDP(proto string, bw float64, set message.Set, fm *faults.Model, det
 				Schedulable:     s.Schedulable,
 			})
 		}
+	}
+	return v
+}
+
+// ttpVerdict maps a TTP report to the wire verdict (see pdpVerdict).
+func ttpVerdict(rep core.TTPReport, detail bool) Verdict {
+	v := Verdict{
+		Protocol:        ProtocolTTP,
+		Schedulable:     rep.Schedulable,
+		Utilization:     rep.Utilization,
+		TTRT:            rep.TTRT,
+		Overhead:        rep.Overhead,
+		TotalAllocation: rep.TotalAllocation,
+		Capacity:        rep.Capacity,
+	}
+	if detail {
+		for _, s := range rep.Streams {
+			v.Streams = append(v.Streams, StreamVerdict{
+				Name:              s.Stream.Name,
+				PeriodMs:          s.Stream.Period * 1e3,
+				Q:                 s.Q,
+				AugmentedLength:   s.AugmentedLength,
+				Allocation:        s.Allocation,
+				WorstCaseResponse: s.WorstCaseResponse,
+				Schedulable:       s.Q >= 2,
+			})
+		}
+	}
+	return v
+}
+
+func analyzePDP(proto string, bw float64, set message.Set, fm *faults.Model, detail bool, scales []float64) (Verdict, error) {
+	p := core.NewStandardPDP(bw)
+	if proto == ProtocolModifiedPDP {
+		p = core.NewModifiedPDP(bw)
+	}
+	if len(set) > p.Net.Stations {
+		p.Net = p.Net.WithStations(len(set))
+	}
+	rep, err := p.Report(set)
+	if err != nil {
+		return Verdict{}, err
+	}
+	v := pdpVerdict(proto, rep, detail)
+	if v.ScaleVerdicts, err = scaleVerdicts(p, set, scales); err != nil {
+		return Verdict{}, err
 	}
 	if fm != nil {
 		budget := p.FaultBudgetFor(fm, set)
@@ -666,30 +701,9 @@ func analyzeTTP(bw float64, set message.Set, fm *faults.Model, detail bool, scal
 	if err != nil {
 		return Verdict{}, err
 	}
-	v := Verdict{
-		Protocol:        ProtocolTTP,
-		Schedulable:     rep.Schedulable,
-		Utilization:     rep.Utilization,
-		TTRT:            rep.TTRT,
-		Overhead:        rep.Overhead,
-		TotalAllocation: rep.TotalAllocation,
-		Capacity:        rep.Capacity,
-	}
+	v := ttpVerdict(rep, detail)
 	if v.ScaleVerdicts, err = scaleVerdicts(t, set, scales); err != nil {
 		return Verdict{}, err
-	}
-	if detail {
-		for _, s := range rep.Streams {
-			v.Streams = append(v.Streams, StreamVerdict{
-				Name:              s.Stream.Name,
-				PeriodMs:          s.Stream.Period * 1e3,
-				Q:                 s.Q,
-				AugmentedLength:   s.AugmentedLength,
-				Allocation:        s.Allocation,
-				WorstCaseResponse: s.WorstCaseResponse,
-				Schedulable:       s.Q >= 2,
-			})
-		}
 	}
 	if fm != nil {
 		budget := t.FaultBudgetFor(fm, set)

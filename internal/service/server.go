@@ -132,6 +132,7 @@ func New(cfg Config) *Server {
 	s.tracer = trace.New(trace.Tee(s.spans, stageSink, cfg.TraceSink))
 	s.flight = newFlightGroup(baseCtx, cfg.Workers, cfg.JobTimeout)
 	s.mux.HandleFunc("/v1/analyze", s.instrument("analyze", s.handleAnalyze))
+	s.mux.HandleFunc("/v1/topology/analyze", s.instrument("topology", s.handleTopology))
 	s.mux.HandleFunc("/v1/sweep", s.instrument("sweep", s.handleSweep))
 	s.mux.HandleFunc("/v1/experiments", s.instrument("experiments", s.handleExperiments))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -341,6 +342,41 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		}
 		for _, v := range resp.Verdicts {
 			s.verdicts.add(labels("protocol", v.Protocol, "schedulable", strconv.FormatBool(v.Schedulable)), 1)
+		}
+		return encodeTraced(ctx, resp)
+	})
+}
+
+// handleTopology serves /v1/topology/analyze through the same
+// canonicalize → cache → coalesce → compute path as /v1/analyze; a 1-node
+// topology therefore reports exactly the verdict the direct endpoint
+// would, cached under its own canonical key.
+func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("service: POST required"))
+		return
+	}
+	var req TopologyRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	_, csp := trace.Start(r.Context(), "canonicalize")
+	canon, err := req.Canonicalize()
+	csp.SetError(err)
+	csp.End()
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	key := canon.CacheKey()
+	s.serveCached(w, r, "topology", key, func(ctx context.Context) ([]byte, error) {
+		resp, err := topologyCanonical(ctx, canon, key)
+		if err != nil {
+			return nil, err
+		}
+		for _, rv := range resp.Rings {
+			s.verdicts.add(labels("protocol", rv.Protocol, "schedulable", strconv.FormatBool(rv.Schedulable)), 1)
 		}
 		return encodeTraced(ctx, resp)
 	})

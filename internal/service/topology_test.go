@@ -1,0 +1,252 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ringsched/internal/message"
+	"ringsched/internal/topology"
+)
+
+// lineTopologySpec is a bridged 3-ring line mixing all three protocols,
+// mirroring the analysis- and simulation-layer fixtures.
+const lineTopologySpec = "ring:name=a,proto=8025mod,bw=16e6" +
+	" + ring:name=b,proto=fddi,bw=100e6" +
+	" + ring:name=c,proto=8025,bw=16e6" +
+	" + bridge:a=a,b=b,latency=100us" +
+	" + bridge:a=b,b=c,latency=100us" +
+	" + flow:name=cross,src=a,dst=c,period=100ms,bits=4096" +
+	" + flow:name=feed,src=b,dst=c,period=50ms,bits=2048" +
+	" + flow:name=local,src=b,period=20ms,bits=1024"
+
+// TestTopologySingleRingVerdictMatchesAnalyze pins the refactor's service
+// contract: a 1-node topology's ring verdict is identical — field for
+// field — to what /v1/analyze reports for the same streams, for every
+// workload preset and every protocol.
+func TestTopologySingleRingVerdictMatchesAnalyze(t *testing.T) {
+	ctx := context.Background()
+	protos := map[topology.Protocol]string{
+		topology.Standard8025: ProtocolStandardPDP,
+		topology.Modified8025: ProtocolModifiedPDP,
+		topology.FDDI:         ProtocolTTP,
+	}
+	for _, preset := range message.Presets() {
+		for pspec, slug := range protos {
+			var flows []FlowSpec
+			var streams []StreamSpec
+			for _, s := range preset.Set {
+				flows = append(flows, FlowSpec{
+					Name: s.Name, Src: "r", PeriodMs: s.Period * 1e3, LengthBits: s.LengthBits,
+				})
+				streams = append(streams, StreamSpec{
+					Name: s.Name, PeriodMs: s.Period * 1e3, LengthBits: s.LengthBits,
+				})
+			}
+			topoResp, err := AnalyzeTopology(ctx, TopologyRequest{
+				Topology: fmt.Sprintf("ring:name=r,proto=%s,bw=80e6", pspec),
+				Flows:    flows,
+				Detail:   true,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", preset.Name, slug, err)
+			}
+			direct, err := Analyze(ctx, AnalyzeRequest{
+				Protocols:     []string{slug},
+				BandwidthMbps: 80,
+				Streams:       streams,
+				Detail:        true,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", preset.Name, slug, err)
+			}
+			if len(topoResp.Rings) != 1 || topoResp.Rings[0].Verdict == nil {
+				t.Fatalf("%s/%s: want 1 ring with a verdict, got %+v", preset.Name, slug, topoResp.Rings)
+			}
+			got := *topoResp.Rings[0].Verdict
+			want := direct.Verdicts[0]
+			// The topology path zeroes non-finite stream fields before
+			// marshaling; apply the same to the direct verdict so the
+			// comparison is field-for-field fair.
+			sanitizeVerdict(&want)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s/%s: topology ring verdict differs from /v1/analyze:\n got  %+v\n want %+v",
+					preset.Name, slug, got, want)
+			}
+			if topoResp.Rings[0].Schedulable != want.Schedulable {
+				t.Errorf("%s/%s: ring schedulable %v != verdict %v",
+					preset.Name, slug, topoResp.Rings[0].Schedulable, want.Schedulable)
+			}
+			// Every flow is local, so each must be bounded by its ring
+			// response alone with no bridge delays.
+			for _, f := range topoResp.Flows {
+				if len(f.BridgeDelaysMs) != 0 || len(f.Path) != 1 {
+					t.Errorf("%s/%s: local flow %q crossed bridges: %+v", preset.Name, slug, f.Name, f)
+				}
+			}
+		}
+	}
+}
+
+// TestTopologyRequestCanonicalization pins that structured flows and spec
+// clauses canonicalize to the same request — and the same cache key.
+func TestTopologyRequestCanonicalization(t *testing.T) {
+	viaSpec := TopologyRequest{
+		Topology: "ring:name=r,proto=8025,bw=16e6" +
+			" + flow:name=x,src=r,period=10ms,bits=2048" +
+			" + flow:name=y,src=r,period=25ms,bits=4096",
+	}
+	viaFlows := TopologyRequest{
+		Topology: "ring:name=r,proto=8025,bw=16000000",
+		Flows: []FlowSpec{
+			// Reversed order and defaulted Dst; canonicalization sorts.
+			{Name: "y", Src: "r", PeriodMs: 25, LengthBits: 4096},
+			{Name: "x", Src: "r", Dst: "r", PeriodMs: 10, LengthBits: 2048},
+		},
+	}
+	a, err := viaSpec.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := viaFlows.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Topology != b.Topology {
+		t.Errorf("canonical specs differ:\n %q\n %q", a.Topology, b.Topology)
+	}
+	if a.CacheKey() != b.CacheKey() {
+		t.Error("equivalent requests hash differently")
+	}
+	detailed := a
+	detailed.Detail = true
+	if detailed.CacheKey() == a.CacheKey() {
+		t.Error("detail flag must change the cache key")
+	}
+
+	for _, bad := range []TopologyRequest{
+		{},
+		{Topology: "ring:name=r,proto=nope"},
+		{Topology: "ring:name=r", Flows: []FlowSpec{{Src: "ghost", PeriodMs: 10, LengthBits: 1}}},
+		{Topology: "ring:name=r", Flows: []FlowSpec{{Src: "r", PeriodMs: -1, LengthBits: 1}}},
+	} {
+		if _, err := bad.Canonicalize(); err == nil {
+			t.Errorf("invalid request accepted: %+v", bad)
+		}
+	}
+}
+
+// TestTopologyEndpointServesBridgedLine exercises the full HTTP path: a
+// bridged 3-ring request returns per-ring verdicts and finite end-to-end
+// bounds, repeats hit the cache bit-identically, and bad specs get 400.
+func TestTopologyEndpointServesBridgedLine(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body, err := json.Marshal(TopologyRequest{Topology: lineTopologySpec, Detail: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp1, b1 := post(t, ts.URL+"/v1/topology/analyze", string(body))
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp1.StatusCode, b1)
+	}
+	if got := resp1.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("first request X-Cache = %q", got)
+	}
+	var out TopologyResponse
+	if err := json.Unmarshal(b1, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Schedulable || !out.Bounded {
+		t.Errorf("fixture must be schedulable and bounded: %+v", out)
+	}
+	if len(out.Rings) != 3 || len(out.Flows) != 3 || len(out.Bridges) == 0 {
+		t.Fatalf("%d rings, %d flows, %d bridges", len(out.Rings), len(out.Flows), len(out.Bridges))
+	}
+	for _, rv := range out.Rings {
+		if rv.Verdict == nil || len(rv.Verdict.Streams) == 0 {
+			t.Errorf("ring %q missing detailed verdict", rv.Name)
+		}
+	}
+	for _, f := range out.Flows {
+		if !f.Bounded || f.BoundMs <= 0 {
+			t.Errorf("flow %q not bounded: %+v", f.Name, f)
+		}
+		if len(f.RingDelaysMs) != len(f.Path) {
+			t.Errorf("flow %q: %d ring delays for %d hops", f.Name, len(f.RingDelaysMs), len(f.Path))
+		}
+	}
+	// The cross flow spans a—b—c and pays two bridge delays.
+	for _, f := range out.Flows {
+		if f.Name == "cross" && (len(f.Path) != 3 || len(f.BridgeDelaysMs) != 2) {
+			t.Errorf("cross flow path %v bridges %v", f.Path, f.BridgeDelaysMs)
+		}
+	}
+
+	resp2, b2 := post(t, ts.URL+"/v1/topology/analyze", string(body))
+	if got := resp2.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("repeat request X-Cache = %q", got)
+	}
+	if string(b1) != string(b2) {
+		t.Error("cached response not bit-identical")
+	}
+
+	if resp, b := post(t, ts.URL+"/v1/topology/analyze", `{"topology": "ring:name=r,proto=nope"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad spec: status %d: %s", resp.StatusCode, b)
+	}
+	if resp, _ := post(t, ts.URL+"/v1/topology/analyze", `{`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON: status %d", resp.StatusCode)
+	}
+	getResp, err := http.Get(ts.URL + "/v1/topology/analyze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET: status %d", getResp.StatusCode)
+	}
+}
+
+// TestTopologyUnstableBridgeStillMarshals pins the JSON contract for
+// infinite bounds: an overloaded bridge direction yields Stable=false and
+// Bounded=false with the infinite fields omitted, never a marshal error.
+func TestTopologyUnstableBridgeStillMarshals(t *testing.T) {
+	spec := "ring:name=a,proto=8025,bw=16e6 + ring:name=b,proto=8025,bw=16e6" +
+		" + bridge:a=a,b=b,rate=1e3" +
+		" + flow:name=f,src=a,dst=b,period=100ms,bits=4096"
+	resp, err := AnalyzeTopology(context.Background(), TopologyRequest{Topology: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Bounded || resp.Schedulable {
+		t.Errorf("overloaded bridge reported bounded/schedulable: %+v", resp)
+	}
+	var unstable *TopologyBridgeVerdict
+	for i := range resp.Bridges {
+		if !resp.Bridges[i].Stable {
+			unstable = &resp.Bridges[i]
+		}
+	}
+	if unstable == nil {
+		t.Fatal("no unstable bridge direction reported")
+	}
+	if unstable.DelayBoundMs != 0 || unstable.BurstBits != 0 {
+		t.Errorf("unstable direction carries bound fields: %+v", unstable)
+	}
+	b, err := Encode(resp)
+	if err != nil {
+		t.Fatalf("response with infinite analytical bounds failed to marshal: %v", err)
+	}
+	if strings.Contains(string(b), "Inf") {
+		t.Errorf("marshaled response leaks an infinity:\n%s", b)
+	}
+	for _, f := range resp.Flows {
+		if f.Bounded || f.BoundMs != 0 || f.RingDelaysMs != nil {
+			t.Errorf("unbounded flow carries bound fields: %+v", f)
+		}
+	}
+}

@@ -91,12 +91,22 @@ type PDPSim struct {
 // pdpRun is the mutable state of one simulation run.
 type pdpRun struct {
 	cfg      PDPSim
-	engine   sim.Engine
+	engine   *sim.Engine
 	stations []*stationState
 	tokenPos int
 	// idleSince is the time the medium went idle, or NaN while busy.
 	idleSince float64
 	horizon   float64
+
+	// idle reports that no service event chain is in flight; idleWake is
+	// the pending wake-up (nil when the next arrival lies past the
+	// horizon). inject cancels the wake-up to service a bridged hand-off
+	// immediately.
+	idle     bool
+	idleWake *sim.Event
+	// onDone, when non-nil, observes every completed message — the hook
+	// the topology simulator uses to hand messages to the next ring.
+	onDone func(station int, msg pendingMessage, at float64)
 
 	syncTime  float64
 	asyncTime float64
@@ -127,66 +137,69 @@ func runLoopOptions(maxEvents int, obs progress.Progress) sim.RunOptions {
 	return opts
 }
 
-// RunContext is Run with cancellation: the event loop polls ctx
-// periodically and aborts with ctx.Err() once it is canceled.
-func (c PDPSim) RunContext(ctx context.Context) (Result, error) {
+// validate checks the configuration and resolves the simulation horizon.
+func (c PDPSim) validate() (float64, error) {
 	if err := c.Net.Validate(); err != nil {
-		return Result{}, err
+		return 0, err
 	}
 	if err := c.Frame.Validate(); err != nil {
-		return Result{}, err
+		return 0, err
 	}
 	if c.Variant != core.Standard8025 && c.Variant != core.Modified8025 {
-		return Result{}, core.ErrBadVariant
+		return 0, core.ErrBadVariant
 	}
 	if err := c.Workload.Streams.Validate(); err != nil {
-		return Result{}, err
+		return 0, err
 	}
 	if err := c.Faults.Validate(); err != nil {
-		return Result{}, err
+		return 0, err
 	}
 	horizon := c.Horizon
 	if horizon == 0 {
 		horizon = horizonFor(c.Workload.Streams, 20)
 	}
 	if horizon <= 0 {
-		return Result{}, ErrBadHorizon
+		return 0, ErrBadHorizon
 	}
+	return horizon, nil
+}
 
-	r := &pdpRun{cfg: c, horizon: horizon, idleSince: 0}
+// newPDPRun builds the run state on the given engine — the run's own for a
+// standalone simulation, a shared one when composed into a topology.
+func newPDPRun(c PDPSim, engine *sim.Engine, horizon float64) *pdpRun {
+	r := &pdpRun{cfg: c, engine: engine, horizon: horizon, idleSince: 0}
 	r.inj = c.Faults.Injector(c.Net.Stations, c.Net.Theta(), horizon)
 	r.stations = make([]*stationState, len(c.Workload.Streams))
 	for i, s := range c.Workload.Streams {
 		r.stations[i] = &stationState{stream: s, nextArrival: c.Workload.Offsets[i]}
 	}
+	return r
+}
 
-	// Kick the service loop at the first arrival (or immediately when
-	// saturated asynchronous traffic keeps the medium busy from time 0).
+// start kicks the service loop at the first arrival (or immediately when
+// saturated asynchronous traffic keeps the medium busy from time 0).
+func (r *pdpRun) start() error {
 	start := 0.0
-	if !c.AsyncSaturated {
+	if !r.cfg.AsyncSaturated {
 		start = r.nextArrivalTime()
 	}
-	ctx, sp := trace.Start(ctx, "sim.pdp")
-	defer sp.End()
-	sp.SetAttr("variant", c.Variant.String())
-	sp.SetAttr("stations", c.Net.Stations)
-	sp.SetAttr("horizonSec", horizon)
-
-	if start <= horizon {
-		if _, err := r.engine.At(start, r.service); err != nil {
-			sp.SetError(err)
-			return Result{}, err
+	r.idle = true
+	if start <= r.horizon {
+		ev, err := r.engine.At(start, r.service)
+		if err != nil {
+			return err
 		}
+		r.idleWake = ev
 	}
-	if err := r.engine.RunUntilContext(ctx, horizon, runLoopOptions(c.MaxEvents, c.Progress)); err != nil {
-		sp.SetError(err)
-		return Result{}, err
-	}
+	return nil
+}
 
-	stationResults, misses := collectStations(r.stations, horizon)
+// collect summarizes the run after the event loop has drained.
+func (r *pdpRun) collect() Result {
+	stationResults, misses := collectStations(r.stations, r.horizon)
 	res := Result{
-		Protocol:        c.Variant.String(),
-		Horizon:         horizon,
+		Protocol:        r.cfg.Variant.String(),
+		Horizon:         r.horizon,
 		Stations:        stationResults,
 		DeadlineMisses:  misses,
 		SyncTime:        r.syncTime,
@@ -200,10 +213,62 @@ func (c PDPSim) RunContext(ctx context.Context) (Result, error) {
 		CorruptedFrames: r.corrupted,
 		Crashes:         r.inj.CrashCount(),
 	}
-	res.IdleTime = math.Max(0, horizon-res.SyncTime-res.AsyncTime-res.TokenTime-res.RecoveryTime)
-	sp.SetAttr("misses", misses)
+	res.IdleTime = math.Max(0, r.horizon-res.SyncTime-res.AsyncTime-res.TokenTime-res.RecoveryTime)
+	return res
+}
+
+// RunContext is Run with cancellation: the event loop polls ctx
+// periodically and aborts with ctx.Err() once it is canceled.
+func (c PDPSim) RunContext(ctx context.Context) (Result, error) {
+	horizon, err := c.validate()
+	if err != nil {
+		return Result{}, err
+	}
+	r := newPDPRun(c, &sim.Engine{}, horizon)
+
+	ctx, sp := trace.Start(ctx, "sim.pdp")
+	defer sp.End()
+	sp.SetAttr("variant", c.Variant.String())
+	sp.SetAttr("stations", c.Net.Stations)
+	sp.SetAttr("horizonSec", horizon)
+
+	if err := r.start(); err != nil {
+		sp.SetError(err)
+		return Result{}, err
+	}
+	if err := r.engine.RunUntilContext(ctx, horizon, runLoopOptions(c.MaxEvents, c.Progress)); err != nil {
+		sp.SetError(err)
+		return Result{}, err
+	}
+
+	res := r.collect()
+	sp.SetAttr("misses", res.DeadlineMisses)
 	sp.SetAttr("rotationMeanSec", res.RotationMean)
 	return res, nil
+}
+
+// inject delivers an externally arrived message — a bridged hand-off from
+// another ring — to station idx, waking the service loop when the medium
+// is idle. Local traffic never calls it, so single-ring runs are
+// untouched.
+func (r *pdpRun) inject(idx int, msg pendingMessage) {
+	r.stations[idx].push(msg)
+	emit(r.cfg.Tracer, TraceEvent{Time: msg.arrival, Kind: TraceArrival, Station: idx})
+	if r.idle {
+		r.engine.Cancel(r.idleWake)
+		r.idle, r.idleWake = false, nil
+		_, _ = r.engine.At(r.engine.Now(), r.service)
+	}
+}
+
+// setDone installs the completion hook (topology composition only).
+func (r *pdpRun) setDone(fn func(station int, msg pendingMessage, at float64)) {
+	r.onDone = fn
+}
+
+// setFlow tags station idx's messages with a topology flow index.
+func (r *pdpRun) setFlow(idx, flow int) {
+	r.stations[idx].flow = flow
 }
 
 // hopTime is the token's per-hop travel time: the full circulation time Θ
@@ -286,6 +351,7 @@ func (r *pdpRun) advanceIdleToken(now float64) {
 // medium, and reschedules itself at the completion instant.
 func (r *pdpRun) service() {
 	now := r.engine.Now()
+	r.idle, r.idleWake = false, nil
 	for i, st := range r.stations {
 		i := i
 		st.release(now, func(msg pendingMessage) {
@@ -317,10 +383,11 @@ func (r *pdpRun) service() {
 		if r.anyPending() {
 			next = math.Min(next, r.inj.NextRestart(now))
 		}
+		r.idle = true
 		if next <= r.horizon {
 			// The only failure mode of At is scheduling in the past,
 			// impossible for a future arrival.
-			_, _ = r.engine.At(next, r.service)
+			r.idleWake, _ = r.engine.At(next, r.service)
 		}
 		return
 	}
@@ -401,6 +468,9 @@ func (r *pdpRun) service() {
 			emit(r.cfg.Tracer, TraceEvent{
 				Time: r.engine.Now(), Kind: kind, Station: target, Detail: lateness,
 			})
+			if r.onDone != nil {
+				r.onDone(target, completed, r.engine.Now())
+			}
 		}
 		r.service()
 	})

@@ -12,18 +12,9 @@ import (
 	"ringsched/internal/ring"
 )
 
-// tinyPlant is a hand-checkable ring: Θ = 4 µs (4 token bits at 1 Mbps, no
-// propagation, no station latency), 4 stations, hop time 1 µs.
-func tinyPlant() ring.Config {
-	return ring.Config{
-		Stations:            4,
-		SpacingMeters:       0,
-		BandwidthBPS:        1e6,
-		BitDelayPerStation:  0,
-		TokenBits:           4,
-		PropagationFraction: 0.75,
-	}
-}
+// tinyPlant is the canonical hand-checkable ring (ring.Tiny) at 4 stations:
+// Θ = 4 µs, hop time 1 µs.
+func tinyPlant() ring.Config { return ring.Tiny(4) }
 
 // tinyFrame: 8 info bits + 2 overhead bits ⇒ F = 10 µs > Θ.
 func tinyFrame() frame.Spec { return frame.Spec{InfoBits: 8, OvhdBits: 2} }

@@ -1,0 +1,192 @@
+package tokensim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"ringsched/internal/core"
+	"ringsched/internal/ring"
+	"ringsched/internal/topology"
+)
+
+// simLineTopology is a bridged 3-ring line a—b—c mixing all three
+// protocols, mirroring the analysis-layer fixture.
+func simLineTopology() topology.Topology {
+	return topology.Topology{
+		Nodes: []topology.Node{
+			{Name: "a", Protocol: topology.Modified8025, Ring: ring.IEEE8025(16e6)},
+			{Name: "b", Protocol: topology.FDDI, Ring: ring.FDDI(100e6)},
+			{Name: "c", Protocol: topology.Standard8025, Ring: ring.IEEE8025(16e6)},
+		},
+		Bridges: []topology.Bridge{
+			{A: "a", B: "b", Latency: 100e-6},
+			{A: "b", B: "c", Latency: 100e-6},
+		},
+		Flows: []topology.Flow{
+			{Name: "cross", Src: "a", Dst: "c", Period: 100e-3, LengthBits: 4096},
+			{Name: "feed", Src: "b", Dst: "c", Period: 50e-3, LengthBits: 2048},
+			{Name: "local", Src: "b", Dst: "b", Period: 20e-3, LengthBits: 1024},
+		},
+	}
+}
+
+// TestTopologySimSingleRingBitIdentical pins the refactor's core promise:
+// a 1-node topology run is bit-identical to the standalone single-ring
+// simulator, for every protocol and both interference regimes.
+func TestTopologySimSingleRingBitIdentical(t *testing.T) {
+	flows := []topology.Flow{
+		{Name: "s1", Src: "r", Dst: "r", Period: 10e-3, LengthBits: 2048},
+		{Name: "s2", Src: "r", Dst: "r", Period: 25e-3, LengthBits: 4096},
+		{Name: "s3", Src: "r", Dst: "r", Period: 100e-3, LengthBits: 8192},
+	}
+	for _, proto := range topology.Protocols() {
+		for _, saturated := range []bool{false, true} {
+			topo := topology.Topology{
+				Nodes: []topology.Node{{Name: "r", Protocol: proto, Ring: proto.PlantPreset().New(16e6)}},
+				Flows: flows,
+			}
+			got, err := TopologySim{Topology: topo, AsyncSaturated: saturated}.Run()
+			if err != nil {
+				t.Fatalf("%s saturated=%v: %v", proto, saturated, err)
+			}
+
+			canon := topo.Canonicalize()
+			sets, _, err := core.RingSets(canon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want Result
+			switch a := core.AnalyzerForNode(canon.Nodes[0], len(sets[0])).(type) {
+			case core.PDP:
+				w, err := NewWorkload(sets[0], a.Net.Stations, PhasingSynchronized, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err = PDPSim{
+					Net: a.Net, Frame: a.Frame, Variant: a.Variant,
+					Workload: w, AsyncSaturated: saturated,
+				}.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+			case core.TTP:
+				w, err := NewWorkload(sets[0], a.Net.Stations, PhasingSynchronized, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				direct, err := NewTTPSimFromAnalysis(a, sets[0], w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				direct.AsyncSaturated = saturated
+				want, err = direct.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !reflect.DeepEqual(got.Rings[0].Result, want) {
+				t.Errorf("%s saturated=%v: topology ring result differs from standalone run:\n got  %+v\n want %+v",
+					proto, saturated, got.Rings[0].Result, want)
+			}
+			// The local flows' end-to-end stats coincide with the station
+			// stats of the single ring.
+			for i, f := range got.Flows {
+				st := want.Stations[i]
+				if f.Completed != st.Completed || f.Missed != st.Missed ||
+					f.MaxResponse != st.MaxResponse || f.MaxLateness != st.MaxLateness {
+					t.Errorf("%s saturated=%v: flow %q stats %+v differ from station %+v",
+						proto, saturated, f.Flow.Name, f, st)
+				}
+			}
+		}
+	}
+}
+
+func TestTopologySimBridgedLineMeetsBounds(t *testing.T) {
+	topo := simLineTopology()
+	rep, err := core.AnalyzeTopology(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Schedulable {
+		t.Fatal("fixture must be analytically schedulable")
+	}
+	res, err := TopologySim{Topology: topo, AsyncSaturated: true}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MissedAny() {
+		t.Fatalf("analysis-guaranteed topology missed deadlines: misses=%d drops=%d",
+			res.DeadlineMisses, res.Drops)
+	}
+	if len(res.Rings) != 3 || len(res.Flows) != 3 || len(res.Bridges) != 4 {
+		t.Fatalf("%d rings, %d flows, %d bridge directions", len(res.Rings), len(res.Flows), len(res.Bridges))
+	}
+	// Every flow delivers repeatedly and its observed worst response stays
+	// within the analytical end-to-end bound.
+	for i, f := range res.Flows {
+		if f.Completed < 10 {
+			t.Errorf("flow %q completed only %d messages", f.Flow.Name, f.Completed)
+		}
+		bound := rep.Flows[i].Bound
+		if f.MaxResponse > bound {
+			t.Errorf("flow %q max response %v exceeds analytical bound %v", f.Flow.Name, f.MaxResponse, bound)
+		}
+		if !reflect.DeepEqual(f.Path, rep.Flows[i].Path) {
+			t.Errorf("flow %q path %v differs from analysis %v", f.Flow.Name, f.Path, rep.Flows[i].Path)
+		}
+	}
+	// The cross flow really crossed both bridges: the a→b direction
+	// forwarded one message per period over the horizon.
+	var ab BridgeSimResult
+	for _, b := range res.Bridges {
+		if b.From == "a" && b.To == "b" {
+			ab = b
+		}
+	}
+	if ab.Forwarded == 0 || ab.Dropped != 0 {
+		t.Errorf("bridge a→b: %+v", ab)
+	}
+	if ab.MaxBacklogBits < 4096 {
+		t.Errorf("bridge a→b backlog high-water %v never held a full message", ab.MaxBacklogBits)
+	}
+}
+
+func TestTopologySimBufferDrops(t *testing.T) {
+	topo := simLineTopology()
+	topo.Bridges[0].BufferBits = 1 // cannot hold even one message
+	res, err := TopologySim{Topology: topo}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cross FlowSimResult
+	for _, f := range res.Flows {
+		if f.Flow.Name == "cross" {
+			cross = f
+		}
+	}
+	if cross.Dropped == 0 || cross.Completed != 0 {
+		t.Errorf("cross flow through a full bridge: %+v", cross)
+	}
+	if res.Drops != cross.Dropped {
+		t.Errorf("topology drops %d != cross drops %d", res.Drops, cross.Dropped)
+	}
+	// The other flows are unaffected.
+	for _, f := range res.Flows {
+		if f.Flow.Name != "cross" && (f.Missed > 0 || f.Dropped > 0 || f.Completed == 0) {
+			t.Errorf("flow %q collateral damage: %+v", f.Flow.Name, f)
+		}
+	}
+}
+
+func TestTopologySimValidates(t *testing.T) {
+	if _, err := (TopologySim{}).Run(); err == nil {
+		t.Error("empty topology accepted")
+	}
+	topo := simLineTopology()
+	topo.Flows[0].Period = math.NaN()
+	if _, err := (TopologySim{Topology: topo}).Run(); err == nil {
+		t.Error("NaN period accepted")
+	}
+}

@@ -108,9 +108,13 @@ type ttpStation struct {
 // ttpRun is the mutable state of one run.
 type ttpRun struct {
 	cfg      TTPSim
-	engine   sim.Engine
+	engine   *sim.Engine
 	stations []*ttpStation
 	horizon  float64
+
+	// onDone, when non-nil, observes every completed message — the hook
+	// the topology simulator uses to hand messages to the next ring.
+	onDone func(station int, msg pendingMessage, at float64)
 
 	syncTime  float64
 	asyncTime float64
@@ -130,40 +134,44 @@ func (c TTPSim) Run() (Result, error) {
 	return c.RunContext(context.Background())
 }
 
-// RunContext is Run with cancellation: the event loop polls ctx
-// periodically and aborts with ctx.Err() once it is canceled.
-func (c TTPSim) RunContext(ctx context.Context) (Result, error) {
+// validate checks the configuration and resolves the simulation horizon.
+func (c TTPSim) validate() (float64, error) {
 	if err := c.Net.Validate(); err != nil {
-		return Result{}, err
+		return 0, err
 	}
 	if err := c.SyncFrame.Validate(); err != nil {
-		return Result{}, err
+		return 0, err
 	}
 	if err := c.AsyncFrame.Validate(); err != nil {
-		return Result{}, err
+		return 0, err
 	}
 	if err := c.Workload.Streams.Validate(); err != nil {
-		return Result{}, err
+		return 0, err
 	}
 	if c.TTRT <= 0 || math.IsNaN(c.TTRT) {
-		return Result{}, ErrBadTTRT
+		return 0, ErrBadTTRT
 	}
 	if len(c.Allocations) != len(c.Workload.Streams) {
-		return Result{}, fmt.Errorf("%w: %d allocations for %d streams",
+		return 0, fmt.Errorf("%w: %d allocations for %d streams",
 			ErrBadAllocations, len(c.Allocations), len(c.Workload.Streams))
 	}
 	if err := c.Faults.Validate(); err != nil {
-		return Result{}, err
+		return 0, err
 	}
 	horizon := c.Horizon
 	if horizon == 0 {
 		horizon = horizonFor(c.Workload.Streams, 20)
 	}
 	if horizon <= 0 {
-		return Result{}, ErrBadHorizon
+		return 0, ErrBadHorizon
 	}
+	return horizon, nil
+}
 
-	r := &ttpRun{cfg: c, horizon: horizon}
+// newTTPRun builds the run state on the given engine — the run's own for a
+// standalone simulation, a shared one when composed into a topology.
+func newTTPRun(c TTPSim, engine *sim.Engine, horizon float64) *ttpRun {
+	r := &ttpRun{cfg: c, engine: engine, horizon: horizon}
 	r.inj = c.Faults.Injector(c.Net.Stations, c.Net.Theta(), horizon)
 	r.stations = make([]*ttpStation, c.Net.Stations)
 	for i := range r.stations {
@@ -173,31 +181,25 @@ func (c TTPSim) RunContext(ctx context.Context) (Result, error) {
 		r.stations[i].sync = &stationState{stream: s, nextArrival: c.Workload.Offsets[i]}
 		r.stations[i].allocation = c.Allocations[i]
 	}
+	return r
+}
 
-	ctx, sp := trace.Start(ctx, "sim.ttp")
-	defer sp.End()
-	sp.SetAttr("stations", c.Net.Stations)
-	sp.SetAttr("ttrtSec", c.TTRT)
-	sp.SetAttr("horizonSec", horizon)
+// start releases the token at station 0 at time 0 with all timers fresh.
+func (r *ttpRun) start() error {
+	_, err := r.engine.At(0, func() { r.tokenArrive(0) })
+	return err
+}
 
-	// The token starts at station 0 at time 0 with all timers fresh.
-	if _, err := r.engine.At(0, func() { r.tokenArrive(0) }); err != nil {
-		sp.SetError(err)
-		return Result{}, err
-	}
-	if err := r.engine.RunUntilContext(ctx, horizon, runLoopOptions(c.MaxEvents, c.Progress)); err != nil {
-		sp.SetError(err)
-		return Result{}, err
-	}
-
-	syncStates := make([]*stationState, len(c.Workload.Streams))
-	for i := range c.Workload.Streams {
+// collect summarizes the run after the event loop has drained.
+func (r *ttpRun) collect() Result {
+	syncStates := make([]*stationState, len(r.cfg.Workload.Streams))
+	for i := range r.cfg.Workload.Streams {
 		syncStates[i] = r.stations[i].sync
 	}
-	stationResults, misses := collectStations(syncStates, horizon)
+	stationResults, misses := collectStations(syncStates, r.horizon)
 	res := Result{
 		Protocol:        "FDDI",
-		Horizon:         horizon,
+		Horizon:         r.horizon,
 		Stations:        stationResults,
 		DeadlineMisses:  misses,
 		SyncTime:        r.syncTime,
@@ -211,10 +213,56 @@ func (c TTPSim) RunContext(ctx context.Context) (Result, error) {
 		CorruptedFrames: r.corrupted,
 		Crashes:         r.inj.CrashCount(),
 	}
-	res.IdleTime = math.Max(0, horizon-res.SyncTime-res.AsyncTime-res.TokenTime-res.RecoveryTime)
-	sp.SetAttr("misses", misses)
+	res.IdleTime = math.Max(0, r.horizon-res.SyncTime-res.AsyncTime-res.TokenTime-res.RecoveryTime)
+	return res
+}
+
+// RunContext is Run with cancellation: the event loop polls ctx
+// periodically and aborts with ctx.Err() once it is canceled.
+func (c TTPSim) RunContext(ctx context.Context) (Result, error) {
+	horizon, err := c.validate()
+	if err != nil {
+		return Result{}, err
+	}
+	r := newTTPRun(c, &sim.Engine{}, horizon)
+
+	ctx, sp := trace.Start(ctx, "sim.ttp")
+	defer sp.End()
+	sp.SetAttr("stations", c.Net.Stations)
+	sp.SetAttr("ttrtSec", c.TTRT)
+	sp.SetAttr("horizonSec", horizon)
+
+	if err := r.start(); err != nil {
+		sp.SetError(err)
+		return Result{}, err
+	}
+	if err := r.engine.RunUntilContext(ctx, horizon, runLoopOptions(c.MaxEvents, c.Progress)); err != nil {
+		sp.SetError(err)
+		return Result{}, err
+	}
+
+	res := r.collect()
+	sp.SetAttr("misses", res.DeadlineMisses)
 	sp.SetAttr("rotationMeanSec", res.RotationMean)
 	return res, nil
+}
+
+// inject delivers an externally arrived message — a bridged hand-off from
+// another ring — to station idx's synchronous queue. The circulating token
+// picks it up on its next visit; no kick is needed.
+func (r *ttpRun) inject(idx int, msg pendingMessage) {
+	r.stations[idx].sync.push(msg)
+	emit(r.cfg.Tracer, TraceEvent{Time: msg.arrival, Kind: TraceArrival, Station: idx})
+}
+
+// setDone installs the completion hook (topology composition only).
+func (r *ttpRun) setDone(fn func(station int, msg pendingMessage, at float64)) {
+	r.onDone = fn
+}
+
+// setFlow tags station idx's messages with a topology flow index.
+func (r *ttpRun) setFlow(idx, flow int) {
+	r.stations[idx].sync.flow = flow
 }
 
 // hopTime spreads the token circulation time Θ uniformly over the hops.
@@ -384,6 +432,9 @@ func (r *ttpRun) transmitSync(st *ttpStation, idx int, now float64) float64 {
 			emit(r.cfg.Tracer, TraceEvent{
 				Time: now + used, Kind: kind, Station: idx, Detail: lateness,
 			})
+			if r.onDone != nil {
+				r.onDone(idx, completed, now+used)
+			}
 		}
 	}
 	r.syncTime += used

@@ -13,17 +13,8 @@ import (
 	"ringsched/internal/ring"
 )
 
-// ttpTinyPlant: 2 stations, Θ = 4 µs (4 token bits at 1 Mbps), hop 2 µs.
-func ttpTinyPlant() ring.Config {
-	return ring.Config{
-		Stations:            2,
-		SpacingMeters:       0,
-		BandwidthBPS:        1e6,
-		BitDelayPerStation:  0,
-		TokenBits:           4,
-		PropagationFraction: 0.75,
-	}
-}
+// ttpTinyPlant: the canonical tiny plant at 2 stations, Θ = 4 µs, hop 2 µs.
+func ttpTinyPlant() ring.Config { return ring.Tiny(2) }
 
 func ttpTinySim(bits float64, alloc float64) TTPSim {
 	w, err := NewWorkload(message.Set{{Name: "s", Period: 1, LengthBits: bits}},

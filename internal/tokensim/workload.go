@@ -70,17 +70,25 @@ func NewWorkload(m message.Set, stations int, phasing Phasing, rng *rand.Rand) (
 	return w, nil
 }
 
-// pendingMessage is one queued synchronous message instance.
+// pendingMessage is one queued synchronous message instance. flow and
+// source carry its topology provenance — the flow index it belongs to and
+// its arrival time at the source ring — so a bridged hand-off keeps its
+// end-to-end deadline; standalone runs leave them at their zero values.
 type pendingMessage struct {
 	arrival       float64
 	deadline      float64
 	remainingBits float64
+	flow          int
+	source        float64
 }
 
 // stationState tracks one station's synchronous queue and statistics.
 type stationState struct {
 	stream message.Stream
-	queue  []pendingMessage
+	// flow is the topology flow index of locally released messages (zero
+	// outside topology composition).
+	flow  int
+	queue []pendingMessage
 	// nextArrival is the release time of the next message instance.
 	nextArrival float64
 	// completed/missed count finished messages by deadline outcome;
@@ -104,15 +112,22 @@ func (s *stationState) release(now float64, onRelease func(pendingMessage)) {
 			arrival:       s.nextArrival,
 			deadline:      s.nextArrival + s.stream.Period,
 			remainingBits: s.stream.LengthBits,
+			flow:          s.flow,
+			source:        s.nextArrival,
 		}
-		s.queue = append(s.queue, msg)
-		if len(s.queue) > s.maxQueue {
-			s.maxQueue = len(s.queue)
-		}
+		s.push(msg)
 		s.nextArrival += s.stream.Period
 		if onRelease != nil {
 			onRelease(msg)
 		}
+	}
+}
+
+// push enqueues one message and tracks the backlog high-water mark.
+func (s *stationState) push(msg pendingMessage) {
+	s.queue = append(s.queue, msg)
+	if len(s.queue) > s.maxQueue {
+		s.maxQueue = len(s.queue)
 	}
 }
 

@@ -12,14 +12,9 @@ import (
 )
 
 func testPlant(stations int) ring.Config {
-	return ring.Config{
-		Stations:            stations,
-		SpacingMeters:       0,
-		BandwidthBPS:        1e6,
-		BitDelayPerStation:  1,
-		TokenBits:           4,
-		PropagationFraction: 0.75,
-	}
+	cfg := ring.Tiny(stations)
+	cfg.BitDelayPerStation = 1 // non-zero station latency so hops cost wire time
+	return cfg
 }
 
 func testFrame() frame.Spec { return frame.Spec{InfoBits: 8, OvhdBits: 2} }

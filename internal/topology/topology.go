@@ -1,0 +1,493 @@
+// Package topology models a bridged ring-of-rings network: a validated
+// graph of ring.Config plants joined by store-and-forward bridges, plus the
+// periodic flows routed across it.
+//
+// Kamat & Zhao's schedulability analysis is inherently single-ring; real
+// token-ring deployments were bridged multi-ring networks. This package
+// supplies the shared topology substrate that internal/core composes into
+// end-to-end delay bounds (network calculus over the bridges, exact
+// per-ring verdicts inside each ring) and internal/tokensim composes into
+// a multi-ring discrete-event simulation. A single-ring system is the
+// 1-node special case of the graph, not a separate code path.
+//
+// All times are in seconds, rates in bits per second, sizes in bits.
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"ringsched/internal/ring"
+)
+
+// Validation errors. All are wrapped by fmt.Errorf with detail and match
+// with errors.Is.
+var (
+	ErrBadTopology  = errors.New("topology: invalid topology")
+	ErrBadName      = errors.New("topology: bad name")
+	ErrUnknownRing  = errors.New("topology: unknown ring")
+	ErrDisconnected = errors.New("topology: disconnected topology")
+	ErrBadProtocol  = errors.New("topology: unknown protocol")
+)
+
+// Protocol selects the MAC protocol a ring runs. The values match the
+// -protocol spellings of the ringsim CLI.
+type Protocol string
+
+const (
+	// Standard8025 is the priority driven protocol with a free token
+	// issued after every frame (Theorem 4.1, standard variant).
+	Standard8025 Protocol = "8025"
+	// Modified8025 is the priority driven protocol where the holder keeps
+	// the token across queued frames (Theorem 4.1, modified variant).
+	Modified8025 Protocol = "8025mod"
+	// FDDI is the timed token protocol (Theorem 5.1).
+	FDDI Protocol = "fddi"
+)
+
+// Protocols lists the valid protocol values.
+func Protocols() []Protocol { return []Protocol{Standard8025, Modified8025, FDDI} }
+
+// Valid reports whether p is a known protocol.
+func (p Protocol) Valid() bool {
+	switch p {
+	case Standard8025, Modified8025, FDDI:
+		return true
+	}
+	return false
+}
+
+// PlantPreset returns the canonical plant preset for the protocol's
+// hardware: IEEE 802.5 stations for the priority driven variants, FDDI
+// stations for the timed token protocol.
+func (p Protocol) PlantPreset() ring.Preset {
+	name := "ieee8025"
+	if p == FDDI {
+		name = "fddi"
+	}
+	preset, err := ring.PresetByName(name)
+	if err != nil {
+		panic(err) // the table always carries both paper presets
+	}
+	return preset
+}
+
+// Node is one ring of the topology.
+type Node struct {
+	// Name identifies the ring in bridges, flows and reports.
+	Name string
+	// Protocol is the MAC protocol the ring runs.
+	Protocol Protocol
+	// Ring is the physical plant.
+	Ring ring.Config
+}
+
+// Bridge is a store-and-forward link joining two rings. A bridge serves
+// both directions independently: each direction is a FIFO queue drained at
+// the forwarding rate, plus a fixed forwarding latency per frame.
+type Bridge struct {
+	// A and B name the joined rings. Canonical form has A < B; the bridge
+	// itself is undirected (analyzed and simulated per direction).
+	A, B string
+	// Latency is the fixed forwarding (relay processing) delay in seconds.
+	Latency float64
+	// RateBPS is the forwarding rate of each direction. Zero means the
+	// bridge forwards at the slower of the two ring bandwidths.
+	RateBPS float64
+	// BufferBits bounds the queued bits per direction. Zero means
+	// unlimited buffering.
+	BufferBits float64
+}
+
+// Endpoints returns the bridge's ring names in normalized order.
+func (b Bridge) Endpoints() (string, string) {
+	if b.B < b.A {
+		return b.B, b.A
+	}
+	return b.A, b.B
+}
+
+// Flow is a periodic synchronous message stream injected at its source
+// ring and delivered, across zero or more bridges, on its destination ring.
+// Its relative deadline is its period, end to end.
+type Flow struct {
+	// Name identifies the flow in reports. Canonicalize assigns f1, f2, …
+	// to unnamed flows.
+	Name string
+	// Src and Dst name the source and destination rings. A local flow has
+	// Src == Dst.
+	Src, Dst string
+	// Period is the message period in seconds.
+	Period float64
+	// LengthBits is the message length per period.
+	LengthBits float64
+}
+
+// RateBPS is the flow's long-run arrival rate ρ = LengthBits/Period.
+func (f Flow) RateBPS() float64 { return f.LengthBits / f.Period }
+
+// Local reports whether the flow stays on one ring.
+func (f Flow) Local() bool { return f.Src == f.Dst }
+
+// Topology is a bridged ring-of-rings network. The zero value is not
+// usable; build one with Parse or fill the fields and call Canonicalize
+// then Validate.
+type Topology struct {
+	Nodes   []Node
+	Bridges []Bridge
+	Flows   []Flow
+}
+
+// SingleRing reports whether the topology is the 1-node special case.
+func (t Topology) SingleRing() bool { return len(t.Nodes) == 1 }
+
+// NodeIndex returns the index of the named ring, or -1.
+func (t Topology) NodeIndex(name string) int {
+	for i, n := range t.Nodes {
+		if n.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// BridgeIndex returns the index of the bridge joining a and b (in either
+// orientation), or -1.
+func (t Topology) BridgeIndex(a, b string) int {
+	for i, br := range t.Bridges {
+		if (br.A == a && br.B == b) || (br.A == b && br.B == a) {
+			return i
+		}
+	}
+	return -1
+}
+
+// BridgeRate resolves the forwarding rate of bridge i: its configured rate,
+// or the slower of the two ring bandwidths when unset.
+func (t Topology) BridgeRate(i int) float64 {
+	br := t.Bridges[i]
+	if br.RateBPS > 0 {
+		return br.RateBPS
+	}
+	ra := t.Nodes[t.NodeIndex(br.A)].Ring.BandwidthBPS
+	rb := t.Nodes[t.NodeIndex(br.B)].Ring.BandwidthBPS
+	return math.Min(ra, rb)
+}
+
+// ScaleFlows returns a copy with every flow's payload scaled by factor.
+// Breakdown sweeps use this the way message.Set.Scale is used on one ring.
+func (t Topology) ScaleFlows(factor float64) Topology {
+	t = t.clone()
+	for i := range t.Flows {
+		t.Flows[i].LengthBits *= factor
+	}
+	return t
+}
+
+func (t Topology) clone() Topology {
+	return Topology{
+		Nodes:   append([]Node(nil), t.Nodes...),
+		Bridges: append([]Bridge(nil), t.Bridges...),
+		Flows:   append([]Flow(nil), t.Flows...),
+	}
+}
+
+// posZero maps negative zero to positive zero so canonical topologies
+// compare equal bit for bit after a spec round trip.
+func posZero(v float64) float64 {
+	if v == 0 {
+		return 0
+	}
+	return v
+}
+
+// Canonicalize returns the canonical form of the topology: rings sorted by
+// name, bridges normalized (A < B) and sorted, unnamed flows assigned f1,
+// f2, … in input order, flows sorted by (src, dst, period, bits, name),
+// and every negative zero normalized. Canonicalize is idempotent and does
+// not modify the receiver. Parse canonicalizes; hand-built topologies
+// should canonicalize before Validate.
+func (t Topology) Canonicalize() Topology {
+	t = t.clone()
+	for i := range t.Nodes {
+		r := &t.Nodes[i].Ring
+		r.SpacingMeters = posZero(r.SpacingMeters)
+		r.BandwidthBPS = posZero(r.BandwidthBPS)
+		r.BitDelayPerStation = posZero(r.BitDelayPerStation)
+		r.TokenBits = posZero(r.TokenBits)
+		r.PropagationFraction = posZero(r.PropagationFraction)
+	}
+	sort.SliceStable(t.Nodes, func(i, j int) bool { return t.Nodes[i].Name < t.Nodes[j].Name })
+
+	for i := range t.Bridges {
+		b := &t.Bridges[i]
+		b.A, b.B = b.Endpoints()
+		b.Latency = posZero(b.Latency)
+		b.RateBPS = posZero(b.RateBPS)
+		b.BufferBits = posZero(b.BufferBits)
+	}
+	sort.SliceStable(t.Bridges, func(i, j int) bool {
+		if t.Bridges[i].A != t.Bridges[j].A {
+			return t.Bridges[i].A < t.Bridges[j].A
+		}
+		return t.Bridges[i].B < t.Bridges[j].B
+	})
+
+	used := make(map[string]bool, len(t.Flows))
+	for _, f := range t.Flows {
+		used[f.Name] = true
+	}
+	next := 1
+	for i := range t.Flows {
+		if t.Flows[i].Name != "" {
+			continue
+		}
+		for used[fmt.Sprintf("f%d", next)] {
+			next++
+		}
+		t.Flows[i].Name = fmt.Sprintf("f%d", next)
+		used[t.Flows[i].Name] = true
+	}
+	for i := range t.Flows {
+		t.Flows[i].Period = posZero(t.Flows[i].Period)
+		t.Flows[i].LengthBits = posZero(t.Flows[i].LengthBits)
+	}
+	sort.SliceStable(t.Flows, func(i, j int) bool {
+		a, b := t.Flows[i], t.Flows[j]
+		switch {
+		case a.Src != b.Src:
+			return a.Src < b.Src
+		case a.Dst != b.Dst:
+			return a.Dst < b.Dst
+		case a.Period != b.Period:
+			return a.Period < b.Period
+		case a.LengthBits != b.LengthBits:
+			return a.LengthBits < b.LengthBits
+		}
+		return a.Name < b.Name
+	})
+	return t
+}
+
+// validName reports whether a ring or flow name is usable inside the spec
+// grammar (no separators, no whitespace).
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '_', r == '-', r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// MaxStations bounds the per-ring station count accepted by Validate, so a
+// hostile spec cannot demand absurd simulation state.
+const MaxStations = 1 << 20
+
+// Validate reports the first structural violation, or nil. It checks ring
+// plants, name uniqueness, bridge endpoints, graph connectivity, and flow
+// parameters. Flows must be named (Canonicalize names them).
+func (t Topology) Validate() error {
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("%w: no rings", ErrBadTopology)
+	}
+	names := make(map[string]bool, len(t.Nodes))
+	for _, n := range t.Nodes {
+		if !validName(n.Name) {
+			return fmt.Errorf("%w: ring name %q (want [A-Za-z0-9_.-]+)", ErrBadName, n.Name)
+		}
+		if names[n.Name] {
+			return fmt.Errorf("%w: duplicate ring %q", ErrBadTopology, n.Name)
+		}
+		names[n.Name] = true
+		if !n.Protocol.Valid() {
+			return fmt.Errorf("%w: ring %q protocol %q (valid: 8025, 8025mod, fddi)",
+				ErrBadProtocol, n.Name, string(n.Protocol))
+		}
+		r := n.Ring
+		if !finite(r.SpacingMeters) || !finite(r.BandwidthBPS) || !finite(r.BitDelayPerStation) ||
+			!finite(r.TokenBits) || !finite(r.PropagationFraction) {
+			return fmt.Errorf("%w: ring %q has a non-finite plant parameter", ErrBadTopology, n.Name)
+		}
+		if r.Stations > MaxStations {
+			return fmt.Errorf("%w: ring %q has %d stations (max %d)",
+				ErrBadTopology, n.Name, r.Stations, MaxStations)
+		}
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("ring %q: %w", n.Name, err)
+		}
+	}
+	seen := make(map[[2]string]bool, len(t.Bridges))
+	for _, b := range t.Bridges {
+		a, bb := b.Endpoints()
+		if !names[a] {
+			return fmt.Errorf("%w: bridge endpoint %q", ErrUnknownRing, a)
+		}
+		if !names[bb] {
+			return fmt.Errorf("%w: bridge endpoint %q", ErrUnknownRing, bb)
+		}
+		if a == bb {
+			return fmt.Errorf("%w: bridge joins ring %q to itself", ErrBadTopology, a)
+		}
+		if seen[[2]string{a, bb}] {
+			return fmt.Errorf("%w: duplicate bridge %s-%s", ErrBadTopology, a, bb)
+		}
+		seen[[2]string{a, bb}] = true
+		if !finite(b.Latency) || b.Latency < 0 {
+			return fmt.Errorf("%w: bridge %s-%s latency %g", ErrBadTopology, a, bb, b.Latency)
+		}
+		if !finite(b.RateBPS) || b.RateBPS < 0 {
+			return fmt.Errorf("%w: bridge %s-%s rate %g", ErrBadTopology, a, bb, b.RateBPS)
+		}
+		if !finite(b.BufferBits) || b.BufferBits < 0 {
+			return fmt.Errorf("%w: bridge %s-%s buffer %g", ErrBadTopology, a, bb, b.BufferBits)
+		}
+	}
+	if err := t.checkConnected(); err != nil {
+		return err
+	}
+	flowNames := make(map[string]bool, len(t.Flows))
+	for _, f := range t.Flows {
+		if !validName(f.Name) {
+			return fmt.Errorf("%w: flow name %q (want [A-Za-z0-9_.-]+)", ErrBadName, f.Name)
+		}
+		if flowNames[f.Name] {
+			return fmt.Errorf("%w: duplicate flow %q", ErrBadTopology, f.Name)
+		}
+		flowNames[f.Name] = true
+		if !names[f.Src] {
+			return fmt.Errorf("%w: flow %q source %q", ErrUnknownRing, f.Name, f.Src)
+		}
+		if !names[f.Dst] {
+			return fmt.Errorf("%w: flow %q destination %q", ErrUnknownRing, f.Name, f.Dst)
+		}
+		if !finite(f.Period) || f.Period <= 0 {
+			return fmt.Errorf("%w: flow %q period %g", ErrBadTopology, f.Name, f.Period)
+		}
+		if !finite(f.LengthBits) || f.LengthBits <= 0 {
+			return fmt.Errorf("%w: flow %q length %g bits", ErrBadTopology, f.Name, f.LengthBits)
+		}
+	}
+	return nil
+}
+
+func (t Topology) checkConnected() error {
+	if len(t.Nodes) <= 1 {
+		return nil
+	}
+	adj := t.adjacency()
+	visited := make([]bool, len(t.Nodes))
+	queue := []int{0}
+	visited[0] = true
+	reached := 1
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		for _, j := range adj[i] {
+			if !visited[j] {
+				visited[j] = true
+				reached++
+				queue = append(queue, j)
+			}
+		}
+	}
+	if reached != len(t.Nodes) {
+		var missing []string
+		for i, ok := range visited {
+			if !ok {
+				missing = append(missing, t.Nodes[i].Name)
+			}
+		}
+		return fmt.Errorf("%w: no bridge path to %s", ErrDisconnected, strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+// adjacency builds sorted neighbor lists, so traversal order is a function
+// of the canonical node order alone.
+func (t Topology) adjacency() [][]int {
+	adj := make([][]int, len(t.Nodes))
+	for _, b := range t.Bridges {
+		ia, ib := t.NodeIndex(b.A), t.NodeIndex(b.B)
+		if ia < 0 || ib < 0 {
+			continue
+		}
+		adj[ia] = append(adj[ia], ib)
+		adj[ib] = append(adj[ib], ia)
+	}
+	for i := range adj {
+		sort.Ints(adj[i])
+	}
+	return adj
+}
+
+// Route returns the ring-index path from src to dst, inclusive, following
+// the fewest bridges. Ties break toward lower canonical ring indices, so
+// routing is deterministic. The path of a local flow is the single source
+// ring.
+func (t Topology) Route(src, dst string) ([]int, error) {
+	is, id := t.NodeIndex(src), t.NodeIndex(dst)
+	if is < 0 {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownRing, src)
+	}
+	if id < 0 {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownRing, dst)
+	}
+	if is == id {
+		return []int{is}, nil
+	}
+	adj := t.adjacency()
+	parent := make([]int, len(t.Nodes))
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[is] = is
+	queue := []int{is}
+	for len(queue) > 0 && parent[id] < 0 {
+		i := queue[0]
+		queue = queue[1:]
+		for _, j := range adj[i] {
+			if parent[j] < 0 {
+				parent[j] = i
+				queue = append(queue, j)
+			}
+		}
+	}
+	if parent[id] < 0 {
+		return nil, fmt.Errorf("%w: no bridge path %s → %s", ErrDisconnected, src, dst)
+	}
+	var rev []int
+	for i := id; i != is; i = parent[i] {
+		rev = append(rev, i)
+	}
+	rev = append(rev, is)
+	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+		rev[l], rev[r] = rev[r], rev[l]
+	}
+	return rev, nil
+}
+
+// Routes resolves every flow's path. The i-th entry is the ring-index path
+// of t.Flows[i].
+func (t Topology) Routes() ([][]int, error) {
+	paths := make([][]int, len(t.Flows))
+	for i, f := range t.Flows {
+		p, err := t.Route(f.Src, f.Dst)
+		if err != nil {
+			return nil, fmt.Errorf("flow %q: %w", f.Name, err)
+		}
+		paths[i] = p
+	}
+	return paths, nil
+}

@@ -1,0 +1,183 @@
+package topology
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"ringsched/internal/ring"
+)
+
+func threeRings() Topology {
+	return Topology{
+		Nodes: []Node{
+			{Name: "a", Protocol: Modified8025, Ring: ring.IEEE8025(4e6)},
+			{Name: "b", Protocol: FDDI, Ring: ring.FDDI(100e6)},
+			{Name: "c", Protocol: Standard8025, Ring: ring.IEEE8025(16e6)},
+		},
+		Bridges: []Bridge{
+			{A: "a", B: "b", Latency: 1e-3},
+			{A: "b", B: "c", Latency: 2e-3},
+		},
+		Flows: []Flow{
+			{Name: "cross", Src: "a", Dst: "c", Period: 100e-3, LengthBits: 4096},
+			{Name: "local", Src: "b", Dst: "b", Period: 10e-3, LengthBits: 1024},
+		},
+	}
+}
+
+func TestValidateAcceptsLine(t *testing.T) {
+	if err := threeRings().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Topology)
+		want error
+	}{
+		{"no rings", func(t *Topology) { t.Nodes = nil }, ErrBadTopology},
+		{"bad name", func(t *Topology) { t.Nodes[0].Name = "a b" }, ErrBadName},
+		{"dup ring", func(t *Topology) { t.Nodes[1].Name = "a" }, ErrBadTopology},
+		{"bad protocol", func(t *Topology) { t.Nodes[0].Protocol = "token-bus" }, ErrBadProtocol},
+		{"bad plant", func(t *Topology) { t.Nodes[0].Ring.BandwidthBPS = 0 }, ring.ErrNoBandwidth},
+		{"nan plant", func(t *Topology) { t.Nodes[0].Ring.TokenBits = math.NaN() }, ErrBadTopology},
+		{"too many stations", func(t *Topology) { t.Nodes[0].Ring.Stations = MaxStations + 1 }, ErrBadTopology},
+		{"unknown endpoint", func(t *Topology) { t.Bridges[0].B = "zz" }, ErrUnknownRing},
+		{"self bridge", func(t *Topology) { t.Bridges[0].B = "a" }, ErrBadTopology},
+		{"dup bridge", func(t *Topology) { t.Bridges[1] = Bridge{A: "b", B: "a"} }, ErrBadTopology},
+		{"negative latency", func(t *Topology) { t.Bridges[0].Latency = -1 }, ErrBadTopology},
+		{"disconnected", func(t *Topology) { t.Bridges = t.Bridges[:1] }, ErrDisconnected},
+		{"unnamed flow", func(t *Topology) { t.Flows[0].Name = "" }, ErrBadName},
+		{"dup flow", func(t *Topology) { t.Flows[1].Name = "cross" }, ErrBadTopology},
+		{"unknown src", func(t *Topology) { t.Flows[0].Src = "zz" }, ErrUnknownRing},
+		{"bad period", func(t *Topology) { t.Flows[0].Period = 0 }, ErrBadTopology},
+		{"inf bits", func(t *Topology) { t.Flows[0].LengthBits = math.Inf(1) }, ErrBadTopology},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			topo := threeRings()
+			tc.mut(&topo)
+			if err := topo.Validate(); !errors.Is(err, tc.want) {
+				t.Errorf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCanonicalizeSortsAndNames(t *testing.T) {
+	topo := Topology{
+		Nodes: []Node{
+			{Name: "z", Protocol: FDDI, Ring: ring.FDDI(100e6)},
+			{Name: "a", Protocol: FDDI, Ring: ring.FDDI(100e6)},
+		},
+		Bridges: []Bridge{{A: "z", B: "a", Latency: 1e-3}},
+		Flows: []Flow{
+			{Src: "z", Dst: "a", Period: 1, LengthBits: 8},
+			{Name: "f1", Src: "a", Dst: "a", Period: 1, LengthBits: 8},
+		},
+	}
+	c := topo.Canonicalize()
+	if c.Nodes[0].Name != "a" || c.Nodes[1].Name != "z" {
+		t.Errorf("rings not sorted: %v, %v", c.Nodes[0].Name, c.Nodes[1].Name)
+	}
+	if c.Bridges[0].A != "a" || c.Bridges[0].B != "z" {
+		t.Errorf("bridge not normalized: %+v", c.Bridges[0])
+	}
+	// The unnamed flow takes the first free auto name, f2.
+	if c.Flows[1].Name != "f2" || c.Flows[1].Src != "z" {
+		t.Errorf("flows = %+v", c.Flows)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if again := c.Canonicalize(); !reflect.DeepEqual(again, c) {
+		t.Error("Canonicalize is not idempotent")
+	}
+	// The receiver is not modified.
+	if topo.Nodes[0].Name != "z" {
+		t.Error("Canonicalize modified its receiver")
+	}
+}
+
+func TestRouteShortestDeterministic(t *testing.T) {
+	topo := threeRings().Canonicalize()
+	path, err := topo.Route("a", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{topo.NodeIndex("a"), topo.NodeIndex("b"), topo.NodeIndex("c")}
+	if !reflect.DeepEqual(path, want) {
+		t.Errorf("path = %v, want %v", path, want)
+	}
+	local, err := topo.Route("b", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(local) != 1 || local[0] != topo.NodeIndex("b") {
+		t.Errorf("local path = %v", local)
+	}
+}
+
+func TestRoutePrefersFewestBridges(t *testing.T) {
+	// Square a-b-c-d with a diagonal a-c: route a→c must take the diagonal.
+	topo := Topology{
+		Nodes: []Node{
+			{Name: "a", Protocol: FDDI, Ring: ring.FDDI(100e6)},
+			{Name: "b", Protocol: FDDI, Ring: ring.FDDI(100e6)},
+			{Name: "c", Protocol: FDDI, Ring: ring.FDDI(100e6)},
+			{Name: "d", Protocol: FDDI, Ring: ring.FDDI(100e6)},
+		},
+		Bridges: []Bridge{
+			{A: "a", B: "b"}, {A: "b", B: "c"}, {A: "c", B: "d"}, {A: "a", B: "d"}, {A: "a", B: "c"},
+		},
+	}.Canonicalize()
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	path, err := topo.Route("a", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 2 {
+		t.Errorf("path = %v, want the 1-bridge diagonal", path)
+	}
+}
+
+func TestBridgeRateDefaultsToSlowerRing(t *testing.T) {
+	topo := threeRings().Canonicalize()
+	i := topo.BridgeIndex("a", "b")
+	if i < 0 {
+		t.Fatal("bridge a-b missing")
+	}
+	if got := topo.BridgeRate(i); got != 4e6 {
+		t.Errorf("rate = %g, want the slower ring's 4e6", got)
+	}
+	topo.Bridges[i].RateBPS = 1e6
+	if got := topo.BridgeRate(i); got != 1e6 {
+		t.Errorf("explicit rate = %g, want 1e6", got)
+	}
+}
+
+func TestScaleFlows(t *testing.T) {
+	topo := threeRings()
+	scaled := topo.ScaleFlows(2)
+	if scaled.Flows[0].LengthBits != 2*topo.Flows[0].LengthBits {
+		t.Errorf("scaled bits = %g", scaled.Flows[0].LengthBits)
+	}
+	if topo.Flows[0].LengthBits != 4096 {
+		t.Error("ScaleFlows modified its receiver")
+	}
+}
+
+func TestProtocolPlantPreset(t *testing.T) {
+	if got := Modified8025.PlantPreset().Name; got != "ieee8025" {
+		t.Errorf("802.5 preset = %q", got)
+	}
+	if got := FDDI.PlantPreset().Name; got != "fddi" {
+		t.Errorf("fddi preset = %q", got)
+	}
+}

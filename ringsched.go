@@ -43,6 +43,7 @@ import (
 	"ringsched/internal/sim"
 	"ringsched/internal/tokensim"
 	"ringsched/internal/tokenstats"
+	"ringsched/internal/topology"
 	"ringsched/internal/ttpalloc"
 )
 
@@ -439,6 +440,79 @@ func NewWorkload(m MessageSet, stations int, phasing Phasing, rng *rand.Rand) (W
 // from the Theorem 5.1 analysis of the given set.
 func NewTTPSimulation(t TTPAnalyzer, m MessageSet, w Workload) (TTPSimulation, error) {
 	return tokensim.NewTTPSimFromAnalysis(t, m, w)
+}
+
+// Bridged ring-of-rings topologies: multiple rings joined by
+// store-and-forward bridges, with end-to-end flow delay bounds from
+// per-ring Kamat–Zhao verdicts composed with arrival-curve propagation.
+// The single-ring API above is the 1-node special case.
+type (
+	// Topology is a validated graph of ring nodes, bridge edges and
+	// end-to-end flows.
+	Topology = topology.Topology
+	// TopologyNode is one ring in the graph.
+	TopologyNode = topology.Node
+	// TopologyBridge is one store-and-forward bridge edge.
+	TopologyBridge = topology.Bridge
+	// TopologyFlow is one periodic end-to-end flow.
+	TopologyFlow = topology.Flow
+	// TopologyProtocol selects a node's MAC protocol.
+	TopologyProtocol = topology.Protocol
+	// TopologyReport is the full bridged analysis: per-ring verdicts,
+	// per-bridge network-calculus bounds, per-flow end-to-end bounds.
+	TopologyReport = core.TopologyReport
+	// TopologySimulation composes the PDP/TTP discrete-event engines
+	// through bridge queues into one multi-ring simulation.
+	TopologySimulation = tokensim.TopologySim
+	// TopologySimResult is a multi-ring simulation outcome.
+	TopologySimResult = tokensim.TopologyResult
+	// TopologySaturation is a topology driven to its breakdown load.
+	TopologySaturation = breakdown.TopologySaturation
+	// TopologyPoint is one point of a topology breakdown sweep.
+	TopologyPoint = breakdown.TopologyPoint
+	// TopologyRequest asks the serving layer for a bridged analysis.
+	TopologyRequest = service.TopologyRequest
+	// TopologyResponse is the wire form of a bridged analysis.
+	TopologyResponse = service.TopologyResponse
+)
+
+// Topology node protocols.
+const (
+	// Topology8025 runs a node under the standard priority driven protocol.
+	Topology8025 = topology.Standard8025
+	// Topology8025Mod runs a node under the modified variant.
+	Topology8025Mod = topology.Modified8025
+	// TopologyFDDI runs a node under the timed token protocol.
+	TopologyFDDI = topology.FDDI
+)
+
+// ParseTopology parses the compact topology spec grammar
+// ("ring:name=a,proto=fddi,bw=100e6 + bridge:a=a,b=b,latency=100us +
+// flow:name=f,src=a,dst=b,period=100ms,bits=4096") into a validated,
+// canonical topology.
+func ParseTopology(spec string) (Topology, error) { return topology.Parse(spec) }
+
+// AnalyzeTopology computes the bridged verdict: every ring analyzed under
+// its own protocol, arrival curves propagated across bridges, and one
+// end-to-end delay bound per flow.
+func AnalyzeTopology(t Topology) (TopologyReport, error) { return core.AnalyzeTopology(t) }
+
+// AnalyzeTopologyRequest answers one serving-layer topology request (the
+// engine behind /v1/topology/analyze and schedcheck -topology -json).
+func AnalyzeTopologyRequest(ctx context.Context, req TopologyRequest) (TopologyResponse, error) {
+	return service.AnalyzeTopology(ctx, req)
+}
+
+// SaturateTopology drives a topology's flows to their common breakdown
+// scale.
+func SaturateTopology(t Topology, opts SaturateOptions) (TopologySaturation, error) {
+	return breakdown.SaturateTopology(t, opts)
+}
+
+// SweepTopology computes the breakdown scale across a grid of bandwidth
+// multipliers (the Figure 1 methodology lifted to bridged topologies).
+func SweepTopology(ctx context.Context, t Topology, bandwidthScales []float64, opts SaturateOptions, obs Progress) ([]TopologyPoint, error) {
+	return breakdown.SweepTopology(ctx, t, bandwidthScales, opts, obs)
 }
 
 // RMResult is the detailed outcome of a rate-monotonic exact test.
