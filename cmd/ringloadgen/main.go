@@ -1,0 +1,325 @@
+// Command ringloadgen is an open-loop load generator for ringschedd: it
+// issues requests at a fixed arrival rate regardless of how fast the
+// server answers (the arrival process of a real client population, and
+// the only kind of load that exposes overload collapse — a closed loop
+// self-throttles exactly when the server starts struggling), then
+// reports latency percentiles, per-outcome counts, and goodput.
+//
+// Goodput counts only successful answers that arrived within the
+// request deadline — an answer that shows up after nobody can use it is
+// work wasted, not work done. Comparing goodput at 2× the saturation
+// rate with shedding on (-queue-depth default) versus off
+// (-queue-depth -1 and no deadlines) is the acceptance demo for the
+// admission controller; scripts/overload_demo.sh automates it.
+//
+// Usage:
+//
+//	ringloadgen -base http://127.0.0.1:8080 -rps 200 -duration 10s
+//	ringloadgen -mix sweep -distinct 0 -deadline-ms 500 -out report.json
+//	ringloadgen -rps 500 -min-goodput 100 -max-p99-ms 800 -max-error-rate 0.2
+//
+// The summary is stable "key value" lines on stdout (awk-friendly);
+// -out additionally writes the full JSON report. The -min-goodput,
+// -max-p99-ms and -max-error-rate flags turn the run into a pass/fail
+// check with a non-zero exit, for CI smoke jobs.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ringsched/internal/cli"
+)
+
+func main() {
+	cli.Main("ringloadgen", run)
+}
+
+// report is the machine-readable run summary.
+type report struct {
+	Sent            int64   `json:"sent"`
+	OK              int64   `json:"ok"`
+	Good            int64   `json:"good"` // OK and within deadline
+	Shed            int64   `json:"shed"` // 503 overloaded/unavailable
+	RateLimited     int64   `json:"rateLimited"`
+	Timeouts        int64   `json:"timeouts"` // 504 or client deadline
+	Errors          int64   `json:"errors"`   // other 5xx + transport
+	TransportErrors int64   `json:"transportErrors"`
+	DurationSec     float64 `json:"durationSec"`
+	GoodputRPS      float64 `json:"goodputRPS"`
+	ErrorRate       float64 `json:"errorRate"`
+	P50Ms           float64 `json:"p50Ms"`
+	P90Ms           float64 `json:"p90Ms"`
+	P99Ms           float64 `json:"p99Ms"`
+	P999Ms          float64 `json:"p999Ms"`
+	Codes           map[string]int64
+}
+
+func run(ctx context.Context, args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("ringloadgen", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		base     = fs.String("base", "http://127.0.0.1:8080", "ringschedd base URL")
+		rps      = fs.Float64("rps", 100, "open-loop arrival rate, requests/second")
+		duration = fs.Duration("duration", 5*time.Second, "load duration")
+		mix      = fs.String("mix", "analyze", `request mix: "analyze" (cheap) or "sweep" (Monte Carlo, expensive)`)
+		distinct = fs.Int("distinct", 16,
+			"distinct request bodies to cycle through (cache busting); 0 = every request unique")
+		deadlineMS = fs.Int64("deadline-ms", 0,
+			"per-request deadline, propagated via X-Ringsched-Deadline-Ms and enforced client-side (0 = none)")
+		goodMS = fs.Int64("good-ms", 0,
+			"latency budget for counting an answer as goodput, without cancelling slower requests (0 = use -deadline-ms)")
+		clientID = fs.String("client-id", "", "X-Ringsched-Client identity (rate-limit key)")
+		streams  = fs.Int("sweep-streams", 8, "streams per sweep request (mix=sweep)")
+		samples  = fs.Int("sweep-samples", 400, "Monte Carlo samples per sweep point (mix=sweep)")
+		seed     = fs.Int64("seed", 0, "base seed for request bodies (0 = derive from clock, cold cache each run)")
+		outPath  = fs.String("out", "", "also write the JSON report to this file")
+
+		minGoodput = fs.Float64("min-goodput", 0, "fail if goodput (good answers/sec) is below this (0 = off)")
+		maxP99     = fs.Float64("max-p99-ms", 0, "fail if p99 latency exceeds this many milliseconds (0 = off)")
+		maxErrRate = fs.Float64("max-error-rate", -1,
+			"fail if (transport + non-shed 5xx errors)/sent exceeds this fraction (negative = off)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *rps <= 0 || *duration <= 0 {
+		return fmt.Errorf("ringloadgen: -rps and -duration must be positive")
+	}
+	if *mix != "analyze" && *mix != "sweep" {
+		return fmt.Errorf("ringloadgen: unknown -mix %q", *mix)
+	}
+	if *seed == 0 {
+		*seed = time.Now().UnixNano() % (1 << 30)
+	}
+
+	st := &state{
+		codes:      map[string]int64{},
+		deadline:   time.Duration(*deadlineMS) * time.Millisecond,
+		goodBudget: time.Duration(*goodMS) * time.Millisecond,
+	}
+	if st.goodBudget <= 0 {
+		st.goodBudget = st.deadline
+	}
+	hc := &http.Client{}
+
+	interval := time.Duration(float64(time.Second) / *rps)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	runCtx, cancel := context.WithTimeout(ctx, *duration)
+	defer cancel()
+	// Requests launched near the cutoff get a grace period to finish
+	// instead of being cancelled mid-flight (which would erase exactly
+	// the tail latencies an overload run exists to measure).
+	graceCtx, gcancel := context.WithTimeout(ctx, *duration+15*time.Second)
+	defer gcancel()
+
+	var wg sync.WaitGroup
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	start := time.Now()
+	var n int64
+loop:
+	for {
+		select {
+		case <-runCtx.Done():
+			break loop
+		case <-ticker.C:
+			i := n
+			n++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				st.issue(graceCtx, hc, *base, *mix, body(*mix, *seed, i, *distinct, *streams, *samples), *clientID)
+			}()
+		}
+	}
+	// Let stragglers finish: their contexts die with runCtx, so this
+	// wait is bounded.
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := st.summarize(elapsed)
+	writeSummary(out, rep)
+	if *outPath != "" {
+		j, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outPath, append(j, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+
+	var failures []string
+	if *minGoodput > 0 && rep.GoodputRPS < *minGoodput {
+		failures = append(failures, fmt.Sprintf("goodput %.1f/s below floor %.1f/s", rep.GoodputRPS, *minGoodput))
+	}
+	if *maxP99 > 0 && rep.P99Ms > *maxP99 {
+		failures = append(failures, fmt.Sprintf("p99 %.1fms above ceiling %.1fms", rep.P99Ms, *maxP99))
+	}
+	if *maxErrRate >= 0 && rep.ErrorRate > *maxErrRate {
+		failures = append(failures, fmt.Sprintf("error rate %.3f above budget %.3f", rep.ErrorRate, *maxErrRate))
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("ringloadgen: thresholds violated: %s", strings.Join(failures, "; "))
+	}
+	return nil
+}
+
+// body renders request i's JSON payload. Distinct bodies canonicalize to
+// distinct cache keys, so -distinct controls how much of the load the
+// result cache can absorb.
+func body(mix string, seed, i int64, distinct, streams, samples int) string {
+	v := i
+	if distinct > 0 {
+		v = i % int64(distinct)
+	}
+	switch mix {
+	case "sweep":
+		return fmt.Sprintf(`{"bandwidthsMbps":[10,50,100],"streams":%d,"samples":%d,"seed":%d}`,
+			streams, samples, seed+v)
+	default:
+		// Vary the bandwidth to vary the canonical key; the kernel cost is
+		// flat per distinct body.
+		return fmt.Sprintf(
+			`{"bandwidthMbps":%d,"streams":[{"name":"s","periodMs":10,"lengthBits":4096},{"name":"t","periodMs":50,"lengthBits":65536}]}`,
+			100+v)
+	}
+}
+
+// state accumulates outcomes across request goroutines.
+type state struct {
+	deadline   time.Duration
+	goodBudget time.Duration
+
+	mu        sync.Mutex
+	sent      int64
+	ok        int64
+	good      int64
+	shed      int64
+	limited   int64
+	timeouts  int64
+	errors    int64
+	transport int64
+	codes     map[string]int64
+	latencies []float64 // seconds, successful responses only
+}
+
+func (st *state) issue(ctx context.Context, hc *http.Client, base, mix, payload, clientID string) {
+	path := "/v1/analyze"
+	if mix == "sweep" {
+		path = "/v1/sweep"
+	}
+	if st.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, st.deadline)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, strings.NewReader(payload))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if clientID != "" {
+		req.Header.Set("X-Ringsched-Client", clientID)
+	}
+	if st.deadline > 0 {
+		req.Header.Set("X-Ringsched-Deadline-Ms", fmt.Sprintf("%d", st.deadline.Milliseconds()))
+	}
+
+	start := time.Now()
+	resp, err := hc.Do(req)
+	elapsed := time.Since(start)
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sent++
+	if err != nil {
+		if ctx.Err() != nil {
+			st.timeouts++
+			st.codes["client_timeout"]++
+		} else {
+			st.transport++
+			st.errors++
+			st.codes["transport"]++
+		}
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	st.codes[fmt.Sprintf("%d", resp.StatusCode)]++
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		st.ok++
+		st.latencies = append(st.latencies, elapsed.Seconds())
+		if st.goodBudget <= 0 || elapsed <= st.goodBudget {
+			st.good++
+		}
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		st.shed++
+	case resp.StatusCode == http.StatusTooManyRequests:
+		st.limited++
+	case resp.StatusCode == http.StatusGatewayTimeout:
+		st.timeouts++
+	default:
+		st.errors++
+	}
+}
+
+func (st *state) summarize(elapsed time.Duration) report {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	sort.Float64s(st.latencies)
+	pct := func(q float64) float64 {
+		if len(st.latencies) == 0 {
+			return 0
+		}
+		idx := int(q * float64(len(st.latencies)-1))
+		return st.latencies[idx] * 1e3
+	}
+	rep := report{
+		Sent: st.sent, OK: st.ok, Good: st.good, Shed: st.shed,
+		RateLimited: st.limited, Timeouts: st.timeouts,
+		Errors: st.errors, TransportErrors: st.transport,
+		DurationSec: elapsed.Seconds(),
+		P50Ms:       pct(0.50), P90Ms: pct(0.90), P99Ms: pct(0.99), P999Ms: pct(0.999),
+		Codes: st.codes,
+	}
+	if elapsed > 0 {
+		rep.GoodputRPS = float64(st.good) / elapsed.Seconds()
+	}
+	if st.sent > 0 {
+		rep.ErrorRate = float64(st.errors) / float64(st.sent)
+	}
+	return rep
+}
+
+// writeSummary prints the stable key-value lines CI scripts parse.
+func writeSummary(w io.Writer, r report) {
+	fmt.Fprintf(w, "sent %d\n", r.Sent)
+	fmt.Fprintf(w, "ok %d\n", r.OK)
+	fmt.Fprintf(w, "good %d\n", r.Good)
+	fmt.Fprintf(w, "shed %d\n", r.Shed)
+	fmt.Fprintf(w, "rate_limited %d\n", r.RateLimited)
+	fmt.Fprintf(w, "timeouts %d\n", r.Timeouts)
+	fmt.Fprintf(w, "errors %d\n", r.Errors)
+	fmt.Fprintf(w, "transport_errors %d\n", r.TransportErrors)
+	fmt.Fprintf(w, "duration_sec %.2f\n", r.DurationSec)
+	fmt.Fprintf(w, "goodput_rps %.2f\n", r.GoodputRPS)
+	fmt.Fprintf(w, "error_rate %.4f\n", r.ErrorRate)
+	fmt.Fprintf(w, "p50_ms %.2f\n", r.P50Ms)
+	fmt.Fprintf(w, "p90_ms %.2f\n", r.P90Ms)
+	fmt.Fprintf(w, "p99_ms %.2f\n", r.P99Ms)
+	fmt.Fprintf(w, "p999_ms %.2f\n", r.P999Ms)
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ringsched/internal/service"
+)
+
+func startService(t *testing.T, cfg service.Config) string {
+	t.Helper()
+	s := service.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return ts.URL
+}
+
+// summaryValue extracts one "key value" line from the stdout report.
+func summaryValue(t *testing.T, out, key string) float64 {
+	t.Helper()
+	m := regexp.MustCompile(`(?m)^` + key + ` ([0-9.]+)$`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("summary missing %q:\n%s", key, out)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestLoadgenReportsGoodputAndPercentiles(t *testing.T) {
+	base := startService(t, service.Config{})
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-base", base, "-rps", "200", "-duration", "500ms",
+		"-mix", "analyze", "-distinct", "4", "-deadline-ms", "2000",
+		"-client-id", "loadgen-test", "-seed", "42",
+	}, &out, io.Discard)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	sent := summaryValue(t, out.String(), "sent")
+	good := summaryValue(t, out.String(), "good")
+	if sent < 50 {
+		t.Errorf("sent = %g, want a real request volume", sent)
+	}
+	if good == 0 || summaryValue(t, out.String(), "goodput_rps") == 0 {
+		t.Errorf("no goodput measured:\n%s", out.String())
+	}
+	if summaryValue(t, out.String(), "p99_ms") < summaryValue(t, out.String(), "p50_ms") {
+		t.Errorf("p99 < p50:\n%s", out.String())
+	}
+}
+
+func TestLoadgenWritesJSONReport(t *testing.T) {
+	base := startService(t, service.Config{})
+	path := t.TempDir() + "/report.json"
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-base", base, "-rps", "100", "-duration", "300ms", "-out", path, "-seed", "7",
+	}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"sent"`, `"goodputRPS"`, `"p99Ms"`} {
+		if !strings.Contains(raw, key) {
+			t.Errorf("JSON report missing %s:\n%s", key, raw)
+		}
+	}
+}
+
+func TestLoadgenThresholdsFailTheRun(t *testing.T) {
+	base := startService(t, service.Config{})
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-base", base, "-rps", "50", "-duration", "200ms",
+		"-min-goodput", "1000000", "-seed", "7",
+	}, &out, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "goodput") {
+		t.Fatalf("impossible goodput floor accepted: %v", err)
+	}
+}
+
+func TestLoadgenCountsShedResponses(t *testing.T) {
+	// One worker, a queue bound of 1, and expensive unique sweeps: the
+	// open-loop arrival rate swamps the pool and the shed counter must
+	// light up.
+	base := startService(t, service.Config{Workers: 1, QueueDepth: 1})
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-base", base, "-rps", "100", "-duration", "700ms",
+		"-mix", "sweep", "-distinct", "0", "-sweep-samples", "40000", "-sweep-streams", "10",
+		"-deadline-ms", "3000", "-seed", "99",
+	}, &out, io.Discard)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if shed := summaryValue(t, out.String(), "shed"); shed == 0 {
+		t.Errorf("open-loop overload never shed:\n%s", out.String())
+	}
+}
+
+func TestLoadgenFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-rps", "0"},
+		{"-duration", "0s"},
+		{"-mix", "bogus"},
+		{"-bogus"},
+	} {
+		if err := run(context.Background(), args, &out, io.Discard); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func readFile(path string) (string, error) {
+	b, err := os.ReadFile(path)
+	return string(b), err
+}

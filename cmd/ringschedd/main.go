@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"ringsched/internal/cli"
+	"ringsched/internal/resilience"
 	"ringsched/internal/service"
 )
 
@@ -54,6 +55,16 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		jobTimeout = fs.Duration("job-timeout", 5*time.Minute, "per-computation deadline (negative = none)")
 		drain      = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain budget")
 		spans      = fs.Int("trace-spans", 4096, "finished spans retained for /debug/traces")
+		queueDepth = fs.Int("queue-depth", 0,
+			"max computations waiting for a worker before arrivals are shed with 503 (0 = 4x workers, negative = unbounded)")
+		clientRPS = fs.Float64("client-rps", 0,
+			"per-client rate limit in requests/second, keyed by X-Ringsched-Client or peer host (0 = off)")
+		clientBurst = fs.Float64("client-burst", 0, "per-client burst allowance (0 = 2x client-rps)")
+		maxClients  = fs.Int("max-clients", 0, "resident rate-limiter buckets (0 = 1024)")
+		chaosSpec   = fs.String("chaos", "",
+			`deterministic fault injection, e.g. "latency:p=0.2,ms=30+error:p=0.1,code=503+reset:p=0.02+seed:n=7" (empty = off)`)
+		sseKeepAlive = fs.Duration("sse-keepalive", 15*time.Second,
+			"idle heartbeat interval for progress streams (negative = off)")
 	)
 	var obs cli.Obs
 	obs.Register(fs)
@@ -66,13 +77,28 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	}
 	defer obs.Close()
 
+	chaos, err := resilience.ParseChaos(*chaosSpec)
+	if err != nil {
+		return err
+	}
+	if chaos.Enabled() {
+		logger.LogAttrs(ctx, slog.LevelWarn, "chaos injection enabled",
+			slog.String("spec", chaos.Spec()))
+	}
+
 	srv := service.New(service.Config{
-		CacheBytes: *cacheBytes,
-		Workers:    *workers,
-		JobTimeout: *jobTimeout,
-		Logger:     logger,
-		TraceSpans: *spans,
-		TraceSink:  obs.Sink(),
+		CacheBytes:   *cacheBytes,
+		Workers:      *workers,
+		JobTimeout:   *jobTimeout,
+		Logger:       logger,
+		TraceSpans:   *spans,
+		TraceSink:    obs.Sink(),
+		QueueDepth:   *queueDepth,
+		ClientRPS:    *clientRPS,
+		ClientBurst:  *clientBurst,
+		MaxClients:   *maxClients,
+		Chaos:        chaos,
+		SSEKeepAlive: *sseKeepAlive,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

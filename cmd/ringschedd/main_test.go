@@ -96,4 +96,10 @@ func TestFlagErrors(t *testing.T) {
 	if err := run(context.Background(), []string{"-addr", "256.0.0.1:bad"}, &out, io.Discard); err == nil {
 		t.Error("bad listen address accepted")
 	}
+	if err := run(context.Background(), []string{"-chaos", "latency:p=1.5"}, &out, io.Discard); err == nil {
+		t.Error("out-of-range chaos probability accepted")
+	}
+	if err := run(context.Background(), []string{"-chaos", "gibberish"}, &out, io.Discard); err == nil {
+		t.Error("malformed chaos spec accepted")
+	}
 }

@@ -1,11 +1,14 @@
 package progress
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // SSE adapts the Progress interface to the server-sent-events wire
@@ -23,11 +26,12 @@ type SSE struct {
 	// SampleEvery is the sample coalescing factor; values < 1 mean 64.
 	SampleEvery int64
 
-	mu      sync.Mutex
-	w       io.Writer
-	flush   func()
-	err     error
-	samples atomic.Int64
+	mu        sync.Mutex
+	w         io.Writer
+	flush     func()
+	err       error
+	samples   atomic.Int64
+	lastWrite atomic.Int64 // unix nanos of the last successful frame
 }
 
 // NewSSE returns an SSE adapter writing frames to w; flush (may be nil)
@@ -52,10 +56,78 @@ func (s *SSE) Event(kind string, data any) error {
 		s.err = err
 		return err
 	}
+	s.lastWrite.Store(time.Now().UnixNano())
 	if s.flush != nil {
 		s.flush()
 	}
 	return nil
+}
+
+// Comment emits an SSE comment frame (": text\n\n"). Comment frames are
+// invisible to EventSource consumers but keep the TCP connection and any
+// intermediaries (proxies, LBs with idle timeouts) convinced the stream
+// is alive — the heartbeat primitive behind KeepAlive.
+func (s *SSE) Comment(text string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if _, err := fmt.Fprintf(s.w, ": %s\n\n", strings.ReplaceAll(text, "\n", " ")); err != nil {
+		s.err = err
+		return err
+	}
+	s.lastWrite.Store(time.Now().UnixNano())
+	if s.flush != nil {
+		s.flush()
+	}
+	return nil
+}
+
+// IdleSince returns how long ago the last frame (event or comment) was
+// written; it returns a very large duration before the first frame.
+func (s *SSE) IdleSince(now time.Time) time.Duration {
+	last := s.lastWrite.Load()
+	if last == 0 {
+		return time.Duration(1<<63 - 1)
+	}
+	return now.Sub(time.Unix(0, last))
+}
+
+// KeepAlive starts a heartbeat goroutine that writes a ": keepalive"
+// comment whenever the stream has been idle for `every` — a sweep stuck
+// in a long Monte Carlo phase stops looking like a dead connection. The
+// goroutine exits when ctx is cancelled or the returned stop function is
+// called (stop also waits for it to finish, so tests can assert no
+// frames after stop). every <= 0 disables the heartbeat entirely.
+func (s *SSE) KeepAlive(ctx context.Context, every time.Duration) (stop func()) {
+	if every <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if s.IdleSince(time.Now()) >= every {
+					s.Comment("keepalive")
+				}
+			case <-ctx.Done():
+				return
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-finished
+	}
 }
 
 // Err returns the latched write error, if any.

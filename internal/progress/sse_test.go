@@ -2,9 +2,12 @@ package progress
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestSSEFrameFormat(t *testing.T) {
@@ -93,4 +96,83 @@ func TestSSEImplementsProgress(t *testing.T) {
 	if strings.Contains(out, "simulator") {
 		t.Error("simulator ticks must be dropped")
 	}
+}
+
+func TestSSECommentFrameFormat(t *testing.T) {
+	var buf bytes.Buffer
+	flushes := 0
+	sse := NewSSE(&buf, func() { flushes++ }, 1)
+	if err := sse.Comment("keepalive"); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.String(), ": keepalive\n\n"; got != want {
+		t.Errorf("comment frame = %q, want %q", got, want)
+	}
+	if flushes != 1 {
+		t.Errorf("flushes = %d, want 1", flushes)
+	}
+	// Newlines cannot be smuggled into the frame.
+	buf.Reset()
+	sse.Comment("a\nb")
+	if strings.Contains(strings.TrimSuffix(buf.String(), "\n\n"), "\n") {
+		t.Errorf("comment with newline produced a broken frame: %q", buf.String())
+	}
+}
+
+func TestSSEKeepAliveHeartbeatsStalledStream(t *testing.T) {
+	var buf bytes.Buffer
+	sse := NewSSE(&buf, nil, 1)
+	stop := sse.KeepAlive(context.Background(), 5*time.Millisecond)
+	time.Sleep(60 * time.Millisecond)
+	stop() // waits for the goroutine, so reading buf is race-free
+	if n := strings.Count(buf.String(), ": keepalive\n\n"); n < 2 {
+		t.Errorf("stalled stream got %d keepalives, want >= 2:\n%q", n, buf.String())
+	}
+}
+
+func TestSSEKeepAliveSuppressedByActiveStream(t *testing.T) {
+	var buf syncBuffer
+	sse := NewSSE(&buf, nil, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stop := sse.KeepAlive(ctx, 30*time.Millisecond)
+	for i := 0; i < 20; i++ {
+		sse.Event("tick", i)
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop()
+	if strings.Contains(buf.String(), ": keepalive") {
+		t.Errorf("active stream should not heartbeat:\n%q", buf.String())
+	}
+	// Cancelling the context also stops the heartbeat.
+	sse2 := NewSSE(&buf, nil, 1)
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	stop2 := sse2.KeepAlive(ctx2, time.Millisecond)
+	cancel2()
+	stop2()
+}
+
+func TestSSEKeepAliveDisabled(t *testing.T) {
+	sse := NewSSE(&bytes.Buffer{}, nil, 1)
+	stop := sse.KeepAlive(context.Background(), 0)
+	stop() // must be a no-op, not a panic
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for tests where the
+// keepalive goroutine and the test body both touch the stream.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }

@@ -1,0 +1,114 @@
+package resilience
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// ewmaAlpha is the smoothing factor for the service-time estimate. 0.2
+// keeps roughly the last dozen completions relevant: fast enough to
+// track a workload shift (analyze → sweep mixes), slow enough that one
+// outlier does not trigger a shedding storm.
+const ewmaAlpha = 0.2
+
+// Admission implements reject-on-arrival load shedding for a bounded
+// queue feeding a fixed worker pool.
+//
+// The policy has two rules, checked at arrival so a doomed request costs
+// the server nothing but the check itself:
+//
+//  1. Queue bound: at most QueueDepth jobs may be waiting. Beyond that
+//     the server is past saturation and every admitted request only adds
+//     latency for all of them; the excess is shed with ErrQueueFull.
+//  2. Deadline feasibility: the estimated queue wait is
+//     queued × EWMA(service time) / workers. If the caller propagated a
+//     deadline and the estimate already exceeds what remains of it, the
+//     request is shed with ErrDeadlineInfeasible — computing an answer
+//     that arrives after its deadline is indistinguishable from not
+//     computing it, except that it also delays everyone behind it.
+//
+// Both rejections carry the estimated wait as a Retry-After hint.
+// Admission is allocation-free on the admit path and safe for concurrent
+// use; service times are folded in with Observe.
+type Admission struct {
+	workers      int
+	queueDepth   int
+	ewmaBits     atomic.Uint64 // math.Float64bits of the EWMA in seconds
+	admitted     atomic.Int64
+	shedQueue    atomic.Int64
+	shedDeadline atomic.Int64
+}
+
+// NewAdmission builds a controller for a pool of workers with at most
+// queueDepth waiting jobs. workers < 1 is treated as 1; queueDepth < 1
+// disables the queue bound (deadline feasibility still applies).
+func NewAdmission(workers, queueDepth int) *Admission {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Admission{workers: workers, queueDepth: queueDepth}
+}
+
+// Observe folds one completed computation's duration into the
+// service-time estimate. Call it only for work that ran to completion —
+// cancelled jobs finish early and would bias the estimate optimistic.
+func (a *Admission) Observe(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s := d.Seconds()
+	for {
+		old := a.ewmaBits.Load()
+		cur := math.Float64frombits(old)
+		next := s
+		if old != 0 {
+			next = ewmaAlpha*s + (1-ewmaAlpha)*cur
+		}
+		if a.ewmaBits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// ServiceTime returns the current EWMA of observed service times (zero
+// before the first observation).
+func (a *Admission) ServiceTime() time.Duration {
+	return time.Duration(math.Float64frombits(a.ewmaBits.Load()) * float64(time.Second))
+}
+
+// EstimatedWait returns the expected queueing delay for a request
+// arriving with `queued` jobs already waiting: each of them needs one
+// EWMA service time, spread across the pool's workers.
+func (a *Admission) EstimatedWait(queued int64) time.Duration {
+	if queued <= 0 {
+		return 0
+	}
+	est := math.Float64frombits(a.ewmaBits.Load())
+	return time.Duration(float64(queued) * est / float64(a.workers) * float64(time.Second))
+}
+
+// Admit decides whether to accept a request arriving with `queued` jobs
+// already waiting for a worker. remaining is the request's remaining
+// deadline (hasDeadline false when the client set none). On rejection
+// the returned error is one of the package sentinels and retryAfter is
+// the estimated time until the backlog clears — the Retry-After hint.
+func (a *Admission) Admit(queued int64, remaining time.Duration, hasDeadline bool) (retryAfter time.Duration, err error) {
+	wait := a.EstimatedWait(queued)
+	if a.queueDepth > 0 && queued >= int64(a.queueDepth) {
+		a.shedQueue.Add(1)
+		return wait, ErrQueueFull
+	}
+	if hasDeadline && wait > remaining {
+		a.shedDeadline.Add(1)
+		return wait, ErrDeadlineInfeasible
+	}
+	a.admitted.Add(1)
+	return 0, nil
+}
+
+// Stats reports lifetime admission decisions: admitted requests, sheds
+// from the queue bound, and sheds from deadline infeasibility.
+func (a *Admission) Stats() (admitted, shedQueueFull, shedDeadline int64) {
+	return a.admitted.Load(), a.shedQueue.Load(), a.shedDeadline.Load()
+}

@@ -1,0 +1,117 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionAdmitsWhenIdle(t *testing.T) {
+	a := NewAdmission(4, 8)
+	if ra, err := a.Admit(0, 0, false); err != nil || ra != 0 {
+		t.Fatalf("idle admit: retryAfter=%v err=%v", ra, err)
+	}
+	if admitted, q, d := a.Stats(); admitted != 1 || q != 0 || d != 0 {
+		t.Errorf("stats = %d,%d,%d", admitted, q, d)
+	}
+}
+
+func TestAdmissionQueueBound(t *testing.T) {
+	a := NewAdmission(2, 4)
+	a.Observe(100 * time.Millisecond)
+	if _, err := a.Admit(3, 0, false); err != nil {
+		t.Fatalf("below bound: %v", err)
+	}
+	ra, err := a.Admit(4, 0, false)
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("at bound: err=%v, want ErrQueueFull", err)
+	}
+	// 4 queued × 100ms / 2 workers = 200ms estimated wait.
+	if want := 200 * time.Millisecond; ra != want {
+		t.Errorf("retryAfter = %v, want %v", ra, want)
+	}
+	te, ok := AsError(err)
+	if !ok || te.Code != CodeOverloaded || te.Status != 503 {
+		t.Errorf("typed error = %+v", te)
+	}
+}
+
+func TestAdmissionDeadlineInfeasible(t *testing.T) {
+	a := NewAdmission(1, 100)
+	a.Observe(50 * time.Millisecond)
+
+	// 10 queued × 50ms = 500ms wait; a 100ms deadline is infeasible.
+	ra, err := a.Admit(10, 100*time.Millisecond, true)
+	if !errors.Is(err, ErrDeadlineInfeasible) {
+		t.Fatalf("err = %v, want ErrDeadlineInfeasible", err)
+	}
+	if ra != 500*time.Millisecond {
+		t.Errorf("retryAfter = %v, want 500ms", ra)
+	}
+
+	// The same backlog with a roomy deadline is admitted.
+	if _, err := a.Admit(10, 2*time.Second, true); err != nil {
+		t.Fatalf("feasible deadline rejected: %v", err)
+	}
+	// And without any deadline only the queue bound applies.
+	if _, err := a.Admit(10, 0, false); err != nil {
+		t.Fatalf("no deadline rejected: %v", err)
+	}
+	if _, q, d := a.Stats(); q != 0 || d != 1 {
+		t.Errorf("shed stats queue=%d deadline=%d", q, d)
+	}
+}
+
+func TestAdmissionUnboundedQueueStillChecksDeadline(t *testing.T) {
+	a := NewAdmission(1, 0) // no queue bound
+	a.Observe(time.Second)
+	if _, err := a.Admit(1<<20, 0, false); err != nil {
+		t.Fatalf("unbounded queue rejected deadline-less request: %v", err)
+	}
+	if _, err := a.Admit(4, time.Second, true); !errors.Is(err, ErrDeadlineInfeasible) {
+		t.Fatalf("err = %v, want ErrDeadlineInfeasible", err)
+	}
+}
+
+func TestAdmissionEWMATracksServiceTime(t *testing.T) {
+	a := NewAdmission(1, 0)
+	if a.ServiceTime() != 0 {
+		t.Fatal("EWMA should start at zero")
+	}
+	a.Observe(100 * time.Millisecond)
+	if got := a.ServiceTime(); got != 100*time.Millisecond {
+		t.Fatalf("first observation = %v, want exactly 100ms", got)
+	}
+	for i := 0; i < 50; i++ {
+		a.Observe(200 * time.Millisecond)
+	}
+	got := a.ServiceTime()
+	if got < 190*time.Millisecond || got > 200*time.Millisecond {
+		t.Errorf("EWMA after convergence = %v, want ≈200ms", got)
+	}
+	a.Observe(0)
+	a.Observe(-time.Second)
+	if a.ServiceTime() != got {
+		t.Error("non-positive observations must be ignored")
+	}
+}
+
+func TestAdmissionConcurrentObserve(t *testing.T) {
+	a := NewAdmission(4, 16)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				a.Observe(10 * time.Millisecond)
+				a.Admit(2, time.Second, true)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.ServiceTime(); got != 10*time.Millisecond {
+		t.Errorf("EWMA of constant stream = %v, want 10ms", got)
+	}
+}

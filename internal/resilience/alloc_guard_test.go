@@ -1,0 +1,95 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// The middleware decisions run on every request before any useful work;
+// they must not tax the request path with garbage. These guards pin the
+// admit-path allocation count at zero (the benchmark-regression gate
+// additionally pins BenchmarkResilienceAdmit's allocs/op in CI).
+
+func TestAdmitPathAllocsFree(t *testing.T) {
+	a := NewAdmission(4, 64)
+	a.Observe(5 * time.Millisecond)
+	if n := testing.AllocsPerRun(1000, func() {
+		a.Observe(5 * time.Millisecond)
+		if _, err := a.Admit(3, time.Second, true); err != nil {
+			t.Fatal("unexpected shed")
+		}
+	}); n != 0 {
+		t.Errorf("admit path allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		if _, err := a.Admit(64, 0, false); err == nil {
+			t.Fatal("expected shed")
+		}
+	}); n != 0 {
+		t.Errorf("shed path allocates %v/op, want 0", n)
+	}
+}
+
+func TestLimiterResidentKeyAllocFree(t *testing.T) {
+	l := NewLimiter(1e9, 1e9, 0)
+	now := time.Unix(0, 0)
+	l.Allow("client", now)
+	if n := testing.AllocsPerRun(1000, func() {
+		now = now.Add(time.Microsecond)
+		if ok, _ := l.Allow("client", now); !ok {
+			t.Fatal("unexpected limit")
+		}
+	}); n != 0 {
+		t.Errorf("resident-key Allow allocates %v/op, want 0", n)
+	}
+}
+
+func TestBreakerClosedAllocFree(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	if n := testing.AllocsPerRun(1000, func() {
+		if err := b.Allow(); err != nil {
+			t.Fatal(err)
+		}
+		b.Success()
+	}); n != 0 {
+		t.Errorf("closed-breaker Allow/Success allocates %v/op, want 0", n)
+	}
+}
+
+func TestChaosDrawAllocFree(t *testing.T) {
+	m := ChaosModel{Seed: 9, LatencyProb: 0.3, Latency: time.Millisecond, ErrorProb: 0.3, ResetProb: 0.3}
+	h := EndpointHash("/v1/analyze")
+	seq := uint64(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		m.Draw(h, seq)
+		seq++
+	}); n != 0 {
+		t.Errorf("Draw allocates %v/op, want 0", n)
+	}
+}
+
+// BenchmarkResilienceAdmit measures the full per-request middleware
+// decision chain — rate-limit check, chaos draw, admission decision —
+// the code every /v1/* request now runs before any real work. Gated at
+// 0 allocs/op in BENCH_PR4.json.
+func BenchmarkResilienceAdmit(b *testing.B) {
+	adm := NewAdmission(8, 64)
+	adm.Observe(2 * time.Millisecond)
+	lim := NewLimiter(1e12, 1e12, 0)
+	chaos := ChaosModel{Seed: 1, LatencyProb: 0.01, Latency: time.Millisecond}
+	h := EndpointHash("/v1/analyze")
+	now := time.Unix(0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = now.Add(time.Microsecond)
+		if ok, _ := lim.Allow("client", now); !ok {
+			b.Fatal("rate limited")
+		}
+		chaos.Draw(h, uint64(i))
+		if _, err := adm.Admit(3, time.Second, true); err != nil {
+			b.Fatal(err)
+		}
+		adm.Observe(2 * time.Millisecond)
+	}
+}

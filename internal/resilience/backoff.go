@@ -1,0 +1,121 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// Backoff computes capped exponential backoff with full jitter: the
+// delay before retry attempt n (0-based) is drawn uniformly from
+// [0, min(Cap, Base·2ⁿ)]. Full jitter decorrelates retry storms — after
+// a shared failure, N clients spread across the whole window instead of
+// hammering the server again in lockstep.
+type Backoff struct {
+	// Base is the first attempt's maximum delay (0 selects 50 ms).
+	Base time.Duration
+	// Cap bounds the window growth (0 selects 5 s).
+	Cap time.Duration
+	// Rand returns a uniform float64 in [0, 1); nil selects a private
+	// seeded source. Tests inject a deterministic sequence here.
+	Rand func() float64
+}
+
+// Delay returns the jittered delay before retry attempt n (0-based).
+func (b Backoff) Delay(attempt int) time.Duration {
+	base, ceil := b.Base, b.Cap
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if ceil <= 0 {
+		ceil = 5 * time.Second
+	}
+	window := base
+	for i := 0; i < attempt && window < ceil; i++ {
+		window *= 2
+	}
+	if window > ceil {
+		window = ceil
+	}
+	r := b.Rand
+	if r == nil {
+		r = defaultUnit
+	}
+	return time.Duration(r() * float64(window))
+}
+
+// defaultUnit is the fallback jitter source: a splitmix64 chain seeded
+// from the wall clock once, advanced under a lock. Retry delays need
+// decorrelation, not cryptographic strength.
+var (
+	defaultUnitMu sync.Mutex
+	defaultState  = uint64(time.Now().UnixNano())
+)
+
+func defaultUnit() float64 {
+	defaultUnitMu.Lock()
+	defaultState = splitmix64(defaultState)
+	v := unitFloat(defaultState)
+	defaultUnitMu.Unlock()
+	return v
+}
+
+// RetryBudget bounds the fraction of traffic that retries may add. Each
+// first attempt deposits Ratio tokens (capped at Burst); each retry
+// withdraws one. With Ratio 0.1 a client may amplify load by at most
+// 10% in steady state — when the server is failing everything, retries
+// dry up instead of multiplying the overload, while isolated failures
+// always have budget available.
+type RetryBudget struct {
+	ratio float64
+	burst float64
+
+	mu     sync.Mutex
+	tokens float64
+}
+
+// NewRetryBudget builds a budget earning ratio tokens per first attempt
+// with at most burst banked. ratio <= 0 selects 0.1; burst <= 0 selects
+// 10. The budget starts full, so a cold client can retry immediately.
+func NewRetryBudget(ratio, burst float64) *RetryBudget {
+	if ratio <= 0 {
+		ratio = 0.1
+	}
+	if burst <= 0 {
+		burst = 10
+	}
+	return &RetryBudget{ratio: ratio, burst: burst, tokens: burst}
+}
+
+// Deposit credits one first attempt.
+func (b *RetryBudget) Deposit() {
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.mu.Unlock()
+}
+
+// Withdraw spends one retry token, reporting whether the budget allowed
+// it.
+func (b *RetryBudget) Withdraw() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// The 1e-9 slack absorbs float accumulation error: ten 0.1-ratio
+	// deposits must buy exactly one retry.
+	if b.tokens < 1-1e-9 {
+		return false
+	}
+	b.tokens--
+	if b.tokens < 0 {
+		b.tokens = 0
+	}
+	return true
+}
+
+// Tokens returns the current balance.
+func (b *RetryBudget) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}

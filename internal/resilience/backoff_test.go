@@ -1,0 +1,81 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffFullJitterWindows(t *testing.T) {
+	// Rand pinned at the top of the window exposes the cap schedule.
+	b := Backoff{Base: 100 * time.Millisecond, Cap: time.Second, Rand: func() float64 { return 0.999999 }}
+	prev := time.Duration(0)
+	for attempt, wantWindow := range []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, time.Second, time.Second,
+	} {
+		d := b.Delay(attempt)
+		if d > wantWindow || d < time.Duration(0.99*float64(wantWindow)) {
+			t.Errorf("attempt %d: delay %v, want ≈ window %v", attempt, d, wantWindow)
+		}
+		if d < prev && wantWindow != time.Second {
+			t.Errorf("attempt %d: window shrank (%v < %v)", attempt, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestBackoffJitterCoversWholeWindow(t *testing.T) {
+	seq := []float64{0, 0.5, 0.25}
+	i := 0
+	b := Backoff{Base: 100 * time.Millisecond, Cap: time.Second,
+		Rand: func() float64 { v := seq[i%len(seq)]; i++; return v }}
+	if d := b.Delay(0); d != 0 {
+		t.Errorf("jitter 0 → delay %v, want 0 (full jitter starts at zero)", d)
+	}
+	if d := b.Delay(0); d != 50*time.Millisecond {
+		t.Errorf("jitter 0.5 → delay %v, want 50ms", d)
+	}
+	if d := b.Delay(2); d != 100*time.Millisecond {
+		t.Errorf("attempt 2 jitter 0.25 → delay %v, want 100ms", d)
+	}
+}
+
+func TestBackoffDefaultsAndDefaultRand(t *testing.T) {
+	var b Backoff
+	for attempt := 0; attempt < 20; attempt++ {
+		d := b.Delay(attempt)
+		if d < 0 || d > 5*time.Second {
+			t.Fatalf("attempt %d: delay %v outside [0, default cap]", attempt, d)
+		}
+	}
+}
+
+func TestRetryBudgetAmplificationBound(t *testing.T) {
+	b := NewRetryBudget(0.1, 3)
+	// Starts full: a cold client can retry immediately.
+	for i := 0; i < 3; i++ {
+		if !b.Withdraw() {
+			t.Fatalf("initial withdraw %d refused", i)
+		}
+	}
+	if b.Withdraw() {
+		t.Fatal("withdraw beyond burst allowed")
+	}
+	// 10 first attempts earn exactly one retry at ratio 0.1.
+	for i := 0; i < 10; i++ {
+		b.Deposit()
+	}
+	if !b.Withdraw() {
+		t.Fatal("earned retry refused")
+	}
+	if b.Withdraw() {
+		t.Fatal("second retry allowed with empty budget")
+	}
+	// The balance never exceeds the burst.
+	for i := 0; i < 1000; i++ {
+		b.Deposit()
+	}
+	if got := b.Tokens(); got != 3 {
+		t.Errorf("tokens = %g, want burst cap 3", got)
+	}
+}

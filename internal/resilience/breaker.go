@@ -1,0 +1,151 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen is returned by Breaker.Allow while the breaker refuses
+// traffic. Callers fail fast instead of stacking requests onto a peer
+// that is already drowning.
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+
+// BreakerState is one of the breaker's three states.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes traffic, counting consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects traffic until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits a single probe; its outcome decides
+	// between Closed and another Open period.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig tunes a Breaker. The zero value gives a breaker that
+// trips after 5 consecutive failures and probes after a 5 s cooldown.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that trips the breaker
+	// (minimum 1; 0 selects the default of 5).
+	Threshold int
+	// Cooldown is how long the breaker stays open before half-opening
+	// for one probe (0 selects the default of 5 s).
+	Cooldown time.Duration
+	// Now overrides the clock, for deterministic tests.
+	Now func() time.Time
+}
+
+// Breaker is a consecutive-failure circuit breaker: Closed until
+// Threshold failures in a row, then Open (rejecting instantly) for
+// Cooldown, then HalfOpen admitting exactly one probe. A successful
+// probe closes the breaker; a failed one re-opens it for another
+// cooldown.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	probing  bool
+}
+
+// NewBreaker builds a breaker from cfg.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 5
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 5 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Breaker{threshold: cfg.Threshold, cooldown: cfg.Cooldown, now: cfg.Now}
+}
+
+// Allow reports whether a request may proceed. It returns ErrBreakerOpen
+// while the breaker is open (or while a half-open probe is already in
+// flight). Every allowed request must be matched by exactly one Success
+// or Failure call.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return ErrBreakerOpen
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return nil
+	default: // BreakerHalfOpen
+		if b.probing {
+			return ErrBreakerOpen
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// Success records a successful request, closing a half-open breaker and
+// resetting the failure streak.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.probing = false
+	b.state = BreakerClosed
+}
+
+// Failure records a failed request. In Closed it extends the streak and
+// trips the breaker at the threshold; in HalfOpen the failed probe
+// re-opens the breaker for a fresh cooldown.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.trip()
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.trip()
+		}
+	}
+}
+
+// trip moves to Open; callers hold the lock.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.fails = 0
+	b.probing = false
+}
+
+// State returns the current state.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,122 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	return NewBreaker(BreakerConfig{Threshold: threshold, Cooldown: cooldown, Now: clk.now}), clk
+}
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker rejected request %d", i)
+		}
+		b.Failure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("breaker tripped below threshold")
+	}
+	b.Allow()
+	b.Failure() // third consecutive failure
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker allowed a request: %v", err)
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	b.Allow()
+	b.Failure()
+	b.Allow()
+	b.Failure()
+	b.Allow()
+	b.Success()
+	b.Allow()
+	b.Failure()
+	b.Allow()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("interleaved success must reset the consecutive-failure streak")
+	}
+}
+
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Allow()
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("not open")
+	}
+
+	clk.advance(999 * time.Millisecond)
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("breaker half-opened before the cooldown elapsed")
+	}
+
+	clk.advance(time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("cooldown elapsed but probe rejected: %v", err)
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	// Only one probe at a time.
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("second concurrent probe allowed")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatal("successful probe must close the breaker")
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatal("closed breaker rejecting traffic after recovery")
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Allow()
+	b.Failure()
+	clk.advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("failed probe must re-open the breaker")
+	}
+	// A fresh cooldown applies.
+	clk.advance(500 * time.Millisecond)
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("re-opened breaker admitted before the fresh cooldown")
+	}
+	clk.advance(500 * time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe rejected: %v", err)
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for state, want := range map[BreakerState]string{
+		BreakerClosed: "closed", BreakerOpen: "open", BreakerHalfOpen: "half-open", BreakerState(9): "unknown",
+	} {
+		if got := state.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", state, got, want)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// Limiter is a keyed token-bucket rate limiter: each client (key) gets
+// an independent bucket refilled at rate tokens/second up to burst. The
+// key is whatever identifies a client at the serving surface — an
+// X-Ringsched-Client header, or the peer host as a fallback.
+//
+// The bucket table is bounded: when maxKeys distinct clients are
+// resident and a new one arrives, the longest-idle bucket is evicted
+// (its owner simply starts from a full bucket next time, which only ever
+// errs in the client's favor). Allow on a resident key allocates
+// nothing.
+type Limiter struct {
+	rate    float64 // tokens per second
+	burst   float64
+	maxKeys int
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewLimiter builds a limiter granting each client rate requests/second
+// with bursts up to burst. rate <= 0 disables limiting (Allow always
+// succeeds). burst < 1 is raised to 1; maxKeys < 1 defaults to 1024.
+func NewLimiter(rate, burst float64, maxKeys int) *Limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	if maxKeys < 1 {
+		maxKeys = 1024
+	}
+	return &Limiter{rate: rate, burst: burst, maxKeys: maxKeys, buckets: map[string]*bucket{}}
+}
+
+// Allow reports whether key may proceed at time now, spending one token.
+// On rejection, retryAfter is the time until the bucket next holds a
+// full token.
+func (l *Limiter) Allow(key string, now time.Time) (ok bool, retryAfter time.Duration) {
+	if l == nil || l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, exists := l.buckets[key]
+	if !exists {
+		if len(l.buckets) >= l.maxKeys {
+			l.evictIdlest()
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.tokens += dt * l.rate
+			if b.tokens > l.burst {
+				b.tokens = l.burst
+			}
+			b.last = now
+		}
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+}
+
+// evictIdlest drops the bucket with the oldest refill time. Called with
+// the lock held, only on insertion of a new key past maxKeys — an O(n)
+// scan amortized over eviction-rare workloads.
+func (l *Limiter) evictIdlest() {
+	var victim string
+	var oldest time.Time
+	first := true
+	for k, b := range l.buckets {
+		if first || b.last.Before(oldest) {
+			victim, oldest, first = k, b.last, false
+		}
+	}
+	delete(l.buckets, victim)
+}
+
+// Clients returns the number of resident buckets.
+func (l *Limiter) Clients() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}

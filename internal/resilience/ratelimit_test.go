@@ -1,0 +1,85 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLimiterBurstThenRefill(t *testing.T) {
+	now := time.Unix(0, 0)
+	l := NewLimiter(10, 3, 0) // 10 rps, burst 3
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("c", now); !ok {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	ok, ra := l.Allow("c", now)
+	if ok {
+		t.Fatal("request beyond burst admitted")
+	}
+	// Empty bucket at 10 rps: next token in 100ms.
+	if ra != 100*time.Millisecond {
+		t.Errorf("retryAfter = %v, want 100ms", ra)
+	}
+
+	// After 250ms, 2.5 tokens refilled: two more requests pass.
+	now = now.Add(250 * time.Millisecond)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("c", now); !ok {
+			t.Fatalf("post-refill request %d rejected", i)
+		}
+	}
+	if ok, _ := l.Allow("c", now); ok {
+		t.Error("third post-refill request admitted, only 2.5 tokens refilled")
+	}
+}
+
+func TestLimiterKeysAreIndependent(t *testing.T) {
+	now := time.Unix(0, 0)
+	l := NewLimiter(1, 1, 0)
+	if ok, _ := l.Allow("a", now); !ok {
+		t.Fatal("first a rejected")
+	}
+	if ok, _ := l.Allow("a", now); ok {
+		t.Fatal("second a admitted")
+	}
+	if ok, _ := l.Allow("b", now); !ok {
+		t.Fatal("b must have its own bucket")
+	}
+}
+
+func TestLimiterDisabled(t *testing.T) {
+	l := NewLimiter(0, 0, 0)
+	for i := 0; i < 1000; i++ {
+		if ok, _ := l.Allow("c", time.Unix(0, 0)); !ok {
+			t.Fatal("disabled limiter rejected a request")
+		}
+	}
+	var nilL *Limiter
+	if ok, _ := nilL.Allow("c", time.Now()); !ok {
+		t.Fatal("nil limiter must admit")
+	}
+}
+
+func TestLimiterEvictsIdlestAtCapacity(t *testing.T) {
+	now := time.Unix(0, 0)
+	l := NewLimiter(1, 5, 2)
+	l.Allow("old", now)
+	l.Allow("mid", now.Add(time.Second))
+	if got := l.Clients(); got != 2 {
+		t.Fatalf("clients = %d, want 2", got)
+	}
+	// A third client evicts "old", the longest idle.
+	l.Allow("new", now.Add(2*time.Second))
+	if got := l.Clients(); got != 2 {
+		t.Fatalf("clients after eviction = %d, want 2", got)
+	}
+	// "old" comes back with a fresh full bucket — eviction only ever
+	// errs in the client's favor.
+	for i := 0; i < 5; i++ {
+		if ok, _ := l.Allow("old", now.Add(3*time.Second)); !ok {
+			t.Fatalf("re-inserted client rejected at burst request %d", i)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Package resilience is the overload-protection and failure-handling
+// substrate for the ringschedd serving stack and its clients:
+//
+//   - a typed error taxonomy (Error, Code) that maps every rejection —
+//     shed, rate-limited, draining, deadline, panic — to a stable wire
+//     code plus a Retry-After hint, so clients can react by kind instead
+//     of parsing message strings (errors.go semantics live here),
+//   - deadline-aware admission control (Admission): a bounded queue in
+//     front of the worker pool that rejects on arrival once the
+//     estimated queue wait exceeds the caller's remaining deadline,
+//     keeping goodput flat past saturation instead of letting latency
+//     collapse for everyone (admission.go),
+//   - per-client token-bucket rate limiting (Limiter, ratelimit.go),
+//   - a circuit breaker and capped-exponential-backoff-with-full-jitter
+//     retry policy with a retry budget, used by package ringschedclient
+//     (breaker.go, backoff.go), and
+//   - a deterministic chaos middleware (Chaos, chaos.go) that injects
+//     latency, 5xx failures and connection resets from seeded
+//     per-(endpoint, request) substreams — the same reproducibility
+//     design as internal/faults, one layer up — so graceful degradation
+//     is testable in CI rather than discovered in production.
+//
+// The saturation regime this package defends against is the serving-layer
+// twin of the paper's breakdown-utilization analysis: past the breakdown
+// point, admitting more work only destroys the guarantees of the work
+// already admitted. The admission controller applies the same lesson to
+// HTTP requests that Theorem 4.1/5.1 apply to message streams.
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Code identifies one failure kind on the wire. Codes are stable API:
+// clients switch on them to decide whether and when to retry.
+type Code string
+
+const (
+	// CodeBadRequest marks malformed or unvalidatable requests (400).
+	CodeBadRequest Code = "bad_request"
+	// CodeRateLimited marks per-client token-bucket rejections (429).
+	CodeRateLimited Code = "rate_limited"
+	// CodeOverloaded marks admission-control load shedding: the queue is
+	// full or the estimated wait exceeds the request deadline (503).
+	CodeOverloaded Code = "overloaded"
+	// CodeUnavailable marks a draining or closing server (503).
+	CodeUnavailable Code = "unavailable"
+	// CodeDeadline marks work that outran its deadline (504).
+	CodeDeadline Code = "deadline_exceeded"
+	// CodeInternal marks unexpected failures, including recovered
+	// handler panics (500).
+	CodeInternal Code = "internal"
+	// CodeInjected marks failures manufactured by the chaos middleware
+	// (5xx); real clients treat them exactly like CodeInternal.
+	CodeInjected Code = "injected"
+)
+
+// Error is a typed serving-layer failure: an HTTP status, a stable wire
+// code, a human-readable message, and an optional retry hint. The zero
+// RetryAfter means "no specific hint" — writers fall back to a default
+// for statuses that must carry a Retry-After header.
+type Error struct {
+	Code       Code
+	Status     int
+	Message    string
+	RetryAfter time.Duration
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return e.Message }
+
+// WithRetryAfter returns a copy of e carrying a retry hint.
+func (e *Error) WithRetryAfter(d time.Duration) *Error {
+	c := *e
+	c.RetryAfter = d
+	return &c
+}
+
+// Errorf builds a typed error with a formatted message.
+func Errorf(code Code, status int, format string, args ...any) *Error {
+	return &Error{Code: code, Status: status, Message: fmt.Sprintf(format, args...)}
+}
+
+// AsError extracts a typed *Error from an error chain.
+func AsError(err error) (*Error, bool) {
+	var e *Error
+	if errors.As(err, &e) {
+		return e, true
+	}
+	return nil, false
+}
+
+// Sentinel rejections shared by the admission controller and rate
+// limiter. They are allocation-free to return on the hot shed path;
+// attach a per-request Retry-After with WithRetryAfter only when
+// rendering the response.
+var (
+	// ErrQueueFull rejects on arrival because the admission queue is at
+	// capacity.
+	ErrQueueFull = &Error{Code: CodeOverloaded, Status: 503,
+		Message: "resilience: admission queue full, request shed"}
+	// ErrDeadlineInfeasible rejects on arrival because the estimated
+	// queue wait already exceeds the request's remaining deadline —
+	// admitting it would waste a worker computing an answer nobody can
+	// use.
+	ErrDeadlineInfeasible = &Error{Code: CodeOverloaded, Status: 503,
+		Message: "resilience: estimated queue wait exceeds request deadline, request shed"}
+	// ErrRateLimited rejects a client that exhausted its token bucket.
+	ErrRateLimited = &Error{Code: CodeRateLimited, Status: 429,
+		Message: "resilience: per-client rate limit exceeded"}
+)
+
+// splitmix64 is the SplitMix64 mixer — one cheap, well-dispersed step
+// used to derive independent chaos substreams from related
+// (seed, endpoint, sequence) triples. Same construction as
+// internal/faults; duplicated because both packages keep it unexported.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unitFloat maps a uint64 to [0, 1) with 53-bit precision.
+func unitFloat(x uint64) float64 {
+	return float64(x>>11) / (1 << 53)
+}

@@ -23,6 +23,12 @@ type flightGroup struct {
 	jobTimeout time.Duration
 	sem        chan struct{}
 
+	// observe, when non-nil, receives the duration of every computation
+	// that ran to completion — the admission controller's service-time
+	// feed. Cancelled and failed jobs are excluded: they finish early and
+	// would bias the estimate optimistic.
+	observe func(time.Duration)
+
 	mu    sync.Mutex
 	calls map[string]*flightCall
 
@@ -97,7 +103,11 @@ func (g *flightGroup) run(key string, c *flightCall, jobCtx context.Context, fn 
 		return
 	}
 	g.running.Add(1)
+	start := time.Now()
 	body, err := fn(jobCtx)
+	if err == nil && g.observe != nil {
+		g.observe(time.Since(start))
+	}
 	g.running.Add(-1)
 	<-g.sem
 	g.finish(key, c, body, err)
@@ -105,7 +115,13 @@ func (g *flightGroup) run(key string, c *flightCall, jobCtx context.Context, fn 
 
 func (g *flightGroup) finish(key string, c *flightCall, body []byte, err error) {
 	g.mu.Lock()
-	delete(g.calls, key)
+	// Only remove the mapping if it is still ours: an abandoned call's
+	// last waiter already unmapped it, and a fresh computation may have
+	// taken the key since — deleting unconditionally would orphan that
+	// successor's entry and let a third caller start a duplicate.
+	if g.calls[key] == c {
+		delete(g.calls, key)
+	}
 	c.body, c.err = body, err
 	g.mu.Unlock()
 	c.cancel()
@@ -122,6 +138,15 @@ func (g *flightGroup) wait(ctx context.Context, key string, c *flightCall, share
 		g.mu.Lock()
 		c.waiters--
 		last := c.waiters == 0
+		if last && g.calls[key] == c {
+			// Unmap the dying call immediately. Cancellation is not
+			// instantaneous — the run goroutine only publishes after fn
+			// observes jobCtx and returns — and a fresh caller arriving
+			// in that window must start a new computation, not coalesce
+			// onto one that is already being torn down and inherit its
+			// spurious context.Canceled.
+			delete(g.calls, key)
+		}
 		g.mu.Unlock()
 		if last {
 			// Nobody is listening anymore: stop the workers instead of
@@ -132,6 +157,16 @@ func (g *flightGroup) wait(ctx context.Context, key string, c *flightCall, share
 		}
 		return nil, shared, ctx.Err()
 	}
+}
+
+// joinable reports whether a caller for key would coalesce onto an
+// in-flight computation right now. The admission controller consults it
+// so requests that add no work to the pool are never shed.
+func (g *flightGroup) joinable(key string) bool {
+	g.mu.Lock()
+	_, ok := g.calls[key]
+	g.mu.Unlock()
+	return ok
 }
 
 // acquire blocks until a pool slot is free or ctx fires, maintaining the

@@ -233,3 +233,175 @@ func waitForKeyFree(t *testing.T, g *flightGroup, key string) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// Regression: the last waiter's departure must unmap the key
+// immediately. Before the fix, the dying call lingered in g.calls until
+// its run goroutine published, so a fresh caller arriving in that window
+// coalesced onto the cancelled computation and got a spurious
+// context.Canceled instead of a fresh result.
+func TestFlightGroupAbandonedKeyFreedBeforePublish(t *testing.T) {
+	g := newFlightGroup(context.Background(), 2, 0)
+	block := make(chan struct{})
+	entered := make(chan struct{})
+
+	callerCtx, callerCancel := context.WithCancel(context.Background())
+	firstDone := make(chan error, 1)
+	go func() {
+		_, _, err := g.do(callerCtx, "k", func(ctx context.Context) ([]byte, error) {
+			close(entered)
+			// Keep running after cancellation: a real kernel takes a
+			// moment to notice ctx and unwind. The publish is therefore
+			// delayed past the last waiter's departure.
+			<-block
+			return nil, ctx.Err()
+		})
+		firstDone <- err
+	}()
+	<-entered
+	callerCancel()
+	if err := <-firstDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoning caller error = %v, want Canceled", err)
+	}
+
+	// The abandoned computation has NOT published yet (fn still blocked),
+	// but the key must already be free: this caller gets a fresh
+	// execution and a real result.
+	body, shared, err := g.do(context.Background(), "k", func(ctx context.Context) ([]byte, error) {
+		return []byte("fresh"), nil
+	})
+	if err != nil || shared || string(body) != "fresh" {
+		t.Fatalf("caller in the abandon window: body=%q shared=%v err=%v", body, shared, err)
+	}
+	close(block)
+	waitForKeyFree(t, g, "k")
+}
+
+// Regression: a last-waiter departure must stop the per-job timeout
+// timer by cancelling the job context promptly — not leave the job
+// running until the timeout expires.
+func TestFlightGroupAbandonStopsJobTimer(t *testing.T) {
+	g := newFlightGroup(context.Background(), 1, time.Hour)
+	entered := make(chan struct{})
+	jobErr := make(chan error, 1)
+
+	callerCtx, callerCancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		g.do(callerCtx, "k", func(ctx context.Context) ([]byte, error) {
+			close(entered)
+			<-ctx.Done()
+			jobErr <- ctx.Err()
+			return nil, ctx.Err()
+		})
+		close(done)
+	}()
+	<-entered
+	callerCancel()
+	<-done
+	select {
+	case err := <-jobErr:
+		// The job context fired from cancellation, hours before the
+		// timeout could.
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("job ctx err = %v, want Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("job context still alive after the last waiter left — the timeout timer is the only thing that would stop it")
+	}
+}
+
+// The publish of an abandoned call must not unmap a successor
+// computation that reused the key meanwhile.
+func TestFlightGroupAbandonedPublishDoesNotEvictSuccessor(t *testing.T) {
+	g := newFlightGroup(context.Background(), 2, 0)
+	blockOld := make(chan struct{})
+	enteredOld := make(chan struct{})
+
+	callerCtx, callerCancel := context.WithCancel(context.Background())
+	oldDone := make(chan struct{})
+	go func() {
+		g.do(callerCtx, "k", func(ctx context.Context) ([]byte, error) {
+			close(enteredOld)
+			<-blockOld
+			return nil, ctx.Err()
+		})
+		close(oldDone)
+	}()
+	<-enteredOld
+	callerCancel()
+	<-oldDone
+
+	// Start a successor under the same key and hold it in-flight.
+	blockNew := make(chan struct{})
+	enteredNew := make(chan struct{})
+	newDone := make(chan error, 1)
+	go func() {
+		_, _, err := g.do(context.Background(), "k", func(ctx context.Context) ([]byte, error) {
+			close(enteredNew)
+			<-blockNew
+			return []byte("v"), nil
+		})
+		newDone <- err
+	}()
+	<-enteredNew
+
+	// Let the abandoned call publish now; it must leave the successor's
+	// mapping alone, so a third caller coalesces instead of starting a
+	// duplicate execution.
+	close(blockOld)
+	for deadline := time.Now().Add(time.Second); !g.joinable("k"); {
+		if time.Now().After(deadline) {
+			t.Fatal("successor call evicted by the abandoned publish")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	thirdDone := make(chan error, 1)
+	go func() {
+		_, shared, err := g.do(context.Background(), "k", func(ctx context.Context) ([]byte, error) {
+			t.Error("third caller must coalesce, not execute")
+			return nil, nil
+		})
+		if err == nil && !shared {
+			t.Error("third caller reported shared=false")
+		}
+		thirdDone <- err
+	}()
+	for deadline := time.Now().Add(time.Second); g.coalesced.Load() == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("third caller never coalesced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(blockNew)
+	if err := <-newDone; err != nil {
+		t.Fatalf("successor err = %v", err)
+	}
+	if err := <-thirdDone; err != nil {
+		t.Fatalf("coalesced caller err = %v", err)
+	}
+}
+
+func TestFlightGroupObserveFeedsCompletedDurationsOnly(t *testing.T) {
+	g := newFlightGroup(context.Background(), 2, 0)
+	var observed atomic.Int64
+	g.observe = func(d time.Duration) {
+		if d <= 0 {
+			t.Errorf("observed non-positive duration %v", d)
+		}
+		observed.Add(1)
+	}
+	if _, _, err := g.do(context.Background(), "ok", func(ctx context.Context) ([]byte, error) {
+		time.Sleep(time.Millisecond)
+		return []byte("v"), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.do(context.Background(), "fail", func(ctx context.Context) ([]byte, error) {
+		return nil, errors.New("boom")
+	}); err == nil {
+		t.Fatal("want error")
+	}
+	if n := observed.Load(); n != 1 {
+		t.Errorf("observe called %d times, want 1 (failures excluded)", n)
+	}
+}

@@ -1,0 +1,444 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ringsched/internal/resilience"
+)
+
+// errBody mirrors the structured wire error for assertions.
+type errBody struct {
+	Error        string `json:"error"`
+	Code         string `json:"code"`
+	RetryAfterMs int64  `json:"retryAfterMs"`
+}
+
+func decodeErrBody(t *testing.T, b []byte) errBody {
+	t.Helper()
+	var eb errBody
+	if err := json.Unmarshal(b, &eb); err != nil {
+		t.Fatalf("error body %q is not the structured shape: %v", b, err)
+	}
+	if eb.Error == "" || eb.Code == "" {
+		t.Fatalf("error body %q missing message or code", b)
+	}
+	return eb
+}
+
+// postWith issues a POST with extra headers.
+func postWith(t *testing.T, url, body string, headers map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// occupyPool takes the server's only worker slot and returns a release
+// function, so tests can build a deterministic backlog.
+func occupyPool(t *testing.T, s *Server) (release func()) {
+	t.Helper()
+	if err := s.flight.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent so tests can release explicitly mid-test and still
+	// defer release() for the failure paths.
+	var once sync.Once
+	return func() { once.Do(s.flight.release) }
+}
+
+// waitForQueued polls until exactly n jobs wait for a pool slot.
+func waitForQueued(t *testing.T, s *Server, n int64) {
+	t.Helper()
+	for deadline := time.Now().Add(2 * time.Second); ; {
+		if q, _ := s.flight.Depth(); q == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			q, r := s.flight.Depth()
+			t.Fatalf("queue never reached %d (queued=%d running=%d)", n, q, r)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+const analyzeBodyB = `{
+  "bandwidthMbps": 80,
+  "streams": [{"name": "alt", "periodMs": 20, "lengthBits": 8192}]
+}`
+
+const analyzeBodyC = `{
+  "bandwidthMbps": 90,
+  "streams": [{"name": "third", "periodMs": 30, "lengthBits": 16384}]
+}`
+
+func TestAdmissionShedsOnQueueFull(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+
+	release := occupyPool(t, s)
+	// First distinct request queues behind the occupied slot.
+	firstDone := make(chan int, 1)
+	go func() {
+		resp, _ := post(t, ts.URL+"/v1/analyze", analyzeBody)
+		firstDone <- resp.StatusCode
+	}()
+	waitForQueued(t, s, 1)
+
+	// The queue is at its bound: a second distinct request is shed on
+	// arrival with the full structured rejection.
+	resp, body := post(t, ts.URL+"/v1/analyze", analyzeBodyB)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503; body %s", resp.StatusCode, body)
+	}
+	eb := decodeErrBody(t, body)
+	if eb.Code != string(resilience.CodeOverloaded) {
+		t.Errorf("code = %q, want overloaded", eb.Code)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+
+	release()
+	if code := <-firstDone; code != http.StatusOK {
+		t.Errorf("queued request finished %d, want 200", code)
+	}
+	if n := metricValue(t, ts.URL, `^ringschedd_shed_total\{endpoint="analyze",reason="queue_full"\}`); n != 1 {
+		t.Errorf("shed_total{queue_full} = %g, want 1", n)
+	}
+	// After the backlog clears, the same request is admitted.
+	resp, body = post(t, ts.URL+"/v1/analyze", analyzeBodyB)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("post-backlog status = %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestAdmissionShedsInfeasibleDeadlines(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: -1})
+	// Teach the admission controller that computations take ~1s each.
+	s.admission.Observe(time.Second)
+
+	release := occupyPool(t, s)
+	defer release()
+	queuedDone := make(chan struct{})
+	go func() {
+		post(t, ts.URL+"/v1/analyze", analyzeBody)
+		close(queuedDone)
+	}()
+	waitForQueued(t, s, 1)
+
+	// Estimated wait is ~1s; a 100ms deadline cannot be met, so the
+	// request is rejected on arrival instead of wasting a worker.
+	resp, body := postWith(t, ts.URL+"/v1/analyze", analyzeBodyB,
+		map[string]string{"X-Ringsched-Deadline-Ms": "100"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503; body %s", resp.StatusCode, body)
+	}
+	eb := decodeErrBody(t, body)
+	if eb.Code != string(resilience.CodeOverloaded) || eb.RetryAfterMs < 500 {
+		t.Errorf("body = %+v, want overloaded with the ~1s estimated wait as the hint", eb)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("missing Retry-After")
+	}
+	if n := metricValue(t, ts.URL, `^ringschedd_shed_total\{endpoint="analyze",reason="deadline"\}`); n != 1 {
+		t.Errorf("shed_total{deadline} = %g, want 1", n)
+	}
+
+	// The identical backlog with a roomy deadline is admitted.
+	admitted := make(chan int, 1)
+	go func() {
+		resp, _ := postWith(t, ts.URL+"/v1/analyze", analyzeBodyC,
+			map[string]string{"X-Ringsched-Deadline-Ms": "30000"})
+		admitted <- resp.StatusCode
+	}()
+	waitForQueued(t, s, 2)
+	release()
+	<-queuedDone
+	if code := <-admitted; code != http.StatusOK {
+		t.Errorf("feasible-deadline request finished %d, want 200", code)
+	}
+}
+
+func TestAdmissionNeverShedsCacheHitsOrCoalescibleRequests(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+
+	// Warm the cache while the server is idle.
+	if resp, body := post(t, ts.URL+"/v1/analyze", analyzeBody); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm: %d %s", resp.StatusCode, body)
+	}
+
+	release := occupyPool(t, s)
+	queuedDone := make(chan struct{})
+	go func() {
+		post(t, ts.URL+"/v1/analyze", analyzeBodyB)
+		close(queuedDone)
+	}()
+	waitForQueued(t, s, 1)
+
+	// The queue is full, but a cache hit needs no worker: served.
+	resp, _ := post(t, ts.URL+"/v1/analyze", analyzeBody)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "hit" {
+		t.Errorf("cache hit under saturation: status=%d X-Cache=%q", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+
+	// A request identical to the queued one coalesces — it adds no work,
+	// so the full queue must not shed it either.
+	coalesced := make(chan int, 1)
+	go func() {
+		resp, _ := post(t, ts.URL+"/v1/analyze", analyzeBodyB)
+		coalesced <- resp.StatusCode
+	}()
+	for deadline := time.Now().Add(2 * time.Second); s.flight.coalesced.Load() == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("identical request never coalesced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	release()
+	<-queuedDone
+	if code := <-coalesced; code != http.StatusOK {
+		t.Errorf("coalescible request finished %d, want 200", code)
+	}
+	if n := metricValue(t, ts.URL, `^ringschedd_shed_total`); n != 0 {
+		t.Errorf("shed_total = %g, want 0", n)
+	}
+}
+
+func TestPerClientRateLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{ClientRPS: 0.001, ClientBurst: 2})
+
+	alice := map[string]string{"X-Ringsched-Client": "alice"}
+	for i := 0; i < 2; i++ {
+		if resp, body := postWith(t, ts.URL+"/v1/analyze", analyzeBody, alice); resp.StatusCode != http.StatusOK {
+			t.Fatalf("burst request %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+	resp, body := postWith(t, ts.URL+"/v1/analyze", analyzeBody, alice)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429; body %s", resp.StatusCode, body)
+	}
+	eb := decodeErrBody(t, body)
+	if eb.Code != string(resilience.CodeRateLimited) || eb.RetryAfterMs <= 0 {
+		t.Errorf("429 body = %+v", eb)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After")
+	}
+
+	// Another client's bucket is untouched.
+	if resp, body := postWith(t, ts.URL+"/v1/analyze", analyzeBody,
+		map[string]string{"X-Ringsched-Client": "bob"}); resp.StatusCode != http.StatusOK {
+		t.Errorf("bob limited by alice's bucket: %d %s", resp.StatusCode, body)
+	}
+	if n := metricValue(t, ts.URL, `^ringschedd_ratelimited_total\{endpoint="analyze"\}`); n != 1 {
+		t.Errorf("ratelimited_total = %g, want 1", n)
+	}
+	if n := metricValue(t, ts.URL, `^ringschedd_ratelimit_clients`); n != 2 {
+		t.Errorf("ratelimit_clients = %g, want 2", n)
+	}
+}
+
+func TestDeadlineHeaderValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, bad := range []string{"abc", "-5", "0", "1.5"} {
+		resp, body := postWith(t, ts.URL+"/v1/analyze", analyzeBody,
+			map[string]string{"X-Ringsched-Deadline-Ms": bad})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("deadline %q: status = %d, want 400", bad, resp.StatusCode)
+			continue
+		}
+		if eb := decodeErrBody(t, body); eb.Code != string(resilience.CodeBadRequest) {
+			t.Errorf("deadline %q: code = %q", bad, eb.Code)
+		}
+	}
+}
+
+func TestDeadlineExpiryAnswers504(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	// Hold the only slot so the request waits out its whole deadline in
+	// the queue. With no completed observations the estimated wait is
+	// zero, so admission lets it in.
+	release := occupyPool(t, s)
+	defer release()
+
+	resp, body := postWith(t, ts.URL+"/v1/analyze", analyzeBody,
+		map[string]string{"X-Ringsched-Deadline-Ms": "80"})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504; body %s", resp.StatusCode, body)
+	}
+	if eb := decodeErrBody(t, body); eb.Code != string(resilience.CodeDeadline) {
+		t.Errorf("code = %q, want deadline_exceeded", eb.Code)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("504 missing Retry-After")
+	}
+}
+
+func TestPanicRecoveryAnswers500AndKeepsServing(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.mux.HandleFunc("/boom", s.instrument("boom", func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	}))
+
+	resp, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	if eb := decodeErrBody(t, body); eb.Code != string(resilience.CodeInternal) {
+		t.Errorf("code = %q, want internal", eb.Code)
+	}
+	if n := metricValue(t, ts.URL, `^ringschedd_panics_total\{endpoint="boom"\}`); n != 1 {
+		t.Errorf("panics_total = %g, want 1", n)
+	}
+	// The daemon survived and still serves real traffic.
+	if resp, body := post(t, ts.URL+"/v1/analyze", analyzeBody); resp.StatusCode != http.StatusOK {
+		t.Errorf("post-panic analyze: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestDrainingRejectionCarriesRetryAfter(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.BeginDrain()
+	resp, body := post(t, ts.URL+"/v1/analyze", analyzeBody)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if eb := decodeErrBody(t, body); eb.Code != string(resilience.CodeUnavailable) {
+		t.Errorf("code = %q, want unavailable", eb.Code)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("draining 503 missing Retry-After")
+	}
+}
+
+func TestChaosMiddlewareThreadedThroughServer(t *testing.T) {
+	model := resilience.ChaosModel{Seed: 3, ErrorProb: 0.5, ErrorStatus: 503}
+	_, ts := newTestServer(t, Config{Chaos: model})
+
+	var ok, injected int
+	for i := 0; i < 24; i++ {
+		resp, body := post(t, ts.URL+"/v1/analyze", analyzeBody)
+		switch resp.StatusCode {
+		case http.StatusOK:
+			ok++
+		case http.StatusServiceUnavailable:
+			injected++
+			var eb errBody
+			if err := json.Unmarshal(body, &eb); err != nil || eb.Code != string(resilience.CodeInjected) {
+				t.Fatalf("injected body %q (err %v)", body, err)
+			}
+		default:
+			t.Fatalf("unexpected status %d: %s", resp.StatusCode, body)
+		}
+	}
+	if ok == 0 || injected == 0 {
+		t.Fatalf("ok=%d injected=%d, want a mix at p=0.5", ok, injected)
+	}
+	if n := metricValue(t, ts.URL, `^ringschedd_chaos_injections_total\{kind="error"\}`); n != float64(injected) {
+		t.Errorf("chaos_injections_total{error} = %g, want %d", n, injected)
+	}
+}
+
+func TestSweepStreamShedBeforeHeaders(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	release := occupyPool(t, s)
+	defer release()
+	queuedDone := make(chan struct{})
+	go func() {
+		post(t, ts.URL+"/v1/analyze", analyzeBody)
+		close(queuedDone)
+	}()
+	waitForQueued(t, s, 1)
+
+	// A shed stream request is a plain 503 — not a 200 SSE stream that
+	// dies immediately — so clients retry through one code path.
+	resp, body := postWith(t, ts.URL+"/v1/sweep?stream=sse", smallSweepBody, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503; body %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("Content-Type = %q, want JSON error, not a stream", ct)
+	}
+	decodeErrBody(t, body)
+	release()
+	<-queuedDone
+}
+
+func TestSweepStreamHeartbeatsWhileStalled(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4, SSEKeepAlive: 25 * time.Millisecond})
+	// Occupy the pool so the stream stalls in acquire — from the client's
+	// side, total silence without keepalives.
+	release := occupyPool(t, s)
+	released := false
+	defer func() {
+		if !released {
+			release()
+		}
+	}()
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/sweep", strings.NewReader(smallSweepBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status = %d", resp.StatusCode)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	keepalives, sawResult := 0, false
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, ": keepalive") {
+			keepalives++
+			if keepalives == 2 && !released {
+				released = true
+				release()
+			}
+		}
+		if line == "event: result" {
+			sawResult = true
+			break
+		}
+	}
+	if keepalives < 2 {
+		t.Errorf("saw %d keepalive comments while stalled, want >= 2", keepalives)
+	}
+	if !sawResult {
+		t.Errorf("stream never delivered the result after the stall (scan err %v)", sc.Err())
+	}
+	_ = s
+}

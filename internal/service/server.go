@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"ringsched/internal/progress"
+	"ringsched/internal/resilience"
 	"ringsched/internal/trace"
 )
 
@@ -38,6 +40,24 @@ type Config struct {
 	// (e.g. a JSONL file sink); the in-memory ring and the stage-latency
 	// histograms are always fed regardless.
 	TraceSink trace.Sink
+	// QueueDepth bounds computations waiting for a worker slot before
+	// arrivals are shed with 503 (default 4×Workers; negative disables
+	// the bound — deadline-infeasibility shedding still applies).
+	QueueDepth int
+	// ClientRPS enables per-client token-bucket rate limiting at this
+	// many requests per second (0 disables).
+	ClientRPS float64
+	// ClientBurst is the per-client burst allowance (default 2×ClientRPS,
+	// minimum 1). Only meaningful when ClientRPS > 0.
+	ClientBurst float64
+	// MaxClients bounds resident rate-limiter buckets (default 1024).
+	MaxClients int
+	// Chaos configures deterministic fault injection on the API
+	// endpoints; the zero model injects nothing.
+	Chaos resilience.ChaosModel
+	// SSEKeepAlive is the idle heartbeat interval for progress streams
+	// (default 15s; negative disables).
+	SSEKeepAlive time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -58,6 +78,24 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TraceSpans <= 0 {
 		c.TraceSpans = 4096
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.ClientRPS > 0 && c.ClientBurst <= 0 {
+		c.ClientBurst = 2 * c.ClientRPS
+		if c.ClientBurst < 1 {
+			c.ClientBurst = 1
+		}
+	}
+	if c.SSEKeepAlive == 0 {
+		c.SSEKeepAlive = 15 * time.Second
+	}
+	if c.SSEKeepAlive < 0 {
+		c.SSEKeepAlive = 0
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -84,13 +122,21 @@ type Server struct {
 	spans  *trace.Ring
 	logger *slog.Logger
 
-	requests  *counterVec   // endpoint, code
-	latency   *histogramVec // endpoint
-	computes  *counterVec   // endpoint
-	verdicts  *counterVec   // protocol, schedulable
-	canceled  *counterVec   // endpoint
-	sseStream *counterVec   // endpoint (streams opened)
-	stages    *histogramVec // stage (trace-derived)
+	admission *resilience.Admission
+	limiter   *resilience.Limiter
+	chaos     *resilience.Chaos
+
+	requests    *counterVec   // endpoint, code
+	latency     *histogramVec // endpoint
+	computes    *counterVec   // endpoint
+	verdicts    *counterVec   // protocol, schedulable
+	canceled    *counterVec   // endpoint
+	sseStream   *counterVec   // endpoint (streams opened)
+	stages      *histogramVec // stage (trace-derived)
+	shed        *counterVec   // endpoint, reason (queue_full | deadline)
+	ratelimited *counterVec   // endpoint
+	panics      *counterVec   // endpoint
+	chaosInj    *counterVec   // kind (latency | error | reset)
 }
 
 // stageForSpan maps span names to the /metrics stage label, so the
@@ -123,6 +169,20 @@ func New(cfg Config) *Server {
 		canceled:   newCounterVec("ringschedd_canceled_total", "Requests that ended with a canceled or expired context."),
 		sseStream:  newCounterVec("ringschedd_sse_streams_total", "Progress streams opened by endpoint."),
 		stages:     newHistogramVec("ringschedd_stage_seconds", "Trace-derived latency by request stage (canonicalize, cache, kernel, encode)."),
+		shed:       newCounterVec("ringschedd_shed_total", "Requests shed on arrival by the admission controller, by endpoint and reason."),
+		ratelimited: newCounterVec("ringschedd_ratelimited_total",
+			"Requests rejected by the per-client rate limiter."),
+		panics: newCounterVec("ringschedd_panics_total", "Handler panics recovered and answered with 500."),
+		chaosInj: newCounterVec("ringschedd_chaos_injections_total",
+			"Faults injected by the chaos middleware, by kind."),
+	}
+	s.admission = resilience.NewAdmission(cfg.Workers, cfg.QueueDepth)
+	if cfg.ClientRPS > 0 {
+		s.limiter = resilience.NewLimiter(cfg.ClientRPS, cfg.ClientBurst, cfg.MaxClients)
+	}
+	if cfg.Chaos.Enabled() {
+		s.chaos = resilience.NewChaos(cfg.Chaos)
+		s.chaos.OnInject = func(kind string) { s.chaosInj.add(labels("kind", kind), 1) }
 	}
 	stageSink := trace.SinkFunc(func(rec trace.Record) {
 		if stage, ok := stageForSpan[rec.Name]; ok {
@@ -131,6 +191,7 @@ func New(cfg Config) *Server {
 	})
 	s.tracer = trace.New(trace.Tee(s.spans, stageSink, cfg.TraceSink))
 	s.flight = newFlightGroup(baseCtx, cfg.Workers, cfg.JobTimeout)
+	s.flight.observe = s.admission.Observe
 	s.mux.HandleFunc("/v1/analyze", s.instrument("analyze", s.handleAnalyze))
 	s.mux.HandleFunc("/v1/topology/analyze", s.instrument("topology", s.handleTopology))
 	s.mux.HandleFunc("/v1/sweep", s.instrument("sweep", s.handleSweep))
@@ -160,15 +221,24 @@ func (s *Server) Close() { s.baseCancel() }
 func (s *Server) InFlight() int64 { return s.inflight.Load() }
 
 // statusWriter records the response code and passes Flush through so SSE
-// works behind the instrumentation wrapper.
+// works behind the instrumentation wrapper. wrote tracks whether any
+// response bytes are committed, so the panic-recovery middleware knows
+// whether a 500 can still be written.
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
 }
 
 func (w *statusWriter) Flush() {
@@ -177,13 +247,47 @@ func (w *statusWriter) Flush() {
 	}
 }
 
-// instrument wraps an API handler with draining rejection, in-flight
-// tracking, request/latency metrics, a root span, and one structured log
-// record per request. A well-formed X-Ringsched-Trace request header is
-// adopted as the trace ID (letting clients stitch our spans into their own
-// traces); the response always carries the header so a curl user can plug
-// its value straight into /debug/traces?trace=.
+// errDraining is the typed rejection for a draining server; the caller
+// should retry against another replica almost immediately.
+var errDraining = &resilience.Error{
+	Code: resilience.CodeUnavailable, Status: http.StatusServiceUnavailable,
+	Message: "service: draining, not accepting new work", RetryAfter: time.Second,
+}
+
+// clientKey identifies a client for rate limiting: an explicit
+// X-Ringsched-Client header when present (load generators and tests use
+// it to simulate distinct tenants), else the peer host.
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get("X-Ringsched-Client"); k != "" {
+		return k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// deadlineHeader is the client deadline propagation header: the number
+// of milliseconds the client is still willing to wait. The server turns
+// it into a context deadline, so admission control can shed requests
+// whose answers could only arrive too late.
+const deadlineHeader = "X-Ringsched-Deadline-Ms"
+
+// instrument wraps an API handler with the serving middleware chain, from
+// the outside in: panic recovery (a handler bug answers 500 instead of
+// killing the daemon), in-flight tracking, request/latency metrics, a
+// root span and one structured log record, draining rejection, per-client
+// rate limiting, client deadline propagation, and deterministic chaos
+// injection. A well-formed X-Ringsched-Trace request header is adopted as
+// the trace ID (letting clients stitch our spans into their own traces);
+// the response always carries the header so a curl user can plug its
+// value straight into /debug/traces?trace=.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	// Chaos wraps the innermost handler so injected faults see the final
+	// request context (deadline included) and pay the same metrics as
+	// real responses; a nil/disabled chaos is a free passthrough.
+	inner := s.chaos.Wrap(http.HandlerFunc(h))
 	return func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()
@@ -199,7 +303,6 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 			sp.SetAttr("badTraceHeader", true)
 		}
 		sw.Header().Set("X-Ringsched-Trace", sp.TraceID().String())
-		r = r.WithContext(ctx)
 
 		defer func() {
 			s.inflight.Add(-1)
@@ -215,20 +318,116 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 				slog.Duration("elapsed", elapsed),
 				slog.String("cache", sw.Header().Get("X-Cache")))
 		}()
+		// Registered after the metrics defer so it runs first (LIFO): it
+		// converts the panic into a 500 and the metrics/log record above
+		// then observes that code instead of a torn request.
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				// Deliberate connection abort (the chaos middleware's
+				// reset process) — let net/http sever the connection.
+				sp.SetAttr("aborted", true)
+				sw.code = http.StatusServiceUnavailable
+				panic(p)
+			}
+			s.panics.add(labels("endpoint", endpoint), 1)
+			sp.SetError(fmt.Errorf("panic: %v", p))
+			s.logger.LogAttrs(ctx, slog.LevelError, "panic",
+				slog.String("endpoint", endpoint), slog.String("value", fmt.Sprint(p)))
+			if !sw.wrote {
+				writeError(sw, http.StatusInternalServerError,
+					resilience.Errorf(resilience.CodeInternal, http.StatusInternalServerError,
+						"service: internal error"))
+			} else {
+				sw.code = http.StatusInternalServerError
+			}
+		}()
 		if s.draining.Load() {
-			writeError(sw, http.StatusServiceUnavailable, errors.New("service: draining, not accepting new work"))
+			writeError(sw, http.StatusServiceUnavailable, errDraining)
 			return
 		}
-		h(sw, r)
+		if s.limiter != nil {
+			if ok, retryAfter := s.limiter.Allow(clientKey(r), time.Now()); !ok {
+				s.ratelimited.add(labels("endpoint", endpoint), 1)
+				writeError(sw, http.StatusTooManyRequests,
+					resilience.ErrRateLimited.WithRetryAfter(retryAfter))
+				return
+			}
+		}
+		if raw := r.Header.Get(deadlineHeader); raw != "" {
+			ms, err := strconv.ParseInt(raw, 10, 64)
+			if err != nil || ms <= 0 {
+				writeError(sw, http.StatusBadRequest,
+					resilience.Errorf(resilience.CodeBadRequest, http.StatusBadRequest,
+						"service: bad %s header %q: want a positive integer", deadlineHeader, raw))
+				return
+			}
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+			defer cancel()
+			sp.SetAttr("deadlineMs", ms)
+		}
+		inner.ServeHTTP(sw, r.WithContext(ctx))
 	}
 }
 
-// writeError emits a JSON error body with the given status.
+// errorBody is the wire shape of every error response: a human-readable
+// message, a stable machine code, and an optional retry hint.
+type errorBody struct {
+	Error        string `json:"error"`
+	Code         string `json:"code"`
+	RetryAfterMs int64  `json:"retryAfterMs,omitempty"`
+}
+
+// codeForStatus backfills a taxonomy code for untyped errors.
+func codeForStatus(status int) resilience.Code {
+	switch status {
+	case http.StatusBadRequest, http.StatusMethodNotAllowed:
+		return resilience.CodeBadRequest
+	case http.StatusTooManyRequests:
+		return resilience.CodeRateLimited
+	case http.StatusServiceUnavailable:
+		return resilience.CodeUnavailable
+	case http.StatusGatewayTimeout:
+		return resilience.CodeDeadline
+	default:
+		return resilience.CodeInternal
+	}
+}
+
+// writeError emits the structured JSON error body with the given status.
+// Every 429/503/504 response carries a Retry-After header: the typed
+// error's hint when it has one (rounded up to whole seconds, minimum 1),
+// else a default of 1s — so even naive clients that only honor the
+// header back off instead of hammering a saturated server.
 func writeError(w http.ResponseWriter, code int, err error) {
+	body := errorBody{Error: err.Error(), Code: string(codeForStatus(code))}
+	var retryAfter time.Duration
+	if te, ok := resilience.AsError(err); ok {
+		body.Code = string(te.Code)
+		retryAfter = te.RetryAfter
+	}
+	switch code {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		if retryAfter <= 0 {
+			retryAfter = time.Second
+		}
+	}
+	if retryAfter > 0 {
+		body.RetryAfterMs = int64(retryAfter / time.Millisecond)
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	body, _ := json.Marshal(map[string]string{"error": err.Error()})
-	w.Write(append(body, '\n'))
+	out, _ := json.Marshal(body)
+	w.Write(append(out, '\n'))
 }
 
 // statusFor maps computation errors to HTTP statuses.
@@ -249,6 +448,42 @@ func (s *Server) noteCancel(endpoint string, err error) {
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		s.canceled.add(labels("endpoint", endpoint), 1)
 	}
+}
+
+// deadlineRemaining extracts the request's remaining deadline budget.
+func deadlineRemaining(ctx context.Context) (time.Duration, bool) {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return 0, false
+	}
+	return time.Until(dl), true
+}
+
+// admit runs the admission decision for one cache-missing request:
+// requests that would coalesce onto an in-flight computation are always
+// admitted (they add no work to the pool); everything else is checked
+// against the queue bound and deadline feasibility. A non-nil error has
+// already been counted in the shed metric and is ready for writeError.
+func (s *Server) admit(ctx context.Context, endpoint, key string) error {
+	if s.flight.joinable(key) {
+		return nil
+	}
+	queued, _ := s.flight.Depth()
+	remaining, hasDeadline := deadlineRemaining(ctx)
+	retryAfter, err := s.admission.Admit(queued, remaining, hasDeadline)
+	if err == nil {
+		return nil
+	}
+	reason := "queue_full"
+	if errors.Is(err, resilience.ErrDeadlineInfeasible) {
+		reason = "deadline"
+	}
+	s.shed.add(labels("endpoint", endpoint, "reason", reason), 1)
+	if sp := trace.SpanFromContext(ctx); sp != nil {
+		sp.SetAttr("shed", reason)
+	}
+	te, _ := resilience.AsError(err)
+	return te.WithRetryAfter(retryAfter)
 }
 
 // decode parses a request body strictly.
@@ -277,6 +512,14 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, k
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Cache", "hit")
 		w.Write(body)
+		return
+	}
+	// Load shedding happens here — after the cache, before the pool — so
+	// a saturated server still answers every request it can answer for
+	// free, and sheds only work that needs a worker.
+	if err := s.admit(r.Context(), endpoint, key); err != nil {
+		te, _ := resilience.AsError(err)
+		writeError(w, te.Status, err)
 		return
 	}
 	// The flight group's compute context derives from the server's base
@@ -430,6 +673,17 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, canon Sweep
 		writeError(w, http.StatusInternalServerError, errors.New("service: streaming unsupported"))
 		return
 	}
+	// Admission runs before the stream is committed, so a shed request is
+	// a plain 503 with Retry-After — not a 200 stream that immediately
+	// errors. A cached result is always served.
+	cachedBody, cached := s.cache.Get(key)
+	if !cached {
+		if err := s.admit(r.Context(), "sweep", key); err != nil {
+			te, _ := resilience.AsError(err)
+			writeError(w, te.Status, err)
+			return
+		}
+	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
@@ -437,8 +691,8 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, canon Sweep
 	s.sseStream.add(labels("endpoint", "sweep"), 1)
 
 	sse := progress.NewSSE(w, flusher.Flush, s.cfg.SampleEvery)
-	if body, ok := s.cache.Get(key); ok {
-		sse.Event("result", json.RawMessage(body))
+	if cached {
+		sse.Event("result", json.RawMessage(cachedBody))
 		return
 	}
 	// The sweep runs inline on this handler goroutine — never in the
@@ -458,22 +712,29 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, canon Sweep
 		ctx, tcancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
 		defer tcancel()
 	}
+	// Heartbeat while the stream waits for a slot or grinds through a
+	// quiet stretch of the sweep: intermediaries with idle timeouts see
+	// comment frames instead of silence.
+	stopKeepAlive := sse.KeepAlive(ctx, s.cfg.SSEKeepAlive)
+	defer stopKeepAlive()
 	if err := s.flight.acquire(ctx); err != nil {
 		s.noteCancel("sweep", err)
-		sse.Event("error", map[string]string{"error": err.Error()})
+		sse.Event("error", errorBody{Error: err.Error(), Code: string(codeForStatus(statusFor(err)))})
 		return
 	}
 	defer s.flight.release()
 	s.computes.add(labels("endpoint", "sweep"), 1)
+	started := time.Now()
 	resp, err := sweepCanonical(ctx, canon, key, s.cfg.Workers, sse)
 	if err != nil {
 		s.noteCancel("sweep", err)
-		sse.Event("error", map[string]string{"error": err.Error()})
+		sse.Event("error", errorBody{Error: err.Error(), Code: string(codeForStatus(statusFor(err)))})
 		return
 	}
+	s.admission.Observe(time.Since(started))
 	body, err := Encode(resp)
 	if err != nil {
-		sse.Event("error", map[string]string{"error": err.Error()})
+		sse.Event("error", errorBody{Error: err.Error(), Code: string(resilience.CodeInternal)})
 		return
 	}
 	s.cache.Put(key, body)
@@ -535,6 +796,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.canceled.write(w)
 	s.sseStream.write(w)
 	s.stages.write(w)
+	s.shed.write(w)
+	s.ratelimited.write(w)
+	s.panics.write(w)
+	s.chaosInj.write(w)
 	buildInfo(w)
 	for _, g := range []gaugeFunc{
 		{"ringschedd_cache_hits_total", "Result cache hits.", "counter", func() float64 { return float64(s.cache.Hits()) }},
@@ -547,6 +812,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"ringschedd_pool_queued", "Jobs waiting for a worker slot.", "", func() float64 { q, _ := s.flight.Depth(); return float64(q) }},
 		{"ringschedd_pool_running", "Jobs currently computing.", "", func() float64 { _, r := s.flight.Depth(); return float64(r) }},
 		{"ringschedd_http_in_flight", "API requests currently being served.", "", func() float64 { return float64(s.InFlight()) }},
+		{"ringschedd_admission_service_seconds", "EWMA of completed computation service times feeding the admission controller.", "",
+			func() float64 { return s.admission.ServiceTime().Seconds() }},
+		{"ringschedd_admission_est_wait_seconds", "Estimated queue wait a new arrival would see right now.", "",
+			func() float64 { q, _ := s.flight.Depth(); return s.admission.EstimatedWait(q).Seconds() }},
+		{"ringschedd_ratelimit_clients", "Resident per-client rate-limiter buckets.", "",
+			func() float64 {
+				if s.limiter == nil {
+					return 0
+				}
+				return float64(s.limiter.Clients())
+			}},
 	} {
 		g.write(w)
 	}

@@ -1,0 +1,401 @@
+// Package ringschedclient is the official Go client for the ringschedd
+// HTTP API. It wraps the wire protocol with the failure handling a
+// well-behaved client of an overload-protected server needs:
+//
+//   - capped exponential backoff with full jitter between retries, so a
+//     shared failure does not resynchronize every client into a retry
+//     storm,
+//   - a retry budget bounding how much load retries may add — when the
+//     server is failing everything, retries dry up instead of
+//     multiplying the overload,
+//   - Retry-After honoring: a server hint always stretches (never
+//     shortens) the computed backoff,
+//   - a circuit breaker that stops hammering a consistently failing
+//     server and probes it back to health, and
+//   - optional hedged requests for latency smoothing: every ringschedd
+//     endpoint is deterministic and cached, so issuing a duplicate after
+//     a hedge delay is always safe.
+//
+// All failures surface as *APIError (typed server rejections, carrying
+// the wire code and Retry-After hint) or transport errors; callers can
+// switch on APIError.Code using the taxonomy in internal/resilience.
+package ringschedclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"ringsched/internal/resilience"
+)
+
+// Options tunes a Client. The zero value is a sensible production
+// configuration: 3 retries, 50ms..5s full-jitter backoff, a 10%% retry
+// budget, a 5-failure breaker with a 5s cooldown, and no hedging.
+type Options struct {
+	// HTTPClient is the transport (default http.DefaultClient).
+	HTTPClient *http.Client
+	// MaxRetries bounds retries per call; total attempts are
+	// MaxRetries+1. Negative disables retries entirely; 0 selects 3.
+	MaxRetries int
+	// Backoff computes the delay before each retry. The zero value
+	// selects the package defaults (50ms base, 5s cap, seeded jitter).
+	Backoff resilience.Backoff
+	// RetryBudgetRatio is the retry-budget earn rate per first attempt
+	// (default 0.1); RetryBudgetBurst caps the banked balance
+	// (default 10).
+	RetryBudgetRatio float64
+	RetryBudgetBurst float64
+	// Breaker configures the circuit breaker (zero value: threshold 5,
+	// cooldown 5s).
+	Breaker resilience.BreakerConfig
+	// Hedge, when positive, issues a duplicate request if the first has
+	// not answered within this delay, returning whichever finishes
+	// first. Safe for every ringschedd endpoint (deterministic, cached).
+	Hedge time.Duration
+	// Deadline, when positive, bounds each call and is propagated to the
+	// server via X-Ringsched-Deadline-Ms so admission control can shed
+	// requests it cannot serve in time. A tighter context deadline wins.
+	Deadline time.Duration
+	// ClientID is sent as X-Ringsched-Client, the server's rate-limit
+	// key.
+	ClientID string
+
+	// sleep replaces the interruptible retry sleep in tests.
+	sleep func(context.Context, time.Duration) error
+}
+
+// Counters are the client's lifetime resilience statistics.
+type Counters struct {
+	Attempts          int64 // HTTP round trips issued (hedges included)
+	Retries           int64 // retry sleeps taken
+	Hedges            int64 // hedged duplicates launched
+	BreakerRejections int64 // calls refused locally by the open breaker
+	BudgetExhausted   int64 // retries refused by the retry budget
+}
+
+// Client is a ringschedd API client. It is safe for concurrent use.
+type Client struct {
+	base    string
+	opts    Options
+	hc      *http.Client
+	breaker *resilience.Breaker
+	budget  *resilience.RetryBudget
+	sleep   func(context.Context, time.Duration) error
+
+	attempts  atomic.Int64
+	retries   atomic.Int64
+	hedges    atomic.Int64
+	rejected  atomic.Int64
+	exhausted atomic.Int64
+}
+
+// New builds a client for the ringschedd instance at baseURL.
+func New(baseURL string, opts Options) *Client {
+	if opts.HTTPClient == nil {
+		opts.HTTPClient = http.DefaultClient
+	}
+	if opts.MaxRetries == 0 {
+		opts.MaxRetries = 3
+	}
+	if opts.MaxRetries < 0 {
+		opts.MaxRetries = 0
+	}
+	c := &Client{
+		base:    strings.TrimSuffix(baseURL, "/"),
+		opts:    opts,
+		hc:      opts.HTTPClient,
+		breaker: resilience.NewBreaker(opts.Breaker),
+		budget:  resilience.NewRetryBudget(opts.RetryBudgetRatio, opts.RetryBudgetBurst),
+		sleep:   opts.sleep,
+	}
+	if c.sleep == nil {
+		c.sleep = sleepCtx
+	}
+	return c
+}
+
+// Counters returns a snapshot of the client's resilience statistics.
+func (c *Client) Counters() Counters {
+	return Counters{
+		Attempts:          c.attempts.Load(),
+		Retries:           c.retries.Load(),
+		Hedges:            c.hedges.Load(),
+		BreakerRejections: c.rejected.Load(),
+		BudgetExhausted:   c.exhausted.Load(),
+	}
+}
+
+// BreakerState exposes the circuit breaker state for monitoring.
+func (c *Client) BreakerState() resilience.BreakerState { return c.breaker.State() }
+
+// APIError is a non-2xx server response: the HTTP status, the stable
+// taxonomy code from the structured error body, the human-readable
+// message, and the server's Retry-After hint (zero when absent).
+type APIError struct {
+	Status     int
+	Code       resilience.Code
+	Message    string
+	RetryAfter time.Duration
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("ringschedd: %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// Temporary reports whether retrying the identical request could
+// succeed: rate limiting and server-side failures are temporary, other
+// 4xx rejections are not.
+func (e *APIError) Temporary() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status >= 500
+}
+
+// Analyze posts req (any JSON-marshalable value mirroring the
+// /v1/analyze request schema) and returns the raw response body.
+func (c *Client) Analyze(ctx context.Context, req any) (json.RawMessage, error) {
+	return c.Call(ctx, http.MethodPost, "/v1/analyze", req)
+}
+
+// Sweep posts req to /v1/sweep (non-streaming) and returns the body.
+func (c *Client) Sweep(ctx context.Context, req any) (json.RawMessage, error) {
+	return c.Call(ctx, http.MethodPost, "/v1/sweep", req)
+}
+
+// Topology posts req to /v1/topology/analyze and returns the body.
+func (c *Client) Topology(ctx context.Context, req any) (json.RawMessage, error) {
+	return c.Call(ctx, http.MethodPost, "/v1/topology/analyze", req)
+}
+
+// Health checks /healthz; a draining or dead server returns an error.
+func (c *Client) Health(ctx context.Context) error {
+	_, err := c.Call(ctx, http.MethodGet, "/healthz", nil)
+	return err
+}
+
+// Call issues one API call with the full resilience stack: breaker gate,
+// hedging, typed error decoding, budgeted retries with jittered backoff
+// stretched by any server Retry-After hint.
+func (c *Client) Call(ctx context.Context, method, path string, req any) (json.RawMessage, error) {
+	var payload []byte
+	if req != nil {
+		var err error
+		if payload, err = json.Marshal(req); err != nil {
+			return nil, fmt.Errorf("ringschedclient: encode request: %w", err)
+		}
+	}
+	c.budget.Deposit()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := c.breaker.Allow(); err != nil {
+			c.rejected.Add(1)
+			if lastErr != nil {
+				return nil, fmt.Errorf("%w (last attempt: %w)", err, lastErr)
+			}
+			return nil, err
+		}
+		body, err := c.roundTrip(ctx, method, path, payload)
+		if err == nil {
+			c.breaker.Success()
+			return body, nil
+		}
+		lastErr = err
+		if isBreakerFailure(err) {
+			c.breaker.Failure()
+		} else if ae := apiErrorOf(err); ae != nil && ae.Status == http.StatusTooManyRequests {
+			// 429 means the server is healthy and protecting itself;
+			// it must not push the breaker toward open.
+			c.breaker.Success()
+		}
+		if !isRetryable(err) || attempt >= c.opts.MaxRetries || ctx.Err() != nil {
+			return nil, lastErr
+		}
+		if !c.budget.Withdraw() {
+			c.exhausted.Add(1)
+			return nil, fmt.Errorf("ringschedclient: retry budget exhausted: %w", lastErr)
+		}
+		delay := c.opts.Backoff.Delay(attempt)
+		if ae := apiErrorOf(err); ae != nil && ae.RetryAfter > delay {
+			delay = ae.RetryAfter
+		}
+		c.retries.Add(1)
+		if err := c.sleep(ctx, delay); err != nil {
+			return nil, lastErr
+		}
+	}
+}
+
+// roundTrip performs one logical attempt, hedged when configured.
+func (c *Client) roundTrip(ctx context.Context, method, path string, payload []byte) (json.RawMessage, error) {
+	if c.opts.Hedge <= 0 {
+		return c.once(ctx, method, path, payload)
+	}
+	type result struct {
+		body json.RawMessage
+		err  error
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel() // the losing duplicate is cancelled, not leaked
+	results := make(chan result, 2)
+	launch := func() {
+		b, err := c.once(rctx, method, path, payload)
+		results <- result{b, err}
+	}
+	go launch()
+	outstanding, hedged := 1, false
+	timer := time.NewTimer(c.opts.Hedge)
+	defer timer.Stop()
+	var firstErr error
+	for {
+		select {
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				outstanding++
+				c.hedges.Add(1)
+				go launch()
+			}
+		case r := <-results:
+			if r.err == nil {
+				return r.body, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if outstanding--; outstanding == 0 {
+				return nil, firstErr
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// once performs exactly one HTTP round trip.
+func (c *Client) once(ctx context.Context, method, path string, payload []byte) (json.RawMessage, error) {
+	if c.opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opts.Deadline)
+		defer cancel()
+	}
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.opts.ClientID != "" {
+		req.Header.Set("X-Ringsched-Client", c.opts.ClientID)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			req.Header.Set("X-Ringsched-Deadline-Ms", strconv.FormatInt(ms, 10))
+		}
+	}
+	c.attempts.Add(1)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return raw, nil
+	}
+	return nil, decodeAPIError(resp, raw)
+}
+
+// decodeAPIError turns a non-2xx response into a typed *APIError,
+// preferring the structured body and falling back to headers and status
+// for servers (or proxies) that answer with something else.
+func decodeAPIError(resp *http.Response, raw []byte) *APIError {
+	ae := &APIError{Status: resp.StatusCode, Code: resilience.CodeInternal}
+	var wire struct {
+		Error        string `json:"error"`
+		Code         string `json:"code"`
+		RetryAfterMs int64  `json:"retryAfterMs"`
+	}
+	if err := json.Unmarshal(raw, &wire); err == nil && wire.Error != "" {
+		ae.Message = wire.Error
+		if wire.Code != "" {
+			ae.Code = resilience.Code(wire.Code)
+		}
+		ae.RetryAfter = time.Duration(wire.RetryAfterMs) * time.Millisecond
+	} else {
+		ae.Message = strings.TrimSpace(string(raw))
+		if ae.Message == "" {
+			ae.Message = resp.Status
+		}
+	}
+	if ae.RetryAfter == 0 {
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return ae
+}
+
+// apiErrorOf extracts a typed server rejection from an error chain.
+func apiErrorOf(err error) *APIError {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae
+	}
+	return nil
+}
+
+// isRetryable reports whether the identical request is worth retrying:
+// transport failures and temporary server rejections are, context
+// expirations and other 4xx are not.
+func isRetryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if ae := apiErrorOf(err); ae != nil {
+		return ae.Temporary()
+	}
+	return true // transport-level failure
+}
+
+// isBreakerFailure reports whether the error is evidence the server is
+// unhealthy. 429s and the caller's own context expiry are not.
+func isBreakerFailure(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if ae := apiErrorOf(err); ae != nil {
+		return ae.Status >= 500
+	}
+	return true // connection refused, reset, etc.
+}
+
+// sleepCtx sleeps for d unless ctx fires first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,364 @@
+package ringschedclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ringsched/internal/resilience"
+	"ringsched/internal/service"
+)
+
+const analyzeReqJSON = `{
+  "bandwidthMbps": 100,
+  "streams": [
+    {"name": "gyro", "periodMs": 10, "lengthBits": 4096},
+    {"name": "telemetry", "periodMs": 50, "lengthBits": 65536}
+  ]
+}`
+
+// analyzeReq returns the request as a generic value for Client.Analyze.
+func analyzeReq(t *testing.T) any {
+	t.Helper()
+	var v map[string]any
+	if err := json.Unmarshal([]byte(analyzeReqJSON), &v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// instantSleep records requested delays without actually sleeping.
+type instantSleep struct {
+	delays []time.Duration
+}
+
+func (s *instantSleep) sleep(ctx context.Context, d time.Duration) error {
+	s.delays = append(s.delays, d)
+	return ctx.Err()
+}
+
+// zeroJitter makes backoff deterministic at the top of each window.
+func zeroJitter() float64 { return 0.999999 }
+
+func testOptions(sl *instantSleep) Options {
+	o := Options{
+		MaxRetries: 3,
+		Backoff:    resilience.Backoff{Base: 10 * time.Millisecond, Cap: 100 * time.Millisecond, Rand: zeroJitter},
+	}
+	if sl != nil {
+		o.sleep = sl.sleep
+	}
+	return o
+}
+
+func TestClientRetriesTransientFailuresThenSucceeds(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"shed","code":"overloaded","retryAfterMs":5}`))
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+
+	sl := &instantSleep{}
+	c := New(ts.URL, testOptions(sl))
+	body, err := c.Analyze(context.Background(), analyzeReq(t))
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if !strings.Contains(string(body), `"ok":true`) {
+		t.Errorf("body = %s", body)
+	}
+	if got := c.Counters(); got.Retries != 2 || got.Attempts != 3 {
+		t.Errorf("counters = %+v, want 2 retries / 3 attempts", got)
+	}
+	if len(sl.delays) != 2 {
+		t.Fatalf("sleeps = %v, want 2", sl.delays)
+	}
+}
+
+func TestClientHonorsRetryAfterOverBackoff(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"slow down","code":"rate_limited","retryAfterMs":2000}`))
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	sl := &instantSleep{}
+	c := New(ts.URL, testOptions(sl))
+	if _, err := c.Analyze(context.Background(), analyzeReq(t)); err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	// The computed backoff tops out at 10ms for attempt 0, but the server
+	// asked for 2s: the hint must stretch the wait.
+	if len(sl.delays) != 1 || sl.delays[0] < 2*time.Second {
+		t.Errorf("sleeps = %v, want one >= 2s", sl.delays)
+	}
+}
+
+func TestClientDoesNotRetryPermanentRejections(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"service: bad request","code":"bad_request"}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, testOptions(&instantSleep{}))
+	_, err := c.Analyze(context.Background(), analyzeReq(t))
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadRequest || ae.Code != resilience.CodeBadRequest {
+		t.Fatalf("err = %v, want typed 400 bad_request", err)
+	}
+	if ae.Temporary() {
+		t.Error("400 must not be Temporary")
+	}
+	if hits.Load() != 1 {
+		t.Errorf("server hit %d times, want 1 (no retries on 4xx)", hits.Load())
+	}
+}
+
+func TestClientRetryBudgetBoundsAmplification(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"down","code":"unavailable"}`))
+	}))
+	defer ts.Close()
+
+	opts := testOptions(&instantSleep{})
+	opts.MaxRetries = 10
+	opts.RetryBudgetRatio = 0.1
+	opts.RetryBudgetBurst = 1
+	opts.Breaker = resilience.BreakerConfig{Threshold: 1000}
+	c := New(ts.URL, opts)
+
+	const calls = 5
+	var exhausted int
+	for i := 0; i < calls; i++ {
+		_, err := c.Call(context.Background(), http.MethodPost, "/v1/analyze", analyzeReq(t))
+		if err == nil {
+			t.Fatal("want error from an always-failing server")
+		}
+		if strings.Contains(err.Error(), "retry budget exhausted") {
+			exhausted++
+		}
+	}
+	if exhausted == 0 {
+		t.Error("budget never exhausted against a black-holed server")
+	}
+	// Without the budget, 5 calls × 11 attempts = 55 hits. The budget
+	// caps retries at roughly one per ten first attempts (plus the
+	// 1-token burst), so amplification stays near 1×.
+	if n := hits.Load(); n > calls+3 {
+		t.Errorf("server hit %d times for %d calls — retry amplification unbounded", n, calls)
+	}
+	if got := c.Counters(); got.BudgetExhausted == 0 {
+		t.Errorf("counters = %+v, want BudgetExhausted > 0", got)
+	}
+}
+
+func TestClientBreakerTripsThenRecovers(t *testing.T) {
+	var hits atomic.Int64
+	var healed atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if healed.Load() {
+			w.Write([]byte(`{}`))
+			return
+		}
+		w.WriteHeader(http.StatusInternalServerError)
+		w.Write([]byte(`{"error":"boom","code":"internal"}`))
+	}))
+	defer ts.Close()
+
+	clock := time.Unix(1000, 0)
+	opts := testOptions(&instantSleep{})
+	opts.MaxRetries = -1 // isolate the breaker: one attempt per call
+	opts.Breaker = resilience.BreakerConfig{
+		Threshold: 2, Cooldown: time.Second,
+		Now: func() time.Time { return clock },
+	}
+	c := New(ts.URL, opts)
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		if _, err := c.Analyze(ctx, analyzeReq(t)); err == nil {
+			t.Fatal("want failure")
+		}
+	}
+	if c.BreakerState() != resilience.BreakerOpen {
+		t.Fatalf("state = %v, want open after %d failures", c.BreakerState(), 2)
+	}
+	// Open breaker: the call fails locally without touching the server.
+	before := hits.Load()
+	_, err := c.Analyze(ctx, analyzeReq(t))
+	if !errors.Is(err, resilience.ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen", err)
+	}
+	if hits.Load() != before {
+		t.Error("open breaker still sent a request")
+	}
+	if got := c.Counters(); got.BreakerRejections != 1 {
+		t.Errorf("counters = %+v, want 1 breaker rejection", got)
+	}
+
+	// After the cooldown the half-open probe finds a healed server and
+	// closes the breaker.
+	healed.Store(true)
+	clock = clock.Add(time.Second + time.Millisecond)
+	if _, err := c.Analyze(ctx, analyzeReq(t)); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	if c.BreakerState() != resilience.BreakerClosed {
+		t.Errorf("state = %v, want closed after successful probe", c.BreakerState())
+	}
+}
+
+func TestClientHedgedRequestReturnsFasterDuplicate(t *testing.T) {
+	var hits atomic.Int64
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			// The primary stalls until the test ends.
+			<-release
+			w.Write([]byte(`{"who":"slow"}`))
+			return
+		}
+		w.Write([]byte(`{"who":"fast"}`))
+	}))
+	defer ts.Close()
+	defer close(release)
+
+	opts := testOptions(nil)
+	opts.Hedge = 10 * time.Millisecond
+	c := New(ts.URL, opts)
+	start := time.Now()
+	body, err := c.Analyze(context.Background(), analyzeReq(t))
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if !strings.Contains(string(body), "fast") {
+		t.Errorf("body = %s, want the hedged response", body)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("hedged call took %v — duplicate did not rescue the stalled primary", elapsed)
+	}
+	if got := c.Counters(); got.Hedges != 1 {
+		t.Errorf("counters = %+v, want 1 hedge", got)
+	}
+}
+
+func TestClientSendsIdentityAndDeadlineHeaders(t *testing.T) {
+	var gotClient, gotDeadline atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotClient.Store(r.Header.Get("X-Ringsched-Client"))
+		gotDeadline.Store(r.Header.Get("X-Ringsched-Deadline-Ms"))
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	opts := testOptions(nil)
+	opts.ClientID = "loadgen-7"
+	opts.Deadline = 750 * time.Millisecond
+	c := New(ts.URL, opts)
+	if _, err := c.Analyze(context.Background(), analyzeReq(t)); err != nil {
+		t.Fatal(err)
+	}
+	if gotClient.Load() != "loadgen-7" {
+		t.Errorf("X-Ringsched-Client = %q", gotClient.Load())
+	}
+	ms, ok := gotDeadline.Load().(string)
+	if !ok || ms == "" {
+		t.Fatalf("X-Ringsched-Deadline-Ms missing")
+	}
+	if n, err := time.ParseDuration(ms + "ms"); err != nil || n <= 0 || n > 750*time.Millisecond {
+		t.Errorf("X-Ringsched-Deadline-Ms = %q, want (0, 750]", ms)
+	}
+}
+
+// TestClientRidesOutDeterministicChaos is the end-to-end acceptance
+// check: a real ringschedd server with chaos-injected 503s, a client
+// with budgeted retries — every call succeeds, and because the chaos is
+// deterministic, so is the entire interaction.
+func TestClientRidesOutDeterministicChaos(t *testing.T) {
+	run := func() (succeeded int, retries int64) {
+		srv := service.New(service.Config{
+			Chaos: resilience.ChaosModel{Seed: 9, ErrorProb: 0.4, ErrorStatus: 503},
+		})
+		ts := httptest.NewServer(srv.Handler())
+		defer func() {
+			ts.Close()
+			srv.Close()
+		}()
+
+		opts := testOptions(&instantSleep{})
+		opts.MaxRetries = 6
+		// Isolate the retry loop: give it headroom so neither the budget
+		// nor the breaker interferes with the determinism assertion.
+		opts.RetryBudgetBurst = 100
+		opts.Breaker = resilience.BreakerConfig{Threshold: 100}
+		c := New(ts.URL, opts)
+		for i := 0; i < 16; i++ {
+			if _, err := c.Analyze(context.Background(), analyzeReq(t)); err != nil {
+				t.Errorf("call %d failed through chaos: %v", i, err)
+				continue
+			}
+			succeeded++
+		}
+		return succeeded, c.Counters().Retries
+	}
+	ok1, retries1 := run()
+	ok2, retries2 := run()
+	if ok1 != 16 || ok2 != 16 {
+		t.Errorf("succeeded %d/%d of 16", ok1, ok2)
+	}
+	if retries1 == 0 {
+		t.Error("chaos at p=0.4 should have forced retries")
+	}
+	if retries1 != retries2 {
+		t.Errorf("identical runs retried %d vs %d times — chaos or client not deterministic", retries1, retries2)
+	}
+}
+
+func TestClientHealth(t *testing.T) {
+	srv := service.New(service.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	c := New(ts.URL, testOptions(nil))
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("healthy server: %v", err)
+	}
+	srv.BeginDrain()
+	err := c.Health(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("draining health err = %v, want typed 503", err)
+	}
+	if ae.Code != resilience.CodeUnavailable && ae.Message == "" {
+		t.Errorf("draining health body not decoded: %+v", ae)
+	}
+}
