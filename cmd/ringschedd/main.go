@@ -58,7 +58,7 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		queueDepth = fs.Int("queue-depth", 0,
 			"max computations waiting for a worker before arrivals are shed with 503 (0 = 4x workers, negative = unbounded)")
 		clientRPS = fs.Float64("client-rps", 0,
-			"per-client rate limit in requests/second, keyed by X-Ringsched-Client or peer host (0 = off)")
+			"per-client rate limit in requests/second, keyed by peer host qualified by X-Ringsched-Client (0 = off)")
 		clientBurst = fs.Float64("client-burst", 0, "per-client burst allowance (0 = 2x client-rps)")
 		maxClients  = fs.Int("max-clients", 0, "resident rate-limiter buckets (0 = 1024)")
 		chaosSpec   = fs.String("chaos", "",

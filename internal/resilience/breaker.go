@@ -84,8 +84,9 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 
 // Allow reports whether a request may proceed. It returns ErrBreakerOpen
 // while the breaker is open (or while a half-open probe is already in
-// flight). Every allowed request must be matched by exactly one Success
-// or Failure call.
+// flight). Every allowed request must be matched by exactly one Success,
+// Failure, or Cancel call — an unmatched half-open admission would hold
+// the single probe slot forever and wedge the breaker open.
 func (b *Breaker) Allow() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -109,13 +110,30 @@ func (b *Breaker) Allow() error {
 }
 
 // Success records a successful request, closing a half-open breaker and
-// resetting the failure streak.
+// resetting the failure streak. A success that lands while the breaker
+// is Open is a stale verdict from a request admitted before the trip —
+// it says nothing about health now, so the cooldown stands.
 func (b *Breaker) Success() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.state == BreakerOpen {
+		return
+	}
 	b.fails = 0
 	b.probing = false
 	b.state = BreakerClosed
+}
+
+// Cancel releases an Allow admission whose outcome carries no health
+// verdict — the caller's own deadline expired, or the server rejected
+// the request for reasons unrelated to its health. State and the
+// failure streak are untouched; in HalfOpen the probe slot is freed so
+// the next Allow can send another probe instead of the breaker wedging
+// open waiting for a verdict that will never arrive.
+func (b *Breaker) Cancel() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
 }
 
 // Failure records a failed request. In Closed it extends the streak and

@@ -111,6 +111,76 @@ func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
 	}
 }
 
+// TestBreakerCancelReleasesHalfOpenProbe is the regression test for the
+// probe leak: a half-open probe whose outcome carries no health verdict
+// (the caller's own deadline expired) must release the probe slot via
+// Cancel, or the breaker rejects everything forever.
+func TestBreakerCancelReleasesHalfOpenProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Allow()
+	b.Failure()
+	clk.advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	// The probe's outcome is non-diagnostic; release it.
+	b.Cancel()
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open after cancelled probe", b.State())
+	}
+	// The slot is free again: the next caller gets to probe, and its
+	// verdict still counts.
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe slot still held after Cancel: %v", err)
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatal("post-cancel probe success must close the breaker")
+	}
+}
+
+// TestBreakerCancelKeepsFailureStreak checks Cancel is verdict-free in
+// Closed too: it neither extends nor resets the consecutive failures.
+func TestBreakerCancelKeepsFailureStreak(t *testing.T) {
+	b, _ := newTestBreaker(2, time.Second)
+	b.Allow()
+	b.Failure()
+	b.Allow()
+	b.Cancel()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+	b.Allow()
+	b.Failure() // second real failure: streak of 2 despite the cancel
+	if b.State() != BreakerOpen {
+		t.Fatal("Cancel must not reset the consecutive-failure streak")
+	}
+}
+
+// TestBreakerIgnoresStaleSuccessWhileOpen: a slow request admitted
+// before the trip must not force the breaker closed past its cooldown.
+func TestBreakerIgnoresStaleSuccessWhileOpen(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Allow() // the slow request, admitted while closed
+	b.Allow()
+	b.Failure() // trips the breaker
+	if b.State() != BreakerOpen {
+		t.Fatal("not open")
+	}
+	b.Success() // the slow request finally lands
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open — stale success bypassed the cooldown", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("breaker admitted traffic inside the cooldown")
+	}
+	// The cooldown still ends normally.
+	clk.advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe rejected after cooldown: %v", err)
+	}
+}
+
 func TestBreakerStateString(t *testing.T) {
 	for state, want := range map[BreakerState]string{
 		BreakerClosed: "closed", BreakerOpen: "open", BreakerHalfOpen: "half-open", BreakerState(9): "unknown",

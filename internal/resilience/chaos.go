@@ -16,6 +16,12 @@ import (
 // ErrBadChaosSpec reports an unparsable chaos specification.
 var ErrBadChaosSpec = errors.New("resilience: bad chaos spec")
 
+// StatusClientClosedRequest is the nginx-convention 499 recorded when
+// the client hangs up before any response is written (net/http would
+// otherwise commit an implicit 200 that instrumentation then logs for
+// a request that was never served).
+const StatusClientClosedRequest = 499
+
 // ChaosModel configures the deterministic chaos middleware. Every
 // injection decision for request number n on endpoint e is a pure
 // function of (Seed, e, n) — the same substream design as
@@ -299,6 +305,10 @@ func (c *Chaos) Wrap(next http.Handler) http.Handler {
 			case <-t.C:
 			case <-r.Context().Done():
 				t.Stop()
+				// The client is gone and nothing was written; record an
+				// explicit status so metrics and logs don't report an
+				// implicit 200 for a request that was never served.
+				w.WriteHeader(StatusClientClosedRequest)
 				return
 			}
 		}

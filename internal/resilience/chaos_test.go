@@ -1,6 +1,7 @@
 package resilience
 
 import (
+	"context"
 	"errors"
 	"io"
 	"net/http"
@@ -181,6 +182,25 @@ func TestChaosMiddlewareResetSeversConnection(t *testing.T) {
 	if err == nil {
 		resp.Body.Close()
 		t.Fatalf("want a transport error from the severed connection, got status %d", resp.StatusCode)
+	}
+}
+
+// TestChaosDelayCancelRecordsClientClosed: when the client hangs up
+// during an injected delay, the middleware must commit an explicit 499
+// instead of letting net/http record an implicit 200 for a request that
+// was never served.
+func TestChaosDelayCancelRecordsClientClosed(t *testing.T) {
+	c := NewChaos(ChaosModel{Seed: 1, LatencyProb: 1, Latency: time.Hour})
+	h := c.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("handler must not run after the client hung up")
+	}))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client is already gone
+	req := httptest.NewRequest(http.MethodGet, "/v1/analyze", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != StatusClientClosedRequest {
+		t.Fatalf("recorded code = %d, want %d", rec.Code, StatusClientClosedRequest)
 	}
 }
 

@@ -7,21 +7,26 @@ import (
 
 // Limiter is a keyed token-bucket rate limiter: each client (key) gets
 // an independent bucket refilled at rate tokens/second up to burst. The
-// key is whatever identifies a client at the serving surface — an
-// X-Ringsched-Client header, or the peer host as a fallback.
+// key is whatever identifies a client at the serving surface — the peer
+// host, qualified by an X-Ringsched-Client header when present.
 //
-// The bucket table is bounded: when maxKeys distinct clients are
-// resident and a new one arrives, the longest-idle bucket is evicted
-// (its owner simply starts from a full bucket next time, which only ever
-// errs in the client's favor). Allow on a resident key allocates
-// nothing.
+// The bucket table is bounded at maxKeys. When a previously unseen key
+// arrives at capacity, the longest-idle bucket is evicted only if it has
+// been idle for at least a full refill — its owner would have found a
+// full bucket on return regardless, so that eviction cannot change any
+// outcome. Otherwise every resident client is still active, and the new
+// key is charged to one shared overflow bucket instead: a client
+// rotating identities to mint fresh buckets gets one client's aggregate
+// throughput rather than burst× per alias, and can never evict a
+// legitimate client's state. Allow on a resident key allocates nothing.
 type Limiter struct {
 	rate    float64 // tokens per second
 	burst   float64
 	maxKeys int
 
-	mu      sync.Mutex
-	buckets map[string]*bucket
+	mu       sync.Mutex
+	buckets  map[string]*bucket
+	overflow *bucket // shared by unseen keys while the table is saturated
 }
 
 type bucket struct {
@@ -53,19 +58,13 @@ func (l *Limiter) Allow(key string, now time.Time) (ok bool, retryAfter time.Dur
 	defer l.mu.Unlock()
 	b, exists := l.buckets[key]
 	if !exists {
-		if len(l.buckets) >= l.maxKeys {
-			l.evictIdlest()
+		b = l.insert(key, now)
+	} else if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
 		}
-		b = &bucket{tokens: l.burst, last: now}
-		l.buckets[key] = b
-	} else {
-		if dt := now.Sub(b.last).Seconds(); dt > 0 {
-			b.tokens += dt * l.rate
-			if b.tokens > l.burst {
-				b.tokens = l.burst
-			}
-			b.last = now
-		}
+		b.last = now
 	}
 	if b.tokens >= 1 {
 		b.tokens--
@@ -74,10 +73,35 @@ func (l *Limiter) Allow(key string, now time.Time) (ok bool, retryAfter time.Dur
 	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
 }
 
-// evictIdlest drops the bucket with the oldest refill time. Called with
-// the lock held, only on insertion of a new key past maxKeys — an O(n)
-// scan amortized over eviction-rare workloads.
-func (l *Limiter) evictIdlest() {
+// insert returns the bucket a previously unseen key charges: a fresh
+// full bucket when there is table space (or a semantically-free
+// eviction makes some), else the shared overflow bucket, refilled like
+// any other. Called with the lock held.
+func (l *Limiter) insert(key string, now time.Time) *bucket {
+	if len(l.buckets) >= l.maxKeys && !l.evictRefilled(now) {
+		if l.overflow == nil {
+			l.overflow = &bucket{tokens: l.burst, last: now}
+		} else if dt := now.Sub(l.overflow.last).Seconds(); dt > 0 {
+			l.overflow.tokens += dt * l.rate
+			if l.overflow.tokens > l.burst {
+				l.overflow.tokens = l.burst
+			}
+			l.overflow.last = now
+		}
+		return l.overflow
+	}
+	b := &bucket{tokens: l.burst, last: now}
+	l.buckets[key] = b
+	return b
+}
+
+// evictRefilled drops the bucket with the oldest refill time, but only
+// if it has been idle for at least a full refill (burst/rate seconds):
+// its owner would see a full bucket either way, so the eviction is
+// unobservable. Called with the lock held, only on insertion of a new
+// key past maxKeys — an O(n) scan amortized over eviction-rare
+// workloads.
+func (l *Limiter) evictRefilled(now time.Time) bool {
 	var victim string
 	var oldest time.Time
 	first := true
@@ -86,7 +110,11 @@ func (l *Limiter) evictIdlest() {
 			victim, oldest, first = k, b.last, false
 		}
 	}
+	if first || now.Sub(oldest).Seconds()*l.rate < l.burst {
+		return false
+	}
 	delete(l.buckets, victim)
+	return true
 }
 
 // Clients returns the number of resident buckets.

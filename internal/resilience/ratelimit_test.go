@@ -62,24 +62,63 @@ func TestLimiterDisabled(t *testing.T) {
 	}
 }
 
-func TestLimiterEvictsIdlestAtCapacity(t *testing.T) {
+func TestLimiterEvictsOnlyRefilledIdleBuckets(t *testing.T) {
 	now := time.Unix(0, 0)
-	l := NewLimiter(1, 5, 2)
+	l := NewLimiter(1, 5, 2) // full refill takes burst/rate = 5s
 	l.Allow("old", now)
-	l.Allow("mid", now.Add(time.Second))
-	if got := l.Clients(); got != 2 {
-		t.Fatalf("clients = %d, want 2", got)
-	}
-	// A third client evicts "old", the longest idle.
-	l.Allow("new", now.Add(2*time.Second))
+	l.Allow("mid", now.Add(4*time.Second))
+	// At t=5s "old" has been idle a full refill: evicting it is
+	// unobservable to its owner, so a new key may take its slot.
+	l.Allow("new", now.Add(5*time.Second))
 	if got := l.Clients(); got != 2 {
 		t.Fatalf("clients after eviction = %d, want 2", got)
 	}
-	// "old" comes back with a fresh full bucket — eviction only ever
-	// errs in the client's favor.
+	// "old" comes back exactly as it would have been: a full bucket.
 	for i := 0; i < 5; i++ {
-		if ok, _ := l.Allow("old", now.Add(3*time.Second)); !ok {
+		if ok, _ := l.Allow("old", now.Add(10*time.Second)); !ok {
 			t.Fatalf("re-inserted client rejected at burst request %d", i)
 		}
+	}
+}
+
+// TestLimiterKeyRotationSharesOverflowBucket pins the defense against
+// rate-limit bypass by identity rotation: while every resident bucket is
+// still active, unseen keys must not evict them, and must share one
+// overflow bucket instead of each minting a fresh full burst.
+func TestLimiterKeyRotationSharesOverflowBucket(t *testing.T) {
+	now := time.Unix(0, 0)
+	l := NewLimiter(1, 2, 2)
+	l.Allow("a", now) // a: 1 token left
+	l.Allow("b", now) // b: 1 token left
+	// Rotated identities arrive while both residents are active: they
+	// drain the shared overflow bucket (burst 2), not one burst each.
+	if ok, _ := l.Allow("rot-1", now); !ok {
+		t.Fatal("first overflow request rejected with a full shared bucket")
+	}
+	if ok, _ := l.Allow("rot-2", now); !ok {
+		t.Fatal("second overflow request rejected, shared bucket had 1 token")
+	}
+	ok, retryAfter := l.Allow("rot-3", now)
+	if ok {
+		t.Fatal("rotation got a third token — overflow bucket not shared")
+	}
+	if retryAfter <= 0 {
+		t.Errorf("retryAfter = %v, want > 0", retryAfter)
+	}
+	// Residents were neither evicted nor drained by the rotation.
+	if got := l.Clients(); got != 2 {
+		t.Fatalf("clients = %d, want the 2 residents", got)
+	}
+	for _, key := range []string{"a", "b"} {
+		if ok, _ := l.Allow(key, now); !ok {
+			t.Fatalf("resident %q lost its remaining token to the rotation", key)
+		}
+		if ok, _ := l.Allow(key, now); ok {
+			t.Fatalf("resident %q exceeded its burst", key)
+		}
+	}
+	// The overflow bucket refills like any other.
+	if ok, _ := l.Allow("rot-4", now.Add(time.Second)); !ok {
+		t.Fatal("overflow bucket did not refill")
 	}
 }

@@ -442,3 +442,41 @@ func TestSweepStreamHeartbeatsWhileStalled(t *testing.T) {
 	}
 	_ = s
 }
+
+// TestExperimentsSharesComputationBudget pins /v1/experiments to the
+// shared worker pool: with the only slot held, a posted batch waits for
+// capacity (timing out at its deadline) instead of running an
+// uncontrolled inline computation that bypasses overload protection.
+func TestExperimentsSharesComputationBudget(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	release := occupyPool(t, s)
+	released := false
+	defer func() {
+		if !released {
+			release()
+		}
+	}()
+
+	resp, body := postWith(t, ts.URL+"/v1/experiments", `{"ids":["E1"],"quick":true}`,
+		map[string]string{"X-Ringsched-Deadline-Ms": "80"})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("saturated pool: status = %d %s, want 504", resp.StatusCode, body)
+	}
+	eb := decodeErrBody(t, body)
+	if eb.Code != string(resilience.CodeDeadline) {
+		t.Errorf("504 code = %q, want %q", eb.Code, resilience.CodeDeadline)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("504 missing Retry-After")
+	}
+
+	// With the slot free the handler proceeds past admission into
+	// RunExperiments, which rejects the unknown ID — proof the 504 above
+	// came from the saturated pool, not from the request itself.
+	released = true
+	release()
+	resp, body = postWith(t, ts.URL+"/v1/experiments", `{"ids":["E1"],"quick":true}`, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("freed pool: status = %d %s, want 400 for the unknown ID", resp.StatusCode, body)
+	}
+}

@@ -254,16 +254,19 @@ var errDraining = &resilience.Error{
 	Message: "service: draining, not accepting new work", RetryAfter: time.Second,
 }
 
-// clientKey identifies a client for rate limiting: an explicit
-// X-Ringsched-Client header when present (load generators and tests use
-// it to simulate distinct tenants), else the peer host.
+// clientKey identifies a client for rate limiting: the peer host,
+// qualified by the X-Ringsched-Client header when present (load
+// generators and tests use it to simulate distinct tenants). The header
+// refines the transport identity rather than replacing it, so a caller
+// minting header values stays inside its own host's keyspace instead of
+// impersonating other tenants or spraying arbitrary global keys.
 func clientKey(r *http.Request) string {
-	if k := r.Header.Get("X-Ringsched-Client"); k != "" {
-		return k
-	}
 	host, _, err := net.SplitHostPort(r.RemoteAddr)
 	if err != nil {
-		return r.RemoteAddr
+		host = r.RemoteAddr
+	}
+	if k := r.Header.Get("X-Ringsched-Client"); k != "" {
+		return host + "|" + k
 	}
 	return host
 }
@@ -758,13 +761,43 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		// Experiment batches are not cached: they are operator-initiated
-		// rarities, and their reports can be large.
-		resp, err := RunExperiments(r.Context(), req, s.cfg.Workers, nil)
+		// rarities, and their reports can be large. They still compete
+		// for the shared computation budget — admission first, then a
+		// pool slot held for the whole batch — so a burst of experiment
+		// posts queues behind the regular traffic instead of stacking
+		// N×Workers uncontrolled computations on the box. The batch runs
+		// inline under the request context (its report streams nowhere,
+		// so coalescing buys nothing), bounded by the job timeout and
+		// reaped by Close like any other computation.
+		ctx, cancel := context.WithCancel(r.Context())
+		defer cancel()
+		stop := context.AfterFunc(s.baseCtx, cancel)
+		defer stop()
+		if s.cfg.JobTimeout > 0 {
+			var tcancel context.CancelFunc
+			ctx, tcancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+			defer tcancel()
+		}
+		if err := s.admit(ctx, "experiments", ""); err != nil {
+			te, _ := resilience.AsError(err)
+			writeError(w, te.Status, err)
+			return
+		}
+		if err := s.flight.acquire(ctx); err != nil {
+			s.noteCancel("experiments", err)
+			writeError(w, statusFor(err), err)
+			return
+		}
+		defer s.flight.release()
+		s.computes.add(labels("endpoint", "experiments"), 1)
+		started := time.Now()
+		resp, err := RunExperiments(ctx, req, s.cfg.Workers, nil)
 		if err != nil {
 			s.noteCancel("experiments", err)
 			writeError(w, statusFor(err), err)
 			return
 		}
+		s.admission.Observe(time.Since(started))
 		body, err := Encode(resp)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err)

@@ -208,12 +208,19 @@ func (c *Client) Call(ctx context.Context, method, path string, req any) (json.R
 			return body, nil
 		}
 		lastErr = err
+		// Every Allow admission is matched with a verdict, or the
+		// half-open probe slot leaks and the breaker wedges open.
 		if isBreakerFailure(err) {
 			c.breaker.Failure()
 		} else if ae := apiErrorOf(err); ae != nil && ae.Status == http.StatusTooManyRequests {
 			// 429 means the server is healthy and protecting itself;
 			// it must not push the breaker toward open.
 			c.breaker.Success()
+		} else {
+			// No health verdict — our own context expired mid-flight,
+			// or a non-429 4xx blamed the request rather than the
+			// server. Release the admission without a diagnosis.
+			c.breaker.Cancel()
 		}
 		if !isRetryable(err) || attempt >= c.opts.MaxRetries || ctx.Err() != nil {
 			return nil, lastErr

@@ -235,6 +235,71 @@ func TestClientBreakerTripsThenRecovers(t *testing.T) {
 	}
 }
 
+// TestClientBreakerSurvivesTimedOutProbe is the regression test for the
+// half-open probe leak: when the probe's outcome is the client's own
+// deadline expiring (no health verdict either way), the probe slot must
+// be released so the next call can probe again — not wedge every future
+// call on ErrBreakerOpen exactly when the server is slow to recover.
+func TestClientBreakerSurvivesTimedOutProbe(t *testing.T) {
+	var stage atomic.Int64 // 0: fail fast, 1: stall, 2: healthy
+	stall := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch stage.Load() {
+		case 0:
+			w.WriteHeader(http.StatusInternalServerError)
+			w.Write([]byte(`{"error":"boom","code":"internal"}`))
+		case 1:
+			<-stall // slower than the client's deadline
+		default:
+			w.Write([]byte(`{}`))
+		}
+	}))
+	defer ts.Close()
+	defer close(stall) // LIFO: unblock the stalled handler before Close waits on it
+
+	clock := time.Unix(1000, 0)
+	opts := testOptions(&instantSleep{})
+	opts.MaxRetries = -1 // one attempt per call
+	opts.Deadline = 100 * time.Millisecond
+	opts.Breaker = resilience.BreakerConfig{
+		Threshold: 1, Cooldown: time.Second,
+		Now: func() time.Time { return clock },
+	}
+	c := New(ts.URL, opts)
+	ctx := context.Background()
+
+	if _, err := c.Analyze(ctx, analyzeReq(t)); err == nil {
+		t.Fatal("want failure from a 500ing server")
+	}
+	if c.BreakerState() != resilience.BreakerOpen {
+		t.Fatalf("state = %v, want open", c.BreakerState())
+	}
+
+	// Past the cooldown, the half-open probe hits a server that is up
+	// but slower than our deadline: the attempt ends in
+	// context.DeadlineExceeded, which proves nothing about its health.
+	stage.Store(1)
+	clock = clock.Add(time.Second + time.Millisecond)
+	if _, err := c.Analyze(ctx, analyzeReq(t)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("probe err = %v, want deadline exceeded", err)
+	}
+
+	// The probe slot must have been released: once the server speeds
+	// back up, the next call probes and closes the breaker instead of
+	// failing locally with ErrBreakerOpen forever.
+	stage.Store(2)
+	body, err := c.Analyze(ctx, analyzeReq(t))
+	if err != nil {
+		t.Fatalf("post-timeout probe: %v (breaker wedged %v)", err, c.BreakerState())
+	}
+	if string(body) != "{}" {
+		t.Errorf("body = %s", body)
+	}
+	if c.BreakerState() != resilience.BreakerClosed {
+		t.Errorf("state = %v, want closed", c.BreakerState())
+	}
+}
+
 func TestClientHedgedRequestReturnsFasterDuplicate(t *testing.T) {
 	var hits atomic.Int64
 	release := make(chan struct{})
