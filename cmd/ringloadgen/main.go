@@ -68,7 +68,10 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("ringloadgen", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		base     = fs.String("base", "http://127.0.0.1:8080", "ringschedd base URL")
+		base = fs.String("base", "http://127.0.0.1:8080",
+			"target base URL(s), comma-separated; multiple targets are round-robined per request")
+		target = fs.String("target", "",
+			"additional target base URL(s), comma-separated; appended to -base targets")
 		rps      = fs.Float64("rps", 100, "open-loop arrival rate, requests/second")
 		duration = fs.Duration("duration", 5*time.Second, "load duration")
 		mix      = fs.String("mix", "analyze", `request mix: "analyze" (cheap) or "sweep" (Monte Carlo, expensive)`)
@@ -100,6 +103,10 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	}
 	if *seed == 0 {
 		*seed = time.Now().UnixNano() % (1 << 30)
+	}
+	targets := parseTargets(*base, *target)
+	if len(targets) == 0 {
+		return fmt.Errorf("ringloadgen: no targets (set -base and/or -target)")
 	}
 
 	st := &state{
@@ -140,7 +147,8 @@ loop:
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				st.issue(graceCtx, hc, *base, *mix, body(*mix, *seed, i, *distinct, *streams, *samples), *clientID)
+				st.issue(graceCtx, hc, targets[i%int64(len(targets))], *mix,
+					body(*mix, *seed, i, *distinct, *streams, *samples), *clientID)
 			}()
 		}
 	}
@@ -175,6 +183,26 @@ loop:
 		return fmt.Errorf("ringloadgen: thresholds violated: %s", strings.Join(failures, "; "))
 	}
 	return nil
+}
+
+// parseTargets merges the -base and -target flag values into the ordered
+// target list: comma-separated, whitespace-tolerant, bare host:port
+// spellings normalized to http URLs, trailing slashes dropped.
+func parseTargets(base, target string) []string {
+	var out []string
+	for _, chunk := range []string{base, target} {
+		for _, t := range strings.Split(chunk, ",") {
+			t = strings.TrimSuffix(strings.TrimSpace(t), "/")
+			if t == "" {
+				continue
+			}
+			if !strings.Contains(t, "://") {
+				t = "http://" + t
+			}
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
 // body renders request i's JSON payload. Distinct bodies canonicalize to

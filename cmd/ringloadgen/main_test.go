@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"io"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"regexp"
@@ -131,5 +132,58 @@ func TestLoadgenFlagValidation(t *testing.T) {
 
 func readFile(path string) (string, error) {
 	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func TestParseTargets(t *testing.T) {
+	got := parseTargets(" http://a:1/, b:2 ", "c:3,,")
+	want := []string{"http://a:1", "http://b:2", "http://c:3"}
+	if len(got) != len(want) {
+		t.Fatalf("parseTargets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("target[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if parseTargets("", "") != nil {
+		t.Error("empty flags must yield no targets")
+	}
+}
+
+func TestLoadgenRoundRobinsTargets(t *testing.T) {
+	a := startService(t, service.Config{})
+	b := startService(t, service.Config{})
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-base", a + "," + b, "-rps", "100", "-duration", "400ms",
+		"-distinct", "4", "-seed", "11",
+	}, &out, io.Discard)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if ok := summaryValue(t, out.String(), "ok"); ok < 10 {
+		t.Fatalf("ok = %g across two targets:\n%s", ok, out.String())
+	}
+	// Both targets must actually have served traffic: with two targets
+	// and round-robin by request index, each sees about half the load.
+	for name, base := range map[string]string{"a": a, "b": b} {
+		resp, err := httpGet(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !regexp.MustCompile(`(?m)^ringschedd_requests_total\{.*endpoint="analyze".*\} [1-9]`).MatchString(resp) {
+			t.Errorf("target %s served no analyze requests", name)
+		}
+	}
+}
+
+func httpGet(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
 	return string(b), err
 }

@@ -9,6 +9,13 @@
 // computed once, however many clients ask. SIGINT/SIGTERM drains
 // gracefully — new requests get 503 while in-flight work finishes.
 //
+// With -peers and -advertise, N ringschedd processes form a sharded
+// cluster over a consistent-hash ring: a cache miss on a key another
+// member owns is filled from that owner over /v1/peer/fill (bounded by
+// -peer-fill-timeout, falling back to local compute), so an identical
+// burst anywhere in the cluster costs one computation cluster-wide. Put
+// cmd/ringsched-lb in front to route clients by shard ownership.
+//
 // Every /v1/* response carries an X-Ringsched-Trace header; feeding it to
 // /debug/traces?trace=<id> returns that request's span tree (handler →
 // canonicalize → cache → kernel → encode). Spans also drive the
@@ -19,6 +26,7 @@
 //
 //	ringschedd                                # serve on :8080
 //	ringschedd -addr 127.0.0.1:9000 -workers 8 -cache-bytes 33554432
+//	ringschedd -addr :8081 -advertise 10.0.0.1:8081 -peers 10.0.0.2:8081,10.0.0.3:8081
 //	ringschedd -log-format json -log-level debug -trace-out spans.jsonl
 //	curl -s localhost:8080/healthz
 //	curl -s -XPOST -d '{"bandwidthMbps":100,"streams":[{"periodMs":10,"lengthBits":4096}]}' \
@@ -34,6 +42,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"strings"
 	"time"
 
 	"ringsched/internal/cli"
@@ -65,6 +74,14 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 			`deterministic fault injection, e.g. "latency:p=0.2,ms=30+error:p=0.1,code=503+reset:p=0.02+seed:n=7" (empty = off)`)
 		sseKeepAlive = fs.Duration("sse-keepalive", 15*time.Second,
 			"idle heartbeat interval for progress streams (negative = off)")
+		peers = fs.String("peers", "",
+			"comma-separated peer advertise addresses (host:port,...) forming a sharded cluster; requires -advertise")
+		advertise = fs.String("advertise", "",
+			"this process's own cluster address (host:port) as peers reach it")
+		peerFillTimeout = fs.Duration("peer-fill-timeout", 2*time.Second,
+			"deadline for one peer cache-fill round trip before computing locally")
+		peerVNodes = fs.Int("peer-vnodes", 0,
+			"consistent-hash virtual nodes per member (0 = default 128; all members must agree)")
 	)
 	var obs cli.Obs
 	obs.Register(fs)
@@ -80,6 +97,15 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	chaos, err := resilience.ParseChaos(*chaosSpec)
 	if err != nil {
 		return err
+	}
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	if len(peerList) > 0 && *advertise == "" {
+		return errors.New("ringschedd: -peers requires -advertise (this process's own cluster address)")
 	}
 	if chaos.Enabled() {
 		logger.LogAttrs(ctx, slog.LevelWarn, "chaos injection enabled",
@@ -97,8 +123,12 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		ClientRPS:    *clientRPS,
 		ClientBurst:  *clientBurst,
 		MaxClients:   *maxClients,
-		Chaos:        chaos,
-		SSEKeepAlive: *sseKeepAlive,
+		Chaos:           chaos,
+		SSEKeepAlive:    *sseKeepAlive,
+		Advertise:       *advertise,
+		Peers:           peerList,
+		PeerFillTimeout: *peerFillTimeout,
+		PeerVNodes:      *peerVNodes,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

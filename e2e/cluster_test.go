@@ -1,0 +1,378 @@
+// Package e2e drives real ringschedd, ringsched-lb, and ringloadgen
+// binaries as separate processes: N replicas form a consistent-hash
+// cluster, the lb fronts them, and the tests assert the cluster-level
+// guarantees no in-process test can — cross-process coalescing, goodput
+// scaling with replica count, and survival of a SIGKILLed member.
+//
+// Capacity stand-in: the test machine may have a single core, so raw
+// compute throughput does not scale with replicas here. Instead each
+// replica enforces a per-client rate limit (-client-rps), making
+// "capacity" a deterministic per-process resource; goodput then scales
+// with replica count exactly when shard routing spreads the key space.
+package e2e
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var binDir string
+
+func TestMain(m *testing.M) {
+	var err error
+	binDir, err = os.MkdirTemp("", "ringsched-e2e-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(binDir)
+	for _, cmd := range []string{"ringschedd", "ringsched-lb", "ringloadgen"} {
+		build := exec.Command("go", "build", "-o", filepath.Join(binDir, cmd), "./cmd/"+cmd)
+		build.Dir = ".."
+		if out, err := build.CombinedOutput(); err != nil {
+			fmt.Fprintf(os.Stderr, "building %s: %v\n%s", cmd, err, out)
+			os.Exit(1)
+		}
+	}
+	os.Exit(m.Run())
+}
+
+// freeAddrs reserves n distinct loopback ports and releases them, so
+// cluster members can know each other's addresses before any start.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+type proc struct {
+	cmd *exec.Cmd
+	log *os.File
+}
+
+func startProc(t *testing.T, name string, args ...string) *proc {
+	t.Helper()
+	logf, err := os.CreateTemp(t.TempDir(), name+"-*.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(filepath.Join(binDir, name), args...)
+	cmd.Stdout = logf
+	cmd.Stderr = logf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &proc{cmd: cmd, log: logf}
+	t.Cleanup(func() {
+		p.kill()
+		logf.Close()
+	})
+	return p
+}
+
+func (p *proc) kill() {
+	if p.cmd.Process != nil {
+		p.cmd.Process.Kill()
+		p.cmd.Wait()
+	}
+}
+
+func (p *proc) logTail(t *testing.T) string {
+	t.Helper()
+	b, _ := os.ReadFile(p.log.Name())
+	if len(b) > 4096 {
+		b = b[len(b)-4096:]
+	}
+	return string(b)
+}
+
+func waitHealthy(t *testing.T, p *proc, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("%s never became healthy; log:\n%s", addr, p.logTail(t))
+}
+
+// startCluster brings up n clustered replicas and returns their
+// addresses plus process handles (index-aligned).
+func startCluster(t *testing.T, n int, extra ...string) ([]string, []*proc) {
+	t.Helper()
+	addrs := freeAddrs(t, n)
+	procs := make([]*proc, n)
+	for i, addr := range addrs {
+		var peers []string
+		for j, other := range addrs {
+			if j != i {
+				peers = append(peers, other)
+			}
+		}
+		args := []string{"-addr", addr, "-advertise", addr}
+		if len(peers) > 0 {
+			args = append(args, "-peers", strings.Join(peers, ","))
+		}
+		args = append(args, extra...)
+		procs[i] = startProc(t, "ringschedd", args...)
+	}
+	for i, addr := range addrs {
+		waitHealthy(t, procs[i], addr)
+	}
+	return addrs, procs
+}
+
+func startLB(t *testing.T, backends []string, extra ...string) (string, *proc) {
+	t.Helper()
+	addr := freeAddrs(t, 1)[0]
+	args := append([]string{"-addr", addr, "-backends", strings.Join(backends, ",")}, extra...)
+	p := startProc(t, "ringsched-lb", args...)
+	waitHealthy(t, p, addr)
+	return addr, p
+}
+
+// metricSum scrapes one replica and sums every sample of the named
+// metric across its label sets (optionally filtered by a label substring).
+func metricSum(t *testing.T, addr, metric, labelFilter string) float64 {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	var sum float64
+	for _, line := range strings.Split(string(body), "\n") {
+		if !strings.HasPrefix(line, metric) || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if labelFilter != "" && !strings.Contains(line, labelFilter) {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		sum += v
+	}
+	return sum
+}
+
+func clusterComputations(t *testing.T, addrs []string, endpoint string) float64 {
+	t.Helper()
+	var total float64
+	for _, a := range addrs {
+		total += metricSum(t, a, "ringschedd_computations_total", `endpoint="`+endpoint+`"`)
+	}
+	return total
+}
+
+func postAnalyze(addr, body string) (int, string, error) {
+	resp, err := http.Post("http://"+addr+"/v1/analyze", "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, resp.Header.Get("X-Cache"), nil
+}
+
+// runLoadgen executes ringloadgen and parses its key-value summary.
+func runLoadgen(t *testing.T, args ...string) map[string]float64 {
+	t.Helper()
+	out, err := exec.Command(filepath.Join(binDir, "ringloadgen"), args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("ringloadgen %v: %v\n%s", args, err, out)
+	}
+	vals := map[string]float64{}
+	for _, m := range regexp.MustCompile(`(?m)^([a-z0-9_]+) ([0-9.]+)$`).FindAllStringSubmatch(string(out), -1) {
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err == nil {
+			vals[m[1]] = v
+		}
+	}
+	if _, ok := vals["goodput_rps"]; !ok {
+		t.Fatalf("loadgen summary unparseable:\n%s", out)
+	}
+	return vals
+}
+
+func analyzeBody(bw int) string {
+	return fmt.Sprintf(`{"bandwidthMbps":%d,"streams":[{"name":"s","periodMs":10,"lengthBits":4096},{"name":"t","periodMs":50,"lengthBits":65536}]}`, bw)
+}
+
+// TestClusterWideCoalescingAcrossProcesses sprays one identical request
+// concurrently at every replica of a 3-member cluster: peer fills must
+// route all of them to the key's owner, whose flight group collapses the
+// burst to exactly one computation cluster-wide.
+func TestClusterWideCoalescingAcrossProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e")
+	}
+	addrs, _ := startCluster(t, 3)
+
+	body := analyzeBody(7777)
+	const perReplica = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, len(addrs)*perReplica)
+	for _, addr := range addrs {
+		for i := 0; i < perReplica; i++ {
+			wg.Add(1)
+			go func(a string) {
+				defer wg.Done()
+				code, _, err := postAnalyze(a, body)
+				if err != nil {
+					errs <- err
+				} else if code != http.StatusOK {
+					errs <- fmt.Errorf("replica %s: status %d", a, code)
+				}
+			}(addr)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if got := clusterComputations(t, addrs, "analyze"); got != 1 {
+		t.Errorf("identical burst across 3 replicas computed %g times, want exactly 1", got)
+	}
+	var fills float64
+	for _, a := range addrs {
+		fills += metricSum(t, a, "ringschedd_peer_fill_total", "")
+	}
+	if fills < 2 {
+		t.Errorf("peer fill counter = %g, want >= 2 (both non-owners must have filled from the owner)", fills)
+	}
+
+	// Through the front door: a fresh identical burst via the lb also
+	// costs one computation, and a repeat is a shard-cache hit.
+	lbAddr, _ := startLB(t, addrs)
+	body2 := analyzeBody(8888)
+	before := clusterComputations(t, addrs, "analyze")
+	var wg2 sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			postAnalyze(lbAddr, body2)
+		}()
+	}
+	wg2.Wait()
+	if got := clusterComputations(t, addrs, "analyze") - before; got != 1 {
+		t.Errorf("lb-routed identical burst computed %g times, want 1", got)
+	}
+	if code, xc, err := postAnalyze(lbAddr, body2); err != nil || code != 200 || xc != "hit" {
+		t.Errorf("repeat via lb: code %d cache %q err %v, want warm hit", code, xc, err)
+	}
+}
+
+// TestGoodputScalesWithReplicas is the scaling acceptance run: the same
+// cache-miss-heavy open-loop load against 1, 2, and 4 rate-limited
+// replicas behind the lb. Shard routing must spread distinct keys over
+// all replicas, so cluster goodput rises ~linearly with replica count.
+func TestGoodputScalesWithReplicas(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e")
+	}
+	good := map[int]float64{}
+	for _, n := range []int{1, 2, 4} {
+		addrs, _ := startCluster(t, n,
+			"-client-rps", "25", "-client-burst", "10", "-peer-fill-timeout", "500ms")
+		lbAddr, _ := startLB(t, addrs, "-retries", "-1")
+		rep := runLoadgen(t,
+			"-base", "http://"+lbAddr, "-rps", "320", "-duration", "4s",
+			"-mix", "analyze", "-distinct", "0", "-deadline-ms", "2000",
+			"-seed", strconv.Itoa(1000+n), "-client-id", "e2e-scale")
+		good[n] = rep["goodput_rps"]
+		t.Logf("replicas=%d goodput=%.1f rps (sent %.0f, rate-limited %.0f)",
+			n, rep["goodput_rps"], rep["sent"], rep["rate_limited"])
+	}
+	if good[1] <= 0 {
+		t.Fatal("no goodput at 1 replica — load never landed")
+	}
+	if good[2] < 1.7*good[1] {
+		t.Errorf("2 replicas: goodput %.1f < 1.7x single-replica %.1f", good[2], good[1])
+	}
+	if good[4] < 3*good[1] {
+		t.Errorf("4 replicas: goodput %.1f < 3x single-replica %.1f", good[4], good[1])
+	}
+}
+
+// TestKilledReplicaLosesOnlyItsShard SIGKILLs one of two replicas in the
+// middle of a load run: the lb must fail its shard's traffic over to the
+// survivor (in-request failover first, health checks catching up), so the
+// run loses at most the killed replica's in-flight work.
+func TestKilledReplicaLosesOnlyItsShard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e")
+	}
+	addrs, procs := startCluster(t, 2, "-peer-fill-timeout", "500ms")
+	lbAddr, _ := startLB(t, addrs, "-retries", "-1", "-check-interval", "250ms")
+
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		time.Sleep(2 * time.Second)
+		procs[0].kill()
+	}()
+	rep := runLoadgen(t,
+		"-base", "http://"+lbAddr, "-rps", "80", "-duration", "6s",
+		"-mix", "analyze", "-distinct", "0", "-deadline-ms", "2000",
+		"-seed", "31", "-client-id", "e2e-kill")
+	<-killed
+
+	if rate := rep["error_rate"]; rate > 0.10 {
+		t.Errorf("error rate %.3f after replica kill, want <= 0.10 (only the dead shard's in-flight work may fail)", rate)
+	}
+	// The survivor must carry the full offered load: well above the
+	// half-cluster goodput a shard-blind failover would strand.
+	if rep["goodput_rps"] < 40 {
+		t.Errorf("goodput %.1f rps after kill, want >= 40 (survivor absorbs the dead shard)", rep["goodput_rps"])
+	}
+	resp, err := http.Get("http://" + lbAddr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("lb /healthz = %d with a survivor present, want 200", resp.StatusCode)
+	}
+	if code, _, err := postAnalyze(lbAddr, analyzeBody(4242)); err != nil || code != http.StatusOK {
+		t.Errorf("fresh request after kill: code %d err %v", code, err)
+	}
+}

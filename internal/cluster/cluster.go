@@ -1,0 +1,17 @@
+// Package cluster turns N independent ringschedd processes into one
+// cache-coherent cluster. It provides the two deterministic building
+// blocks the sharding layer needs and nothing more:
+//
+//   - a consistent-hash ring (ring.go): virtual nodes hashed with
+//     SHA-256 over a versioned domain string, so every member computes
+//     the identical placement for the canonical request keys of
+//     internal/service, and membership changes move a bounded ~1/N
+//     fraction of the key space, and
+//   - a health checker (health.go): /healthz polling with rise/fall
+//     hysteresis, feeding the ringsched-lb front door's routing table.
+//
+// Peer cache fill, cluster-wide coalescing, and the front door itself
+// live in internal/service and cmd/ringsched-lb; they compose this
+// package with the ringschedclient resilience stack (retries, breakers,
+// hedging) rather than duplicating any of it here.
+package cluster

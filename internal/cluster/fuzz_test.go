@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzMembershipChurn drives a ring through an arbitrary add/remove
+// sequence and checks the invariants that keep the cluster routable:
+// every key always resolves to a current member (never "" while members
+// exist, never a departed member), and each individual change only moves
+// keys the change itself explains (adds pull keys to the new member,
+// removes scatter only the removed member's keys).
+func FuzzMembershipChurn(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0x81, 3, 0x80, 4})
+	f.Add([]byte{0x80})
+	f.Add([]byte{0, 0, 0x80, 0x80, 1, 1})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 64 {
+			ops = ops[:64]
+		}
+		keys := testKeys(200)
+		// Small vnode count keeps the fuzzer fast; the invariants hold for
+		// any vnode count.
+		ring := New(16)
+		for _, op := range ops {
+			member := fmt.Sprintf("m%d:1", op&0x0f)
+			var next *Ring
+			if op&0x80 != 0 {
+				next = ring.WithoutMember(member)
+			} else {
+				next = ring.WithMember(member)
+			}
+			for _, key := range keys {
+				was, is := ring.Owner(key), next.Owner(key)
+				if next.Size() > 0 {
+					if is == "" {
+						t.Fatalf("key %q orphaned: no owner with %d members", key, next.Size())
+					}
+					if !next.Has(is) {
+						t.Fatalf("key %q owned by non-member %q", key, is)
+					}
+				} else if is != "" {
+					t.Fatalf("empty ring owns key %q via %q", key, is)
+				}
+				if was == is {
+					continue
+				}
+				if op&0x80 != 0 {
+					// Removal: only keys the departed member owned may move.
+					if was != member {
+						t.Fatalf("remove(%s) moved key %q from surviving %q to %q", member, key, was, is)
+					}
+				} else {
+					// Add: keys only move to the new member (no-op if it was
+					// already present).
+					if !ring.Has(member) && is != member {
+						t.Fatalf("add(%s) moved key %q from %q to %q", member, key, was, is)
+					}
+					if ring.Has(member) && was != is {
+						t.Fatalf("re-adding existing %s moved key %q", member, key)
+					}
+				}
+			}
+			ring = next
+		}
+	})
+}

@@ -1,0 +1,228 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// CheckerConfig tunes a Checker. The zero value probes http://<member>/healthz
+// every 500ms with a 1s timeout and 2/2 rise/fall hysteresis.
+type CheckerConfig struct {
+	// Interval is the probe period (default 500ms).
+	Interval time.Duration
+	// Timeout bounds one probe (default 1s).
+	Timeout time.Duration
+	// Rise is how many consecutive successes flip an unhealthy member
+	// healthy (default 2); Fall is the symmetric failure threshold
+	// (default 2). The very first probe result is adopted immediately —
+	// hysteresis exists to damp flapping, not to delay startup.
+	Rise, Fall int
+	// Probe checks one member; nil selects an HTTP GET of
+	// http://<member>/healthz expecting a 2xx.
+	Probe func(ctx context.Context, member string) error
+	// OnChange, when non-nil, is called (outside the checker's lock) each
+	// time a member's health flips.
+	OnChange func(member string, healthy bool)
+}
+
+func (c CheckerConfig) withDefaults() CheckerConfig {
+	if c.Interval <= 0 {
+		c.Interval = 500 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = time.Second
+	}
+	if c.Rise <= 0 {
+		c.Rise = 2
+	}
+	if c.Fall <= 0 {
+		c.Fall = 2
+	}
+	if c.Probe == nil {
+		hc := &http.Client{}
+		c.Probe = func(ctx context.Context, member string) error {
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+member+"/healthz", nil)
+			if err != nil {
+				return err
+			}
+			resp, err := hc.Do(req)
+			if err != nil {
+				return err
+			}
+			resp.Body.Close()
+			if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+				return fmt.Errorf("cluster: %s /healthz: %s", member, resp.Status)
+			}
+			return nil
+		}
+	}
+	return c
+}
+
+// MemberHealth is one member's observable state.
+type MemberHealth struct {
+	Member  string
+	Healthy bool
+	// Streak counts consecutive same-outcome probes (positive =
+	// successes, negative = failures).
+	Streak int
+	// LastErr is the most recent probe error ("" after a success).
+	LastErr string
+	// Checked reports whether at least one probe has completed.
+	Checked bool
+}
+
+// memberState is the internal mutable form.
+type memberState struct {
+	healthy bool
+	streak  int
+	lastErr string
+	checked bool
+}
+
+// Checker polls a fixed member set for health with rise/fall hysteresis.
+// It is the front door's routing input: a member must fail Fall probes in
+// a row to stop receiving traffic and answer Rise in a row to get it
+// back, so one dropped packet neither blackholes nor flaps the routing
+// table. Members start optimistically healthy (a cold-starting lb routes
+// immediately; the breaker in the per-backend client absorbs the first
+// errors if a member is actually down) until their first probe lands.
+type Checker struct {
+	cfg     CheckerConfig
+	members []string
+
+	mu    sync.Mutex
+	state map[string]*memberState
+}
+
+// NewChecker builds a checker over members (deduped, sorted).
+func NewChecker(members []string, cfg CheckerConfig) *Checker {
+	c := &Checker{cfg: cfg.withDefaults(), state: map[string]*memberState{}}
+	for _, m := range members {
+		if m == "" {
+			continue
+		}
+		if _, ok := c.state[m]; !ok {
+			c.members = append(c.members, m)
+			c.state[m] = &memberState{healthy: true}
+		}
+	}
+	sort.Strings(c.members)
+	return c
+}
+
+// CheckOnce probes every member once, in parallel, and applies the
+// results. It returns when every probe has resolved; callers can run it
+// before serving so the first routing decisions see fresh state.
+func (c *Checker) CheckOnce(ctx context.Context) {
+	pctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, m := range c.members {
+		wg.Add(1)
+		go func(m string) {
+			defer wg.Done()
+			c.apply(m, c.cfg.Probe(pctx, m))
+		}(m)
+	}
+	wg.Wait()
+}
+
+// Run probes on the configured interval until ctx is cancelled.
+func (c *Checker) Run(ctx context.Context) {
+	t := time.NewTicker(c.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			c.CheckOnce(ctx)
+		}
+	}
+}
+
+// apply folds one probe outcome into the member's state.
+func (c *Checker) apply(member string, err error) {
+	c.mu.Lock()
+	st, ok := c.state[member]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	success := err == nil
+	if success {
+		if st.streak < 0 {
+			st.streak = 0
+		}
+		st.streak++
+		st.lastErr = ""
+	} else {
+		if st.streak > 0 {
+			st.streak = 0
+		}
+		st.streak--
+		st.lastErr = err.Error()
+	}
+	was := st.healthy
+	switch {
+	case !st.checked:
+		// First verdict: adopt immediately, no hysteresis.
+		st.healthy = success
+	case success && !st.healthy && st.streak >= c.cfg.Rise:
+		st.healthy = true
+	case !success && st.healthy && -st.streak >= c.cfg.Fall:
+		st.healthy = false
+	}
+	st.checked = true
+	flipped := st.healthy != was
+	healthy := st.healthy
+	c.mu.Unlock()
+	if flipped && c.cfg.OnChange != nil {
+		c.cfg.OnChange(member, healthy)
+	}
+}
+
+// Healthy reports whether member is currently considered healthy.
+// Unknown members are unhealthy.
+func (c *Checker) Healthy(member string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.state[member]
+	return ok && st.healthy
+}
+
+// HealthyMembers returns the currently healthy members in sorted order.
+func (c *Checker) HealthyMembers() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for _, m := range c.members {
+		if c.state[m].healthy {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Members returns every checked member in sorted order.
+func (c *Checker) Members() []string { return c.members }
+
+// States snapshots every member's health for metrics and debug pages.
+func (c *Checker) States() []MemberHealth {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]MemberHealth, 0, len(c.members))
+	for _, m := range c.members {
+		st := c.state[m]
+		out = append(out, MemberHealth{
+			Member: m, Healthy: st.healthy, Streak: st.streak,
+			LastErr: st.lastErr, Checked: st.checked,
+		})
+	}
+	return out
+}

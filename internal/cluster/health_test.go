@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// scriptedProbe returns a probe whose outcome is controlled per member.
+type scriptedProbe struct {
+	mu   sync.Mutex
+	fail map[string]bool
+}
+
+func (p *scriptedProbe) set(member string, failing bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.fail == nil {
+		p.fail = map[string]bool{}
+	}
+	p.fail[member] = failing
+}
+
+func (p *scriptedProbe) probe(_ context.Context, member string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.fail[member] {
+		return errors.New("scripted failure")
+	}
+	return nil
+}
+
+func newTestChecker(members []string, probe *scriptedProbe, onChange func(string, bool)) *Checker {
+	return NewChecker(members, CheckerConfig{
+		Rise: 2, Fall: 2, Probe: probe.probe, OnChange: onChange,
+	})
+}
+
+// TestCheckerFirstProbeAdopts verifies members start optimistically
+// healthy but the first completed probe is adopted immediately, without
+// waiting out the Fall threshold.
+func TestCheckerFirstProbeAdopts(t *testing.T) {
+	probe := &scriptedProbe{}
+	probe.set("down:1", true)
+	c := newTestChecker([]string{"up:1", "down:1"}, probe, nil)
+
+	if !c.Healthy("up:1") || !c.Healthy("down:1") {
+		t.Fatal("members must start optimistically healthy before any probe")
+	}
+	c.CheckOnce(context.Background())
+	if !c.Healthy("up:1") {
+		t.Error("up:1 unhealthy after successful first probe")
+	}
+	if c.Healthy("down:1") {
+		t.Error("down:1 still healthy after failing first probe — first verdict must adopt immediately")
+	}
+}
+
+// TestCheckerHysteresis verifies flips require Rise/Fall consecutive
+// same-outcome probes once the first verdict has landed.
+func TestCheckerHysteresis(t *testing.T) {
+	probe := &scriptedProbe{}
+	c := newTestChecker([]string{"m:1"}, probe, nil)
+	ctx := context.Background()
+
+	c.CheckOnce(ctx) // first verdict: healthy
+	probe.set("m:1", true)
+	c.CheckOnce(ctx)
+	if !c.Healthy("m:1") {
+		t.Fatal("one failure flipped a healthy member; Fall=2 requires two")
+	}
+	c.CheckOnce(ctx)
+	if c.Healthy("m:1") {
+		t.Fatal("two consecutive failures must flip the member unhealthy")
+	}
+
+	// One success then a failure must not rise (streak resets).
+	probe.set("m:1", false)
+	c.CheckOnce(ctx)
+	probe.set("m:1", true)
+	c.CheckOnce(ctx)
+	if c.Healthy("m:1") {
+		t.Fatal("interrupted success streak must not flip the member healthy")
+	}
+	probe.set("m:1", false)
+	c.CheckOnce(ctx)
+	if c.Healthy("m:1") {
+		t.Fatal("single success after reset must not satisfy Rise=2")
+	}
+	c.CheckOnce(ctx)
+	if !c.Healthy("m:1") {
+		t.Fatal("two consecutive successes must flip the member healthy")
+	}
+}
+
+// TestCheckerOnChange verifies the flip callback fires exactly on
+// transitions, outside the lock, with the new state.
+func TestCheckerOnChange(t *testing.T) {
+	probe := &scriptedProbe{}
+	var mu sync.Mutex
+	var flips []string
+	onChange := func(member string, healthy bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		state := "down"
+		if healthy {
+			state = "up"
+		}
+		flips = append(flips, member+"="+state)
+	}
+	c := newTestChecker([]string{"m:1"}, probe, onChange)
+	ctx := context.Background()
+
+	c.CheckOnce(ctx) // healthy → healthy (first verdict, no flip)
+	probe.set("m:1", true)
+	c.CheckOnce(ctx)
+	c.CheckOnce(ctx) // flips down
+	probe.set("m:1", false)
+	c.CheckOnce(ctx)
+	c.CheckOnce(ctx) // flips up
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"m:1=down", "m:1=up"}
+	if len(flips) != len(want) {
+		t.Fatalf("flips = %v, want %v", flips, want)
+	}
+	for i := range want {
+		if flips[i] != want[i] {
+			t.Fatalf("flips = %v, want %v", flips, want)
+		}
+	}
+}
+
+// TestCheckerStates verifies the snapshot content used by lb metrics.
+func TestCheckerStates(t *testing.T) {
+	probe := &scriptedProbe{}
+	probe.set("b:1", true)
+	c := newTestChecker([]string{"b:1", "a:1", "a:1", ""}, probe, nil)
+
+	if got := c.Members(); len(got) != 2 || got[0] != "a:1" || got[1] != "b:1" {
+		t.Fatalf("Members() = %v, want [a:1 b:1] (deduped, sorted, no empties)", got)
+	}
+	c.CheckOnce(context.Background())
+	states := c.States()
+	if len(states) != 2 {
+		t.Fatalf("States() returned %d entries", len(states))
+	}
+	for _, st := range states {
+		if !st.Checked {
+			t.Errorf("%s not marked checked after CheckOnce", st.Member)
+		}
+		switch st.Member {
+		case "a:1":
+			if !st.Healthy || st.LastErr != "" {
+				t.Errorf("a:1 state = %+v, want healthy with no error", st)
+			}
+		case "b:1":
+			if st.Healthy || st.LastErr == "" {
+				t.Errorf("b:1 state = %+v, want unhealthy with error", st)
+			}
+		}
+	}
+	hm := c.HealthyMembers()
+	if len(hm) != 1 || hm[0] != "a:1" {
+		t.Errorf("HealthyMembers() = %v, want [a:1]", hm)
+	}
+	if c.Healthy("nope:1") {
+		t.Error("unknown member reported healthy")
+	}
+}

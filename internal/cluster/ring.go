@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// placementDomain versions the placement hash. Changing how members or
+// keys map onto the ring is a cluster-wide migration (every replica must
+// agree on ownership), so the domain string is part of the contract: bump
+// it and the whole key space reshuffles at once, never piecemeal.
+const placementDomain = "ringsched/cluster/v1"
+
+// DefaultVNodes is the virtual-node count per member. 128 points per
+// member keeps the expected ownership imbalance within a few percent for
+// the single-digit member counts a ringschedd cluster runs at, while the
+// whole ring stays small enough to rebuild on every membership change.
+const DefaultVNodes = 128
+
+// Ring is an immutable consistent-hash ring over a set of member
+// addresses. Placement is deterministic: every process that builds a Ring
+// from the same member set (in any order) computes identical ownership
+// for every key, which is what lets replicas and the front door route
+// without consulting each other. Methods on *Ring are safe for concurrent
+// use; membership changes produce a new Ring (WithMember/WithoutMember).
+type Ring struct {
+	vnodes  int
+	members []string // sorted, deduped
+	points  []point  // sorted by hash
+}
+
+// point is one virtual node: a position on the 64-bit hash circle owned
+// by a member.
+type point struct {
+	hash   uint64
+	member string
+}
+
+// New builds a ring with vnodes virtual nodes per member (non-positive
+// selects DefaultVNodes). Duplicate members collapse; order is
+// irrelevant. An empty member list yields a ring that owns nothing.
+func New(vnodes int, members ...string) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(members))
+	uniq := make([]string, 0, len(members))
+	for _, m := range members {
+		if m != "" && !seen[m] {
+			seen[m] = true
+			uniq = append(uniq, m)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{vnodes: vnodes, members: uniq, points: make([]point, 0, vnodes*len(uniq))}
+	for _, m := range uniq {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, point{hash: placementHash(m, i), member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A 64-bit collision between virtual nodes is astronomically
+		// unlikely; break it by member so placement stays deterministic
+		// anyway.
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// placementHash positions one virtual node on the circle.
+func placementHash(member string, vnode int) uint64 {
+	sum := sha256.Sum256([]byte(placementDomain + "|member|" + member + "|" + strconv.Itoa(vnode)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// keyHash positions a request key on the circle. Keys are hashed in a
+// domain separate from members, so a key can never be mistaken for a
+// virtual node.
+func keyHash(key string) uint64 {
+	sum := sha256.Sum256([]byte(placementDomain + "|key|" + key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Owner returns the member owning key: the first virtual node clockwise
+// from the key's position. An empty ring owns nothing and returns "".
+func (r *Ring) Owner(key string) string {
+	if r == nil || len(r.points) == 0 {
+		return ""
+	}
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// Members returns the member set in sorted order. The slice is shared;
+// callers must not modify it.
+func (r *Ring) Members() []string {
+	if r == nil {
+		return nil
+	}
+	return r.members
+}
+
+// Size returns the member count.
+func (r *Ring) Size() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.members)
+}
+
+// Has reports whether m is a member.
+func (r *Ring) Has(m string) bool {
+	if r == nil {
+		return false
+	}
+	i := sort.SearchStrings(r.members, m)
+	return i < len(r.members) && r.members[i] == m
+}
+
+// WithMember returns a ring with m added (the receiver unchanged).
+func (r *Ring) WithMember(m string) *Ring {
+	return New(r.vnodes, append([]string{m}, r.members...)...)
+}
+
+// WithoutMember returns a ring with m removed (the receiver unchanged).
+func (r *Ring) WithoutMember(m string) *Ring {
+	kept := make([]string, 0, len(r.members))
+	for _, x := range r.members {
+		if x != m {
+			kept = append(kept, x)
+		}
+	}
+	return New(r.vnodes, kept...)
+}

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testKeys derives a deterministic key population shaped like the real
+// ones (canonical request hashes are hex strings; any string works).
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%04d", i)
+	}
+	return keys
+}
+
+// TestGoldenPlacement pins the exact placement of fixed keys on a fixed
+// membership. Placement is a cross-process contract — every replica and
+// the front door must compute identical owners — so any change to the
+// hash domain, the vnode scheme, or the tie-breaking shows up here as a
+// deliberate golden update, never an accident.
+func TestGoldenPlacement(t *testing.T) {
+	r := New(64, "10.0.0.1:8080", "10.0.0.2:8080", "10.0.0.3:8080")
+	golden := map[string]string{
+		"key-0000": "10.0.0.3:8080",
+		"key-0001": "10.0.0.2:8080",
+		"key-0002": "10.0.0.1:8080",
+		"key-0003": "10.0.0.2:8080",
+		"key-0004": "10.0.0.2:8080",
+		"key-0005": "10.0.0.2:8080",
+		"key-0006": "10.0.0.3:8080",
+		"key-0007": "10.0.0.3:8080",
+	}
+	for key, want := range golden {
+		if got := r.Owner(key); got != want {
+			t.Errorf("Owner(%q) = %q, want %q", key, got, want)
+		}
+	}
+}
+
+// TestDeterministicAcrossOrder checks that member order and duplicates
+// never affect placement.
+func TestDeterministicAcrossOrder(t *testing.T) {
+	a := New(64, "m1:1", "m2:1", "m3:1")
+	b := New(64, "m3:1", "m1:1", "m2:1", "m1:1")
+	for _, key := range testKeys(500) {
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("placement depends on construction order for %q: %q vs %q",
+				key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+// TestMovementBoundOnAdd checks the consistent-hashing contract: adding a
+// member to an N-ring moves roughly 1/(N+1) of the keys, and every moved
+// key moves TO the new member — no key ever shuffles between surviving
+// members.
+func TestMovementBoundOnAdd(t *testing.T) {
+	members := []string{"a:1", "b:1", "c:1", "d:1"}
+	before := New(0, members...)
+	after := before.WithMember("e:1")
+	keys := testKeys(4000)
+	moved := 0
+	for _, key := range keys {
+		was, is := before.Owner(key), after.Owner(key)
+		if was == is {
+			continue
+		}
+		moved++
+		if is != "e:1" {
+			t.Fatalf("key %q moved %q → %q, not to the new member", key, was, is)
+		}
+	}
+	// Expected movement is 1/5 = 20%; allow generous slack for vnode
+	// placement variance but fail on anything structurally wrong.
+	frac := float64(moved) / float64(len(keys))
+	if frac > 0.35 {
+		t.Errorf("adding 5th member moved %.1f%% of keys, want ≤ 35%%", 100*frac)
+	}
+	if frac < 0.05 {
+		t.Errorf("adding 5th member moved only %.1f%% of keys — new member is underweighted", 100*frac)
+	}
+}
+
+// TestMovementBoundOnRemove checks the mirror property: removing a member
+// moves exactly the keys it owned, and nothing else.
+func TestMovementBoundOnRemove(t *testing.T) {
+	before := New(0, "a:1", "b:1", "c:1", "d:1")
+	after := before.WithoutMember("d:1")
+	for _, key := range testKeys(4000) {
+		was, is := before.Owner(key), after.Owner(key)
+		if was != "d:1" && was != is {
+			t.Fatalf("key %q owned by surviving %q moved to %q on unrelated removal", key, was, is)
+		}
+		if is == "d:1" {
+			t.Fatalf("key %q still owned by removed member", key)
+		}
+	}
+}
+
+// TestBalance bounds ownership skew: with DefaultVNodes, no member of a
+// 4-ring should own less than half or more than twice its fair share.
+func TestBalance(t *testing.T) {
+	members := []string{"a:1", "b:1", "c:1", "d:1"}
+	r := New(0, members...)
+	counts := map[string]int{}
+	keys := testKeys(8000)
+	for _, key := range keys {
+		counts[r.Owner(key)]++
+	}
+	fair := float64(len(keys)) / float64(len(members))
+	for _, m := range members {
+		share := float64(counts[m])
+		if share < fair/2 || share > fair*2 {
+			t.Errorf("member %q owns %d keys, fair share %.0f — outside [0.5x, 2x]", m, counts[m], fair)
+		}
+	}
+}
+
+// TestEmptyAndSingle pins the degenerate rings: an empty ring owns
+// nothing; a singleton owns everything.
+func TestEmptyAndSingle(t *testing.T) {
+	if got := New(0).Owner("k"); got != "" {
+		t.Errorf("empty ring Owner = %q, want \"\"", got)
+	}
+	var nilRing *Ring
+	if got := nilRing.Owner("k"); got != "" {
+		t.Errorf("nil ring Owner = %q, want \"\"", got)
+	}
+	solo := New(0, "only:1")
+	for _, key := range testKeys(50) {
+		if got := solo.Owner(key); got != "only:1" {
+			t.Fatalf("singleton ring Owner(%q) = %q", key, got)
+		}
+	}
+	if !solo.Has("only:1") || solo.Has("other:1") {
+		t.Error("Has is wrong on singleton ring")
+	}
+}

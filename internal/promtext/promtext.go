@@ -1,0 +1,209 @@
+// Package promtext is a minimal Prometheus text-format (version 0.0.4)
+// exporter shared by the daemons in this repository (ringschedd and
+// ringsched-lb). The repository deliberately has no dependencies, so the
+// three primitives a serving process needs — labeled counters, labeled
+// latency histograms, and callback gauges — are hand-rolled here.
+// Families render sorted by name and label set, so /metrics output is
+// deterministic and trivially greppable in smoke tests.
+package promtext
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// CounterVec is a monotonically increasing counter family keyed by a
+// rendered label string (`{a="b"}` or "" for no labels).
+type CounterVec struct {
+	name, help string
+	mu         sync.Mutex
+	vals       map[string]float64
+}
+
+// NewCounterVec builds an empty counter family.
+func NewCounterVec(name, help string) *CounterVec {
+	return &CounterVec{name: name, help: help, vals: map[string]float64{}}
+}
+
+// Add increments the series identified by the rendered label string.
+func (c *CounterVec) Add(labels string, v float64) {
+	c.mu.Lock()
+	c.vals[labels] += v
+	c.mu.Unlock()
+}
+
+// Value returns the current value of one series (0 if never written).
+func (c *CounterVec) Value(labels string) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.vals[labels]
+}
+
+// Write renders the family in the text exposition format.
+func (c *CounterVec) Write(w io.Writer) {
+	c.mu.Lock()
+	keys := make([]string, 0, len(c.vals))
+	for k := range c.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", c.name, EscapeHelp(c.help), c.name)
+	if len(keys) == 0 {
+		fmt.Fprintf(w, "%s 0\n", c.name)
+	}
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s%s %s\n", c.name, k, FormatSample(c.vals[k]))
+	}
+	c.mu.Unlock()
+}
+
+// LatencyBuckets are the default histogram upper bounds in seconds,
+// spanning cache hits (sub-millisecond) through multi-minute sweeps.
+var LatencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60, 300}
+
+// HistogramVec is a labeled latency histogram family over LatencyBuckets.
+type HistogramVec struct {
+	name, help string
+	mu         sync.Mutex
+	series     map[string]*histogram
+}
+
+type histogram struct {
+	buckets []uint64 // one per LatencyBuckets entry
+	count   uint64
+	sum     float64
+}
+
+// NewHistogramVec builds an empty histogram family.
+func NewHistogramVec(name, help string) *HistogramVec {
+	return &HistogramVec{name: name, help: help, series: map[string]*histogram{}}
+}
+
+// Observe records one latency sample on the series identified by the
+// rendered label string.
+func (h *HistogramVec) Observe(labels string, seconds float64) {
+	h.mu.Lock()
+	s, ok := h.series[labels]
+	if !ok {
+		s = &histogram{buckets: make([]uint64, len(LatencyBuckets))}
+		h.series[labels] = s
+	}
+	for i, le := range LatencyBuckets {
+		if seconds <= le {
+			s.buckets[i]++
+		}
+	}
+	s.count++
+	s.sum += seconds
+	h.mu.Unlock()
+}
+
+// Write renders the family in the text exposition format.
+func (h *HistogramVec) Write(w io.Writer) {
+	h.mu.Lock()
+	keys := make([]string, 0, len(h.series))
+	for k := range h.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, EscapeHelp(h.help), h.name)
+	for _, k := range keys {
+		s := h.series[k]
+		for i, le := range LatencyBuckets {
+			fmt.Fprintf(w, "%s_bucket%s %d\n", h.name,
+				WithLabel(k, "le", strconv.FormatFloat(le, 'g', -1, 64)), s.buckets[i])
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", h.name, WithLabel(k, "le", "+Inf"), s.count)
+		fmt.Fprintf(w, "%s_sum%s %s\n", h.name, k, FormatSample(s.sum))
+		fmt.Fprintf(w, "%s_count%s %d\n", h.name, k, s.count)
+	}
+	h.mu.Unlock()
+}
+
+// GaugeFunc reads its value at scrape time, so pool depth and cache size
+// need no write-path instrumentation. Type overrides the metric type for
+// monotone values kept elsewhere (cache counters); "" means gauge.
+type GaugeFunc struct {
+	Name, Help, Type string
+	Fn               func() float64
+}
+
+// Write renders the gauge in the text exposition format.
+func (g GaugeFunc) Write(w io.Writer) {
+	typ := g.Type
+	if typ == "" {
+		typ = "gauge"
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+		g.Name, EscapeHelp(g.Help), g.Name, typ, g.Name, FormatSample(g.Fn()))
+}
+
+// Labels renders key=value pairs as a Prometheus label string. Pairs must
+// come pre-sorted by key; values are escaped per the text format.
+func Labels(pairs ...string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pairs[i])
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabel(pairs[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WithLabel appends one more label to an already-rendered label string
+// (used for histogram "le" bounds).
+func WithLabel(rendered, key, value string) string {
+	extra := key + `="` + EscapeLabel(value) + `"`
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return strings.TrimSuffix(rendered, "}") + "," + extra + "}"
+}
+
+// labelEscaper and helpEscaper implement the text format's two escaping
+// rules: label values escape backslash, double-quote, and newline; HELP
+// text escapes only backslash and newline (quotes are legal there). The
+// replacers are hoisted to package level — building one per escaped value
+// made /metrics rendering allocate per label.
+var (
+	labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+)
+
+// EscapeLabel escapes a label value for the text format.
+func EscapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+// EscapeHelp escapes HELP text for the text format.
+func EscapeHelp(v string) string { return helpEscaper.Replace(v) }
+
+// BuildInfo renders a <name>_build_info gauge: constant 1, with the
+// module version and Go runtime version as labels — the standard pattern
+// for joining any other series to "what build was serving then".
+func BuildInfo(w io.Writer, name string) {
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	fmt.Fprintf(w, "# HELP %s_build_info Build metadata; constant 1.\n# TYPE %s_build_info gauge\n%s_build_info%s 1\n",
+		name, name, name, Labels("goversion", runtime.Version(), "version", version))
+}
+
+// FormatSample renders a sample value in the shortest round-trip form.
+func FormatSample(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,84 @@
+package promtext
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusEscaping pins the text-format escaping rules: label
+// values escape backslash, quote, and newline; HELP text escapes
+// backslash and newline but not quotes.
+func TestPrometheusEscaping(t *testing.T) {
+	if got, want := EscapeLabel("a\\b\"c\nd"), `a\\b\"c\nd`; got != want {
+		t.Errorf("EscapeLabel = %q, want %q", got, want)
+	}
+	if got, want := EscapeHelp("a\\b\"c\nd"), `a\\b"c\nd`; got != want {
+		t.Errorf("EscapeHelp = %q, want %q", got, want)
+	}
+	c := NewCounterVec("x_total", "line one\nline \\two")
+	c.Add(Labels("path", `C:\tmp`+"\n"+`"quoted"`), 1)
+	var out bytes.Buffer
+	c.Write(&out)
+	text := out.String()
+	if !strings.Contains(text, `# HELP x_total line one\nline \\two`) {
+		t.Errorf("HELP not escaped: %s", text)
+	}
+	if !strings.Contains(text, `x_total{path="C:\\tmp\n\"quoted\""} 1`) {
+		t.Errorf("label value not escaped: %s", text)
+	}
+}
+
+// TestCounterDeterministicOrder pins that families render sorted by label
+// set, so /metrics output is greppable and diffable in smoke tests.
+func TestCounterDeterministicOrder(t *testing.T) {
+	c := NewCounterVec("y_total", "help")
+	c.Add(Labels("k", "b"), 2)
+	c.Add(Labels("k", "a"), 1)
+	var out bytes.Buffer
+	c.Write(&out)
+	text := out.String()
+	ia, ib := strings.Index(text, `k="a"`), strings.Index(text, `k="b"`)
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Errorf("labels not sorted: %s", text)
+	}
+	if got := c.Value(Labels("k", "b")); got != 2 {
+		t.Errorf("Value = %v, want 2", got)
+	}
+}
+
+// TestHistogramBuckets checks cumulative bucket counts and the +Inf row.
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogramVec("z_seconds", "help")
+	h.Observe("", 0.0005) // below every bound
+	h.Observe("", 999)    // above every bound
+	var out bytes.Buffer
+	h.Write(&out)
+	text := out.String()
+	if !strings.Contains(text, `z_seconds_bucket{le="0.001"} 1`) {
+		t.Errorf("first bucket wrong: %s", text)
+	}
+	if !strings.Contains(text, `z_seconds_bucket{le="+Inf"} 2`) {
+		t.Errorf("+Inf bucket wrong: %s", text)
+	}
+	if !strings.Contains(text, "z_seconds_count 2") {
+		t.Errorf("count wrong: %s", text)
+	}
+}
+
+// TestGaugeFunc checks the callback gauge renders its live value with the
+// requested type.
+func TestGaugeFunc(t *testing.T) {
+	v := 1.5
+	g := GaugeFunc{Name: "g", Help: "h", Fn: func() float64 { return v }}
+	var out bytes.Buffer
+	g.Write(&out)
+	if !strings.Contains(out.String(), "# TYPE g gauge\ng 1.5\n") {
+		t.Errorf("gauge render wrong: %s", out.String())
+	}
+	out.Reset()
+	GaugeFunc{Name: "c", Help: "h", Type: "counter", Fn: func() float64 { return 3 }}.Write(&out)
+	if !strings.Contains(out.String(), "# TYPE c counter\nc 3\n") {
+		t.Errorf("typed gauge render wrong: %s", out.String())
+	}
+}

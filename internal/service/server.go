@@ -58,6 +58,19 @@ type Config struct {
 	// SSEKeepAlive is the idle heartbeat interval for progress streams
 	// (default 15s; negative disables).
 	SSEKeepAlive time.Duration
+	// Advertise is this process's own cluster member address (host:port)
+	// as peers reach it. Empty disables the cluster layer entirely.
+	Advertise string
+	// Peers lists the other members' advertise addresses. The member set
+	// every process computes is Peers ∪ {Advertise}, so all replicas must
+	// be configured with the same total set (in any order).
+	Peers []string
+	// PeerFillTimeout bounds one outbound peer cache-fill round trip
+	// (default 2s); on expiry the process computes locally.
+	PeerFillTimeout time.Duration
+	// PeerVNodes is the consistent-hash virtual-node count per member
+	// (default cluster.DefaultVNodes). All members must agree.
+	PeerVNodes int
 }
 
 func (c Config) withDefaults() Config {
@@ -100,7 +113,7 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	return c
+	return clusterDefaults(c)
 }
 
 // Server is the ringschedd HTTP API: /v1/analyze, /v1/sweep,
@@ -125,6 +138,7 @@ type Server struct {
 	admission *resilience.Admission
 	limiter   *resilience.Limiter
 	chaos     *resilience.Chaos
+	clust     *clusterState
 
 	requests    *counterVec   // endpoint, code
 	latency     *histogramVec // endpoint
@@ -137,6 +151,7 @@ type Server struct {
 	ratelimited *counterVec   // endpoint
 	panics      *counterVec   // endpoint
 	chaosInj    *counterVec   // kind (latency | error | reset)
+	peerFill    *counterVec   // result (hit | miss | error); nil unless clustered
 }
 
 // stageForSpan maps span names to the /metrics stage label, so the
@@ -182,11 +197,11 @@ func New(cfg Config) *Server {
 	}
 	if cfg.Chaos.Enabled() {
 		s.chaos = resilience.NewChaos(cfg.Chaos)
-		s.chaos.OnInject = func(kind string) { s.chaosInj.add(labels("kind", kind), 1) }
+		s.chaos.OnInject = func(kind string) { s.chaosInj.Add(labels("kind", kind), 1) }
 	}
 	stageSink := trace.SinkFunc(func(rec trace.Record) {
 		if stage, ok := stageForSpan[rec.Name]; ok {
-			s.stages.observe(labels("stage", stage), rec.DurationUS/1e6)
+			s.stages.Observe(labels("stage", stage), rec.DurationUS/1e6)
 		}
 	})
 	s.tracer = trace.New(trace.Tee(s.spans, stageSink, cfg.TraceSink))
@@ -198,6 +213,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/experiments", s.instrument("experiments", s.handleExperiments))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.initCluster(cfg)
 	s.registerDebug()
 	return s
 }
@@ -287,6 +303,14 @@ const deadlineHeader = "X-Ringsched-Deadline-Ms"
 // the response always carries the header so a curl user can plug its
 // value straight into /debug/traces?trace=.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return s.instrumentOpts(endpoint, h, false)
+}
+
+// instrumentOpts is instrument with the peer escape hatch: peerExempt
+// skips per-client rate limiting, because peer fills are infrastructure
+// traffic between replicas, not tenant traffic — throttling them would
+// turn one tenant's burst into cluster-wide fill failures.
+func (s *Server) instrumentOpts(endpoint string, h http.HandlerFunc, peerExempt bool) http.HandlerFunc {
 	// Chaos wraps the innermost handler so injected faults see the final
 	// request context (deadline included) and pay the same metrics as
 	// real responses; a nil/disabled chaos is a free passthrough.
@@ -310,8 +334,8 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		defer func() {
 			s.inflight.Add(-1)
 			elapsed := time.Since(start)
-			s.requests.add(labels("code", strconv.Itoa(sw.code), "endpoint", endpoint), 1)
-			s.latency.observe(labels("endpoint", endpoint), elapsed.Seconds())
+			s.requests.Add(labels("code", strconv.Itoa(sw.code), "endpoint", endpoint), 1)
+			s.latency.Observe(labels("endpoint", endpoint), elapsed.Seconds())
 			sp.SetAttr("code", sw.code)
 			sp.End()
 			s.logger.LogAttrs(ctx, slog.LevelInfo, "request",
@@ -336,7 +360,7 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 				sw.code = http.StatusServiceUnavailable
 				panic(p)
 			}
-			s.panics.add(labels("endpoint", endpoint), 1)
+			s.panics.Add(labels("endpoint", endpoint), 1)
 			sp.SetError(fmt.Errorf("panic: %v", p))
 			s.logger.LogAttrs(ctx, slog.LevelError, "panic",
 				slog.String("endpoint", endpoint), slog.String("value", fmt.Sprint(p)))
@@ -352,9 +376,9 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 			writeError(sw, http.StatusServiceUnavailable, errDraining)
 			return
 		}
-		if s.limiter != nil {
+		if s.limiter != nil && !peerExempt {
 			if ok, retryAfter := s.limiter.Allow(clientKey(r), time.Now()); !ok {
-				s.ratelimited.add(labels("endpoint", endpoint), 1)
+				s.ratelimited.Add(labels("endpoint", endpoint), 1)
 				writeError(sw, http.StatusTooManyRequests,
 					resilience.ErrRateLimited.WithRetryAfter(retryAfter))
 				return
@@ -449,7 +473,7 @@ func statusFor(err error) int {
 
 func (s *Server) noteCancel(endpoint string, err error) {
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		s.canceled.add(labels("endpoint", endpoint), 1)
+		s.canceled.Add(labels("endpoint", endpoint), 1)
 	}
 }
 
@@ -481,7 +505,7 @@ func (s *Server) admit(ctx context.Context, endpoint, key string) error {
 	if errors.Is(err, resilience.ErrDeadlineInfeasible) {
 		reason = "deadline"
 	}
-	s.shed.add(labels("endpoint", endpoint, "reason", reason), 1)
+	s.shed.Add(labels("endpoint", endpoint, "reason", reason), 1)
 	if sp := trace.SpanFromContext(ctx); sp != nil {
 		sp.SetAttr("shed", reason)
 	}
@@ -499,10 +523,15 @@ func decode(r *http.Request, v any) error {
 	return nil
 }
 
-// serveCached runs the cache → coalesce → compute path shared by analyze
-// and non-streaming sweep and writes the response body. compute must
-// return the exact bytes to serve; they are cached under key.
-func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, key string, compute func(context.Context) ([]byte, error)) {
+// serveCached runs the cache → coalesce → compute path shared by analyze,
+// topology, and non-streaming sweep and writes the response body. compute
+// must return the exact bytes to serve; they are cached under key. In
+// cluster mode, a miss on a key some other member owns is first filled
+// from that owner (peerReq is the canonical request, re-marshaled onto
+// the wire); a failed fill falls back to computing locally. The X-Cache
+// header tells the caller what happened: hit, coalesced, miss (computed
+// here), or peer (fetched from the owning shard).
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, key string, peerReq any, compute func(context.Context) ([]byte, error)) {
 	_, lookup := trace.Start(r.Context(), "cache.lookup")
 	body, cached := s.cache.Get(key)
 	if cached {
@@ -519,11 +548,17 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, k
 	}
 	// Load shedding happens here — after the cache, before the pool — so
 	// a saturated server still answers every request it can answer for
-	// free, and sheds only work that needs a worker.
+	// free, and sheds only work that needs a worker. Peer-filled requests
+	// pass admission too: a fill can always fall back to local compute,
+	// so it must hold a reservation the fallback is allowed to spend.
 	if err := s.admit(r.Context(), endpoint, key); err != nil {
 		te, _ := resilience.AsError(err)
 		writeError(w, te.Status, err)
 		return
+	}
+	owner := ""
+	if peerReq != nil {
+		owner = s.peerOwner(r, key)
 	}
 	// The flight group's compute context derives from the server's base
 	// context, not from this request (the computation must survive the
@@ -532,11 +567,23 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, k
 	// the leader's trace only: coalesced followers never run fn, so their
 	// traces record just the wait below.
 	parent := trace.SpanFromContext(r.Context())
+	viaPeer := false
 	body, shared, err := s.flight.do(r.Context(), key, func(ctx context.Context) ([]byte, error) {
+		// The peer fill runs inside the flight group on purpose: every
+		// concurrent identical request on this process coalesces onto ONE
+		// outbound fill, and the owner coalesces fills from different
+		// members onto one computation — cluster-wide, an identical burst
+		// costs exactly one kernel run.
+		if owner != "" {
+			if b, ok := s.fillFromPeer(ctx, parent, owner, endpoint, key, peerReq); ok {
+				viaPeer = true
+				return b, nil
+			}
+		}
 		kctx, ksp := trace.Start(trace.ContextWithSpan(ctx, parent), "kernel")
 		defer ksp.End()
 		ksp.SetAttr("endpoint", endpoint)
-		s.computes.add(labels("endpoint", endpoint), 1)
+		s.computes.Add(labels("endpoint", endpoint), 1)
 		b, err := compute(kctx)
 		if err != nil {
 			ksp.SetError(err)
@@ -554,9 +601,12 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, k
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	if shared {
+	switch {
+	case shared:
 		w.Header().Set("X-Cache", "coalesced")
-	} else {
+	case viaPeer:
+		w.Header().Set("X-Cache", "peer")
+	default:
 		w.Header().Set("X-Cache", "miss")
 	}
 	w.Write(body)
@@ -572,6 +622,12 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	s.serveAnalyze(w, r, req)
+}
+
+// serveAnalyze is the decoded-request half of /v1/analyze, shared with
+// the peer-fill door.
+func (s *Server) serveAnalyze(w http.ResponseWriter, r *http.Request, req AnalyzeRequest) {
 	_, csp := trace.Start(r.Context(), "canonicalize")
 	canon, err := req.Canonicalize()
 	csp.SetError(err)
@@ -581,13 +637,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := canon.CacheKey()
-	s.serveCached(w, r, "analyze", key, func(ctx context.Context) ([]byte, error) {
+	s.serveCached(w, r, "analyze", key, canon, func(ctx context.Context) ([]byte, error) {
 		resp, err := analyzeCanonical(ctx, canon, key)
 		if err != nil {
 			return nil, err
 		}
 		for _, v := range resp.Verdicts {
-			s.verdicts.add(labels("protocol", v.Protocol, "schedulable", strconv.FormatBool(v.Schedulable)), 1)
+			s.verdicts.Add(labels("protocol", v.Protocol, "schedulable", strconv.FormatBool(v.Schedulable)), 1)
 		}
 		return encodeTraced(ctx, resp)
 	})
@@ -607,6 +663,12 @@ func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	s.serveTopology(w, r, req)
+}
+
+// serveTopology is the decoded-request half of /v1/topology/analyze,
+// shared with the peer-fill door.
+func (s *Server) serveTopology(w http.ResponseWriter, r *http.Request, req TopologyRequest) {
 	_, csp := trace.Start(r.Context(), "canonicalize")
 	canon, err := req.Canonicalize()
 	csp.SetError(err)
@@ -616,13 +678,13 @@ func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := canon.CacheKey()
-	s.serveCached(w, r, "topology", key, func(ctx context.Context) ([]byte, error) {
+	s.serveCached(w, r, "topology", key, canon, func(ctx context.Context) ([]byte, error) {
 		resp, err := topologyCanonical(ctx, canon, key)
 		if err != nil {
 			return nil, err
 		}
 		for _, rv := range resp.Rings {
-			s.verdicts.add(labels("protocol", rv.Protocol, "schedulable", strconv.FormatBool(rv.Schedulable)), 1)
+			s.verdicts.Add(labels("protocol", rv.Protocol, "schedulable", strconv.FormatBool(rv.Schedulable)), 1)
 		}
 		return encodeTraced(ctx, resp)
 	})
@@ -643,6 +705,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	s.serveSweep(w, r, req)
+}
+
+// serveSweep is the decoded-request half of /v1/sweep, shared with the
+// peer-fill door (which never asks for the SSE variant).
+func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request, req SweepRequest) {
 	_, csp := trace.Start(r.Context(), "canonicalize")
 	canon, err := req.Canonicalize()
 	csp.SetError(err)
@@ -656,7 +724,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.streamSweep(w, r, canon, key)
 		return
 	}
-	s.serveCached(w, r, "sweep", key, func(ctx context.Context) ([]byte, error) {
+	s.serveCached(w, r, "sweep", key, canon, func(ctx context.Context) ([]byte, error) {
 		resp, err := sweepCanonical(ctx, canon, key, s.cfg.Workers, nil)
 		if err != nil {
 			return nil, err
@@ -691,7 +759,7 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, canon Sweep
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
-	s.sseStream.add(labels("endpoint", "sweep"), 1)
+	s.sseStream.Add(labels("endpoint", "sweep"), 1)
 
 	sse := progress.NewSSE(w, flusher.Flush, s.cfg.SampleEvery)
 	if cached {
@@ -726,7 +794,7 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, canon Sweep
 		return
 	}
 	defer s.flight.release()
-	s.computes.add(labels("endpoint", "sweep"), 1)
+	s.computes.Add(labels("endpoint", "sweep"), 1)
 	started := time.Now()
 	resp, err := sweepCanonical(ctx, canon, key, s.cfg.Workers, sse)
 	if err != nil {
@@ -789,7 +857,7 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		defer s.flight.release()
-		s.computes.add(labels("endpoint", "experiments"), 1)
+		s.computes.Add(labels("endpoint", "experiments"), 1)
 		started := time.Now()
 		resp, err := RunExperiments(ctx, req, s.cfg.Workers, nil)
 		if err != nil {
@@ -822,41 +890,50 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.requests.write(w)
-	s.latency.write(w)
-	s.computes.write(w)
-	s.verdicts.write(w)
-	s.canceled.write(w)
-	s.sseStream.write(w)
-	s.stages.write(w)
-	s.shed.write(w)
-	s.ratelimited.write(w)
-	s.panics.write(w)
-	s.chaosInj.write(w)
+	s.requests.Write(w)
+	s.latency.Write(w)
+	s.computes.Write(w)
+	s.verdicts.Write(w)
+	s.canceled.Write(w)
+	s.sseStream.Write(w)
+	s.stages.Write(w)
+	s.shed.Write(w)
+	s.ratelimited.Write(w)
+	s.panics.Write(w)
+	s.chaosInj.Write(w)
+	if s.clust != nil {
+		s.peerFill.Write(w)
+	}
 	buildInfo(w)
-	for _, g := range []gaugeFunc{
-		{"ringschedd_cache_hits_total", "Result cache hits.", "counter", func() float64 { return float64(s.cache.Hits()) }},
-		{"ringschedd_cache_misses_total", "Result cache misses.", "counter", func() float64 { return float64(s.cache.Misses()) }},
-		{"ringschedd_cache_evictions_total", "Result cache evictions.", "counter", func() float64 { return float64(s.cache.Evictions()) }},
-		{"ringschedd_cache_bytes", "Resident result cache size in bytes.", "", func() float64 { return float64(s.cache.Bytes()) }},
-		{"ringschedd_cache_entries", "Resident result cache entries.", "", func() float64 { return float64(s.cache.Entries()) }},
-		{"ringschedd_coalesced_total", "Callers that joined an in-flight identical computation.", "counter", func() float64 { return float64(s.flight.coalesced.Load()) }},
-		{"ringschedd_abandoned_total", "Computations cancelled because every caller left.", "counter", func() float64 { return float64(s.flight.abandoned.Load()) }},
-		{"ringschedd_pool_queued", "Jobs waiting for a worker slot.", "", func() float64 { q, _ := s.flight.Depth(); return float64(q) }},
-		{"ringschedd_pool_running", "Jobs currently computing.", "", func() float64 { _, r := s.flight.Depth(); return float64(r) }},
-		{"ringschedd_http_in_flight", "API requests currently being served.", "", func() float64 { return float64(s.InFlight()) }},
-		{"ringschedd_admission_service_seconds", "EWMA of completed computation service times feeding the admission controller.", "",
-			func() float64 { return s.admission.ServiceTime().Seconds() }},
-		{"ringschedd_admission_est_wait_seconds", "Estimated queue wait a new arrival would see right now.", "",
-			func() float64 { q, _ := s.flight.Depth(); return s.admission.EstimatedWait(q).Seconds() }},
-		{"ringschedd_ratelimit_clients", "Resident per-client rate-limiter buckets.", "",
-			func() float64 {
+	gauges := []gaugeFunc{
+		{Name: "ringschedd_cache_hits_total", Help: "Result cache hits.", Type: "counter", Fn: func() float64 { return float64(s.cache.Hits()) }},
+		{Name: "ringschedd_cache_misses_total", Help: "Result cache misses.", Type: "counter", Fn: func() float64 { return float64(s.cache.Misses()) }},
+		{Name: "ringschedd_cache_evictions_total", Help: "Result cache evictions.", Type: "counter", Fn: func() float64 { return float64(s.cache.Evictions()) }},
+		{Name: "ringschedd_cache_bytes", Help: "Resident result cache size in bytes.", Fn: func() float64 { return float64(s.cache.Bytes()) }},
+		{Name: "ringschedd_cache_entries", Help: "Resident result cache entries.", Fn: func() float64 { return float64(s.cache.Entries()) }},
+		{Name: "ringschedd_coalesced_total", Help: "Callers that joined an in-flight identical computation.", Type: "counter", Fn: func() float64 { return float64(s.flight.coalesced.Load()) }},
+		{Name: "ringschedd_abandoned_total", Help: "Computations cancelled because every caller left.", Type: "counter", Fn: func() float64 { return float64(s.flight.abandoned.Load()) }},
+		{Name: "ringschedd_pool_queued", Help: "Jobs waiting for a worker slot.", Fn: func() float64 { q, _ := s.flight.Depth(); return float64(q) }},
+		{Name: "ringschedd_pool_running", Help: "Jobs currently computing.", Fn: func() float64 { _, r := s.flight.Depth(); return float64(r) }},
+		{Name: "ringschedd_http_in_flight", Help: "API requests currently being served.", Fn: func() float64 { return float64(s.InFlight()) }},
+		{Name: "ringschedd_admission_service_seconds", Help: "EWMA of completed computation service times feeding the admission controller.",
+			Fn: func() float64 { return s.admission.ServiceTime().Seconds() }},
+		{Name: "ringschedd_admission_est_wait_seconds", Help: "Estimated queue wait a new arrival would see right now.",
+			Fn: func() float64 { q, _ := s.flight.Depth(); return s.admission.EstimatedWait(q).Seconds() }},
+		{Name: "ringschedd_ratelimit_clients", Help: "Resident per-client rate-limiter buckets.",
+			Fn: func() float64 {
 				if s.limiter == nil {
 					return 0
 				}
 				return float64(s.limiter.Clients())
 			}},
-	} {
-		g.write(w)
+	}
+	if s.clust != nil {
+		gauges = append(gauges,
+			gaugeFunc{Name: "ringschedd_cluster_members", Help: "Members of the consistent-hash cluster ring, this process included.",
+				Fn: func() float64 { return float64(s.clust.ring.Size()) }})
+	}
+	for _, g := range gauges {
+		g.Write(w)
 	}
 }

@@ -237,25 +237,5 @@ func TestStageHistogramsAndBuildInfo(t *testing.T) {
 	}
 }
 
-// TestPrometheusEscaping pins the text-format escaping rules: label
-// values escape backslash, quote, and newline; HELP text escapes
-// backslash and newline but not quotes.
-func TestPrometheusEscaping(t *testing.T) {
-	if got, want := escapeLabel("a\\b\"c\nd"), `a\\b\"c\nd`; got != want {
-		t.Errorf("escapeLabel = %q, want %q", got, want)
-	}
-	if got, want := escapeHelp("a\\b\"c\nd"), `a\\b"c\nd`; got != want {
-		t.Errorf("escapeHelp = %q, want %q", got, want)
-	}
-	c := newCounterVec("x_total", "line one\nline \\two")
-	c.add(labels("path", `C:\tmp`+"\n"+`"quoted"`), 1)
-	var out bytes.Buffer
-	c.write(&out)
-	text := out.String()
-	if !strings.Contains(text, `# HELP x_total line one\nline \\two`) {
-		t.Errorf("HELP not escaped: %s", text)
-	}
-	if !strings.Contains(text, `x_total{path="C:\\tmp\n\"quoted\""} 1`) {
-		t.Errorf("label value not escaped: %s", text)
-	}
-}
+// The Prometheus text-format escaping rules are pinned in
+// internal/promtext's own tests since the exporter moved there.

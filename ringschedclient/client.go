@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"ringsched/internal/resilience"
+	"ringsched/internal/trace"
 )
 
 // Options tunes a Client. The zero value is a sensible production
@@ -68,6 +69,11 @@ type Options struct {
 	// ClientID is sent as X-Ringsched-Client, the server's rate-limit
 	// key.
 	ClientID string
+	// Headers are static extra headers set on every request (e.g. the
+	// cluster peer-fill hop guard). They are applied before the standard
+	// headers and cannot override Content-Type, X-Ringsched-Client, or
+	// X-Ringsched-Deadline-Ms.
+	Headers map[string]string
 
 	// sleep replaces the interruptible retry sleep in tests.
 	sleep func(context.Context, time.Duration) error
@@ -185,11 +191,23 @@ func (c *Client) Health(ctx context.Context) error {
 // hedging, typed error decoding, budgeted retries with jittered backoff
 // stretched by any server Retry-After hint.
 func (c *Client) Call(ctx context.Context, method, path string, req any) (json.RawMessage, error) {
+	body, _, err := c.CallHeader(ctx, method, path, req, nil)
+	return body, err
+}
+
+// CallHeader is Call with the cluster-facing extensions: extra request
+// headers applied per call (nil is fine; the front door uses this to
+// pass the original client identity through to the backend), and the
+// response headers of the winning attempt returned so proxies can read
+// routing metadata (X-Cache, trace IDs) off proxied responses.
+func (c *Client) CallHeader(ctx context.Context, method, path string, req any, extra http.Header) (json.RawMessage, http.Header, error) {
 	var payload []byte
 	if req != nil {
 		var err error
+		// json.RawMessage passes through Marshal verbatim, so proxies can
+		// forward raw bodies without a decode/re-encode round trip.
 		if payload, err = json.Marshal(req); err != nil {
-			return nil, fmt.Errorf("ringschedclient: encode request: %w", err)
+			return nil, nil, fmt.Errorf("ringschedclient: encode request: %w", err)
 		}
 	}
 	c.budget.Deposit()
@@ -198,14 +216,14 @@ func (c *Client) Call(ctx context.Context, method, path string, req any) (json.R
 		if err := c.breaker.Allow(); err != nil {
 			c.rejected.Add(1)
 			if lastErr != nil {
-				return nil, fmt.Errorf("%w (last attempt: %w)", err, lastErr)
+				return nil, nil, fmt.Errorf("%w (last attempt: %w)", err, lastErr)
 			}
-			return nil, err
+			return nil, nil, err
 		}
-		body, err := c.roundTrip(ctx, method, path, payload)
+		resp, err := c.roundTrip(ctx, method, path, payload, extra)
 		if err == nil {
 			c.breaker.Success()
-			return body, nil
+			return resp.body, resp.header, nil
 		}
 		lastErr = err
 		// Every Allow admission is matched with a verdict, or the
@@ -223,11 +241,11 @@ func (c *Client) Call(ctx context.Context, method, path string, req any) (json.R
 			c.breaker.Cancel()
 		}
 		if !isRetryable(err) || attempt >= c.opts.MaxRetries || ctx.Err() != nil {
-			return nil, lastErr
+			return nil, nil, lastErr
 		}
 		if !c.budget.Withdraw() {
 			c.exhausted.Add(1)
-			return nil, fmt.Errorf("ringschedclient: retry budget exhausted: %w", lastErr)
+			return nil, nil, fmt.Errorf("ringschedclient: retry budget exhausted: %w", lastErr)
 		}
 		delay := c.opts.Backoff.Delay(attempt)
 		if ae := apiErrorOf(err); ae != nil && ae.RetryAfter > delay {
@@ -235,26 +253,32 @@ func (c *Client) Call(ctx context.Context, method, path string, req any) (json.R
 		}
 		c.retries.Add(1)
 		if err := c.sleep(ctx, delay); err != nil {
-			return nil, lastErr
+			return nil, nil, lastErr
 		}
 	}
 }
 
+// response is one successful attempt's body and headers.
+type response struct {
+	body   json.RawMessage
+	header http.Header
+}
+
 // roundTrip performs one logical attempt, hedged when configured.
-func (c *Client) roundTrip(ctx context.Context, method, path string, payload []byte) (json.RawMessage, error) {
+func (c *Client) roundTrip(ctx context.Context, method, path string, payload []byte, extra http.Header) (response, error) {
 	if c.opts.Hedge <= 0 {
-		return c.once(ctx, method, path, payload)
+		return c.once(ctx, method, path, payload, extra)
 	}
 	type result struct {
-		body json.RawMessage
+		resp response
 		err  error
 	}
 	rctx, cancel := context.WithCancel(ctx)
 	defer cancel() // the losing duplicate is cancelled, not leaked
 	results := make(chan result, 2)
 	launch := func() {
-		b, err := c.once(rctx, method, path, payload)
-		results <- result{b, err}
+		r, err := c.once(rctx, method, path, payload, extra)
+		results <- result{r, err}
 	}
 	go launch()
 	outstanding, hedged := 1, false
@@ -272,22 +296,22 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, payload []b
 			}
 		case r := <-results:
 			if r.err == nil {
-				return r.body, nil
+				return r.resp, nil
 			}
 			if firstErr == nil {
 				firstErr = r.err
 			}
 			if outstanding--; outstanding == 0 {
-				return nil, firstErr
+				return response{}, firstErr
 			}
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return response{}, ctx.Err()
 		}
 	}
 }
 
 // once performs exactly one HTTP round trip.
-func (c *Client) once(ctx context.Context, method, path string, payload []byte) (json.RawMessage, error) {
+func (c *Client) once(ctx context.Context, method, path string, payload []byte, extra http.Header) (response, error) {
 	if c.opts.Deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.opts.Deadline)
@@ -299,7 +323,21 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte) 
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
-		return nil, err
+		return response{}, err
+	}
+	for k, v := range c.opts.Headers {
+		req.Header.Set(k, v)
+	}
+	for k, vs := range extra {
+		req.Header.Del(k)
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	// An active span in the caller's context propagates its trace ID so
+	// peer fills and lb hops stitch into one end-to-end trace.
+	if sp := trace.SpanFromContext(ctx); sp != nil && !sp.TraceID().IsZero() {
+		req.Header.Set("X-Ringsched-Trace", sp.TraceID().String())
 	}
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -315,17 +353,17 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte) 
 	c.attempts.Add(1)
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return nil, err
+		return response{}, err
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		return nil, err
+		return response{}, err
 	}
 	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
-		return raw, nil
+		return response{body: raw, header: resp.Header}, nil
 	}
-	return nil, decodeAPIError(resp, raw)
+	return response{}, decodeAPIError(resp, raw)
 }
 
 // decodeAPIError turns a non-2xx response into a typed *APIError,

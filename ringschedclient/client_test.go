@@ -12,7 +12,6 @@ import (
 	"time"
 
 	"ringsched/internal/resilience"
-	"ringsched/internal/service"
 )
 
 const analyzeReqJSON = `{
@@ -359,71 +358,5 @@ func TestClientSendsIdentityAndDeadlineHeaders(t *testing.T) {
 	}
 	if n, err := time.ParseDuration(ms + "ms"); err != nil || n <= 0 || n > 750*time.Millisecond {
 		t.Errorf("X-Ringsched-Deadline-Ms = %q, want (0, 750]", ms)
-	}
-}
-
-// TestClientRidesOutDeterministicChaos is the end-to-end acceptance
-// check: a real ringschedd server with chaos-injected 503s, a client
-// with budgeted retries — every call succeeds, and because the chaos is
-// deterministic, so is the entire interaction.
-func TestClientRidesOutDeterministicChaos(t *testing.T) {
-	run := func() (succeeded int, retries int64) {
-		srv := service.New(service.Config{
-			Chaos: resilience.ChaosModel{Seed: 9, ErrorProb: 0.4, ErrorStatus: 503},
-		})
-		ts := httptest.NewServer(srv.Handler())
-		defer func() {
-			ts.Close()
-			srv.Close()
-		}()
-
-		opts := testOptions(&instantSleep{})
-		opts.MaxRetries = 6
-		// Isolate the retry loop: give it headroom so neither the budget
-		// nor the breaker interferes with the determinism assertion.
-		opts.RetryBudgetBurst = 100
-		opts.Breaker = resilience.BreakerConfig{Threshold: 100}
-		c := New(ts.URL, opts)
-		for i := 0; i < 16; i++ {
-			if _, err := c.Analyze(context.Background(), analyzeReq(t)); err != nil {
-				t.Errorf("call %d failed through chaos: %v", i, err)
-				continue
-			}
-			succeeded++
-		}
-		return succeeded, c.Counters().Retries
-	}
-	ok1, retries1 := run()
-	ok2, retries2 := run()
-	if ok1 != 16 || ok2 != 16 {
-		t.Errorf("succeeded %d/%d of 16", ok1, ok2)
-	}
-	if retries1 == 0 {
-		t.Error("chaos at p=0.4 should have forced retries")
-	}
-	if retries1 != retries2 {
-		t.Errorf("identical runs retried %d vs %d times — chaos or client not deterministic", retries1, retries2)
-	}
-}
-
-func TestClientHealth(t *testing.T) {
-	srv := service.New(service.Config{})
-	ts := httptest.NewServer(srv.Handler())
-	defer func() {
-		ts.Close()
-		srv.Close()
-	}()
-	c := New(ts.URL, testOptions(nil))
-	if err := c.Health(context.Background()); err != nil {
-		t.Fatalf("healthy server: %v", err)
-	}
-	srv.BeginDrain()
-	err := c.Health(context.Background())
-	var ae *APIError
-	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
-		t.Fatalf("draining health err = %v, want typed 503", err)
-	}
-	if ae.Code != resilience.CodeUnavailable && ae.Message == "" {
-		t.Errorf("draining health body not decoded: %+v", ae)
 	}
 }

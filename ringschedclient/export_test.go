@@ -1,0 +1,14 @@
+package ringschedclient
+
+import (
+	"context"
+	"time"
+)
+
+// SetSleepForTest replaces the retry sleep, letting the external
+// integration tests (package ringschedclient_test, which can import
+// internal/service without creating an import cycle) run retry loops
+// instantly.
+func SetSleepForTest(o *Options, fn func(context.Context, time.Duration) error) {
+	o.sleep = fn
+}

@@ -1,0 +1,114 @@
+// Integration tests pairing the client with a real in-process ringschedd
+// server. They live in an external test package: internal/service now
+// imports ringschedclient for the cluster peer-fill path, so an internal
+// test package importing service would be an import cycle.
+package ringschedclient_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ringsched/internal/resilience"
+	"ringsched/internal/service"
+	"ringsched/ringschedclient"
+)
+
+const integAnalyzeReqJSON = `{
+  "bandwidthMbps": 100,
+  "streams": [
+    {"name": "gyro", "periodMs": 10, "lengthBits": 4096},
+    {"name": "telemetry", "periodMs": 50, "lengthBits": 65536}
+  ]
+}`
+
+func integAnalyzeReq(t *testing.T) any {
+	t.Helper()
+	var v map[string]any
+	if err := json.Unmarshal([]byte(integAnalyzeReqJSON), &v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func integOptions() ringschedclient.Options {
+	o := ringschedclient.Options{
+		MaxRetries: 3,
+		Backoff: resilience.Backoff{
+			Base: 10 * time.Millisecond, Cap: 100 * time.Millisecond,
+			Rand: func() float64 { return 0.999999 },
+		},
+	}
+	ringschedclient.SetSleepForTest(&o, func(context.Context, time.Duration) error { return nil })
+	return o
+}
+
+// TestClientRidesOutDeterministicChaos is the end-to-end acceptance
+// check: a real ringschedd server with chaos-injected 503s, a client
+// with budgeted retries — every call succeeds, and because the chaos is
+// deterministic, so is the entire interaction.
+func TestClientRidesOutDeterministicChaos(t *testing.T) {
+	run := func() (succeeded int, retries int64) {
+		srv := service.New(service.Config{
+			Chaos: resilience.ChaosModel{Seed: 9, ErrorProb: 0.4, ErrorStatus: 503},
+		})
+		ts := httptest.NewServer(srv.Handler())
+		defer func() {
+			ts.Close()
+			srv.Close()
+		}()
+
+		opts := integOptions()
+		opts.MaxRetries = 6
+		// Isolate the retry loop: give it headroom so neither the budget
+		// nor the breaker interferes with the determinism assertion.
+		opts.RetryBudgetBurst = 100
+		opts.Breaker = resilience.BreakerConfig{Threshold: 100}
+		c := ringschedclient.New(ts.URL, opts)
+		for i := 0; i < 16; i++ {
+			if _, err := c.Analyze(context.Background(), integAnalyzeReq(t)); err != nil {
+				t.Errorf("call %d failed through chaos: %v", i, err)
+				continue
+			}
+			succeeded++
+		}
+		return succeeded, c.Counters().Retries
+	}
+	ok1, retries1 := run()
+	ok2, retries2 := run()
+	if ok1 != 16 || ok2 != 16 {
+		t.Errorf("succeeded %d/%d of 16", ok1, ok2)
+	}
+	if retries1 == 0 {
+		t.Error("chaos at p=0.4 should have forced retries")
+	}
+	if retries1 != retries2 {
+		t.Errorf("identical runs retried %d vs %d times — chaos or client not deterministic", retries1, retries2)
+	}
+}
+
+func TestClientHealth(t *testing.T) {
+	srv := service.New(service.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	c := ringschedclient.New(ts.URL, integOptions())
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("healthy server: %v", err)
+	}
+	srv.BeginDrain()
+	err := c.Health(context.Background())
+	var ae *ringschedclient.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("draining health err = %v, want typed 503", err)
+	}
+	if ae.Code != resilience.CodeUnavailable && ae.Message == "" {
+		t.Errorf("draining health body not decoded: %+v", ae)
+	}
+}

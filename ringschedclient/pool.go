@@ -1,0 +1,80 @@
+// Pool manages one Client per backend for cluster components that talk
+// to many ringschedd replicas: the front door (one client per backend)
+// and the peer-fill path (one client per peer). Keeping a distinct
+// Client per base URL is what keeps the resilience state honest — each
+// backend gets its own circuit breaker and retry budget, so one dead
+// replica cannot open the breaker for its healthy siblings.
+package ringschedclient
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool hands out per-base-URL Clients sharing one Options template. It
+// is safe for concurrent use; Clients are created lazily and cached for
+// the Pool's lifetime.
+type Pool struct {
+	opts Options
+
+	mu      sync.Mutex
+	clients map[string]*Client
+
+	rr atomic.Uint64
+}
+
+// NewPool builds a pool whose Clients are configured from opts.
+func NewPool(opts Options) *Pool {
+	return &Pool{opts: opts, clients: map[string]*Client{}}
+}
+
+// Client returns the Client for base, creating it on first use. Base is
+// a URL like "http://host:port"; bare "host:port" gets "http://".
+func (p *Pool) Client(base string) *Client {
+	base = normalizeBase(base)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, ok := p.clients[base]
+	if !ok {
+		c = New(base, p.opts)
+		p.clients[base] = c
+	}
+	return c
+}
+
+// Bases returns the base URLs of every Client created so far, sorted.
+func (p *Pool) Bases() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.clients))
+	for b := range p.clients {
+		out = append(out, b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Pick round-robins over candidates (member addresses or base URLs) and
+// returns the chosen Client. Empty candidates returns nil.
+func (p *Pool) Pick(candidates []string) *Client {
+	if len(candidates) == 0 {
+		return nil
+	}
+	i := p.rr.Add(1) - 1
+	return p.Client(candidates[i%uint64(len(candidates))])
+}
+
+// normalizeBase makes "host:port" and "http://host:port/" equivalent.
+func normalizeBase(base string) string {
+	if base == "" {
+		return base
+	}
+	if len(base) < 7 || (base[:7] != "http://" && (len(base) < 8 || base[:8] != "https://")) {
+		base = "http://" + base
+	}
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	return base
+}

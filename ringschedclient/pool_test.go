@@ -1,0 +1,119 @@
+package ringschedclient
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"ringsched/internal/trace"
+)
+
+func TestClientStaticAndPerCallHeaders(t *testing.T) {
+	var hop, tenant atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hop.Store(r.Header.Get("X-Ringsched-Peer-Hop"))
+		tenant.Store(r.Header.Get("X-Ringsched-Client"))
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	opts := testOptions(nil)
+	opts.Headers = map[string]string{"X-Ringsched-Peer-Hop": "1"}
+	c := New(ts.URL, opts)
+	extra := http.Header{}
+	extra.Set("X-Ringsched-Client", "tenant-3")
+	if _, _, err := c.CallHeader(context.Background(), http.MethodGet, "/healthz", nil, extra); err != nil {
+		t.Fatal(err)
+	}
+	if hop.Load() != "1" {
+		t.Errorf("static header not sent: hop = %q", hop.Load())
+	}
+	if tenant.Load() != "tenant-3" {
+		t.Errorf("per-call header not sent: client = %q", tenant.Load())
+	}
+}
+
+func TestClientPropagatesTraceFromContext(t *testing.T) {
+	var got atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get("X-Ringsched-Trace"))
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, testOptions(nil))
+	// No span in context → no trace header invented.
+	if _, err := c.Call(context.Background(), http.MethodGet, "/healthz", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != "" {
+		t.Errorf("trace header sent without a span: %q", got.Load())
+	}
+
+	ring := trace.NewRing(8)
+	ctx := trace.WithTracer(context.Background(), trace.New(ring))
+	ctx, sp := trace.StartRoot(ctx, "test.call", trace.TraceID{})
+	defer sp.End()
+	if _, err := c.Call(ctx, http.MethodGet, "/healthz", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != sp.TraceID().String() {
+		t.Errorf("trace header = %q, want span's %q", got.Load(), sp.TraceID())
+	}
+}
+
+func TestCallHeaderReturnsResponseHeaders(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Cache", "hit")
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, testOptions(nil))
+	body, hdr, err := c.CallHeader(context.Background(), http.MethodGet, "/x", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != `{"ok":true}` {
+		t.Errorf("body = %s", body)
+	}
+	if hdr.Get("X-Cache") != "hit" {
+		t.Errorf("X-Cache = %q, want hit", hdr.Get("X-Cache"))
+	}
+}
+
+func TestPoolPerBaseClientsAndRoundRobin(t *testing.T) {
+	p := NewPool(testOptions(nil))
+	a := p.Client("http://a:1")
+	if p.Client("a:1") != a || p.Client("http://a:1/") != a {
+		t.Error("equivalent base spellings must share one client (one breaker per backend)")
+	}
+	b := p.Client("b:1")
+	if a == b {
+		t.Error("distinct backends must get distinct clients")
+	}
+	bases := p.Bases()
+	if len(bases) != 2 || bases[0] != "http://a:1" || bases[1] != "http://b:1" {
+		t.Errorf("Bases() = %v", bases)
+	}
+
+	// Round-robin must visit every candidate.
+	seen := map[*Client]int{}
+	cands := []string{"a:1", "b:1", "c:1"}
+	for i := 0; i < 6; i++ {
+		seen[p.Pick(cands)]++
+	}
+	if len(seen) != 3 {
+		t.Errorf("Pick visited %d of 3 candidates over 6 picks", len(seen))
+	}
+	for c, n := range seen {
+		if n != 2 {
+			t.Errorf("client %p picked %d times, want 2", c, n)
+		}
+	}
+	if p.Pick(nil) != nil {
+		t.Error("Pick(nil) must return nil")
+	}
+}

@@ -1,0 +1,143 @@
+#!/usr/bin/env bash
+# Sharded-cluster demo: three ringschedd replicas form a consistent-hash
+# cluster behind ringsched-lb, then the script proves the two cluster
+# guarantees end to end:
+#
+#   1. De-duplication — an identical request burst sprayed directly at
+#      every replica is computed exactly once cluster-wide (peer cache
+#      fills route every copy to the key's owner, whose flight group
+#      coalesces them).
+#   2. Degradation — SIGKILLing one replica in the middle of an open-loop
+#      load run keeps goodput above a floor and the error rate inside a
+#      budget: the lb fails the dead shard over to the survivors.
+#
+# Usage:
+#   scripts/cluster_demo.sh
+#
+# Environment:
+#   DEMO_PORT_BASE  first of four consecutive ports (default 7080: lb on
+#                   7080, replicas on 7081-7083)
+#   DEMO_RPS        open-loop arrival rate for the kill run (default 60)
+#   DEMO_DURATION   kill-run length (default 6s)
+#   DEMO_DEADLINE   per-request deadline in ms (default 2000)
+#   DEMO_ERR_BUDGET max tolerated error rate after the kill (default 0.10)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+port_base="${DEMO_PORT_BASE:-7080}"
+rps="${DEMO_RPS:-60}"
+duration="${DEMO_DURATION:-6s}"
+deadline="${DEMO_DEADLINE:-2000}"
+err_budget="${DEMO_ERR_BUDGET:-0.10}"
+
+lb_addr="127.0.0.1:$port_base"
+replicas=("127.0.0.1:$((port_base + 1))" "127.0.0.1:$((port_base + 2))" "127.0.0.1:$((port_base + 3))")
+
+bin="$(mktemp -d)"
+pids=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do kill -9 "$pid" 2>/dev/null || true; done
+    rm -rf "$bin"
+}
+trap cleanup EXIT
+
+go build -o "$bin/ringschedd" ./cmd/ringschedd
+go build -o "$bin/ringsched-lb" ./cmd/ringsched-lb
+go build -o "$bin/ringloadgen" ./cmd/ringloadgen
+
+wait_healthy() { # addr
+    for _ in $(seq 1 100); do
+        curl -sf "http://$1/healthz" >/dev/null 2>&1 && return 0
+        sleep 0.1
+    done
+    echo "FAIL: $1 never became healthy" >&2
+    exit 1
+}
+
+# Start the three clustered replicas; each advertises itself and peers
+# with the other two.
+for i in 0 1 2; do
+    peers=""
+    for j in 0 1 2; do
+        [[ $i -eq $j ]] && continue
+        peers="${peers:+$peers,}${replicas[$j]}"
+    done
+    "$bin/ringschedd" -addr "${replicas[$i]}" -advertise "${replicas[$i]}" \
+        -peers "$peers" -peer-fill-timeout 500ms \
+        >"$bin/replica$i.log" 2>&1 &
+    pids+=($!)
+    disown $! # silence job-control noise when cleanup SIGKILLs daemons
+done
+for r in "${replicas[@]}"; do wait_healthy "$r"; done
+
+"$bin/ringsched-lb" -addr "$lb_addr" -backends "$(IFS=,; echo "${replicas[*]}")" \
+    -retries -1 -check-interval 250ms >"$bin/lb.log" 2>&1 &
+lb_pid=$!
+pids+=("$lb_pid")
+disown "$lb_pid"
+wait_healthy "$lb_addr"
+
+echo "== duplicate burst: 12 identical requests across all 3 replicas =="
+body='{"bandwidthMbps":7777,"streams":[{"name":"s","periodMs":10,"lengthBits":4096}]}'
+# Subshell so the bare wait only covers the curl jobs, not the daemons.
+(
+    for r in "${replicas[@]}"; do
+        for _ in 1 2 3 4; do
+            curl -sf -XPOST -d "$body" "http://$r/v1/analyze" >/dev/null &
+        done
+    done
+    wait
+)
+
+computes=0
+for r in "${replicas[@]}"; do
+    c="$(curl -sf "http://$r/metrics" \
+        | awk '$1 == "ringschedd_computations_total{endpoint=\"analyze\"}" {print $2}')"
+    computes=$((computes + ${c:-0}))
+done
+echo "cluster-wide computations for the burst: $computes"
+if [[ "$computes" -ne 1 ]]; then
+    echo "FAIL: identical burst computed $computes times, want exactly 1" >&2
+    exit 1
+fi
+
+echo
+echo "== kill one replica mid-load ($rps rps for $duration) =="
+(
+    sleep 2
+    echo "killing replica 0 (${replicas[0]})"
+    kill -9 "${pids[0]}" 2>/dev/null || true
+) &
+killer=$!
+"$bin/ringloadgen" -base "http://$lb_addr" -rps "$rps" -duration "$duration" \
+    -mix analyze -distinct 0 -deadline-ms "$deadline" -seed 31 \
+    -client-id cluster-demo | tee "$bin/load.txt"
+wait "$killer"
+
+goodput="$(awk '$1 == "goodput_rps" {print $2}' "$bin/load.txt")"
+err_rate="$(awk '$1 == "error_rate" {print $2}' "$bin/load.txt")"
+floor="$(awk -v r="$rps" 'BEGIN {printf "%.1f", r / 2}')"
+
+curl -sf "http://$lb_addr/healthz" >/dev/null || {
+    echo "FAIL: lb unhealthy after replica kill" >&2
+    exit 1
+}
+curl -sf -XPOST -d "$body" "http://$lb_addr/v1/analyze" >/dev/null || {
+    echo "FAIL: fresh request after kill did not succeed" >&2
+    exit 1
+}
+
+echo
+echo "goodput after kill:   $goodput rps (floor $floor)"
+echo "error rate after kill: $err_rate (budget $err_budget)"
+awk -v good="$goodput" -v floor="$floor" -v err="$err_rate" -v budget="$err_budget" 'BEGIN {
+    if (good < floor) {
+        printf "FAIL: goodput %.1f below floor %.1f after replica kill\n", good, floor
+        exit 1
+    }
+    if (err > budget) {
+        printf "FAIL: error rate %.3f above budget %.3f after replica kill\n", err, budget
+        exit 1
+    }
+    print "PASS: one computation per distinct key cluster-wide; kill degrades only the dead shard"
+}'
