@@ -82,6 +82,10 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 			"deadline for one peer cache-fill round trip before computing locally")
 		peerVNodes = fs.Int("peer-vnodes", 0,
 			"consistent-hash virtual nodes per member (0 = default 128; all members must agree)")
+		maxRings = fs.Int("max-rings", 0,
+			"resident /v1/rings sessions (0 = default 4096)")
+		maxRingStreams = fs.Int("max-ring-streams", 0,
+			"streams per /v1/rings session (0 = default 4096)")
 	)
 	var obs cli.Obs
 	obs.Register(fs)
@@ -113,22 +117,24 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	}
 
 	srv := service.New(service.Config{
-		CacheBytes:   *cacheBytes,
-		Workers:      *workers,
-		JobTimeout:   *jobTimeout,
-		Logger:       logger,
-		TraceSpans:   *spans,
-		TraceSink:    obs.Sink(),
-		QueueDepth:   *queueDepth,
-		ClientRPS:    *clientRPS,
-		ClientBurst:  *clientBurst,
-		MaxClients:   *maxClients,
+		CacheBytes:      *cacheBytes,
+		Workers:         *workers,
+		JobTimeout:      *jobTimeout,
+		Logger:          logger,
+		TraceSpans:      *spans,
+		TraceSink:       obs.Sink(),
+		QueueDepth:      *queueDepth,
+		ClientRPS:       *clientRPS,
+		ClientBurst:     *clientBurst,
+		MaxClients:      *maxClients,
 		Chaos:           chaos,
 		SSEKeepAlive:    *sseKeepAlive,
 		Advertise:       *advertise,
 		Peers:           peerList,
 		PeerFillTimeout: *peerFillTimeout,
 		PeerVNodes:      *peerVNodes,
+		MaxRings:        *maxRings,
+		MaxRingStreams:  *maxRingStreams,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

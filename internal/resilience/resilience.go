@@ -55,6 +55,13 @@ const (
 	// CodeInjected marks failures manufactured by the chaos middleware
 	// (5xx); real clients treat them exactly like CodeInternal.
 	CodeInjected Code = "injected"
+	// CodeNotFound marks requests naming a resource that does not exist,
+	// e.g. an unknown ring ID (404). Not retryable.
+	CodeNotFound Code = "not_found"
+	// CodeConflict marks optimistic-concurrency failures: the expected
+	// version named in a ring edit no longer matches (409). Clients
+	// refresh the ring and replay the edit against the current version.
+	CodeConflict Code = "conflict"
 )
 
 // Error is a typed serving-layer failure: an HTTP status, a stable wire

@@ -1,0 +1,60 @@
+package ringstate
+
+import "testing"
+
+// op builds one 5-byte script op for the seed corpus. kind: 0 add,
+// 4 remove, 6 modify (see replayEditScript).
+func op(kind, target, period, bits, name byte) []byte {
+	return []byte{kind, target, period, bits, name}
+}
+
+func script(header []byte, ops ...[]byte) []byte {
+	out := append([]byte(nil), header...)
+	for _, o := range ops {
+		out = append(out, o...)
+	}
+	return out
+}
+
+// FuzzRingEditSequence replays arbitrary edit scripts through the
+// incremental engine and the from-scratch reference, failing on the
+// first bitwise divergence. The seed corpus covers the known-hard
+// cases: exact priority ties (identical period/length/name), duplicate
+// periods distinguished only by name, edits that move a stream across
+// its ties, TTRT shifts from a new minimum period, and allocation loads
+// that flip the TTP aggregate Σh ≤ TTRT − θ verdict.
+func FuzzRingEditSequence(f *testing.F) {
+	// Exact priority ties: three indistinguishable streams, then remove
+	// and modify among them (ID attribution must still match the
+	// reference's stable sort).
+	f.Add(script([]byte{0, 0, 0},
+		op(0, 0, 3, 2, 3), op(0, 0, 3, 2, 3), op(0, 0, 3, 2, 3),
+		op(4, 1, 0, 0, 0), op(6, 0, 3, 2, 3), op(4, 0, 0, 0, 0)))
+	// Duplicate periods, different lengths/names; modifies that hop
+	// between the tied groups.
+	f.Add(script([]byte{0, 1, 0},
+		op(0, 0, 1, 0, 1), op(0, 0, 2, 1, 2), op(0, 0, 1, 3, 3),
+		op(0, 0, 4, 2, 4), op(6, 2, 1, 0, 2), op(6, 0, 4, 4, 0)))
+	// TTRT shift: adds at 10 ms, then a 2 ms stream drops Pmin (every
+	// TTP term recomputes), then removing it restores the old TTRT.
+	f.Add(script([]byte{3, 0, 0},
+		op(0, 0, 3, 1, 0), op(0, 0, 3, 1, 1), op(0, 0, 0, 0, 2),
+		op(4, 2, 0, 0, 0), op(0, 0, 7, 2, 0)))
+	// TTP aggregate flip: big payloads at the narrow 4 Mbps bandwidth
+	// push Σh past TTRT − θ, then removals pull it back under.
+	f.Add(script([]byte{3, 2, 0},
+		op(0, 0, 3, 4, 0), op(0, 0, 3, 4, 1), op(0, 0, 3, 4, 2),
+		op(0, 0, 3, 4, 3), op(4, 0, 0, 0, 0), op(4, 0, 0, 0, 0)))
+	// Degraded ring: lossy-token scenario with blocking-moving edits
+	// (every PDP edit rebases B' = B + Nloss·R).
+	f.Add(script([]byte{0, 0, 2},
+		op(0, 0, 7, 3, 0), op(0, 0, 0, 1, 1), op(6, 0, 7, 3, 1),
+		op(4, 1, 0, 0, 0), op(0, 0, 2, 2, 2)))
+	// Drain to empty and refill across the empty boundary.
+	f.Add(script([]byte{4, 1, 1},
+		op(0, 0, 3, 2, 0), op(4, 0, 0, 0, 0), op(0, 0, 1, 1, 1),
+		op(6, 0, 5, 0, 2), op(4, 0, 0, 0, 0), op(0, 0, 0, 4, 3)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		replayEditScript(t, data)
+	})
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package ringstate
+
+// raceEnabled reports that this build carries race-detector
+// instrumentation, which distorts timing gates.
+const raceEnabled = true

@@ -120,6 +120,10 @@ type ScaleVerdict struct {
 // Frames/ResponseTime; TTP verdicts carry Q/Allocation/WorstCaseResponse.
 // All durations are seconds.
 type StreamVerdict struct {
+	// ID is the server-assigned stream handle, present only in verdicts
+	// served from a stateful /v1/rings session; stateless /v1/analyze
+	// verdicts omit it (stateless responses stay byte-stable).
+	ID                string  `json:"id,omitempty"`
 	Name              string  `json:"name,omitempty"`
 	PeriodMs          float64 `json:"periodMs"`
 	Frames            int     `json:"frames,omitempty"`
@@ -714,11 +718,22 @@ func analyzeTTP(bw float64, set message.Set, fm *faults.Model, detail bool, scal
 		v.Degraded = &DegradedVerdict{
 			Schedulable:     deg.Schedulable,
 			Availability:    deg.Availability,
-			TotalAllocation: deg.TotalAllocation,
+			TotalAllocation: wireAllocation(deg.TotalAllocation),
 			Capacity:        deg.Capacity,
 		}
 	}
 	return v, nil
+}
+
+// wireAllocation renders a TTP allocation total on the wire. JSON has no
+// +Inf, so an unbounded Σh — some stream's q fell below 2 under the
+// availability discount, meaning no finite synchronous allocation exists
+// — is reported as -1 (the verdict is necessarily unschedulable).
+func wireAllocation(v float64) float64 {
+	if math.IsInf(v, 1) {
+		return -1
+	}
+	return v
 }
 
 // Sweep answers one sweep request. Like Analyze it canonicalizes the raw

@@ -1,0 +1,516 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"ringsched/internal/resilience"
+	"ringsched/internal/ringstate"
+	"ringsched/internal/trace"
+)
+
+// This file is the stateful half of the API: /v1/rings sessions backed
+// by the ringstate incremental engine. Where /v1/analyze answers one
+// stateless question per request, a ring session holds a long-lived
+// stream set and answers "can I admit one more?" by re-probing only the
+// streams whose verdict can change — with optimistic concurrency so
+// concurrent controllers never clobber each other's admissions.
+
+// RingCreateRequest creates a ring session. The analysis parameters are
+// exactly /v1/analyze's (FaultModel and Scenario mutually exclusive);
+// Streams optionally seeds the ring.
+type RingCreateRequest struct {
+	Protocols     []string     `json:"protocols,omitempty"`
+	BandwidthMbps float64      `json:"bandwidthMbps"`
+	FaultModel    string       `json:"faultModel,omitempty"`
+	Scenario      string       `json:"scenario,omitempty"`
+	Streams       []StreamSpec `json:"streams,omitempty"`
+}
+
+// RingStream is one resident stream with its server-assigned handle.
+type RingStream struct {
+	ID         string  `json:"id"`
+	Name       string  `json:"name,omitempty"`
+	PeriodMs   float64 `json:"periodMs"`
+	LengthBits float64 `json:"lengthBits"`
+}
+
+// RingResponse is the full state of a ring at one version: config,
+// resident streams in canonical order, and the verdicts /v1/analyze
+// would report for the same snapshot. SnapshotKey is that equivalent
+// analyze request's cache key ("" for an empty ring), so a client can
+// check the stateless endpoint agrees without re-posting the set.
+type RingResponse struct {
+	ID            string       `json:"id"`
+	Version       uint64       `json:"version"`
+	Protocols     []string     `json:"protocols"`
+	BandwidthMbps float64      `json:"bandwidthMbps"`
+	FaultModel    string       `json:"faultModel,omitempty"`
+	SnapshotKey   string       `json:"snapshotKey,omitempty"`
+	Streams       []RingStream `json:"streams"`
+	Verdicts      []Verdict    `json:"verdicts"`
+}
+
+// RingListResponse is the /v1/rings listing.
+type RingListResponse struct {
+	Rings []RingSummary `json:"rings"`
+}
+
+// RingSummary is one ring in the listing.
+type RingSummary struct {
+	ID      string `json:"id"`
+	Version uint64 `json:"version"`
+	Streams int    `json:"streams"`
+}
+
+// RingEditRequest is the body of a stream add (POST .../streams) or
+// modify (PUT .../streams/{id}). ExpectedVersion 0 is unconditional;
+// any other value must match the ring's current version or the edit
+// fails with 409 and changes nothing.
+type RingEditRequest struct {
+	ExpectedVersion uint64     `json:"expectedVersion,omitempty"`
+	Stream          StreamSpec `json:"stream"`
+}
+
+// RingStreamFlip names a resident stream (other than the edited one)
+// whose per-stream verdict changed because of an edit.
+type RingStreamFlip struct {
+	ID          string `json:"id"`
+	Name        string `json:"name,omitempty"`
+	Schedulable bool   `json:"schedulable"`
+}
+
+// RingProtocolDelta is one protocol's incremental verdict delta for a
+// single edit. Degraded fields appear only when the ring has a fault
+// model; EditedSchedulable only for add/modify.
+type RingProtocolDelta struct {
+	Protocol               string           `json:"protocol"`
+	Reprobed               int              `json:"reprobed"`
+	WasSchedulable         bool             `json:"wasSchedulable"`
+	Schedulable            bool             `json:"schedulable"`
+	DegradedWasSchedulable *bool            `json:"degradedWasSchedulable,omitempty"`
+	DegradedSchedulable    *bool            `json:"degradedSchedulable,omitempty"`
+	EditedSchedulable      *bool            `json:"editedSchedulable,omitempty"`
+	Flipped                []RingStreamFlip `json:"flipped,omitempty"`
+}
+
+// RingEditResponse reports one applied edit: the new version, the edit's
+// subject, how much analysis it cost, and the per-protocol deltas. A
+// 200 does not mean the stream is schedulable — read the deltas; an
+// infeasible admission is a successful edit with a negative verdict.
+type RingEditResponse struct {
+	RingID   string              `json:"ringId"`
+	Version  uint64              `json:"version"`
+	Op       string              `json:"op"`
+	StreamID string              `json:"streamId"`
+	Reprobed int                 `json:"reprobed"`
+	Deltas   []RingProtocolDelta `json:"deltas"`
+}
+
+// ringStreamID renders an engine stream ID on the wire.
+func ringStreamID(id uint64) string { return "s" + strconv.FormatUint(id, 10) }
+
+// parseRingStreamID inverts ringStreamID.
+func parseRingStreamID(s string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(s, "s")
+	if !ok || rest == "" {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(rest, 10, 64)
+	return id, err == nil
+}
+
+// ringError maps ringstate errors onto the wire. Conflicts get a
+// dedicated body carrying the ring's current version, so a client can
+// rebase its edit without an extra GET.
+func (s *Server) ringError(w http.ResponseWriter, err error) {
+	var conflict *ringstate.ConflictError
+	switch {
+	case errors.As(err, &conflict):
+		body := errorBody{
+			Error:          err.Error(),
+			Code:           string(resilience.CodeConflict),
+			CurrentVersion: conflict.Current,
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusConflict)
+		out, _ := json.Marshal(body)
+		w.Write(append(out, '\n'))
+	case errors.Is(err, ringstate.ErrRingNotFound), errors.Is(err, ringstate.ErrStreamNotFound):
+		writeError(w, http.StatusNotFound,
+			resilience.Errorf(resilience.CodeNotFound, http.StatusNotFound, "%v", err))
+	case errors.Is(err, ringstate.ErrTooManyRings), errors.Is(err, ringstate.ErrTooManyStreams):
+		writeError(w, http.StatusTooManyRequests,
+			resilience.Errorf(resilience.CodeOverloaded, http.StatusTooManyRequests, "%v", err))
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+// ringSnapshotKey computes the cache key of the /v1/analyze request
+// equivalent to this ring snapshot (Detail on, so per-stream verdicts
+// are included — the shape RingResponse.Verdicts carries).
+func ringSnapshotKey(cfg ringstate.Config, snap []ringstate.SnapshotStream) string {
+	if len(snap) == 0 {
+		return ""
+	}
+	req := AnalyzeRequest{
+		Protocols:     cfg.Protocols,
+		BandwidthMbps: cfg.BandwidthMbps,
+		FaultModel:    cfg.FaultSpec,
+		Detail:        true,
+		Streams:       make([]StreamSpec, len(snap)),
+	}
+	for i, st := range snap {
+		req.Streams[i] = StreamSpec{Name: st.Name, PeriodMs: st.PeriodMs, LengthBits: st.LengthBits}
+	}
+	canon, err := req.Canonicalize()
+	if err != nil {
+		// A resident ring only holds streams that already passed the same
+		// validation; an error here is a programming bug, not a request
+		// problem — surface it as a missing key rather than a 500.
+		return ""
+	}
+	return canon.CacheKey()
+}
+
+// ringVerdicts converts engine verdicts to the wire shape shared with
+// /v1/analyze, stamping wire stream IDs in.
+func ringVerdicts(vs []ringstate.Verdict) []Verdict {
+	out := make([]Verdict, len(vs))
+	for i, v := range vs {
+		out[i] = Verdict{
+			Protocol:             v.Protocol,
+			Schedulable:          v.Schedulable,
+			Utilization:          v.Utilization,
+			AugmentedUtilization: v.AugmentedUtilization,
+			Blocking:             v.Blocking,
+			Theta:                v.Theta,
+			FrameTime:            v.FrameTime,
+			TTRT:                 v.TTRT,
+			Overhead:             v.Overhead,
+			TotalAllocation:      v.TotalAllocation,
+			Capacity:             v.Capacity,
+		}
+		if v.Degraded != nil {
+			d := DegradedVerdict(*v.Degraded)
+			d.TotalAllocation = wireAllocation(d.TotalAllocation)
+			out[i].Degraded = &d
+		}
+		if len(v.Streams) > 0 {
+			out[i].Streams = make([]StreamVerdict, len(v.Streams))
+			for j, sv := range v.Streams {
+				out[i].Streams[j] = StreamVerdict{
+					ID:                ringStreamID(sv.ID),
+					Name:              sv.Name,
+					PeriodMs:          sv.PeriodMs,
+					Frames:            sv.Frames,
+					Q:                 sv.Q,
+					AugmentedLength:   sv.AugmentedLength,
+					ResponseTime:      sv.ResponseTime,
+					Allocation:        sv.Allocation,
+					WorstCaseResponse: sv.WorstCaseResponse,
+					Schedulable:       sv.Schedulable,
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ringResponse renders a ring's full state at its current version.
+func ringResponse(r *ringstate.Ring) (RingResponse, error) {
+	version, cfg, snap, verdicts, err := r.State()
+	if err != nil {
+		return RingResponse{}, err
+	}
+	resp := RingResponse{
+		ID:            r.ID(),
+		Version:       version,
+		Protocols:     cfg.Protocols,
+		BandwidthMbps: cfg.BandwidthMbps,
+		FaultModel:    cfg.FaultSpec,
+		SnapshotKey:   ringSnapshotKey(cfg, snap),
+		Streams:       make([]RingStream, len(snap)),
+		Verdicts:      ringVerdicts(verdicts),
+	}
+	for i, st := range snap {
+		resp.Streams[i] = RingStream{
+			ID:         ringStreamID(st.ID),
+			Name:       st.Name,
+			PeriodMs:   st.PeriodMs,
+			LengthBits: st.LengthBits,
+		}
+	}
+	return resp, nil
+}
+
+// ringDeltas converts an engine delta to the wire shape.
+func ringDeltas(d *ringstate.Delta) []RingProtocolDelta {
+	out := make([]RingProtocolDelta, len(d.Protocols))
+	for i, pd := range d.Protocols {
+		out[i] = RingProtocolDelta{
+			Protocol:       pd.Protocol,
+			Reprobed:       pd.Reprobed,
+			WasSchedulable: pd.WasSchedulable,
+			Schedulable:    pd.Schedulable,
+		}
+		if pd.HasDegraded {
+			was, now := pd.DegradedWasSchedulable, pd.DegradedSchedulable
+			out[i].DegradedWasSchedulable = &was
+			out[i].DegradedSchedulable = &now
+		}
+		if d.Op != ringstate.OpRemove {
+			ok := pd.EditedSchedulable
+			out[i].EditedSchedulable = &ok
+		}
+		for _, f := range pd.Flipped {
+			out[i].Flipped = append(out[i].Flipped, RingStreamFlip{
+				ID: ringStreamID(f.ID), Name: f.Name, Schedulable: f.Schedulable,
+			})
+		}
+	}
+	return out
+}
+
+func (s *Server) writeRingJSON(w http.ResponseWriter, status int, v any) {
+	body, err := Encode(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// handleRings serves the /v1/rings collection: POST creates a session,
+// GET lists resident rings.
+func (s *Server) handleRings(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var req RingCreateRequest
+		if err := decode(r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		// Resolve FaultModel/Scenario exactly like /v1/analyze, so a ring
+		// and the stateless endpoint can never disagree on fault semantics.
+		spec, err := canonFaultSpec(req.FaultModel, req.Scenario)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		cfg := ringstate.Config{
+			Protocols:     req.Protocols,
+			BandwidthMbps: req.BandwidthMbps,
+			FaultSpec:     spec,
+		}
+		streams := make([]ringstate.Stream, len(req.Streams))
+		for i, sp := range req.Streams {
+			streams[i] = ringstate.Stream{Name: sp.Name, PeriodMs: sp.PeriodMs, LengthBits: sp.LengthBits}
+		}
+		ring, err := s.rings.Create(cfg, streams)
+		if err != nil {
+			s.ringEdits.Add(labels("op", "create", "outcome", "error"), 1)
+			s.ringError(w, err)
+			return
+		}
+		s.ringEdits.Add(labels("op", "create", "outcome", "ok"), 1)
+		resp, err := ringResponse(ring)
+		if err != nil {
+			s.ringError(w, err)
+			return
+		}
+		s.writeRingJSON(w, http.StatusCreated, resp)
+	case http.MethodGet:
+		list := RingListResponse{Rings: []RingSummary{}}
+		for _, ring := range s.rings.List() {
+			version, _, snap, _, err := ring.State()
+			if err != nil {
+				continue // deleted between List and State
+			}
+			list.Rings = append(list.Rings, RingSummary{ID: ring.ID(), Version: version, Streams: len(snap)})
+		}
+		s.writeRingJSON(w, http.StatusOK, list)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, errors.New("service: GET or POST required"))
+	}
+}
+
+// expectedVersionParam reads the CAS precondition for bodyless methods
+// (DELETE) from the query string; absent means unconditional.
+func expectedVersionParam(r *http.Request) (uint64, error) {
+	raw := r.URL.Query().Get("expectedVersion")
+	if raw == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, errors.New("service: bad expectedVersion query parameter: want an unsigned integer")
+	}
+	return v, nil
+}
+
+// handleRingItem routes /v1/rings/{id}[...]:
+//
+//	GET    /v1/rings/{id}                    — full state
+//	DELETE /v1/rings/{id}[?expectedVersion=] — delete session
+//	POST   /v1/rings/{id}/streams            — add a stream
+//	PUT    /v1/rings/{id}/streams/{sid}      — modify a stream
+//	DELETE /v1/rings/{id}/streams/{sid}[?expectedVersion=] — remove
+func (s *Server) handleRingItem(w http.ResponseWriter, r *http.Request) {
+	parts := strings.Split(strings.Trim(strings.TrimPrefix(r.URL.Path, "/v1/rings/"), "/"), "/")
+	if len(parts) == 0 || parts[0] == "" {
+		writeError(w, http.StatusNotFound,
+			resilience.Errorf(resilience.CodeNotFound, http.StatusNotFound, "service: missing ring id"))
+		return
+	}
+	ringID := parts[0]
+	switch {
+	case len(parts) == 1:
+		s.handleRing(w, r, ringID)
+	case len(parts) == 2 && parts[1] == "streams" && r.Method == http.MethodPost:
+		s.handleRingEdit(w, r, ringID, ringstate.OpAdd, 0)
+	case len(parts) == 3 && parts[1] == "streams":
+		sid, ok := parseRingStreamID(parts[2])
+		if !ok {
+			writeError(w, http.StatusNotFound,
+				resilience.Errorf(resilience.CodeNotFound, http.StatusNotFound,
+					"service: bad stream id %q", parts[2]))
+			return
+		}
+		switch r.Method {
+		case http.MethodPut:
+			s.handleRingEdit(w, r, ringID, ringstate.OpModify, sid)
+		case http.MethodDelete:
+			s.handleRingEdit(w, r, ringID, ringstate.OpRemove, sid)
+		default:
+			writeError(w, http.StatusMethodNotAllowed, errors.New("service: PUT or DELETE required"))
+		}
+	default:
+		writeError(w, http.StatusNotFound,
+			resilience.Errorf(resilience.CodeNotFound, http.StatusNotFound,
+				"service: no such route under /v1/rings/"))
+	}
+}
+
+func (s *Server) handleRing(w http.ResponseWriter, r *http.Request, ringID string) {
+	switch r.Method {
+	case http.MethodGet:
+		ring, err := s.rings.Get(ringID)
+		if err != nil {
+			s.ringError(w, err)
+			return
+		}
+		resp, err := ringResponse(ring)
+		if err != nil {
+			s.ringError(w, err)
+			return
+		}
+		s.writeRingJSON(w, http.StatusOK, resp)
+	case http.MethodDelete:
+		expected, err := expectedVersionParam(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := s.rings.Delete(ringID, expected); err != nil {
+			s.ringEdits.Add(labels("op", "delete", "outcome", outcomeFor(err)), 1)
+			s.ringError(w, err)
+			return
+		}
+		s.ringEdits.Add(labels("op", "delete", "outcome", "ok"), 1)
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, errors.New("service: GET or DELETE required"))
+	}
+}
+
+// outcomeFor labels the edit-counter outcome for a failed mutation.
+func outcomeFor(err error) string {
+	var conflict *ringstate.ConflictError
+	if errors.As(err, &conflict) {
+		return "conflict"
+	}
+	return "error"
+}
+
+// handleRingEdit applies one stream mutation and reports the
+// incremental delta. The edit runs under a "ring.edit" span; the
+// engine's re-probe count lands both on the span and in the
+// ringschedd_reprobe_streams histogram, so the "incremental analysis
+// stays incremental" claim is observable in production.
+func (s *Server) handleRingEdit(w http.ResponseWriter, r *http.Request, ringID, op string, sid uint64) {
+	var expected uint64
+	var stream ringstate.Stream
+	if op == ringstate.OpRemove {
+		v, err := expectedVersionParam(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		expected = v
+	} else {
+		var req RingEditRequest
+		if err := decode(r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		expected = req.ExpectedVersion
+		stream = ringstate.Stream{
+			Name:       req.Stream.Name,
+			PeriodMs:   req.Stream.PeriodMs,
+			LengthBits: req.Stream.LengthBits,
+		}
+	}
+	ring, err := s.rings.Get(ringID)
+	if err != nil {
+		s.ringError(w, err)
+		return
+	}
+
+	_, sp := trace.Start(r.Context(), "ring.edit")
+	sp.SetAttr("ring", ringID)
+	sp.SetAttr("op", op)
+	var version uint64
+	var delta *ringstate.Delta
+	switch op {
+	case ringstate.OpAdd:
+		version, sid, delta, err = ring.AddStream(expected, stream)
+	case ringstate.OpModify:
+		version, delta, err = ring.ModifyStream(expected, sid, stream)
+	case ringstate.OpRemove:
+		version, delta, err = ring.RemoveStream(expected, sid)
+	}
+	if err != nil {
+		sp.SetError(err)
+		sp.End()
+		s.ringEdits.Add(labels("op", op, "outcome", outcomeFor(err)), 1)
+		s.ringError(w, err)
+		return
+	}
+	sp.SetAttr("version", version)
+	sp.SetAttr("reprobed", delta.Reprobed)
+	// ring.reprobe is the span a trace reader greps for to see edit cost;
+	// its wall time is inside ring.edit, so it is recorded zero-width
+	// with the stream count as its payload.
+	_, rsp := trace.Start(r.Context(), "ring.reprobe")
+	rsp.SetAttr("streams", delta.Reprobed)
+	rsp.End()
+	sp.End()
+	s.ringEdits.Add(labels("op", op, "outcome", "ok"), 1)
+	s.reprobeStreams.Observe(labels("op", op), float64(delta.Reprobed))
+
+	s.writeRingJSON(w, http.StatusOK, RingEditResponse{
+		RingID:   ringID,
+		Version:  version,
+		Op:       op,
+		StreamID: ringStreamID(sid),
+		Reprobed: delta.Reprobed,
+		Deltas:   ringDeltas(delta),
+	})
+}

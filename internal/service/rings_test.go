@@ -1,0 +1,358 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func ringJSON(t *testing.T, ts string, method, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, ts+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func decodeJSON[T any](t *testing.T, b []byte) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(b, &v); err != nil {
+		t.Fatalf("unmarshal %T from %s: %v", v, b, err)
+	}
+	return v
+}
+
+const ringCreateBody = `{
+  "bandwidthMbps": 16,
+  "streams": [
+    {"name": "gyro", "periodMs": 10, "lengthBits": 4096},
+    {"name": "telemetry", "periodMs": 50, "lengthBits": 65536}
+  ]
+}`
+
+func TestRingsCRUD(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp, b := ringJSON(t, ts.URL, http.MethodPost, "/v1/rings", ringCreateBody)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d %s", resp.StatusCode, b)
+	}
+	ring := decodeJSON[RingResponse](t, b)
+	if ring.ID == "" || ring.Version != 1 {
+		t.Fatalf("create: id %q version %d, want non-empty id at version 1", ring.ID, ring.Version)
+	}
+	if len(ring.Streams) != 2 || len(ring.Verdicts) != 3 {
+		t.Fatalf("create: %d streams, %d verdicts, want 2 and 3", len(ring.Streams), len(ring.Verdicts))
+	}
+	// Canonical order: gyro (10ms) before telemetry (50ms).
+	if ring.Streams[0].Name != "gyro" || ring.Streams[1].Name != "telemetry" {
+		t.Fatalf("create: stream order %+v, want canonical (gyro first)", ring.Streams)
+	}
+	for _, v := range ring.Verdicts {
+		if !v.Schedulable {
+			t.Fatalf("light 16 Mbps set reported infeasible on %s", v.Protocol)
+		}
+		for _, sv := range v.Streams {
+			if sv.ID == "" {
+				t.Fatalf("%s per-stream verdict missing id: %+v", v.Protocol, sv)
+			}
+		}
+	}
+
+	resp, b = ringJSON(t, ts.URL, http.MethodGet, "/v1/rings/"+ring.ID, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get: %d %s", resp.StatusCode, b)
+	}
+	got := decodeJSON[RingResponse](t, b)
+	if got.Version != 1 || len(got.Streams) != 2 {
+		t.Fatalf("get: version %d streams %d, want 1 and 2", got.Version, len(got.Streams))
+	}
+
+	resp, b = ringJSON(t, ts.URL, http.MethodGet, "/v1/rings", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list: %d %s", resp.StatusCode, b)
+	}
+	list := decodeJSON[RingListResponse](t, b)
+	if len(list.Rings) != 1 || list.Rings[0].ID != ring.ID || list.Rings[0].Streams != 2 {
+		t.Fatalf("list: %+v, want one ring %s with 2 streams", list.Rings, ring.ID)
+	}
+
+	resp, b = ringJSON(t, ts.URL, http.MethodGet, "/v1/rings/r999", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get missing ring: %d %s, want 404", resp.StatusCode, b)
+	}
+	eb := decodeJSON[errorBody](t, b)
+	if eb.Code != "not_found" {
+		t.Fatalf("get missing ring: code %q, want not_found", eb.Code)
+	}
+
+	// Stale-version delete conflicts and leaves the ring resident.
+	resp, b = ringJSON(t, ts.URL, http.MethodDelete, "/v1/rings/"+ring.ID+"?expectedVersion=7", "")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("stale delete: %d %s, want 409", resp.StatusCode, b)
+	}
+	eb = decodeJSON[errorBody](t, b)
+	if eb.Code != "conflict" || eb.CurrentVersion != 1 {
+		t.Fatalf("stale delete body: %+v, want code conflict currentVersion 1", eb)
+	}
+	resp, _ = ringJSON(t, ts.URL, http.MethodDelete, "/v1/rings/"+ring.ID+"?expectedVersion=1", "")
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: %d, want 204", resp.StatusCode)
+	}
+	resp, _ = ringJSON(t, ts.URL, http.MethodGet, "/v1/rings/"+ring.ID, "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get after delete: %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestRingsEditCASAndDelta(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, b := ringJSON(t, ts.URL, http.MethodPost, "/v1/rings", ringCreateBody)
+	ring := decodeJSON[RingResponse](t, b)
+
+	// A lowest-priority add against the right version succeeds and
+	// re-probes just itself on every protocol.
+	add := `{"expectedVersion": 1, "stream": {"name": "bulk", "periodMs": 500, "lengthBits": 2048}}`
+	resp, b := ringJSON(t, ts.URL, http.MethodPost, "/v1/rings/"+ring.ID+"/streams", add)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("add: %d %s", resp.StatusCode, b)
+	}
+	edit := decodeJSON[RingEditResponse](t, b)
+	if edit.Version != 2 || edit.Op != "add" || edit.StreamID == "" {
+		t.Fatalf("add response %+v, want version 2 op add with a stream id", edit)
+	}
+	for _, d := range edit.Deltas {
+		if d.Reprobed != 1 {
+			t.Fatalf("%s reprobed %d for a lowest-priority add, want 1", d.Protocol, d.Reprobed)
+		}
+		if d.EditedSchedulable == nil || !*d.EditedSchedulable {
+			t.Fatalf("%s: editedSchedulable %v, want true", d.Protocol, d.EditedSchedulable)
+		}
+	}
+
+	// Replaying the same edit against the now-stale version conflicts.
+	resp, b = ringJSON(t, ts.URL, http.MethodPost, "/v1/rings/"+ring.ID+"/streams", add)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("stale add: %d %s, want 409", resp.StatusCode, b)
+	}
+	eb := decodeJSON[errorBody](t, b)
+	if eb.Code != "conflict" || eb.CurrentVersion != 2 {
+		t.Fatalf("stale add body %+v, want code conflict currentVersion 2", eb)
+	}
+
+	// Modify and remove round-trip through the wire stream ID.
+	mod := `{"expectedVersion": 2, "stream": {"name": "bulk", "periodMs": 250, "lengthBits": 4096}}`
+	resp, b = ringJSON(t, ts.URL, http.MethodPut, "/v1/rings/"+ring.ID+"/streams/"+edit.StreamID, mod)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("modify: %d %s", resp.StatusCode, b)
+	}
+	if got := decodeJSON[RingEditResponse](t, b); got.Version != 3 || got.StreamID != edit.StreamID {
+		t.Fatalf("modify response %+v, want version 3 same stream id", got)
+	}
+	resp, b = ringJSON(t, ts.URL, http.MethodDelete,
+		"/v1/rings/"+ring.ID+"/streams/"+edit.StreamID+"?expectedVersion=3", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("remove: %d %s", resp.StatusCode, b)
+	}
+	if got := decodeJSON[RingEditResponse](t, b); got.Version != 4 || got.Op != "remove" {
+		t.Fatalf("remove response %+v, want version 4 op remove", got)
+	}
+
+	// Unknown stream id and malformed id both 404.
+	resp, _ = ringJSON(t, ts.URL, http.MethodDelete, "/v1/rings/"+ring.ID+"/streams/"+edit.StreamID, "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("remove removed stream: %d, want 404", resp.StatusCode)
+	}
+	resp, _ = ringJSON(t, ts.URL, http.MethodDelete, "/v1/rings/"+ring.ID+"/streams/bogus", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("remove bogus stream id: %d, want 404", resp.StatusCode)
+	}
+
+	// Edit metrics and the reprobe histogram are live.
+	if n := metricValue(t, ts.URL, `ringschedd_ring_edits_total\{.*op="add".*outcome="ok"`); n != 1 {
+		t.Fatalf("ring_edits_total{add,ok} = %v, want 1", n)
+	}
+	if n := metricValue(t, ts.URL, `ringschedd_reprobe_streams_count\{.*op="add"`); n != 1 {
+		t.Fatalf("reprobe_streams_count{add} = %v, want 1", n)
+	}
+}
+
+// TestRingSnapshotMatchesAnalyze is the snapshot-consistency satellite:
+// the verdicts a ring session reports at one version must be exactly the
+// verdicts /v1/analyze computes for the same snapshot, and the ring's
+// snapshotKey must be the analyze request's cache key.
+func TestRingSnapshotMatchesAnalyze(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	create := `{
+	  "bandwidthMbps": 4,
+	  "scenario": "lossy-token",
+	  "streams": [{"name": "a", "periodMs": 12, "lengthBits": 16384}]
+	}`
+	_, b := ringJSON(t, ts.URL, http.MethodPost, "/v1/rings", create)
+	ring := decodeJSON[RingResponse](t, b)
+
+	// Grow the ring through the incremental path so the comparison
+	// exercises edited state, not just the bulk-create path.
+	for i := 0; i < 4; i++ {
+		body := fmt.Sprintf(`{"stream": {"name": "h%d", "periodMs": 6, "lengthBits": 16384}}`, i)
+		resp, eb := ringJSON(t, ts.URL, http.MethodPost, "/v1/rings/"+ring.ID+"/streams", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("add %d: %d %s", i, resp.StatusCode, eb)
+		}
+	}
+	_, b = ringJSON(t, ts.URL, http.MethodGet, "/v1/rings/"+ring.ID, "")
+	ring = decodeJSON[RingResponse](t, b)
+
+	// Rebuild the equivalent stateless request from the ring snapshot.
+	areq := AnalyzeRequest{
+		BandwidthMbps: ring.BandwidthMbps,
+		FaultModel:    ring.FaultModel,
+		Detail:        true,
+	}
+	for _, st := range ring.Streams {
+		areq.Streams = append(areq.Streams, StreamSpec{Name: st.Name, PeriodMs: st.PeriodMs, LengthBits: st.LengthBits})
+	}
+	body, err := json.Marshal(areq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, b := post(t, ts.URL+"/v1/analyze", string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze: %d %s", resp.StatusCode, b)
+	}
+	analyzed := decodeJSON[AnalyzeResponse](t, b)
+
+	if ring.SnapshotKey == "" || ring.SnapshotKey != analyzed.CacheKey {
+		t.Fatalf("snapshotKey %q != analyze cacheKey %q", ring.SnapshotKey, analyzed.CacheKey)
+	}
+	// The verdicts must be identical except for the ring-only stream IDs.
+	stripped := ring.Verdicts
+	for i := range stripped {
+		for j := range stripped[i].Streams {
+			stripped[i].Streams[j].ID = ""
+		}
+	}
+	want, err := json.Marshal(analyzed.Verdicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(stripped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("ring verdicts diverge from /v1/analyze:\nring:    %s\nanalyze: %s", got, want)
+	}
+}
+
+// TestRingsParallelEditors drives concurrent CAS editors through the
+// HTTP surface: every round has exactly one winner, and losers learn the
+// current version from the 409 body.
+func TestRingsParallelEditors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, b := ringJSON(t, ts.URL, http.MethodPost, "/v1/rings", `{"bandwidthMbps": 16}`)
+	ring := decodeJSON[RingResponse](t, b)
+
+	const editors, rounds = 4, 8
+	var wins [rounds + 2]int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for e := 0; e < editors; e++ {
+		wg.Add(1)
+		go func(e int) {
+			defer wg.Done()
+			version := uint64(1)
+			for r := 0; r < rounds; r++ {
+				body := fmt.Sprintf(`{"expectedVersion": %d, "stream": {"name": "e%d-%d", "periodMs": 100, "lengthBits": 1024}}`,
+					version, e, r)
+				resp, rb := ringJSON(t, ts.URL, http.MethodPost, "/v1/rings/"+ring.ID+"/streams", body)
+				switch resp.StatusCode {
+				case http.StatusOK:
+					edit := decodeJSON[RingEditResponse](t, rb)
+					mu.Lock()
+					wins[edit.Version]++
+					mu.Unlock()
+					version = edit.Version
+				case http.StatusConflict:
+					eb := decodeJSON[errorBody](t, rb)
+					if eb.CurrentVersion == 0 {
+						t.Errorf("conflict body missing currentVersion: %s", rb)
+						return
+					}
+					version = eb.CurrentVersion
+				default:
+					t.Errorf("editor %d: unexpected status %d: %s", e, resp.StatusCode, rb)
+					return
+				}
+			}
+		}(e)
+	}
+	wg.Wait()
+	total := 0
+	for v, n := range wins {
+		if n > 1 {
+			t.Fatalf("version %d produced by %d edits, want at most 1", v, n)
+		}
+		total += int(n)
+	}
+	if total == 0 {
+		t.Fatal("no editor ever won a round")
+	}
+}
+
+// TestRingsLimits exercises the capacity guards on the wire.
+func TestRingsLimits(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxRings: 1, MaxRingStreams: 2})
+	resp, _ := ringJSON(t, ts.URL, http.MethodPost, "/v1/rings", `{"bandwidthMbps": 16}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d", resp.StatusCode)
+	}
+	resp, b := ringJSON(t, ts.URL, http.MethodPost, "/v1/rings", `{"bandwidthMbps": 16}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second ring: %d %s, want 429", resp.StatusCode, b)
+	}
+	if eb := decodeJSON[errorBody](t, b); eb.Code != "overloaded" {
+		t.Fatalf("second ring code %q, want overloaded", eb.Code)
+	}
+
+	add := `{"stream": {"periodMs": 10, "lengthBits": 1024}}`
+	for i := 0; i < 2; i++ {
+		resp, b = ringJSON(t, ts.URL, http.MethodPost, "/v1/rings/r1/streams", add)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("add %d: %d %s", i, resp.StatusCode, b)
+		}
+	}
+	resp, b = ringJSON(t, ts.URL, http.MethodPost, "/v1/rings/r1/streams", add)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third stream: %d %s, want 429", resp.StatusCode, b)
+	}
+
+	// Bad requests stay 400 with bad_request.
+	resp, b = ringJSON(t, ts.URL, http.MethodPost, "/v1/rings", `{"bandwidthMbps": -1}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad create: %d %s, want 400", resp.StatusCode, b)
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"ringsched/internal/progress"
 	"ringsched/internal/resilience"
+	"ringsched/internal/ringstate"
 	"ringsched/internal/trace"
 )
 
@@ -71,6 +72,12 @@ type Config struct {
 	// PeerVNodes is the consistent-hash virtual-node count per member
 	// (default cluster.DefaultVNodes). All members must agree.
 	PeerVNodes int
+	// MaxRings bounds resident /v1/rings sessions (default
+	// ringstate.DefaultMaxRings).
+	MaxRings int
+	// MaxRingStreams bounds streams per ring session (default
+	// ringstate.DefaultMaxRingStreams).
+	MaxRingStreams int
 }
 
 func (c Config) withDefaults() Config {
@@ -139,6 +146,7 @@ type Server struct {
 	limiter   *resilience.Limiter
 	chaos     *resilience.Chaos
 	clust     *clusterState
+	rings     *ringstate.Store
 
 	requests    *counterVec   // endpoint, code
 	latency     *histogramVec // endpoint
@@ -152,6 +160,9 @@ type Server struct {
 	panics      *counterVec   // endpoint
 	chaosInj    *counterVec   // kind (latency | error | reset)
 	peerFill    *counterVec   // result (hit | miss | error); nil unless clustered
+
+	ringEdits      *counterVec   // op (create | add | modify | remove | delete), outcome
+	reprobeStreams *histogramVec // op — streams re-analyzed per incremental edit
 }
 
 // stageForSpan maps span names to the /metrics stage label, so the
@@ -190,7 +201,12 @@ func New(cfg Config) *Server {
 		panics: newCounterVec("ringschedd_panics_total", "Handler panics recovered and answered with 500."),
 		chaosInj: newCounterVec("ringschedd_chaos_injections_total",
 			"Faults injected by the chaos middleware, by kind."),
+		ringEdits: newCounterVec("ringschedd_ring_edits_total",
+			"Ring-session mutations by operation and outcome (ok | conflict | error)."),
+		reprobeStreams: newHistogramVec("ringschedd_reprobe_streams",
+			"Streams re-analyzed per incremental ring edit, by operation."),
 	}
+	s.rings = ringstate.NewStore(cfg.MaxRings, cfg.MaxRingStreams)
 	s.admission = resilience.NewAdmission(cfg.Workers, cfg.QueueDepth)
 	if cfg.ClientRPS > 0 {
 		s.limiter = resilience.NewLimiter(cfg.ClientRPS, cfg.ClientBurst, cfg.MaxClients)
@@ -211,6 +227,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/topology/analyze", s.instrument("topology", s.handleTopology))
 	s.mux.HandleFunc("/v1/sweep", s.instrument("sweep", s.handleSweep))
 	s.mux.HandleFunc("/v1/experiments", s.instrument("experiments", s.handleExperiments))
+	s.mux.HandleFunc("/v1/rings", s.instrument("rings", s.handleRings))
+	s.mux.HandleFunc("/v1/rings/", s.instrument("rings", s.handleRingItem))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.initCluster(cfg)
@@ -407,6 +425,9 @@ type errorBody struct {
 	Error        string `json:"error"`
 	Code         string `json:"code"`
 	RetryAfterMs int64  `json:"retryAfterMs,omitempty"`
+	// CurrentVersion rides along on ring CAS conflicts (409): the ring's
+	// actual version, so the client can rebase without an extra GET.
+	CurrentVersion uint64 `json:"currentVersion,omitempty"`
 }
 
 // codeForStatus backfills a taxonomy code for untyped errors.
@@ -414,6 +435,10 @@ func codeForStatus(status int) resilience.Code {
 	switch status {
 	case http.StatusBadRequest, http.StatusMethodNotAllowed:
 		return resilience.CodeBadRequest
+	case http.StatusNotFound:
+		return resilience.CodeNotFound
+	case http.StatusConflict:
+		return resilience.CodeConflict
 	case http.StatusTooManyRequests:
 		return resilience.CodeRateLimited
 	case http.StatusServiceUnavailable:
@@ -901,6 +926,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.ratelimited.Write(w)
 	s.panics.Write(w)
 	s.chaosInj.Write(w)
+	s.ringEdits.Write(w)
+	s.reprobeStreams.Write(w)
 	if s.clust != nil {
 		s.peerFill.Write(w)
 	}
@@ -916,6 +943,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{Name: "ringschedd_pool_queued", Help: "Jobs waiting for a worker slot.", Fn: func() float64 { q, _ := s.flight.Depth(); return float64(q) }},
 		{Name: "ringschedd_pool_running", Help: "Jobs currently computing.", Fn: func() float64 { _, r := s.flight.Depth(); return float64(r) }},
 		{Name: "ringschedd_http_in_flight", Help: "API requests currently being served.", Fn: func() float64 { return float64(s.InFlight()) }},
+		{Name: "ringschedd_rings", Help: "Resident ring sessions.", Fn: func() float64 { return float64(s.rings.Len()) }},
 		{Name: "ringschedd_admission_service_seconds", Help: "EWMA of completed computation service times feeding the admission controller.",
 			Fn: func() float64 { return s.admission.ServiceTime().Seconds() }},
 		{Name: "ringschedd_admission_est_wait_seconds", Help: "Estimated queue wait a new arrival would see right now.",

@@ -151,6 +151,10 @@ type APIError struct {
 	Code       resilience.Code
 	Message    string
 	RetryAfter time.Duration
+	// CurrentVersion rides along on ring CAS conflicts (409): the ring's
+	// actual version at rejection time, so the caller can rebase its edit
+	// without an extra GET.
+	CurrentVersion uint64
 }
 
 // Error implements the error interface.
@@ -372,9 +376,10 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte, 
 func decodeAPIError(resp *http.Response, raw []byte) *APIError {
 	ae := &APIError{Status: resp.StatusCode, Code: resilience.CodeInternal}
 	var wire struct {
-		Error        string `json:"error"`
-		Code         string `json:"code"`
-		RetryAfterMs int64  `json:"retryAfterMs"`
+		Error          string `json:"error"`
+		Code           string `json:"code"`
+		RetryAfterMs   int64  `json:"retryAfterMs"`
+		CurrentVersion uint64 `json:"currentVersion"`
 	}
 	if err := json.Unmarshal(raw, &wire); err == nil && wire.Error != "" {
 		ae.Message = wire.Error
@@ -382,6 +387,7 @@ func decodeAPIError(resp *http.Response, raw []byte) *APIError {
 			ae.Code = resilience.Code(wire.Code)
 		}
 		ae.RetryAfter = time.Duration(wire.RetryAfterMs) * time.Millisecond
+		ae.CurrentVersion = wire.CurrentVersion
 	} else {
 		ae.Message = strings.TrimSpace(string(raw))
 		if ae.Message == "" {

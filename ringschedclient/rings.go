@@ -1,0 +1,244 @@
+package ringschedclient
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+
+	"ringsched/internal/resilience"
+)
+
+// This file is the client side of the stateful /v1/rings API: a
+// RingSession tracks one server-side ring and its version, applies
+// optimistic-concurrency edits, and transparently rebases on CAS
+// conflicts. The wire structs mirror the server's ring schema; like the
+// rest of this package they are duplicated rather than imported, so the
+// client stays decoupled from server internals.
+
+// RingStreamSpec is one synchronous message stream on the wire.
+type RingStreamSpec struct {
+	Name       string  `json:"name,omitempty"`
+	PeriodMs   float64 `json:"periodMs"`
+	LengthBits float64 `json:"lengthBits"`
+}
+
+// RingCreateRequest creates a ring session; parameters are exactly
+// /v1/analyze's, plus an optional seed stream set.
+type RingCreateRequest struct {
+	Protocols     []string         `json:"protocols,omitempty"`
+	BandwidthMbps float64          `json:"bandwidthMbps"`
+	FaultModel    string           `json:"faultModel,omitempty"`
+	Scenario      string           `json:"scenario,omitempty"`
+	Streams       []RingStreamSpec `json:"streams,omitempty"`
+}
+
+// RingStream is one resident stream with its server-assigned handle.
+type RingStream struct {
+	ID         string  `json:"id"`
+	Name       string  `json:"name,omitempty"`
+	PeriodMs   float64 `json:"periodMs"`
+	LengthBits float64 `json:"lengthBits"`
+}
+
+// RingState is the ring's full state at one version. Verdicts is kept
+// raw: its shape is /v1/analyze's verdict list, and callers that care
+// decode exactly the fields they need.
+type RingState struct {
+	ID            string          `json:"id"`
+	Version       uint64          `json:"version"`
+	Protocols     []string        `json:"protocols"`
+	BandwidthMbps float64         `json:"bandwidthMbps"`
+	FaultModel    string          `json:"faultModel,omitempty"`
+	SnapshotKey   string          `json:"snapshotKey,omitempty"`
+	Streams       []RingStream    `json:"streams"`
+	Verdicts      json.RawMessage `json:"verdicts"`
+}
+
+// RingStreamFlip names a stream whose verdict changed under an edit.
+type RingStreamFlip struct {
+	ID          string `json:"id"`
+	Name        string `json:"name,omitempty"`
+	Schedulable bool   `json:"schedulable"`
+}
+
+// RingProtocolDelta is one protocol's incremental verdict delta.
+type RingProtocolDelta struct {
+	Protocol               string           `json:"protocol"`
+	Reprobed               int              `json:"reprobed"`
+	WasSchedulable         bool             `json:"wasSchedulable"`
+	Schedulable            bool             `json:"schedulable"`
+	DegradedWasSchedulable *bool            `json:"degradedWasSchedulable,omitempty"`
+	DegradedSchedulable    *bool            `json:"degradedSchedulable,omitempty"`
+	EditedSchedulable      *bool            `json:"editedSchedulable,omitempty"`
+	Flipped                []RingStreamFlip `json:"flipped,omitempty"`
+}
+
+// RingEdit is one applied edit's outcome. A nil error from an edit call
+// does NOT mean the stream is schedulable — read the deltas; an
+// infeasible admission is a successful edit with a negative verdict.
+type RingEdit struct {
+	RingID   string              `json:"ringId"`
+	Version  uint64              `json:"version"`
+	Op       string              `json:"op"`
+	StreamID string              `json:"streamId"`
+	Reprobed int                 `json:"reprobed"`
+	Deltas   []RingProtocolDelta `json:"deltas"`
+}
+
+// Admitted reports whether every protocol's edited-stream verdict came
+// back schedulable (vacuously true for removes).
+func (e *RingEdit) Admitted() bool {
+	for _, d := range e.Deltas {
+		if d.EditedSchedulable != nil && !*d.EditedSchedulable {
+			return false
+		}
+	}
+	return true
+}
+
+// ringConflictRetries bounds transparent CAS rebases per edit call:
+// under heavy contention the caller gets the conflict back rather than
+// an unbounded livelock loop.
+const ringConflictRetries = 3
+
+// RingSession tracks one server-side ring and its last-seen version,
+// providing the optimistic-concurrency edit loop: every edit names the
+// tracked version; on a 409 the session adopts the server's current
+// version from the conflict body and replays the edit, bounded by
+// ringConflictRetries. It is safe for concurrent use, but concurrent
+// edits from one session contend on the server like any two writers.
+type RingSession struct {
+	c  *Client
+	id string
+
+	mu      sync.Mutex
+	version uint64
+}
+
+// CreateRing creates a server-side ring and returns the session plus
+// the initial state (version 1, seed streams analyzed).
+func (c *Client) CreateRing(ctx context.Context, req RingCreateRequest) (*RingSession, *RingState, error) {
+	raw, err := c.Call(ctx, http.MethodPost, "/v1/rings", req)
+	if err != nil {
+		return nil, nil, err
+	}
+	var state RingState
+	if err := json.Unmarshal(raw, &state); err != nil {
+		return nil, nil, fmt.Errorf("ringschedclient: decode ring state: %w", err)
+	}
+	return &RingSession{c: c, id: state.ID, version: state.Version}, &state, nil
+}
+
+// OpenRing attaches a session to an existing ring by ID.
+func (c *Client) OpenRing(ctx context.Context, id string) (*RingSession, *RingState, error) {
+	s := &RingSession{c: c, id: id}
+	state, err := s.Refresh(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, state, nil
+}
+
+// ID returns the server-side ring ID.
+func (s *RingSession) ID() string { return s.id }
+
+// Version returns the last version this session observed.
+func (s *RingSession) Version() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// observe adopts a version the server reported.
+func (s *RingSession) observe(v uint64) {
+	s.mu.Lock()
+	if v > s.version {
+		s.version = v
+	}
+	s.mu.Unlock()
+}
+
+// Refresh fetches the ring's current state and adopts its version.
+func (s *RingSession) Refresh(ctx context.Context) (*RingState, error) {
+	raw, err := s.c.Call(ctx, http.MethodGet, "/v1/rings/"+url.PathEscape(s.id), nil)
+	if err != nil {
+		return nil, err
+	}
+	var state RingState
+	if err := json.Unmarshal(raw, &state); err != nil {
+		return nil, fmt.Errorf("ringschedclient: decode ring state: %w", err)
+	}
+	s.observe(state.Version)
+	return &state, nil
+}
+
+// Delete deletes the ring unconditionally and invalidates the session.
+func (s *RingSession) Delete(ctx context.Context) error {
+	_, err := s.c.Call(ctx, http.MethodDelete, "/v1/rings/"+url.PathEscape(s.id), nil)
+	return err
+}
+
+// AddStream admits one stream through the CAS edit loop.
+func (s *RingSession) AddStream(ctx context.Context, spec RingStreamSpec) (*RingEdit, error) {
+	return s.edit(ctx, func(expected uint64) (json.RawMessage, error) {
+		body := struct {
+			ExpectedVersion uint64         `json:"expectedVersion,omitempty"`
+			Stream          RingStreamSpec `json:"stream"`
+		}{expected, spec}
+		return s.c.Call(ctx, http.MethodPost, "/v1/rings/"+url.PathEscape(s.id)+"/streams", body)
+	})
+}
+
+// ModifyStream replaces the named stream's parameters.
+func (s *RingSession) ModifyStream(ctx context.Context, streamID string, spec RingStreamSpec) (*RingEdit, error) {
+	return s.edit(ctx, func(expected uint64) (json.RawMessage, error) {
+		body := struct {
+			ExpectedVersion uint64         `json:"expectedVersion,omitempty"`
+			Stream          RingStreamSpec `json:"stream"`
+		}{expected, spec}
+		return s.c.Call(ctx, http.MethodPut,
+			"/v1/rings/"+url.PathEscape(s.id)+"/streams/"+url.PathEscape(streamID), body)
+	})
+}
+
+// RemoveStream removes the named stream.
+func (s *RingSession) RemoveStream(ctx context.Context, streamID string) (*RingEdit, error) {
+	return s.edit(ctx, func(expected uint64) (json.RawMessage, error) {
+		path := "/v1/rings/" + url.PathEscape(s.id) + "/streams/" + url.PathEscape(streamID) +
+			"?expectedVersion=" + strconv.FormatUint(expected, 10)
+		return s.c.Call(ctx, http.MethodDelete, path, nil)
+	})
+}
+
+// edit runs one mutation through the conflict-rebase loop. Rebasing is
+// safe precisely because every edit is CAS-guarded: a replay can never
+// double-apply — if the previous attempt actually landed, the version
+// has moved and the replay conflicts instead of duplicating.
+func (s *RingSession) edit(ctx context.Context, do func(expected uint64) (json.RawMessage, error)) (*RingEdit, error) {
+	expected := s.Version()
+	var lastErr error
+	for attempt := 0; attempt <= ringConflictRetries; attempt++ {
+		raw, err := do(expected)
+		if err == nil {
+			var edit RingEdit
+			if err := json.Unmarshal(raw, &edit); err != nil {
+				return nil, fmt.Errorf("ringschedclient: decode ring edit: %w", err)
+			}
+			s.observe(edit.Version)
+			return &edit, nil
+		}
+		lastErr = err
+		ae := apiErrorOf(err)
+		if ae == nil || ae.Code != resilience.CodeConflict || ae.CurrentVersion == 0 {
+			return nil, err
+		}
+		expected = ae.CurrentVersion
+		s.observe(expected)
+	}
+	return nil, fmt.Errorf("ringschedclient: edit still conflicting after %d rebases: %w",
+		ringConflictRetries, lastErr)
+}

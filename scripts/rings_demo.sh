@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Online-admission demo: drive the stateful /v1/rings API end to end and
+# prove its three contracts against a live ringschedd:
+#
+#   1. Admission — identical streams are admitted one CAS edit at a time
+#      until the incremental analysis reports the newcomer infeasible; the
+#      rejection is a 200 with a negative verdict, not an error, and the
+#      stream stays resident so operators can inspect or remove it.
+#   2. Equivalence — the saturated ring's verdicts (dumped at its current
+#      version) are exactly what the offline schedcheck CLI computes for
+#      the same stream set: the incremental engine and the from-scratch
+#      kernel agree on the wire, not just in unit tests.
+#   3. Concurrency control — an edit naming a stale version is refused
+#      with a typed 409 conflict carrying the current version to rebase on.
+#
+# Usage:
+#   scripts/rings_demo.sh
+#
+# Environment:
+#   DEMO_PORT  ringschedd port (default 7095)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+port="${DEMO_PORT:-7095}"
+addr="127.0.0.1:$port"
+bw=16
+
+bin="$(mktemp -d)"
+work="$(mktemp -d)"
+pids=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do kill -9 "$pid" 2>/dev/null || true; done
+    rm -rf "$bin" "$work"
+}
+trap cleanup EXIT
+
+go build -o "$bin/ringschedd" ./cmd/ringschedd
+go build -o "$bin/schedcheck" ./cmd/schedcheck
+
+"$bin/ringschedd" -addr "$addr" &
+pids+=($!)
+for _ in $(seq 1 100); do
+    curl -sf "http://$addr/healthz" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+curl -sf "http://$addr/healthz" | grep -q '"ok"'
+
+# --- 1. Create a ring and admit until the first rejection. -------------
+state=$(curl -sf -XPOST -d "{\"bandwidthMbps\":$bw}" "http://$addr/v1/rings")
+rid=$(jq -r .id <<<"$state")
+ver=$(jq -r .version <<<"$state")
+echo "created ring $rid at version $ver (${bw} Mbps)"
+
+rejected_id=""
+rejected_name=""
+for i in $(seq 1 64); do
+    name="load-$i"
+    edit=$(curl -sf -XPOST \
+        -d "{\"expectedVersion\":$ver,\"stream\":{\"name\":\"$name\",\"periodMs\":10,\"lengthBits\":16384}}" \
+        "http://$addr/v1/rings/$rid/streams")
+    ver=$(jq -r .version <<<"$edit")
+    if [ "$(jq '[.deltas[].editedSchedulable] | any(. == false)' <<<"$edit")" = true ]; then
+        rejected_id=$(jq -r .streamId <<<"$edit")
+        rejected_name="$name"
+        echo "stream $i rejected as infeasible at version $ver ($(jq -c \
+            '[.deltas[] | {protocol, editedSchedulable}]' <<<"$edit"))"
+        break
+    fi
+done
+if [ -z "$rejected_id" ]; then
+    echo "FAIL: 64 admissions never saturated a ${bw} Mbps ring" >&2
+    exit 1
+fi
+
+# --- 2. A stale edit is refused with a typed, rebasable conflict. ------
+status=$(curl -s -o "$work/conflict.json" -w '%{http_code}' -XPOST \
+    -d '{"expectedVersion":1,"stream":{"periodMs":10,"lengthBits":16384}}' \
+    "http://$addr/v1/rings/$rid/streams")
+if [ "$status" != 409 ]; then
+    echo "FAIL: stale edit got HTTP $status, want 409" >&2
+    exit 1
+fi
+jq -e --argjson v "$ver" '.code == "conflict" and .currentVersion == $v' \
+    "$work/conflict.json" >/dev/null
+echo "stale edit refused: 409 conflict, currentVersion $ver"
+
+# --- 3. The ring's verdicts match offline schedcheck on the dump. ------
+state=$(curl -sf "http://$addr/v1/rings/$rid")
+jq '[.streams[] | {name, periodMs, lengthBits}]' <<<"$state" > "$work/set.json"
+"$bin/schedcheck" -set "$work/set.json" -bw "$bw" -verbose -json > "$work/offline.json"
+
+strip='[.verdicts[] | .streams = ([.streams[]? | del(.id)])]'
+ring_v=$(jq -cS "$strip" <<<"$state")
+offline_v=$(jq -cS "$strip" "$work/offline.json")
+if [ "$ring_v" != "$offline_v" ]; then
+    echo "FAIL: ring verdicts diverge from offline schedcheck" >&2
+    diff <(jq -S "$strip" <<<"$state") <(jq -S "$strip" "$work/offline.json") >&2 || true
+    exit 1
+fi
+jq -e --arg n "$rejected_name" \
+    'any(.verdicts[]; any(.streams[]?; .name == $n and (.schedulable | not)))' \
+    "$work/offline.json" >/dev/null
+echo "ring verdicts at version $ver match offline schedcheck ($(jq \
+    '.streams | length' <<<"$state") streams, $rejected_name infeasible in both)"
+
+# --- 4. Removing the rejected stream restores schedulability. ----------
+edit=$(curl -sf -XDELETE \
+    "http://$addr/v1/rings/$rid/streams/$rejected_id?expectedVersion=$ver")
+ver=$(jq -r .version <<<"$edit")
+jq -e 'all(.deltas[]; .schedulable)' <<<"$edit" >/dev/null
+echo "removed $rejected_name: all protocols schedulable again at version $ver"
+
+curl -sf "http://$addr/metrics" > "$work/metrics.txt"
+grep -Eq 'ringschedd_ring_edits_total\{op="add",outcome="ok"\} [1-9]' "$work/metrics.txt"
+grep -Eq 'ringschedd_ring_edits_total\{op="add",outcome="conflict"\} 1' "$work/metrics.txt"
+grep -Eq 'ringschedd_rings 1' "$work/metrics.txt"
+
+curl -sf -XDELETE "http://$addr/v1/rings/$rid" -o /dev/null
+echo "PASS: online admission, CAS conflict, and offline equivalence all hold"
