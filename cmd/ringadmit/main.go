@@ -110,6 +110,8 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		base         = fs.String("base", "", "ringschedd base URL; empty replays offline through the in-process engine")
 		jsonOut      = fs.Bool("json", false, "emit one JSON object per edit plus the final ring state")
 		printExample = fs.Bool("print-example", false, "print an example edit script and exit")
+		verifyRing   = fs.String("verify-history", "",
+			"ring ID: fetch its audit trail from -base, replay it offline, and require bit-identical verdicts")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -117,6 +119,12 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	if *printExample {
 		_, err := io.WriteString(out, exampleScript)
 		return err
+	}
+	if *verifyRing != "" {
+		if *base == "" {
+			return fmt.Errorf("-verify-history requires -base (the ringschedd holding the ring)")
+		}
+		return verifyHistory(ctx, *base, *verifyRing, out)
 	}
 	if *faultSpec != "" && *scenario != "" {
 		return fmt.Errorf("-fault-model and -scenario are mutually exclusive")

@@ -1,0 +1,283 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"ringsched/internal/ringstate"
+	"ringsched/ringschedclient"
+)
+
+// verifyHistory is the -verify-history mode: fetch a live ring's audit
+// trail in its script serialization, replay it offline through a fresh
+// incremental engine built from the ring's own config, and require the
+// replayed verdicts to be bit-identical to the live ones. Audit records
+// carry server-assigned stream IDs and the replay assigns its own, so
+// per-stream verdicts are compared as multisets with identity ignored;
+// the admission math depends only on (period, length) and canonical
+// position, which the replay reproduces exactly.
+func verifyHistory(ctx context.Context, base, ringID string, out io.Writer) error {
+	c := ringschedclient.New(base, ringschedclient.Options{})
+	sess, state, err := c.OpenRing(ctx, ringID)
+	if err != nil {
+		return err
+	}
+	// The trail and the state must describe the same version. The script
+	// header names the version it was cut at; refetch both until they
+	// agree, so a concurrent editor cannot make the verification lie.
+	var script string
+	for attempt := 0; ; attempt++ {
+		if script, err = sess.HistoryScript(ctx); err != nil {
+			return err
+		}
+		if state, err = sess.Refresh(ctx); err != nil {
+			return err
+		}
+		if v, ok := scriptVersion(script); ok && v == state.Version {
+			break
+		}
+		if attempt == 2 {
+			return fmt.Errorf("ringadmit: ring %s is being edited concurrently; history and state never settled", ringID)
+		}
+	}
+	liveVersion := state.Version
+
+	edits, err := parseScript(strings.NewReader(script))
+	if err != nil {
+		return fmt.Errorf("ringadmit: history script does not parse: %w", err)
+	}
+	replay, err := newOfflineReplayer(ringstate.Config{
+		Protocols:     state.Protocols,
+		BandwidthMbps: state.BandwidthMbps,
+		FaultSpec:     state.FaultModel,
+	}, "")
+	if err != nil {
+		return err
+	}
+	for _, e := range edits {
+		if _, err := replay.apply(ctx, e); err != nil {
+			return fmt.Errorf("ringadmit: replay line %d (%s %s): %w", e.line, e.op, e.name, err)
+		}
+	}
+
+	var live []wireVerdict
+	if err := json.Unmarshal(state.Verdicts, &live); err != nil {
+		return fmt.Errorf("ringadmit: live verdicts do not decode: %w", err)
+	}
+	replayed := make([]wireVerdict, 0, 3)
+	for _, v := range replay.eng.Verdicts() {
+		replayed = append(replayed, wireFromEngine(v))
+	}
+	if err := compareVerdicts(live, replayed); err != nil {
+		return fmt.Errorf("ringadmit: ring %s version %d: %w", ringID, liveVersion, err)
+	}
+	fmt.Fprintf(out, "verified: ring %s version %d — %d edits replayed, %d protocol verdicts bit-identical\n",
+		ringID, liveVersion, len(edits), len(live))
+	return nil
+}
+
+// scriptVersion reads the version out of the script's header comment
+// ("# ring <id> history (version N)").
+func scriptVersion(script string) (uint64, bool) {
+	line, _, _ := strings.Cut(script, "\n")
+	const marker = "(version "
+	i := strings.Index(line, marker)
+	if i < 0 || !strings.HasSuffix(line, ")") {
+		return 0, false
+	}
+	var v uint64
+	if _, err := fmt.Sscanf(line[i+len(marker):len(line)-1], "%d", &v); err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// wireVerdict mirrors the server's ring verdict JSON. Stream IDs are the
+// wire's string handles; the replay side leaves them empty and the
+// comparison never reads them.
+type wireVerdict struct {
+	Protocol             string        `json:"protocol"`
+	Schedulable          bool          `json:"schedulable"`
+	Utilization          float64       `json:"utilization"`
+	AugmentedUtilization float64       `json:"augmentedUtilization"`
+	Blocking             float64       `json:"blocking"`
+	Theta                float64       `json:"theta"`
+	FrameTime            float64       `json:"frameTime"`
+	TTRT                 float64       `json:"ttrt"`
+	Overhead             float64       `json:"overhead"`
+	TotalAllocation      float64       `json:"totalAllocation"`
+	Capacity             float64       `json:"capacity"`
+	Degraded             *wireDegraded `json:"degraded"`
+	Streams              []wireStream  `json:"streams"`
+}
+
+type wireDegraded struct {
+	Schedulable     bool    `json:"schedulable"`
+	Availability    float64 `json:"availability"`
+	Losses          float64 `json:"losses"`
+	Recovery        float64 `json:"recovery"`
+	Blocking        float64 `json:"blocking"`
+	TotalAllocation float64 `json:"totalAllocation"`
+	Capacity        float64 `json:"capacity"`
+}
+
+type wireStream struct {
+	PeriodMs          float64 `json:"periodMs"`
+	Frames            int     `json:"frames"`
+	Q                 int     `json:"q"`
+	AugmentedLength   float64 `json:"augmentedLength"`
+	ResponseTime      float64 `json:"responseTime"`
+	Allocation        float64 `json:"allocation"`
+	WorstCaseResponse float64 `json:"worstCaseResponse"`
+	Schedulable       bool    `json:"schedulable"`
+}
+
+// wireFromEngine converts an engine verdict to the wire shape, applying
+// the same degraded-allocation mapping the server does (+Inf is not
+// representable in JSON and travels as -1).
+func wireFromEngine(v ringstate.Verdict) wireVerdict {
+	out := wireVerdict{
+		Protocol:             v.Protocol,
+		Schedulable:          v.Schedulable,
+		Utilization:          v.Utilization,
+		AugmentedUtilization: v.AugmentedUtilization,
+		Blocking:             v.Blocking,
+		Theta:                v.Theta,
+		FrameTime:            v.FrameTime,
+		TTRT:                 v.TTRT,
+		Overhead:             v.Overhead,
+		TotalAllocation:      v.TotalAllocation,
+		Capacity:             v.Capacity,
+	}
+	if v.Degraded != nil {
+		d := wireDegraded{
+			Schedulable:     v.Degraded.Schedulable,
+			Availability:    v.Degraded.Availability,
+			Losses:          v.Degraded.Losses,
+			Recovery:        v.Degraded.Recovery,
+			Blocking:        v.Degraded.Blocking,
+			TotalAllocation: v.Degraded.TotalAllocation,
+			Capacity:        v.Degraded.Capacity,
+		}
+		if math.IsInf(d.TotalAllocation, 1) {
+			d.TotalAllocation = -1
+		}
+		out.Degraded = &d
+	}
+	for _, sv := range v.Streams {
+		out.Streams = append(out.Streams, wireStream{
+			PeriodMs:          sv.PeriodMs,
+			Frames:            sv.Frames,
+			Q:                 sv.Q,
+			AugmentedLength:   sv.AugmentedLength,
+			ResponseTime:      sv.ResponseTime,
+			Allocation:        sv.Allocation,
+			WorstCaseResponse: sv.WorstCaseResponse,
+			Schedulable:       sv.Schedulable,
+		})
+	}
+	return out
+}
+
+// bits renders a float for exact comparison and reporting: the IEEE-754
+// payload, so 0.1+0.2 and 0.3 do not pass as equal.
+func bits(f float64) string {
+	return fmt.Sprintf("%016x", math.Float64bits(f))
+}
+
+// streamKey renders one per-stream verdict as a comparable string with
+// identity (ID, name) excluded.
+func streamKey(s wireStream) string {
+	return fmt.Sprintf("%s|%d|%d|%s|%s|%s|%s|%v",
+		bits(s.PeriodMs), s.Frames, s.Q, bits(s.AugmentedLength),
+		bits(s.ResponseTime), bits(s.Allocation), bits(s.WorstCaseResponse), s.Schedulable)
+}
+
+func compareVerdicts(live, replayed []wireVerdict) error {
+	if len(live) != len(replayed) {
+		return fmt.Errorf("verdict count differs: live %d, replay %d", len(live), len(replayed))
+	}
+	byProto := map[string]wireVerdict{}
+	for _, v := range replayed {
+		byProto[v.Protocol] = v
+	}
+	for _, lv := range live {
+		rv, ok := byProto[lv.Protocol]
+		if !ok {
+			return fmt.Errorf("protocol %s missing from replay", lv.Protocol)
+		}
+		scalars := []struct {
+			name       string
+			live, repl float64
+		}{
+			{"utilization", lv.Utilization, rv.Utilization},
+			{"augmentedUtilization", lv.AugmentedUtilization, rv.AugmentedUtilization},
+			{"blocking", lv.Blocking, rv.Blocking},
+			{"theta", lv.Theta, rv.Theta},
+			{"frameTime", lv.FrameTime, rv.FrameTime},
+			{"ttrt", lv.TTRT, rv.TTRT},
+			{"overhead", lv.Overhead, rv.Overhead},
+			{"totalAllocation", lv.TotalAllocation, rv.TotalAllocation},
+			{"capacity", lv.Capacity, rv.Capacity},
+		}
+		if lv.Schedulable != rv.Schedulable {
+			return fmt.Errorf("%s: schedulable live=%v replay=%v", lv.Protocol, lv.Schedulable, rv.Schedulable)
+		}
+		for _, s := range scalars {
+			if math.Float64bits(s.live) != math.Float64bits(s.repl) {
+				return fmt.Errorf("%s: %s differs: live %s replay %s (%v vs %v)",
+					lv.Protocol, s.name, bits(s.live), bits(s.repl), s.live, s.repl)
+			}
+		}
+		if (lv.Degraded == nil) != (rv.Degraded == nil) {
+			return fmt.Errorf("%s: degraded presence differs", lv.Protocol)
+		}
+		if lv.Degraded != nil {
+			ld, rd := lv.Degraded, rv.Degraded
+			if ld.Schedulable != rd.Schedulable {
+				return fmt.Errorf("%s: degraded schedulable live=%v replay=%v", lv.Protocol, ld.Schedulable, rd.Schedulable)
+			}
+			dscalars := []struct {
+				name       string
+				live, repl float64
+			}{
+				{"availability", ld.Availability, rd.Availability},
+				{"losses", ld.Losses, rd.Losses},
+				{"recovery", ld.Recovery, rd.Recovery},
+				{"blocking", ld.Blocking, rd.Blocking},
+				{"totalAllocation", ld.TotalAllocation, rd.TotalAllocation},
+				{"capacity", ld.Capacity, rd.Capacity},
+			}
+			for _, s := range dscalars {
+				if math.Float64bits(s.live) != math.Float64bits(s.repl) {
+					return fmt.Errorf("%s: degraded %s differs: live %s replay %s",
+						lv.Protocol, s.name, bits(s.live), bits(s.repl))
+				}
+			}
+		}
+		if len(lv.Streams) != len(rv.Streams) {
+			return fmt.Errorf("%s: stream count differs: live %d replay %d",
+				lv.Protocol, len(lv.Streams), len(rv.Streams))
+		}
+		lk := make([]string, len(lv.Streams))
+		rk := make([]string, len(rv.Streams))
+		for i := range lv.Streams {
+			lk[i] = streamKey(lv.Streams[i])
+			rk[i] = streamKey(rv.Streams[i])
+		}
+		sort.Strings(lk)
+		sort.Strings(rk)
+		for i := range lk {
+			if lk[i] != rk[i] {
+				return fmt.Errorf("%s: per-stream verdict multiset differs at %d:\n  live   %s\n  replay %s",
+					lv.Protocol, i, lk[i], rk[i])
+			}
+		}
+	}
+	return nil
+}

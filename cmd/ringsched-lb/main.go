@@ -30,6 +30,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -67,11 +68,22 @@ type lb struct {
 	pool    *ringschedclient.Pool
 	mux     *http.ServeMux
 	tracer  *trace.Tracer
+	spans   *trace.Ring
 	logger  *slog.Logger
 
-	requests *promtext.CounterVec // backend, code
-	routed   *promtext.CounterVec // route (owner | fallback | any)
-	proxySSE *promtext.CounterVec // backend
+	requests *promtext.CounterVec   // backend, code
+	routed   *promtext.CounterVec   // route (owner | fallback | any)
+	proxySSE *promtext.CounterVec   // backend
+	stages   *promtext.HistogramVec // stage (read | route | forward | stream)
+}
+
+// lbStageForSpan maps lb span names to the stage label of
+// ringschedlb_stage_seconds, mirroring the backend's stage histogram.
+var lbStageForSpan = map[string]string{
+	"lb.read":    "read",
+	"lb.route":   "route",
+	"lb.forward": "forward",
+	"lb.stream":  "stream",
 }
 
 func newLB(cfg lbConfig) (*lb, error) {
@@ -106,6 +118,9 @@ func newLB(cfg lbConfig) (*lb, error) {
 			"Routing decisions: owner (shard owner served), fallback (owner skipped or failed over), any (no shard key — undecodable body or unsharded endpoint)."),
 		proxySSE: promtext.NewCounterVec("ringschedlb_sse_streams_total",
 			"SSE streams proxied by backend."),
+		stages: promtext.NewHistogramVec("ringschedlb_stage_seconds",
+			"Time per lb pipeline stage (read | route | forward | stream), derived from spans."),
+		spans: trace.NewRing(4096),
 	}
 	l.checker = cluster.NewChecker(l.ring.Members(), cluster.CheckerConfig{
 		Interval: cfg.CheckInterval,
@@ -117,18 +132,53 @@ func newLB(cfg lbConfig) (*lb, error) {
 				slog.String("backend", member), slog.Bool("healthy", healthy))
 		},
 	})
-	l.tracer = trace.New(trace.SinkFunc(func(trace.Record) {}))
+	stageSink := trace.SinkFunc(func(rec trace.Record) {
+		if stage, ok := lbStageForSpan[rec.Name]; ok {
+			l.stages.Observe(promtext.Labels("stage", stage), rec.DurationUS/1e6)
+		}
+	})
+	l.tracer = trace.New(trace.Tee(l.spans, stageSink))
 	l.mux.HandleFunc("/v1/analyze", l.route("analyze"))
 	l.mux.HandleFunc("/v1/sweep", l.route("sweep"))
 	l.mux.HandleFunc("/v1/topology/analyze", l.route("topology"))
 	l.mux.HandleFunc("/v1/experiments", l.route("experiments"))
 	l.mux.HandleFunc("/healthz", l.handleHealthz)
 	l.mux.HandleFunc("/metrics", l.handleMetrics)
+	// The federated trace view: the lb holds its own spans and scatters
+	// to every configured backend WITHOUT local=1, so a backend running
+	// -peers the lb does not front still contributes its peers' spans
+	// (the merge dedups any overlap).
+	l.mux.Handle("/debug/traces", &trace.DebugServer{
+		Ring:           l.spans,
+		Self:           "ringsched-lb",
+		Peers:          func() []string { return l.ring.Members() },
+		Fetch:          l.fetchBackendTrace,
+		ScatterTimeout: cfg.CheckTimeout,
+	})
 	return l, nil
 }
 
 // Handler returns the root handler.
 func (l *lb) Handler() http.Handler { return l.mux }
+
+// fetchBackendTrace pulls one backend's view of a trace through the same
+// breaker-isolated client pool as proxied requests. No local=1 here: a
+// clustered backend answers with its whole peer set's spans, already
+// member-stamped, and Merge dedups whatever overlaps.
+func (l *lb) fetchBackendTrace(ctx context.Context, backend, traceID string) ([]trace.Record, error) {
+	body, err := l.pool.Client(backend).Call(ctx, http.MethodGet,
+		"/debug/traces?trace="+url.QueryEscape(traceID), nil)
+	if err != nil {
+		return nil, err
+	}
+	var resp struct {
+		Spans []trace.Record `json:"spans"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, fmt.Errorf("ringsched-lb: bad trace response from %s: %v", backend, err)
+	}
+	return resp.Spans, nil
+}
 
 // shardKey decodes one cacheable request body and computes its canonical
 // cluster key. ok is false when the body does not decode or canonicalize
@@ -241,16 +291,21 @@ func (l *lb) route(endpoint string) http.HandlerFunc {
 			}
 		}
 
+		_, rdsp := trace.Start(ctx, "lb.read")
 		body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+		rdsp.End()
 		if err != nil {
 			http.Error(w, `{"error":"ringsched-lb: read body","code":"bad_request"}`, http.StatusBadRequest)
 			return
 		}
+		_, rtsp := trace.Start(ctx, "lb.route")
 		key, haveKey := "", false
 		if r.Method == http.MethodPost && endpoint != "experiments" {
 			key, haveKey = shardKey(endpoint, body)
 		}
 		cands, route := l.candidates(key, haveKey)
+		rtsp.SetAttr("route", route)
+		rtsp.End()
 		l.routed.Add(promtext.Labels("route", route), 1)
 		sp.SetAttr("route", route)
 		if len(cands) == 0 {
@@ -259,10 +314,14 @@ func (l *lb) route(endpoint string) http.HandlerFunc {
 		}
 		if wantsSSE(r) {
 			l.proxySSE.Add(promtext.Labels("backend", cands[0]), 1)
-			l.streamProxy(ctx, w, r, cands[0], path, body)
+			sctx, ssp := trace.Start(ctx, "lb.stream")
+			l.streamProxy(sctx, w, r, cands[0], path, body)
+			ssp.End()
 			return
 		}
-		l.forward(ctx, w, r, endpoint, path, cands, body)
+		fctx, fsp := trace.Start(ctx, "lb.forward")
+		l.forward(fctx, w, r, endpoint, path, cands, body)
+		fsp.End()
 	}
 }
 
@@ -412,6 +471,7 @@ func (l *lb) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	l.requests.Write(w)
 	l.routed.Write(w)
 	l.proxySSE.Write(w)
+	l.stages.Write(w)
 	promtext.BuildInfo(w, "ringschedlb")
 	states := l.checker.States()
 	gauges := []promtext.GaugeFunc{

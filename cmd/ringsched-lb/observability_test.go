@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ringsched/internal/promtext"
+	"ringsched/internal/trace"
+)
+
+// TestLBMetricsConformance runs the lb's full exposition through the
+// strict parser/linter and checks the new stage histogram is present.
+func TestLBMetricsConformance(t *testing.T) {
+	addrs, _ := startBackends(t, 2)
+	l := newTestLB(t, addrs)
+
+	body := analyzeBodyOwnedBy(t, l, addrs[0])
+	if rr := postVia(t, l, "/v1/analyze", body, nil); rr.Code != http.StatusOK {
+		t.Fatalf("analyze via lb: %d %s", rr.Code, rr.Body)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rr := httptest.NewRecorder()
+	l.Handler().ServeHTTP(rr, req)
+	fams, err := promtext.Parse(rr.Body)
+	if err != nil {
+		t.Fatalf("lb metrics exposition does not parse: %v", err)
+	}
+	if errs := promtext.Lint(fams); len(errs) > 0 {
+		for _, e := range errs {
+			t.Errorf("lint: %v", e)
+		}
+		t.Fatalf("%d lint violations in lb /metrics", len(errs))
+	}
+	byName := map[string]promtext.Family{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	for _, want := range []string{
+		"ringschedlb_requests_total", "ringschedlb_routed_total",
+		"ringschedlb_stage_seconds", "ringschedlb_build_info",
+		"ringschedlb_backends", "ringschedlb_backend_healthy",
+	} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("family %q missing from lb /metrics", want)
+		}
+	}
+	// One proxied request exercised read, route, and forward.
+	forward := 0.0
+	for _, s := range byName["ringschedlb_stage_seconds"].Samples {
+		if s.Name == "ringschedlb_stage_seconds_count" && s.Labels["stage"] == "forward" {
+			forward += s.Value
+		}
+	}
+	if forward < 1 {
+		t.Errorf("stage=forward count = %v, want >= 1", forward)
+	}
+}
+
+// TestLBDebugTracesFederates drives one request through the lb and asks
+// the lb's /debug/traces for the merged view: lb spans and the serving
+// backend's spans under one trace ID, each member-attributed.
+func TestLBDebugTracesFederates(t *testing.T) {
+	addrs, _ := startBackends(t, 2)
+	l := newTestLB(t, addrs)
+
+	body := analyzeBodyOwnedBy(t, l, addrs[0])
+	rr := postVia(t, l, "/v1/analyze", body, nil)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("analyze via lb: %d %s", rr.Code, rr.Body)
+	}
+	traceID := rr.Header().Get("X-Ringsched-Trace")
+	if traceID == "" {
+		t.Fatal("no trace ID on lb response")
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/debug/traces?trace="+traceID, nil)
+	trr := httptest.NewRecorder()
+	l.Handler().ServeHTTP(trr, req)
+	if trr.Code != http.StatusOK {
+		t.Fatalf("GET /debug/traces: %d %s", trr.Code, trr.Body)
+	}
+	var resp struct {
+		Spans   []trace.Record `json:"spans"`
+		Members []struct {
+			Member string `json:"member"`
+			Spans  int    `json:"spans"`
+			Error  string `json:"error,omitempty"`
+		} `json:"members"`
+	}
+	if err := json.Unmarshal(trr.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode traces: %v\n%s", err, trr.Body)
+	}
+	if len(resp.Members) != 3 {
+		t.Fatalf("want lb + 2 backends in members, got %+v", resp.Members)
+	}
+	spansBy := map[string]map[string]bool{} // member -> span names
+	for _, s := range resp.Spans {
+		if s.TraceID != traceID {
+			t.Fatalf("span from foreign trace: %+v", s)
+		}
+		if spansBy[s.Member] == nil {
+			spansBy[s.Member] = map[string]bool{}
+		}
+		spansBy[s.Member][s.Name] = true
+	}
+	if !spansBy["ringsched-lb"]["lb.analyze"] || !spansBy["ringsched-lb"]["lb.forward"] {
+		t.Fatalf("lb spans missing or unattributed: %v", spansBy)
+	}
+	served := spansBy[addrs[0]]
+	if !served["http.analyze"] {
+		t.Fatalf("serving backend's spans missing (got %v)", spansBy)
+	}
+}

@@ -86,6 +86,10 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 			"resident /v1/rings sessions (0 = default 4096)")
 		maxRingStreams = fs.Int("max-ring-streams", 0,
 			"streams per /v1/rings session (0 = default 4096)")
+		requestLog = fs.Int("request-log", 0,
+			"request digests retained for /debug/requests (0 = default 4096)")
+		slowMs = fs.Float64("slow-ms", 0,
+			"latency above which a request counts as slow in ringschedd_slo_requests_total and a bare /debug/requests?slow (0 = default 1000)")
 	)
 	var obs cli.Obs
 	obs.Register(fs)
@@ -135,6 +139,8 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		PeerVNodes:      *peerVNodes,
 		MaxRings:        *maxRings,
 		MaxRingStreams:  *maxRingStreams,
+		RequestLog:      *requestLog,
+		SlowThreshold:   time.Duration(*slowMs * float64(time.Millisecond)),
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+
+	"ringsched/internal/service"
+)
+
+func startMember(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := service.New(service.Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+	})
+	return ln.Addr().String()
+}
+
+func TestRingtopSnapshot(t *testing.T) {
+	a, b := startMember(t), startMember(t)
+	body := `{"bandwidthMbps":16,"streams":[{"name":"s","periodMs":10,"lengthBits":4096}]}`
+	for _, addr := range []string{a, a, b} { // a: miss+hit, b: miss
+		resp, err := http.Post("http://"+addr+"/v1/analyze", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	var out bytes.Buffer
+	err := run(context.Background(),
+		[]string{"-targets", a + "," + b, "-count", "1"}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := out.String()
+	for _, want := range []string{"2 members", "MEMBER", "HIT%", a, b, "▁"} {
+		if !strings.Contains(frame, want) {
+			t.Fatalf("frame missing %q:\n%s", want, frame)
+		}
+	}
+	// Member a served a hit and a miss: 50% cache hit rate on its row.
+	for _, line := range strings.Split(frame, "\n") {
+		if strings.HasPrefix(line, a) {
+			if !strings.Contains(line, "50.0") {
+				t.Fatalf("member %s row should show 50%% hit rate: %q", a, line)
+			}
+		}
+	}
+}
+
+func TestRingtopDownMember(t *testing.T) {
+	a := startMember(t)
+	var out bytes.Buffer
+	err := run(context.Background(),
+		[]string{"-targets", a + ",127.0.0.1:1", "-count", "1", "-timeout", "300ms"}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "DOWN") {
+		t.Fatalf("unreachable member should render as DOWN:\n%s", out.String())
+	}
+}
+
+func TestRingtopRequiresTargets(t *testing.T) {
+	err := run(context.Background(), nil, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-targets") {
+		t.Fatalf("want -targets error, got %v", err)
+	}
+}

@@ -37,7 +37,7 @@ func TestMain(m *testing.M) {
 		os.Exit(1)
 	}
 	defer os.RemoveAll(binDir)
-	for _, cmd := range []string{"ringschedd", "ringsched-lb", "ringloadgen"} {
+	for _, cmd := range []string{"ringschedd", "ringsched-lb", "ringloadgen", "ringadmit"} {
 		build := exec.Command("go", "build", "-o", filepath.Join(binDir, cmd), "./cmd/"+cmd)
 		build.Dir = ".."
 		if out, err := build.CombinedOutput(); err != nil {

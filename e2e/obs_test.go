@@ -1,0 +1,143 @@
+package e2e
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFederatedTraceAcrossProcesses is the observability-plane
+// acceptance path: an lb fronting only replica A of a two-member
+// cluster, a request whose shard owner is B (so A peer-fills), and then
+// ONE query to the lb's /debug/traces returning a merged span tree with
+// member-attributed spans from all three processes.
+func TestFederatedTraceAcrossProcesses(t *testing.T) {
+	addrs, _ := startCluster(t, 2)
+	lbAddr, _ := startLB(t, addrs[:1]) // front A only; B reachable via peer fill
+
+	// Probe bandwidths until a request peer-fills: its canonical key's
+	// cluster owner is B, and the lb only talks to A.
+	var traceID string
+	for bw := 1; bw < 4096; bw++ {
+		body := fmt.Sprintf(`{"bandwidthMbps":%d,"streams":[{"name":"s","periodMs":10,"lengthBits":4096}]}`, bw)
+		resp, err := http.Post("http://"+lbAddr+"/v1/analyze", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("analyze via lb: %d", resp.StatusCode)
+		}
+		if resp.Header.Get("X-Cache") == "peer" {
+			traceID = resp.Header.Get("X-Ringsched-Trace")
+			break
+		}
+	}
+	if traceID == "" {
+		t.Fatal("no bandwidth produced a peer fill; cluster routing broken?")
+	}
+
+	resp, err := http.Get("http://" + lbAddr + "/debug/traces?trace=" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var tr struct {
+		Spans []struct {
+			TraceID string `json:"traceId"`
+			Name    string `json:"name"`
+			Member  string `json:"member"`
+		} `json:"spans"`
+		Tree    []json.RawMessage `json:"tree"`
+		Members []struct {
+			Member string `json:"member"`
+			Spans  int    `json:"spans"`
+			Error  string `json:"error,omitempty"`
+		} `json:"members"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	spansBy := map[string][]string{}
+	for _, s := range tr.Spans {
+		if s.TraceID != traceID {
+			t.Fatalf("foreign trace %s in response", s.TraceID)
+		}
+		spansBy[s.Member] = append(spansBy[s.Member], s.Name)
+	}
+	for _, member := range []string{"ringsched-lb", addrs[0], addrs[1]} {
+		if len(spansBy[member]) == 0 {
+			t.Errorf("no spans attributed to %s (got %v)", member, spansBy)
+		}
+	}
+	if len(tr.Tree) == 0 {
+		t.Error("no assembled span tree in federated response")
+	}
+	has := func(member, span string) bool {
+		for _, n := range spansBy[member] {
+			if n == span {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("ringsched-lb", "lb.forward") {
+		t.Errorf("lb spans incomplete: %v", spansBy["ringsched-lb"])
+	}
+	if !has(addrs[0], "peer.fill") {
+		t.Errorf("fronted replica should carry the peer.fill span: %v", spansBy[addrs[0]])
+	}
+}
+
+// TestHistoryReplayThroughRingadmit drives ring edits over the wire,
+// then has the real ringadmit binary fetch the audit trail and certify
+// that replaying it reproduces the live verdicts bit-for-bit.
+func TestHistoryReplayThroughRingadmit(t *testing.T) {
+	addrs, _ := startCluster(t, 1)
+	base := "http://" + addrs[0]
+
+	post := func(path, body string) map[string]any {
+		t.Helper()
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode >= 300 {
+			t.Fatalf("POST %s: %d %v", path, resp.StatusCode, out)
+		}
+		return out
+	}
+
+	created := post("/v1/rings",
+		`{"bandwidthMbps":4,"faultModel":"loss:p=1e-3","streams":[{"name":"gyro","periodMs":10,"lengthBits":4096}]}`)
+	ringID, _ := created["id"].(string)
+	if ringID == "" {
+		t.Fatalf("no ring id in %v", created)
+	}
+	for i := 0; i < 5; i++ {
+		post("/v1/rings/"+ringID+"/streams",
+			fmt.Sprintf(`{"stream":{"periodMs":%g,"lengthBits":%d}}`, 10+float64(i)/3, 4096*(i+1)))
+	}
+
+	cmd := exec.Command(filepath.Join(binDir, "ringadmit"),
+		"-base", base, "-verify-history", ringID)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("ringadmit -verify-history: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "verified: ring "+ringID) {
+		t.Fatalf("unexpected ringadmit output:\n%s", out.String())
+	}
+}

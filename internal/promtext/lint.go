@@ -1,0 +1,379 @@
+package promtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the read side of the package: a strict parser + linter for
+// the text exposition format the Write methods emit. The conformance
+// tests feed both daemons' full /metrics bodies through Lint so a new
+// metric can't silently ship malformed exposition (missing HELP/TYPE,
+// duplicate families, broken label escaping), and cmd/ringtop uses Parse
+// as its scrape client.
+
+// Sample is one parsed series sample.
+type Sample struct {
+	// Name is the full sample name (may carry a _bucket/_sum/_count
+	// suffix for histogram families).
+	Name string
+	// Labels holds the decoded label values.
+	Labels map[string]string
+	// Value is the parsed sample value.
+	Value float64
+}
+
+// Label returns one label value ("" when absent).
+func (s Sample) Label(key string) string { return s.Labels[key] }
+
+// Family is one metric family: its metadata plus every sample that
+// followed it.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// Value sums the family's plain samples whose labels all match want
+// (histogram _bucket/_sum/_count samples are skipped). An empty want
+// sums the whole family.
+func (f Family) Value(want map[string]string) float64 {
+	var total float64
+	for _, s := range f.Samples {
+		if f.Type == "histogram" && s.Name != f.Name {
+			continue
+		}
+		ok := true
+		for k, v := range want {
+			if s.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			total += s.Value
+		}
+	}
+	return total
+}
+
+// Parse reads a text-format 0.0.4 exposition into families, in exposition
+// order. It is strict about line syntax — every sample must parse — but
+// preserves duplicate HELP/TYPE registrations as separate Family entries
+// so Lint can flag them.
+func Parse(r io.Reader) ([]Family, error) {
+	var (
+		families []Family
+		byName   = map[string]int{}
+		lineNo   int
+	)
+	ensure := func(name string) int {
+		if i, ok := byName[name]; ok {
+			return i
+		}
+		families = append(families, Family{Name: name})
+		byName[name] = len(families) - 1
+		return len(families) - 1
+	}
+	// fresh registers a duplicate family entry (re-emitted metadata) and
+	// repoints the name at it so following samples attach to the new one.
+	fresh := func(name string) int {
+		families = append(families, Family{Name: name})
+		byName[name] = len(families) - 1
+		return len(families) - 1
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // arbitrary comment
+			}
+			name := fields[2]
+			i := ensure(name)
+			if fields[1] == "HELP" {
+				if families[i].Help != "" {
+					i = fresh(name)
+				}
+				if len(fields) == 4 {
+					families[i].Help = fields[3]
+				} else {
+					families[i].Help = " " // present but empty
+				}
+			} else {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: TYPE without a type: %q", lineNo, line)
+				}
+				if families[i].Type != "" {
+					i = fresh(name)
+				}
+				families[i].Type = fields[3]
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		i, ok := familyFor(s.Name, families, byName)
+		if !ok {
+			i = ensure(s.Name)
+		}
+		families[i].Samples = append(families[i].Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return families, nil
+}
+
+// familyFor maps a sample name to its owning family, stripping histogram
+// suffixes when the base family is a histogram.
+func familyFor(name string, families []Family, byName map[string]int) (int, bool) {
+	if i, ok := byName[name]; ok {
+		return i, true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if i, ok := byName[base]; ok && families[i].Type == "histogram" {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// parseSample parses one `name{labels} value` line.
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample line %q", line)
+	}
+	s.Name = line[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end, err := parseLabels(rest, s.Labels)
+		if err != nil {
+			return s, err
+		}
+		rest = rest[end:]
+	}
+	rest = strings.TrimSpace(rest)
+	// The value may be followed by an optional timestamp.
+	if j := strings.IndexByte(rest, ' '); j >= 0 {
+		rest = rest[:j]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad sample value %q: %v", rest, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses `{k="v",...}` starting at raw[0] == '{', filling
+// into and returning the index just past the closing brace.
+func parseLabels(raw string, into map[string]string) (int, error) {
+	i := 1
+	for {
+		if i >= len(raw) {
+			return 0, fmt.Errorf("unterminated label set in %q", raw)
+		}
+		if raw[i] == '}' {
+			return i + 1, nil
+		}
+		if raw[i] == ',' {
+			i++
+			continue
+		}
+		eq := strings.IndexByte(raw[i:], '=')
+		if eq < 0 {
+			return 0, fmt.Errorf("label without '=' in %q", raw)
+		}
+		key := raw[i : i+eq]
+		if !validLabelName(key) {
+			return 0, fmt.Errorf("invalid label name %q", key)
+		}
+		i += eq + 1
+		if i >= len(raw) || raw[i] != '"' {
+			return 0, fmt.Errorf("unquoted label value for %q", key)
+		}
+		i++
+		var b strings.Builder
+		for {
+			if i >= len(raw) {
+				return 0, fmt.Errorf("unterminated label value for %q", key)
+			}
+			c := raw[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(raw) {
+					return 0, fmt.Errorf("dangling escape in label %q", key)
+				}
+				switch raw[i+1] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return 0, fmt.Errorf("invalid escape \\%c in label %q", raw[i+1], key)
+				}
+				i += 2
+				continue
+			}
+			b.WriteByte(c)
+			i++
+		}
+		if _, dup := into[key]; dup {
+			return 0, fmt.Errorf("duplicate label %q", key)
+		}
+		into[key] = b.String()
+	}
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(name string) bool {
+	if name == "" || strings.HasPrefix(name, "__") {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Lint applies the strict conformance rules the repo holds its daemons
+// to, beyond what Parse already rejects:
+//
+//   - every family has non-empty HELP and a known TYPE
+//   - no family appears twice (Parse keeps re-registered metadata as a
+//     second Family entry with the same name)
+//   - every sample's name matches its family (exact, or the histogram
+//     _bucket/_sum/_count suffixes)
+//   - histogram _bucket samples carry an le label; non-bucket samples
+//     don't
+//   - no two samples in a family share an identical label set
+func Lint(families []Family) []error {
+	var errs []error
+	knownTypes := map[string]bool{"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true}
+	seenFamily := map[string]bool{}
+	for _, f := range families {
+		if seenFamily[f.Name] {
+			errs = append(errs, fmt.Errorf("family %s: duplicate registration", f.Name))
+			continue
+		}
+		seenFamily[f.Name] = true
+		if strings.TrimSpace(f.Help) == "" {
+			errs = append(errs, fmt.Errorf("family %s: missing HELP", f.Name))
+		}
+		if f.Type == "" {
+			errs = append(errs, fmt.Errorf("family %s: missing TYPE", f.Name))
+		} else if !knownTypes[f.Type] {
+			errs = append(errs, fmt.Errorf("family %s: unknown TYPE %q", f.Name, f.Type))
+		}
+		seenSeries := map[string]bool{}
+		for _, s := range f.Samples {
+			switch s.Name {
+			case f.Name:
+				if f.Type == "histogram" {
+					errs = append(errs, fmt.Errorf("family %s: bare sample in histogram family", f.Name))
+				}
+				// le is reserved by aggregation conventions on
+				// counters; on a gauge it is an ordinary label (the
+				// exemplar sibling families use it to point back at
+				// the matching histogram bucket).
+				if _, ok := s.Labels["le"]; ok && f.Type == "counter" {
+					errs = append(errs, fmt.Errorf("family %s: 'le' label on counter sample", f.Name))
+				}
+			case f.Name + "_bucket":
+				if f.Type != "histogram" {
+					errs = append(errs, fmt.Errorf("family %s: _bucket sample in non-histogram family", f.Name))
+				}
+				if _, ok := s.Labels["le"]; !ok {
+					errs = append(errs, fmt.Errorf("family %s: _bucket sample without le label", f.Name))
+				}
+			case f.Name + "_sum", f.Name + "_count":
+				if f.Type != "histogram" {
+					errs = append(errs, fmt.Errorf("family %s: %s sample in non-histogram family", f.Name, s.Name))
+				}
+			default:
+				errs = append(errs, fmt.Errorf("family %s: sample %s does not belong", f.Name, s.Name))
+			}
+			key := s.Name + seriesKey(s.Labels)
+			if seenSeries[key] {
+				errs = append(errs, fmt.Errorf("family %s: duplicate series %s", f.Name, key))
+			}
+			seenSeries[key] = true
+		}
+	}
+	return errs
+}
+
+// seriesKey renders a label map deterministically for duplicate checks.
+func seriesKey(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,166 @@
+package promtext
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTripsWriters(t *testing.T) {
+	var b strings.Builder
+	c := NewCounterVec("reqs_total", "Total requests.")
+	c.Add(Labels("endpoint", "analyze", "code", "200"), 3)
+	c.Add(Labels("endpoint", "sweep", "code", "500"), 1)
+	c.Write(&b)
+	h := NewHistogramVec("latency_seconds", "Latency.")
+	h.Observe(Labels("endpoint", "analyze"), 0.002)
+	h.Observe(Labels("endpoint", "analyze"), 1.7)
+	h.Write(&b)
+	GaugeFunc{Name: "pool_depth", Help: "Depth.", Fn: func() float64 { return 4 }}.Write(&b)
+	BuildInfo(&b, "testd")
+
+	fams, err := Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, b.String())
+	}
+	if errs := Lint(fams); len(errs) > 0 {
+		t.Fatalf("Lint: %v\n%s", errs, b.String())
+	}
+	byName := map[string]Family{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	if f := byName["reqs_total"]; f.Type != "counter" ||
+		f.Value(map[string]string{"endpoint": "analyze"}) != 3 ||
+		f.Value(nil) != 4 {
+		t.Fatalf("reqs_total = %+v", f)
+	}
+	lat := byName["latency_seconds"]
+	if lat.Type != "histogram" {
+		t.Fatalf("latency type = %q", lat.Type)
+	}
+	var count, sum float64
+	for _, s := range lat.Samples {
+		switch s.Name {
+		case "latency_seconds_count":
+			count = s.Value
+		case "latency_seconds_sum":
+			sum = s.Value
+		}
+	}
+	if count != 2 || sum < 1.7 {
+		t.Fatalf("histogram count=%v sum=%v", count, sum)
+	}
+	if byName["testd_build_info"].Value(nil) != 1 {
+		t.Fatalf("build_info = %+v", byName["testd_build_info"])
+	}
+}
+
+func TestParseLabelEscaping(t *testing.T) {
+	in := `# HELP m Help.
+# TYPE m counter
+m{v="a\\b\"c\nd"} 2
+`
+	fams, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fams[0].Samples[0].Labels["v"]; got != "a\\b\"c\nd" {
+		t.Fatalf("decoded label = %q", got)
+	}
+	if errs := Lint(fams); len(errs) > 0 {
+		t.Fatalf("Lint: %v", errs)
+	}
+	// Writers escape what Parse decodes: round-trip a hostile value.
+	var b strings.Builder
+	c := NewCounterVec("m2", "Help.")
+	hostile := "x\\y\"z\nw"
+	c.Add(Labels("v", hostile), 1)
+	c.Write(&b)
+	fams, err = Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("Parse(writer output): %v\n%s", err, b.String())
+	}
+	if got := fams[0].Samples[0].Labels["v"]; got != hostile {
+		t.Fatalf("round-trip = %q, want %q", got, hostile)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"m{v=\"unterminated} 1\n",
+		"m{v=\"x\\q\"} 1\n",      // bad escape
+		"m{v=x} 1\n",             // unquoted
+		"m{9bad=\"x\"} 1\n",      // bad label name
+		"9m 1\n",                 // bad metric name
+		"m nope\n",               // bad value
+		"m{a=\"1\",a=\"2\"} 1\n", // duplicate label
+	} {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("Parse(%q): want error", in)
+		}
+	}
+}
+
+func TestLintCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{
+			"missing HELP",
+			"# TYPE m counter\nm 1\n",
+			"missing HELP",
+		},
+		{
+			"missing TYPE",
+			"# HELP m Help.\nm 1\n",
+			"missing TYPE",
+		},
+		{
+			"unknown TYPE",
+			"# HELP m Help.\n# TYPE m frobnicator\nm 1\n",
+			"unknown TYPE",
+		},
+		{
+			"duplicate registration",
+			"# HELP m Help.\n# TYPE m counter\nm 1\n# HELP m Help.\n# TYPE m counter\nm 2\n",
+			"duplicate registration",
+		},
+		{
+			"duplicate series",
+			"# HELP m Help.\n# TYPE m counter\nm{a=\"1\"} 1\nm{a=\"1\"} 2\n",
+			"duplicate series",
+		},
+		{
+			"bucket without le",
+			"# HELP m Help.\n# TYPE m histogram\nm_bucket 1\nm_sum 0\nm_count 1\n",
+			"without le",
+		},
+		{
+			"orphan sample",
+			"m 1\n",
+			"missing HELP",
+		},
+		{
+			"le on counter",
+			"# HELP m Help.\n# TYPE m counter\nm{le=\"5\"} 1\n",
+			"'le' label",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fams, err := Parse(strings.NewReader(tc.in))
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			errs := Lint(fams)
+			for _, e := range errs {
+				if strings.Contains(e.Error(), tc.want) {
+					return
+				}
+			}
+			t.Fatalf("Lint = %v, want an error containing %q", errs, tc.want)
+		})
+	}
+}

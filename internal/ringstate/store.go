@@ -26,6 +26,7 @@ type Store struct {
 	nextID     uint64
 	maxRings   int
 	maxStreams int
+	auditCap   int
 }
 
 // NewStore builds an empty store; zero limits select the defaults.
@@ -41,7 +42,16 @@ func NewStore(maxRings, maxStreams int) *Store {
 		nextID:     1,
 		maxRings:   maxRings,
 		maxStreams: maxStreams,
+		auditCap:   DefaultRingAudit,
 	}
+}
+
+// SetAuditCap overrides the per-ring retained audit-record cap for rings
+// created afterwards (test hook for compaction behavior).
+func (st *Store) SetAuditCap(n int) {
+	st.mu.Lock()
+	st.auditCap = n
+	st.mu.Unlock()
 }
 
 // Ring is one versioned, long-lived ring. Versions start at 1 and
@@ -55,12 +65,19 @@ type Ring struct {
 	mu      sync.RWMutex
 	version uint64
 	engine  *Engine
+	audit   *auditLog
 	deleted bool
 }
 
 // Create builds a new ring from a config and an optional initial stream
 // set (admitted in order, as a sequence of adds at version-build time).
 func (st *Store) Create(cfg Config, streams []Stream) (*Ring, error) {
+	return st.CreateMeta(cfg, streams, EditMeta{})
+}
+
+// CreateMeta is Create with audit metadata: the seed streams land in the
+// audit baseline and a create record opens the trail.
+func (st *Store) CreateMeta(cfg Config, streams []Stream, meta EditMeta) (*Ring, error) {
 	eng, err := NewEngine(cfg)
 	if err != nil {
 		return nil, err
@@ -68,10 +85,13 @@ func (st *Store) Create(cfg Config, streams []Stream) (*Ring, error) {
 	if len(streams) > st.maxStreams {
 		return nil, fmt.Errorf("%w: %d streams, limit %d", ErrTooManyStreams, len(streams), st.maxStreams)
 	}
+	audit := newAuditLog(st.auditCap)
 	for _, s := range streams {
-		if _, _, err := eng.Add(s); err != nil {
+		id, _, err := eng.Add(s)
+		if err != nil {
 			return nil, err
 		}
+		audit.seed(id, s)
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -83,7 +103,16 @@ func (st *Store) Create(cfg Config, streams []Stream) (*Ring, error) {
 		maxStreams: st.maxStreams,
 		version:    1,
 		engine:     eng,
+		audit:      audit,
 	}
+	audit.append(AuditRecord{
+		VersionBefore: 0,
+		Version:       1,
+		Op:            OpCreate,
+		Time:          meta.when(),
+		TraceID:       meta.TraceID,
+		Client:        meta.Client,
+	})
 	st.nextID++
 	st.rings[r.id] = r
 	return r, nil
@@ -171,8 +200,9 @@ func (r *Ring) State() (uint64, Config, []SnapshotStream, []Verdict, error) {
 
 // edit runs one CAS-guarded mutation. The op must return the engine's
 // scratch delta; edit clones it before releasing the lock so the caller
-// owns the result.
-func (r *Ring) edit(expected uint64, op func(*Engine) (*Delta, error)) (uint64, *Delta, error) {
+// owns the result. On success an audit record built from the cloned
+// delta (plus the add/modify stream params) is appended to the trail.
+func (r *Ring) edit(expected uint64, meta EditMeta, params *Stream, op func(*Engine) (*Delta, error)) (uint64, *Delta, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.deleted {
@@ -185,15 +215,34 @@ func (r *Ring) edit(expected uint64, op func(*Engine) (*Delta, error)) (uint64, 
 	if err != nil {
 		return 0, nil, err
 	}
+	before := r.version
 	r.version++
-	return r.version, d.Clone(), nil
+	out := d.Clone()
+	r.audit.append(AuditRecord{
+		VersionBefore: before,
+		Version:       r.version,
+		Op:            out.Op,
+		StreamID:      out.StreamID,
+		Stream:        params,
+		Reprobed:      out.Reprobed,
+		Flips:         auditFlips(out),
+		Time:          meta.when(),
+		TraceID:       meta.TraceID,
+		Client:        meta.Client,
+	})
+	return r.version, out, nil
 }
 
 // AddStream admits a stream under CAS, returning the new version, the
 // assigned stream ID, and the incremental delta.
 func (r *Ring) AddStream(expected uint64, s Stream) (uint64, uint64, *Delta, error) {
+	return r.AddStreamMeta(expected, s, EditMeta{})
+}
+
+// AddStreamMeta is AddStream with audit metadata.
+func (r *Ring) AddStreamMeta(expected uint64, s Stream, meta EditMeta) (uint64, uint64, *Delta, error) {
 	var id uint64
-	v, d, err := r.edit(expected, func(e *Engine) (*Delta, error) {
+	v, d, err := r.edit(expected, meta, &s, func(e *Engine) (*Delta, error) {
 		if e.Len() >= r.maxStreams {
 			return nil, fmt.Errorf("%w: limit %d", ErrTooManyStreams, r.maxStreams)
 		}
@@ -206,14 +255,24 @@ func (r *Ring) AddStream(expected uint64, s Stream) (uint64, uint64, *Delta, err
 
 // RemoveStream evicts a stream under CAS.
 func (r *Ring) RemoveStream(expected, id uint64) (uint64, *Delta, error) {
-	return r.edit(expected, func(e *Engine) (*Delta, error) {
+	return r.RemoveStreamMeta(expected, id, EditMeta{})
+}
+
+// RemoveStreamMeta is RemoveStream with audit metadata.
+func (r *Ring) RemoveStreamMeta(expected, id uint64, meta EditMeta) (uint64, *Delta, error) {
+	return r.edit(expected, meta, nil, func(e *Engine) (*Delta, error) {
 		return e.Remove(id)
 	})
 }
 
 // ModifyStream replaces a stream under CAS.
 func (r *Ring) ModifyStream(expected, id uint64, s Stream) (uint64, *Delta, error) {
-	return r.edit(expected, func(e *Engine) (*Delta, error) {
+	return r.ModifyStreamMeta(expected, id, s, EditMeta{})
+}
+
+// ModifyStreamMeta is ModifyStream with audit metadata.
+func (r *Ring) ModifyStreamMeta(expected, id uint64, s Stream, meta EditMeta) (uint64, *Delta, error) {
+	return r.edit(expected, meta, &s, func(e *Engine) (*Delta, error) {
 		return e.Modify(id, s)
 	})
 }

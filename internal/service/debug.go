@@ -1,18 +1,40 @@
 package service
 
 import (
+	"context"
+	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 
 	"ringsched/internal/trace"
 )
 
 // registerDebug mounts the debugging surface next to the API: the span
-// ring at /debug/traces and the standard pprof profiles. Both stay up
-// while draining — they are exactly what an operator wants to look at
-// when a deploy is going sideways — so they bypass instrument.
+// ring at /debug/traces (federated across the cluster in -peers mode),
+// the request flight recorder at /debug/requests, and the standard pprof
+// profiles. All of it stays up while draining — it is exactly what an
+// operator wants to look at when a deploy is going sideways — so it
+// bypasses instrument.
 func (s *Server) registerDebug() {
-	s.mux.HandleFunc("/debug/traces", s.handleTraces)
+	ds := &trace.DebugServer{Ring: s.spans}
+	if s.clust != nil {
+		ds.Self = s.clust.self
+		ds.Peers = func() []string {
+			var peers []string
+			for _, m := range s.Members() {
+				if m != s.clust.self {
+					peers = append(peers, m)
+				}
+			}
+			return peers
+		}
+		ds.Fetch = s.fetchPeerTrace
+		ds.ScatterTimeout = s.cfg.PeerFillTimeout
+	}
+	s.mux.Handle("/debug/traces", ds)
+	s.mux.HandleFunc("/debug/requests", s.handleRequests)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -20,29 +42,21 @@ func (s *Server) registerDebug() {
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
-// handleTraces serves the retained spans, oldest first. ?trace=<id>
-// narrows to one trace: the id is what a /v1/* response returned in its
-// X-Ringsched-Trace header, so `curl -i` + `curl /debug/traces?trace=`
-// reconstructs any recent request's span tree without extra tooling.
-func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
-	var recs []trace.Record
-	if id := r.URL.Query().Get("trace"); id != "" {
-		recs = s.spans.Trace(id)
-	} else {
-		recs = s.spans.Snapshot()
-	}
-	if recs == nil {
-		recs = []trace.Record{}
-	}
-	body, err := Encode(map[string]any{
-		"total":    s.spans.Total(),
-		"retained": len(recs),
-		"spans":    recs,
-	})
+// fetchPeerTrace retrieves one peer's span records for a trace, riding
+// the same breaker-isolated peer client pool as cache fills. The local=1
+// parameter stops the peer from scattering in turn — each member answers
+// with its own spans only, so federation stays one hop deep.
+func (s *Server) fetchPeerTrace(ctx context.Context, member, traceID string) ([]trace.Record, error) {
+	body, err := s.clust.pool.Client(member).Call(ctx, http.MethodGet,
+		"/debug/traces?local=1&trace="+url.QueryEscape(traceID), nil)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
+		return nil, err
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Write(body)
+	var resp struct {
+		Spans []trace.Record `json:"spans"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, fmt.Errorf("service: bad peer trace response from %s: %v", member, err)
+	}
+	return resp.Spans, nil
 }

@@ -110,6 +110,18 @@ type RingEditResponse struct {
 	Deltas   []RingProtocolDelta `json:"deltas"`
 }
 
+// editMeta captures the mutating request's identity for the ring audit
+// trail: the root span's trace ID (the same one the response header
+// carries, so a history row links straight into /debug/traces) and the
+// rate-limiter's client key.
+func editMeta(r *http.Request) ringstate.EditMeta {
+	meta := ringstate.EditMeta{Client: clientKey(r)}
+	if sp := trace.SpanFromContext(r.Context()); sp != nil {
+		meta.TraceID = sp.TraceID().String()
+	}
+	return meta
+}
+
 // ringStreamID renders an engine stream ID on the wire.
 func ringStreamID(id uint64) string { return "s" + strconv.FormatUint(id, 10) }
 
@@ -313,7 +325,7 @@ func (s *Server) handleRings(w http.ResponseWriter, r *http.Request) {
 		for i, sp := range req.Streams {
 			streams[i] = ringstate.Stream{Name: sp.Name, PeriodMs: sp.PeriodMs, LengthBits: sp.LengthBits}
 		}
-		ring, err := s.rings.Create(cfg, streams)
+		ring, err := s.rings.CreateMeta(cfg, streams, editMeta(r))
 		if err != nil {
 			s.ringEdits.Add(labels("op", "create", "outcome", "error"), 1)
 			s.ringError(w, err)
@@ -358,6 +370,7 @@ func expectedVersionParam(r *http.Request) (uint64, error) {
 // handleRingItem routes /v1/rings/{id}[...]:
 //
 //	GET    /v1/rings/{id}                    — full state
+//	GET    /v1/rings/{id}/history[?format=script] — audit trail
 //	DELETE /v1/rings/{id}[?expectedVersion=] — delete session
 //	POST   /v1/rings/{id}/streams            — add a stream
 //	PUT    /v1/rings/{id}/streams/{sid}      — modify a stream
@@ -373,6 +386,12 @@ func (s *Server) handleRingItem(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case len(parts) == 1:
 		s.handleRing(w, r, ringID)
+	case len(parts) == 2 && parts[1] == "history":
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, errors.New("service: GET required"))
+			return
+		}
+		s.handleRingHistory(w, r, ringID)
 	case len(parts) == 2 && parts[1] == "streams" && r.Method == http.MethodPost:
 		s.handleRingEdit(w, r, ringID, ringstate.OpAdd, 0)
 	case len(parts) == 3 && parts[1] == "streams":
@@ -430,6 +449,34 @@ func (s *Server) handleRing(w http.ResponseWriter, r *http.Request, ringID strin
 	}
 }
 
+// handleRingHistory serves the ring's audit trail: JSON by default, or
+// the ringadmit script serialization with ?format=script. The script is
+// the future durable-WAL format — replaying it offline (ringadmit
+// -script with the config the header comments name) reproduces the
+// ring's current verdicts exactly, which scripts/obs_demo.sh asserts.
+func (s *Server) handleRingHistory(w http.ResponseWriter, r *http.Request, ringID string) {
+	ring, err := s.rings.Get(ringID)
+	if err != nil {
+		s.ringError(w, err)
+		return
+	}
+	h, err := ring.History()
+	if err != nil {
+		s.ringError(w, err)
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		s.writeRingJSON(w, http.StatusOK, h)
+	case "script":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		h.Script(w)
+	default:
+		writeError(w, http.StatusBadRequest,
+			errors.New("service: bad format query parameter: want json or script"))
+	}
+}
+
 // outcomeFor labels the edit-counter outcome for a failed mutation.
 func outcomeFor(err error) string {
 	var conflict *ringstate.ConflictError
@@ -478,13 +525,14 @@ func (s *Server) handleRingEdit(w http.ResponseWriter, r *http.Request, ringID, 
 	sp.SetAttr("op", op)
 	var version uint64
 	var delta *ringstate.Delta
+	meta := editMeta(r)
 	switch op {
 	case ringstate.OpAdd:
-		version, sid, delta, err = ring.AddStream(expected, stream)
+		version, sid, delta, err = ring.AddStreamMeta(expected, stream, meta)
 	case ringstate.OpModify:
-		version, delta, err = ring.ModifyStream(expected, sid, stream)
+		version, delta, err = ring.ModifyStreamMeta(expected, sid, stream, meta)
 	case ringstate.OpRemove:
-		version, delta, err = ring.RemoveStream(expected, sid)
+		version, delta, err = ring.RemoveStreamMeta(expected, sid, meta)
 	}
 	if err != nil {
 		sp.SetError(err)

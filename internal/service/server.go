@@ -78,6 +78,12 @@ type Config struct {
 	// MaxRingStreams bounds streams per ring session (default
 	// ringstate.DefaultMaxRingStreams).
 	MaxRingStreams int
+	// RequestLog is the capacity of the request flight recorder behind
+	// /debug/requests (default 4096).
+	RequestLog int
+	// SlowThreshold classifies a request as "slow" for the SLO burn-rate
+	// counters and the bare ?slow filter (default 1s).
+	SlowThreshold time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +125,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.RequestLog <= 0 {
+		c.RequestLog = 4096
+	}
+	if c.SlowThreshold <= 0 {
+		c.SlowThreshold = time.Second
 	}
 	return clusterDefaults(c)
 }
@@ -163,6 +175,10 @@ type Server struct {
 
 	ringEdits      *counterVec   // op (create | add | modify | remove | delete), outcome
 	reprobeStreams *histogramVec // op — streams re-analyzed per incremental edit
+
+	recorder  *recorder
+	slo       *counterVec // endpoint, class (good | slow | error)
+	exemplars *exemplarVec
 }
 
 // stageForSpan maps span names to the /metrics stage label, so the
@@ -205,6 +221,11 @@ func New(cfg Config) *Server {
 			"Ring-session mutations by operation and outcome (ok | conflict | error)."),
 		reprobeStreams: newHistogramVec("ringschedd_reprobe_streams",
 			"Streams re-analyzed per incremental ring edit, by operation."),
+		recorder: newRecorder(cfg.RequestLog),
+		slo: newCounterVec("ringschedd_slo_requests_total",
+			"Finished requests by endpoint and SLO class (good | slow | error), for burn-rate alerting."),
+		exemplars: newExemplarVec("ringschedd_request_seconds_exemplars",
+			"Most recent trace exemplar per request-latency bucket; value is that sample's latency in seconds."),
 	}
 	s.rings = ringstate.NewStore(cfg.MaxRings, cfg.MaxRingStreams)
 	s.admission = resilience.NewAdmission(cfg.Workers, cfg.QueueDepth)
@@ -348,12 +369,26 @@ func (s *Server) instrumentOpts(endpoint string, h http.HandlerFunc, peerExempt 
 			sp.SetAttr("badTraceHeader", true)
 		}
 		sw.Header().Set("X-Ringsched-Trace", sp.TraceID().String())
+		ctx, dig := withDigest(ctx)
 
 		defer func() {
 			s.inflight.Add(-1)
 			elapsed := time.Since(start)
 			s.requests.Add(labels("code", strconv.Itoa(sw.code), "endpoint", endpoint), 1)
 			s.latency.Observe(labels("endpoint", endpoint), elapsed.Seconds())
+			traceID := sp.TraceID().String()
+			s.slo.Add(labels("class", sloClass(sw.code, elapsed, s.cfg.SlowThreshold), "endpoint", endpoint), 1)
+			s.exemplars.Observe(endpoint, traceID, elapsed.Seconds())
+			s.recorder.Record(RequestRecord{
+				Time:      start,
+				Method:    r.Method,
+				Endpoint:  endpoint,
+				Key:       dig.key,
+				Code:      sw.code,
+				Cache:     sw.Header().Get("X-Cache"),
+				LatencyMs: float64(elapsed) / float64(time.Millisecond),
+				TraceID:   traceID,
+			})
 			sp.SetAttr("code", sw.code)
 			sp.End()
 			s.logger.LogAttrs(ctx, slog.LevelInfo, "request",
@@ -557,6 +592,7 @@ func decode(r *http.Request, v any) error {
 // header tells the caller what happened: hit, coalesced, miss (computed
 // here), or peer (fetched from the owning shard).
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, key string, peerReq any, compute func(context.Context) ([]byte, error)) {
+	setDigestKey(r.Context(), key)
 	_, lookup := trace.Start(r.Context(), "cache.lookup")
 	body, cached := s.cache.Get(key)
 	if cached {
@@ -764,6 +800,7 @@ func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request, req SweepReq
 // workers promptly — but still occupies a pool slot and still feeds the
 // result cache, so a later identical request is a hit.
 func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, canon SweepRequest, key string) {
+	setDigestKey(r.Context(), key)
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, http.StatusInternalServerError, errors.New("service: streaming unsupported"))
@@ -928,6 +965,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.chaosInj.Write(w)
 	s.ringEdits.Write(w)
 	s.reprobeStreams.Write(w)
+	s.slo.Write(w)
+	s.exemplars.Write(w)
 	if s.clust != nil {
 		s.peerFill.Write(w)
 	}
@@ -944,6 +983,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{Name: "ringschedd_pool_running", Help: "Jobs currently computing.", Fn: func() float64 { _, r := s.flight.Depth(); return float64(r) }},
 		{Name: "ringschedd_http_in_flight", Help: "API requests currently being served.", Fn: func() float64 { return float64(s.InFlight()) }},
 		{Name: "ringschedd_rings", Help: "Resident ring sessions.", Fn: func() float64 { return float64(s.rings.Len()) }},
+		{Name: "ringschedd_request_log_total", Help: "Requests ever recorded by the flight recorder.", Type: "counter",
+			Fn: func() float64 { return float64(s.recorder.Total()) }},
 		{Name: "ringschedd_admission_service_seconds", Help: "EWMA of completed computation service times feeding the admission controller.",
 			Fn: func() float64 { return s.admission.ServiceTime().Seconds() }},
 		{Name: "ringschedd_admission_est_wait_seconds", Help: "Estimated queue wait a new arrival would see right now.",

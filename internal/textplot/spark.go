@@ -1,0 +1,39 @@
+package textplot
+
+// sparkRamp is the eight-level block ramp used by Spark.
+var sparkRamp = []rune("▁▂▃▄▅▆▇█")
+
+// Spark renders values as a one-line unicode sparkline, scaled to the
+// slice's own min..max. A flat (or single-value) series renders at the
+// lowest level, and NaN/Inf-free input is the caller's job — non-finite
+// values clamp to the edges.
+func Spark(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	out := make([]rune, len(values))
+	span := hi - lo
+	for i, v := range values {
+		level := 0
+		if span > 0 {
+			level = int((v - lo) / span * float64(len(sparkRamp)-1))
+		}
+		if level < 0 {
+			level = 0
+		}
+		if level >= len(sparkRamp) {
+			level = len(sparkRamp) - 1
+		}
+		out[i] = sparkRamp[level]
+	}
+	return string(out)
+}

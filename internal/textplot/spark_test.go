@@ -1,0 +1,23 @@
+package textplot
+
+import "testing"
+
+func TestSpark(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want string
+	}{
+		{"empty", nil, ""},
+		{"single", []float64{5}, "▁"},
+		{"flat", []float64{2, 2, 2}, "▁▁▁"},
+		{"ramp", []float64{0, 1, 2, 3, 4, 5, 6, 7}, "▁▂▃▄▅▆▇█"},
+		{"minmax", []float64{1, 100}, "▁█"},
+		{"negatives", []float64{-3, 0, 3}, "▁▄█"},
+	}
+	for _, tc := range cases {
+		if got := Spark(tc.in); got != tc.want {
+			t.Errorf("%s: Spark(%v) = %q, want %q", tc.name, tc.in, got, tc.want)
+		}
+	}
+}

@@ -19,6 +19,9 @@ type Record struct {
 	DurationUS float64        `json:"durationUs"`
 	Error      string         `json:"error,omitempty"`
 	Attrs      map[string]any `json:"attrs,omitempty"`
+	// Member is the cluster member that produced the span, stamped by the
+	// /debug/traces federation layer (empty on locally exported spans).
+	Member string `json:"member,omitempty"`
 }
 
 // Sink receives finished spans. Implementations must be safe for

@@ -1,0 +1,56 @@
+package ringschedclient_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"ringsched/ringschedclient"
+)
+
+func TestRingSessionHistory(t *testing.T) {
+	c := newRingServer(t)
+	ctx := context.Background()
+
+	sess, _, err := c.CreateRing(ctx, ringschedclient.RingCreateRequest{
+		BandwidthMbps: 16,
+		Streams: []ringschedclient.RingStreamSpec{
+			{Name: "gyro", PeriodMs: 10, LengthBits: 4096},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.AddStream(ctx, ringschedclient.RingStreamSpec{
+		Name: "telemetry", PeriodMs: 50, LengthBits: 65536,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := sess.History(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.RingID != sess.ID() || h.Version != 2 || len(h.Records) != 2 {
+		t.Fatalf("history %+v, want ring %s at v2 with 2 records", h, sess.ID())
+	}
+	if h.Records[0].Op != "create" || h.Records[1].Op != "add" {
+		t.Fatalf("want ops create,add got %q,%q", h.Records[0].Op, h.Records[1].Op)
+	}
+	if h.Records[1].Stream == nil || h.Records[1].Stream.Name != "telemetry" {
+		t.Fatalf("add record should carry the stream params: %+v", h.Records[1])
+	}
+	if h.Records[1].Client == "" || h.Records[1].Time.IsZero() {
+		t.Fatalf("add record missing meta: %+v", h.Records[1])
+	}
+
+	script, err := sess.HistoryScript(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# ring " + sess.ID() + " history", "# bandwidth-mbps: 16", "add "} {
+		if !strings.Contains(script, want) {
+			t.Fatalf("script missing %q:\n%s", want, script)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net/url"
 	"strconv"
 	"sync"
+	"time"
 
 	"ringsched/internal/resilience"
 )
@@ -241,4 +242,53 @@ func (s *RingSession) edit(ctx context.Context, do func(expected uint64) (json.R
 	}
 	return nil, fmt.Errorf("ringschedclient: edit still conflicting after %d rebases: %w",
 		ringConflictRetries, lastErr)
+}
+
+// RingHistoryRecord is one entry in a ring's audit trail.
+type RingHistoryRecord struct {
+	Seq           uint64          `json:"seq"`
+	VersionBefore uint64          `json:"versionBefore"`
+	Version       uint64          `json:"version"`
+	Op            string          `json:"op"`
+	StreamID      uint64          `json:"streamId,omitempty"`
+	Stream        *RingStreamSpec `json:"stream,omitempty"`
+	Reprobed      int             `json:"reprobed"`
+	Time          time.Time       `json:"time"`
+	TraceID       string          `json:"traceId,omitempty"`
+	Client        string          `json:"client,omitempty"`
+}
+
+// RingHistory is the server's audit trail for one ring: the retained
+// mutation records plus how many older records were compacted into the
+// baseline.
+type RingHistory struct {
+	RingID    string              `json:"ringId"`
+	Version   uint64              `json:"version"`
+	Records   []RingHistoryRecord `json:"records"`
+	Compacted uint64              `json:"compacted"`
+}
+
+// History fetches the ring's audit trail as structured records.
+func (s *RingSession) History(ctx context.Context) (*RingHistory, error) {
+	raw, err := s.c.Call(ctx, http.MethodGet, "/v1/rings/"+url.PathEscape(s.id)+"/history", nil)
+	if err != nil {
+		return nil, err
+	}
+	var h RingHistory
+	if err := json.Unmarshal(raw, &h); err != nil {
+		return nil, fmt.Errorf("ringschedclient: decode ring history: %w", err)
+	}
+	s.observe(h.Version)
+	return &h, nil
+}
+
+// HistoryScript fetches the audit trail in the ringadmit script
+// serialization — the replayable WAL form — as plain text.
+func (s *RingSession) HistoryScript(ctx context.Context) (string, error) {
+	raw, err := s.c.Call(ctx, http.MethodGet,
+		"/v1/rings/"+url.PathEscape(s.id)+"/history?format=script", nil)
+	if err != nil {
+		return "", err
+	}
+	return string(raw), nil
 }

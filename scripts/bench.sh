@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Regenerate a benchmark report (canonical baseline: BENCH_PR4.json;
-# the ring-edit incremental-vs-full numbers are recorded in BENCH_PR9.json).
+# the ring-edit incremental-vs-full numbers are recorded in BENCH_PR9.json,
+# the observability-plane hot paths — flight-recorder record and audit
+# append — in BENCH_PR10.json).
 #
 # Usage:
 #   scripts/bench.sh [out.json]
@@ -18,7 +20,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_PR4.json}"
-pattern="${BENCH_PATTERN:-^(BenchmarkExactTestReference|BenchmarkRTAReference|BenchmarkWorkspace(ExactTest|RTA|Probe)|Benchmark(PDP|TTP)Probe(Bind)?|BenchmarkAnalyzeBatch|BenchmarkSaturate(TTP|PDP)(Reference)?|BenchmarkTheorem(41|51)|BenchmarkFig1Experiment|BenchmarkAnalyzeTopologySingleRing|BenchmarkResilienceAdmit|BenchmarkRingEdit(Incremental|IncrementalTTP|Full))$}"
+pattern="${BENCH_PATTERN:-^(BenchmarkExactTestReference|BenchmarkRTAReference|BenchmarkWorkspace(ExactTest|RTA|Probe)|Benchmark(PDP|TTP)Probe(Bind)?|BenchmarkAnalyzeBatch|BenchmarkSaturate(TTP|PDP)(Reference)?|BenchmarkTheorem(41|51)|BenchmarkFig1Experiment|BenchmarkAnalyzeTopologySingleRing|BenchmarkResilienceAdmit|BenchmarkRingEdit(Incremental|IncrementalTTP|Full)|BenchmarkAuditAppend|BenchmarkFlightRecorderRecord)$}"
 count="${BENCH_COUNT:-3}"
 benchtime="${BENCH_TIME:-0.5s}"
 
@@ -27,6 +29,6 @@ trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' -bench "$pattern" -benchmem \
     -benchtime "$benchtime" -count "$count" -timeout 60m \
-    . ./internal/rma/ ./internal/core/ ./internal/breakdown/ ./internal/resilience/ ./internal/ringstate/ | tee "$tmp"
+    . ./internal/rma/ ./internal/core/ ./internal/breakdown/ ./internal/resilience/ ./internal/ringstate/ ./internal/service/ | tee "$tmp"
 go run ./cmd/benchreport -in "$tmp" -out "$out"
 echo "wrote $out"
